@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sensitivity analysis of the step-1 correlation threshold (paper
+ * Section IV-A1: "We performed a sensitivity analysis on this
+ * threshold value and found that reducing it below 0.95 provided
+ * diminishing returns"). Sweeps the threshold and reports how many
+ * counters survive screening, how many features the full algorithm
+ * selects, and the resulting model accuracy.
+ */
+#include <iostream>
+
+#include "common/bench_support.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace chaos;
+
+int
+main()
+{
+    const CampaignConfig config = bench::paperCampaignConfig(6161);
+    std::cout << "== Ablation: correlation threshold (|r| > t) "
+                 "sensitivity, Core2 cluster ==\n\n";
+
+    ClusterCampaign campaign =
+        bench::campaignFor(MachineClass::Core2, config);
+    bench::dropRawRuns(campaign);
+
+    TextTable table({"threshold", "survive step 1", "selected",
+                     "quadratic DRE"});
+
+    for (double threshold : {0.80, 0.90, 0.95, 0.99}) {
+        FeatureSelectionConfig fs_config;
+        fs_config.correlationThreshold = threshold;
+        Rng rng(1);
+
+        FeatureSelectionResult funnel;
+        screenCounters(campaign.data, fs_config, rng, &funnel);
+
+        Rng rng2(2);
+        const FeatureSelectionResult selection =
+            selectClusterFeatures(campaign.data, fs_config, rng2);
+
+        const auto outcome = evaluateTechnique(
+            campaign.data, clusterFeatureSet(selection),
+            ModelType::Quadratic, campaign.envelopes,
+            config.evaluation);
+
+        table.addRow({formatDouble(threshold, 2),
+                      std::to_string(funnel.afterCorrelation),
+                      std::to_string(selection.selected.size()),
+                      outcome.valid ? bench::pct(outcome.avgDre)
+                                    : "n/a"});
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nPaper shape: tightening the threshold below 0.95 keeps "
+           "pruning counters but\nbuys no accuracy (diminishing "
+           "returns), while a very loose threshold (0.99)\nlets "
+           "near-duplicates through and inflates the candidate set "
+           "without helping.\n";
+    return 0;
+}

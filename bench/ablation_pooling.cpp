@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: pooled vs per-machine vs partially-pooled models
+ * (paper Section IV). The paper pools data from all machines in the
+ * cluster and argues — via the variance-comparison tests of Gelman
+ * et al. — that pooling loses no significant accuracy against
+ * hierarchical alternatives. This bench reproduces the comparison on
+ * three representative clusters.
+ */
+#include <iostream>
+
+#include "common/bench_support.hpp"
+#include "core/pooling.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace chaos;
+
+int
+main()
+{
+    const CampaignConfig config = bench::paperCampaignConfig();
+    std::cout << "== Ablation: pooling vs per-machine vs partial "
+                 "pooling ==\n\n";
+
+    TextTable table({"Cluster", "DRE pooled", "DRE per-machine",
+                     "DRE partial", "variance ratio",
+                     "pooling adequate?"});
+
+    for (MachineClass mc : {MachineClass::Core2, MachineClass::Opteron,
+                            MachineClass::XeonSas}) {
+        ClusterCampaign campaign = bench::campaignFor(mc, config);
+        bench::dropRawRuns(campaign);
+
+        const PoolingComparison comparison = comparePooling(
+            campaign.data, clusterFeatureSet(campaign.selection),
+            ModelType::Quadratic, campaign.envelopes,
+            config.evaluation);
+
+        table.addRow({machineClassName(mc),
+                      bench::pct(comparison.pooledDre),
+                      bench::pct(comparison.perMachineDre),
+                      bench::pct(comparison.partialDre),
+                      formatDouble(comparison.varianceRatio, 3),
+                      comparison.poolingAdequate ? "yes" : "NO"});
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nPaper shape: pooling is adequate — its residual "
+           "variance is close to the\nper-machine models' (ratio "
+           "near 1), so the extra complexity of hierarchical\n"
+           "modeling isn't warranted. Per-machine models can even "
+           "lose accuracy from\nhaving 1/N of the training data.\n";
+    return 0;
+}

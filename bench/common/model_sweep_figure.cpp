@@ -1,0 +1,82 @@
+#include "model_sweep_figure.hpp"
+
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace chaos {
+namespace bench {
+
+int
+runModelSweepFigure(const std::string &figure,
+                    const std::string &workload,
+                    const std::string &conclusion)
+{
+    const CampaignConfig config = paperCampaignConfig();
+    std::cout << "== " << figure << ": Opteron average DRE, "
+              << workload << " — model type x feature set ==\n\n";
+
+    ClusterCampaign campaign =
+        campaignFor(MachineClass::Opteron, config);
+    dropRawRuns(campaign);
+
+    // Feature sets as in the figures: CPU-utilization only, the
+    // cluster-specific set, and the general set. The general set is
+    // approximated with the paper's published Table II column so
+    // this figure does not need all six clusters collected.
+    const std::vector<FeatureSet> sets = {
+        cpuOnlyFeatureSet(), clusterFeatureSet(campaign.selection),
+        paperGeneralFeatureSet()};
+
+    const auto sweeps = sweepWorkloads(
+        campaign.data, sets, allModelTypes(), campaign.envelopes,
+        config.evaluation, {workload});
+    if (sweeps.empty()) {
+        std::cerr << "no data for workload " << workload << "\n";
+        return 1;
+    }
+    const WorkloadSweep &sweep = sweeps.front();
+
+    double max_dre = 0.0;
+    for (const auto &cell : sweep.cells) {
+        if (cell.outcome.valid)
+            max_dre = std::max(max_dre, cell.outcome.avgDre);
+    }
+
+    std::string current_type;
+    for (const auto &cell : sweep.cells) {
+        const std::string type_name = modelTypeName(cell.type);
+        if (type_name != current_type) {
+            std::cout << "\n" << type_name << ":\n";
+            current_type = type_name;
+        }
+        std::string label = "  " + cell.featureSetName;
+        label.resize(12, ' ');
+        if (!cell.outcome.valid) {
+            std::cout << label
+                      << " (n/a: requires multiple features)\n";
+            continue;
+        }
+        std::cout << barLine(label, cell.outcome.avgDre, max_dre, 40,
+                             pct(cell.outcome.avgDre))
+                  << "\n";
+    }
+
+    const SweepCell *best = sweep.best();
+    if (best != nullptr) {
+        std::cout << "\nbest: " << best->label() << " ("
+                  << modelTypeName(best->type) << ", "
+                  << best->featureSetName
+                  << " features) at DRE = "
+                  << pct(best->outcome.avgDre) << "\n";
+    }
+    std::cout << "\n" << conclusion << "\n";
+    std::cout << "(U = CPU utilization only, C = cluster-specific "
+                 "features, G(paper) = Table II general set)\n";
+    return 0;
+}
+
+} // namespace bench
+} // namespace chaos

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared driver for Figures 3 and 4: DRE of every modeling technique
+ * crossed with every feature set on the Opteron cluster, for one
+ * workload.
+ */
+#ifndef CHAOS_BENCH_COMMON_MODEL_SWEEP_FIGURE_HPP
+#define CHAOS_BENCH_COMMON_MODEL_SWEEP_FIGURE_HPP
+
+#include <string>
+
+namespace chaos {
+namespace bench {
+
+/**
+ * Run the Opteron model/feature-set sweep for @p workload and print
+ * the figure (bars of average DRE per combination).
+ *
+ * @param figure "Figure 3" or "Figure 4".
+ * @param workload Workload to sweep.
+ * @param conclusion One-line takeaway printed under the figure.
+ * @return Process exit code.
+ */
+int runModelSweepFigure(const std::string &figure,
+                        const std::string &workload,
+                        const std::string &conclusion);
+
+} // namespace bench
+} // namespace chaos
+
+#endif // CHAOS_BENCH_COMMON_MODEL_SWEEP_FIGURE_HPP

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces Figure 4: Opteron average DRE for Prime across all
+ * modeling techniques and feature sets. The paper's takeaway: for
+ * this CPU-bound workload, the MODELING TECHNIQUE matters more than
+ * the feature set — a piecewise-linear model on CPU utilization
+ * alone already dramatically beats the linear model, because
+ * full-system power is nonlinear in utilization under DVFS.
+ */
+#include "common/model_sweep_figure.hpp"
+
+int
+main()
+{
+    return chaos::bench::runModelSweepFigure(
+        "Figure 4", "Prime",
+        "Paper shape: nonlinear techniques (P/Q/S) beat the linear "
+        "model even with the\nsame features — model complexity "
+        "dominates for Prime.");
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reproduces Figure 5: worst-case full-system power prediction for
+ * the desktop (Athlon) cluster — a strawman cluster model (a single
+ * machine's CPU-utilization-only LINEAR model, scaled by the machine
+ * count, as prior work suggested) against the CHAOS cluster
+ * quadratic model on the general feature set. The strawman cannot
+ * predict the upper ~20% of the cluster's power range.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "common/bench_support.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/metrics.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "workloads/standard_workloads.hpp"
+
+using namespace chaos;
+
+int
+main()
+{
+    const CampaignConfig config = bench::paperCampaignConfig();
+    std::cout << "== Figure 5: worst-case cluster power prediction, "
+                 "Athlon cluster ==\n\n";
+
+    ClusterCampaign campaign =
+        bench::campaignFor(MachineClass::Athlon, config);
+
+    // --- Strawman: linear CPU-only model of machine 0, scaled. ---
+    const Dataset machine0 = campaign.data.filterMachine(0);
+    const auto strawman = fitPooledModel(
+        machine0, cpuOnlyFeatureSet(), ModelType::Linear,
+        config.evaluation.mars);
+
+    // --- CHAOS: pooled quadratic model, general feature set. ---
+    const FeatureSet general = paperGeneralFeatureSet();
+    const auto chaos_model = fitPooledModel(
+        campaign.data, general, ModelType::Quadratic,
+        config.evaluation.mars);
+
+    // Apply both to a fresh (held-out) Sort run on a new cluster
+    // realization.
+    Cluster fresh = Cluster::homogeneous(
+        MachineClass::Athlon, config.numMachines, config.seed + 999);
+    SortWorkload sort_workload;
+    const RunResult run = runWorkload(fresh, sort_workload,
+                                      config.seed + 1234, 0,
+                                      config.run);
+
+    const auto &catalog_names = campaign.data.featureNames();
+    Dataset catalog_space(catalog_names);
+    const size_t util_index = catalog_space.featureIndex(
+        counters::kCpuUtilization);
+    std::vector<size_t> general_indices;
+    for (const auto &name : general.counters)
+        general_indices.push_back(catalog_space.featureIndex(name));
+
+    const auto actual = run.clusterPowerSeries();
+    std::vector<double> strawman_pred(actual.size(), 0.0);
+    std::vector<double> chaos_pred(actual.size(), 0.0);
+    for (const auto &records : run.machineRecords) {
+        for (size_t t = 0; t < records.size(); ++t) {
+            strawman_pred[t] += strawman->predict(
+                {records[t].counters[util_index]});
+            std::vector<double> row;
+            for (size_t idx : general_indices)
+                row.push_back(records[t].counters[idx]);
+            chaos_pred[t] += chaos_model->predict(row);
+        }
+    }
+
+    // Errors in the upper region of the range (top 20% of observed
+    // cluster power) vs overall.
+    const double hi = maxValue(actual);
+    const double lo = minValue(actual);
+    const double upper_cut = hi - 0.2 * (hi - lo);
+    std::vector<double> act_up, straw_up, chaos_up;
+    for (size_t t = 0; t < actual.size(); ++t) {
+        if (actual[t] >= upper_cut) {
+            act_up.push_back(actual[t]);
+            straw_up.push_back(strawman_pred[t]);
+            chaos_up.push_back(chaos_pred[t]);
+        }
+    }
+
+    TextTable table({"Model", "rMSE (W)", "DRE",
+                     "rMSE top-20% (W)", "max underprediction (W)"});
+    auto add_row = [&](const std::string &name,
+                       const std::vector<double> &pred,
+                       const std::vector<double> &pred_up) {
+        double max_under = 0.0;
+        for (size_t t = 0; t < actual.size(); ++t)
+            max_under = std::max(max_under, actual[t] - pred[t]);
+        table.addRow(
+            {name, formatDouble(rootMeanSquaredError(pred, actual), 2),
+             bench::pct(dynamicRangeError(
+                 pred, actual,
+                 fresh.totalIdlePowerW(), fresh.totalMaxPowerW())),
+             formatDouble(rootMeanSquaredError(pred_up, act_up), 2),
+             formatDouble(max_under, 1)});
+    };
+    add_row("scaled 1-machine linear CPU-only", strawman_pred,
+            straw_up);
+    add_row("cluster quadratic, general features", chaos_pred,
+            chaos_up);
+    std::cout << table.render();
+
+    std::cout << "\ntrace (measured vs predictions, downsampled):\n";
+    std::cout << "  measured  |" << bench::sparkline(actual, 72)
+              << "|\n";
+    std::cout << "  strawman  |" << bench::sparkline(strawman_pred, 72)
+              << "|\n";
+    std::cout << "  CHAOS     |" << bench::sparkline(chaos_pred, 72)
+              << "|\n";
+
+    std::cout << "\nPaper shape: the scaled linear CPU-only model "
+                 "cannot reach the top of the\ncluster's dynamic "
+                 "range (it clips the upper ~20%), while the "
+                 "quadratic\ngeneral-feature model tracks the whole "
+                 "range.\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Micro-benchmarks of the regression stack: fit and predict costs of
+ * every modeling technique plus the Algorithm-1 screening passes.
+ * Contextualizes the paper's "training and model building requires
+ * up to 2 hours" (dominated by data collection, not fitting).
+ */
+#include <benchmark/benchmark.h>
+
+#include "models/factory.hpp"
+#include "models/lasso.hpp"
+#include "models/stepwise.hpp"
+#include "stats/correlation.hpp"
+#include "util/random.hpp"
+
+using namespace chaos;
+
+namespace {
+
+/** Synthetic power-like regression problem. */
+struct Problem
+{
+    Matrix x;
+    std::vector<double> y;
+
+    Problem(size_t n, size_t p, uint64_t seed)
+    {
+        Rng rng(seed);
+        x = Matrix(n, p);
+        y.assign(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t c = 0; c < p; ++c)
+                x(i, c) = rng.uniform(0.0, 100.0);
+            // Nonlinear + interaction ground truth.
+            y[i] = 100.0 + 0.5 * x(i, 0) +
+                   0.002 * x(i, 0) * x(i, 1) +
+                   (x(i, 2) > 50.0 ? 0.3 * (x(i, 2) - 50.0) : 0.0) +
+                   rng.normal(0.0, 1.0);
+        }
+    }
+};
+
+void
+BM_FitModel(benchmark::State &state, ModelType type)
+{
+    const Problem problem(1500, 8, 42);
+    ModelOptions options;
+    options.frequencyFeature = 1;
+    for (auto _ : state) {
+        auto model = makeModel(type, options);
+        model->fit(problem.x, problem.y);
+        benchmark::DoNotOptimize(model);
+    }
+}
+
+void
+BM_PredictModel(benchmark::State &state, ModelType type)
+{
+    const Problem problem(1500, 8, 43);
+    ModelOptions options;
+    options.frequencyFeature = 1;
+    auto model = makeModel(type, options);
+    model->fit(problem.x, problem.y);
+    const auto row = problem.x.row(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model->predict(row));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_LassoPath(benchmark::State &state)
+{
+    const Problem problem(800, 40, 44);
+    LassoSolver solver;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(solver.fitWithTargetSupport(
+            problem.x, problem.y, 12));
+    }
+}
+
+void
+BM_StepwiseElimination(benchmark::State &state)
+{
+    const Problem problem(800, 20, 45);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            stepwiseEliminate(problem.x, problem.y));
+    }
+}
+
+void
+BM_CorrelationMatrix(benchmark::State &state)
+{
+    const Problem problem(
+        static_cast<size_t>(state.range(0)), 180, 46);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(correlationMatrix(problem.x));
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_FitModel, linear, ModelType::Linear);
+BENCHMARK_CAPTURE(BM_FitModel, piecewise, ModelType::PiecewiseLinear);
+BENCHMARK_CAPTURE(BM_FitModel, quadratic, ModelType::Quadratic);
+BENCHMARK_CAPTURE(BM_FitModel, switching, ModelType::Switching);
+BENCHMARK_CAPTURE(BM_PredictModel, linear, ModelType::Linear);
+BENCHMARK_CAPTURE(BM_PredictModel, piecewise,
+                  ModelType::PiecewiseLinear);
+BENCHMARK_CAPTURE(BM_PredictModel, quadratic, ModelType::Quadratic);
+BENCHMARK_CAPTURE(BM_PredictModel, switching, ModelType::Switching);
+BENCHMARK(BM_LassoPath);
+BENCHMARK(BM_StepwiseElimination);
+BENCHMARK(BM_CorrelationMatrix)->Arg(1000)->Arg(4000);
+
+BENCHMARK_MAIN();

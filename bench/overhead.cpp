@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Validates the paper's "< 1% CPU utilization" overhead claim for
+ * the online framework: per-second cost of sampling the full counter
+ * catalog, producing a power estimate from a deployed model, and the
+ * whole collection tick. With a 1 Hz sampling budget (1 second per
+ * sample), overhead% = time-per-sample / 1s.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/chaos.hpp"
+#include "oscounters/etw_session.hpp"
+
+using namespace chaos;
+
+namespace {
+
+/** Shared fixture state (built once; benchmarks only time steady
+ *  state). */
+struct OverheadState
+{
+    MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    Machine machine{spec, 0, 77};
+    PowerMeter meter{Rng(78)};
+    CounterSampler sampler{spec, Rng(79)};
+    MachineTick tick;
+    MachinePowerModel model;
+    std::vector<double> counters;
+
+    OverheadState()
+    {
+        // A tiny training campaign, enough to deploy a real model.
+        CampaignConfig config;
+        config.numMachines = 2;
+        config.runsPerWorkload = 1;
+        config.run.durationScale = 0.15;
+        config.seed = 99;
+        const ClusterCampaign campaign =
+            runClusterCampaign(MachineClass::Core2, config);
+        model = fitDefaultModel(campaign, config);
+
+        ActivityDemand demand;
+        demand.cpuCoreSeconds = 1.0;
+        demand.diskReadBytes = 10e6;
+        demand.netRxBytes = 5e6;
+        demand.memIntensity = 0.3;
+        tick = machine.step(demand);
+        counters = sampler.sample(tick.state);
+    }
+
+    static OverheadState &instance()
+    {
+        static OverheadState state;
+        return state;
+    }
+};
+
+void
+BM_SampleFullCatalog(benchmark::State &state)
+{
+    auto &fixture = OverheadState::instance();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fixture.sampler.sample(fixture.tick.state));
+    }
+    // Fraction of the 1 Hz budget this sampling consumes.
+    // Percent of the 1 Hz budget: 100 * seconds-per-iteration.
+    state.counters["cpu_util_pct_at_1Hz"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) / 100.0,
+        benchmark::Counter::Flags(benchmark::Counter::kIsRate |
+                                  benchmark::Counter::kInvert));
+}
+
+void
+BM_PredictFromCatalogRow(benchmark::State &state)
+{
+    auto &fixture = OverheadState::instance();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fixture.model.predictFromCatalogRow(fixture.counters));
+    }
+    // Percent of the 1 Hz budget: 100 * seconds-per-iteration.
+    state.counters["cpu_util_pct_at_1Hz"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) / 100.0,
+        benchmark::Counter::Flags(benchmark::Counter::kIsRate |
+                                  benchmark::Counter::kInvert));
+}
+
+void
+BM_FullOnlineTick(benchmark::State &state)
+{
+    // Sample + estimate: everything the deployed framework does each
+    // second (the machine step itself is the simulated hardware, not
+    // framework overhead).
+    auto &fixture = OverheadState::instance();
+    OnlinePowerEstimator estimator(fixture.model);
+    for (auto _ : state) {
+        auto values = fixture.sampler.sample(fixture.tick.state);
+        benchmark::DoNotOptimize(estimator.estimate(values));
+    }
+    // Percent of the 1 Hz budget: 100 * seconds-per-iteration.
+    state.counters["cpu_util_pct_at_1Hz"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) / 100.0,
+        benchmark::Counter::Flags(benchmark::Counter::kIsRate |
+                                  benchmark::Counter::kInvert));
+}
+
+BENCHMARK(BM_SampleFullCatalog);
+BENCHMARK(BM_PredictFromCatalogRow);
+BENCHMARK(BM_FullOnlineTick);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Table III: average machine rMSE, percent error
+ * (rMSE / average power), and DRE for the Core 2 Duo (mobile) and
+ * Atom (embedded) clusters on each workload — demonstrating that
+ * DRE is the stricter, platform-comparable metric: on the Atom a
+ * ~2% percent error translates into a 10-30% DRE because the
+ * dynamic range is tiny.
+ */
+#include <iostream>
+
+#include "common/bench_support.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace chaos;
+
+int
+main()
+{
+    const CampaignConfig config = bench::paperCampaignConfig();
+    std::cout << "== Table III: DRE vs rMSE vs %Err (mobile and "
+                 "embedded clusters) ==\n\n";
+
+    TextTable table({"Workload", "Core2 rMSE", "Core2 %Err",
+                     "Core2 DRE", "Atom rMSE", "Atom %Err",
+                     "Atom DRE"});
+
+    ClusterCampaign core2 =
+        bench::campaignFor(MachineClass::Core2, config);
+    bench::dropRawRuns(core2);
+    ClusterCampaign atom =
+        bench::campaignFor(MachineClass::Atom, config);
+    bench::dropRawRuns(atom);
+
+    auto evaluate = [&config](const ClusterCampaign &campaign,
+                              const std::string &workload) {
+        const Dataset slice = campaign.data.filterWorkload(workload);
+        return evaluateTechnique(
+            slice, clusterFeatureSet(campaign.selection),
+            ModelType::Quadratic, campaign.envelopes,
+            config.evaluation);
+    };
+
+    for (const auto &workload : standardWorkloadNames()) {
+        const auto c2 = evaluate(core2, workload);
+        const auto at = evaluate(atom, workload);
+        table.addRow({workload, formatDouble(c2.avgRmse, 2),
+                      bench::pct(c2.avgPctErr), bench::pct(c2.avgDre),
+                      formatDouble(at.avgRmse, 2),
+                      bench::pct(at.avgPctErr),
+                      bench::pct(at.avgDre)});
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nShape check (paper Table III): the Atom's percent "
+           "error is small (its 22-26 W\nenvelope is mostly static "
+           "power) while its DRE is several times larger — the\n"
+           "metric the paper introduces is the one that exposes how "
+           "much of the DYNAMIC\nbehaviour the model explains.\n";
+    return 0;
+}

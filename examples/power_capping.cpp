@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Model-based power capping — one of the paper's motivating
+ * applications (Section I / V-D).
+ *
+ * A cluster operator enforces a power cap without per-machine meters
+ * by using CHAOS model estimates. The example:
+ *
+ *  1. trains a cluster model during a characterization campaign,
+ *  2. measures the model's residual spread on held-out runs to size
+ *     the guard band (inaccurate models => conservative caps =>
+ *     stranded power, exactly the paper's argument),
+ *  3. replays a workload against a cap and reports how often the
+ *     model-driven throttle fires and how much headroom the guard
+ *     band strands.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "core/capping.hpp"
+#include "core/chaos.hpp"
+#include "stats/descriptive.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "workloads/standard_workloads.hpp"
+
+using namespace chaos;
+
+int
+main()
+{
+    CampaignConfig config;
+    config.runsPerWorkload = 3;
+    config.seed = 1001;
+
+    std::cout << "== CHAOS power capping on an Athlon cluster ==\n\n";
+    ClusterCampaign campaign =
+        runClusterCampaign(MachineClass::Athlon, config);
+    MachinePowerModel model = fitDefaultModel(campaign, config);
+
+    // --- Guard band from held-out residuals. ---
+    Cluster holdout = Cluster::homogeneous(
+        MachineClass::Athlon, config.numMachines, 777);
+    SortWorkload sort_workload;
+    RunResult validation =
+        runWorkload(holdout, sort_workload, 4242, 0, config.run);
+
+    std::vector<double> residuals;
+    for (const auto &records : validation.machineRecords) {
+        for (const auto &record : records) {
+            residuals.push_back(
+                record.measuredPowerW -
+                model.predictFromCatalogRow(record.counters));
+        }
+    }
+    const GuardBand band = GuardBand::fromResiduals(residuals, 3.0);
+    std::cout << "model residuals on a held-out run: bias "
+              << formatDouble(band.biasW(), 2) << " W, sd "
+              << formatDouble(band.sigmaW(), 2) << " W\n";
+    std::cout << "cluster guard band (3 sigma, " << config.numMachines
+              << " machines, noise adds in quadrature): "
+              << formatDouble(band.clusterW(config.numMachines), 1)
+              << " W\n\n";
+
+    // --- Enforce a cap on a fresh Prime run. ---
+    const double cap_w = 480.0;  // Rack budget for these 5 machines.
+    PowerCapController controller(cap_w, band, config.numMachines);
+    const double throttle_at = controller.thresholdW();
+    std::cout << "cap " << formatDouble(cap_w, 0)
+              << " W, model-driven throttle threshold "
+              << formatDouble(throttle_at, 0) << " W\n\n";
+
+    Cluster prod = Cluster::homogeneous(MachineClass::Athlon,
+                                        config.numMachines, 888);
+    PrimeWorkload prime;
+    RunResult run = runWorkload(prod, prime, 5151, 0, config.run);
+
+    size_t violation_seconds = 0;
+    const size_t length = run.machineRecords[0].size();
+    for (size_t t = 0; t < length; ++t) {
+        double estimated = 0.0, actual = 0.0;
+        for (const auto &records : run.machineRecords) {
+            estimated +=
+                model.predictFromCatalogRow(records[t].counters);
+            actual += records[t].measuredPowerW;
+        }
+        controller.evaluate(estimated);
+        if (actual > cap_w)
+            ++violation_seconds;
+    }
+
+    TextTable table({"Metric", "Value"});
+    table.addRow({"run length", std::to_string(length) + " s"});
+    table.addRow({"seconds the model would throttle",
+                  std::to_string(controller.throttleSeconds())});
+    table.addRow({"actual cap violations (metered)",
+                  std::to_string(violation_seconds)});
+    table.addRow({"stranded capacity (cap - threshold)",
+                  formatDouble(controller.meanStrandedW(), 1) + " W"});
+    std::cout << table.render();
+
+    std::cout << "\nThe tighter the model (smaller guard band), the "
+                 "less power is stranded —\nthe paper's argument for "
+                 "chasing accuracy in model-based capping.\n";
+    return 0;
+}

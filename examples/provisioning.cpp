@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Power provisioning — the paper's data-center planning motivation.
+ *
+ * How many servers fit in a rack with a fixed power budget? Sizing
+ * by nameplate (worst-case envelope) strands capacity; sizing by a
+ * CHAOS model of the *actual workload mix* deploys more machines.
+ * This example quantifies the difference for each platform using
+ * model-predicted peak power over the standard workload mix.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "core/chaos.hpp"
+#include "stats/descriptive.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace chaos;
+
+int
+main()
+{
+    const double rack_budget_w = 5000.0;
+
+    CampaignConfig config;
+    config.runsPerWorkload = 2;
+    config.numMachines = 3;
+    config.run.durationScale = 0.5;
+    config.seed = 2002;
+
+    std::cout << "== Rack provisioning with CHAOS models (budget "
+              << formatDouble(rack_budget_w, 0) << " W) ==\n\n";
+
+    TextTable table({"Platform", "Nameplate (W)",
+                     "Modeled P99 (W)", "Servers by nameplate",
+                     "Servers by model", "Extra capacity"});
+
+    for (MachineClass mc :
+         {MachineClass::Core2, MachineClass::Athlon,
+          MachineClass::Opteron, MachineClass::XeonSas}) {
+        const MachineSpec spec = machineSpecFor(mc);
+        ClusterCampaign campaign = runClusterCampaign(mc, config);
+        MachinePowerModel model = fitDefaultModel(campaign, config);
+
+        // Model-predicted per-machine power across the whole
+        // campaign; provision against its 99th percentile.
+        std::vector<double> predicted;
+        for (size_t r = 0; r < campaign.data.numRows(); ++r) {
+            predicted.push_back(model.predictFromCatalogRow(
+                campaign.data.features().row(r)));
+        }
+        const double p99 = quantile(predicted, 0.99);
+
+        const auto by_nameplate = static_cast<size_t>(
+            rack_budget_w / spec.maxPowerW);
+        const auto by_model =
+            static_cast<size_t>(rack_budget_w / p99);
+        const double extra =
+            by_nameplate > 0
+                ? 100.0 *
+                      (static_cast<double>(by_model) /
+                           static_cast<double>(by_nameplate) -
+                       1.0)
+                : 0.0;
+
+        table.addRow({spec.name, formatDouble(spec.maxPowerW, 0),
+                      formatDouble(p99, 1),
+                      std::to_string(by_nameplate),
+                      std::to_string(by_model),
+                      "+" + formatDouble(extra, 0) + "%"});
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nWorkloads rarely pin every component at once, so the "
+           "modeled P99 sits below\nthe nameplate envelope — the "
+           "provisioning headroom the paper's introduction\n"
+           "motivates (power infrastructure is ~80% of facility "
+           "cost).\n";
+    return 0;
+}

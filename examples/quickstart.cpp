@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: the whole CHAOS pipeline on one mobile-class cluster.
+ *
+ * Builds a 5-machine Core 2 Duo cluster, runs the four MapReduce-style
+ * workloads, selects features with Algorithm 1, fits the quadratic
+ * cluster model, and reports cross-validated accuracy — then deploys
+ * the model online against a fresh, never-seen run.
+ */
+#include <iostream>
+
+#include "core/chaos.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "workloads/standard_workloads.hpp"
+
+using namespace chaos;
+
+int
+main()
+{
+    CampaignConfig config;
+    config.runsPerWorkload = 3;     // Keep the demo quick.
+    config.seed = 42;
+
+    std::cout << "== CHAOS quickstart: Core 2 Duo cluster ==\n\n";
+    std::cout << "collecting traces (4 workloads x "
+              << config.runsPerWorkload << " runs x "
+              << config.numMachines << " machines)...\n";
+
+    ClusterCampaign campaign =
+        runClusterCampaign(MachineClass::Core2, config);
+
+    std::cout << "dataset: " << campaign.data.numRows()
+              << " machine-seconds, " << campaign.data.numFeatures()
+              << " counters in the catalog\n\n";
+
+    std::cout << "Algorithm 1 funnel: " << campaign.selection.catalogSize
+              << " -> " << campaign.selection.afterConstantDrop
+              << " (non-constant) -> "
+              << campaign.selection.afterCorrelation
+              << " (decorrelated) -> "
+              << campaign.selection.afterCoDependency
+              << " (co-dependency) -> "
+              << campaign.selection.selected.size()
+              << " cluster features\n\nselected counters:\n";
+    for (const auto &name : campaign.selection.selected)
+        std::cout << "  " << name << "\n";
+
+    // Cross-validated accuracy of the quadratic cluster model.
+    const FeatureSet features = clusterFeatureSet(campaign.selection);
+    const EvaluationOutcome outcome = evaluateTechnique(
+        campaign.data, features, ModelType::Quadratic,
+        campaign.envelopes, config.evaluation);
+
+    std::cout << "\nquadratic model, cluster features ("
+              << features.counters.size() << " counters):\n";
+    std::cout << "  avg machine DRE : "
+              << formatPercent(outcome.avgDre, 1) << "\n";
+    std::cout << "  avg rMSE        : "
+              << formatDouble(outcome.avgRmse, 2) << " W\n";
+    std::cout << "  median rel err  : "
+              << formatPercent(outcome.medianRelErr, 2) << "\n";
+
+    // Deploy the pooled model online against a brand-new run.
+    MachinePowerModel deployed = fitDefaultModel(campaign, config);
+    OnlinePowerEstimator estimator(deployed);
+
+    Cluster fresh = Cluster::homogeneous(MachineClass::Core2, 1, 777);
+    SortWorkload sort_workload;
+    RunResult run =
+        runWorkload(fresh, sort_workload, 999, 0, config.run);
+    for (const auto &record : run.machineRecords[0]) {
+        estimator.estimateWithReference(record.counters,
+                                        record.measuredPowerW);
+    }
+    std::cout << "\nonline deployment on an unseen Sort run ("
+              << estimator.samples() << " s):\n";
+    std::cout << "  mean estimate   : "
+              << formatDouble(estimator.meanEstimateW(), 1) << " W\n";
+    std::cout << "  residual mean   : "
+              << formatDouble(estimator.residuals().mean(), 2)
+              << " W, sd "
+              << formatDouble(estimator.residuals().stddev(), 2)
+              << " W\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Train once, deploy everywhere: the characterization/production
+ * split the paper describes ("this process can be incorporated into
+ * the normal system evaluation and characterization phase").
+ *
+ * Phase 1 (characterization lab): instrument a small cluster, run
+ * the campaign, fit the model, and persist it to disk.
+ *
+ * Phase 2 (production, typically a different process/machine):
+ * reload the model file and estimate power for uninstrumented
+ * machines from their counters alone, then use the estimates for a
+ * power-aware scheduling decision (placing work on the machine with
+ * the most power headroom).
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "core/chaos.hpp"
+#include "models/serialize.hpp"
+#include "oscounters/etw_session.hpp"
+#include "util/string_utils.hpp"
+#include "workloads/standard_workloads.hpp"
+
+using namespace chaos;
+
+int
+main()
+{
+    const std::string model_path = "/tmp/chaos_core2_model.txt";
+
+    // ----- Phase 1: characterization. -----
+    std::cout << "== Phase 1: characterize and persist ==\n";
+    CampaignConfig config;
+    config.runsPerWorkload = 2;
+    config.numMachines = 3;
+    config.seed = 6006;
+    ClusterCampaign campaign =
+        runClusterCampaign(MachineClass::Core2, config);
+    const MachinePowerModel trained =
+        fitDefaultModel(campaign, config);
+    saveModelFile(model_path, trained.model());
+    std::cout << "model written to " << model_path << " ("
+              << trained.featureSet().counters.size()
+              << " counters, "
+              << trained.model().numParameters() << " parameters)\n\n";
+
+    // ----- Phase 2: production deployment. -----
+    std::cout << "== Phase 2: reload and schedule ==\n";
+    const auto reloaded = loadModelFile(model_path);
+
+    // Two uninstrumented production machines under different loads.
+    Cluster prod = Cluster::homogeneous(MachineClass::Core2, 2, 7331);
+    CounterSampler sampler_a(prod.machine(0).spec(), Rng(1));
+    CounterSampler sampler_b(prod.machine(1).spec(), Rng(2));
+
+    ActivityDemand heavy;
+    heavy.cpuCoreSeconds = 1.8;
+    heavy.memIntensity = 0.6;
+    ActivityDemand light;
+    light.cpuCoreSeconds = 0.3;
+
+    double est_a = 0.0, est_b = 0.0;
+    for (int t = 0; t < 30; ++t) {
+        const auto state_a = prod.machine(0).step(heavy).state;
+        const auto state_b = prod.machine(1).step(light).state;
+        auto project = [&](const std::vector<double> &counters) {
+            std::vector<double> row;
+            const auto &catalog = CounterCatalog::instance();
+            for (const auto &name : trained.featureSet().counters)
+                row.push_back(counters[catalog.indexOf(name)]);
+            return row;
+        };
+        est_a = reloaded->predict(project(sampler_a.sample(state_a)));
+        est_b = reloaded->predict(project(sampler_b.sample(state_b)));
+    }
+
+    const double cap = machineSpecFor(MachineClass::Core2).maxPowerW;
+    std::cout << "machine A estimate: " << formatDouble(est_a, 1)
+              << " W (headroom " << formatDouble(cap - est_a, 1)
+              << " W)\n";
+    std::cout << "machine B estimate: " << formatDouble(est_b, 1)
+              << " W (headroom " << formatDouble(cap - est_b, 1)
+              << " W)\n";
+    std::cout << "power-aware scheduler places the next task on machine "
+              << (cap - est_a > cap - est_b ? "A" : "B") << "\n";
+
+    std::remove(model_path.c_str());
+    return 0;
+}

@@ -1,0 +1,462 @@
+#include "cli/cli.hpp"
+
+#include <iostream>
+#include <map>
+#include <set>
+#include <optional>
+
+#include "core/chaos.hpp"
+#include "core/model_store.hpp"
+#include "oscounters/counter_catalog.hpp"
+#include "oscounters/etw_session.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/metrics.hpp"
+#include "trace/trace_io.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace chaos {
+
+namespace {
+
+/** Parsed flags: positionals plus --key value pairs. */
+struct ParsedArgs
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    std::string flagOr(const std::string &key,
+                       const std::string &fallback) const
+    {
+        const auto it = flags.find(key);
+        return it != flags.end() ? it->second : fallback;
+    }
+};
+
+/** Split args into positionals and --key value flags. */
+std::optional<ParsedArgs>
+parseArgs(const std::vector<std::string> &args, std::ostream &err)
+{
+    ParsedArgs parsed;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (startsWith(args[i], "--")) {
+            if (i + 1 >= args.size()) {
+                err << "error: flag " << args[i]
+                    << " needs a value\n";
+                return std::nullopt;
+            }
+            parsed.flags[args[i].substr(2)] = args[i + 1];
+            ++i;
+        } else {
+            parsed.positional.push_back(args[i]);
+        }
+    }
+    return parsed;
+}
+
+ModelType
+modelTypeFromString(const std::string &name, std::ostream &err,
+                    bool &ok)
+{
+    ok = true;
+    if (name == "linear")
+        return ModelType::Linear;
+    if (name == "piecewise")
+        return ModelType::PiecewiseLinear;
+    if (name == "quadratic")
+        return ModelType::Quadratic;
+    if (name == "switching")
+        return ModelType::Switching;
+    err << "error: unknown model type '" << name
+        << "' (linear|piecewise|quadratic|switching)\n";
+    ok = false;
+    return ModelType::Linear;
+}
+
+int
+cmdHelp(std::ostream &out)
+{
+    out << "chaos — OS-counter power models (CHAOS, IISWC 2012)\n\n"
+        << "subcommands:\n"
+        << "  list-platforms                     supported machine "
+           "classes\n"
+        << "  list-counters [--category C]       the counter catalog\n"
+        << "  probe <platform>                   idle/max power of "
+           "one machine\n"
+        << "  collect <platform> --out F.csv     run the workload "
+           "campaign, save dataset\n"
+        << "      [--machines N] [--runs N] [--seed S] [--scale F]\n"
+        << "  select <data.csv>                  run Algorithm 1 "
+           "feature selection\n"
+        << "  train <data.csv> --out model.txt   fit a deployable "
+           "model\n"
+        << "      [--type T] [--features \"a;b\"] [--seed S]\n"
+        << "  evaluate <data.csv>                cross-validated "
+           "accuracy\n"
+        << "      [--type T] [--folds K] [--seed S]\n"
+        << "  predict <model.txt> <data.csv>     apply a saved model\n"
+        << "  report <data.csv>                  markdown dataset "
+           "summary\n";
+    return 0;
+}
+
+int
+cmdListPlatforms(std::ostream &out)
+{
+    TextTable table({"Platform", "Cores", "P-states", "Disks",
+                     "Power range (W)"});
+    for (MachineClass mc : extendedMachineClasses()) {
+        const MachineSpec spec = machineSpecFor(mc);
+        table.addRow({spec.name, std::to_string(spec.numCores),
+                      std::to_string(spec.pStatesMhz.size()),
+                      std::to_string(spec.numDisks),
+                      formatDouble(spec.idlePowerW, 0) + "-" +
+                          formatDouble(spec.maxPowerW, 0)});
+    }
+    out << table.render();
+    return 0;
+}
+
+int
+cmdListCounters(const ParsedArgs &args, std::ostream &out,
+                std::ostream &err)
+{
+    const std::string wanted = args.flagOr("category", "");
+    const auto &catalog = CounterCatalog::instance();
+    size_t shown = 0;
+    for (const auto &def : catalog.all()) {
+        const std::string category =
+            counterCategoryName(def.category);
+        if (!wanted.empty() && toLower(category) != toLower(wanted))
+            continue;
+        out << category << "\t" << def.name << "\n";
+        ++shown;
+    }
+    if (shown == 0) {
+        err << "error: no counters in category '" << wanted << "'\n";
+        return 2;
+    }
+    out << "(" << shown << " counters)\n";
+    return 0;
+}
+
+int
+cmdProbe(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() != 2) {
+        err << "usage: chaos probe <platform>\n";
+        return 2;
+    }
+    const MachineClass mc = machineClassFromName(args.positional[1]);
+    const MachineSpec spec = machineSpecFor(mc);
+
+    Machine machine(spec, 0, 12345);
+    PowerMeter meter{Rng(54321)};
+    EtwSession session(machine, meter, 99);
+
+    RunningStats idle;
+    for (int t = 0; t < 30; ++t) {
+        const auto &record = session.tick(ActivityDemand{});
+        if (t >= 10)
+            idle.add(record.measuredPowerW);
+    }
+    ActivityDemand full;
+    full.cpuCoreSeconds = static_cast<double>(spec.numCores);
+    full.diskReadBytes = spec.numDisks * spec.diskBandwidthMBs * 1e6;
+    full.netRxBytes = 125e6;
+    full.netTxBytes = 125e6;
+    full.memIntensity = 1.0;
+    RunningStats busy;
+    for (int t = 0; t < 30; ++t) {
+        const auto &record = session.tick(full);
+        if (t >= 10)
+            busy.add(record.measuredPowerW);
+    }
+    out << spec.name << ": idle " << formatDouble(idle.mean(), 1)
+        << " W, max " << formatDouble(busy.mean(), 1)
+        << " W (spec " << formatDouble(spec.idlePowerW, 0) << "-"
+        << formatDouble(spec.maxPowerW, 0) << " W)\n";
+    return 0;
+}
+
+int
+cmdCollect(const ParsedArgs &args, std::ostream &out,
+           std::ostream &err)
+{
+    if (args.positional.size() != 2 || !args.flags.count("out")) {
+        err << "usage: chaos collect <platform> --out <data.csv>\n";
+        return 2;
+    }
+    CampaignConfig config;
+    config.numMachines = static_cast<size_t>(
+        std::stoul(args.flagOr("machines", "5")));
+    config.runsPerWorkload = static_cast<size_t>(
+        std::stoul(args.flagOr("runs", "5")));
+    config.seed = std::stoull(args.flagOr("seed", "2012"));
+    config.run.durationScale = std::stod(args.flagOr("scale", "1.0"));
+
+    const MachineClass mc = machineClassFromName(args.positional[1]);
+    out << "collecting " << machineClassName(mc) << " x"
+        << config.numMachines << ", 4 workloads x "
+        << config.runsPerWorkload << " runs...\n";
+    const ClusterCampaign campaign = collectClusterData(mc, config);
+    saveDataset(args.flags.at("out"), campaign.data);
+    out << "wrote " << campaign.data.numRows() << " machine-seconds x "
+        << campaign.data.numFeatures() << " counters to "
+        << args.flags.at("out") << "\n";
+    return 0;
+}
+
+int
+cmdSelect(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() != 2) {
+        err << "usage: chaos select <data.csv>\n";
+        return 2;
+    }
+    const Dataset data = loadDataset(args.positional[1]);
+    FeatureSelectionConfig config;
+    Rng rng(std::stoull(args.flagOr("seed", "1")));
+    const FeatureSelectionResult selection =
+        selectClusterFeatures(data, config, rng);
+
+    out << "funnel: " << selection.catalogSize << " -> "
+        << selection.afterConstantDrop << " -> "
+        << selection.afterCorrelation << " -> "
+        << selection.afterCoDependency << " -> "
+        << selection.selected.size() << " (threshold "
+        << selection.finalThreshold << ")\n";
+    for (const auto &name : selection.selected)
+        out << "  " << name << "\n";
+    return 0;
+}
+
+/** Resolve the feature set for train/evaluate. */
+FeatureSet
+featureSetFor(const ParsedArgs &args, const Dataset &data,
+              std::ostream &out)
+{
+    const std::string explicit_features =
+        args.flagOr("features", "");
+    if (!explicit_features.empty()) {
+        FeatureSet set{"custom", {}};
+        for (const auto &name : split(explicit_features, ';')) {
+            const std::string trimmed = trim(name);
+            if (!trimmed.empty())
+                set.counters.push_back(trimmed);
+        }
+        return set;
+    }
+    out << "running Algorithm 1 feature selection...\n";
+    FeatureSelectionConfig config;
+    Rng rng(std::stoull(args.flagOr("seed", "1")));
+    return clusterFeatureSet(selectClusterFeatures(data, config, rng));
+}
+
+int
+cmdTrain(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() != 2 || !args.flags.count("out")) {
+        err << "usage: chaos train <data.csv> --out <model.txt>\n";
+        return 2;
+    }
+    bool ok = true;
+    const ModelType type = modelTypeFromString(
+        args.flagOr("type", "quadratic"), err, ok);
+    if (!ok)
+        return 2;
+
+    const Dataset data = loadDataset(args.positional[1]);
+    const FeatureSet features = featureSetFor(args, data, out);
+    const MachinePowerModel model =
+        MachinePowerModel::fit(data, features, type, MarsConfig());
+    saveMachineModelFile(args.flags.at("out"), model);
+    out << "trained " << modelTypeName(type) << " model on "
+        << features.counters.size() << " counters ("
+        << model.model().numParameters() << " parameters) -> "
+        << args.flags.at("out") << "\n";
+    return 0;
+}
+
+int
+cmdEvaluate(const ParsedArgs &args, std::ostream &out,
+            std::ostream &err)
+{
+    if (args.positional.size() != 2) {
+        err << "usage: chaos evaluate <data.csv>\n";
+        return 2;
+    }
+    bool ok = true;
+    const ModelType type = modelTypeFromString(
+        args.flagOr("type", "quadratic"), err, ok);
+    if (!ok)
+        return 2;
+
+    const Dataset data = loadDataset(args.positional[1]);
+    const FeatureSet features = featureSetFor(args, data, out);
+
+    // DRE denominators from the observed per-machine power range.
+    EnvelopeMap envelopes;
+    std::map<int, std::pair<double, double>> ranges;
+    for (size_t r = 0; r < data.numRows(); ++r) {
+        auto &range = ranges
+                          .try_emplace(data.machineIds()[r],
+                                       1e300, -1e300)
+                          .first->second;
+        range.first = std::min(range.first, data.powerW()[r]);
+        range.second = std::max(range.second, data.powerW()[r]);
+    }
+    for (const auto &[machine, range] : ranges)
+        envelopes[machine] = {range.first, range.second};
+
+    EvaluationConfig config;
+    config.folds = static_cast<size_t>(
+        std::stoul(args.flagOr("folds", "5")));
+    config.seed = std::stoull(args.flagOr("seed", "12345"));
+    const EvaluationOutcome outcome =
+        evaluateTechnique(data, features, type, envelopes, config);
+    if (!outcome.valid) {
+        err << "error: model/feature combination is undefined for "
+               "this dataset\n";
+        return 2;
+    }
+    out << modelTypeName(type) << " on "
+        << features.counters.size() << " counters, "
+        << outcome.foldsRun << " folds:\n"
+        << "  avg machine DRE (observed range): "
+        << formatPercent(outcome.avgDre, 1) << "\n"
+        << "  avg rMSE: " << formatDouble(outcome.avgRmse, 2)
+        << " W\n"
+        << "  median relative error: "
+        << formatPercent(outcome.medianRelErr, 2) << "\n"
+        << "  R^2: " << formatDouble(outcome.r2, 3) << "\n";
+    return 0;
+}
+
+int
+cmdPredict(const ParsedArgs &args, std::ostream &out,
+           std::ostream &err)
+{
+    if (args.positional.size() != 3) {
+        err << "usage: chaos predict <model.txt> <data.csv>\n";
+        return 2;
+    }
+    const MachinePowerModel model =
+        loadMachineModelFile(args.positional[1]);
+    const Dataset data = loadDataset(args.positional[2]);
+
+    std::vector<double> estimates;
+    estimates.reserve(data.numRows());
+    for (size_t r = 0; r < data.numRows(); ++r) {
+        estimates.push_back(
+            model.predictFromCatalogRow(data.features().row(r)));
+    }
+    const auto &metered = data.powerW();
+    out << "predicted " << estimates.size() << " samples\n";
+    out << "  mean estimate: "
+        << formatDouble(mean(estimates), 2) << " W (metered "
+        << formatDouble(mean(metered), 2) << " W)\n";
+    out << "  rMSE vs meter: "
+        << formatDouble(rootMeanSquaredError(estimates, metered), 2)
+        << " W\n";
+    out << "  median relative error: "
+        << formatPercent(medianRelativeError(estimates, metered), 2)
+        << "\n";
+    return 0;
+}
+
+int
+cmdReport(const ParsedArgs &args, std::ostream &out,
+          std::ostream &err)
+{
+    if (args.positional.size() != 2) {
+        err << "usage: chaos report <data.csv>\n";
+        return 2;
+    }
+    const Dataset data = loadDataset(args.positional[1]);
+    if (data.numRows() == 0) {
+        err << "error: empty dataset\n";
+        return 2;
+    }
+
+    out << "# CHAOS dataset report\n\n";
+    out << "- samples: " << data.numRows() << " machine-seconds\n";
+    out << "- counters: " << data.numFeatures() << "\n";
+    std::set<int> machines(data.machineIds().begin(),
+                           data.machineIds().end());
+    std::set<int> runs(data.runIds().begin(), data.runIds().end());
+    out << "- machines: " << machines.size() << ", runs: "
+        << runs.size() << "\n\n";
+
+    out << "| workload | samples | min W | mean W | max W | "
+           "energy/run (kJ) |\n";
+    out << "|---|---|---|---|---|---|\n";
+    for (const auto &workload : data.workloadNames()) {
+        std::vector<double> watts;
+        std::set<int> workload_runs;
+        for (size_t r = 0; r < data.numRows(); ++r) {
+            if (data.workloadNames()[data.workloadIds()[r]] ==
+                workload) {
+                watts.push_back(data.powerW()[r]);
+                workload_runs.insert(data.runIds()[r]);
+            }
+        }
+        if (watts.empty())
+            continue;
+        double total = 0.0;
+        for (double w : watts)
+            total += w;
+        out << "| " << workload << " | " << watts.size() << " | "
+            << formatDouble(minValue(watts), 1) << " | "
+            << formatDouble(total / watts.size(), 1) << " | "
+            << formatDouble(maxValue(watts), 1) << " | "
+            << formatDouble(total / 1000.0 /
+                                static_cast<double>(
+                                    workload_runs.size()),
+                            1)
+            << " |\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    if (args.empty() || args[0] == "help" || args[0] == "--help")
+        return cmdHelp(out);
+
+    const auto parsed = parseArgs(args, err);
+    if (!parsed)
+        return 2;
+
+    const std::string &command = parsed->positional.empty()
+                                     ? args[0]
+                                     : parsed->positional[0];
+    if (command == "list-platforms")
+        return cmdListPlatforms(out);
+    if (command == "list-counters")
+        return cmdListCounters(*parsed, out, err);
+    if (command == "probe")
+        return cmdProbe(*parsed, out, err);
+    if (command == "collect")
+        return cmdCollect(*parsed, out, err);
+    if (command == "select")
+        return cmdSelect(*parsed, out, err);
+    if (command == "train")
+        return cmdTrain(*parsed, out, err);
+    if (command == "evaluate")
+        return cmdEvaluate(*parsed, out, err);
+    if (command == "predict")
+        return cmdPredict(*parsed, out, err);
+    if (command == "report")
+        return cmdReport(*parsed, out, err);
+
+    err << "error: unknown subcommand '" << command
+        << "' (try 'chaos help')\n";
+    return 2;
+}
+
+} // namespace chaos

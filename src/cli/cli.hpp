@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The `chaos` command-line interface.
+ *
+ * Wraps the library's pipeline in subcommands so the full
+ * collect -> select -> train -> evaluate -> predict flow can be
+ * driven from a shell, with datasets and models persisted as files:
+ *
+ *   chaos list-platforms
+ *   chaos list-counters [--category <name>]
+ *   chaos probe <platform>
+ *   chaos collect <platform> --out data.csv [--machines N]
+ *       [--runs N] [--seed S] [--scale F]
+ *   chaos select data.csv
+ *   chaos train data.csv --out model.txt [--type quadratic]
+ *       [--features "a;b;c"] [--seed S]
+ *   chaos evaluate data.csv [--type quadratic] [--folds K] [--seed S]
+ *   chaos predict model.txt data.csv
+ *
+ * Implemented as a library function so tests can drive it directly.
+ */
+#ifndef CHAOS_CLI_CLI_HPP
+#define CHAOS_CLI_CLI_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chaos {
+
+/**
+ * Run one CLI invocation.
+ *
+ * @param args Arguments EXCLUDING the program name.
+ * @param out Stream for normal output.
+ * @param err Stream for usage errors and diagnostics.
+ * @return Process exit code (0 success, 2 usage error).
+ */
+int runCli(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
+
+} // namespace chaos
+
+#endif // CHAOS_CLI_CLI_HPP

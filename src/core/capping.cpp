@@ -1,0 +1,72 @@
+#include "core/capping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+GuardBand
+GuardBand::fromResiduals(const std::vector<double> &residualsW,
+                         double sigmas)
+{
+    fatalIf(residualsW.size() < 10,
+            "GuardBand needs at least 10 validation residuals");
+    fatalIf(sigmas <= 0.0, "GuardBand needs positive sigmas");
+
+    GuardBand band;
+    band.bias = mean(residualsW);
+    band.sigma = stddev(residualsW);
+    // A positive bias means the model UNDER-estimates power; the
+    // band must absorb it. Negative bias (over-estimation) is
+    // already conservative and is not credited back.
+    band.widthW = std::max(0.0, band.bias) + sigmas * band.sigma;
+    return band;
+}
+
+double
+GuardBand::clusterW(size_t machines) const
+{
+    panicIf(machines == 0, "GuardBand::clusterW with zero machines");
+    const double n = static_cast<double>(machines);
+    // Bias adds linearly; independent noise adds in quadrature.
+    return std::max(0.0, bias) * n +
+           (widthW - std::max(0.0, bias)) * std::sqrt(n);
+}
+
+PowerCapController::PowerCapController(double capW,
+                                       const GuardBand &band,
+                                       size_t machines)
+    : cap(capW), threshold(capW - band.clusterW(machines))
+{
+    fatalIf(capW <= 0.0, "PowerCapController needs a positive cap");
+    fatalIf(threshold <= 0.0,
+            "guard band leaves no usable capacity under the cap");
+}
+
+CapDecision
+PowerCapController::evaluate(double estimatedClusterW)
+{
+    stats.add(estimatedClusterW);
+
+    CapDecision decision;
+    decision.estimatedW = estimatedClusterW;
+    decision.thresholdW = threshold;
+    decision.throttle = estimatedClusterW > threshold;
+    decision.headroomW =
+        std::max(0.0, threshold - estimatedClusterW);
+    if (decision.throttle)
+        ++throttles;
+    return decision;
+}
+
+double
+PowerCapController::meanStrandedW() const
+{
+    // Capacity between the throttle threshold and the cap can never
+    // be used, regardless of load.
+    return cap - threshold;
+}
+
+} // namespace chaos

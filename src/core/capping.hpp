@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Model-based power capping support (paper Section V-D).
+ *
+ * "In model-based power capping, inaccurate models would result in
+ * more conservative power caps and therefore would strand power."
+ * This module turns that observation into an API: size a guard band
+ * from a model's validation residuals, then drive a cap controller
+ * from online estimates. The guard band is the quantitative link
+ * between model accuracy (DRE) and stranded capacity.
+ */
+#ifndef CHAOS_CORE_CAPPING_HPP
+#define CHAOS_CORE_CAPPING_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cluster_model.hpp"
+#include "stats/descriptive.hpp"
+
+namespace chaos {
+
+/** Guard band derived from model validation residuals. */
+class GuardBand
+{
+  public:
+    /**
+     * Size a guard band from validation residuals (metered minus
+     * estimated watts) so that the cap is exceeded with probability
+     * ~alpha per sample under a normal residual approximation.
+     *
+     * @param residualsW Per-second validation residuals, watts.
+     * @param sigmas Width in residual standard deviations
+     *        (3 => ~0.1% per-sample exceedance).
+     */
+    static GuardBand fromResiduals(const std::vector<double> &residualsW,
+                                   double sigmas = 3.0);
+
+    /** Guard band width for one machine, watts. */
+    double perMachineW() const { return widthW; }
+
+    /**
+     * Guard band for a cluster of @p machines machines. Residuals
+     * across machines are treated as independent, so the cluster
+     * band grows with sqrt(N), not N — one of the practical payoffs
+     * of composing per-machine models (Eq. 5).
+     */
+    double clusterW(size_t machines) const;
+
+    /** Residual bias (mean) that was folded into the band. */
+    double biasW() const { return bias; }
+
+    /** Residual standard deviation the band was derived from. */
+    double sigmaW() const { return sigma; }
+
+  private:
+    double widthW = 0.0;
+    double bias = 0.0;
+    double sigma = 0.0;
+};
+
+/** Decision of the cap controller for one second. */
+struct CapDecision
+{
+    double estimatedW = 0.0;    ///< Model estimate, cluster watts.
+    double thresholdW = 0.0;    ///< Cap minus guard band.
+    bool throttle = false;      ///< Estimate crossed the threshold.
+    double headroomW = 0.0;     ///< Threshold minus estimate (>= 0
+                                ///< when not throttling).
+};
+
+/**
+ * Cap controller: compares model estimates of cluster power against
+ * a cap with a guard band, and tracks how much capacity the band
+ * strands over time.
+ */
+class PowerCapController
+{
+  public:
+    /**
+     * @param capW Contractual power cap, cluster watts.
+     * @param band Guard band (per machine).
+     * @param machines Machines under the cap.
+     */
+    PowerCapController(double capW, const GuardBand &band,
+                       size_t machines);
+
+    /** Evaluate one second of estimated cluster power. */
+    CapDecision evaluate(double estimatedClusterW);
+
+    /** Cap watts. */
+    double capW() const { return cap; }
+    /** Throttle threshold (cap minus the cluster guard band). */
+    double thresholdW() const { return threshold; }
+    /** Seconds evaluated so far. */
+    size_t seconds() const { return stats.count(); }
+    /** Seconds the controller chose to throttle. */
+    size_t throttleSeconds() const { return throttles; }
+    /**
+     * Mean stranded power: headroom between the estimate and the
+     * cap that the guard band forbids using, watts.
+     */
+    double meanStrandedW() const;
+
+  private:
+    double cap;
+    double threshold;
+    size_t throttles = 0;
+    RunningStats stats;         ///< Of estimated cluster power.
+};
+
+} // namespace chaos
+
+#endif // CHAOS_CORE_CAPPING_HPP

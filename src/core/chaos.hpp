@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the CHAOS library.
+ *
+ * CHAOS (Composable Highly Accurate OS-based power models, Davis et
+ * al., IISWC 2012) builds full-system power models from OS-level
+ * performance counters only. The typical flow is:
+ *
+ * @code
+ *   using namespace chaos;
+ *   CampaignConfig config;
+ *   auto campaign = runClusterCampaign(MachineClass::Core2, config);
+ *   auto model = fitDefaultModel(campaign, config);
+ *   double watts = model.predictFromCatalogRow(counterVector);
+ * @endcode
+ */
+#ifndef CHAOS_CORE_CHAOS_HPP
+#define CHAOS_CORE_CHAOS_HPP
+
+#include "core/cluster_model.hpp"
+#include "core/evaluation.hpp"
+#include "core/feature_selection.hpp"
+#include "core/feature_sets.hpp"
+#include "core/framework.hpp"
+#include "core/online.hpp"
+#include "core/sweep.hpp"
+
+#endif // CHAOS_CORE_CHAOS_HPP

@@ -1,0 +1,95 @@
+#include "core/cluster_model.hpp"
+
+#include "oscounters/counter_catalog.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+MachinePowerModel
+MachinePowerModel::fit(const Dataset &data, const FeatureSet &featureSet,
+                       ModelType type, const MarsConfig &mars)
+{
+    MachinePowerModel out;
+    out.features = featureSet;
+    const auto &catalog = CounterCatalog::instance();
+    for (const auto &name : featureSet.counters)
+        out.catalogIndices.push_back(catalog.indexOf(name));
+    out.fitted = fitPooledModel(data, featureSet, type, mars);
+    return out;
+}
+
+MachinePowerModel
+MachinePowerModel::fromParts(FeatureSet featureSet,
+                             std::shared_ptr<PowerModel> model)
+{
+    fatalIf(model == nullptr,
+            "MachinePowerModel::fromParts: null model");
+    MachinePowerModel out;
+    out.features = std::move(featureSet);
+    const auto &catalog = CounterCatalog::instance();
+    for (const auto &name : out.features.counters)
+        out.catalogIndices.push_back(catalog.indexOf(name));
+    out.fitted = std::move(model);
+    return out;
+}
+
+double
+MachinePowerModel::predictFromCatalogRow(
+    const std::vector<double> &row) const
+{
+    panicIf(!fitted, "MachinePowerModel used before fit");
+    std::vector<double> projected;
+    projected.reserve(catalogIndices.size());
+    for (size_t idx : catalogIndices) {
+        panicIf(idx >= row.size(),
+                "catalog row narrower than the model expects");
+        projected.push_back(row[idx]);
+    }
+    return fitted->predict(projected);
+}
+
+double
+MachinePowerModel::predictFromFeatureRow(
+    const std::vector<double> &row) const
+{
+    panicIf(!fitted, "MachinePowerModel used before fit");
+    return fitted->predict(row);
+}
+
+void
+ClusterPowerModel::setClassModel(MachineClass mc, MachinePowerModel model)
+{
+    classModels.insert_or_assign(mc, std::move(model));
+}
+
+bool
+ClusterPowerModel::hasClassModel(MachineClass mc) const
+{
+    return classModels.count(mc) > 0;
+}
+
+double
+ClusterPowerModel::predictMachine(
+    MachineClass mc, const std::vector<double> &catalogRow) const
+{
+    const auto it = classModels.find(mc);
+    fatalIf(it == classModels.end(),
+            "no cluster model registered for class " +
+                machineClassName(mc));
+    return it->second.predictFromCatalogRow(catalogRow);
+}
+
+double
+ClusterPowerModel::predictCluster(
+    const std::vector<MachineClass> &machineClasses,
+    const std::vector<std::vector<double>> &catalogRows) const
+{
+    panicIf(machineClasses.size() != catalogRows.size(),
+            "predictCluster: machine/row count mismatch");
+    double total = 0.0;
+    for (size_t m = 0; m < machineClasses.size(); ++m)
+        total += predictMachine(machineClasses[m], catalogRows[m]);
+    return total;
+}
+
+} // namespace chaos

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cluster power model composition (paper Eq. 5): cluster power is the
+ * sum of per-machine model predictions. Because the machine models
+ * absorb machine-to-machine variability (pooled fitting, pooled
+ * feature selection), composing them — including across machine
+ * classes in a heterogeneous cluster — is "essentially free".
+ */
+#ifndef CHAOS_CORE_CLUSTER_MODEL_HPP
+#define CHAOS_CORE_CLUSTER_MODEL_HPP
+
+#include <map>
+#include <memory>
+
+#include "core/evaluation.hpp"
+#include "sim/machine_spec.hpp"
+
+namespace chaos {
+
+/**
+ * A deployable per-machine power model: a fitted PowerModel plus the
+ * catalog positions of the counters it consumes, so it can be applied
+ * directly to raw catalog-ordered counter vectors (what an online
+ * collector produces).
+ */
+class MachinePowerModel
+{
+  public:
+    /**
+     * Fit a pooled machine model for one platform.
+     *
+     * @param data Training dataset in full catalog feature space.
+     * @param featureSet Counters to model with.
+     * @param type Modeling technique.
+     * @param mars MARS knobs for the nonlinear techniques.
+     */
+    static MachinePowerModel fit(const Dataset &data,
+                                 const FeatureSet &featureSet,
+                                 ModelType type, const MarsConfig &mars);
+
+    /**
+     * Assemble from an already-fitted model and its feature set
+     * (e.g. one reloaded from disk); catalog indices are resolved
+     * from the counter names.
+     */
+    static MachinePowerModel fromParts(FeatureSet featureSet,
+                                       std::shared_ptr<PowerModel> model);
+
+    /** Predict watts from a catalog-ordered counter vector. */
+    double predictFromCatalogRow(const std::vector<double> &row) const;
+
+    /** Predict watts from a row already in feature-set order. */
+    double predictFromFeatureRow(const std::vector<double> &row) const;
+
+    /** The feature set this model consumes. */
+    const FeatureSet &featureSet() const { return features; }
+
+    /** The underlying fitted model. */
+    const PowerModel &model() const { return *fitted; }
+
+  private:
+    FeatureSet features;
+    std::vector<size_t> catalogIndices;
+    std::shared_ptr<PowerModel> fitted;
+};
+
+/** Composed cluster model: one machine model per machine class. */
+class ClusterPowerModel
+{
+  public:
+    /** Register the model used for all machines of @p mc. */
+    void setClassModel(MachineClass mc, MachinePowerModel model);
+
+    /** True if a model is registered for @p mc. */
+    bool hasClassModel(MachineClass mc) const;
+
+    /** Per-machine prediction; fatal() if the class is unknown. */
+    double predictMachine(MachineClass mc,
+                          const std::vector<double> &catalogRow) const;
+
+    /**
+     * Eq. 5: sum of per-machine predictions over one cluster-second.
+     *
+     * @param machineClasses Class of each machine.
+     * @param catalogRows One catalog-ordered counter vector per
+     *        machine, aligned with @p machineClasses.
+     */
+    double predictCluster(
+        const std::vector<MachineClass> &machineClasses,
+        const std::vector<std::vector<double>> &catalogRows) const;
+
+  private:
+    std::map<MachineClass, MachinePowerModel> classModels;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_CORE_CLUSTER_MODEL_HPP

@@ -1,0 +1,87 @@
+#include "core/energy.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+double
+RunEnergy::relativeError() const
+{
+    if (meteredJ <= 0.0)
+        return 0.0;
+    return std::fabs(estimatedJ - meteredJ) / meteredJ;
+}
+
+double
+RunEnergy::meanPowerW() const
+{
+    return durationSeconds > 0.0 ? meteredJ / durationSeconds : 0.0;
+}
+
+EnergyAccountant::EnergyAccountant(ClusterPowerModel model_)
+    : model(std::move(model_))
+{
+}
+
+const RunEnergy &
+EnergyAccountant::account(const Cluster &cluster, const RunResult &run)
+{
+    panicIf(run.machineRecords.size() != cluster.size(),
+            "EnergyAccountant: run does not match the cluster");
+
+    RunEnergy energy;
+    energy.workload = run.workloadName;
+    energy.runId = run.runId;
+    energy.durationSeconds = run.durationSeconds;
+    energy.perMachineEstimatedJ.assign(cluster.size(), 0.0);
+
+    for (size_t m = 0; m < cluster.size(); ++m) {
+        const MachineClass mc = cluster.machine(m).spec().machineClass;
+        for (const auto &record : run.machineRecords[m]) {
+            // 1 Hz sampling: one sample is one joule per watt.
+            energy.meteredJ += record.measuredPowerW;
+            const double estimated =
+                model.predictMachine(mc, record.counters);
+            energy.estimatedJ += estimated;
+            energy.perMachineEstimatedJ[m] += estimated;
+        }
+    }
+    accounted.push_back(std::move(energy));
+    return accounted.back();
+}
+
+std::map<std::string, double>
+EnergyAccountant::meanEnergyByWorkloadJ() const
+{
+    std::map<std::string, double> totals;
+    std::map<std::string, size_t> counts;
+    for (const auto &energy : accounted) {
+        totals[energy.workload] += energy.estimatedJ;
+        ++counts[energy.workload];
+    }
+    for (auto &[workload, total] : totals)
+        total /= static_cast<double>(counts[workload]);
+    return totals;
+}
+
+double
+EnergyAccountant::totalEstimatedJ() const
+{
+    double total = 0.0;
+    for (const auto &energy : accounted)
+        total += energy.estimatedJ;
+    return total;
+}
+
+double
+EnergyAccountant::totalMeteredJ() const
+{
+    double total = 0.0;
+    for (const auto &energy : accounted)
+        total += energy.meteredJ;
+    return total;
+}
+
+} // namespace chaos

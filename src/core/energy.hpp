@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Energy accounting from model estimates.
+ *
+ * The paper's motivating applications include power provisioning and
+ * power-aware software tuning; both need ENERGY (joules per job),
+ * not just instantaneous watts. This module integrates per-second
+ * power — metered or model-estimated — into per-run and per-machine
+ * energy, so jobs can be billed/compared without meters (e.g. "Sort
+ * costs 21 kJ on the mobile cluster").
+ */
+#ifndef CHAOS_CORE_ENERGY_HPP
+#define CHAOS_CORE_ENERGY_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cluster_model.hpp"
+#include "workloads/runner.hpp"
+
+namespace chaos {
+
+/** Energy totals for one workload run on one cluster. */
+struct RunEnergy
+{
+    std::string workload;           ///< Workload name.
+    int runId = 0;                  ///< Run identifier.
+    double durationSeconds = 0.0;   ///< Run length.
+    double meteredJ = 0.0;          ///< Energy from the meters.
+    double estimatedJ = 0.0;        ///< Energy from the model.
+    /** Per-machine estimated energy, joules. */
+    std::vector<double> perMachineEstimatedJ;
+
+    /** Relative estimation error (estimated vs metered). */
+    double relativeError() const;
+
+    /** Average metered cluster power over the run, watts. */
+    double meanPowerW() const;
+};
+
+/**
+ * Integrates power into energy for finished runs.
+ *
+ * At 1 Hz sampling each sample is one second, so energy is the plain
+ * sum of per-second watts (trapezoidal refinements are below the
+ * meter's own error).
+ */
+class EnergyAccountant
+{
+  public:
+    /**
+     * @param model Deployed per-class models used for estimates.
+     */
+    explicit EnergyAccountant(ClusterPowerModel model);
+
+    /**
+     * Account one finished run.
+     *
+     * @param cluster The cluster it ran on (for machine classes).
+     * @param run The instrumented run result.
+     * @return Energy totals (also retained internally).
+     */
+    const RunEnergy &account(const Cluster &cluster,
+                             const RunResult &run);
+
+    /** All accounted runs, in order. */
+    const std::vector<RunEnergy> &runs() const { return accounted; }
+
+    /**
+     * Mean estimated energy per workload, joules (averaged over the
+     * accounted runs of that workload).
+     */
+    std::map<std::string, double> meanEnergyByWorkloadJ() const;
+
+    /** Total estimated energy across all accounted runs, joules. */
+    double totalEstimatedJ() const;
+
+    /** Total metered energy across all accounted runs, joules. */
+    double totalMeteredJ() const;
+
+  private:
+    ClusterPowerModel model;
+    std::vector<RunEnergy> accounted;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_CORE_ENERGY_HPP

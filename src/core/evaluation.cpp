@@ -1,0 +1,178 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/descriptive.hpp"
+#include "stats/kfold.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+namespace {
+
+/** Locate the frequency counter inside a feature set, if present. */
+std::optional<size_t>
+frequencyFeatureIndex(const FeatureSet &featureSet)
+{
+    for (size_t i = 0; i < featureSet.counters.size(); ++i) {
+        if (featureSet.counters[i] == counters::kCore0Frequency)
+            return i;
+    }
+    // Fall back to any current-frequency counter (e.g. "% of Maximum
+    // Frequency") — the indicator only needs the P-state signal.
+    for (size_t i = 0; i < featureSet.counters.size(); ++i) {
+        const auto &name = featureSet.counters[i];
+        if (name.find("Frequency") != std::string::npos &&
+            name.find("Lag") == std::string::npos) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+/** True if the combination is well defined (paper Figs. 3/4 note). */
+bool
+combinationDefined(const FeatureSet &featureSet, ModelType type)
+{
+    const size_t p = featureSet.counters.size();
+    if (p == 0)
+        return false;
+    if ((type == ModelType::Quadratic ||
+         type == ModelType::Switching) &&
+        p < 2) {
+        return false;  // These techniques require multiple features.
+    }
+    if (type == ModelType::Switching &&
+        !frequencyFeatureIndex(featureSet).has_value()) {
+        return false;  // No indicator available.
+    }
+    return true;
+}
+
+std::unique_ptr<PowerModel>
+buildModel(const FeatureSet &featureSet, ModelType type,
+           const MarsConfig &mars)
+{
+    ModelOptions options;
+    options.mars = mars;
+    options.frequencyFeature = frequencyFeatureIndex(featureSet);
+    return makeModel(type, options);
+}
+
+} // namespace
+
+EnvelopeMap
+envelopesFromSpec(const MachineSpec &spec, size_t numMachines)
+{
+    EnvelopeMap envelopes;
+    for (size_t m = 0; m < numMachines; ++m) {
+        envelopes[static_cast<int>(m)] = {spec.idlePowerW,
+                                          spec.maxPowerW};
+    }
+    return envelopes;
+}
+
+std::unique_ptr<PowerModel>
+fitPooledModel(const Dataset &data, const FeatureSet &featureSet,
+               ModelType type, const MarsConfig &mars)
+{
+    fatalIf(!combinationDefined(featureSet, type),
+            "model/feature-set combination is undefined");
+    const Dataset subset = data.selectFeaturesByName(featureSet.counters);
+    auto model = buildModel(featureSet, type, mars);
+    model->fit(subset.features(), subset.powerW());
+    return model;
+}
+
+EvaluationOutcome
+evaluateTechnique(const Dataset &data, const FeatureSet &featureSet,
+                  ModelType type, const EnvelopeMap &envelopes,
+                  const EvaluationConfig &config)
+{
+    EvaluationOutcome outcome;
+    if (!combinationDefined(featureSet, type))
+        return outcome;
+    panicIf(data.numRows() == 0, "evaluateTechnique: empty dataset");
+
+    const Dataset subset =
+        data.selectFeaturesByName(featureSet.counters);
+
+    Rng rng(config.seed);
+    auto folds = groupedKFold(subset.runIds(), config.folds, rng);
+
+    std::vector<double> machine_dre, machine_rmse, machine_pct;
+    std::vector<double> pooled_pred, pooled_actual;
+    size_t total_params = 0;
+
+    for (auto &fold : folds) {
+        // Paper protocol: the small side is the training set.
+        const auto &train_rows = config.trainOnSingleFold
+                                     ? fold.testIndices
+                                     : fold.trainIndices;
+        const auto &test_rows = config.trainOnSingleFold
+                                    ? fold.trainIndices
+                                    : fold.testIndices;
+        if (train_rows.size() < featureSet.counters.size() + 5 ||
+            test_rows.empty()) {
+            continue;
+        }
+
+        const Dataset train = subset.selectRows(train_rows);
+        const Dataset test = subset.selectRows(test_rows);
+
+        auto model = buildModel(featureSet, type, config.mars);
+        model->fit(train.features(), train.powerW());
+        total_params += model->numParameters();
+
+        const auto predictions = model->predictAll(test.features());
+        const auto &actual = test.powerW();
+        pooled_pred.insert(pooled_pred.end(), predictions.begin(),
+                           predictions.end());
+        pooled_actual.insert(pooled_actual.end(), actual.begin(),
+                             actual.end());
+
+        // Per-machine metrics against that machine's envelope.
+        std::set<int> machines(test.machineIds().begin(),
+                               test.machineIds().end());
+        for (int machine : machines) {
+            std::vector<double> mp, ma;
+            for (size_t r = 0; r < test.numRows(); ++r) {
+                if (test.machineIds()[r] == machine) {
+                    mp.push_back(predictions[r]);
+                    ma.push_back(actual[r]);
+                }
+            }
+            if (mp.size() < 10)
+                continue;
+            const auto it = envelopes.find(machine);
+            panicIf(it == envelopes.end(),
+                    "missing envelope for machine");
+            const double rmse = rootMeanSquaredError(mp, ma);
+            machine_rmse.push_back(rmse);
+            machine_pct.push_back(rmse / mean(ma));
+            machine_dre.push_back(
+                rmse /
+                (it->second.maxPowerW - it->second.idlePowerW));
+        }
+        ++outcome.foldsRun;
+    }
+
+    if (outcome.foldsRun == 0 || machine_dre.empty())
+        return outcome;
+
+    outcome.valid = true;
+    outcome.avgDre = mean(machine_dre);
+    outcome.avgRmse = mean(machine_rmse);
+    outcome.avgPctErr = mean(machine_pct);
+    outcome.medianRelErr =
+        medianRelativeError(pooled_pred, pooled_actual);
+    outcome.medianAbsErr =
+        medianAbsoluteError(pooled_pred, pooled_actual);
+    outcome.r2 = rSquared(pooled_pred, pooled_actual);
+    outcome.avgParameters = total_params / outcome.foldsRun;
+    return outcome;
+}
+
+} // namespace chaos

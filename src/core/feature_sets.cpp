@@ -1,0 +1,148 @@
+#include "core/feature_sets.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "oscounters/counter_catalog.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+namespace counters {
+const std::string kCpuUtilization =
+    "Processor(_Total)\\% Processor Time";
+const std::string kCore0Frequency =
+    "Processor Performance\\Processor_0 Frequency";
+const std::string kCore0FrequencyLag =
+    "Processor Performance\\Processor_0 Frequency Lag1";
+} // namespace counters
+
+namespace {
+const char *kLagCounters[] = {
+    "Processor Performance\\Processor_0 Frequency Lag1",
+    "Processor Performance\\Processor_0 Frequency Lag2",
+    "Processor Performance\\Processor_0 Frequency Lag3",
+};
+} // namespace
+
+FeatureSet
+cpuOnlyFeatureSet()
+{
+    return {"U", {counters::kCpuUtilization}};
+}
+
+FeatureSet
+clusterFeatureSet(const FeatureSelectionResult &selection)
+{
+    return {"C", selection.selected};
+}
+
+FeatureSet
+clusterPlusLagFeatureSet(const FeatureSelectionResult &selection)
+{
+    FeatureSet set{"CP", selection.selected};
+    if (std::find(set.counters.begin(), set.counters.end(),
+                  counters::kCore0FrequencyLag) == set.counters.end()) {
+        set.counters.push_back(counters::kCore0FrequencyLag);
+    }
+    return set;
+}
+
+FeatureSet
+clusterPlusLagWindowFeatureSet(const FeatureSelectionResult &selection,
+                               size_t window)
+{
+    fatalIf(window < 1 || window > 3,
+            "lag window must be between 1 and 3");
+    FeatureSet set{"CP" + std::to_string(window), selection.selected};
+    for (size_t k = 0; k < window; ++k) {
+        if (std::find(set.counters.begin(), set.counters.end(),
+                      kLagCounters[k]) == set.counters.end()) {
+            set.counters.push_back(kLagCounters[k]);
+        }
+    }
+    return set;
+}
+
+FeatureSet
+deriveGeneralFeatureSet(
+    const std::vector<FeatureSelectionResult> &selections,
+    size_t minClusters)
+{
+    fatalIf(selections.empty(),
+            "deriveGeneralFeatureSet: no cluster selections");
+    const auto &catalog = CounterCatalog::instance();
+
+    // Occurrence count of each counter across cluster selections.
+    std::map<std::string, size_t> occurrences;
+    for (const auto &selection : selections) {
+        for (const auto &name : selection.selected)
+            ++occurrences[name];
+    }
+
+    FeatureSet general{"G", {}};
+    std::set<std::string> chosen;
+    for (const auto &[name, count] : occurrences) {
+        if (count >= minClusters) {
+            general.counters.push_back(name);
+            chosen.insert(name);
+        }
+    }
+
+    // Categories represented across the cluster-specific sets.
+    std::set<CounterCategory> wanted_categories;
+    for (const auto &selection : selections) {
+        for (const auto &name : selection.selected) {
+            wanted_categories.insert(
+                catalog.def(catalog.indexOf(name)).category);
+        }
+    }
+    std::set<CounterCategory> covered;
+    for (const auto &name : general.counters) {
+        covered.insert(catalog.def(catalog.indexOf(name)).category);
+    }
+
+    // Backfill each missing category with its most-selected counter.
+    for (CounterCategory category : wanted_categories) {
+        if (covered.count(category))
+            continue;
+        std::string best;
+        size_t best_count = 0;
+        for (const auto &[name, count] : occurrences) {
+            if (catalog.def(catalog.indexOf(name)).category ==
+                    category &&
+                count > best_count && !chosen.count(name)) {
+                best = name;
+                best_count = count;
+            }
+        }
+        if (!best.empty()) {
+            general.counters.push_back(best);
+            chosen.insert(best);
+        }
+    }
+
+    fatalIf(general.counters.empty(),
+            "general feature set derivation produced nothing");
+    return general;
+}
+
+FeatureSet
+paperGeneralFeatureSet()
+{
+    // Table II, "General" column.
+    return {"G(paper)",
+            {
+                "Memory\\Cache Faults/sec",
+                "Memory\\Pages/sec",
+                "Memory\\Pool Nonpaged Allocs",
+                "PhysicalDisk(_Total)\\Disk Bytes/sec",
+                "Processor(_Total)\\% Processor Time",
+                "Cache\\Pin Reads/sec",
+                "Job Object Details(_Total)\\Page File Bytes Peak",
+                "Processor Performance\\Processor_0 Frequency",
+            }};
+}
+
+} // namespace chaos

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Named feature sets used in the paper's model sweep: CPU-utilization
+ * only, the cluster-specific set from Algorithm 1, the cluster set
+ * plus the lagged frequency (the "QCP" variant of Table IV), and the
+ * cross-platform general set (Table II's last column).
+ */
+#ifndef CHAOS_CORE_FEATURE_SETS_HPP
+#define CHAOS_CORE_FEATURE_SETS_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/feature_selection.hpp"
+
+namespace chaos {
+
+/** A named collection of counter names. */
+struct FeatureSet
+{
+    std::string name;                   ///< "U", "C", "CP", "G".
+    std::vector<std::string> counters;  ///< Counter full names.
+};
+
+/** Canonical counter names the paper leans on. */
+namespace counters {
+/** "Processor(_Total)\% Processor Time". */
+extern const std::string kCpuUtilization;
+/** "Processor Performance\Processor_0 Frequency". */
+extern const std::string kCore0Frequency;
+/** "Processor Performance\Processor_0 Frequency Lag1". */
+extern const std::string kCore0FrequencyLag;
+} // namespace counters
+
+/** The single-feature CPU-utilization set ("U"). */
+FeatureSet cpuOnlyFeatureSet();
+
+/** Wrap an Algorithm-1 result as the cluster-specific set ("C"). */
+FeatureSet clusterFeatureSet(const FeatureSelectionResult &selection);
+
+/** Cluster set plus the lagged core-0 frequency ("CP"). */
+FeatureSet clusterPlusLagFeatureSet(
+    const FeatureSelectionResult &selection);
+
+/**
+ * Cluster set plus a WINDOW of lagged core-0 frequencies
+ * ("CPk", k in 1..3) — the extension the paper leaves as future work
+ * after finding the single lag (CP) did not significantly help.
+ */
+FeatureSet clusterPlusLagWindowFeatureSet(
+    const FeatureSelectionResult &selection, size_t window);
+
+/**
+ * Derive the cross-platform general feature set ("G") from the
+ * per-cluster selections (paper Section IV-A2 / V-C): keep counters
+ * selected by at least @p minClusters clusters, then make sure every
+ * counter category that appears in any cluster set is represented by
+ * adding that category's most-selected counter.
+ */
+FeatureSet deriveGeneralFeatureSet(
+    const std::vector<FeatureSelectionResult> &selections,
+    size_t minClusters = 3);
+
+/**
+ * The general feature set exactly as printed in the paper's Table II
+ * (for comparison against the derived one).
+ */
+FeatureSet paperGeneralFeatureSet();
+
+} // namespace chaos
+
+#endif // CHAOS_CORE_FEATURE_SETS_HPP

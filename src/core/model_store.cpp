@@ -1,0 +1,69 @@
+#include "core/model_store.hpp"
+
+#include <fstream>
+
+#include "models/serialize.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+void
+saveMachineModel(std::ostream &out, const MachinePowerModel &model)
+{
+    const auto &features = model.featureSet();
+    out << "chaos-machine-model 1\n";
+    out << "feature-set " << features.name << ' '
+        << features.counters.size() << '\n';
+    for (const auto &name : features.counters)
+        out << name << '\n';
+    saveModel(out, model.model());
+}
+
+void
+saveMachineModelFile(const std::string &path,
+                     const MachinePowerModel &model)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open machine model file for writing: " + path);
+    saveMachineModel(out, model);
+    fatalIf(!out.good(), "I/O error writing machine model: " + path);
+}
+
+MachinePowerModel
+loadMachineModel(std::istream &in)
+{
+    std::string magic;
+    int version = 0;
+    fatalIf(!(in >> magic >> version) ||
+                magic != "chaos-machine-model",
+            "not a chaos machine model file");
+    fatalIf(version != 1, "unsupported machine model file version");
+
+    std::string token;
+    fatalIf(!(in >> token) || token != "feature-set",
+            "machine model file: missing feature set");
+    FeatureSet features;
+    size_t count = 0;
+    fatalIf(!(in >> features.name >> count),
+            "machine model file: bad feature-set header");
+    in.ignore();  // Consume the end of the header line.
+    for (size_t i = 0; i < count; ++i) {
+        std::string line;
+        fatalIf(!std::getline(in, line),
+                "machine model file: truncated counter list");
+        features.counters.push_back(line);
+    }
+    auto model = std::shared_ptr<PowerModel>(loadModel(in));
+    return MachinePowerModel::fromParts(std::move(features),
+                                        std::move(model));
+}
+
+MachinePowerModel
+loadMachineModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open machine model file for reading: " + path);
+    return loadMachineModel(in);
+}
+
+} // namespace chaos

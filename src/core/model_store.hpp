@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Persistence for deployable machine models: the fitted PowerModel
+ * together with the counter names it consumes, so a model file is
+ * self-describing and can be applied to raw catalog-ordered counter
+ * vectors anywhere.
+ */
+#ifndef CHAOS_CORE_MODEL_STORE_HPP
+#define CHAOS_CORE_MODEL_STORE_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cluster_model.hpp"
+
+namespace chaos {
+
+/** Write a machine model (features + fitted model) to a stream. */
+void saveMachineModel(std::ostream &out, const MachinePowerModel &model);
+
+/** Write a machine model to a file; fatal() on I/O error. */
+void saveMachineModelFile(const std::string &path,
+                          const MachinePowerModel &model);
+
+/**
+ * Read a machine model written by saveMachineModel(). Counter names
+ * are re-resolved against the catalog; fatal() if one no longer
+ * exists.
+ */
+MachinePowerModel loadMachineModel(std::istream &in);
+
+/** Read a machine model from a file; fatal() on I/O error. */
+MachinePowerModel loadMachineModelFile(const std::string &path);
+
+} // namespace chaos
+
+#endif // CHAOS_CORE_MODEL_STORE_HPP

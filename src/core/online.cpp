@@ -1,0 +1,23 @@
+#include "core/online.hpp"
+
+namespace chaos {
+
+double
+OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
+{
+    const double watts = model.predictFromCatalogRow(catalogRow);
+    estimateStats.add(watts);
+    ++count;
+    return watts;
+}
+
+double
+OnlinePowerEstimator::estimateWithReference(
+    const std::vector<double> &catalogRow, double meteredW)
+{
+    const double watts = estimate(catalogRow);
+    residualStats.add(meteredW - watts);
+    return watts;
+}
+
+} // namespace chaos

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Online power estimation: stream catalog counter vectors through a
+ * deployed machine model and track residual statistics against any
+ * available metered readings. This is the "online deployment" mode
+ * the paper targets (model as a complement to, or replacement for,
+ * physical instrumentation).
+ */
+#ifndef CHAOS_CORE_ONLINE_HPP
+#define CHAOS_CORE_ONLINE_HPP
+
+#include "core/cluster_model.hpp"
+#include "stats/descriptive.hpp"
+
+namespace chaos {
+
+/** Streaming estimator for one machine. */
+class OnlinePowerEstimator
+{
+  public:
+    /** @param model Deployed machine model. */
+    explicit OnlinePowerEstimator(MachinePowerModel model)
+        : model(std::move(model))
+    {}
+
+    /**
+     * Estimate power for one second of counters.
+     * @param catalogRow Catalog-ordered counter vector.
+     */
+    double estimate(const std::vector<double> &catalogRow);
+
+    /**
+     * Estimate and, where a metered reading exists, accumulate the
+     * residual (meter minus estimate) statistics.
+     */
+    double estimateWithReference(const std::vector<double> &catalogRow,
+                                 double meteredW);
+
+    /** Number of estimates produced. */
+    size_t samples() const { return count; }
+
+    /** Residual statistics against metered references so far. */
+    const RunningStats &residuals() const { return residualStats; }
+
+    /** Running mean of the estimates (average power draw). */
+    double meanEstimateW() const { return estimateStats.mean(); }
+
+  private:
+    MachinePowerModel model;
+    size_t count = 0;
+    RunningStats residualStats;
+    RunningStats estimateStats;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_CORE_ONLINE_HPP

@@ -1,0 +1,182 @@
+#include "core/pooling.hpp"
+
+#include <map>
+#include <set>
+
+#include "models/factory.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/kfold.hpp"
+#include "stats/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+namespace {
+
+std::optional<size_t>
+frequencyIndexIn(const FeatureSet &featureSet)
+{
+    for (size_t i = 0; i < featureSet.counters.size(); ++i) {
+        const auto &name = featureSet.counters[i];
+        if (name.find("Frequency") != std::string::npos &&
+            name.find("Lag") == std::string::npos) {
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+std::unique_ptr<PowerModel>
+build(const FeatureSet &featureSet, ModelType type,
+      const MarsConfig &mars)
+{
+    ModelOptions options;
+    options.mars = mars;
+    options.frequencyFeature = frequencyIndexIn(featureSet);
+    return makeModel(type, options);
+}
+
+/** Per-machine DRE average for a prediction vector on a dataset. */
+void
+accumulateMachineDre(const Dataset &test,
+                     const std::vector<double> &predictions,
+                     const EnvelopeMap &envelopes,
+                     std::vector<double> &machine_dres,
+                     std::vector<double> &residuals)
+{
+    std::set<int> machines(test.machineIds().begin(),
+                           test.machineIds().end());
+    for (int machine : machines) {
+        std::vector<double> mp, ma;
+        for (size_t r = 0; r < test.numRows(); ++r) {
+            if (test.machineIds()[r] == machine) {
+                mp.push_back(predictions[r]);
+                ma.push_back(test.powerW()[r]);
+                residuals.push_back(test.powerW()[r] -
+                                    predictions[r]);
+            }
+        }
+        if (mp.size() < 10)
+            continue;
+        const auto it = envelopes.find(machine);
+        panicIf(it == envelopes.end(), "missing machine envelope");
+        machine_dres.push_back(
+            rootMeanSquaredError(mp, ma) /
+            (it->second.maxPowerW - it->second.idlePowerW));
+    }
+}
+
+} // namespace
+
+PoolingComparison
+comparePooling(const Dataset &data, const FeatureSet &featureSet,
+               ModelType type, const EnvelopeMap &envelopes,
+               const EvaluationConfig &config,
+               double adequacyThreshold)
+{
+    panicIf(data.numRows() == 0, "comparePooling: empty dataset");
+    const Dataset subset =
+        data.selectFeaturesByName(featureSet.counters);
+
+    Rng rng(config.seed);
+    auto folds = groupedKFold(subset.runIds(), config.folds, rng);
+
+    std::vector<double> pooled_dres, per_machine_dres, partial_dres;
+    std::vector<double> pooled_residuals, per_machine_residuals,
+        partial_residuals;
+
+    for (auto &fold : folds) {
+        const auto &train_rows = config.trainOnSingleFold
+                                     ? fold.testIndices
+                                     : fold.trainIndices;
+        const auto &test_rows = config.trainOnSingleFold
+                                    ? fold.trainIndices
+                                    : fold.testIndices;
+        if (train_rows.size() < featureSet.counters.size() + 5 ||
+            test_rows.empty()) {
+            continue;
+        }
+        const Dataset train = subset.selectRows(train_rows);
+        const Dataset test = subset.selectRows(test_rows);
+
+        // --- Pooled. ---
+        auto pooled = build(featureSet, type, config.mars);
+        pooled->fit(train.features(), train.powerW());
+        const auto pooled_pred = pooled->predictAll(test.features());
+        accumulateMachineDre(test, pooled_pred, envelopes,
+                             pooled_dres, pooled_residuals);
+
+        // --- Partial pooling: per-machine intercept offsets from
+        // training residuals. ---
+        std::map<int, double> offsets;
+        {
+            const auto train_pred =
+                pooled->predictAll(train.features());
+            std::map<int, RunningStats> residual_stats;
+            for (size_t r = 0; r < train.numRows(); ++r) {
+                residual_stats[train.machineIds()[r]].add(
+                    train.powerW()[r] - train_pred[r]);
+            }
+            for (auto &[machine, stats] : residual_stats)
+                offsets[machine] = stats.mean();
+        }
+        std::vector<double> partial_pred(pooled_pred);
+        for (size_t r = 0; r < test.numRows(); ++r) {
+            const auto it = offsets.find(test.machineIds()[r]);
+            if (it != offsets.end())
+                partial_pred[r] += it->second;
+        }
+        accumulateMachineDre(test, partial_pred, envelopes,
+                             partial_dres, partial_residuals);
+
+        // --- Per-machine models. ---
+        std::set<int> machines(train.machineIds().begin(),
+                               train.machineIds().end());
+        std::vector<double> pm_pred(test.numRows(), 0.0);
+        std::vector<bool> covered(test.numRows(), false);
+        for (int machine : machines) {
+            const Dataset m_train = train.filterMachine(machine);
+            if (m_train.numRows() <
+                featureSet.counters.size() + 5) {
+                continue;
+            }
+            auto model = build(featureSet, type, config.mars);
+            model->fit(m_train.features(), m_train.powerW());
+            for (size_t r = 0; r < test.numRows(); ++r) {
+                if (test.machineIds()[r] == machine) {
+                    pm_pred[r] = model->predict(
+                        test.features().row(r));
+                    covered[r] = true;
+                }
+            }
+        }
+        // Rows of machines lacking their own model fall back to the
+        // pooled prediction (keeps the comparison fair).
+        for (size_t r = 0; r < test.numRows(); ++r) {
+            if (!covered[r])
+                pm_pred[r] = pooled_pred[r];
+        }
+        accumulateMachineDre(test, pm_pred, envelopes,
+                             per_machine_dres,
+                             per_machine_residuals);
+    }
+
+    panicIf(pooled_dres.empty(),
+            "comparePooling: no usable folds");
+
+    PoolingComparison result;
+    result.pooledDre = mean(pooled_dres);
+    result.perMachineDre = mean(per_machine_dres);
+    result.partialDre = mean(partial_dres);
+    result.pooledResidualVar = variance(pooled_residuals);
+    result.perMachineResidualVar = variance(per_machine_residuals);
+    result.varianceRatio =
+        result.perMachineResidualVar > 1e-12
+            ? result.pooledResidualVar / result.perMachineResidualVar
+            : 1.0;
+    result.poolingAdequate =
+        result.varianceRatio <= adequacyThreshold;
+    return result;
+}
+
+} // namespace chaos

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pooling ablation (paper Section IV).
+ *
+ * CHAOS pools counters and power measurements from every machine in
+ * the cluster into one model. The paper justifies this against the
+ * heavier alternatives — separate per-machine models or hierarchical
+ * (mixed) models — by comparing residual variances per the Gelman et
+ * al. tests and finding "no significant loss of accuracy". This
+ * module reproduces that comparison with three strategies:
+ *
+ *  - pooled: one model on all machines' data (the CHAOS choice);
+ *  - per-machine: an independent model per machine;
+ *  - partial pooling: the pooled model plus a per-machine intercept
+ *    offset (the simplest mixed model).
+ */
+#ifndef CHAOS_CORE_POOLING_HPP
+#define CHAOS_CORE_POOLING_HPP
+
+#include "core/evaluation.hpp"
+
+namespace chaos {
+
+/** Cross-validated accuracy of the three pooling strategies. */
+struct PoolingComparison
+{
+    double pooledDre = 0.0;         ///< One model for the cluster.
+    double perMachineDre = 0.0;     ///< One model per machine.
+    double partialDre = 0.0;        ///< Pooled + machine offsets.
+
+    double pooledResidualVar = 0.0;     ///< Test residual variance.
+    double perMachineResidualVar = 0.0; ///< Test residual variance.
+
+    /** pooledResidualVar / perMachineResidualVar. */
+    double varianceRatio = 0.0;
+
+    /**
+     * True when pooling loses little: variance ratio below the
+     * adequacy threshold (default 1.25), the criterion standing in
+     * for the paper's "comparing the variances in the different
+     * models" test.
+     */
+    bool poolingAdequate = false;
+};
+
+/**
+ * Run the three-strategy comparison on one cluster dataset with the
+ * standard protocol (run-grouped folds, train on the small side).
+ *
+ * @param data Cluster dataset in full catalog feature space.
+ * @param featureSet Counters to model with.
+ * @param type Modeling technique.
+ * @param envelopes Per-machine dynamic ranges for DRE.
+ * @param config Protocol knobs.
+ * @param adequacyThreshold Variance-ratio bound for adequacy.
+ */
+PoolingComparison comparePooling(const Dataset &data,
+                                 const FeatureSet &featureSet,
+                                 ModelType type,
+                                 const EnvelopeMap &envelopes,
+                                 const EvaluationConfig &config,
+                                 double adequacyThreshold = 1.25);
+
+} // namespace chaos
+
+#endif // CHAOS_CORE_POOLING_HPP

@@ -1,0 +1,75 @@
+#include "core/sweep.hpp"
+
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+std::string
+SweepCell::label() const
+{
+    return modelTypeCode(type) + featureSetName;
+}
+
+const SweepCell *
+WorkloadSweep::best() const
+{
+    const SweepCell *best_cell = nullptr;
+    double best_dre = std::numeric_limits<double>::infinity();
+    for (const auto &cell : cells) {
+        if (cell.outcome.valid && cell.outcome.avgDre < best_dre) {
+            best_dre = cell.outcome.avgDre;
+            best_cell = &cell;
+        }
+    }
+    return best_cell;
+}
+
+std::vector<WorkloadSweep>
+sweepWorkloads(const Dataset &clusterData,
+               const std::vector<FeatureSet> &featureSets,
+               const std::vector<ModelType> &types,
+               const EnvelopeMap &envelopes,
+               const EvaluationConfig &config,
+               const std::vector<std::string> &workloads)
+{
+    const std::vector<std::string> &names =
+        workloads.empty() ? clusterData.workloadNames() : workloads;
+
+    std::vector<WorkloadSweep> sweeps;
+    for (const auto &workload : names) {
+        WorkloadSweep sweep;
+        sweep.workload = workload;
+        const Dataset slice = clusterData.filterWorkload(workload);
+        if (slice.numRows() == 0) {
+            warn("sweep: no rows for workload " + workload);
+            continue;
+        }
+        for (ModelType type : types) {
+            for (const auto &featureSet : featureSets) {
+                SweepCell cell;
+                cell.type = type;
+                cell.featureSetName = featureSet.name;
+                cell.outcome = evaluateTechnique(
+                    slice, featureSet, type, envelopes, config);
+                sweep.cells.push_back(std::move(cell));
+            }
+        }
+        sweeps.push_back(std::move(sweep));
+    }
+    return sweeps;
+}
+
+size_t
+totalModelsFitted(const std::vector<WorkloadSweep> &sweeps)
+{
+    size_t total = 0;
+    for (const auto &sweep : sweeps) {
+        for (const auto &cell : sweep.cells)
+            total += cell.outcome.foldsRun;
+    }
+    return total;
+}
+
+} // namespace chaos

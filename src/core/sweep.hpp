@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The model-exploration sweep: every modeling technique crossed with
+ * every feature set, per workload — the machinery behind the paper's
+ * "over 1200 full-system power models per cluster" and the source of
+ * Figures 3/4 and Table IV.
+ */
+#ifndef CHAOS_CORE_SWEEP_HPP
+#define CHAOS_CORE_SWEEP_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+
+namespace chaos {
+
+/** One technique x feature-set evaluation. */
+struct SweepCell
+{
+    ModelType type = ModelType::Linear;
+    std::string featureSetName;
+    EvaluationOutcome outcome;
+
+    /** Paper-style label, e.g. "QC" (quadratic, cluster features). */
+    std::string label() const;
+};
+
+/** All cells for one workload. */
+struct WorkloadSweep
+{
+    std::string workload;
+    std::vector<SweepCell> cells;
+
+    /** Valid cell with the lowest average DRE (nullptr if none). */
+    const SweepCell *best() const;
+};
+
+/**
+ * Evaluate every (technique, feature set) pair per workload.
+ *
+ * @param clusterData Full-catalog dataset of one cluster.
+ * @param featureSets Feature sets to cross (e.g. U, C, CP, G).
+ * @param types Techniques to cross (default: all four).
+ * @param envelopes Per-machine dynamic ranges.
+ * @param config Evaluation protocol knobs.
+ * @param workloads Workload subset; empty = all in the dataset.
+ */
+std::vector<WorkloadSweep> sweepWorkloads(
+    const Dataset &clusterData,
+    const std::vector<FeatureSet> &featureSets,
+    const std::vector<ModelType> &types, const EnvelopeMap &envelopes,
+    const EvaluationConfig &config,
+    const std::vector<std::string> &workloads = {});
+
+/** Total number of model fits a sweep performed (for reporting). */
+size_t totalModelsFitted(const std::vector<WorkloadSweep> &sweeps);
+
+} // namespace chaos
+
+#endif // CHAOS_CORE_SWEEP_HPP

@@ -1,0 +1,121 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+std::optional<Cholesky>
+Cholesky::factor(const Matrix &a)
+{
+    panicIf(a.rows() != a.cols(), "Cholesky requires a square matrix");
+    const size_t n = a.rows();
+    Matrix l(n, n);
+
+    for (size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (size_t k = 0; k < j; ++k)
+            diag -= l(j, k) * l(j, k);
+        if (!(diag > 0.0) || !std::isfinite(diag))
+            return std::nullopt;
+        const double ljj = std::sqrt(diag);
+        l(j, j) = ljj;
+        for (size_t i = j + 1; i < n; ++i) {
+            double value = a(i, j);
+            for (size_t k = 0; k < j; ++k)
+                value -= l(i, k) * l(j, k);
+            l(i, j) = value / ljj;
+        }
+    }
+    return Cholesky(std::move(l));
+}
+
+Cholesky
+Cholesky::factorRidged(const Matrix &a, double ridge, int maxAttempts)
+{
+    panicIf(a.rows() != a.cols(), "Cholesky requires a square matrix");
+    const size_t n = a.rows();
+
+    // Scale the ridge to the matrix magnitude so tiny and huge Gram
+    // matrices get comparable relative regularization.
+    double trace = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        trace += std::fabs(a(i, i));
+    const double scale = n > 0 ? trace / n : 1.0;
+
+    double current = 0.0;
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        Matrix regularized = a;
+        for (size_t i = 0; i < n; ++i)
+            regularized(i, i) += current * std::max(scale, 1.0);
+        if (auto result = factor(regularized)) {
+            result->ridgeUsed = current;
+            return *result;
+        }
+        current = current == 0.0 ? ridge : current * 10.0;
+    }
+    fatal("Cholesky::factorRidged: matrix could not be stabilized");
+}
+
+std::vector<double>
+Cholesky::solve(const std::vector<double> &b) const
+{
+    const size_t n = lower.rows();
+    panicIf(b.size() != n, "Cholesky::solve size mismatch");
+
+    // Forward substitution: L z = b.
+    std::vector<double> z(n);
+    for (size_t i = 0; i < n; ++i) {
+        double value = b[i];
+        for (size_t k = 0; k < i; ++k)
+            value -= lower(i, k) * z[k];
+        z[i] = value / lower(i, i);
+    }
+    // Backward substitution: L^T x = z.
+    std::vector<double> x(n);
+    for (size_t ii = n; ii-- > 0;) {
+        double value = z[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            value -= lower(k, ii) * x[k];
+        x[ii] = value / lower(ii, ii);
+    }
+    return x;
+}
+
+Matrix
+Cholesky::inverse() const
+{
+    const size_t n = lower.rows();
+    Matrix inv(n, n);
+    std::vector<double> unit(n, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+        unit[j] = 1.0;
+        const auto col = solve(unit);
+        unit[j] = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            inv(i, j) = col[i];
+    }
+    return inv;
+}
+
+std::vector<double>
+Cholesky::inverseDiagonal() const
+{
+    const Matrix inv = inverse();
+    std::vector<double> diag(inv.rows());
+    for (size_t i = 0; i < inv.rows(); ++i)
+        diag[i] = inv(i, i);
+    return diag;
+}
+
+double
+Cholesky::logDet() const
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < lower.rows(); ++i)
+        acc += std::log(lower(i, i));
+    return 2.0 * acc;
+}
+
+} // namespace chaos

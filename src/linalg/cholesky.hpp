@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cholesky factorization of symmetric positive-definite matrices.
+ *
+ * Workhorse for normal-equation least squares: the regression stack
+ * solves (X^T X + ridge I) b = X^T y. A small adaptive ridge keeps the
+ * factorization stable when feature selection leaves near-collinear
+ * columns behind.
+ */
+#ifndef CHAOS_LINALG_CHOLESKY_HPP
+#define CHAOS_LINALG_CHOLESKY_HPP
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace chaos {
+
+/** Lower-triangular Cholesky factor with solve helpers. */
+class Cholesky
+{
+  public:
+    /**
+     * Factor a symmetric positive-definite matrix.
+     *
+     * @param a Symmetric matrix (only the lower triangle is read).
+     * @return The factorization, or std::nullopt if @p a is not
+     *         (numerically) positive definite.
+     */
+    static std::optional<Cholesky> factor(const Matrix &a);
+
+    /**
+     * Factor a + ridge*I, escalating the ridge by 10x (up to
+     * @p maxAttempts times) until the factorization succeeds.
+     * fatal()s if the matrix cannot be stabilized.
+     */
+    static Cholesky factorRidged(const Matrix &a, double ridge = 1e-10,
+                                 int maxAttempts = 12);
+
+    /** Solve L L^T x = b. */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+    /** Inverse of the factored matrix (for coefficient covariances). */
+    Matrix inverse() const;
+
+    /** Diagonal of the inverse, i.e. var(b_i)/sigma^2 in OLS. */
+    std::vector<double> inverseDiagonal() const;
+
+    /** Log-determinant of the factored matrix. */
+    double logDet() const;
+
+    /** Ridge value that was actually applied (factorRidged only). */
+    double appliedRidge() const { return ridgeUsed; }
+
+  private:
+    explicit Cholesky(Matrix l) : lower(std::move(l)), ridgeUsed(0.0) {}
+
+    Matrix lower;
+    double ridgeUsed;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_LINALG_CHOLESKY_HPP

@@ -1,0 +1,216 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows[0].size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        panicIf(rows[r].size() != m.numCols,
+                "fromRows: ragged input rows");
+        std::copy(rows[r].begin(), rows[r].end(), m.rowPtr(r));
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    panicIf(r >= numRows || c >= numCols, "Matrix::at out of range");
+    return data[r * numCols + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    panicIf(r >= numRows || c >= numCols, "Matrix::at out of range");
+    return data[r * numCols + c];
+}
+
+std::vector<double>
+Matrix::row(size_t r) const
+{
+    panicIf(r >= numRows, "Matrix::row out of range");
+    return std::vector<double>(rowPtr(r), rowPtr(r) + numCols);
+}
+
+std::vector<double>
+Matrix::column(size_t c) const
+{
+    panicIf(c >= numCols, "Matrix::column out of range");
+    std::vector<double> out(numRows);
+    for (size_t r = 0; r < numRows; ++r)
+        out[r] = (*this)(r, c);
+    return out;
+}
+
+void
+Matrix::setColumn(size_t c, const std::vector<double> &values)
+{
+    panicIf(c >= numCols, "Matrix::setColumn out of range");
+    panicIf(values.size() != numRows, "Matrix::setColumn size mismatch");
+    for (size_t r = 0; r < numRows; ++r)
+        (*this)(r, c) = values[r];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(numCols, numRows);
+    for (size_t r = 0; r < numRows; ++r) {
+        for (size_t c = 0; c < numCols; ++c)
+            t(c, r) = (*this)(r, c);
+    }
+    return t;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    panicIf(numCols != other.numRows, "Matrix::multiply shape mismatch");
+    Matrix out(numRows, other.numCols);
+    for (size_t i = 0; i < numRows; ++i) {
+        const double *lhs_row = rowPtr(i);
+        double *out_row = out.rowPtr(i);
+        for (size_t k = 0; k < numCols; ++k) {
+            const double lhs_ik = lhs_row[k];
+            if (lhs_ik == 0.0)
+                continue;
+            const double *rhs_row = other.rowPtr(k);
+            for (size_t j = 0; j < other.numCols; ++j)
+                out_row[j] += lhs_ik * rhs_row[j];
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &v) const
+{
+    panicIf(v.size() != numCols, "Matrix-vector shape mismatch");
+    std::vector<double> out(numRows, 0.0);
+    for (size_t r = 0; r < numRows; ++r) {
+        const double *row_ptr = rowPtr(r);
+        double acc = 0.0;
+        for (size_t c = 0; c < numCols; ++c)
+            acc += row_ptr[c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(numCols, numCols);
+    for (size_t r = 0; r < numRows; ++r) {
+        const double *row_ptr = rowPtr(r);
+        for (size_t i = 0; i < numCols; ++i) {
+            const double xi = row_ptr[i];
+            if (xi == 0.0)
+                continue;
+            double *g_row = g.rowPtr(i);
+            for (size_t j = i; j < numCols; ++j)
+                g_row[j] += xi * row_ptr[j];
+        }
+    }
+    // Mirror the upper triangle.
+    for (size_t i = 0; i < numCols; ++i) {
+        for (size_t j = 0; j < i; ++j)
+            g(i, j) = g(j, i);
+    }
+    return g;
+}
+
+std::vector<double>
+Matrix::transposeTimes(const std::vector<double> &y) const
+{
+    panicIf(y.size() != numRows, "transposeTimes shape mismatch");
+    std::vector<double> out(numCols, 0.0);
+    for (size_t r = 0; r < numRows; ++r) {
+        const double *row_ptr = rowPtr(r);
+        const double yr = y[r];
+        if (yr == 0.0)
+            continue;
+        for (size_t c = 0; c < numCols; ++c)
+            out[c] += row_ptr[c] * yr;
+    }
+    return out;
+}
+
+Matrix
+Matrix::selectColumns(const std::vector<size_t> &cols) const
+{
+    Matrix out(numRows, cols.size());
+    for (size_t i = 0; i < cols.size(); ++i)
+        panicIf(cols[i] >= numCols, "selectColumns index out of range");
+    for (size_t r = 0; r < numRows; ++r) {
+        const double *row_ptr = rowPtr(r);
+        double *out_row = out.rowPtr(r);
+        for (size_t i = 0; i < cols.size(); ++i)
+            out_row[i] = row_ptr[cols[i]];
+    }
+    return out;
+}
+
+Matrix
+Matrix::selectRows(const std::vector<size_t> &rows) const
+{
+    Matrix out(rows.size(), numCols);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        panicIf(rows[i] >= numRows, "selectRows index out of range");
+        std::copy(rowPtr(rows[i]), rowPtr(rows[i]) + numCols,
+                  out.rowPtr(i));
+    }
+    return out;
+}
+
+void
+Matrix::appendRows(const Matrix &other)
+{
+    if (numRows == 0 && numCols == 0)
+        numCols = other.numCols;
+    panicIf(other.numCols != numCols, "appendRows width mismatch");
+    data.insert(data.end(), other.data.begin(), other.data.end());
+    numRows += other.numRows;
+}
+
+void
+Matrix::appendRow(const std::vector<double> &row)
+{
+    if (numRows == 0 && numCols == 0)
+        numCols = row.size();
+    panicIf(row.size() != numCols, "appendRow width mismatch");
+    data.insert(data.end(), row.begin(), row.end());
+    ++numRows;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    panicIf(numRows != other.numRows || numCols != other.numCols,
+            "maxAbsDiff shape mismatch");
+    double max_diff = 0.0;
+    for (size_t i = 0; i < data.size(); ++i)
+        max_diff = std::max(max_diff, std::fabs(data[i] - other.data[i]));
+    return max_diff;
+}
+
+} // namespace chaos

@@ -1,0 +1,71 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+LeastSquaresResult
+leastSquares(const Matrix &x, const std::vector<double> &y,
+             bool computeStdErrors)
+{
+    panicIf(x.rows() != y.size(), "leastSquares shape mismatch");
+    panicIf(x.cols() == 0, "leastSquares: empty design matrix");
+    panicIf(x.rows() < x.cols(),
+            "leastSquares: fewer observations than parameters");
+
+    const Matrix gram = x.gram();
+    const auto xty = x.transposeTimes(y);
+    const Cholesky chol = Cholesky::factorRidged(gram);
+
+    LeastSquaresResult result;
+    result.coefficients = chol.solve(xty);
+    result.numObservations = x.rows();
+
+    const auto resid = residuals(x, y, result.coefficients);
+    for (double r : resid)
+        result.rss += r * r;
+
+    const double dof =
+        static_cast<double>(x.rows()) - static_cast<double>(x.cols());
+    result.sigma2 = dof > 0.0 ? result.rss / dof : 0.0;
+
+    if (computeStdErrors) {
+        const auto inv_diag = chol.inverseDiagonal();
+        result.stdErrors.resize(inv_diag.size());
+        for (size_t i = 0; i < inv_diag.size(); ++i) {
+            const double variance =
+                std::max(0.0, result.sigma2 * inv_diag[i]);
+            result.stdErrors[i] = std::sqrt(variance);
+        }
+    }
+    return result;
+}
+
+std::vector<double>
+ridgeSolve(const Matrix &x, const std::vector<double> &y, double lambda)
+{
+    panicIf(x.rows() != y.size(), "ridgeSolve shape mismatch");
+    panicIf(lambda < 0.0, "ridgeSolve: negative lambda");
+
+    Matrix gram = x.gram();
+    for (size_t i = 0; i < gram.rows(); ++i)
+        gram(i, i) += lambda;
+    const Cholesky chol = Cholesky::factorRidged(gram);
+    return chol.solve(x.transposeTimes(y));
+}
+
+std::vector<double>
+residuals(const Matrix &x, const std::vector<double> &y,
+          const std::vector<double> &b)
+{
+    const auto fitted = x.multiply(b);
+    std::vector<double> out(y.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        out[i] = y[i] - fitted[i];
+    return out;
+}
+
+} // namespace chaos

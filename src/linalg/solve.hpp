@@ -1,0 +1,60 @@
+/**
+ * @file
+ * High-level least-squares front end used by every regression model.
+ */
+#ifndef CHAOS_LINALG_SOLVE_HPP
+#define CHAOS_LINALG_SOLVE_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace chaos {
+
+/** Result of a least-squares fit with inference byproducts. */
+struct LeastSquaresResult
+{
+    /** Fitted coefficients, one per design-matrix column. */
+    std::vector<double> coefficients;
+    /** Residual sum of squares on the training data. */
+    double rss = 0.0;
+    /** Unbiased residual variance estimate (RSS / (n - p)). */
+    double sigma2 = 0.0;
+    /** Standard error of each coefficient. */
+    std::vector<double> stdErrors;
+    /** Number of observations. */
+    size_t numObservations = 0;
+};
+
+/**
+ * Solve min ||X b - y||^2 via the normal equations with an adaptive
+ * ridge for numerical stability, and compute coefficient standard
+ * errors from sigma^2 (X^T X)^{-1}.
+ *
+ * @param x Design matrix (include an intercept column yourself if
+ *          one is wanted).
+ * @param y Target vector; length must equal x.rows().
+ * @param computeStdErrors Skip the (X^T X)^{-1} computation when
+ *          standard errors are not needed (hot loops).
+ */
+LeastSquaresResult leastSquares(const Matrix &x,
+                                const std::vector<double> &y,
+                                bool computeStdErrors = false);
+
+/**
+ * Ridge-regularized least squares: min ||X b - y||^2 + lambda ||b||^2.
+ * The intercept column (if any) is penalized too; standardize first if
+ * that matters for the use case.
+ */
+std::vector<double> ridgeSolve(const Matrix &x,
+                               const std::vector<double> &y,
+                               double lambda);
+
+/** Residual vector y - X b. */
+std::vector<double> residuals(const Matrix &x,
+                              const std::vector<double> &y,
+                              const std::vector<double> &b);
+
+} // namespace chaos
+
+#endif // CHAOS_LINALG_SOLVE_HPP

@@ -1,0 +1,47 @@
+#include "models/factory.hpp"
+
+#include "models/linear.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+std::unique_ptr<PowerModel>
+makeModel(ModelType type, const ModelOptions &options)
+{
+    switch (type) {
+      case ModelType::Linear:
+        return std::make_unique<LinearModel>();
+      case ModelType::PiecewiseLinear: {
+        MarsConfig cfg = options.mars;
+        cfg.maxDegree = 1;
+        return std::make_unique<MarsModel>(cfg);
+      }
+      case ModelType::Quadratic: {
+        MarsConfig cfg = options.mars;
+        cfg.maxDegree = 2;
+        return std::make_unique<MarsModel>(cfg);
+      }
+      case ModelType::Switching: {
+        fatalIf(!options.frequencyFeature.has_value(),
+                "switching model requires a frequency feature");
+        SwitchingConfig cfg;
+        cfg.frequencyFeature = *options.frequencyFeature;
+        return std::make_unique<SwitchingModel>(cfg);
+      }
+    }
+    panic("unknown model type");
+}
+
+const std::vector<ModelType> &
+allModelTypes()
+{
+    static const std::vector<ModelType> types = {
+        ModelType::Linear,
+        ModelType::PiecewiseLinear,
+        ModelType::Quadratic,
+        ModelType::Switching,
+    };
+    return types;
+}
+
+} // namespace chaos

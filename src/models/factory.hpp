@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Model construction by technique.
+ */
+#ifndef CHAOS_MODELS_FACTORY_HPP
+#define CHAOS_MODELS_FACTORY_HPP
+
+#include <memory>
+#include <optional>
+
+#include "models/mars.hpp"
+#include "models/model.hpp"
+#include "models/switching.hpp"
+
+namespace chaos {
+
+/** Options shared by makeModel(). */
+struct ModelOptions
+{
+    /** MARS knobs for piecewise/quadratic models. */
+    MarsConfig mars;
+    /**
+     * Frequency feature column for the switching model; required
+     * when type == Switching.
+     */
+    std::optional<size_t> frequencyFeature;
+};
+
+/**
+ * Create an unfitted model of the given technique.
+ * fatal()s if a switching model is requested without a frequency
+ * feature.
+ */
+std::unique_ptr<PowerModel> makeModel(ModelType type,
+                                      const ModelOptions &options = {});
+
+/** All four techniques in paper order (L, P, Q, S). */
+const std::vector<ModelType> &allModelTypes();
+
+} // namespace chaos
+
+#endif // CHAOS_MODELS_FACTORY_HPP

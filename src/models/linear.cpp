@@ -1,0 +1,142 @@
+#include "models/linear.hpp"
+
+#include <cmath>
+
+#include "linalg/solve.hpp"
+#include "models/serialize_detail.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace chaos {
+
+namespace {
+
+/**
+ * Column means and scales for internal standardization. Counters
+ * span ~10 orders of magnitude (utilization percentages next to
+ * committed bytes); solving the normal equations on raw columns
+ * would be catastrophically ill-conditioned.
+ */
+void
+computeMoments(const Matrix &x, std::vector<double> &mu,
+               std::vector<double> &sigma)
+{
+    const size_t n = x.rows();
+    const size_t p = x.cols();
+    mu.assign(p, 0.0);
+    sigma.assign(p, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        const double *row = x.rowPtr(r);
+        for (size_t c = 0; c < p; ++c)
+            mu[c] += row[c];
+    }
+    for (double &m : mu)
+        m /= static_cast<double>(n);
+    for (size_t r = 0; r < n; ++r) {
+        const double *row = x.rowPtr(r);
+        for (size_t c = 0; c < p; ++c) {
+            const double d = row[c] - mu[c];
+            sigma[c] += d * d;
+        }
+    }
+    for (double &s : sigma) {
+        s = std::sqrt(s / static_cast<double>(n));
+        if (s < 1e-12)
+            s = 1.0;    // Constant column: coefficient will be ~0.
+    }
+}
+
+} // namespace
+
+void
+LinearModel::fit(const Matrix &x, const std::vector<double> &y)
+{
+    computeMoments(x, mu, sigma);
+
+    Matrix z(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        const double *src = x.rowPtr(r);
+        double *dst = z.rowPtr(r);
+        for (size_t c = 0; c < x.cols(); ++c)
+            dst[c] = (src[c] - mu[c]) / sigma[c];
+    }
+    const Matrix design = withIntercept(z);
+    coef = leastSquares(design, y).coefficients;
+}
+
+double
+LinearModel::predict(const std::vector<double> &row) const
+{
+    panicIf(coef.empty(), "LinearModel::predict before fit");
+    panicIf(row.size() + 1 != coef.size(),
+            "LinearModel::predict width mismatch");
+    double acc = coef[0];
+    for (size_t i = 0; i < row.size(); ++i)
+        acc += coef[i + 1] * (row[i] - mu[i]) / sigma[i];
+    return acc;
+}
+
+double
+LinearModel::intercept() const
+{
+    if (coef.empty())
+        return 0.0;
+    double a0 = coef[0];
+    for (size_t i = 1; i < coef.size(); ++i)
+        a0 -= coef[i] * mu[i - 1] / sigma[i - 1];
+    return a0;
+}
+
+std::string
+LinearModel::describe() const
+{
+    std::string out = "linear: y = " + formatDouble(intercept(), 3);
+    for (size_t i = 1; i < coef.size(); ++i) {
+        out += (coef[i] >= 0 ? " + " : " - ") +
+               formatDouble(std::abs(coef[i]), 4) + "*z" +
+               std::to_string(i - 1);
+    }
+    return out + "  (z = standardized features)";
+}
+
+size_t
+LinearModel::numParameters() const
+{
+    return coef.size();
+}
+
+std::vector<double>
+LinearModel::featureCoefficients() const
+{
+    if (coef.empty())
+        return {};
+    // Back-transform to the original feature scale.
+    std::vector<double> out(coef.size() - 1);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = coef[i + 1] / sigma[i];
+    return out;
+}
+
+void
+LinearModel::save(std::ostream &out) const
+{
+    panicIf(coef.empty(), "LinearModel::save before fit");
+    serialize_detail::writeVector(out, "coef", coef);
+    serialize_detail::writeVector(out, "mu", mu);
+    serialize_detail::writeVector(out, "sigma", sigma);
+}
+
+LinearModel
+LinearModel::load(std::istream &in)
+{
+    LinearModel model;
+    model.coef = serialize_detail::readVector(in, "coef");
+    model.mu = serialize_detail::readVector(in, "mu");
+    model.sigma = serialize_detail::readVector(in, "sigma");
+    fatalIf(model.coef.size() != model.mu.size() + 1 ||
+                model.mu.size() != model.sigma.size(),
+            "model file: inconsistent linear model");
+    return model;
+}
+
+} // namespace chaos

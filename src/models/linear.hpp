@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Baseline linear power model (paper Eq. 1): the form used by most
+ * prior work and the reference point for every accuracy comparison.
+ */
+#ifndef CHAOS_MODELS_LINEAR_HPP
+#define CHAOS_MODELS_LINEAR_HPP
+
+#include <iosfwd>
+
+#include "models/model.hpp"
+
+namespace chaos {
+
+/** Ordinary-least-squares linear model with intercept. */
+class LinearModel : public PowerModel
+{
+  public:
+    LinearModel() = default;
+
+    void fit(const Matrix &x, const std::vector<double> &y) override;
+    double predict(const std::vector<double> &row) const override;
+    std::string describe() const override;
+    size_t numParameters() const override;
+    ModelType type() const override { return ModelType::Linear; }
+
+    /** Intercept a0 on the original feature scale (post-fit). */
+    double intercept() const;
+
+    /** Per-feature coefficients a1..an (post-fit). */
+    std::vector<double> featureCoefficients() const;
+
+    /** Write fitted state as text (see models/serialize.hpp). */
+    void save(std::ostream &out) const;
+
+    /** Read fitted state written by save(). */
+    static LinearModel load(std::istream &in);
+
+  private:
+    std::vector<double> coef;   ///< [intercept, a1, ..., an].
+    std::vector<double> mu;     ///< Column means (standardization).
+    std::vector<double> sigma;  ///< Column scales (standardization).
+};
+
+} // namespace chaos
+
+#endif // CHAOS_MODELS_LINEAR_HPP

@@ -1,0 +1,565 @@
+#include "models/mars.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <iomanip>
+
+#include "linalg/cholesky.hpp"
+#include "models/serialize_detail.hpp"
+#include "stats/descriptive.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace chaos {
+
+bool
+BasisTerm::usesFeature(size_t feature) const
+{
+    for (const auto &hinge : hinges) {
+        if (hinge.feature == feature)
+            return true;
+    }
+    return false;
+}
+
+double
+BasisTerm::evaluate(const std::vector<double> &row) const
+{
+    double value = 1.0;
+    for (const auto &hinge : hinges) {
+        value *= hinge.evaluate(row[hinge.feature]);
+        if (value == 0.0)
+            return 0.0;
+    }
+    return value;
+}
+
+MarsModel::MarsModel(MarsConfig config) : cfg(config)
+{
+    panicIf(cfg.maxDegree < 1 || cfg.maxDegree > 2,
+            "MarsModel supports degree 1 or 2");
+    panicIf(cfg.maxTerms < 3, "MarsModel needs maxTerms >= 3");
+}
+
+namespace {
+
+/** Column-major basis evaluation workspace for the forward pass. */
+struct ForwardState
+{
+    // Basis columns evaluated on the search rows.
+    std::vector<std::vector<double>> columns;
+    // Gram matrix of the columns and their dot with y.
+    Matrix gram;
+    std::vector<double> bty;
+    double yty = 0.0;
+    size_t numRows = 0;
+};
+
+/**
+ * Solve the (ridged) normal equations on a diagonally-equilibrated
+ * Gram system. Equilibration makes the small ridge meaningful per
+ * column, so thin basis columns cannot earn explosive coefficients.
+ */
+std::vector<double>
+equilibratedSolve(const Matrix &gram, const std::vector<double> &bty)
+{
+    const size_t m = gram.rows();
+    std::vector<double> scale(m);
+    for (size_t i = 0; i < m; ++i)
+        scale[i] = gram(i, i) > 1e-30 ? std::sqrt(gram(i, i)) : 1.0;
+
+    Matrix eq(m, m);
+    std::vector<double> rhs(m);
+    for (size_t i = 0; i < m; ++i) {
+        rhs[i] = bty[i] / scale[i];
+        for (size_t j = 0; j < m; ++j)
+            eq(i, j) = gram(i, j) / (scale[i] * scale[j]);
+    }
+    const Cholesky chol = Cholesky::factorRidged(eq, 1e-5);
+    auto b = chol.solve(rhs);
+    for (size_t i = 0; i < m; ++i)
+        b[i] /= scale[i];
+    return b;
+}
+
+/** RSS of least squares on the given Gram system. */
+double
+gramRss(const Matrix &gram, const std::vector<double> &bty, double yty)
+{
+    const auto b = equilibratedSolve(gram, bty);
+    double fit = 0.0;
+    for (size_t i = 0; i < b.size(); ++i)
+        fit += b[i] * bty[i];
+    return std::max(0.0, yty - fit);
+}
+
+/** Evaluate RSS if two candidate columns join the current basis. */
+double
+candidateRss(const ForwardState &st, const std::vector<double> &c1,
+             const std::vector<double> &c2,
+             const std::vector<double> &y)
+{
+    const size_t m = st.columns.size();
+    Matrix gram(m + 2, m + 2);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < m; ++j)
+            gram(i, j) = st.gram(i, j);
+    }
+
+    std::vector<double> bty(m + 2);
+    for (size_t i = 0; i < m; ++i)
+        bty[i] = st.bty[i];
+
+    const size_t n = st.numRows;
+    double c1y = 0.0, c2y = 0.0, c11 = 0.0, c22 = 0.0, c12 = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+        c1y += c1[r] * y[r];
+        c2y += c2[r] * y[r];
+        c11 += c1[r] * c1[r];
+        c22 += c2[r] * c2[r];
+        c12 += c1[r] * c2[r];
+    }
+    for (size_t i = 0; i < m; ++i) {
+        const auto &col = st.columns[i];
+        double d1 = 0.0, d2 = 0.0;
+        for (size_t r = 0; r < n; ++r) {
+            d1 += col[r] * c1[r];
+            d2 += col[r] * c2[r];
+        }
+        gram(i, m) = gram(m, i) = d1;
+        gram(i, m + 1) = gram(m + 1, i) = d2;
+    }
+    gram(m, m) = c11;
+    gram(m + 1, m + 1) = c22;
+    gram(m, m + 1) = gram(m + 1, m) = c12;
+    bty[m] = c1y;
+    bty[m + 1] = c2y;
+
+    return gramRss(gram, bty, st.yty);
+}
+
+/** Generalized cross validation score. */
+double
+gcvScore(double rss, size_t numRows, size_t numTerms, double penalty)
+{
+    const double n = static_cast<double>(numRows);
+    const double m = static_cast<double>(numTerms);
+    const double complexity = m + penalty * (m - 1.0) / 2.0;
+    if (complexity >= n)
+        return std::numeric_limits<double>::infinity();
+    const double denom = 1.0 - complexity / n;
+    return rss / n / (denom * denom);
+}
+
+} // namespace
+
+void
+MarsModel::fit(const Matrix &x, const std::vector<double> &y)
+{
+    panicIf(x.rows() != y.size(), "MarsModel::fit shape mismatch");
+    panicIf(x.rows() < 10, "MarsModel::fit needs at least 10 rows");
+
+    // --- Standardize features: counters span ~10 orders of
+    // magnitude, and degree-2 products of raw byte counts would
+    // destroy the Gram matrix conditioning. ---
+    mu.assign(x.cols(), 0.0);
+    sigma.assign(x.cols(), 0.0);
+    for (size_t r = 0; r < x.rows(); ++r) {
+        const double *row = x.rowPtr(r);
+        for (size_t c = 0; c < x.cols(); ++c)
+            mu[c] += row[c];
+    }
+    for (double &m : mu)
+        m /= static_cast<double>(x.rows());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        const double *row = x.rowPtr(r);
+        for (size_t c = 0; c < x.cols(); ++c) {
+            const double d = row[c] - mu[c];
+            sigma[c] += d * d;
+        }
+    }
+    for (double &s : sigma) {
+        s = std::sqrt(s / static_cast<double>(x.rows()));
+        if (s < 1e-12)
+            s = 1.0;
+    }
+    Matrix z(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+        const double *src = x.rowPtr(r);
+        double *dst = z.rowPtr(r);
+        for (size_t c = 0; c < x.cols(); ++c)
+            dst[c] = (src[c] - mu[c]) / sigma[c];
+    }
+    zmin.assign(x.cols(), 0.0);
+    zmax.assign(x.cols(), 0.0);
+    for (size_t c = 0; c < x.cols(); ++c) {
+        double lo = z(0, c), hi = z(0, c);
+        for (size_t r = 1; r < x.rows(); ++r) {
+            lo = std::min(lo, z(r, c));
+            hi = std::max(hi, z(r, c));
+        }
+        zmin[c] = lo;
+        zmax[c] = hi;
+    }
+
+    // --- Subsample search rows deterministically (uniform stride). ---
+    std::vector<size_t> search_rows;
+    if (x.rows() > cfg.maxSearchRows) {
+        const double stride = static_cast<double>(x.rows()) /
+                              static_cast<double>(cfg.maxSearchRows);
+        for (size_t i = 0; i < cfg.maxSearchRows; ++i) {
+            search_rows.push_back(
+                static_cast<size_t>(i * stride));
+        }
+    } else {
+        search_rows.resize(x.rows());
+        for (size_t i = 0; i < x.rows(); ++i)
+            search_rows[i] = i;
+    }
+    const size_t n = search_rows.size();
+    const size_t p = x.cols();
+
+    std::vector<double> ys(n);
+    for (size_t i = 0; i < n; ++i)
+        ys[i] = y[search_rows[i]];
+
+    // --- Candidate knots per feature: interior quantiles. ---
+    std::vector<std::vector<double>> knots(p);
+    for (size_t f = 0; f < p; ++f) {
+        std::vector<double> values(n);
+        for (size_t i = 0; i < n; ++i)
+            values[i] = z(search_rows[i], f);
+        const auto distinct = distinctSorted(values);
+        if (distinct.size() < 2)
+            continue;  // Constant feature: no knots.
+        if (distinct.size() <= cfg.knotCandidates + 1) {
+            // Discrete feature (e.g. P-state): every interior level.
+            knots[f].assign(distinct.begin(), distinct.end() - 1);
+        } else {
+            for (size_t k = 1; k <= cfg.knotCandidates; ++k) {
+                const double q =
+                    static_cast<double>(k) /
+                    static_cast<double>(cfg.knotCandidates + 1);
+                knots[f].push_back(quantile(values, q));
+            }
+            knots[f] = distinctSorted(std::move(knots[f]));
+        }
+    }
+
+    // --- Forward pass. ---
+    basis.clear();
+    basis.push_back(BasisTerm{});   // Intercept.
+
+    ForwardState st;
+    st.numRows = n;
+    st.columns.push_back(std::vector<double>(n, 1.0));
+    st.gram = Matrix(1, 1);
+    st.gram(0, 0) = static_cast<double>(n);
+    st.bty.assign(1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        st.bty[0] += ys[i];
+        st.yty += ys[i] * ys[i];
+    }
+    double current_rss = gramRss(st.gram, st.bty, st.yty);
+
+    std::vector<double> cand1(n), cand2(n);
+    while (basis.size() + 2 <= cfg.maxTerms) {
+        double best_rss = current_rss;
+        size_t best_parent = 0, best_feature = 0;
+        double best_knot = 0.0;
+        bool found = false;
+        std::vector<double> best_c1, best_c2;
+
+        for (size_t parent = 0; parent < basis.size(); ++parent) {
+            if (basis[parent].degree() + 1 > cfg.maxDegree)
+                continue;
+            const auto &parent_col = st.columns[parent];
+            for (size_t f = 0; f < p; ++f) {
+                if (knots[f].empty() || basis[parent].usesFeature(f))
+                    continue;
+                const size_t min_support = std::max<size_t>(
+                    5, static_cast<size_t>(cfg.minBasisSupport *
+                                           static_cast<double>(n)));
+                for (double t : knots[f]) {
+                    size_t support1 = 0, support2 = 0;
+                    for (size_t i = 0; i < n; ++i) {
+                        const double v = z(search_rows[i], f);
+                        const double up = v - t;
+                        cand1[i] =
+                            parent_col[i] * (up > 0.0 ? up : 0.0);
+                        cand2[i] =
+                            parent_col[i] * (up < 0.0 ? -up : 0.0);
+                        support1 += cand1[i] != 0.0;
+                        support2 += cand2[i] != 0.0;
+                    }
+                    // Reject thinly-supported corners outright.
+                    if (support1 < min_support ||
+                        support2 < min_support) {
+                        continue;
+                    }
+                    const double rss =
+                        candidateRss(st, cand1, cand2, ys);
+                    if (rss < best_rss) {
+                        best_rss = rss;
+                        best_parent = parent;
+                        best_feature = f;
+                        best_knot = t;
+                        best_c1 = cand1;
+                        best_c2 = cand2;
+                        found = true;
+                    }
+                }
+            }
+        }
+
+        if (!found ||
+            current_rss - best_rss <
+                cfg.minRssImprovement * std::max(current_rss, 1e-12)) {
+            break;
+        }
+
+        // Commit the winning pair: extend basis, columns, and Gram.
+        for (int dir : {+1, -1}) {
+            BasisTerm term = basis[best_parent];
+            term.hinges.push_back(Hinge{best_feature, best_knot, dir});
+            basis.push_back(std::move(term));
+        }
+        const size_t m = st.columns.size();
+        st.columns.push_back(best_c1);
+        st.columns.push_back(best_c2);
+        Matrix gram(m + 2, m + 2);
+        for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < m; ++j)
+                gram(i, j) = st.gram(i, j);
+        }
+        st.bty.resize(m + 2, 0.0);
+        for (size_t a = m; a < m + 2; ++a) {
+            const auto &col_a = st.columns[a];
+            double ay = 0.0;
+            for (size_t i = 0; i < n; ++i)
+                ay += col_a[i] * ys[i];
+            st.bty[a] = ay;
+            for (size_t b = 0; b <= a; ++b) {
+                const auto &col_b = st.columns[b];
+                double dot = 0.0;
+                for (size_t i = 0; i < n; ++i)
+                    dot += col_a[i] * col_b[i];
+                gram(a, b) = gram(b, a) = dot;
+            }
+        }
+        st.gram = std::move(gram);
+        current_rss = best_rss;
+    }
+
+    // --- Backward pruning by GCV. ---
+    // Work with term indices into `basis`; index 0 (intercept) is
+    // never removed.
+    std::vector<size_t> active(basis.size());
+    for (size_t i = 0; i < active.size(); ++i)
+        active[i] = i;
+
+    auto subset_rss = [&](const std::vector<size_t> &subset) {
+        const size_t m = subset.size();
+        Matrix gram(m, m);
+        std::vector<double> bty(m);
+        for (size_t a = 0; a < m; ++a) {
+            bty[a] = st.bty[subset[a]];
+            for (size_t b = 0; b < m; ++b)
+                gram(a, b) = st.gram(subset[a], subset[b]);
+        }
+        return gramRss(gram, bty, st.yty);
+    };
+
+    std::vector<size_t> best_subset = active;
+    double best_gcv = gcvScore(subset_rss(active), n, active.size(),
+                               cfg.gcvPenalty);
+
+    while (active.size() > 1) {
+        double round_best_gcv =
+            std::numeric_limits<double>::infinity();
+        size_t round_drop = 0;
+        for (size_t k = 1; k < active.size(); ++k) {
+            std::vector<size_t> trial = active;
+            trial.erase(trial.begin() + static_cast<long>(k));
+            const double gcv = gcvScore(subset_rss(trial), n,
+                                        trial.size(), cfg.gcvPenalty);
+            if (gcv < round_best_gcv) {
+                round_best_gcv = gcv;
+                round_drop = k;
+            }
+        }
+        active.erase(active.begin() + static_cast<long>(round_drop));
+        if (round_best_gcv < best_gcv) {
+            best_gcv = round_best_gcv;
+            best_subset = active;
+        }
+    }
+
+    // --- Refit the surviving terms on ALL rows. ---
+    std::vector<BasisTerm> final_terms;
+    final_terms.reserve(best_subset.size());
+    for (size_t idx : best_subset)
+        final_terms.push_back(basis[idx]);
+    basis = std::move(final_terms);
+
+    const size_t full_n = x.rows();
+
+    // Observed target range, for the influence bound below.
+    double y_lo = y[0], y_hi = y[0];
+    for (double v : y) {
+        y_lo = std::min(y_lo, v);
+        y_hi = std::max(y_hi, v);
+    }
+    const double y_range = std::max(y_hi - y_lo, 1e-6);
+
+    // Refit on ALL rows, then prune terms whose worst-case swing
+    // inside the (clamped) training box exceeds a multiple of the
+    // target range: such terms live on thin corners of the feature
+    // space and would dominate predictions on data that populates
+    // those corners. Iterate until every term is physically bounded.
+    for (;;) {
+        const size_t m = basis.size();
+        Matrix design(full_n, m);
+        for (size_t r = 0; r < full_n; ++r) {
+            const auto row = z.row(r);
+            for (size_t c = 0; c < m; ++c)
+                design(r, c) = basis[c].evaluate(row);
+        }
+        const Matrix gram = design.gram();
+        const auto bty = design.transposeTimes(y);
+        coef = equilibratedSolve(gram, bty);
+
+        // Worst-case contribution of each non-intercept term over
+        // the clamped box: product of per-hinge maxima.
+        size_t worst = 0;
+        double worst_bound = 0.0;
+        for (size_t c = 0; c < m; ++c) {
+            if (basis[c].hinges.empty())
+                continue;
+            double swing = std::fabs(coef[c]);
+            for (const auto &hinge : basis[c].hinges) {
+                const double top =
+                    hinge.direction > 0
+                        ? std::max(0.0, zmax[hinge.feature] - hinge.knot)
+                        : std::max(0.0,
+                                   hinge.knot - zmin[hinge.feature]);
+                swing *= top;
+            }
+            if (swing > worst_bound) {
+                worst_bound = swing;
+                worst = c;
+            }
+        }
+        if (worst_bound <= 3.0 * y_range || m <= 1)
+            break;
+        basis.erase(basis.begin() + static_cast<long>(worst));
+    }
+}
+
+double
+MarsModel::predict(const std::vector<double> &row) const
+{
+    panicIf(coef.empty(), "MarsModel::predict before fit");
+    panicIf(row.size() != mu.size(),
+            "MarsModel::predict width mismatch");
+    std::vector<double> zrow(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+        const double value = (row[c] - mu[c]) / sigma[c];
+        zrow[c] = std::clamp(value, zmin[c], zmax[c]);
+    }
+    double acc = 0.0;
+    for (size_t i = 0; i < basis.size(); ++i)
+        acc += coef[i] * basis[i].evaluate(zrow);
+    return acc;
+}
+
+std::string
+MarsModel::describe() const
+{
+    std::string out = modelTypeName(type()) + " (MARS degree " +
+                      std::to_string(cfg.maxDegree) + "): " +
+                      std::to_string(basis.size()) + " terms;";
+    for (size_t i = 0; i < basis.size(); ++i) {
+        out += " " + formatDouble(coef[i], 3);
+        for (const auto &hinge : basis[i].hinges) {
+            out += std::string("*") +
+                   (hinge.direction > 0 ? "max(0,x" : "max(0,-x") +
+                   std::to_string(hinge.feature) +
+                   (hinge.direction > 0 ? "-" : "+") +
+                   formatDouble(hinge.knot, 2) + ")";
+        }
+        if (i + 1 < basis.size())
+            out += " +";
+    }
+    return out;
+}
+
+size_t
+MarsModel::numParameters() const
+{
+    // Each non-intercept term has a coefficient and a knot.
+    return coef.size() + (basis.empty() ? 0 : basis.size() - 1);
+}
+
+void
+MarsModel::save(std::ostream &out) const
+{
+    panicIf(coef.empty(), "MarsModel::save before fit");
+    out << "degree " << cfg.maxDegree << '\n';
+    out << "terms " << basis.size() << '\n';
+    out << std::setprecision(17);
+    for (const auto &term : basis) {
+        out << "term " << term.hinges.size();
+        for (const auto &hinge : term.hinges) {
+            out << ' ' << hinge.feature << ' ' << hinge.knot << ' '
+                << hinge.direction;
+        }
+        out << '\n';
+    }
+    serialize_detail::writeVector(out, "coef", coef);
+    serialize_detail::writeVector(out, "mu", mu);
+    serialize_detail::writeVector(out, "sigma", sigma);
+    serialize_detail::writeVector(out, "zmin", zmin);
+    serialize_detail::writeVector(out, "zmax", zmax);
+}
+
+MarsModel
+MarsModel::load(std::istream &in)
+{
+    serialize_detail::expectToken(in, "degree");
+    size_t degree = 0;
+    fatalIf(!(in >> degree), "model file: missing MARS degree");
+    MarsConfig cfg;
+    cfg.maxDegree = degree;
+    MarsModel model(cfg);
+
+    serialize_detail::expectToken(in, "terms");
+    size_t num_terms = 0;
+    fatalIf(!(in >> num_terms), "model file: missing MARS term count");
+    for (size_t t = 0; t < num_terms; ++t) {
+        serialize_detail::expectToken(in, "term");
+        size_t num_hinges = 0;
+        fatalIf(!(in >> num_hinges), "model file: bad MARS term");
+        BasisTerm term;
+        for (size_t h = 0; h < num_hinges; ++h) {
+            Hinge hinge;
+            fatalIf(!(in >> hinge.feature >> hinge.knot >>
+                      hinge.direction),
+                    "model file: truncated MARS hinge");
+            term.hinges.push_back(hinge);
+        }
+        model.basis.push_back(std::move(term));
+    }
+    model.coef = serialize_detail::readVector(in, "coef");
+    model.mu = serialize_detail::readVector(in, "mu");
+    model.sigma = serialize_detail::readVector(in, "sigma");
+    model.zmin = serialize_detail::readVector(in, "zmin");
+    model.zmax = serialize_detail::readVector(in, "zmax");
+    fatalIf(model.coef.size() != model.basis.size(),
+            "model file: inconsistent MARS model");
+    return model;
+}
+
+} // namespace chaos

@@ -1,0 +1,55 @@
+#include "models/model.hpp"
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+std::string
+modelTypeCode(ModelType type)
+{
+    switch (type) {
+      case ModelType::Linear:          return "L";
+      case ModelType::PiecewiseLinear: return "P";
+      case ModelType::Quadratic:       return "Q";
+      case ModelType::Switching:       return "S";
+    }
+    panic("unknown model type");
+}
+
+std::string
+modelTypeName(ModelType type)
+{
+    switch (type) {
+      case ModelType::Linear:          return "linear";
+      case ModelType::PiecewiseLinear: return "piecewise-linear";
+      case ModelType::Quadratic:       return "quadratic";
+      case ModelType::Switching:       return "switching";
+    }
+    panic("unknown model type");
+}
+
+std::vector<double>
+PowerModel::predictAll(const Matrix &x) const
+{
+    std::vector<double> out;
+    out.reserve(x.rows());
+    for (size_t r = 0; r < x.rows(); ++r)
+        out.push_back(predict(x.row(r)));
+    return out;
+}
+
+Matrix
+withIntercept(const Matrix &x)
+{
+    Matrix out(x.rows(), x.cols() + 1);
+    for (size_t r = 0; r < x.rows(); ++r) {
+        out(r, 0) = 1.0;
+        const double *src = x.rowPtr(r);
+        double *dst = out.rowPtr(r);
+        for (size_t c = 0; c < x.cols(); ++c)
+            dst[c + 1] = src[c];
+    }
+    return out;
+}
+
+} // namespace chaos

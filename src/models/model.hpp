@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Common interface of all power models (paper Section IV-B).
+ *
+ * A PowerModel maps a feature vector of OS counter values to
+ * predicted full-system watts. The four concrete techniques are
+ * linear (Eq. 1), piecewise linear / MARS degree 1 (Eq. 2),
+ * quadratic / MARS degree 2 (Eq. 3), and frequency-switching (Eq. 4).
+ */
+#ifndef CHAOS_MODELS_MODEL_HPP
+#define CHAOS_MODELS_MODEL_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace chaos {
+
+/** The paper's four modeling techniques. */
+enum class ModelType
+{
+    Linear,         ///< Eq. 1: ordinary least squares.
+    PiecewiseLinear,///< Eq. 2: MARS with hinge bases, degree 1.
+    Quadratic,      ///< Eq. 3: MARS with degree-2 interactions.
+    Switching,      ///< Eq. 4: per-frequency-state linear models.
+};
+
+/** Short label ("L", "P", "Q", "S") used in result tables. */
+std::string modelTypeCode(ModelType type);
+
+/** Full name of a model type. */
+std::string modelTypeName(ModelType type);
+
+/** Abstract trained (or trainable) power model. */
+class PowerModel
+{
+  public:
+    virtual ~PowerModel() = default;
+
+    /**
+     * Fit the model.
+     *
+     * @param x Feature matrix, one row per observation. No intercept
+     *          column; models add their own.
+     * @param y Measured power, watts.
+     */
+    virtual void fit(const Matrix &x, const std::vector<double> &y) = 0;
+
+    /** Predict power for one feature row (post-fit only). */
+    virtual double predict(const std::vector<double> &row) const = 0;
+
+    /** Predict power for every row of @p x. */
+    std::vector<double> predictAll(const Matrix &x) const;
+
+    /** Human-readable structure dump. */
+    virtual std::string describe() const = 0;
+
+    /** Number of fitted parameters (model complexity). */
+    virtual size_t numParameters() const = 0;
+
+    /** Technique of this model. */
+    virtual ModelType type() const = 0;
+};
+
+/** Append a leading all-ones intercept column to @p x. */
+Matrix withIntercept(const Matrix &x);
+
+} // namespace chaos
+
+#endif // CHAOS_MODELS_MODEL_HPP

@@ -1,0 +1,110 @@
+#include "models/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "models/linear.hpp"
+#include "models/mars.hpp"
+#include "models/switching.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+namespace serialize_detail {
+
+void
+writeVector(std::ostream &out, const std::string &key,
+            const std::vector<double> &values)
+{
+    out << key << ' ' << values.size();
+    out << std::setprecision(17);
+    for (double v : values)
+        out << ' ' << v;
+    out << '\n';
+}
+
+std::vector<double>
+readVector(std::istream &in, const std::string &expected_key)
+{
+    std::string key;
+    size_t count = 0;
+    fatalIf(!(in >> key >> count) || key != expected_key,
+            "model file: expected vector '" + expected_key + "'");
+    std::vector<double> values(count);
+    for (double &v : values)
+        fatalIf(!(in >> v), "model file: truncated vector " + key);
+    return values;
+}
+
+void
+expectToken(std::istream &in, const std::string &expected)
+{
+    std::string token;
+    fatalIf(!(in >> token) || token != expected,
+            "model file: expected token '" + expected + "'");
+}
+
+} // namespace serialize_detail
+
+void
+saveModel(std::ostream &out, const PowerModel &model)
+{
+    out << "chaos-model 1\n";
+    switch (model.type()) {
+      case ModelType::Linear:
+        out << "linear\n";
+        static_cast<const LinearModel &>(model).save(out);
+        break;
+      case ModelType::PiecewiseLinear:
+      case ModelType::Quadratic:
+        out << "mars\n";
+        static_cast<const MarsModel &>(model).save(out);
+        break;
+      case ModelType::Switching:
+        out << "switching\n";
+        static_cast<const SwitchingModel &>(model).save(out);
+        break;
+    }
+}
+
+void
+saveModelFile(const std::string &path, const PowerModel &model)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open model file for writing: " + path);
+    saveModel(out, model);
+    fatalIf(!out.good(), "I/O error writing model file: " + path);
+}
+
+std::unique_ptr<PowerModel>
+loadModel(std::istream &in)
+{
+    std::string magic;
+    int version = 0;
+    fatalIf(!(in >> magic >> version) || magic != "chaos-model",
+            "not a chaos model file");
+    fatalIf(version != 1, "unsupported chaos model file version");
+
+    std::string kind;
+    fatalIf(!(in >> kind), "model file: missing model kind");
+    if (kind == "linear")
+        return std::make_unique<LinearModel>(LinearModel::load(in));
+    if (kind == "mars")
+        return std::make_unique<MarsModel>(MarsModel::load(in));
+    if (kind == "switching") {
+        return std::make_unique<SwitchingModel>(
+            SwitchingModel::load(in));
+    }
+    fatal("model file: unknown model kind '" + kind + "'");
+}
+
+std::unique_ptr<PowerModel>
+loadModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open model file for reading: " + path);
+    return loadModel(in);
+}
+
+} // namespace chaos

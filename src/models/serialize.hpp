@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Text serialization of trained power models.
+ *
+ * The paper's deployment story separates training (a characterization
+ * phase on an instrumented cluster) from online use (meter-free
+ * production machines); persisting trained models is what connects
+ * the two in practice. The format is a line-oriented text format:
+ * human-inspectable, diff-able, and stable across platforms.
+ */
+#ifndef CHAOS_MODELS_SERIALIZE_HPP
+#define CHAOS_MODELS_SERIALIZE_HPP
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "models/model.hpp"
+
+namespace chaos {
+
+/** Serialize a trained model to a stream; panic()s on unfitted. */
+void saveModel(std::ostream &out, const PowerModel &model);
+
+/** Serialize a trained model to a file; fatal() on I/O errors. */
+void saveModelFile(const std::string &path, const PowerModel &model);
+
+/**
+ * Deserialize a model written by saveModel(). fatal()s on malformed
+ * input. The returned model is ready to predict.
+ */
+std::unique_ptr<PowerModel> loadModel(std::istream &in);
+
+/** Deserialize from a file; fatal() on I/O or format errors. */
+std::unique_ptr<PowerModel> loadModelFile(const std::string &path);
+
+} // namespace chaos
+
+#endif // CHAOS_MODELS_SERIALIZE_HPP

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Internal helpers shared by the model save/load implementations.
+ * Not part of the public API; include from model .cpp files only.
+ */
+#ifndef CHAOS_MODELS_SERIALIZE_DETAIL_HPP
+#define CHAOS_MODELS_SERIALIZE_DETAIL_HPP
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace chaos {
+namespace serialize_detail {
+
+/** Write "key count v1 v2 ..." on one line, full precision. */
+void writeVector(std::ostream &out, const std::string &key,
+                 const std::vector<double> &values);
+
+/** Read a vector written by writeVector(); fatal() on mismatch. */
+std::vector<double> readVector(std::istream &in,
+                               const std::string &expected_key);
+
+/** Consume one token and fatal() unless it matches. */
+void expectToken(std::istream &in, const std::string &expected);
+
+} // namespace serialize_detail
+} // namespace chaos
+
+#endif // CHAOS_MODELS_SERIALIZE_DETAIL_HPP

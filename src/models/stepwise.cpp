@@ -1,0 +1,64 @@
+#include "models/stepwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.hpp"
+#include "models/model.hpp"
+#include "stats/distributions.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+StepwiseResult
+stepwiseEliminate(const Matrix &x, const std::vector<double> &y,
+                  const StepwiseConfig &config)
+{
+    panicIf(x.rows() != y.size(), "stepwise shape mismatch");
+    panicIf(x.cols() == 0, "stepwise: no features");
+
+    StepwiseResult result;
+    std::vector<size_t> kept(x.cols());
+    for (size_t i = 0; i < kept.size(); ++i)
+        kept[i] = i;
+
+    for (size_t iter = 0; iter < config.maxIterations; ++iter) {
+        const Matrix design = withIntercept(x.selectColumns(kept));
+        const auto ls = leastSquares(design, y, true);
+
+        // Wald statistic per feature column (skip the intercept).
+        std::vector<double> p_values(kept.size());
+        size_t worst = kept.size();
+        double worst_p = -1.0;
+        for (size_t i = 0; i < kept.size(); ++i) {
+            const double se = ls.stdErrors[i + 1];
+            const double coef = ls.coefficients[i + 1];
+            double p;
+            if (se <= 1e-300) {
+                // Zero standard error with a zero coefficient means
+                // a degenerate (e.g. constant) column: drop first.
+                p = std::fabs(coef) <= 1e-12 ? 1.0 : 0.0;
+            } else {
+                p = waldPValue(coef / se);
+            }
+            p_values[i] = p;
+            if (p > worst_p) {
+                worst_p = p;
+                worst = i;
+            }
+        }
+
+        const bool can_remove = kept.size() > config.minFeatures;
+        if (!can_remove || worst_p <= config.alpha) {
+            result.keptFeatures = kept;
+            result.coefficients = ls.coefficients;
+            result.pValues = p_values;
+            return result;
+        }
+        result.removedFeatures.push_back(kept[worst]);
+        kept.erase(kept.begin() + static_cast<long>(worst));
+    }
+    panic("stepwiseEliminate failed to converge");
+}
+
+} // namespace chaos

@@ -1,0 +1,160 @@
+#include "models/switching.hpp"
+
+#include <cmath>
+
+#include <iomanip>
+
+#include "models/serialize_detail.hpp"
+#include "stats/descriptive.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace chaos {
+
+SwitchingModel::SwitchingModel(SwitchingConfig config) : cfg(config) {}
+
+void
+SwitchingModel::fit(const Matrix &x, const std::vector<double> &y)
+{
+    panicIf(x.rows() != y.size(), "SwitchingModel::fit shape mismatch");
+    panicIf(cfg.frequencyFeature >= x.cols(),
+            "SwitchingModel: frequency feature out of range");
+
+    // Discover frequency states (P-states are discrete; merge values
+    // within tolerance).
+    std::vector<double> freqs = x.column(cfg.frequencyFeature);
+    states = distinctSorted(freqs, cfg.stateMergeTolerance);
+    panicIf(states.empty(), "SwitchingModel: no frequency states");
+
+    fallback.fit(x, y);
+
+    perState.assign(states.size(), LinearModel());
+    hasOwnModel.assign(states.size(), false);
+
+    for (size_t s = 0; s < states.size(); ++s) {
+        std::vector<size_t> rows;
+        for (size_t r = 0; r < x.rows(); ++r) {
+            if (nearestState(x(r, cfg.frequencyFeature)) == s)
+                rows.push_back(r);
+        }
+        // A state needs enough rows to support its own regression
+        // (the switching model's parameter count is what makes it
+        // "rigid" in the paper's terms).
+        if (rows.size() >= cfg.minRowsPerState &&
+            rows.size() > x.cols() + 2) {
+            std::vector<double> ys;
+            ys.reserve(rows.size());
+            for (size_t r : rows)
+                ys.push_back(y[r]);
+            perState[s].fit(x.selectRows(rows), ys);
+            hasOwnModel[s] = true;
+        }
+    }
+}
+
+size_t
+SwitchingModel::nearestState(double freq) const
+{
+    size_t best = 0;
+    double best_dist = std::fabs(states[0] - freq);
+    for (size_t s = 1; s < states.size(); ++s) {
+        const double dist = std::fabs(states[s] - freq);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = s;
+        }
+    }
+    return best;
+}
+
+double
+SwitchingModel::predict(const std::vector<double> &row) const
+{
+    panicIf(states.empty(), "SwitchingModel::predict before fit");
+    panicIf(cfg.frequencyFeature >= row.size(),
+            "SwitchingModel::predict width mismatch");
+    const size_t s = nearestState(row[cfg.frequencyFeature]);
+    return hasOwnModel[s] ? perState[s].predict(row)
+                          : fallback.predict(row);
+}
+
+std::string
+SwitchingModel::describe() const
+{
+    std::string out = "switching on feature " +
+                      std::to_string(cfg.frequencyFeature) + ": " +
+                      std::to_string(states.size()) + " states (";
+    for (size_t s = 0; s < states.size(); ++s) {
+        out += formatDouble(states[s], 0) + "MHz" +
+               (hasOwnModel[s] ? "" : "[fallback]");
+        if (s + 1 < states.size())
+            out += ", ";
+    }
+    return out + ")";
+}
+
+size_t
+SwitchingModel::numParameters() const
+{
+    size_t count = fallback.numParameters();
+    for (size_t s = 0; s < states.size(); ++s) {
+        if (hasOwnModel[s])
+            count += perState[s].numParameters();
+    }
+    return count;
+}
+
+void
+SwitchingModel::save(std::ostream &out) const
+{
+    panicIf(states.empty(), "SwitchingModel::save before fit");
+    out << "freq_feature " << cfg.frequencyFeature << '\n';
+    out << "min_rows " << cfg.minRowsPerState << '\n';
+    out << std::setprecision(17);
+    out << "merge_tol " << cfg.stateMergeTolerance << '\n';
+    serialize_detail::writeVector(out, "states", states);
+    for (size_t s = 0; s < states.size(); ++s) {
+        out << "state_model " << s << ' '
+            << (hasOwnModel[s] ? 1 : 0) << '\n';
+        if (hasOwnModel[s])
+            perState[s].save(out);
+    }
+    out << "fallback\n";
+    fallback.save(out);
+}
+
+SwitchingModel
+SwitchingModel::load(std::istream &in)
+{
+    SwitchingConfig cfg;
+    serialize_detail::expectToken(in, "freq_feature");
+    fatalIf(!(in >> cfg.frequencyFeature),
+            "model file: bad switching header");
+    serialize_detail::expectToken(in, "min_rows");
+    fatalIf(!(in >> cfg.minRowsPerState),
+            "model file: bad switching header");
+    serialize_detail::expectToken(in, "merge_tol");
+    fatalIf(!(in >> cfg.stateMergeTolerance),
+            "model file: bad switching header");
+
+    SwitchingModel model(cfg);
+    model.states = serialize_detail::readVector(in, "states");
+    model.perState.assign(model.states.size(), LinearModel());
+    model.hasOwnModel.assign(model.states.size(), false);
+    for (size_t s = 0; s < model.states.size(); ++s) {
+        serialize_detail::expectToken(in, "state_model");
+        size_t index = 0;
+        int own = 0;
+        fatalIf(!(in >> index >> own) || index != s,
+                "model file: bad switching state record");
+        if (own != 0) {
+            model.perState[s] = LinearModel::load(in);
+            model.hasOwnModel[s] = true;
+        }
+    }
+    serialize_detail::expectToken(in, "fallback");
+    model.fallback = LinearModel::load(in);
+    return model;
+}
+
+} // namespace chaos

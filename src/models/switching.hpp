@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Frequency-switching power model (paper Eq. 4): a separate linear
+ * model per CPU frequency state, selected by an indicator on the
+ * frequency feature. Unlike MARS knots, the indicator partitions the
+ * whole feature space, so the model may be discontinuous at
+ * frequency transitions.
+ */
+#ifndef CHAOS_MODELS_SWITCHING_HPP
+#define CHAOS_MODELS_SWITCHING_HPP
+
+#include "models/linear.hpp"
+#include <iosfwd>
+
+#include "models/model.hpp"
+
+namespace chaos {
+
+/** Configuration for the switching model. */
+struct SwitchingConfig
+{
+    /**
+     * Column index of the frequency feature used as the indicator
+     * I(f). The caller locates "Processor_0 Frequency" in its
+     * feature set.
+     */
+    size_t frequencyFeature = 0;
+    /**
+     * Minimum training rows a frequency state needs for its own
+     * linear model; sparser states fall back to the global model.
+     */
+    size_t minRowsPerState = 30;
+    /**
+     * Frequencies closer than this (MHz) are treated as one state
+     * (absorbs measurement jitter around P-states).
+     */
+    double stateMergeTolerance = 10.0;
+};
+
+/** Per-frequency-state set of linear models. */
+class SwitchingModel : public PowerModel
+{
+  public:
+    /** @param config Indicator feature and state handling knobs. */
+    explicit SwitchingModel(SwitchingConfig config);
+
+    void fit(const Matrix &x, const std::vector<double> &y) override;
+    double predict(const std::vector<double> &row) const override;
+    std::string describe() const override;
+    size_t numParameters() const override;
+    ModelType type() const override { return ModelType::Switching; }
+
+    /** Number of distinct frequency states discovered in training. */
+    size_t numStates() const { return states.size(); }
+
+    /** Write fitted state as text (see models/serialize.hpp). */
+    void save(std::ostream &out) const;
+
+    /** Read fitted state written by save(). */
+    static SwitchingModel load(std::istream &in);
+
+  private:
+    /** Index of the state whose frequency is nearest to @p freq. */
+    size_t nearestState(double freq) const;
+
+    SwitchingConfig cfg;
+    std::vector<double> states;         ///< State center frequencies.
+    std::vector<LinearModel> perState;  ///< Model per state.
+    std::vector<bool> hasOwnModel;      ///< False -> fallback used.
+    LinearModel fallback;               ///< Global model.
+};
+
+} // namespace chaos
+
+#endif // CHAOS_MODELS_SWITCHING_HPP

@@ -1,0 +1,725 @@
+#include "oscounters/counter_catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+std::string
+counterCategoryName(CounterCategory category)
+{
+    switch (category) {
+      case CounterCategory::Processor:            return "Processor";
+      case CounterCategory::ProcessorPerformance:
+        return "Processor Performance";
+      case CounterCategory::Memory:               return "Memory";
+      case CounterCategory::PhysicalDisk:         return "Physical Disk";
+      case CounterCategory::Network:              return "Network";
+      case CounterCategory::FileSystemCache:
+        return "File System Cache";
+      case CounterCategory::Process:              return "Process";
+      case CounterCategory::JobObjectDetails:
+        return "Job Object Details";
+      case CounterCategory::System:               return "System";
+    }
+    panic("unknown counter category");
+}
+
+const CounterCatalog &
+CounterCatalog::instance()
+{
+    static const CounterCatalog catalog;
+    return catalog;
+}
+
+void
+CounterCatalog::add(std::string name, CounterCategory category,
+                    std::function<double(const SampleContext &)> compute)
+{
+    defs.push_back(
+        {std::move(name), category, std::move(compute)});
+}
+
+const CounterDef &
+CounterCatalog::def(size_t index) const
+{
+    panicIf(index >= defs.size(), "counter index out of range");
+    return defs[index];
+}
+
+size_t
+CounterCatalog::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < defs.size(); ++i) {
+        if (defs[i].name == name)
+            return i;
+    }
+    fatal("unknown counter name: " + name);
+}
+
+bool
+CounterCatalog::contains(const std::string &name) const
+{
+    for (const auto &d : defs) {
+        if (d.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<size_t>
+CounterCatalog::inCategory(CounterCategory category) const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < defs.size(); ++i) {
+        if (defs[i].category == category)
+            out.push_back(i);
+    }
+    return out;
+}
+
+namespace {
+
+constexpr size_t kMaxCores = 8;
+constexpr size_t kMaxDisks = 6;
+
+/** Per-core utilization, 0 for cores the platform lacks. */
+double
+coreUtil(const SampleContext &ctx, size_t core)
+{
+    if (core >= ctx.state.coreUtilization.size())
+        return 0.0;
+    return ctx.state.coreUtilization[core];
+}
+
+/** Per-core frequency in MHz, 0 for cores the platform lacks. */
+double
+coreFreq(const SampleContext &ctx, size_t core)
+{
+    if (core >= ctx.state.coreFrequencyMhz.size())
+        return 0.0;
+    return ctx.state.coreFrequencyMhz[core];
+}
+
+/** Kernel share of CPU time this second (drawn once per tick in the
+ *  machine model, so all privileged-time counters stay coherent). */
+double
+privilegedShare(const SampleContext &ctx)
+{
+    return ctx.state.privilegedShare;
+}
+
+const DiskState *
+disk(const SampleContext &ctx, size_t index)
+{
+    if (index >= ctx.state.disks.size())
+        return nullptr;
+    return &ctx.state.disks[index];
+}
+
+} // namespace
+
+CounterCatalog::CounterCatalog()
+{
+    using CC = CounterCategory;
+
+    // ------------------------------------------------------------
+    // Processor object: per-core and _Total utilization breakdowns.
+    // ------------------------------------------------------------
+    for (size_t c = 0; c < kMaxCores; ++c) {
+        const std::string inst = "Processor(" + std::to_string(c) + ")";
+        add(inst + "\\% Processor Time", CC::Processor,
+            [c](const SampleContext &ctx) {
+                return 100.0 * coreUtil(ctx, c);
+            });
+        add(inst + "\\% Privileged Time", CC::Processor,
+            [c](const SampleContext &ctx) {
+                return 100.0 * coreUtil(ctx, c) * privilegedShare(ctx);
+            });
+        add(inst + "\\% User Time", CC::Processor,
+            [c](const SampleContext &ctx) {
+                return 100.0 * coreUtil(ctx, c) *
+                       (1.0 - privilegedShare(ctx));
+            });
+        add(inst + "\\% Idle Time", CC::Processor,
+            [c](const SampleContext &ctx) {
+                if (c >= ctx.spec.numCores)
+                    return 100.0;
+                return 100.0 * (1.0 - coreUtil(ctx, c));
+            });
+        add(inst + "\\% C1 Time", CC::Processor,
+            [c](const SampleContext &ctx) {
+                if (!ctx.spec.hasC1 || c >= ctx.spec.numCores)
+                    return 0.0;
+                return ctx.state.inC1
+                           ? 100.0
+                           : 55.0 * (1.0 - coreUtil(ctx, c));
+            });
+        add(inst + "\\C1 Transitions/sec", CC::Processor,
+            [c](const SampleContext &ctx) {
+                if (!ctx.spec.hasC1 || c >= ctx.spec.numCores)
+                    return 0.0;
+                return (1.0 - coreUtil(ctx, c)) * 400.0 *
+                       ctx.rng.uniform(0.8, 1.2);
+            });
+    }
+    add("Processor(_Total)\\% Processor Time", CC::Processor,
+        [](const SampleContext &ctx) {
+            return 100.0 * ctx.state.meanUtilization();
+        });
+    add("Processor(_Total)\\% Privileged Time", CC::Processor,
+        [](const SampleContext &ctx) {
+            return 100.0 * ctx.state.meanUtilization() *
+                   privilegedShare(ctx);
+        });
+    add("Processor(_Total)\\% User Time", CC::Processor,
+        [](const SampleContext &ctx) {
+            return 100.0 * ctx.state.meanUtilization() *
+                   (1.0 - privilegedShare(ctx));
+        });
+    add("Processor(_Total)\\Interrupts/sec", CC::Processor,
+        [](const SampleContext &ctx) {
+            return ctx.state.interruptsPerSec;
+        });
+    add("Processor(_Total)\\% DPC Time", CC::Processor,
+        [](const SampleContext &ctx) { return ctx.state.dpcTimePct; });
+    add("Processor(_Total)\\% Interrupt Time", CC::Processor,
+        [](const SampleContext &ctx) {
+            return 0.4 * ctx.state.dpcTimePct *
+                   ctx.rng.uniform(0.9, 1.1);
+        });
+    add("Processor(_Total)\\DPCs Queued/sec", CC::Processor,
+        [](const SampleContext &ctx) {
+            return 60.0 * ctx.state.dpcTimePct *
+                   ctx.rng.uniform(0.9, 1.1);
+        });
+
+    // ------------------------------------------------------------
+    // Processor Performance object: per-core frequency (the counter
+    // whose availability in Server 2008 R2 the paper highlights).
+    // ------------------------------------------------------------
+    for (size_t c = 0; c < kMaxCores; ++c) {
+        add("Processor Performance\\Processor_" + std::to_string(c) +
+                " Frequency",
+            CC::ProcessorPerformance,
+            [c](const SampleContext &ctx) { return coreFreq(ctx, c); });
+    }
+    add("Processor Performance\\% of Maximum Frequency",
+        CC::ProcessorPerformance, [](const SampleContext &ctx) {
+            return 100.0 * coreFreq(ctx, 0) /
+                   ctx.spec.maxFrequencyMhz();
+        });
+    add("Processor Performance\\Processor_0 Frequency Lag1",
+        CC::ProcessorPerformance, [](const SampleContext &ctx) {
+            return ctx.prevCoreFreqMhz;
+        });
+    add("Processor Performance\\Processor_0 Frequency Lag2",
+        CC::ProcessorPerformance, [](const SampleContext &ctx) {
+            return ctx.prevCoreFreqMhz2;
+        });
+    add("Processor Performance\\Processor_0 Frequency Lag3",
+        CC::ProcessorPerformance, [](const SampleContext &ctx) {
+            return ctx.prevCoreFreqMhz3;
+        });
+
+    // ------------------------------------------------------------
+    // Memory object.
+    // ------------------------------------------------------------
+    add("Memory\\Pages/sec", CC::Memory, [](const SampleContext &ctx) {
+        return ctx.state.pagesPerSec;
+    });
+    add("Memory\\Page Faults/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            return ctx.state.pageFaultsPerSec;
+        });
+    add("Memory\\Cache Faults/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            return ctx.state.cacheFaultsPerSec;
+        });
+    add("Memory\\Page Reads/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            return ctx.state.pageReadsPerSec;
+        });
+    add("Memory\\Page Writes/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            return std::max(0.0, ctx.state.pagesPerSec -
+                                     ctx.state.pageReadsPerSec);
+        });
+    add("Memory\\Pages Input/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            // Pages read in: nearly proportional to Page Reads/sec
+            // (a correlated sibling for step 1 to prune).
+            return ctx.state.pageReadsPerSec * 3.8 *
+                   ctx.rng.uniform(0.98, 1.02);
+        });
+    add("Memory\\Pages Output/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            return std::max(0.0, ctx.state.pagesPerSec -
+                                     ctx.state.pageReadsPerSec) *
+                   3.8 * ctx.rng.uniform(0.98, 1.02);
+        });
+    add("Memory\\Committed Bytes", CC::Memory,
+        [](const SampleContext &ctx) {
+            return ctx.state.committedBytes;
+        });
+    add("Memory\\% Committed Bytes In Use", CC::Memory,
+        [](const SampleContext &ctx) {
+            const double limit =
+                ctx.spec.memoryGB * 1e9 * 1.5;  // RAM + pagefile.
+            return 100.0 * ctx.state.committedBytes / limit;
+        });
+    add("Memory\\Available Bytes", CC::Memory,
+        [](const SampleContext &ctx) {
+            const double ram = ctx.spec.memoryGB * 1e9;
+            return std::max(0.05 * ram,
+                            ram - ctx.state.committedBytes * 0.8);
+        });
+    add("Memory\\Pool Nonpaged Allocs", CC::Memory,
+        [](const SampleContext &ctx) {
+            return ctx.state.poolNonpagedAllocs;
+        });
+    add("Memory\\Pool Nonpaged Bytes", CC::Memory,
+        [](const SampleContext &ctx) {
+            return ctx.state.poolNonpagedAllocs * 512.0 *
+                   ctx.rng.uniform(0.99, 1.01);
+        });
+    add("Memory\\Pool Paged Bytes", CC::Memory,
+        [](const SampleContext &ctx) {
+            return 6.0e7 + ctx.state.committedBytes * 0.01;
+        });
+    add("Memory\\Cache Bytes", CC::Memory,
+        [](const SampleContext &ctx) {
+            return 1.5e8 + 3.0e4 * ctx.state.copyReadsPerSec;
+        });
+    add("Memory\\Demand Zero Faults/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            return 0.45 * ctx.state.pageFaultsPerSec *
+                   ctx.rng.uniform(0.95, 1.05);
+        });
+    add("Memory\\Transition Faults/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            return 0.30 * ctx.state.pageFaultsPerSec *
+                   ctx.rng.uniform(0.95, 1.05);
+        });
+    add("Memory\\Write Copies/sec", CC::Memory,
+        [](const SampleContext &ctx) {
+            return 20.0 * ctx.rng.uniform(0.5, 1.5);
+        });
+    add("Memory\\Free System Page Table Entries", CC::Memory,
+        [](const SampleContext &ctx) {
+            return 3.3e7 * ctx.rng.uniform(0.999, 1.001);
+        });
+    add("Memory\\System Cache Resident Bytes", CC::Memory,
+        [](const SampleContext &ctx) {
+            return 2.0e8 + 2.0e4 * ctx.state.copyReadsPerSec;
+        });
+    add("Memory\\System Code Resident Bytes", CC::Memory,
+        [](const SampleContext &ctx) {
+            return 2.5e6 * ctx.rng.uniform(0.999, 1.001);
+        });
+
+    // ------------------------------------------------------------
+    // PhysicalDisk object: per-disk and _Total.
+    // ------------------------------------------------------------
+    for (size_t d = 0; d < kMaxDisks; ++d) {
+        const std::string inst =
+            "PhysicalDisk(" + std::to_string(d) + ")";
+        add(inst + "\\% Disk Time", CC::PhysicalDisk,
+            [d](const SampleContext &ctx) {
+                const DiskState *ds = disk(ctx, d);
+                return ds ? 100.0 * ds->utilization : 0.0;
+            });
+        add(inst + "\\Disk Bytes/sec", CC::PhysicalDisk,
+            [d](const SampleContext &ctx) {
+                const DiskState *ds = disk(ctx, d);
+                return ds ? ds->readBytes + ds->writeBytes : 0.0;
+            });
+        add(inst + "\\Disk Read Bytes/sec", CC::PhysicalDisk,
+            [d](const SampleContext &ctx) {
+                const DiskState *ds = disk(ctx, d);
+                return ds ? ds->readBytes : 0.0;
+            });
+        add(inst + "\\Disk Write Bytes/sec", CC::PhysicalDisk,
+            [d](const SampleContext &ctx) {
+                const DiskState *ds = disk(ctx, d);
+                return ds ? ds->writeBytes : 0.0;
+            });
+        add(inst + "\\Avg. Disk Queue Length", CC::PhysicalDisk,
+            [d](const SampleContext &ctx) {
+                const DiskState *ds = disk(ctx, d);
+                if (!ds)
+                    return 0.0;
+                const double u = ds->utilization;
+                return u < 0.98 ? u / (1.0 - u + 0.02) : 50.0;
+            });
+        coDeps.push_back({inst + "\\Disk Bytes/sec",
+                          {inst + "\\Disk Read Bytes/sec",
+                           inst + "\\Disk Write Bytes/sec"}});
+    }
+    add("PhysicalDisk(_Total)\\% Disk Time", CC::PhysicalDisk,
+        [](const SampleContext &ctx) {
+            return 100.0 * ctx.state.meanDiskUtilization();
+        });
+    add("PhysicalDisk(_Total)\\Disk Bytes/sec", CC::PhysicalDisk,
+        [](const SampleContext &ctx) {
+            return ctx.state.totalDiskBytes();
+        });
+    add("PhysicalDisk(_Total)\\Disk Read Bytes/sec", CC::PhysicalDisk,
+        [](const SampleContext &ctx) {
+            double acc = 0.0;
+            for (const auto &ds : ctx.state.disks)
+                acc += ds.readBytes;
+            return acc;
+        });
+    add("PhysicalDisk(_Total)\\Disk Write Bytes/sec", CC::PhysicalDisk,
+        [](const SampleContext &ctx) {
+            double acc = 0.0;
+            for (const auto &ds : ctx.state.disks)
+                acc += ds.writeBytes;
+            return acc;
+        });
+    coDeps.push_back({"PhysicalDisk(_Total)\\Disk Bytes/sec",
+                      {"PhysicalDisk(_Total)\\Disk Read Bytes/sec",
+                       "PhysicalDisk(_Total)\\Disk Write Bytes/sec"}});
+    add("PhysicalDisk(_Total)\\Disk Reads/sec", CC::PhysicalDisk,
+        [](const SampleContext &ctx) {
+            double acc = 0.0;
+            for (const auto &ds : ctx.state.disks)
+                acc += ds.readBytes;
+            return acc / 65536.0 * ctx.rng.uniform(0.97, 1.03);
+        });
+    add("PhysicalDisk(_Total)\\Disk Writes/sec", CC::PhysicalDisk,
+        [](const SampleContext &ctx) {
+            double acc = 0.0;
+            for (const auto &ds : ctx.state.disks)
+                acc += ds.writeBytes;
+            return acc / 65536.0 * ctx.rng.uniform(0.97, 1.03);
+        });
+    add("PhysicalDisk(_Total)\\Disk Transfers/sec", CC::PhysicalDisk,
+        [](const SampleContext &ctx) {
+            return ctx.state.totalDiskBytes() / 65536.0 *
+                   ctx.rng.uniform(0.97, 1.03);
+        });
+    add("PhysicalDisk(_Total)\\Avg. Disk sec/Transfer",
+        CC::PhysicalDisk, [](const SampleContext &ctx) {
+            const double u = ctx.state.meanDiskUtilization();
+            return (0.002 + 0.02 * u) * ctx.rng.uniform(0.9, 1.1);
+        });
+    add("PhysicalDisk(_Total)\\Split IO/sec", CC::PhysicalDisk,
+        [](const SampleContext &ctx) {
+            double seeks = 0.0;
+            for (const auto &ds : ctx.state.disks)
+                seeks += ds.seekRate;
+            return 0.1 * seeks * ctx.rng.uniform(0.8, 1.2);
+        });
+
+    // ------------------------------------------------------------
+    // Network objects (interface + protocol stacks).
+    // ------------------------------------------------------------
+    add("Network Interface(nic0)\\Bytes Total/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.state.netRxBytes + ctx.state.netTxBytes;
+        });
+    add("Network Interface(nic0)\\Bytes Received/sec", CC::Network,
+        [](const SampleContext &ctx) { return ctx.state.netRxBytes; });
+    add("Network Interface(nic0)\\Bytes Sent/sec", CC::Network,
+        [](const SampleContext &ctx) { return ctx.state.netTxBytes; });
+    coDeps.push_back(
+        {"Network Interface(nic0)\\Bytes Total/sec",
+         {"Network Interface(nic0)\\Bytes Received/sec",
+          "Network Interface(nic0)\\Bytes Sent/sec"}});
+    add("Network Interface(nic0)\\Packets/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            const double bytes =
+                ctx.state.netRxBytes + ctx.state.netTxBytes;
+            return bytes / 1200.0 * ctx.rng.uniform(0.97, 1.03);
+        });
+    add("Network Interface(nic0)\\Packets Received/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.state.netRxBytes / 1200.0 *
+                   ctx.rng.uniform(0.97, 1.03);
+        });
+    add("Network Interface(nic0)\\Packets Sent/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.state.netTxBytes / 1200.0 *
+                   ctx.rng.uniform(0.97, 1.03);
+        });
+    add("Network Interface(nic0)\\Output Queue Length", CC::Network,
+        [](const SampleContext &ctx) {
+            const double load = ctx.state.netTxBytes / 125e6;
+            return load > 0.9 ? (load - 0.9) * 40.0 : 0.0;
+        });
+    add("Network Interface(nic0)\\Current Bandwidth", CC::Network,
+        [](const SampleContext &) { return 1.0e9; });
+    add("IPv4\\Datagrams/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            const double bytes =
+                ctx.state.netRxBytes + ctx.state.netTxBytes;
+            return bytes / 1350.0 * ctx.rng.uniform(0.96, 1.04);
+        });
+    add("IPv4\\Datagrams Received/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.state.netRxBytes / 1350.0 *
+                   ctx.rng.uniform(0.96, 1.04);
+        });
+    add("IPv4\\Datagrams Sent/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.state.netTxBytes / 1350.0 *
+                   ctx.rng.uniform(0.96, 1.04);
+        });
+    add("TCPv4\\Segments/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            const double bytes =
+                ctx.state.netRxBytes + ctx.state.netTxBytes;
+            return bytes / 1400.0 * ctx.rng.uniform(0.96, 1.04);
+        });
+    add("TCPv4\\Segments Received/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.state.netRxBytes / 1400.0 *
+                   ctx.rng.uniform(0.96, 1.04);
+        });
+    add("TCPv4\\Segments Sent/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.state.netTxBytes / 1400.0 *
+                   ctx.rng.uniform(0.96, 1.04);
+        });
+    add("TCPv4\\Connections Established", CC::Network,
+        [](const SampleContext &ctx) {
+            return 12.0 + 30.0 * ctx.state.netRxBytes / 125e6 +
+                   ctx.rng.uniform(0.0, 3.0);
+        });
+    // Mostly-dead protocol stacks: legitimate near-zero counters.
+    add("UDPv6\\Datagrams/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.rng.uniform(0.0, 2.0);
+        });
+    add("TCPv6\\Segments/sec", CC::Network,
+        [](const SampleContext &ctx) {
+            return ctx.rng.uniform(0.0, 1.0);
+        });
+
+    // ------------------------------------------------------------
+    // Cache object (file system cache).
+    // ------------------------------------------------------------
+    add("Cache\\Data Map Pins/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.dataMapPinsPerSec;
+        });
+    add("Cache\\Pin Reads/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.pinReadsPerSec;
+        });
+    add("Cache\\Pin Read Hits %", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.pinReadHitPct;
+        });
+    add("Cache\\Copy Reads/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.copyReadsPerSec;
+        });
+    add("Cache\\Copy Read Hits %", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return std::clamp(ctx.state.pinReadHitPct -
+                                  ctx.rng.uniform(0.0, 4.0),
+                              50.0, 100.0);
+        });
+    add("Cache\\Fast Reads/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return 0.7 * ctx.state.copyReadsPerSec *
+                   ctx.rng.uniform(0.95, 1.05);
+        });
+    add("Cache\\Fast Reads Not Possible/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.fastReadsNotPossiblePerSec;
+        });
+    add("Cache\\Lazy Write Flushes/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.lazyWriteFlushesPerSec;
+        });
+    add("Cache\\Lazy Write Pages/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.lazyWriteFlushesPerSec * 14.0 *
+                   ctx.rng.uniform(0.9, 1.1);
+        });
+    add("Cache\\Data Flushes/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.lazyWriteFlushesPerSec * 1.6 *
+                   ctx.rng.uniform(0.9, 1.1);
+        });
+    add("Cache\\Data Flush Pages/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return ctx.state.lazyWriteFlushesPerSec * 22.0 *
+                   ctx.rng.uniform(0.9, 1.1);
+        });
+    add("Cache\\Read Aheads/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            double reads = 0.0;
+            for (const auto &ds : ctx.state.disks)
+                reads += ds.readBytes;
+            return reads / 2.6e5 * ctx.rng.uniform(0.9, 1.1);
+        });
+    add("Cache\\MDL Reads/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return 0.15 * ctx.state.copyReadsPerSec *
+                   ctx.rng.uniform(0.9, 1.1);
+        });
+    add("Cache\\Async Copy Reads/sec", CC::FileSystemCache,
+        [](const SampleContext &ctx) {
+            return 0.25 * ctx.state.copyReadsPerSec *
+                   ctx.rng.uniform(0.9, 1.1);
+        });
+
+    // ------------------------------------------------------------
+    // Process object (_Total across all processes).
+    // ------------------------------------------------------------
+    add("Process(_Total)\\% Processor Time", CC::Process,
+        [](const SampleContext &ctx) {
+            return 100.0 * ctx.state.meanUtilization() *
+                   static_cast<double>(ctx.spec.numCores);
+        });
+    add("Process(_Total)\\Page Faults/sec", CC::Process,
+        [](const SampleContext &ctx) {
+            return ctx.state.processPageFaultsPerSec;
+        });
+    add("Process(_Total)\\IO Data Bytes/sec", CC::Process,
+        [](const SampleContext &ctx) {
+            return ctx.state.processIoDataBytesPerSec;
+        });
+    add("Process(_Total)\\IO Read Bytes/sec", CC::Process,
+        [](const SampleContext &ctx) {
+            return 0.6 * ctx.state.processIoDataBytesPerSec;
+        });
+    add("Process(_Total)\\IO Write Bytes/sec", CC::Process,
+        [](const SampleContext &ctx) {
+            return 0.4 * ctx.state.processIoDataBytesPerSec;
+        });
+    coDeps.push_back({"Process(_Total)\\IO Data Bytes/sec",
+                      {"Process(_Total)\\IO Read Bytes/sec",
+                       "Process(_Total)\\IO Write Bytes/sec"}});
+    add("Process(_Total)\\IO Other Bytes/sec", CC::Process,
+        [](const SampleContext &ctx) {
+            return 1.0e4 * ctx.rng.uniform(0.5, 1.5);
+        });
+    add("Process(_Total)\\Working Set", CC::Process,
+        [](const SampleContext &ctx) {
+            return ctx.state.committedBytes * 0.85;
+        });
+    add("Process(_Total)\\Private Bytes", CC::Process,
+        [](const SampleContext &ctx) {
+            return ctx.state.committedBytes * 0.9;
+        });
+    add("Process(_Total)\\Virtual Bytes", CC::Process,
+        [](const SampleContext &ctx) {
+            return ctx.state.committedBytes * 2.6;
+        });
+    add("Process(_Total)\\Thread Count", CC::Process,
+        [](const SampleContext &ctx) {
+            return 800.0 +
+                   120.0 * ctx.state.meanUtilization() *
+                       static_cast<double>(ctx.spec.numCores) +
+                   ctx.rng.uniform(0.0, 10.0);
+        });
+    add("Process(_Total)\\Handle Count", CC::Process,
+        [](const SampleContext &ctx) {
+            return 21000.0 + ctx.rng.uniform(0.0, 500.0);
+        });
+
+    // ------------------------------------------------------------
+    // Job Object Details (_Total).
+    // ------------------------------------------------------------
+    add("Job Object Details(_Total)\\Page File Bytes Peak",
+        CC::JobObjectDetails, [](const SampleContext &ctx) {
+            return ctx.state.pageFileBytesPeak;
+        });
+    add("Job Object Details(_Total)\\Page File Bytes",
+        CC::JobObjectDetails, [](const SampleContext &ctx) {
+            return ctx.state.committedBytes * 1.05;
+        });
+    add("Job Object Details(_Total)\\Working Set Peak",
+        CC::JobObjectDetails, [](const SampleContext &ctx) {
+            return ctx.state.pageFileBytesPeak * 0.8;
+        });
+    add("Job Object Details(_Total)\\Working Set",
+        CC::JobObjectDetails, [](const SampleContext &ctx) {
+            return ctx.state.committedBytes * 0.8;
+        });
+
+    // ------------------------------------------------------------
+    // System / housekeeping counters: mostly irrelevant to power;
+    // the L1/stepwise passes must reject these.
+    // ------------------------------------------------------------
+    add("System\\Context Switches/sec", CC::System,
+        [](const SampleContext &ctx) {
+            return 2000.0 +
+                   9000.0 * ctx.state.meanUtilization() +
+                   ctx.state.interruptsPerSec * 0.5 +
+                   ctx.rng.normal(0.0, 300.0);
+        });
+    add("System\\System Calls/sec", CC::System,
+        [](const SampleContext &ctx) {
+            return 15000.0 + 60000.0 * ctx.state.meanUtilization() +
+                   ctx.rng.normal(0.0, 2000.0);
+        });
+    add("System\\Processes", CC::System, [](const SampleContext &ctx) {
+        return 60.0 + ctx.rng.uniform(0.0, 4.0);
+    });
+    add("System\\Threads", CC::System, [](const SampleContext &ctx) {
+        return 850.0 + ctx.rng.uniform(0.0, 40.0);
+    });
+    add("System\\System Up Time", CC::System,
+        [](const SampleContext &ctx) {
+            return 86400.0 + ctx.state.uptimeSeconds;
+        });
+    add("System\\Processor Queue Length", CC::System,
+        [](const SampleContext &ctx) {
+            const double u = ctx.state.meanUtilization();
+            return u > 0.9 ? (u - 0.9) * 30.0 + ctx.rng.uniform(0, 2)
+                           : ctx.rng.uniform(0.0, 1.0);
+        });
+    add("System\\File Read Operations/sec", CC::System,
+        [](const SampleContext &ctx) {
+            double reads = 0.0;
+            for (const auto &ds : ctx.state.disks)
+                reads += ds.readBytes;
+            return reads / 60000.0 * ctx.rng.uniform(0.9, 1.1);
+        });
+    add("System\\File Write Operations/sec", CC::System,
+        [](const SampleContext &ctx) {
+            double writes = 0.0;
+            for (const auto &ds : ctx.state.disks)
+                writes += ds.writeBytes;
+            return writes / 60000.0 * ctx.rng.uniform(0.9, 1.1);
+        });
+    add("Objects\\Events", CC::System, [](const SampleContext &ctx) {
+        return 4200.0 + ctx.rng.uniform(0.0, 100.0);
+    });
+    add("Objects\\Mutexes", CC::System, [](const SampleContext &ctx) {
+        return 900.0 + ctx.rng.uniform(0.0, 30.0);
+    });
+    add("Objects\\Semaphores", CC::System,
+        [](const SampleContext &ctx) {
+            return 1500.0 + ctx.rng.uniform(0.0, 50.0);
+        });
+    add("Objects\\Sections", CC::System, [](const SampleContext &ctx) {
+        return 3100.0 + ctx.rng.uniform(0.0, 80.0);
+    });
+    add("Paging File(_Total)\\% Usage", CC::System,
+        [](const SampleContext &ctx) {
+            const double pagefile = ctx.spec.memoryGB * 1e9;
+            return 100.0 *
+                   std::min(0.9, 0.02 + 0.15 * ctx.state.committedBytes /
+                                            pagefile);
+        });
+    add("Paging File(_Total)\\% Usage Peak", CC::System,
+        [](const SampleContext &ctx) {
+            const double pagefile = ctx.spec.memoryGB * 1e9;
+            return 100.0 * std::min(0.95,
+                                    0.02 + 0.15 *
+                                               ctx.state.pageFileBytesPeak /
+                                               pagefile);
+        });
+}
+
+} // namespace chaos

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The OS performance counter catalog.
+ *
+ * Windows Server 2008 R2 exposes roughly 10,000 counters; the paper
+ * pre-screens them to ~250 in seven categories (processor, memory,
+ * physical disk, process, job object, file system cache, network).
+ * This catalog is that pre-screened set: ~220 counters spanning the
+ * same categories, expanded per instance (per core, per disk), with
+ * the same redundancy structure real Perfmon data has —
+ *
+ *  - highly correlated siblings (per-core vs _Total utilization,
+ *    packets vs bytes) that step 1 of Algorithm 1 must prune,
+ *  - co-dependent triples (Disk Bytes/sec = Read + Write) that step 2
+ *    eliminates from counter definitions,
+ *  - irrelevant counters (up time, object counts) that the L1 and
+ *    stepwise passes must reject.
+ *
+ * The catalog is identical on every platform so cluster datasets from
+ * different machine classes share one feature space; counters for
+ * hardware a platform lacks (cores 2-7 on a dual-core, disks 1-5 on a
+ * single-SSD box) legitimately read ~0 and are dropped as constants.
+ */
+#ifndef CHAOS_OSCOUNTERS_COUNTER_CATALOG_HPP
+#define CHAOS_OSCOUNTERS_COUNTER_CATALOG_HPP
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine_spec.hpp"
+#include "sim/machine_state.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+
+/** Perfmon-style counter categories (paper Table II). */
+enum class CounterCategory
+{
+    Processor,
+    ProcessorPerformance,
+    Memory,
+    PhysicalDisk,
+    Network,
+    FileSystemCache,
+    Process,
+    JobObjectDetails,
+    System,     ///< Housekeeping/irrelevant counters.
+};
+
+/** Human-readable category name. */
+std::string counterCategoryName(CounterCategory category);
+
+/** Inputs available to a counter's compute function. */
+struct SampleContext
+{
+    const MachineState &state;      ///< Component snapshot.
+    const MachineSpec &spec;        ///< Platform description.
+    Rng &rng;                       ///< Per-sample observation noise.
+    double prevCoreFreqMhz = 0.0;   ///< Core 0 frequency at t-1.
+    double prevCoreFreqMhz2 = 0.0;  ///< Core 0 frequency at t-2.
+    double prevCoreFreqMhz3 = 0.0;  ///< Core 0 frequency at t-3.
+};
+
+/** One counter definition. */
+struct CounterDef
+{
+    std::string name;               ///< Full Perfmon-style path.
+    CounterCategory category;       ///< Table II category.
+    /** Compute this counter's value for one second. */
+    std::function<double(const SampleContext &)> compute;
+};
+
+/**
+ * A co-dependency known from counter definitions: the counter named
+ * @p sum equals the sum of @p parts by construction. Step 2 of the
+ * feature reduction algorithm consumes these.
+ */
+struct CoDependency
+{
+    std::string sum;                ///< The derived counter.
+    std::vector<std::string> parts; ///< Its exact addends.
+};
+
+/** The full counter catalog; one global immutable instance. */
+class CounterCatalog
+{
+  public:
+    /** The process-wide catalog (built on first use). */
+    static const CounterCatalog &instance();
+
+    /** Number of counters. */
+    size_t size() const { return defs.size(); }
+
+    /** Definition of counter @p index. */
+    const CounterDef &def(size_t index) const;
+
+    /** All definitions in index order. */
+    const std::vector<CounterDef> &all() const { return defs; }
+
+    /** Index of the counter with the given full name; fatal if absent. */
+    size_t indexOf(const std::string &name) const;
+
+    /** True if a counter with the given full name exists. */
+    bool contains(const std::string &name) const;
+
+    /** Known a-equals-b-plus-c relationships (for step 2). */
+    const std::vector<CoDependency> &coDependencies() const
+    {
+        return coDeps;
+    }
+
+    /** Indices of all counters in a category. */
+    std::vector<size_t> inCategory(CounterCategory category) const;
+
+  private:
+    CounterCatalog();
+
+    void add(std::string name, CounterCategory category,
+             std::function<double(const SampleContext &)> compute);
+
+    std::vector<CounterDef> defs;
+    std::vector<CoDependency> coDeps;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_OSCOUNTERS_COUNTER_CATALOG_HPP

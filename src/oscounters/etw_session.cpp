@@ -1,0 +1,33 @@
+#include "oscounters/etw_session.hpp"
+
+namespace chaos {
+
+EtwSession::EtwSession(Machine &machine_, PowerMeter &meter_,
+                       uint64_t seed)
+    : machine(machine_), meter(meter_),
+      sampler(machine_.spec(), Rng(seed))
+{
+}
+
+const EtwRecord &
+EtwSession::tick(const ActivityDemand &demand)
+{
+    const MachineTick tick = machine.step(demand);
+
+    EtwRecord record;
+    record.timeSeconds = tick.state.timeSeconds;
+    record.counters = sampler.sample(tick.state);
+    record.measuredPowerW = meter.sample(tick.truePowerW);
+    log.push_back(std::move(record));
+    return log.back();
+}
+
+void
+EtwSession::startNewRun()
+{
+    log.clear();
+    sampler.reset();
+    machine.resetRunState();
+}
+
+} // namespace chaos

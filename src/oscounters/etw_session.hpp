@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ETW-style low-overhead logging session for one machine.
+ *
+ * Couples a CounterSampler with the machine's power meter and
+ * accumulates (timestamp, counter vector, metered watts) records —
+ * the exact data product the paper's measurement infrastructure
+ * produces (Perfmon logging software counters and the WattsUp reading
+ * once per second).
+ */
+#ifndef CHAOS_OSCOUNTERS_ETW_SESSION_HPP
+#define CHAOS_OSCOUNTERS_ETW_SESSION_HPP
+
+#include <vector>
+
+#include "oscounters/sampler.hpp"
+#include "sim/machine.hpp"
+#include "sim/power_meter.hpp"
+
+namespace chaos {
+
+/** One logged second: counters plus metered power. */
+struct EtwRecord
+{
+    double timeSeconds = 0.0;         ///< Timestamp within the run.
+    std::vector<double> counters;     ///< Catalog-ordered values.
+    double measuredPowerW = 0.0;      ///< Metered wall power.
+};
+
+/** Event-tracing session bound to one instrumented machine. */
+class EtwSession
+{
+  public:
+    /**
+     * @param machine Machine being traced (not owned).
+     * @param meter Its power meter (not owned).
+     * @param seed Seed for the sampler's observation noise.
+     */
+    EtwSession(Machine &machine, PowerMeter &meter, uint64_t seed);
+
+    /**
+     * Drive the machine one second under @p demand and log a record.
+     * @return The record just logged (also retained internally).
+     */
+    const EtwRecord &tick(const ActivityDemand &demand);
+
+    /** All records logged so far, in time order. */
+    const std::vector<EtwRecord> &records() const { return log; }
+
+    /** Clear the log and reset sampler state (new run). */
+    void startNewRun();
+
+  private:
+    Machine &machine;
+    PowerMeter &meter;
+    CounterSampler sampler;
+    std::vector<EtwRecord> log;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_OSCOUNTERS_ETW_SESSION_HPP

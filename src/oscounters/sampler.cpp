@@ -1,0 +1,40 @@
+#include "oscounters/sampler.hpp"
+
+namespace chaos {
+
+CounterSampler::CounterSampler(const MachineSpec &spec_, Rng rng_)
+    : spec(spec_), rng(std::move(rng_)),
+      prevCoreFreqMhz(spec_.maxFrequencyMhz()),
+      prevCoreFreqMhz2(spec_.maxFrequencyMhz()),
+      prevCoreFreqMhz3(spec_.maxFrequencyMhz())
+{
+}
+
+void
+CounterSampler::reset()
+{
+    prevCoreFreqMhz = spec.maxFrequencyMhz();
+    prevCoreFreqMhz2 = spec.maxFrequencyMhz();
+    prevCoreFreqMhz3 = spec.maxFrequencyMhz();
+}
+
+std::vector<double>
+CounterSampler::sample(const MachineState &state)
+{
+    const CounterCatalog &catalog = CounterCatalog::instance();
+    SampleContext ctx{state, spec, rng, prevCoreFreqMhz,
+                      prevCoreFreqMhz2, prevCoreFreqMhz3};
+
+    std::vector<double> values;
+    values.reserve(catalog.size());
+    for (const auto &def : catalog.all())
+        values.push_back(def.compute(ctx));
+
+    prevCoreFreqMhz3 = prevCoreFreqMhz2;
+    prevCoreFreqMhz2 = prevCoreFreqMhz;
+    prevCoreFreqMhz =
+        state.coreFrequencyMhz.empty() ? 0.0 : state.coreFrequencyMhz[0];
+    return values;
+}
+
+} // namespace chaos

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-machine counter sampling (the Perfmon/ETW role).
+ */
+#ifndef CHAOS_OSCOUNTERS_SAMPLER_HPP
+#define CHAOS_OSCOUNTERS_SAMPLER_HPP
+
+#include <vector>
+
+#include "oscounters/counter_catalog.hpp"
+#include "sim/machine_spec.hpp"
+#include "sim/machine_state.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+
+/**
+ * Samples the full counter catalog for one machine once per second.
+ *
+ * Holds the small amount of cross-second sampling state (the lagged
+ * core-0 frequency) and a private noise stream, mirroring a Perfmon
+ * logging session attached to one host.
+ */
+class CounterSampler
+{
+  public:
+    /**
+     * @param spec Platform of the sampled machine.
+     * @param rng Private observation-noise stream.
+     */
+    CounterSampler(const MachineSpec &spec, Rng rng);
+
+    /**
+     * Sample every counter in the catalog for the given second.
+     *
+     * @param state Machine component snapshot.
+     * @return One value per catalog counter, in catalog order.
+     */
+    std::vector<double> sample(const MachineState &state);
+
+    /** Reset cross-second sampling state (new logging session). */
+    void reset();
+
+  private:
+    const MachineSpec spec;
+    Rng rng;
+    double prevCoreFreqMhz;
+    double prevCoreFreqMhz2;
+    double prevCoreFreqMhz3;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_OSCOUNTERS_SAMPLER_HPP

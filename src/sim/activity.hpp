@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Resource demand a workload places on one machine for one second.
+ *
+ * This is the interface between the workload layer and the machine
+ * simulator: workloads produce ActivityDemand streams, the machine
+ * turns them into component states, counters, and power.
+ */
+#ifndef CHAOS_SIM_ACTIVITY_HPP
+#define CHAOS_SIM_ACTIVITY_HPP
+
+namespace chaos {
+
+/** Per-second resource demand for a single machine. */
+struct ActivityDemand
+{
+    /**
+     * CPU demand in core-seconds per second; may exceed the core
+     * count (the machine saturates at numCores).
+     */
+    double cpuCoreSeconds = 0.0;
+
+    /** Streaming disk reads requested, bytes/second. */
+    double diskReadBytes = 0.0;
+    /** Streaming disk writes requested, bytes/second. */
+    double diskWriteBytes = 0.0;
+    /**
+     * Fraction of disk accesses that are random rather than
+     * sequential; random access costs HDDs extra seek power and
+     * reduces achieved bandwidth.
+     */
+    double diskRandomFraction = 0.0;
+
+    /** Network receive demand, bytes/second. */
+    double netRxBytes = 0.0;
+    /** Network transmit demand, bytes/second. */
+    double netTxBytes = 0.0;
+
+    /** Target working-set size, bytes (drives Committed Bytes). */
+    double workingSetBytes = 0.0;
+    /**
+     * Memory access intensity in [0, 1]: how hard the resident set
+     * is being churned (drives page/cache fault counters and memory
+     * power).
+     */
+    double memIntensity = 0.0;
+
+    /** File-system cache operations per second (mapped reads etc.). */
+    double fsCacheOps = 0.0;
+
+    /** Sum two demands (machine runs both task sets). */
+    ActivityDemand &operator+=(const ActivityDemand &other)
+    {
+        cpuCoreSeconds += other.cpuCoreSeconds;
+        diskReadBytes += other.diskReadBytes;
+        diskWriteBytes += other.diskWriteBytes;
+        // Blend random fractions weighted by traffic volume.
+        const double mine = diskReadBytes + diskWriteBytes -
+                            other.diskReadBytes - other.diskWriteBytes;
+        const double theirs = other.diskReadBytes + other.diskWriteBytes;
+        if (mine + theirs > 0.0) {
+            diskRandomFraction =
+                (diskRandomFraction * mine +
+                 other.diskRandomFraction * theirs) / (mine + theirs);
+        }
+        netRxBytes += other.netRxBytes;
+        netTxBytes += other.netTxBytes;
+        workingSetBytes += other.workingSetBytes;
+        memIntensity =
+            memIntensity + other.memIntensity -
+            memIntensity * other.memIntensity;  // Union of pressures.
+        fsCacheOps += other.fsCacheOps;
+        return *this;
+    }
+};
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_ACTIVITY_HPP

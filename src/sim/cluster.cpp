@@ -1,0 +1,101 @@
+#include "sim/cluster.hpp"
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+Cluster
+Cluster::homogeneous(MachineClass mc, size_t numMachines, uint64_t seed)
+{
+    fatalIf(numMachines == 0, "cluster needs at least one machine");
+    Cluster cluster;
+    cluster.clusterName = machineClassName(mc) + " x" +
+                          std::to_string(numMachines);
+    Rng root(seed);
+    for (size_t i = 0; i < numMachines; ++i) {
+        InstrumentedMachine node;
+        node.machine = std::make_unique<Machine>(
+            machineSpecFor(mc), i, root.fork(100 + i).nextU64());
+        node.meter =
+            std::make_unique<PowerMeter>(root.fork(200 + i));
+        cluster.nodes.push_back(std::move(node));
+    }
+    return cluster;
+}
+
+Cluster
+Cluster::heterogeneous(
+    const std::vector<std::pair<MachineClass, size_t>> &groups,
+    uint64_t seed)
+{
+    fatalIf(groups.empty(), "heterogeneous cluster needs groups");
+    Cluster cluster;
+    Rng root(seed);
+    size_t next_id = 0;
+    for (const auto &[mc, count] : groups) {
+        fatalIf(count == 0, "heterogeneous group with zero machines");
+        if (!cluster.clusterName.empty())
+            cluster.clusterName += "+";
+        cluster.clusterName +=
+            machineClassName(mc) + "x" + std::to_string(count);
+        for (size_t i = 0; i < count; ++i) {
+            InstrumentedMachine node;
+            node.machine = std::make_unique<Machine>(
+                machineSpecFor(mc), next_id,
+                root.fork(100 + next_id).nextU64());
+            node.meter =
+                std::make_unique<PowerMeter>(root.fork(200 + next_id));
+            cluster.nodes.push_back(std::move(node));
+            ++next_id;
+        }
+    }
+    return cluster;
+}
+
+Machine &
+Cluster::machine(size_t i)
+{
+    panicIf(i >= nodes.size(), "Cluster::machine out of range");
+    return *nodes[i].machine;
+}
+
+const Machine &
+Cluster::machine(size_t i) const
+{
+    panicIf(i >= nodes.size(), "Cluster::machine out of range");
+    return *nodes[i].machine;
+}
+
+PowerMeter &
+Cluster::meter(size_t i)
+{
+    panicIf(i >= nodes.size(), "Cluster::meter out of range");
+    return *nodes[i].meter;
+}
+
+void
+Cluster::resetRunState()
+{
+    for (auto &node : nodes)
+        node.machine->resetRunState();
+}
+
+double
+Cluster::totalIdlePowerW() const
+{
+    double acc = 0.0;
+    for (const auto &node : nodes)
+        acc += node.machine->idlePowerW();
+    return acc;
+}
+
+double
+Cluster::totalMaxPowerW() const
+{
+    double acc = 0.0;
+    for (const auto &node : nodes)
+        acc += node.machine->maxPowerW();
+    return acc;
+}
+
+} // namespace chaos

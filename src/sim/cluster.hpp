@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A cluster of instrumented machines (homogeneous or heterogeneous).
+ */
+#ifndef CHAOS_SIM_CLUSTER_HPP
+#define CHAOS_SIM_CLUSTER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/power_meter.hpp"
+
+namespace chaos {
+
+/** One machine plus its wall power meter. */
+struct InstrumentedMachine
+{
+    std::unique_ptr<Machine> machine;   ///< The machine itself.
+    std::unique_ptr<PowerMeter> meter;  ///< Its WattsUp-style meter.
+};
+
+/**
+ * A named collection of instrumented machines.
+ *
+ * The paper's six clusters are 5 machines of one class each; the
+ * heterogeneous experiment combines 5 Core 2 Duo and 5 Opteron
+ * machines into a 10-machine cluster.
+ */
+class Cluster
+{
+  public:
+    /**
+     * Build a homogeneous cluster.
+     *
+     * @param mc Machine class for every node.
+     * @param numMachines Node count (paper uses 5).
+     * @param seed Base seed; each node derives a distinct stream.
+     */
+    static Cluster homogeneous(MachineClass mc, size_t numMachines,
+                               uint64_t seed);
+
+    /**
+     * Build a heterogeneous cluster from (class, count) groups.
+     * Node ids are assigned consecutively across groups.
+     */
+    static Cluster heterogeneous(
+        const std::vector<std::pair<MachineClass, size_t>> &groups,
+        uint64_t seed);
+
+    /** Number of machines. */
+    size_t size() const { return nodes.size(); }
+
+    /** Mutable access to node @p i. */
+    Machine &machine(size_t i);
+    /** Const access to node @p i. */
+    const Machine &machine(size_t i) const;
+    /** Meter attached to node @p i. */
+    PowerMeter &meter(size_t i);
+
+    /** Reset per-run OS state on every node. */
+    void resetRunState();
+
+    /** Descriptive name, e.g. "Opteron x5". */
+    const std::string &name() const { return clusterName; }
+
+    /** Sum of the nodes' realized idle powers. */
+    double totalIdlePowerW() const;
+    /** Sum of the nodes' realized max powers. */
+    double totalMaxPowerW() const;
+
+  private:
+    Cluster() = default;
+
+    std::string clusterName;
+    std::vector<InstrumentedMachine> nodes;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_CLUSTER_HPP

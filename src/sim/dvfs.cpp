@@ -1,0 +1,120 @@
+#include "sim/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+DvfsGovernor::DvfsGovernor(const MachineSpec &spec_, Rng rng_)
+    : spec(spec_), rng(std::move(rng_)),
+      pStateIndex(spec_.numCores, spec_.pStatesMhz.size() - 1)
+{
+}
+
+size_t
+DvfsGovernor::targetPState(double utilization, size_t currentIndex) const
+{
+    const size_t top = spec.pStatesMhz.size() - 1;
+    if (!spec.hasDvfs)
+        return top;
+
+    // Ondemand-style: jump to max above the up-threshold, step down
+    // one level when under-utilized at the current speed.
+    if (utilization > 0.65)
+        return top;
+    if (utilization < 0.35)
+        return currentIndex > 0 ? currentIndex - 1 : 0;
+    return currentIndex;
+}
+
+std::vector<double>
+DvfsGovernor::step(const std::vector<double> &coreUtilization)
+{
+    panicIf(coreUtilization.size() != spec.numCores,
+            "DvfsGovernor: wrong core count");
+
+    const size_t top = spec.pStatesMhz.size() - 1;
+
+    // Governed (persistent) P-states.
+    std::vector<size_t> output;
+    if (!spec.perCoreDvfs) {
+        // Package-wide: govern on the busiest core.
+        const double max_util = *std::max_element(
+            coreUtilization.begin(), coreUtilization.end());
+        const size_t target = targetPState(max_util, pStateIndex[0]);
+        for (auto &idx : pStateIndex)
+            idx = target;
+    } else if (spec.independentDvfs) {
+        // Future-style platform: every core governs itself from its
+        // own utilization, with no machine-level coupling — and it
+        // ramps GRADUALLY (one P-state per second in either
+        // direction, for voltage-transition efficiency). Frequency
+        // therefore depends on each core's utilization HISTORY, so
+        // the per-core frequency counters carry information the
+        // utilization counters alone cannot provide. Trailing
+        // efficiency cores cap at the middle P-state (big.LITTLE-
+        // style asymmetry).
+        const size_t cap = spec.pStatesMhz.size() / 2;
+        for (size_t c = 0; c < spec.numCores; ++c) {
+            size_t target = pStateIndex[c];
+            if (coreUtilization[c] > 0.65 && target < top)
+                ++target;
+            else if (coreUtilization[c] < 0.35 && target > 0)
+                --target;
+            if (spec.efficiencyCores > 0 &&
+                c >= spec.numCores - spec.efficiencyCores) {
+                target = std::min(target, cap);
+            }
+            pStateIndex[c] = target;
+        }
+    } else {
+        // Per-core capable, but the OS power manager drives all
+        // cores from the machine-level load (real per-core traces
+        // are so correlated that the paper uses core 0 as a proxy
+        // for the whole machine); the per-core capability shows up
+        // as the transient divergence blips below.
+        double mean_util = 0.0;
+        for (double u : coreUtilization)
+            mean_util += u;
+        mean_util /= static_cast<double>(spec.numCores);
+        const size_t target = targetPState(mean_util, pStateIndex[0]);
+        for (auto &idx : pStateIndex)
+            idx = target;
+    }
+
+    // Transient divergence blips: with the platform's probability a
+    // sibling core spends THIS second one P-state away from its
+    // governed state (the paper observes core 0 differing from a
+    // sibling in 0.2% of seconds on mobile parts and 12-20% on the
+    // servers). The governed state itself is untouched, so blips do
+    // not accumulate.
+    // spec.pStateDivergence is the MACHINE-level rate ("core 0
+    // differed from at least one sibling in d of seconds"), so the
+    // per-sibling blip probability q satisfies 1-(1-q)^(k-1) = d.
+    const double siblings =
+        static_cast<double>(spec.numCores > 1 ? spec.numCores - 1 : 1);
+    const double per_core = 1.0 - std::pow(1.0 - spec.pStateDivergence,
+                                           1.0 / siblings);
+    output = pStateIndex;
+    for (size_t c = 1; c < spec.numCores; ++c) {
+        if (rng.bernoulli(per_core)) {
+            output[c] = output[c] > 0 ? output[c] - 1
+                                      : std::min<size_t>(1, top);
+        }
+    }
+
+    // C1: all-idle deep sleep on server platforms.
+    double total_util = 0.0;
+    for (double u : coreUtilization)
+        total_util += u;
+    c1Active = spec.hasC1 && total_util < 0.01;
+
+    std::vector<double> freqs(spec.numCores);
+    for (size_t c = 0; c < spec.numCores; ++c)
+        freqs[c] = c1Active ? 0.0 : spec.pStatesMhz[output[c]];
+    return freqs;
+}
+
+} // namespace chaos

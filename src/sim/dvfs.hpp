@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Demand-driven DVFS governor.
+ *
+ * Models the ondemand-style behaviour the paper's platforms exhibit:
+ * no scaling on the Atom, package-wide P-states on Core 2 / Athlon
+ * (cores agree 99.8% of the time), per-core P-states plus a C1 deep
+ * idle state on the Opteron/Xeon servers (cores diverge up to 12-20%
+ * of seconds).
+ */
+#ifndef CHAOS_SIM_DVFS_HPP
+#define CHAOS_SIM_DVFS_HPP
+
+#include <vector>
+
+#include "sim/machine_spec.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+
+/** Per-core P-state selection with hysteresis. */
+class DvfsGovernor
+{
+  public:
+    /**
+     * @param spec Platform description (P-states, divergence).
+     * @param rng Private random stream for divergence decisions.
+     */
+    DvfsGovernor(const MachineSpec &spec, Rng rng);
+
+    /**
+     * Choose per-core frequencies for the next second.
+     *
+     * @param coreUtilization Demanded per-core utilization in [0, 1].
+     * @return Frequency in MHz for each core.
+     */
+    std::vector<double> step(const std::vector<double> &coreUtilization);
+
+    /**
+     * True if the platform would enter C1 given the utilizations of
+     * the last step() call (all cores idle and C1 supported).
+     */
+    bool inC1() const { return c1Active; }
+
+  private:
+    /** Map one core's utilization to a P-state index. */
+    size_t targetPState(double utilization, size_t currentIndex) const;
+
+    const MachineSpec spec;
+    Rng rng;
+    std::vector<size_t> pStateIndex;  ///< Current per-core P-state.
+    bool c1Active = false;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_DVFS_HPP

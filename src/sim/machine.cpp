@@ -1,0 +1,226 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+Machine::Machine(MachineSpec spec_, size_t machineId_, uint64_t seed)
+    : machineSpec(std::move(spec_)), machineId(machineId_), rng(seed),
+      governor(machineSpec, rng.fork(1)),
+      truth(machineSpec, rng.fork(2))
+{
+    resetRunState();
+}
+
+void
+Machine::resetRunState()
+{
+    timeSeconds = 0.0;
+    // A freshly booted/settled OS commits a baseline working set.
+    committedBytes = 0.35e9 + 0.02e9 * rng.uniform();
+    pageFilePeak = committedBytes;
+    cachePressure = 0.05;
+}
+
+std::vector<double>
+Machine::scheduleCores(double cpuCoreSeconds)
+{
+    const size_t n = machineSpec.numCores;
+    std::vector<double> utils(n, 0.0);
+    double remaining = std::clamp(cpuCoreSeconds, 0.0,
+                                  static_cast<double>(n));
+
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    if (machineSpec.independentDvfs) {
+        // An energy-aware OS on a per-core-DVFS platform packs work
+        // onto as few cores as possible so idle cores can drop to
+        // deep P-states — the very behaviour that decorrelates core
+        // frequencies (paper discussion).
+        for (size_t i = 0; i < n && remaining > 0.0; ++i) {
+            const double share = std::min(1.0, remaining);
+            utils[order[i]] = share;
+            remaining -= share;
+        }
+    } else {
+        // The OS spreads runnable work over cores but not perfectly:
+        // a random imbalance makes some cores hotter than others.
+        const double even = remaining / static_cast<double>(n);
+        for (size_t i = 0; i < n; ++i) {
+            const double imbalance = rng.uniform(-0.15, 0.15) * even;
+            utils[order[i]] = std::clamp(even + imbalance, 0.0, 1.0);
+        }
+    }
+    // OS housekeeping adds a little background utilization.
+    for (auto &u : utils) {
+        u = std::clamp(u + std::max(0.0, rng.normal(0.004, 0.003)),
+                       0.0, 1.0);
+    }
+    return utils;
+}
+
+std::vector<DiskState>
+Machine::scheduleDisks(const ActivityDemand &demand)
+{
+    const size_t n = machineSpec.numDisks;
+    std::vector<DiskState> disks(n);
+    if (n == 0)
+        return disks;
+
+    const double bandwidth = machineSpec.diskBandwidthMBs * 1e6;
+    // Random access degrades achieved bandwidth, HDDs far more than
+    // SSDs (seek time dominates).
+    const bool is_ssd = machineSpec.diskType == DiskType::Ssd;
+    const double random_penalty = is_ssd ? 0.25 : 0.70;
+    const double effective_bw =
+        bandwidth *
+        (1.0 - random_penalty * std::clamp(demand.diskRandomFraction,
+                                           0.0, 1.0));
+
+    // Traffic stripes across spindles with mild imbalance.
+    double read_left = demand.diskReadBytes;
+    double write_left = demand.diskWriteBytes;
+    const double per_disk_read = read_left / static_cast<double>(n);
+    const double per_disk_write = write_left / static_cast<double>(n);
+
+    for (size_t d = 0; d < n; ++d) {
+        const double jitter = rng.uniform(0.85, 1.15);
+        DiskState &disk = disks[d];
+        disk.readBytes =
+            std::min(per_disk_read * jitter, effective_bw);
+        disk.writeBytes = std::min(per_disk_write * jitter,
+                                   effective_bw - disk.readBytes);
+        const double traffic = disk.readBytes + disk.writeBytes;
+        disk.utilization =
+            std::clamp(traffic / std::max(effective_bw, 1.0), 0.0, 1.0);
+        // Seeks: random ops at ~64 KiB granularity.
+        disk.seekRate = demand.diskRandomFraction * traffic / 65536.0;
+        if (!is_ssd)
+            disk.seekRate = std::min(disk.seekRate, 400.0);
+        else
+            disk.seekRate = 0.0;
+    }
+    return disks;
+}
+
+void
+Machine::fillOsState(const ActivityDemand &demand, MachineState &state)
+{
+    auto noisy = [this](double value, double rel_noise) {
+        return std::max(0.0, value * rng.normal(1.0, rel_noise));
+    };
+
+    const double disk_bytes = state.totalDiskBytes();
+    const double net_bytes = state.netRxBytes + state.netTxBytes;
+    const double mean_util = state.meanUtilization();
+
+    // --- Virtual memory ---
+    // Committed bytes track the demanded working set with first-order
+    // lag (the OS does not instantly release memory).
+    const double target =
+        0.35e9 + std::max(0.0, demand.workingSetBytes);
+    committedBytes += 0.25 * (target - committedBytes);
+    state.committedBytes = noisy(committedBytes, 0.002);
+    pageFilePeak = std::max(pageFilePeak, committedBytes * 1.12);
+    state.pageFileBytesPeak = pageFilePeak;
+
+    // Hard paging: driven by memory pressure relative to RAM size.
+    const double ram = machineSpec.memoryGB * 1e9;
+    const double pressure =
+        std::clamp(committedBytes / (0.9 * ram), 0.0, 1.5);
+    const double hard_paging =
+        pressure > 0.8 ? (pressure - 0.8) * 6000.0 : 0.0;
+    state.pagesPerSec =
+        noisy(hard_paging + disk_bytes / 2.5e5 +
+                  600.0 * demand.memIntensity,
+              0.08);
+    state.pageReadsPerSec = noisy(0.35 * state.pagesPerSec, 0.10);
+
+    // Soft faults: scale with CPU work and memory churn.
+    state.pageFaultsPerSec =
+        noisy(2500.0 * mean_util + 1500.0 * demand.memIntensity +
+                  0.2 * state.pagesPerSec,
+              0.07);
+    state.cacheFaultsPerSec =
+        noisy(1200.0 * demand.memIntensity + disk_bytes / 1.0e6 +
+                  400.0 * mean_util,
+              0.08);
+    state.poolNonpagedAllocs =
+        noisy(9000.0 + 2200.0 * mean_util + net_bytes / 2.0e5, 0.03);
+    state.memIntensity = demand.memIntensity;
+
+    // --- File system cache ---
+    // Cache pressure rises with read traffic, decays when quiet.
+    const double read_load =
+        std::clamp(demand.diskReadBytes / 1.0e8, 0.0, 1.0);
+    cachePressure += 0.3 * (read_load - cachePressure);
+    cachePressure = std::clamp(cachePressure, 0.0, 1.0);
+
+    state.dataMapPinsPerSec =
+        noisy(demand.fsCacheOps * 0.45 + 30.0 * mean_util, 0.10);
+    state.pinReadsPerSec = noisy(demand.fsCacheOps * 0.55, 0.10);
+    state.pinReadHitPct = std::clamp(
+        noisy(99.0 - 14.0 * cachePressure, 0.01), 60.0, 100.0);
+    state.copyReadsPerSec =
+        noisy(demand.fsCacheOps * 0.8 + disk_bytes / 6.0e5, 0.10);
+    state.fastReadsNotPossiblePerSec =
+        noisy(demand.fsCacheOps * 0.12 * cachePressure, 0.15);
+    state.lazyWriteFlushesPerSec =
+        noisy(demand.diskWriteBytes / 4.0e6 + 2.0, 0.12);
+
+    // --- Process / interrupts ---
+    state.processPageFaultsPerSec =
+        noisy(0.9 * state.pageFaultsPerSec, 0.05);
+    state.processIoDataBytesPerSec =
+        noisy(disk_bytes + 0.5 * net_bytes, 0.04);
+    state.interruptsPerSec =
+        noisy(900.0 + net_bytes / 8000.0 + disk_bytes / 5.0e5 +
+                  1200.0 * mean_util,
+              0.05);
+    state.dpcTimePct = std::clamp(
+        noisy(0.3 + 6.0 * net_bytes / 2.5e8 + 2.0 * mean_util, 0.10),
+        0.0, 100.0);
+
+    // Kernel share of CPU time: loosely I/O-driven (interrupts,
+    // syscalls) but noisy — kernel time is a blunt proxy for device
+    // activity, not a measurement of it.
+    const double io_bytes = disk_bytes + 0.5 * net_bytes;
+    state.privilegedShare = std::clamp(
+        noisy(0.10 + io_bytes / 3.0e9, 0.25), 0.04, 0.40);
+}
+
+MachineTick
+Machine::step(const ActivityDemand &demand)
+{
+    MachineState state;
+    state.timeSeconds = timeSeconds;
+    state.uptimeSeconds = bootSeconds;
+
+    state.coreUtilization = scheduleCores(demand.cpuCoreSeconds);
+    state.coreFrequencyMhz = governor.step(state.coreUtilization);
+    state.inC1 = governor.inC1();
+
+    state.disks = scheduleDisks(demand);
+
+    // NIC traffic is achieved up to line rate.
+    const double line_rate = 125e6;  // 1 GbE per direction.
+    state.netRxBytes = std::min(demand.netRxBytes, line_rate);
+    state.netTxBytes = std::min(demand.netTxBytes, line_rate);
+
+    fillOsState(demand, state);
+
+    MachineTick tick;
+    tick.truePowerW = truth.step(state);
+    tick.state = std::move(state);
+    timeSeconds += 1.0;
+    bootSeconds += 1.0;
+    return tick;
+}
+
+} // namespace chaos

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * One simulated machine: demand in, component state and wall power
+ * out, one second at a time.
+ */
+#ifndef CHAOS_SIM_MACHINE_HPP
+#define CHAOS_SIM_MACHINE_HPP
+
+#include <string>
+
+#include "sim/activity.hpp"
+#include "sim/dvfs.hpp"
+#include "sim/machine_spec.hpp"
+#include "sim/machine_state.hpp"
+#include "sim/truth_power.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+
+/** Result of one simulated second on one machine. */
+struct MachineTick
+{
+    MachineState state;     ///< Component snapshot.
+    double truePowerW = 0.0;///< Ground-truth AC wall power.
+};
+
+/**
+ * A single machine instance.
+ *
+ * Identical machines constructed with different seeds realize
+ * different ground-truth power coefficients (machine-to-machine
+ * variation), different OS noise, and different DVFS tie-breaking —
+ * the variability CHAOS's pooled feature selection must absorb.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param spec Platform description.
+     * @param machineId Stable identifier within its cluster.
+     * @param seed Seed for all of this machine's private streams.
+     */
+    Machine(MachineSpec spec, size_t machineId, uint64_t seed);
+
+    /**
+     * Advance one second under the given demand.
+     * Updates internal OS state (committed bytes, page-file peak,
+     * FS cache dynamics) and returns the snapshot plus true power.
+     */
+    MachineTick step(const ActivityDemand &demand);
+
+    /** Reset per-run OS state (page-file peak, caches, time). */
+    void resetRunState();
+
+    /** Platform description. */
+    const MachineSpec &spec() const { return machineSpec; }
+    /** Identifier within the cluster. */
+    size_t id() const { return machineId; }
+    /** This instance's realized idle power. */
+    double idlePowerW() const { return truth.idlePowerW(); }
+    /** This instance's realized max power. */
+    double maxPowerW() const { return truth.maxPowerW(); }
+
+  private:
+    /** Spread total CPU demand over cores (OS scheduler effects). */
+    std::vector<double> scheduleCores(double cpuCoreSeconds);
+    /** Spread disk traffic over spindles and compute utilizations. */
+    std::vector<DiskState> scheduleDisks(const ActivityDemand &demand);
+    /** Fill VM, FS-cache, process and interrupt counters. */
+    void fillOsState(const ActivityDemand &demand, MachineState &state);
+
+    MachineSpec machineSpec;
+    size_t machineId;
+    Rng rng;
+    DvfsGovernor governor;
+    TruthPowerModel truth;
+
+    double timeSeconds = 0.0;
+    double bootSeconds = 0.0;   ///< Uptime; survives run resets.
+    double committedBytes = 0.0;
+    double pageFilePeak = 0.0;
+    double cachePressure = 0.0;  ///< FS cache churn state in [0, 1].
+};
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_MACHINE_HPP

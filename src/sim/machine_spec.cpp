@@ -1,0 +1,230 @@
+#include "sim/machine_spec.hpp"
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+const std::vector<MachineClass> &
+allMachineClasses()
+{
+    static const std::vector<MachineClass> classes = {
+        MachineClass::Atom,    MachineClass::Core2,
+        MachineClass::Athlon,  MachineClass::Opteron,
+        MachineClass::XeonSata, MachineClass::XeonSas,
+    };
+    return classes;
+}
+
+const std::vector<MachineClass> &
+extendedMachineClasses()
+{
+    static const std::vector<MachineClass> classes = {
+        MachineClass::Atom,     MachineClass::Core2,
+        MachineClass::Athlon,   MachineClass::Opteron,
+        MachineClass::XeonSata, MachineClass::XeonSas,
+        MachineClass::FutureServer,
+    };
+    return classes;
+}
+
+std::string
+machineClassName(MachineClass mc)
+{
+    switch (mc) {
+      case MachineClass::Atom:     return "Atom";
+      case MachineClass::Core2:    return "Core2";
+      case MachineClass::Athlon:   return "Athlon";
+      case MachineClass::Opteron:  return "Opteron";
+      case MachineClass::XeonSata: return "XeonSATA";
+      case MachineClass::XeonSas:  return "XeonSAS";
+      case MachineClass::FutureServer: return "FutureServer";
+    }
+    panic("unknown machine class");
+}
+
+MachineClass
+machineClassFromName(const std::string &name)
+{
+    for (MachineClass mc : extendedMachineClasses()) {
+        if (machineClassName(mc) == name)
+            return mc;
+    }
+    fatal("unknown machine class name: " + name);
+}
+
+MachineSpec
+machineSpecFor(MachineClass mc)
+{
+    MachineSpec spec;
+    spec.machineClass = mc;
+    spec.name = machineClassName(mc);
+
+    switch (mc) {
+      case MachineClass::Atom:
+        // Intel Atom N330, 2 cores, 1.6 GHz, no DVFS, 1 SSD, 22-26 W.
+        spec.numCores = 2;
+        spec.hasDvfs = false;
+        spec.perCoreDvfs = false;
+        spec.hasC1 = false;
+        spec.pStatesMhz = {1600.0};
+        spec.idlePowerW = 22.0;
+        spec.maxPowerW = 26.0;
+        spec.cpuPowerShare = 0.62;
+        spec.memPowerShare = 0.14;
+        spec.diskPowerShare = 0.12;
+        spec.netPowerShare = 0.12;
+        spec.psuConvexity = 0.12;   // Nearly linear: tiny range.
+        spec.basalNoiseW = 0.45;
+        spec.numDisks = 1;
+        spec.diskType = DiskType::Ssd;
+        spec.diskBandwidthMBs = 200.0;
+        spec.memoryGB = 4.0;
+        break;
+
+      case MachineClass::Core2:
+        // Intel Core 2 Duo, 2 cores, 2.26 GHz, package DVFS, 25-46 W.
+        spec.numCores = 2;
+        spec.hasDvfs = true;
+        spec.perCoreDvfs = false;   // Cores agree 99.8% of the time.
+        spec.hasC1 = false;
+        spec.pStatesMhz = {800.0, 1600.0, 2260.0};
+        spec.pStateDivergence = 0.002;
+        spec.idlePowerW = 25.0;
+        spec.maxPowerW = 46.0;
+        spec.cpuPowerShare = 0.66;
+        spec.memPowerShare = 0.12;
+        spec.diskPowerShare = 0.10;
+        spec.netPowerShare = 0.12;
+        spec.psuConvexity = 0.42;
+        spec.basalNoiseW = 0.5;
+        spec.numDisks = 1;
+        spec.diskType = DiskType::Ssd;
+        spec.diskBandwidthMBs = 250.0;
+        spec.memoryGB = 4.0;
+        break;
+
+      case MachineClass::Athlon:
+        // AMD Athlon, 2 cores, 2.8 GHz, package DVFS, 54-104 W.
+        spec.numCores = 2;
+        spec.hasDvfs = true;
+        spec.perCoreDvfs = false;
+        spec.hasC1 = false;
+        spec.pStatesMhz = {800.0, 1800.0, 2800.0};
+        spec.pStateDivergence = 0.002;
+        spec.idlePowerW = 54.0;
+        spec.maxPowerW = 104.0;
+        spec.cpuPowerShare = 0.70;
+        spec.memPowerShare = 0.12;
+        spec.diskPowerShare = 0.08;
+        spec.netPowerShare = 0.10;
+        spec.psuConvexity = 0.45;
+        spec.basalNoiseW = 1.0;
+        spec.numDisks = 1;
+        spec.diskType = DiskType::Ssd;
+        spec.diskBandwidthMBs = 250.0;
+        spec.memoryGB = 8.0;
+        break;
+
+      case MachineClass::Opteron:
+        // AMD Opteron, 2 sockets x 4 cores, 2.0 GHz, per-core
+        // P-states + C1, 2x 10K SATA, 135-190 W.
+        spec.numCores = 8;
+        spec.hasDvfs = true;
+        spec.perCoreDvfs = true;
+        spec.hasC1 = true;
+        spec.pStatesMhz = {1000.0, 1500.0, 2000.0};
+        spec.pStateDivergence = 0.12;
+        spec.idlePowerW = 135.0;
+        spec.maxPowerW = 190.0;
+        spec.cpuPowerShare = 0.58;
+        spec.memPowerShare = 0.16;
+        spec.diskPowerShare = 0.16;
+        spec.netPowerShare = 0.10;
+        spec.psuConvexity = 0.42;
+        spec.basalNoiseW = 1.2;
+        spec.numDisks = 2;
+        spec.diskType = DiskType::Sata10k;
+        spec.diskBandwidthMBs = 120.0;
+        spec.memoryGB = 32.0;
+        break;
+
+      case MachineClass::XeonSata:
+        // Intel Xeon, 2 sockets x 4 cores, 2.33 GHz, per-core
+        // P-states + C1, 4x 7.2K SATA, 250-375 W.
+        spec.numCores = 8;
+        spec.hasDvfs = true;
+        spec.perCoreDvfs = true;
+        spec.hasC1 = true;
+        spec.pStatesMhz = {1167.0, 1750.0, 2330.0};
+        spec.pStateDivergence = 0.20;
+        spec.idlePowerW = 250.0;
+        spec.maxPowerW = 375.0;
+        spec.cpuPowerShare = 0.48;
+        spec.memPowerShare = 0.14;
+        spec.diskPowerShare = 0.28;   // Significant storage power.
+        spec.netPowerShare = 0.10;
+        spec.psuConvexity = 0.40;
+        spec.basalNoiseW = 1.8;
+        spec.numDisks = 4;
+        spec.diskType = DiskType::Sata72k;
+        spec.diskBandwidthMBs = 90.0;
+        spec.memoryGB = 16.0;
+        break;
+
+      case MachineClass::XeonSas:
+        // Intel Xeon, 2 sockets x 4 cores, 2.67 GHz, per-core
+        // P-states + C1, 6x 15K SAS, 260-380 W.
+        spec.numCores = 8;
+        spec.hasDvfs = true;
+        spec.perCoreDvfs = true;
+        spec.hasC1 = true;
+        spec.pStatesMhz = {1333.0, 2000.0, 2670.0};
+        spec.pStateDivergence = 0.20;
+        spec.idlePowerW = 260.0;
+        spec.maxPowerW = 380.0;
+        spec.cpuPowerShare = 0.46;
+        spec.memPowerShare = 0.14;
+        spec.diskPowerShare = 0.30;   // Six 15K spindles.
+        spec.netPowerShare = 0.10;
+        spec.psuConvexity = 0.40;
+        spec.basalNoiseW = 1.8;
+        spec.numDisks = 6;
+        spec.diskType = DiskType::Sas15k;
+        spec.diskBandwidthMBs = 170.0;
+        spec.memoryGB = 16.0;
+        break;
+
+      case MachineClass::FutureServer:
+        // Hypothetical energy-proportional server: 8 cores with
+        // FULLY independent per-core DVFS across five P-states and a
+        // large dynamic range (paper discussion / future work).
+        spec.numCores = 8;
+        spec.hasDvfs = true;
+        spec.perCoreDvfs = true;
+        spec.independentDvfs = true;
+        spec.efficiencyCores = 4;   // Cores 4-7 cap at 2.0 GHz.
+        spec.hasC1 = true;
+        spec.pStatesMhz = {1200.0, 1600.0, 2000.0, 2400.0, 2800.0};
+        spec.pStateDivergence = 0.0;    // Independence needs no blips.
+        spec.idlePowerW = 120.0;
+        spec.maxPowerW = 320.0;
+        spec.cpuPowerShare = 0.62;
+        spec.memPowerShare = 0.14;
+        spec.diskPowerShare = 0.12;
+        spec.netPowerShare = 0.12;
+        spec.psuConvexity = 0.40;
+        spec.basalNoiseW = 1.5;
+        spec.numDisks = 2;
+        spec.diskType = DiskType::Ssd;
+        spec.diskBandwidthMBs = 500.0;
+        spec.memoryGB = 64.0;
+        break;
+    }
+
+    panicIf(spec.pStatesMhz.empty(), "spec without P-states");
+    panicIf(spec.maxPowerW <= spec.idlePowerW,
+            "spec with non-positive dynamic range");
+    return spec;
+}
+
+} // namespace chaos

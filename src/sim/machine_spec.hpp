@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Platform specifications for the six machine classes of the paper's
+ * Table I, plus derived simulation parameters (P-states, disk
+ * bandwidths, power budget split across components).
+ */
+#ifndef CHAOS_SIM_MACHINE_SPEC_HPP
+#define CHAOS_SIM_MACHINE_SPEC_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chaos {
+
+/** The six platform classes evaluated in the paper (Table I). */
+enum class MachineClass
+{
+    Atom,       ///< Embedded: Intel Atom, 2 cores, no DVFS, SSD.
+    Core2,      ///< Mobile: Intel Core 2 Duo, 2 cores, package DVFS.
+    Athlon,     ///< Desktop: AMD Athlon, 2 cores, package DVFS.
+    Opteron,    ///< Server: AMD Opteron, 8 cores, per-core P-states.
+    XeonSata,   ///< Server: Intel Xeon, 8 cores, 4x 7.2K SATA disks.
+    XeonSas,    ///< Server: Intel Xeon, 8 cores, 6x 15K SAS disks.
+    /**
+     * Hypothetical next-generation server with FULLY independent
+     * per-core DVFS (the paper's discussion predicts such systems
+     * will have core-frequency correlations below 80% and require
+     * individual core frequencies as model features). Not part of
+     * the paper's Table I; used by the future-platform ablation.
+     */
+    FutureServer,
+};
+
+/** The paper's six machine classes, in Table I order. */
+const std::vector<MachineClass> &allMachineClasses();
+
+/** Table I classes plus the hypothetical FutureServer. */
+const std::vector<MachineClass> &extendedMachineClasses();
+
+/** Human-readable name ("Atom", "Core2", ...). */
+std::string machineClassName(MachineClass mc);
+
+/** Parse a class name produced by machineClassName(); fatal()s else. */
+MachineClass machineClassFromName(const std::string &name);
+
+/** Storage technology of a platform's disks. */
+enum class DiskType
+{
+    Ssd,        ///< Micron SSD (Atom/Core2/Athlon).
+    Sata10k,    ///< 10K RPM SATA (Opteron).
+    Sata72k,    ///< 7.2K RPM SATA (Xeon SATA).
+    Sas15k,     ///< 15K RPM SAS (Xeon SAS).
+};
+
+/**
+ * Static description of one platform; power envelope numbers follow
+ * Table I of the paper.
+ */
+struct MachineSpec
+{
+    MachineClass machineClass = MachineClass::Atom;
+    std::string name;           ///< Class name for reports.
+
+    // --- CPU ---
+    size_t numCores = 2;        ///< Hardware threads modeled.
+    bool hasDvfs = false;       ///< Any frequency scaling at all.
+    bool perCoreDvfs = false;   ///< Cores may sit in different P-states.
+    /**
+     * Cores govern their P-states fully independently (future-style
+     * platforms); when false, per-core capability only shows up as
+     * transient divergence blips around a shared machine decision.
+     */
+    bool independentDvfs = false;
+    /**
+     * Number of trailing "efficiency" cores whose frequency is
+     * capped at the middle P-state (big.LITTLE-style asymmetry on
+     * future platforms). At equal machine utilization, power then
+     * depends on WHICH cores are busy — information only the
+     * per-core frequency counters carry.
+     */
+    size_t efficiencyCores = 0;
+    bool hasC1 = false;         ///< Deep idle when all cores idle.
+    /** Available operating frequencies in MHz, ascending. */
+    std::vector<double> pStatesMhz;
+    /**
+     * Probability that a core's P-state diverges from core 0 in a
+     * given second (paper: up to 12% Opteron, 20% Xeon).
+     */
+    double pStateDivergence = 0.0;
+
+    // --- Power envelope (AC watts, Table I "Power Range") ---
+    double idlePowerW = 0.0;    ///< Bottom of the dynamic range.
+    double maxPowerW = 0.0;     ///< Top of the dynamic range.
+
+    // --- Dynamic power budget split (fractions of max-idle) ---
+    double cpuPowerShare = 0.6;   ///< CPU portion of dynamic power.
+    double memPowerShare = 0.1;   ///< Memory portion.
+    double diskPowerShare = 0.1;  ///< Disk portion (all disks).
+    double netPowerShare = 0.05;  ///< NIC portion.
+    /** Convexity of the AC power curve (PSU + voltage scaling). */
+    double psuConvexity = 0.3;
+    /**
+     * Absolute floor of the unmodelable per-second power noise in
+     * watts (background OS activity, regulator ripple). Dominates on
+     * platforms with tiny dynamic ranges — it is why the Atom's DRE
+     * is large even when its percent error is small (Table III).
+     */
+    double basalNoiseW = 0.5;
+
+    // --- Storage ---
+    size_t numDisks = 1;
+    DiskType diskType = DiskType::Ssd;
+    double diskBandwidthMBs = 250.0;  ///< Per-disk streaming MB/s.
+
+    // --- Memory ---
+    double memoryGB = 4.0;
+
+    /** Dynamic power range in watts (max - idle). */
+    double dynamicRangeW() const { return maxPowerW - idlePowerW; }
+
+    /** Highest available frequency in MHz. */
+    double maxFrequencyMhz() const { return pStatesMhz.back(); }
+
+    /** Lowest available frequency in MHz. */
+    double minFrequencyMhz() const { return pStatesMhz.front(); }
+};
+
+/** Canonical spec for a machine class (Table I parameters). */
+MachineSpec machineSpecFor(MachineClass mc);
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_MACHINE_SPEC_HPP

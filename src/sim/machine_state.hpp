@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Snapshot of a machine's component states after one simulated second.
+ *
+ * The OS counter sampler reads this struct to synthesize performance
+ * counters; the ground-truth power model reads it to compute watts.
+ * Power models never see this struct directly.
+ */
+#ifndef CHAOS_SIM_MACHINE_STATE_HPP
+#define CHAOS_SIM_MACHINE_STATE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace chaos {
+
+/** Per-disk state for one second. */
+struct DiskState
+{
+    double utilization = 0.0;   ///< Busy fraction in [0, 1].
+    double readBytes = 0.0;     ///< Achieved read bytes/second.
+    double writeBytes = 0.0;    ///< Achieved write bytes/second.
+    double seekRate = 0.0;      ///< Random accesses per second.
+};
+
+/** Component states of one machine for one simulated second. */
+struct MachineState
+{
+    double timeSeconds = 0.0;       ///< Time within the current run.
+    double uptimeSeconds = 0.0;     ///< Since machine boot (never
+                                    ///< reset between runs).
+
+    // --- CPU ---
+    std::vector<double> coreUtilization;    ///< Per-core, [0, 1].
+    std::vector<double> coreFrequencyMhz;   ///< Per-core P-state.
+    bool inC1 = false;              ///< All-idle deep sleep state.
+
+    // --- Storage ---
+    std::vector<DiskState> disks;   ///< Per-disk activity.
+
+    // --- Network ---
+    double netRxBytes = 0.0;        ///< Achieved receive bytes/s.
+    double netTxBytes = 0.0;        ///< Achieved transmit bytes/s.
+
+    // --- Memory / VM subsystem ---
+    double committedBytes = 0.0;    ///< Committed virtual memory.
+    double pagesPerSec = 0.0;       ///< Hard page I/O per second.
+    double pageFaultsPerSec = 0.0;  ///< All faults (mostly soft).
+    double cacheFaultsPerSec = 0.0; ///< FS cache misses per second.
+    double pageReadsPerSec = 0.0;   ///< Hard fault read ops.
+    double poolNonpagedAllocs = 0.0;///< Kernel pool allocations.
+    double memIntensity = 0.0;      ///< Access intensity, [0, 1].
+
+    // --- File system cache ---
+    double dataMapPinsPerSec = 0.0;
+    double pinReadsPerSec = 0.0;
+    double pinReadHitPct = 100.0;
+    double copyReadsPerSec = 0.0;
+    double fastReadsNotPossiblePerSec = 0.0;
+    double lazyWriteFlushesPerSec = 0.0;
+
+    // --- Process / job object ---
+    double processPageFaultsPerSec = 0.0;
+    double processIoDataBytesPerSec = 0.0;
+    double pageFileBytesPeak = 0.0; ///< Monotone within a run.
+    double interruptsPerSec = 0.0;
+    double dpcTimePct = 0.0;
+    /** Kernel share of CPU time this second, in [0, 1]. */
+    double privilegedShare = 0.1;
+
+    /** Mean utilization over all cores, in [0, 1]. */
+    double meanUtilization() const
+    {
+        if (coreUtilization.empty())
+            return 0.0;
+        double acc = 0.0;
+        for (double u : coreUtilization)
+            acc += u;
+        return acc / static_cast<double>(coreUtilization.size());
+    }
+
+    /** Total achieved disk traffic, bytes/second. */
+    double totalDiskBytes() const
+    {
+        double acc = 0.0;
+        for (const auto &d : disks)
+            acc += d.readBytes + d.writeBytes;
+        return acc;
+    }
+
+    /** Mean disk utilization in [0, 1] (0 with no disks). */
+    double meanDiskUtilization() const
+    {
+        if (disks.empty())
+            return 0.0;
+        double acc = 0.0;
+        for (const auto &d : disks)
+            acc += d.utilization;
+        return acc / static_cast<double>(disks.size());
+    }
+};
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_MACHINE_STATE_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * WattsUp? Pro-style wall power meter.
+ *
+ * The paper instruments every machine with a WattsUp? Pro sampling
+ * once per second with 1.5% accuracy. We model that as a fixed
+ * per-meter gain error (calibration) drawn within +/-1.5%, small
+ * per-sample noise, and 0.1 W display quantization.
+ */
+#ifndef CHAOS_SIM_POWER_METER_HPP
+#define CHAOS_SIM_POWER_METER_HPP
+
+#include "util/random.hpp"
+
+namespace chaos {
+
+/** One wall power meter attached to one machine. */
+class PowerMeter
+{
+  public:
+    /**
+     * @param rng Private stream; the calibration gain is drawn here.
+     * @param accuracy Full-scale gain accuracy (default 1.5%).
+     */
+    explicit PowerMeter(Rng rng, double accuracy = 0.015);
+
+    /**
+     * Measure the given true power: apply gain error, per-sample
+     * noise, and quantization.
+     *
+     * @param truePowerW Ground-truth AC watts this second.
+     * @return Metered watts.
+     */
+    double sample(double truePowerW);
+
+    /** The realized calibration gain of this meter (for tests). */
+    double gain() const { return calibrationGain; }
+
+  private:
+    Rng rng;
+    double calibrationGain;
+    double sampleNoiseRel;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_POWER_METER_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ground-truth full-system power model ("the physics").
+ *
+ * This class plays the role of the physical machine: it converts
+ * component states into AC wall power. It is intentionally nonlinear
+ * (sub-linear utilization exponent, voltage/frequency scaling on the
+ * CPU term, a convex PSU curve) and carries per-machine coefficient
+ * variation and slowly-wandering hidden state, so that:
+ *
+ *  - linear models underpredict the top of the dynamic range (Fig. 5),
+ *  - frequency interacts multiplicatively with utilization, which
+ *    rewards quadratic/switching models on DVFS platforms (Fig. 4),
+ *  - identical machines differ by up to ~10% (paper Section III-B),
+ *  - no model reaches zero error (hidden state + process noise).
+ *
+ * The modeling stack never sees this class; it sees OS counters and
+ * metered watts only.
+ */
+#ifndef CHAOS_SIM_TRUTH_POWER_HPP
+#define CHAOS_SIM_TRUTH_POWER_HPP
+
+#include "sim/machine_spec.hpp"
+#include "sim/machine_state.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+
+/** Hidden ground-truth power function of one machine instance. */
+class TruthPowerModel
+{
+  public:
+    /**
+     * @param spec Platform description.
+     * @param rng Private stream; draws the per-machine coefficient
+     *            variation at construction and noise during stepping.
+     */
+    TruthPowerModel(const MachineSpec &spec, Rng rng);
+
+    /**
+     * AC wall power for one second in the given state.
+     * Advances the hidden workload-mix state and draws process noise,
+     * so consecutive calls with the same state differ slightly.
+     */
+    double step(const MachineState &state);
+
+    /** Deterministic power with hidden state/noise frozen (tests). */
+    double deterministicPower(const MachineState &state) const;
+
+    /** This instance's idle power (after machine variation). */
+    double idlePowerW() const { return idleW; }
+
+    /** This instance's maximum power (after machine variation). */
+    double maxPowerW() const { return idleW + dynamicW; }
+
+  private:
+    /** Normalized CPU activity in [0, ~1]; nonlinear in u and f. */
+    double cpuActivity(const MachineState &state) const;
+    /** Normalized memory-subsystem activity in [0, 1]. */
+    double memActivity(const MachineState &state) const;
+    /** Normalized disk activity in [0, 1]. */
+    double diskActivity(const MachineState &state) const;
+    /** Normalized NIC activity in [0, 1]. */
+    double netActivity(const MachineState &state) const;
+
+    const MachineSpec spec;
+    Rng rng;
+
+    // Per-machine realized parameters (drawn at construction).
+    double idleW = 0.0;        ///< Realized idle power.
+    double dynamicW = 0.0;     ///< Realized dynamic range.
+    double cpuShare = 0.0;     ///< Realized component shares...
+    double memShare = 0.0;
+    double diskShare = 0.0;
+    double netShare = 0.0;
+    double convexity = 0.0;    ///< Realized PSU convexity.
+    double c1SavingsW = 0.0;   ///< Extra savings in C1.
+
+    // Hidden state: slowly wandering CPU efficiency multiplier
+    // (instruction-mix effects invisible to OS counters).
+    double hiddenMix = 1.0;
+    double noiseStdW = 0.0;    ///< Process noise magnitude.
+};
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_TRUTH_POWER_HPP

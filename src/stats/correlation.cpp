@@ -1,0 +1,84 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    panicIf(a.size() != b.size(), "pearson() length mismatch");
+    panicIf(a.empty(), "pearson() of empty vectors");
+
+    const double n = static_cast<double>(a.size());
+    double sa = 0.0, sb = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        sa += a[i];
+        sb += b[i];
+    }
+    const double ma = sa / n;
+    const double mb = sb / n;
+
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - ma;
+        const double db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if (va <= 1e-300 || vb <= 1e-300)
+        return 0.0;
+    return cov / std::sqrt(va * vb);
+}
+
+Matrix
+correlationMatrix(const Matrix &x)
+{
+    const size_t n = x.rows();
+    const size_t p = x.cols();
+    panicIf(n == 0, "correlationMatrix of empty matrix");
+
+    // Column means.
+    std::vector<double> mu(p, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        const double *row = x.rowPtr(r);
+        for (size_t c = 0; c < p; ++c)
+            mu[c] += row[c];
+    }
+    for (double &m : mu)
+        m /= static_cast<double>(n);
+
+    // Centered Gram matrix in one pass over the data.
+    Matrix cov(p, p);
+    for (size_t r = 0; r < n; ++r) {
+        const double *row = x.rowPtr(r);
+        for (size_t i = 0; i < p; ++i) {
+            const double di = row[i] - mu[i];
+            if (di == 0.0)
+                continue;
+            double *cov_row = cov.rowPtr(i);
+            for (size_t j = i; j < p; ++j)
+                cov_row[j] += di * (row[j] - mu[j]);
+        }
+    }
+
+    Matrix corr(p, p);
+    for (size_t i = 0; i < p; ++i) {
+        corr(i, i) = 1.0;
+        for (size_t j = i + 1; j < p; ++j) {
+            const double vi = cov(i, i);
+            const double vj = cov(j, j);
+            double r = 0.0;
+            if (vi > 1e-300 && vj > 1e-300)
+                r = cov(i, j) / std::sqrt(vi * vj);
+            corr(i, j) = r;
+            corr(j, i) = r;
+        }
+    }
+    return corr;
+}
+
+} // namespace chaos

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Pearson correlation, the input to step 1 of the CHAOS feature
+ * reduction algorithm (prune |r| > 0.95 pairs).
+ */
+#ifndef CHAOS_STATS_CORRELATION_HPP
+#define CHAOS_STATS_CORRELATION_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace chaos {
+
+/**
+ * Pearson correlation coefficient of two equal-length vectors.
+ * Returns 0 when either vector is (numerically) constant.
+ */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Pairwise correlation matrix of the columns of @p x (cols x cols).
+ * Constant columns correlate 0 with everything and 1 with themselves.
+ */
+Matrix correlationMatrix(const Matrix &x);
+
+} // namespace chaos
+
+#endif // CHAOS_STATS_CORRELATION_HPP

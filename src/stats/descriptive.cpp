@@ -1,0 +1,109 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+double
+mean(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "mean() of empty vector");
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+double
+variance(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double mu = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - mu) * (v - mu);
+    return acc / static_cast<double>(values.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    return std::sqrt(variance(values));
+}
+
+double
+minValue(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "minValue() of empty vector");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxValue(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "maxValue() of empty vector");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+median(std::vector<double> values)
+{
+    panicIf(values.empty(), "median() of empty vector");
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+quantile(std::vector<double> values, double q)
+{
+    panicIf(values.empty(), "quantile() of empty vector");
+    panicIf(q < 0.0 || q > 1.0, "quantile() requires q in [0, 1]");
+    std::sort(values.begin(), values.end());
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<double>
+distinctSorted(std::vector<double> values, double tol)
+{
+    std::sort(values.begin(), values.end());
+    std::vector<double> out;
+    for (double v : values) {
+        if (out.empty() || v - out.back() > tol)
+            out.push_back(v);
+    }
+    return out;
+}
+
+void
+RunningStats::add(double value)
+{
+    if (n == 0) {
+        minV = maxV = value;
+    } else {
+        minV = std::min(minV, value);
+        maxV = std::max(maxV, value);
+    }
+    ++n;
+    const double delta = value - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (value - mu);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace chaos

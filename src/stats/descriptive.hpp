@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Descriptive statistics over double sequences.
+ */
+#ifndef CHAOS_STATS_DESCRIPTIVE_HPP
+#define CHAOS_STATS_DESCRIPTIVE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace chaos {
+
+/** Arithmetic mean; panic()s on an empty input. */
+double mean(const std::vector<double> &values);
+
+/** Sample variance (n - 1 denominator); 0 for fewer than 2 values. */
+double variance(const std::vector<double> &values);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/** Minimum; panic()s on an empty input. */
+double minValue(const std::vector<double> &values);
+
+/** Maximum; panic()s on an empty input. */
+double maxValue(const std::vector<double> &values);
+
+/** Median (average of middle two for even counts). */
+double median(std::vector<double> values);
+
+/**
+ * Empirical quantile with linear interpolation between order
+ * statistics; @p q in [0, 1].
+ */
+double quantile(std::vector<double> values, double q);
+
+/**
+ * Distinct values of @p values sorted ascending; used for candidate
+ * knot generation and switching-state discovery. Values closer than
+ * @p tol are merged.
+ */
+std::vector<double> distinctSorted(std::vector<double> values,
+                                   double tol = 1e-9);
+
+/**
+ * Streaming mean/variance accumulator (Welford). Used by online
+ * monitoring and the counter sampler.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** Number of observations so far. */
+    size_t count() const { return n; }
+    /** Mean of observations so far (0 when empty). */
+    double mean() const { return n > 0 ? mu : 0.0; }
+    /** Sample variance so far (0 for fewer than 2). */
+    double variance() const { return n > 1 ? m2 / double(n - 1) : 0.0; }
+    /** Sample standard deviation so far. */
+    double stddev() const;
+    /** Minimum so far. */
+    double min() const { return minV; }
+    /** Maximum so far. */
+    double max() const { return maxV; }
+
+  private:
+    size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double minV = 0.0;
+    double maxV = 0.0;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_STATS_DESCRIPTIVE_HPP

@@ -1,0 +1,29 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace chaos {
+
+double
+normalPdf(double z)
+{
+    static const double inv_sqrt_2pi =
+        1.0 / std::sqrt(2.0 * std::numbers::pi);
+    return inv_sqrt_2pi * std::exp(-0.5 * z * z);
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double
+waldPValue(double z)
+{
+    const double abs_z = std::fabs(z);
+    return std::erfc(abs_z / std::numbers::sqrt2);
+}
+
+} // namespace chaos

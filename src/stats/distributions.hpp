@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Normal-distribution helpers used by the Wald significance test in
+ * stepwise regression (paper Algorithm 1, step 4).
+ */
+#ifndef CHAOS_STATS_DISTRIBUTIONS_HPP
+#define CHAOS_STATS_DISTRIBUTIONS_HPP
+
+namespace chaos {
+
+/** Standard normal probability density at @p z. */
+double normalPdf(double z);
+
+/** Standard normal cumulative distribution at @p z. */
+double normalCdf(double z);
+
+/**
+ * Two-sided p-value of a Wald statistic z = coefficient / stderr,
+ * i.e. 2 * (1 - Phi(|z|)).
+ */
+double waldPValue(double z);
+
+} // namespace chaos
+
+#endif // CHAOS_STATS_DISTRIBUTIONS_HPP

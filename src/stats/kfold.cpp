@@ -1,0 +1,129 @@
+#include "stats/kfold.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+std::vector<FoldSplit>
+kFold(size_t numRows, size_t k, Rng &rng)
+{
+    panicIf(k < 2, "kFold requires k >= 2");
+    panicIf(k > numRows, "kFold requires k <= numRows");
+
+    std::vector<size_t> order(numRows);
+    for (size_t i = 0; i < numRows; ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    std::vector<FoldSplit> folds(k);
+    for (size_t i = 0; i < numRows; ++i) {
+        const size_t fold = i % k;
+        for (size_t f = 0; f < k; ++f) {
+            auto &split = folds[f];
+            (f == fold ? split.testIndices : split.trainIndices)
+                .push_back(order[i]);
+        }
+    }
+    for (auto &split : folds) {
+        std::sort(split.trainIndices.begin(), split.trainIndices.end());
+        std::sort(split.testIndices.begin(), split.testIndices.end());
+    }
+    return folds;
+}
+
+namespace {
+
+/** Map each distinct group id to the list of rows it owns. */
+std::map<int, std::vector<size_t>>
+groupRows(const std::vector<int> &groupIds)
+{
+    std::map<int, std::vector<size_t>> groups;
+    for (size_t i = 0; i < groupIds.size(); ++i)
+        groups[groupIds[i]].push_back(i);
+    return groups;
+}
+
+} // namespace
+
+std::vector<FoldSplit>
+groupedKFold(const std::vector<int> &groupIds, size_t k, Rng &rng)
+{
+    panicIf(groupIds.empty(), "groupedKFold: empty input");
+    const auto groups = groupRows(groupIds);
+
+    size_t folds_wanted = k;
+    if (groups.size() < folds_wanted) {
+        warn("groupedKFold: fewer groups than folds; reducing fold "
+             "count");
+        folds_wanted = groups.size();
+    }
+    panicIf(folds_wanted < 2,
+            "groupedKFold needs at least 2 distinct groups");
+
+    // Shuffle group order, then deal groups round-robin into folds.
+    std::vector<int> group_keys;
+    group_keys.reserve(groups.size());
+    for (const auto &[key, rows] : groups)
+        group_keys.push_back(key);
+    std::vector<size_t> order(group_keys.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    std::vector<FoldSplit> folds(folds_wanted);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+        const auto &rows = groups.at(group_keys[order[pos]]);
+        const size_t fold = pos % folds_wanted;
+        for (size_t f = 0; f < folds_wanted; ++f) {
+            auto &split = folds[f];
+            auto &dest =
+                (f == fold ? split.testIndices : split.trainIndices);
+            dest.insert(dest.end(), rows.begin(), rows.end());
+        }
+    }
+    for (auto &split : folds) {
+        std::sort(split.trainIndices.begin(), split.trainIndices.end());
+        std::sort(split.testIndices.begin(), split.testIndices.end());
+    }
+    return folds;
+}
+
+FoldSplit
+groupedHoldout(const std::vector<int> &groupIds, double trainFraction,
+               Rng &rng)
+{
+    panicIf(groupIds.empty(), "groupedHoldout: empty input");
+    panicIf(trainFraction <= 0.0 || trainFraction >= 1.0,
+            "groupedHoldout: trainFraction must be in (0, 1)");
+
+    const auto groups = groupRows(groupIds);
+    std::vector<int> group_keys;
+    for (const auto &[key, rows] : groups)
+        group_keys.push_back(key);
+    std::vector<size_t> order(group_keys.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    // At least one group on each side.
+    size_t train_groups = static_cast<size_t>(
+        trainFraction * static_cast<double>(group_keys.size()) + 0.5);
+    train_groups = std::clamp<size_t>(train_groups, 1,
+                                      group_keys.size() - 1);
+
+    FoldSplit split;
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+        const auto &rows = groups.at(group_keys[order[pos]]);
+        auto &dest = pos < train_groups ? split.trainIndices
+                                        : split.testIndices;
+        dest.insert(dest.end(), rows.begin(), rows.end());
+    }
+    std::sort(split.trainIndices.begin(), split.trainIndices.end());
+    std::sort(split.testIndices.begin(), split.testIndices.end());
+    return split;
+}
+
+} // namespace chaos

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * K-fold cross-validation splits.
+ *
+ * The paper evaluates with 5-fold cross validation where training and
+ * test sets come from *separate application runs* (the scheduler
+ * partitions work differently across runs). groupedKFold() therefore
+ * folds on run identifiers, never splitting a run between train and
+ * test.
+ */
+#ifndef CHAOS_STATS_KFOLD_HPP
+#define CHAOS_STATS_KFOLD_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace chaos {
+
+/** One cross-validation split: row indices for train and test. */
+struct FoldSplit
+{
+    std::vector<size_t> trainIndices;  ///< Rows used for fitting.
+    std::vector<size_t> testIndices;   ///< Held-out rows.
+};
+
+/**
+ * Plain row-level k-fold split of @p numRows rows.
+ *
+ * @param numRows Total number of rows.
+ * @param k Number of folds (2 <= k <= numRows).
+ * @param rng Source of the row permutation.
+ */
+std::vector<FoldSplit> kFold(size_t numRows, size_t k, Rng &rng);
+
+/**
+ * Group-aware k-fold split: rows sharing a group id (e.g. a workload
+ * run) always land on the same side of the split. If there are fewer
+ * distinct groups than folds, the fold count is reduced to the group
+ * count with a warning.
+ *
+ * @param groupIds Per-row group identifier.
+ * @param k Requested number of folds.
+ * @param rng Source of the group permutation.
+ */
+std::vector<FoldSplit> groupedKFold(const std::vector<int> &groupIds,
+                                    size_t k, Rng &rng);
+
+/**
+ * Train/test split where a given fraction of *groups* becomes
+ * training data (the paper trains on ~1/10 of the data volume and
+ * tests on the rest).
+ */
+FoldSplit groupedHoldout(const std::vector<int> &groupIds,
+                         double trainFraction, Rng &rng);
+
+} // namespace chaos
+
+#endif // CHAOS_STATS_KFOLD_HPP

@@ -1,0 +1,156 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace chaos {
+
+namespace {
+
+void
+checkShapes(const std::vector<double> &predicted,
+            const std::vector<double> &actual)
+{
+    panicIf(predicted.size() != actual.size(),
+            "metric: prediction/actual length mismatch");
+    panicIf(predicted.empty(), "metric: empty inputs");
+}
+
+} // namespace
+
+double
+meanSquaredError(const std::vector<double> &predicted,
+                 const std::vector<double> &actual)
+{
+    checkShapes(predicted, actual);
+    double acc = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - actual[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(predicted.size());
+}
+
+double
+rootMeanSquaredError(const std::vector<double> &predicted,
+                     const std::vector<double> &actual)
+{
+    return std::sqrt(meanSquaredError(predicted, actual));
+}
+
+double
+meanAbsoluteError(const std::vector<double> &predicted,
+                  const std::vector<double> &actual)
+{
+    checkShapes(predicted, actual);
+    double acc = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i)
+        acc += std::fabs(predicted[i] - actual[i]);
+    return acc / static_cast<double>(predicted.size());
+}
+
+double
+medianAbsoluteError(const std::vector<double> &predicted,
+                    const std::vector<double> &actual)
+{
+    checkShapes(predicted, actual);
+    std::vector<double> abs_errors(predicted.size());
+    for (size_t i = 0; i < predicted.size(); ++i)
+        abs_errors[i] = std::fabs(predicted[i] - actual[i]);
+    return median(std::move(abs_errors));
+}
+
+double
+medianRelativeError(const std::vector<double> &predicted,
+                    const std::vector<double> &actual)
+{
+    checkShapes(predicted, actual);
+    std::vector<double> rel_errors;
+    rel_errors.reserve(predicted.size());
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        if (actual[i] != 0.0) {
+            rel_errors.push_back(
+                std::fabs(predicted[i] - actual[i]) /
+                std::fabs(actual[i]));
+        }
+    }
+    panicIf(rel_errors.empty(),
+            "medianRelativeError: all actual values are zero");
+    return median(std::move(rel_errors));
+}
+
+double
+percentError(const std::vector<double> &predicted,
+             const std::vector<double> &actual)
+{
+    const double mean_power = mean(actual);
+    panicIf(mean_power == 0.0, "percentError: zero mean power");
+    return rootMeanSquaredError(predicted, actual) / mean_power;
+}
+
+double
+rSquared(const std::vector<double> &predicted,
+         const std::vector<double> &actual)
+{
+    checkShapes(predicted, actual);
+    const double mu = mean(actual);
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (size_t i = 0; i < actual.size(); ++i) {
+        ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+        ss_tot += (actual[i] - mu) * (actual[i] - mu);
+    }
+    if (ss_tot <= 1e-300)
+        return ss_res <= 1e-300 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double
+dynamicRangeError(const std::vector<double> &predicted,
+                  const std::vector<double> &actual, double powerIdle,
+                  double powerMax)
+{
+    panicIf(powerMax <= powerIdle,
+            "dynamicRangeError: non-positive dynamic range");
+    return rootMeanSquaredError(predicted, actual) /
+           (powerMax - powerIdle);
+}
+
+double
+dynamicRangeErrorObserved(const std::vector<double> &predicted,
+                          const std::vector<double> &actual)
+{
+    return dynamicRangeError(predicted, actual, minValue(actual),
+                             maxValue(actual));
+}
+
+std::string
+ErrorReport::summary() const
+{
+    return "rMSE=" + formatDouble(rmse, 2) + "W  %err=" +
+           formatPercent(pctErr, 1) + "  DRE=" + formatPercent(dre, 1) +
+           "  medRel=" + formatPercent(medianRel, 2) +
+           "  R2=" + formatDouble(r2, 3);
+}
+
+ErrorReport
+evaluateErrors(const std::vector<double> &predicted,
+               const std::vector<double> &actual, double powerIdle,
+               double powerMax)
+{
+    ErrorReport report;
+    report.mse = meanSquaredError(predicted, actual);
+    report.rmse = std::sqrt(report.mse);
+    report.mae = meanAbsoluteError(predicted, actual);
+    report.medianAbs = medianAbsoluteError(predicted, actual);
+    report.medianRel = medianRelativeError(predicted, actual);
+    report.pctErr = percentError(predicted, actual);
+    report.dre = dynamicRangeError(predicted, actual, powerIdle,
+                                   powerMax);
+    report.r2 = rSquared(predicted, actual);
+    return report;
+}
+
+} // namespace chaos

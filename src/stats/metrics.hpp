@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Model error metrics, including the paper's Dynamic Range Error.
+ *
+ * DRE (Eq. 6 of the paper) is rMSE divided by the dynamic power range
+ * (Pmax - Pidle). It is the paper's headline contribution on the
+ * evaluation side: unlike percent-of-total-power error it is not
+ * flattered by large static power, so it is comparable across
+ * platforms whose operating power differs by orders of magnitude.
+ */
+#ifndef CHAOS_STATS_METRICS_HPP
+#define CHAOS_STATS_METRICS_HPP
+
+#include <string>
+#include <vector>
+
+namespace chaos {
+
+/** Mean squared error between predictions and actuals. */
+double meanSquaredError(const std::vector<double> &predicted,
+                        const std::vector<double> &actual);
+
+/** Root-mean-squared error. */
+double rootMeanSquaredError(const std::vector<double> &predicted,
+                            const std::vector<double> &actual);
+
+/** Mean absolute error. */
+double meanAbsoluteError(const std::vector<double> &predicted,
+                         const std::vector<double> &actual);
+
+/** Median of |predicted - actual|. */
+double medianAbsoluteError(const std::vector<double> &predicted,
+                           const std::vector<double> &actual);
+
+/**
+ * Median of |predicted - actual| / actual; the "median relative
+ * error" style metric most prior work reported (paper: 0.5-2.5%).
+ * Actual values of 0 are skipped.
+ */
+double medianRelativeError(const std::vector<double> &predicted,
+                           const std::vector<double> &actual);
+
+/** rMSE divided by the mean of @p actual ("% Err" in Table III). */
+double percentError(const std::vector<double> &predicted,
+                    const std::vector<double> &actual);
+
+/** Coefficient of determination R^2. */
+double rSquared(const std::vector<double> &predicted,
+                const std::vector<double> &actual);
+
+/**
+ * Dynamic Range Error (paper Eq. 6): rMSE / (Pmax - Pidle).
+ *
+ * @param predicted Model predictions.
+ * @param actual Measured power.
+ * @param powerIdle Platform idle power (bottom of the dynamic range).
+ * @param powerMax Platform maximum power.
+ */
+double dynamicRangeError(const std::vector<double> &predicted,
+                         const std::vector<double> &actual,
+                         double powerIdle, double powerMax);
+
+/**
+ * DRE with the dynamic range estimated from the observed data
+ * (min/max of @p actual); used when the platform envelope has not
+ * been probed separately.
+ */
+double dynamicRangeErrorObserved(const std::vector<double> &predicted,
+                                 const std::vector<double> &actual);
+
+/** Bundle of all the metrics for one evaluation. */
+struct ErrorReport
+{
+    double mse = 0.0;         ///< Mean squared error (W^2).
+    double rmse = 0.0;        ///< Root mean squared error (W).
+    double mae = 0.0;         ///< Mean absolute error (W).
+    double medianAbs = 0.0;   ///< Median absolute error (W).
+    double medianRel = 0.0;   ///< Median relative error (fraction).
+    double pctErr = 0.0;      ///< rMSE / mean power (fraction).
+    double dre = 0.0;         ///< Dynamic range error (fraction).
+    double r2 = 0.0;          ///< Coefficient of determination.
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/**
+ * Compute every metric at once.
+ *
+ * @param powerIdle Bottom of the platform dynamic range.
+ * @param powerMax Top of the platform dynamic range.
+ */
+ErrorReport evaluateErrors(const std::vector<double> &predicted,
+                           const std::vector<double> &actual,
+                           double powerIdle, double powerMax);
+
+} // namespace chaos
+
+#endif // CHAOS_STATS_METRICS_HPP

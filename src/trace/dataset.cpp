@@ -1,0 +1,190 @@
+#include "trace/dataset.hpp"
+
+#include <algorithm>
+
+#include "oscounters/counter_catalog.hpp"
+#include "util/logging.hpp"
+
+namespace chaos {
+
+namespace {
+
+std::vector<std::string>
+catalogNames()
+{
+    const auto &catalog = CounterCatalog::instance();
+    std::vector<std::string> names;
+    names.reserve(catalog.size());
+    for (const auto &def : catalog.all())
+        names.push_back(def.name);
+    return names;
+}
+
+} // namespace
+
+Dataset::Dataset() : Dataset(catalogNames()) {}
+
+Dataset::Dataset(std::vector<std::string> featureNames)
+    : names(std::move(featureNames)),
+      x(0, names.size())
+{
+}
+
+Dataset
+Dataset::fromRunResults(const std::vector<RunResult> &runs)
+{
+    Dataset ds;
+    for (const auto &run : runs) {
+        for (size_t m = 0; m < run.machineRecords.size(); ++m) {
+            for (const auto &record : run.machineRecords[m]) {
+                ds.addRow(record.counters, record.measuredPowerW,
+                          run.runId, static_cast<int>(m),
+                          run.workloadName);
+            }
+        }
+    }
+    return ds;
+}
+
+size_t
+Dataset::featureIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name)
+            return i;
+    }
+    fatal("dataset feature not found: " + name);
+}
+
+int
+Dataset::workloadIdFor(const std::string &workload)
+{
+    for (size_t i = 0; i < workloadNameTable.size(); ++i) {
+        if (workloadNameTable[i] == workload)
+            return static_cast<int>(i);
+    }
+    workloadNameTable.push_back(workload);
+    return static_cast<int>(workloadNameTable.size() - 1);
+}
+
+void
+Dataset::addRow(const std::vector<double> &features, double powerW,
+                int runId, int machineId, const std::string &workload)
+{
+    panicIf(features.size() != names.size(),
+            "Dataset::addRow feature width mismatch");
+    x.appendRow(features);
+    target.push_back(powerW);
+    runs.push_back(runId);
+    machines.push_back(machineId);
+    workloads.push_back(workloadIdFor(workload));
+}
+
+Dataset
+Dataset::selectFeatures(const std::vector<size_t> &columns) const
+{
+    std::vector<std::string> new_names;
+    new_names.reserve(columns.size());
+    for (size_t c : columns) {
+        panicIf(c >= names.size(), "selectFeatures column range");
+        new_names.push_back(names[c]);
+    }
+    Dataset out(std::move(new_names));
+    out.x = x.selectColumns(columns);
+    out.target = target;
+    out.runs = runs;
+    out.machines = machines;
+    out.workloads = workloads;
+    out.workloadNameTable = workloadNameTable;
+    return out;
+}
+
+Dataset
+Dataset::selectFeaturesByName(
+    const std::vector<std::string> &wanted) const
+{
+    std::vector<size_t> columns;
+    columns.reserve(wanted.size());
+    for (const auto &name : wanted)
+        columns.push_back(featureIndex(name));
+    return selectFeatures(columns);
+}
+
+Dataset
+Dataset::selectRows(const std::vector<size_t> &rows) const
+{
+    Dataset out(names);
+    out.x = x.selectRows(rows);
+    out.workloadNameTable = workloadNameTable;
+    out.target.reserve(rows.size());
+    for (size_t r : rows) {
+        panicIf(r >= numRows(), "selectRows row range");
+        out.target.push_back(target[r]);
+        out.runs.push_back(runs[r]);
+        out.machines.push_back(machines[r]);
+        out.workloads.push_back(workloads[r]);
+    }
+    return out;
+}
+
+Dataset
+Dataset::filterWorkload(const std::string &workload) const
+{
+    std::vector<size_t> rows;
+    for (size_t i = 0; i < workloadNameTable.size(); ++i) {
+        if (workloadNameTable[i] == workload) {
+            const int id = static_cast<int>(i);
+            for (size_t r = 0; r < numRows(); ++r) {
+                if (workloads[r] == id)
+                    rows.push_back(r);
+            }
+            break;
+        }
+    }
+    return selectRows(rows);
+}
+
+Dataset
+Dataset::filterMachine(int machineId) const
+{
+    std::vector<size_t> rows;
+    for (size_t r = 0; r < numRows(); ++r) {
+        if (machines[r] == machineId)
+            rows.push_back(r);
+    }
+    return selectRows(rows);
+}
+
+void
+Dataset::append(const Dataset &other)
+{
+    panicIf(other.names != names,
+            "Dataset::append feature space mismatch");
+    for (size_t r = 0; r < other.numRows(); ++r) {
+        addRow(other.x.row(r), other.target[r], other.runs[r],
+               other.machines[r],
+               other.workloadNameTable[other.workloads[r]]);
+    }
+}
+
+std::vector<size_t>
+Dataset::constantColumns(double tol) const
+{
+    std::vector<size_t> out;
+    if (numRows() == 0)
+        return out;
+    for (size_t c = 0; c < numFeatures(); ++c) {
+        double lo = x(0, c), hi = x(0, c);
+        for (size_t r = 1; r < numRows(); ++r) {
+            lo = std::min(lo, x(r, c));
+            hi = std::max(hi, x(r, c));
+        }
+        // Relative spread against the magnitude of the column.
+        const double scale = std::max({std::abs(lo), std::abs(hi), 1.0});
+        if (hi - lo <= tol * scale)
+            out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace chaos

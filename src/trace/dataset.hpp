@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Model-ready datasets assembled from ETW run logs.
+ *
+ * A Dataset row is one machine-second: the full counter vector as
+ * features and the metered wall power as the target, tagged with the
+ * machine, run, and workload it came from so that cross-validation
+ * can fold on runs and feature selection can iterate per machine and
+ * per workload.
+ */
+#ifndef CHAOS_TRACE_DATASET_HPP
+#define CHAOS_TRACE_DATASET_HPP
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "workloads/runner.hpp"
+
+namespace chaos {
+
+/** Feature matrix + power target with per-row provenance. */
+class Dataset
+{
+  public:
+    /** Empty dataset with the full catalog feature space. */
+    Dataset();
+
+    /** Empty dataset with explicit feature names. */
+    explicit Dataset(std::vector<std::string> featureNames);
+
+    /**
+     * Flatten run results into a dataset. Every machine-second of
+     * every run becomes a row; feature names come from the counter
+     * catalog.
+     */
+    static Dataset fromRunResults(const std::vector<RunResult> &runs);
+
+    /** Number of rows (machine-seconds). */
+    size_t numRows() const { return target.size(); }
+    /** Number of feature columns. */
+    size_t numFeatures() const { return names.size(); }
+
+    /** Feature matrix (numRows x numFeatures). */
+    const Matrix &features() const { return x; }
+    /** Metered power per row, watts. */
+    const std::vector<double> &powerW() const { return target; }
+    /** Per-row run id (cross-validation group). */
+    const std::vector<int> &runIds() const { return runs; }
+    /** Per-row machine id. */
+    const std::vector<int> &machineIds() const { return machines; }
+    /** Per-row workload name index (into workloadNames()). */
+    const std::vector<int> &workloadIds() const { return workloads; }
+    /** Distinct workload names, indexed by workloadIds(). */
+    const std::vector<std::string> &workloadNames() const
+    {
+        return workloadNameTable;
+    }
+    /** Feature (counter) names, one per column. */
+    const std::vector<std::string> &featureNames() const
+    {
+        return names;
+    }
+
+    /** Index of a named feature; fatal() if absent. */
+    size_t featureIndex(const std::string &name) const;
+
+    /** Append one row (used by builders and tests). */
+    void addRow(const std::vector<double> &features, double powerW,
+                int runId, int machineId, const std::string &workload);
+
+    /** Dataset restricted to the given feature columns. */
+    Dataset selectFeatures(const std::vector<size_t> &columns) const;
+
+    /** Dataset restricted to features with the given names. */
+    Dataset selectFeaturesByName(
+        const std::vector<std::string> &wanted) const;
+
+    /** Dataset restricted to the given rows. */
+    Dataset selectRows(const std::vector<size_t> &rows) const;
+
+    /** Rows belonging to one workload. */
+    Dataset filterWorkload(const std::string &workload) const;
+
+    /** Rows belonging to one machine. */
+    Dataset filterMachine(int machineId) const;
+
+    /** Concatenate another dataset with an identical feature space. */
+    void append(const Dataset &other);
+
+    /**
+     * Columns that are (numerically) constant over this dataset;
+     * such counters carry no information and are dropped before
+     * correlation screening.
+     */
+    std::vector<size_t> constantColumns(double tol = 1e-9) const;
+
+  private:
+    int workloadIdFor(const std::string &workload);
+
+    std::vector<std::string> names;
+    Matrix x;
+    std::vector<double> target;
+    std::vector<int> runs;
+    std::vector<int> machines;
+    std::vector<int> workloads;
+    std::vector<std::string> workloadNameTable;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_TRACE_DATASET_HPP

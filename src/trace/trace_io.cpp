@@ -1,0 +1,90 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace chaos {
+
+namespace {
+const std::string kPowerCol = "__power_w";
+const std::string kRunCol = "__run_id";
+const std::string kMachineCol = "__machine_id";
+const std::string kWorkloadCol = "__workload_id";
+} // namespace
+
+void
+saveDataset(const std::string &path, const Dataset &dataset)
+{
+    CsvTable table;
+    table.header = dataset.featureNames();
+    table.header.push_back(kPowerCol);
+    table.header.push_back(kRunCol);
+    table.header.push_back(kMachineCol);
+    table.header.push_back(kWorkloadCol);
+
+    table.rows.reserve(dataset.numRows());
+    for (size_t r = 0; r < dataset.numRows(); ++r) {
+        std::vector<double> row = dataset.features().row(r);
+        row.push_back(dataset.powerW()[r]);
+        row.push_back(static_cast<double>(dataset.runIds()[r]));
+        row.push_back(static_cast<double>(dataset.machineIds()[r]));
+        row.push_back(static_cast<double>(dataset.workloadIds()[r]));
+        table.rows.push_back(std::move(row));
+    }
+    writeCsv(path, table);
+
+    std::ofstream names(path + ".workloads");
+    fatalIf(!names, "cannot write workload sidecar for " + path);
+    for (const auto &name : dataset.workloadNames())
+        names << name << "\n";
+}
+
+Dataset
+loadDataset(const std::string &path)
+{
+    const CsvTable table = readCsv(path);
+    fatalIf(table.header.size() < 5,
+            "dataset CSV missing metadata columns: " + path);
+
+    // Counter columns are everything before the "__" metadata block.
+    std::vector<std::string> feature_names;
+    for (const auto &name : table.header) {
+        if (startsWith(name, "__"))
+            break;
+        feature_names.push_back(name);
+    }
+    const size_t p = feature_names.size();
+    fatalIf(table.header.size() != p + 4,
+            "dataset CSV has unexpected metadata layout: " + path);
+
+    std::vector<std::string> workload_names;
+    {
+        std::ifstream names(path + ".workloads");
+        fatalIf(!names, "missing workload sidecar for " + path);
+        std::string line;
+        while (std::getline(names, line)) {
+            line = trim(line);
+            if (!line.empty())
+                workload_names.push_back(line);
+        }
+    }
+
+    Dataset ds(feature_names);
+    for (const auto &row : table.rows) {
+        std::vector<double> features(row.begin(), row.begin() + p);
+        const double power = row[p];
+        const int run = static_cast<int>(row[p + 1]);
+        const int machine = static_cast<int>(row[p + 2]);
+        const auto workload_id = static_cast<size_t>(row[p + 3]);
+        fatalIf(workload_id >= workload_names.size(),
+                "dataset CSV workload id out of range: " + path);
+        ds.addRow(features, power, run, machine,
+                  workload_names[workload_id]);
+    }
+    return ds;
+}
+
+} // namespace chaos

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Dataset persistence: save collected traces to CSV and reload them,
+ * so expensive collection campaigns can be separated from modeling
+ * experiments.
+ */
+#ifndef CHAOS_TRACE_TRACE_IO_HPP
+#define CHAOS_TRACE_TRACE_IO_HPP
+
+#include <string>
+
+#include "trace/dataset.hpp"
+
+namespace chaos {
+
+/**
+ * Write @p dataset to @p path as CSV. Metadata columns (power, run,
+ * machine, workload id) are prefixed with "__" to stay clear of
+ * counter names; a sidecar "<path>.workloads" file maps workload ids
+ * to names.
+ */
+void saveDataset(const std::string &path, const Dataset &dataset);
+
+/** Reload a dataset written by saveDataset(); fatal() on format errors. */
+Dataset loadDataset(const std::string &path);
+
+} // namespace chaos
+
+#endif // CHAOS_TRACE_TRACE_IO_HPP

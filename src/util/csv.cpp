@@ -1,0 +1,83 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.hpp"
+#include "util/string_utils.hpp"
+
+namespace chaos {
+
+size_t
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return i;
+    }
+    fatal("CSV column not found: " + name);
+}
+
+std::vector<double>
+CsvTable::column(const std::string &name) const
+{
+    const size_t idx = columnIndex(name);
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto &row : rows)
+        out.push_back(row[idx]);
+    return out;
+}
+
+void
+writeCsv(const std::string &path, const CsvTable &table)
+{
+    std::ofstream file(path);
+    fatalIf(!file, "cannot open CSV for writing: " + path);
+    file << join(table.header, ",") << "\n";
+    for (const auto &row : table.rows) {
+        panicIf(row.size() != table.header.size(),
+                "CSV row width does not match header");
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                file << ',';
+            file << row[i];
+        }
+        file << "\n";
+    }
+    fatalIf(!file.good(), "I/O error while writing CSV: " + path);
+}
+
+CsvTable
+readCsv(const std::string &path)
+{
+    std::ifstream file(path);
+    fatalIf(!file, "cannot open CSV for reading: " + path);
+
+    CsvTable table;
+    std::string line;
+    fatalIf(!std::getline(file, line), "empty CSV file: " + path);
+    table.header = split(trim(line), ',');
+
+    while (std::getline(file, line)) {
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto fields = split(line, ',');
+        fatalIf(fields.size() != table.header.size(),
+                "CSV row width mismatch in " + path);
+        std::vector<double> row;
+        row.reserve(fields.size());
+        for (const auto &field : fields) {
+            char *end = nullptr;
+            const double value = std::strtod(field.c_str(), &end);
+            fatalIf(end == field.c_str(),
+                    "non-numeric CSV field '" + field + "' in " + path);
+            row.push_back(value);
+        }
+        table.rows.push_back(std::move(row));
+    }
+    return table;
+}
+
+} // namespace chaos

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV reading and writing for trace persistence.
+ *
+ * The format is deliberately simple: no quoting, comma separator, one
+ * header row. Counter names contain no commas by construction.
+ */
+#ifndef CHAOS_UTIL_CSV_HPP
+#define CHAOS_UTIL_CSV_HPP
+
+#include <string>
+#include <vector>
+
+namespace chaos {
+
+/** In-memory CSV table: a header plus numeric rows. */
+struct CsvTable
+{
+    /** Column names, in file order. */
+    std::vector<std::string> header;
+    /** Row-major numeric values; every row matches header size. */
+    std::vector<std::vector<double>> rows;
+
+    /** Index of a named column, or fatal() if absent. */
+    size_t columnIndex(const std::string &name) const;
+
+    /** Extract a whole column by name. */
+    std::vector<double> column(const std::string &name) const;
+};
+
+/** Write @p table to @p path; fatal() on I/O failure. */
+void writeCsv(const std::string &path, const CsvTable &table);
+
+/** Read a numeric CSV from @p path; fatal() on I/O or parse failure. */
+CsvTable readCsv(const std::string &path);
+
+} // namespace chaos
+
+#endif // CHAOS_UTIL_CSV_HPP

@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace chaos {
+
+namespace {
+bool quietMode = false;
+} // namespace
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (!quietMode)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!quietMode)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace chaos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in this library), fatal() is for unrecoverable user
+ * errors (bad configuration, invalid arguments), warn() and inform()
+ * are advisory and never stop execution.
+ */
+#ifndef CHAOS_UTIL_LOGGING_HPP
+#define CHAOS_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace chaos {
+
+/**
+ * Abort with a message; something happened that should never happen
+ * regardless of what the user does (an internal bug). Calls
+ * std::abort(), which may dump core.
+ *
+ * @param msg Description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Exit with an error code; the run cannot continue due to a condition
+ * that is the caller's fault (bad configuration, invalid arguments).
+ * Calls std::exit(1).
+ *
+ * @param msg Description of the user-facing error.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Print a warning about suspicious but non-fatal behaviour.
+ * Execution continues.
+ */
+void warn(const std::string &msg);
+
+/** Print an informative status message. */
+void inform(const std::string &msg);
+
+/**
+ * Enable or disable inform()/warn() output (useful to silence tests).
+ *
+ * @param quiet True suppresses advisory output; errors always print.
+ */
+void setQuiet(bool quiet);
+
+/**
+ * Check an internal invariant; calls panic() with @p msg on failure.
+ *
+ * Unlike assert(), this is active in all build types: the modeling
+ * pipeline relies on these checks to catch dimension mismatches.
+ */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+/** Check a user-facing precondition; calls fatal() on failure. */
+inline void
+fatalIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+} // namespace chaos
+
+#endif // CHAOS_UTIL_LOGGING_HPP

@@ -1,0 +1,142 @@
+#include "util/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+uint64_t
+SplitMix64::next()
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed) : cachedNormal(0.0), hasCachedNormal(false)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s)
+        word = sm.next();
+}
+
+uint64_t
+Rng::nextU64()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return (nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    panicIf(n == 0, "uniformInt() requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = nextU64();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal) {
+        hasCachedNormal = false;
+        return cachedNormal;
+    }
+    // Box-Muller; u1 is kept away from 0 so log() is finite.
+    double u1 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cachedNormal = radius * std::sin(angle);
+    hasCachedNormal = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::clampedNormal(double mean, double stddev, double limit)
+{
+    const double raw = normal();
+    const double clamped = std::max(-limit, std::min(limit, raw));
+    return mean + stddev * clamped;
+}
+
+double
+Rng::exponential(double rate)
+{
+    panicIf(rate <= 0.0, "exponential() requires rate > 0");
+    double u = uniform();
+    if (u < 1e-300)
+        u = 1e-300;
+    return -std::log(u) / rate;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(uint64_t tag)
+{
+    // Mix the tag through SplitMix so fork(0) and fork(1) diverge.
+    SplitMix64 sm(nextU64() ^ (tag * 0xd1342543de82ef95ULL + 1));
+    return Rng(sm.next());
+}
+
+void
+Rng::shuffle(std::vector<size_t> &items)
+{
+    for (size_t i = items.size(); i > 1; --i) {
+        const size_t j = uniformInt(i);
+        std::swap(items[i - 1], items[j]);
+    }
+}
+
+} // namespace chaos

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string helpers shared across the library.
+ */
+#ifndef CHAOS_UTIL_STRING_UTILS_HPP
+#define CHAOS_UTIL_STRING_UTILS_HPP
+
+#include <string>
+#include <vector>
+
+namespace chaos {
+
+/** Split @p text on @p sep; adjacent separators yield empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** Lower-case ASCII copy of @p text. */
+std::string toLower(const std::string &text);
+
+/** printf-style double formatting with fixed decimals. */
+std::string formatDouble(double value, int decimals);
+
+/** Format a fraction (0.123 -> "12.3%") with the given decimals. */
+std::string formatPercent(double fraction, int decimals);
+
+} // namespace chaos
+
+#endif // CHAOS_UTIL_STRING_UTILS_HPP

@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+TextTable::TextTable(std::vector<std::string> header_)
+    : header(std::move(header_))
+{
+    panicIf(header.empty(), "TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    panicIf(row.size() != header.size(),
+            "TextTable row width does not match header");
+    rows.push_back(std::move(row));
+    ++numDataRows;
+}
+
+void
+TextTable::addRule()
+{
+    rows.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t i = 0; i < header.size(); ++i)
+        widths[i] = header[i].size();
+    for (const auto &row : rows) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto renderRule = [&widths]() {
+        std::string line;
+        for (size_t w : widths)
+            line += "+" + std::string(w + 2, '-');
+        line += "+\n";
+        return line;
+    };
+    auto renderRow = [&widths](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t i = 0; i < row.size(); ++i) {
+            line += "| " + row[i] +
+                    std::string(widths[i] - row[i].size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string out = renderRule();
+    out += renderRow(header);
+    out += renderRule();
+    for (const auto &row : rows)
+        out += row.empty() ? renderRule() : renderRow(row);
+    out += renderRule();
+    return out;
+}
+
+std::string
+barLine(const std::string &label, double value, double maxValue,
+        int width, const std::string &valueText)
+{
+    const double safe_max = maxValue > 0.0 ? maxValue : 1.0;
+    const double clamped = std::clamp(value / safe_max, 0.0, 1.0);
+    const int filled = static_cast<int>(clamped * width + 0.5);
+
+    std::ostringstream out;
+    out << label << " |" << std::string(filled, '#')
+        << std::string(width - filled, ' ') << "| " << valueText;
+    return out.str();
+}
+
+} // namespace chaos

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Aligned ASCII table printer used by the benchmark harnesses to
+ * regenerate the paper's tables and figure series.
+ */
+#ifndef CHAOS_UTIL_TABLE_HPP
+#define CHAOS_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace chaos {
+
+/**
+ * Column-aligned text table builder.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Workload", "DRE"});
+ *   t.addRow({"Sort", "10.2%"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** @param header Column titles; fixes the column count. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator rule. */
+    void addRule();
+
+    /** Render the table with padded columns and a header rule. */
+    std::string render() const;
+
+    /** Number of data rows added so far (rules excluded). */
+    size_t rowCount() const { return numDataRows; }
+
+  private:
+    std::vector<std::string> header;
+    // Rows; an empty vector encodes a separator rule.
+    std::vector<std::vector<std::string>> rows;
+    size_t numDataRows = 0;
+};
+
+/**
+ * Render a simple horizontal bar chart line, e.g. for DRE-per-model
+ * "figures": a label, a bar scaled to @p value / @p maxValue, and the
+ * formatted value.
+ */
+std::string barLine(const std::string &label, double value,
+                    double maxValue, int width,
+                    const std::string &valueText);
+
+} // namespace chaos
+
+#endif // CHAOS_UTIL_TABLE_HPP

@@ -1,0 +1,219 @@
+#include "workloads/runner.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+std::vector<double>
+RunResult::clusterPowerSeries() const
+{
+    size_t length = 0;
+    for (const auto &records : machineRecords)
+        length = std::max(length, records.size());
+
+    std::vector<double> series(length, 0.0);
+    for (const auto &records : machineRecords) {
+        for (size_t t = 0; t < records.size(); ++t)
+            series[t] += records[t].measuredPowerW;
+    }
+    return series;
+}
+
+namespace {
+
+/** A task placed on a machine with remaining runtime. */
+struct RunningTask
+{
+    Task task;
+    size_t machineId = 0;
+    double remainingSeconds = 0.0;
+};
+
+/** Free core slots on one machine. */
+struct SlotState
+{
+    double capacity = 0.0;
+    double used = 0.0;
+
+    double free() const { return capacity - used; }
+};
+
+} // namespace
+
+RunResult
+runWorkload(Cluster &cluster, const Workload &workload,
+            uint64_t runSeed, int runId, const RunConfig &config)
+{
+    fatalIf(cluster.size() == 0, "runWorkload: empty cluster");
+    Rng rng(runSeed);
+    cluster.resetRunState();
+
+    // Per-machine ETW sessions (sampler noise derives from the seed).
+    std::vector<EtwSession> sessions;
+    sessions.reserve(cluster.size());
+    for (size_t m = 0; m < cluster.size(); ++m) {
+        sessions.emplace_back(cluster.machine(m), cluster.meter(m),
+                              Rng(runSeed).fork(7000 + m).nextU64());
+    }
+
+    // Generate this run's task graph, scaled to cluster capacity.
+    double total_slots = 0.0;
+    std::vector<SlotState> slots(cluster.size());
+    for (size_t m = 0; m < cluster.size(); ++m) {
+        slots[m].capacity =
+            static_cast<double>(cluster.machine(m).spec().numCores);
+        total_slots += slots[m].capacity;
+    }
+    std::vector<Task> tasks = workload.generateTasks(total_slots, rng);
+    panicIf(tasks.empty(), "workload generated no tasks");
+    for (auto &task : tasks)
+        task.durationSeconds *= config.durationScale;
+
+    // Bucket tasks by stage.
+    size_t max_stage = 0;
+    for (const auto &task : tasks)
+        max_stage = std::max(max_stage, task.stage);
+    std::vector<std::deque<Task>> pending(max_stage + 1);
+    for (auto &task : tasks)
+        pending[task.stage].push_back(task);
+    // Shuffle each stage's queue: arrival order differs per run.
+    for (auto &queue : pending) {
+        std::vector<size_t> order(queue.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        rng.shuffle(order);
+        std::deque<Task> shuffled;
+        for (size_t idx : order)
+            shuffled.push_back(queue[idx]);
+        queue = std::move(shuffled);
+    }
+
+    RunResult result;
+    result.workloadName = workload.name();
+    result.runId = runId;
+    result.machineRecords.resize(cluster.size());
+
+    std::vector<RunningTask> running;
+    size_t stage = 0;
+    double now = 0.0;
+    double drain_until = -1.0;
+
+    auto idle_demand = [] { return ActivityDemand{}; };
+
+    while (now < config.maxSeconds) {
+        const bool job_started = now >= config.idleLeadInSeconds;
+
+        // Advance stage barrier: next stage opens when the current
+        // one has neither pending nor running tasks.
+        if (job_started && stage <= max_stage &&
+            pending[stage].empty()) {
+            const bool stage_running = std::any_of(
+                running.begin(), running.end(),
+                [stage](const RunningTask &rt) {
+                    return rt.task.stage == stage;
+                });
+            if (!stage_running) {
+                ++stage;
+                if (stage > max_stage && drain_until < 0.0)
+                    drain_until = now + config.idleLeadOutSeconds;
+            }
+        }
+
+        // Schedule pending tasks of the open stage onto machines
+        // with free slots, visiting machines in random order.
+        if (job_started && stage <= max_stage) {
+            std::vector<size_t> machine_order(cluster.size());
+            for (size_t i = 0; i < machine_order.size(); ++i)
+                machine_order[i] = i;
+            rng.shuffle(machine_order);
+
+            for (size_t m : machine_order) {
+                while (!pending[stage].empty() &&
+                       slots[m].free() >=
+                           pending[stage].front().slots) {
+                    RunningTask rt;
+                    rt.task = pending[stage].front();
+                    pending[stage].pop_front();
+                    rt.machineId = m;
+                    rt.remainingSeconds = rt.task.durationSeconds;
+                    slots[m].used += rt.task.slots;
+                    running.push_back(std::move(rt));
+                }
+            }
+        }
+
+        // Aggregate demand per machine and tick every session.
+        // A task's CPU demand fluctuates second to second (compute
+        // vertices alternate bursts of computation with I/O and
+        // synchronization), which gives machines the mid-range
+        // utilization and P-state mixing real Dryad clusters show.
+        std::vector<ActivityDemand> demands(cluster.size(),
+                                            idle_demand());
+        for (const auto &rt : running) {
+            ActivityDemand demand = rt.task.demand;
+            demand.cpuCoreSeconds *= rng.uniform(0.55, 1.10);
+            // I/O is burstier than compute and fluctuates
+            // independently of it (buffering, readahead, TCP
+            // windows), which is what keeps disk and network
+            // counters from being mere proxies of CPU utilization.
+            const double disk_burst = rng.uniform(0.25, 1.60);
+            demand.diskReadBytes *= disk_burst;
+            demand.diskWriteBytes *= disk_burst;
+            const double net_burst = rng.uniform(0.35, 1.50);
+            demand.netRxBytes *= net_burst;
+            demand.netTxBytes *= net_burst;
+            demand.fsCacheOps *= rng.uniform(0.5, 1.4);
+            demands[rt.machineId] += demand;
+        }
+        for (size_t m = 0; m < cluster.size(); ++m) {
+            const EtwRecord &record = sessions[m].tick(demands[m]);
+            result.machineRecords[m].push_back(record);
+        }
+
+        // Retire finished tasks.
+        for (auto &rt : running)
+            rt.remainingSeconds -= 1.0;
+        for (auto it = running.begin(); it != running.end();) {
+            if (it->remainingSeconds <= 0.0) {
+                slots[it->machineId].used -= it->task.slots;
+                it = running.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        now += 1.0;
+        if (drain_until >= 0.0 && now >= drain_until)
+            break;
+    }
+
+    if (now >= config.maxSeconds) {
+        warn("runWorkload: " + workload.name() +
+             " hit the maxSeconds cap; result truncated");
+    }
+    result.durationSeconds = now;
+    return result;
+}
+
+std::vector<RunResult>
+runStandardCampaign(Cluster &cluster, size_t runsPerWorkload,
+                    uint64_t baseSeed, const RunConfig &config)
+{
+    std::vector<RunResult> results;
+    Rng root(baseSeed);
+    int run_id = 0;
+    for (const auto &workload : standardWorkloads()) {
+        for (size_t r = 0; r < runsPerWorkload; ++r) {
+            const uint64_t seed = root.fork(run_id + 1).nextU64();
+            results.push_back(runWorkload(cluster, *workload, seed,
+                                          run_id, config));
+            ++run_id;
+        }
+    }
+    return results;
+}
+
+} // namespace chaos

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cluster workload execution: a Dryad-like nondeterministic task
+ * scheduler driving instrumented machines second by second.
+ */
+#ifndef CHAOS_WORKLOADS_RUNNER_HPP
+#define CHAOS_WORKLOADS_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "oscounters/etw_session.hpp"
+#include "sim/cluster.hpp"
+#include "workloads/workload.hpp"
+
+namespace chaos {
+
+/** Knobs for one workload run. */
+struct RunConfig
+{
+    /** Idle seconds logged before the job starts. */
+    double idleLeadInSeconds = 20.0;
+    /** Idle seconds logged after the job drains. */
+    double idleLeadOutSeconds = 15.0;
+    /** Hard cap on the run length (stuck-job guard). */
+    double maxSeconds = 4000.0;
+    /**
+     * Scale factor on generated task durations; tests use < 1 to
+     * shrink runs while keeping the same structure.
+     */
+    double durationScale = 1.0;
+};
+
+/** Everything recorded during one run on one cluster. */
+struct RunResult
+{
+    std::string workloadName;   ///< Which workload ran.
+    int runId = 0;              ///< Caller-assigned run number.
+    /** Per-machine logs; outer index is the machine id. */
+    std::vector<std::vector<EtwRecord>> machineRecords;
+    double durationSeconds = 0.0;   ///< Wall seconds simulated.
+
+    /** Cluster-level measured AC power series (sum over machines). */
+    std::vector<double> clusterPowerSeries() const;
+};
+
+/**
+ * Run @p workload once on @p cluster.
+ *
+ * Scheduling is greedy with random machine and task ordering drawn
+ * from @p runSeed, so two runs of the same workload place tasks
+ * differently (the paper's nondeterministic job scheduler). Stages
+ * are barriers: stage k+1 tasks wait for every stage-k task.
+ *
+ * @param cluster Machines to run on (per-run OS state is reset).
+ * @param workload Task generator.
+ * @param runSeed Seed for task generation and scheduling choices.
+ * @param runId Stamped into the result.
+ * @param config Run knobs.
+ */
+RunResult runWorkload(Cluster &cluster, const Workload &workload,
+                      uint64_t runSeed, int runId,
+                      const RunConfig &config = RunConfig());
+
+/**
+ * Convenience: run every standard workload @p runsPerWorkload times.
+ * Run seeds are derived from @p baseSeed; results are ordered by
+ * workload then run.
+ */
+std::vector<RunResult> runStandardCampaign(
+    Cluster &cluster, size_t runsPerWorkload, uint64_t baseSeed,
+    const RunConfig &config = RunConfig());
+
+} // namespace chaos
+
+#endif // CHAOS_WORKLOADS_RUNNER_HPP

@@ -1,0 +1,225 @@
+#include "workloads/standard_workloads.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+namespace {
+
+/** Round a task count up and keep at least @p minimum. */
+size_t
+taskCount(double raw, size_t minimum = 1)
+{
+    const auto count = static_cast<size_t>(std::ceil(raw));
+    return count < minimum ? minimum : count;
+}
+
+/** Jitter a demand value by +/- @p rel (per-run variation). */
+double
+jitter(Rng &rng, double value, double rel = 0.20)
+{
+    return value * rng.uniform(1.0 - rel, 1.0 + rel);
+}
+
+} // namespace
+
+std::vector<Task>
+SortWorkload::generateTasks(double totalCoreSlots, Rng &rng) const
+{
+    std::vector<Task> tasks;
+
+    // Stage 0: read + range-sample the input (disk-read heavy).
+    const size_t readers = taskCount(2.0 * totalCoreSlots);
+    for (size_t i = 0; i < readers; ++i) {
+        Task t;
+        t.stage = 0;
+        t.durationSeconds = rng.uniform(25.0, 45.0);
+        t.demand.cpuCoreSeconds = jitter(rng, 0.60);
+        t.demand.diskReadBytes = jitter(rng, 45e6);
+        t.demand.diskRandomFraction = 0.15;
+        t.demand.fsCacheOps = jitter(rng, 800.0);
+        t.demand.workingSetBytes = jitter(rng, 0.35e9);
+        t.demand.memIntensity = jitter(rng, 0.35);
+        tasks.push_back(t);
+    }
+
+    // Stage 1: all-to-all shuffle (network heavy, mixed disk).
+    const size_t shufflers = taskCount(2.0 * totalCoreSlots);
+    for (size_t i = 0; i < shufflers; ++i) {
+        Task t;
+        t.stage = 1;
+        t.durationSeconds = rng.uniform(30.0, 60.0);
+        t.demand.cpuCoreSeconds = jitter(rng, 0.45);
+        t.demand.netRxBytes = jitter(rng, 22e6);
+        t.demand.netTxBytes = jitter(rng, 22e6);
+        t.demand.diskReadBytes = jitter(rng, 15e6);
+        t.demand.diskWriteBytes = jitter(rng, 20e6);
+        t.demand.diskRandomFraction = 0.30;
+        t.demand.workingSetBytes = jitter(rng, 0.30e9);
+        t.demand.memIntensity = jitter(rng, 0.30);
+        tasks.push_back(t);
+    }
+
+    // Stage 2: merge + write sorted output (disk-write heavy).
+    const size_t writers = taskCount(2.0 * totalCoreSlots);
+    for (size_t i = 0; i < writers; ++i) {
+        Task t;
+        t.stage = 2;
+        t.durationSeconds = rng.uniform(25.0, 50.0);
+        t.demand.cpuCoreSeconds = jitter(rng, 0.70);
+        t.demand.diskWriteBytes = jitter(rng, 50e6);
+        t.demand.fsCacheOps = jitter(rng, 500.0);
+        t.demand.workingSetBytes = jitter(rng, 0.40e9);
+        t.demand.memIntensity = jitter(rng, 0.40);
+        tasks.push_back(t);
+    }
+    return tasks;
+}
+
+std::vector<Task>
+PageRankWorkload::generateTasks(double totalCoreSlots, Rng &rng) const
+{
+    std::vector<Task> tasks;
+    size_t stage = 0;
+
+    for (size_t iter = 0; iter < iterations; ++iter) {
+        // Compute stage: many short rank-update tasks. Intensity
+        // drifts across iterations (convergence), adding the
+        // workload's characteristic power variation.
+        const double drift = 1.0 - 0.04 * static_cast<double>(iter);
+        const size_t compute =
+            taskCount(5.0 * totalCoreSlots * rng.uniform(0.85, 1.15));
+        for (size_t i = 0; i < compute; ++i) {
+            Task t;
+            t.stage = stage;
+            t.durationSeconds = rng.uniform(5.0, 18.0);
+            t.demand.cpuCoreSeconds = jitter(rng, 0.90 * drift);
+            t.demand.netRxBytes = jitter(rng, 8e6);
+            // Each iteration re-reads graph partitions; link
+            // structure access is random, so HDDs pay seeks.
+            t.demand.diskReadBytes = jitter(rng, 15e6);
+            t.demand.diskRandomFraction = 0.40;
+            t.demand.workingSetBytes = jitter(rng, 0.5e9);
+            t.demand.memIntensity = jitter(rng, 0.55);
+            t.demand.fsCacheOps = jitter(rng, 250.0);
+            tasks.push_back(t);
+        }
+        ++stage;
+
+        // Exchange stage: rank vector redistribution (network burst).
+        const size_t exchange =
+            taskCount(4.0 * totalCoreSlots * rng.uniform(0.85, 1.15));
+        for (size_t i = 0; i < exchange; ++i) {
+            Task t;
+            t.stage = stage;
+            t.durationSeconds = rng.uniform(4.0, 15.0);
+            t.demand.cpuCoreSeconds = jitter(rng, 0.35);
+            t.demand.netRxBytes = jitter(rng, 30e6);
+            t.demand.netTxBytes = jitter(rng, 30e6);
+            t.demand.workingSetBytes = jitter(rng, 0.3e9);
+            t.demand.memIntensity = jitter(rng, 0.30);
+            tasks.push_back(t);
+        }
+        ++stage;
+    }
+    return tasks;
+}
+
+std::vector<Task>
+PrimeWorkload::generateTasks(double totalCoreSlots, Rng &rng) const
+{
+    std::vector<Task> tasks;
+
+    // Stage 0: primality checking. Task lengths vary widely (the
+    // candidate numbers differ in magnitude), so every wave ends in
+    // a long straggler tail of partially-loaded machines — the
+    // mid-utilization, mid-P-state region where linear models bend.
+    const size_t checkers = taskCount(1.35 * totalCoreSlots);
+    for (size_t i = 0; i < checkers; ++i) {
+        Task t;
+        t.stage = 0;
+        t.durationSeconds = rng.uniform(40.0, 220.0);
+        t.demand.cpuCoreSeconds = jitter(rng, 1.0, 0.05);
+        t.demand.netRxBytes = jitter(rng, 0.2e6);
+        t.demand.workingSetBytes = jitter(rng, 0.15e9);
+        t.demand.memIntensity = jitter(rng, 0.15);
+        tasks.push_back(t);
+    }
+
+    // Stage 1: tiny aggregation of the per-partition counts.
+    for (size_t i = 0; i < 5; ++i) {
+        Task t;
+        t.stage = 1;
+        t.durationSeconds = rng.uniform(3.0, 8.0);
+        t.demand.cpuCoreSeconds = jitter(rng, 0.30);
+        t.demand.netRxBytes = jitter(rng, 1e6);
+        t.demand.memIntensity = 0.1;
+        tasks.push_back(t);
+    }
+    return tasks;
+}
+
+std::vector<Task>
+WordCountWorkload::generateTasks(double totalCoreSlots, Rng &rng) const
+{
+    std::vector<Task> tasks;
+
+    // Stage 0: scan 500 MB text partitions and tally words.
+    const size_t mappers = taskCount(1.5 * totalCoreSlots);
+    for (size_t i = 0; i < mappers; ++i) {
+        Task t;
+        t.stage = 0;
+        t.durationSeconds = rng.uniform(60.0, 100.0);
+        t.demand.cpuCoreSeconds = jitter(rng, 0.85, 0.10);
+        t.demand.diskReadBytes = jitter(rng, 9e6);
+        t.demand.fsCacheOps = jitter(rng, 1500.0);
+        t.demand.workingSetBytes = jitter(rng, 0.25e9);
+        t.demand.memIntensity = jitter(rng, 0.45);
+        tasks.push_back(t);
+    }
+
+    // Stage 1: merge the per-partition tallies.
+    const size_t reducers = taskCount(0.5 * totalCoreSlots);
+    for (size_t i = 0; i < reducers; ++i) {
+        Task t;
+        t.stage = 1;
+        t.durationSeconds = rng.uniform(20.0, 40.0);
+        t.demand.cpuCoreSeconds = jitter(rng, 0.60);
+        t.demand.netRxBytes = jitter(rng, 2e6);
+        t.demand.netTxBytes = jitter(rng, 2e6);
+        t.demand.memIntensity = jitter(rng, 0.30);
+        tasks.push_back(t);
+    }
+    return tasks;
+}
+
+std::vector<std::unique_ptr<Workload>>
+standardWorkloads()
+{
+    std::vector<std::unique_ptr<Workload>> out;
+    out.push_back(std::make_unique<SortWorkload>());
+    out.push_back(std::make_unique<PageRankWorkload>());
+    out.push_back(std::make_unique<PrimeWorkload>());
+    out.push_back(std::make_unique<WordCountWorkload>());
+    return out;
+}
+
+std::unique_ptr<Workload>
+workloadByName(const std::string &name)
+{
+    for (auto &workload : standardWorkloads()) {
+        if (workload->name() == name)
+            return std::move(workload);
+    }
+    fatal("unknown workload: " + name);
+}
+
+std::vector<std::string>
+standardWorkloadNames()
+{
+    return {"Sort", "PageRank", "Prime", "WordCount"};
+}
+
+} // namespace chaos

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The paper's four Dryad/DryadLINQ-style workloads.
+ */
+#ifndef CHAOS_WORKLOADS_STANDARD_WORKLOADS_HPP
+#define CHAOS_WORKLOADS_STANDARD_WORKLOADS_HPP
+
+#include "workloads/workload.hpp"
+
+namespace chaos {
+
+/**
+ * Sort: 4 GB per machine of 100-byte records. Three dataflow stages
+ * (read/sample, shuffle, merge/write); high disk and network
+ * utilization with moderate CPU.
+ */
+class SortWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Sort"; }
+    std::vector<Task> generateTasks(double totalCoreSlots,
+                                    Rng &rng) const override;
+};
+
+/**
+ * PageRank over a ClueWeb09-scale corpus: iterative compute/exchange
+ * stages, well over 800 tasks, the longest runtime and the most
+ * power variation of the four workloads; high network utilization.
+ */
+class PageRankWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "PageRank"; }
+    std::vector<Task> generateTasks(double totalCoreSlots,
+                                    Rng &rng) const override;
+
+    /** Number of rank/exchange iterations (default 8). */
+    size_t iterations = 8;
+};
+
+/**
+ * Prime: primality checking of ~1M numbers per partition. Fully
+ * CPU-bound, negligible network and disk traffic.
+ */
+class PrimeWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "Prime"; }
+    std::vector<Task> generateTasks(double totalCoreSlots,
+                                    Rng &rng) const override;
+};
+
+/**
+ * WordCount: tallying words in 500 MB text partitions. CPU-heavy
+ * streaming scan with little network or disk activity.
+ */
+class WordCountWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "WordCount"; }
+    std::vector<Task> generateTasks(double totalCoreSlots,
+                                    Rng &rng) const override;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_WORKLOADS_STANDARD_WORKLOADS_HPP

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Tasks and stages of a MapReduce-style distributed job.
+ */
+#ifndef CHAOS_WORKLOADS_TASK_HPP
+#define CHAOS_WORKLOADS_TASK_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/activity.hpp"
+
+namespace chaos {
+
+/**
+ * One schedulable task (a Dryad vertex). While running, it imposes
+ * its demand on its host machine every second; tasks of stage k+1
+ * start only after every stage-k task finished (a dataflow barrier,
+ * e.g. map -> shuffle -> reduce).
+ */
+struct Task
+{
+    size_t stage = 0;           ///< Dataflow stage (barrier between).
+    double durationSeconds = 1; ///< Remaining runtime when scheduled.
+    ActivityDemand demand;      ///< Per-second demand while running.
+    /** Core-slots this task occupies on its host (usually 1). */
+    double slots = 1.0;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_WORKLOADS_TASK_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload interface: generates the task graph for one run.
+ *
+ * The four concrete workloads mirror the paper's Dryad/DryadLINQ
+ * benchmarks (Section III-A): Sort (disk+network heavy), PageRank
+ * (network heavy, >800 tasks, longest runtime, most power variation),
+ * Prime (CPU-bound), and WordCount (CPU scan, little I/O). Task
+ * durations and demands are re-drawn per run seed, and the scheduler
+ * partitions them differently across machines per run — the paper's
+ * "training and test sets from separate application runs" property.
+ */
+#ifndef CHAOS_WORKLOADS_WORKLOAD_HPP
+#define CHAOS_WORKLOADS_WORKLOAD_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+#include "workloads/task.hpp"
+
+namespace chaos {
+
+/** Abstract distributed workload. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Workload name ("Sort", "PageRank", "Prime", "WordCount"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Generate the run's task graph.
+     *
+     * @param totalCoreSlots Sum of core slots across the cluster;
+     *        workloads scale task counts with it so work per machine
+     *        stays roughly constant across platforms (the paper
+     *        scales datasets the same way).
+     * @param rng Run-specific stream; durations/demands vary per run.
+     */
+    virtual std::vector<Task> generateTasks(double totalCoreSlots,
+                                            Rng &rng) const = 0;
+};
+
+/** The paper's four workloads, in its order. */
+std::vector<std::unique_ptr<Workload>> standardWorkloads();
+
+/** Construct one standard workload by name; fatal() on unknown name. */
+std::unique_ptr<Workload> workloadByName(const std::string &name);
+
+/** Names of the standard workloads, in paper order. */
+std::vector<std::string> standardWorkloadNames();
+
+} // namespace chaos
+
+#endif // CHAOS_WORKLOADS_WORKLOAD_HPP

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the `chaos` CLI, driving runCli() directly and exercising
+ * the full collect -> select -> train -> evaluate -> predict flow on
+ * a miniature dataset.
+ */
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.hpp"
+
+namespace chaos {
+namespace {
+
+struct CliResult
+{
+    int code = 0;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+run(const std::vector<std::string> &args)
+{
+    std::ostringstream out, err;
+    CliResult result;
+    result.code = runCli(args, out, err);
+    result.out = out.str();
+    result.err = err.str();
+    return result;
+}
+
+/** Collect a tiny dataset once for the pipeline tests. */
+const std::string &
+tinyDatasetPath()
+{
+    static const std::string path = [] {
+        const std::string csv = ::testing::TempDir() + "cli_data.csv";
+        const CliResult result =
+            run({"collect", "Core2", "--out", csv, "--machines", "2",
+                 "--runs", "2", "--scale", "0.15", "--seed", "77"});
+        EXPECT_EQ(result.code, 0) << result.err;
+        return csv;
+    }();
+    return path;
+}
+
+TEST(Cli, HelpListsSubcommands)
+{
+    const CliResult result = run({"help"});
+    EXPECT_EQ(result.code, 0);
+    for (const char *cmd : {"collect", "select", "train", "evaluate",
+                            "predict", "probe"}) {
+        EXPECT_NE(result.out.find(cmd), std::string::npos) << cmd;
+    }
+}
+
+TEST(Cli, NoArgsShowsHelp)
+{
+    const CliResult result = run({});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("subcommands"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails)
+{
+    const CliResult result = run({"frobnicate"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("unknown subcommand"),
+              std::string::npos);
+}
+
+TEST(Cli, FlagWithoutValueFails)
+{
+    const CliResult result = run({"collect", "Core2", "--out"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, ListPlatformsIncludesPaperSixAndFuture)
+{
+    const CliResult result = run({"list-platforms"});
+    EXPECT_EQ(result.code, 0);
+    for (const char *name : {"Atom", "Core2", "Athlon", "Opteron",
+                             "XeonSATA", "XeonSAS", "FutureServer"}) {
+        EXPECT_NE(result.out.find(name), std::string::npos) << name;
+    }
+}
+
+TEST(Cli, ListCountersFiltersByCategory)
+{
+    const CliResult all = run({"list-counters"});
+    EXPECT_EQ(all.code, 0);
+    EXPECT_NE(all.out.find("% Processor Time"), std::string::npos);
+
+    const CliResult memory =
+        run({"list-counters", "--category", "memory"});
+    EXPECT_EQ(memory.code, 0);
+    EXPECT_NE(memory.out.find("Pages/sec"), std::string::npos);
+    EXPECT_EQ(memory.out.find("PhysicalDisk"), std::string::npos);
+
+    const CliResult none =
+        run({"list-counters", "--category", "nosuch"});
+    EXPECT_EQ(none.code, 2);
+}
+
+TEST(Cli, ProbeReportsEnvelope)
+{
+    const CliResult result = run({"probe", "Atom"});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("idle"), std::string::npos);
+    EXPECT_NE(result.out.find("spec 22-26"), std::string::npos);
+}
+
+TEST(Cli, ProbeWithoutPlatformFails)
+{
+    EXPECT_EQ(run({"probe"}).code, 2);
+}
+
+TEST(Cli, CollectWritesDataset)
+{
+    const CliResult result =
+        run({"select", tinyDatasetPath()});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("funnel:"), std::string::npos);
+    EXPECT_NE(result.out.find("% Processor Time"),
+              std::string::npos);
+}
+
+TEST(Cli, TrainEvaluatePredictPipeline)
+{
+    const std::string model_path =
+        ::testing::TempDir() + "cli_model.txt";
+
+    const CliResult trained =
+        run({"train", tinyDatasetPath(), "--out", model_path,
+             "--type", "piecewise"});
+    ASSERT_EQ(trained.code, 0) << trained.err;
+    EXPECT_NE(trained.out.find("trained piecewise-linear"),
+              std::string::npos);
+
+    const CliResult evaluated =
+        run({"evaluate", tinyDatasetPath(), "--type", "piecewise",
+             "--folds", "2"});
+    ASSERT_EQ(evaluated.code, 0) << evaluated.err;
+    EXPECT_NE(evaluated.out.find("avg machine DRE"),
+              std::string::npos);
+
+    const CliResult predicted =
+        run({"predict", model_path, tinyDatasetPath()});
+    ASSERT_EQ(predicted.code, 0) << predicted.err;
+    EXPECT_NE(predicted.out.find("rMSE vs meter"),
+              std::string::npos);
+
+    std::remove(model_path.c_str());
+}
+
+TEST(Cli, TrainWithExplicitFeatures)
+{
+    const std::string model_path =
+        ::testing::TempDir() + "cli_model2.txt";
+    const CliResult result = run(
+        {"train", tinyDatasetPath(), "--out", model_path, "--type",
+         "linear", "--features",
+         "Processor(_Total)\\% Processor Time;"
+         "Processor Performance\\Processor_0 Frequency"});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("2 counters"), std::string::npos);
+    std::remove(model_path.c_str());
+}
+
+TEST(Cli, TrainRejectsUnknownType)
+{
+    const CliResult result =
+        run({"train", tinyDatasetPath(), "--out", "/tmp/x.txt",
+             "--type", "neural"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("unknown model type"),
+              std::string::npos);
+}
+
+TEST(Cli, ReportSummarizesWorkloads)
+{
+    const CliResult result = run({"report", tinyDatasetPath()});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("# CHAOS dataset report"),
+              std::string::npos);
+    for (const char *workload :
+         {"Sort", "PageRank", "Prime", "WordCount"}) {
+        EXPECT_NE(result.out.find(workload), std::string::npos)
+            << workload;
+    }
+    EXPECT_NE(result.out.find("energy/run"), std::string::npos);
+}
+
+TEST(Cli, ReportWithoutDatasetFails)
+{
+    EXPECT_EQ(run({"report"}).code, 2);
+}
+
+TEST(Cli, UsageErrorsForMissingArguments)
+{
+    EXPECT_EQ(run({"collect", "Core2"}).code, 2);
+    EXPECT_EQ(run({"select"}).code, 2);
+    EXPECT_EQ(run({"train", "data.csv"}).code, 2);
+    EXPECT_EQ(run({"evaluate"}).code, 2);
+    EXPECT_EQ(run({"predict", "model.txt"}).code, 2);
+}
+
+} // namespace
+} // namespace chaos

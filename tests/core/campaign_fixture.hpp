@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared, lazily-built mini campaigns for the core-pipeline tests.
+ * Collection is the expensive part, so each cluster's campaign is
+ * materialized once per test binary and reused.
+ */
+#ifndef CHAOS_TESTS_CORE_CAMPAIGN_FIXTURE_HPP
+#define CHAOS_TESTS_CORE_CAMPAIGN_FIXTURE_HPP
+
+#include "core/chaos.hpp"
+
+namespace chaos {
+namespace testing_support {
+
+/** Quick campaign knobs: 3 machines, 3 runs, shortened workloads. */
+inline CampaignConfig
+quickCampaignConfig()
+{
+    CampaignConfig config;
+    config.numMachines = 3;
+    config.runsPerWorkload = 3;
+    config.seed = 7;
+    config.run.durationScale = 0.3;
+    config.run.idleLeadInSeconds = 10.0;
+    config.run.idleLeadOutSeconds = 8.0;
+    config.evaluation.folds = 3;
+    return config;
+}
+
+/** Cached Core 2 campaign (with Algorithm-1 selection). */
+inline const ClusterCampaign &
+core2Campaign()
+{
+    static const ClusterCampaign campaign =
+        runClusterCampaign(MachineClass::Core2, quickCampaignConfig());
+    return campaign;
+}
+
+/** Cached Atom campaign (with Algorithm-1 selection). */
+inline const ClusterCampaign &
+atomCampaign()
+{
+    static const ClusterCampaign campaign =
+        runClusterCampaign(MachineClass::Atom, quickCampaignConfig());
+    return campaign;
+}
+
+} // namespace testing_support
+} // namespace chaos
+
+#endif // CHAOS_TESTS_CORE_CAMPAIGN_FIXTURE_HPP

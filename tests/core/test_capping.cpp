@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the power-capping support: guard bands from residuals
+ * and the cap controller.
+ */
+#include <gtest/gtest.h>
+
+#include "core/capping.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+std::vector<double>
+normalResiduals(double mean, double sd, size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> out(n);
+    for (auto &v : out)
+        v = rng.normal(mean, sd);
+    return out;
+}
+
+TEST(GuardBand, WidthIsSigmasTimesSd)
+{
+    const auto residuals = normalResiduals(0.0, 2.0, 20000, 1);
+    const GuardBand band = GuardBand::fromResiduals(residuals, 3.0);
+    EXPECT_NEAR(band.sigmaW(), 2.0, 0.1);
+    EXPECT_NEAR(band.perMachineW(), 6.0, 0.4);
+    EXPECT_NEAR(band.biasW(), 0.0, 0.1);
+}
+
+TEST(GuardBand, UnderestimationBiasWidensTheBand)
+{
+    // Positive residual (meter > estimate) = model underestimates.
+    const auto residuals = normalResiduals(1.5, 1.0, 20000, 2);
+    const GuardBand band = GuardBand::fromResiduals(residuals, 3.0);
+    EXPECT_NEAR(band.perMachineW(), 1.5 + 3.0, 0.3);
+}
+
+TEST(GuardBand, OverestimationBiasIsNotCreditedBack)
+{
+    const auto residuals = normalResiduals(-2.0, 1.0, 20000, 3);
+    const GuardBand band = GuardBand::fromResiduals(residuals, 3.0);
+    // Only the noise term remains.
+    EXPECT_NEAR(band.perMachineW(), 3.0, 0.3);
+}
+
+TEST(GuardBand, ClusterBandGrowsSublinearlyForNoise)
+{
+    const auto residuals = normalResiduals(0.0, 2.0, 20000, 4);
+    const GuardBand band = GuardBand::fromResiduals(residuals, 3.0);
+    const double one = band.clusterW(1);
+    const double sixteen = band.clusterW(16);
+    // Independent noise: sqrt(16) = 4x, not 16x.
+    EXPECT_NEAR(sixteen / one, 4.0, 0.1);
+}
+
+TEST(GuardBand, ClusterBandGrowsLinearlyForBias)
+{
+    const auto residuals = normalResiduals(5.0, 1e-3, 1000, 5);
+    const GuardBand band = GuardBand::fromResiduals(residuals, 3.0);
+    EXPECT_NEAR(band.clusterW(10) / band.clusterW(1), 10.0, 0.1);
+}
+
+TEST(GuardBand, TooFewResidualsIsFatal)
+{
+    EXPECT_EXIT(GuardBand::fromResiduals({1, 2, 3}),
+                ::testing::ExitedWithCode(1), "at least 10");
+}
+
+TEST(CapController, ThrottlesAboveThresholdOnly)
+{
+    const auto residuals = normalResiduals(0.0, 1.0, 1000, 6);
+    const GuardBand band = GuardBand::fromResiduals(residuals, 3.0);
+    PowerCapController controller(500.0, band, 4);
+
+    const double threshold = controller.thresholdW();
+    EXPECT_LT(threshold, 500.0);
+    EXPECT_GT(threshold, 450.0);
+
+    const CapDecision below = controller.evaluate(threshold - 10.0);
+    EXPECT_FALSE(below.throttle);
+    EXPECT_NEAR(below.headroomW, 10.0, 1e-9);
+
+    const CapDecision above = controller.evaluate(threshold + 5.0);
+    EXPECT_TRUE(above.throttle);
+    EXPECT_DOUBLE_EQ(above.headroomW, 0.0);
+
+    EXPECT_EQ(controller.seconds(), 2u);
+    EXPECT_EQ(controller.throttleSeconds(), 1u);
+}
+
+TEST(CapController, StrandedPowerEqualsClusterBand)
+{
+    const auto residuals = normalResiduals(0.0, 2.0, 1000, 7);
+    const GuardBand band = GuardBand::fromResiduals(residuals, 3.0);
+    PowerCapController controller(1000.0, band, 9);
+    EXPECT_NEAR(controller.meanStrandedW(), band.clusterW(9), 1e-9);
+}
+
+TEST(CapController, TighterModelStrandsLessPower)
+{
+    // The paper's argument, quantified: halving model error halves
+    // the stranded capacity.
+    const GuardBand loose = GuardBand::fromResiduals(
+        normalResiduals(0.0, 4.0, 20000, 8));
+    const GuardBand tight = GuardBand::fromResiduals(
+        normalResiduals(0.0, 2.0, 20000, 9));
+    PowerCapController loose_ctl(800.0, loose, 5);
+    PowerCapController tight_ctl(800.0, tight, 5);
+    EXPECT_NEAR(loose_ctl.meanStrandedW() / tight_ctl.meanStrandedW(),
+                2.0, 0.15);
+}
+
+TEST(CapController, ImpossibleBandIsFatal)
+{
+    const GuardBand band = GuardBand::fromResiduals(
+        normalResiduals(50.0, 1.0, 1000, 10));
+    EXPECT_EXIT(PowerCapController(100.0, band, 10),
+                ::testing::ExitedWithCode(1), "no usable capacity");
+}
+
+} // namespace
+} // namespace chaos

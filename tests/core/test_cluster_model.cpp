@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for cluster model composition (Eq. 5) and the online
+ * estimator.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "campaign_fixture.hpp"
+
+namespace chaos {
+namespace {
+
+using testing_support::atomCampaign;
+using testing_support::core2Campaign;
+using testing_support::quickCampaignConfig;
+
+MachinePowerModel
+core2Model()
+{
+    const auto &campaign = core2Campaign();
+    return MachinePowerModel::fit(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Quadratic, quickCampaignConfig().evaluation.mars);
+}
+
+TEST(MachinePowerModel, CatalogAndFeatureRowsAgree)
+{
+    const MachinePowerModel model = core2Model();
+    const auto &campaign = core2Campaign();
+    const Dataset subset = campaign.data.selectFeaturesByName(
+        campaign.selection.selected);
+
+    for (size_t r = 0; r < 50; r += 7) {
+        const auto catalog_row = campaign.data.features().row(r);
+        const auto feature_row = subset.features().row(r);
+        EXPECT_DOUBLE_EQ(model.predictFromCatalogRow(catalog_row),
+                         model.predictFromFeatureRow(feature_row));
+    }
+}
+
+TEST(MachinePowerModel, NarrowRowPanics)
+{
+    const MachinePowerModel model = core2Model();
+    EXPECT_DEATH(model.predictFromCatalogRow({1.0, 2.0}),
+                 "narrower");
+}
+
+TEST(ClusterPowerModel, SumsPerMachinePredictions)
+{
+    const MachinePowerModel machine_model = core2Model();
+    ClusterPowerModel cluster_model;
+    cluster_model.setClassModel(MachineClass::Core2, machine_model);
+
+    const auto &campaign = core2Campaign();
+    std::vector<MachineClass> classes(3, MachineClass::Core2);
+    std::vector<std::vector<double>> rows;
+    for (size_t r = 0; r < 3; ++r)
+        rows.push_back(campaign.data.features().row(r));
+
+    double manual = 0.0;
+    for (const auto &row : rows)
+        manual += cluster_model.predictMachine(MachineClass::Core2, row);
+    EXPECT_DOUBLE_EQ(cluster_model.predictCluster(classes, rows),
+                     manual);
+}
+
+TEST(ClusterPowerModel, HeterogeneousComposition)
+{
+    // Eq. 5 across machine classes: each machine gets its class's
+    // model, no retraining needed (the paper's "essentially free"
+    // heterogeneous capability).
+    ClusterPowerModel cluster_model;
+    cluster_model.setClassModel(MachineClass::Core2, core2Model());
+    const auto &atom = atomCampaign();
+    // The Atom's cluster feature set can be a single counter (no
+    // DVFS, tiny range) — use the piecewise technique, which is
+    // defined for one feature (and is what wins on the Atom in
+    // Table IV anyway).
+    cluster_model.setClassModel(
+        MachineClass::Atom,
+        MachinePowerModel::fit(
+            atom.data, clusterFeatureSet(atom.selection),
+            ModelType::PiecewiseLinear,
+            quickCampaignConfig().evaluation.mars));
+
+    EXPECT_TRUE(cluster_model.hasClassModel(MachineClass::Core2));
+    EXPECT_TRUE(cluster_model.hasClassModel(MachineClass::Atom));
+    EXPECT_FALSE(cluster_model.hasClassModel(MachineClass::XeonSas));
+
+    const auto core2_row = core2Campaign().data.features().row(0);
+    const auto atom_row = atomCampaign().data.features().row(0);
+    const double total = cluster_model.predictCluster(
+        {MachineClass::Core2, MachineClass::Atom},
+        {core2_row, atom_row});
+    const double manual =
+        cluster_model.predictMachine(MachineClass::Core2, core2_row) +
+        cluster_model.predictMachine(MachineClass::Atom, atom_row);
+    EXPECT_DOUBLE_EQ(total, manual);
+}
+
+TEST(ClusterPowerModel, UnknownClassIsFatal)
+{
+    ClusterPowerModel cluster_model;
+    const std::vector<double> row(
+        CounterCatalog::instance().size(), 0.0);
+    EXPECT_EXIT(cluster_model.predictMachine(MachineClass::XeonSas, row),
+                ::testing::ExitedWithCode(1), "no cluster model");
+}
+
+TEST(ClusterPowerModel, MismatchedShapesPanic)
+{
+    ClusterPowerModel cluster_model;
+    cluster_model.setClassModel(MachineClass::Core2, core2Model());
+    std::vector<MachineClass> classes(2, MachineClass::Core2);
+    std::vector<std::vector<double>> rows(1);
+    EXPECT_DEATH(cluster_model.predictCluster(classes, rows),
+                 "count mismatch");
+}
+
+TEST(OnlineEstimator, TracksResidualsAgainstMeter)
+{
+    const auto &campaign = core2Campaign();
+    OnlinePowerEstimator estimator(core2Model());
+
+    for (size_t r = 0; r < 400; ++r) {
+        estimator.estimateWithReference(
+            campaign.data.features().row(r),
+            campaign.data.powerW()[r]);
+    }
+    EXPECT_EQ(estimator.samples(), 400u);
+    EXPECT_EQ(estimator.residuals().count(), 400u);
+    // In-sample residuals: small bias, bounded spread.
+    EXPECT_LT(std::fabs(estimator.residuals().mean()), 1.0);
+    EXPECT_LT(estimator.residuals().stddev(), 3.0);
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    EXPECT_GT(estimator.meanEstimateW(), spec.idlePowerW * 0.9);
+    EXPECT_LT(estimator.meanEstimateW(), spec.maxPowerW * 1.1);
+}
+
+TEST(OnlineEstimator, PureEstimateDoesNotTouchResiduals)
+{
+    const auto &campaign = core2Campaign();
+    OnlinePowerEstimator estimator(core2Model());
+    estimator.estimate(campaign.data.features().row(0));
+    EXPECT_EQ(estimator.samples(), 1u);
+    EXPECT_EQ(estimator.residuals().count(), 0u);
+}
+
+} // namespace
+} // namespace chaos

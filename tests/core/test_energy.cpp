@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for energy accounting from model estimates.
+ */
+#include <gtest/gtest.h>
+
+#include "campaign_fixture.hpp"
+#include "core/energy.hpp"
+#include "workloads/standard_workloads.hpp"
+
+namespace chaos {
+namespace {
+
+using testing_support::core2Campaign;
+using testing_support::quickCampaignConfig;
+
+ClusterPowerModel
+composedModel()
+{
+    ClusterPowerModel model;
+    model.setClassModel(MachineClass::Core2,
+                        fitDefaultModel(core2Campaign(),
+                                        quickCampaignConfig()));
+    return model;
+}
+
+TEST(Energy, AccountsMeteredAndEstimatedJoules)
+{
+    const auto config = quickCampaignConfig();
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 2,
+                                           909);
+    PrimeWorkload workload;
+    const RunResult run =
+        runWorkload(cluster, workload, 11, 0, config.run);
+
+    EnergyAccountant accountant(composedModel());
+    const RunEnergy &energy = accountant.account(cluster, run);
+
+    EXPECT_EQ(energy.workload, "Prime");
+    EXPECT_GT(energy.meteredJ, 0.0);
+    EXPECT_GT(energy.estimatedJ, 0.0);
+    // Energy ~ mean power x duration x machines; sanity bounds from
+    // the platform envelope.
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    const double seconds = energy.durationSeconds * 2.0;
+    EXPECT_GT(energy.meteredJ, spec.idlePowerW * seconds * 0.8);
+    EXPECT_LT(energy.meteredJ, spec.maxPowerW * seconds * 1.2);
+
+    // The model integrates to within a few percent of the meters.
+    EXPECT_LT(energy.relativeError(), 0.05);
+
+    // Per-machine energies sum to the cluster estimate.
+    double per_machine = 0.0;
+    for (double joules : energy.perMachineEstimatedJ)
+        per_machine += joules;
+    EXPECT_NEAR(per_machine, energy.estimatedJ, 1e-6);
+
+    EXPECT_NEAR(energy.meanPowerW() * energy.durationSeconds,
+                energy.meteredJ, 1e-6);
+}
+
+TEST(Energy, AggregatesByWorkload)
+{
+    const auto config = quickCampaignConfig();
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 2,
+                                           910);
+    EnergyAccountant accountant(composedModel());
+
+    PrimeWorkload prime;
+    WordCountWorkload wordcount;
+    accountant.account(cluster,
+                       runWorkload(cluster, prime, 21, 0, config.run));
+    accountant.account(cluster,
+                       runWorkload(cluster, prime, 22, 1, config.run));
+    accountant.account(
+        cluster, runWorkload(cluster, wordcount, 23, 2, config.run));
+
+    ASSERT_EQ(accountant.runs().size(), 3u);
+    const auto by_workload = accountant.meanEnergyByWorkloadJ();
+    ASSERT_EQ(by_workload.size(), 2u);
+    EXPECT_GT(by_workload.at("Prime"), 0.0);
+    EXPECT_GT(by_workload.at("WordCount"), 0.0);
+
+    EXPECT_NEAR(accountant.totalEstimatedJ(),
+                accountant.runs()[0].estimatedJ +
+                    accountant.runs()[1].estimatedJ +
+                    accountant.runs()[2].estimatedJ,
+                1e-6);
+    EXPECT_GT(accountant.totalMeteredJ(), 0.0);
+}
+
+TEST(Energy, MismatchedClusterPanics)
+{
+    const auto config = quickCampaignConfig();
+    Cluster small = Cluster::homogeneous(MachineClass::Core2, 2, 911);
+    Cluster large = Cluster::homogeneous(MachineClass::Core2, 3, 912);
+    PrimeWorkload workload;
+    const RunResult run =
+        runWorkload(small, workload, 31, 0, config.run);
+    EnergyAccountant accountant(composedModel());
+    EXPECT_DEATH(accountant.account(large, run),
+                 "does not match");
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the cross-validated evaluation harness and the headline
+ * accuracy shapes of the paper.
+ */
+#include <gtest/gtest.h>
+
+#include "campaign_fixture.hpp"
+
+namespace chaos {
+namespace {
+
+using testing_support::core2Campaign;
+using testing_support::quickCampaignConfig;
+
+TEST(Evaluation, EnvelopesFromSpecCoverAllMachines)
+{
+    const auto envelopes =
+        envelopesFromSpec(machineSpecFor(MachineClass::Core2), 5);
+    EXPECT_EQ(envelopes.size(), 5u);
+    EXPECT_DOUBLE_EQ(envelopes.at(3).idlePowerW, 25.0);
+    EXPECT_DOUBLE_EQ(envelopes.at(3).maxPowerW, 46.0);
+}
+
+TEST(Evaluation, QuadraticClusterModelHitsPaperAccuracyBand)
+{
+    // Paper: all best models achieve DRE < 12% and median relative
+    // error in the 0.5-2.5% band.
+    const auto &campaign = core2Campaign();
+    const EvaluationOutcome outcome = evaluateTechnique(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Quadratic, campaign.envelopes,
+        quickCampaignConfig().evaluation);
+    ASSERT_TRUE(outcome.valid);
+    EXPECT_LT(outcome.avgDre, 0.14);
+    EXPECT_LT(outcome.medianRelErr, 0.04);
+    EXPECT_GT(outcome.r2, 0.7);
+    EXPECT_GT(outcome.foldsRun, 0u);
+}
+
+TEST(Evaluation, UndefinedCombinationsAreInvalidNotFatal)
+{
+    const auto &campaign = core2Campaign();
+    const auto config = quickCampaignConfig().evaluation;
+
+    // Quadratic and switching require multiple features.
+    EXPECT_FALSE(evaluateTechnique(campaign.data, cpuOnlyFeatureSet(),
+                                   ModelType::Quadratic,
+                                   campaign.envelopes, config)
+                     .valid);
+    EXPECT_FALSE(evaluateTechnique(campaign.data, cpuOnlyFeatureSet(),
+                                   ModelType::Switching,
+                                   campaign.envelopes, config)
+                     .valid);
+
+    // Switching requires the frequency counter in the set.
+    FeatureSet no_freq{"X",
+                       {counters::kCpuUtilization,
+                        "Memory\\Pages/sec"}};
+    EXPECT_FALSE(evaluateTechnique(campaign.data, no_freq,
+                                   ModelType::Switching,
+                                   campaign.envelopes, config)
+                     .valid);
+
+    // Empty feature set.
+    FeatureSet empty{"E", {}};
+    EXPECT_FALSE(evaluateTechnique(campaign.data, empty,
+                                   ModelType::Linear,
+                                   campaign.envelopes, config)
+                     .valid);
+}
+
+TEST(Evaluation, CpuOnlyLinearIsWorseThanQuadraticCluster)
+{
+    // The cross-platform claim: CPU-utilization-only linear models
+    // cannot capture data-intensive cluster behaviour.
+    const auto &campaign = core2Campaign();
+    const auto config = quickCampaignConfig().evaluation;
+
+    const auto cpu_linear = evaluateTechnique(
+        campaign.data, cpuOnlyFeatureSet(), ModelType::Linear,
+        campaign.envelopes, config);
+    const auto quad_cluster = evaluateTechnique(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Quadratic, campaign.envelopes, config);
+    ASSERT_TRUE(cpu_linear.valid);
+    ASSERT_TRUE(quad_cluster.valid);
+    EXPECT_GT(cpu_linear.avgDre, quad_cluster.avgDre);
+}
+
+TEST(Evaluation, FitPooledModelPredictsWithinEnvelope)
+{
+    const auto &campaign = core2Campaign();
+    const auto model = fitPooledModel(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Quadratic, quickCampaignConfig().evaluation.mars);
+
+    const Dataset subset = campaign.data.selectFeaturesByName(
+        campaign.selection.selected);
+    const auto predictions = model->predictAll(subset.features());
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    size_t in_envelope = 0;
+    for (double p : predictions) {
+        if (p > spec.idlePowerW - 5.0 && p < spec.maxPowerW + 5.0)
+            ++in_envelope;
+    }
+    EXPECT_GT(static_cast<double>(in_envelope) /
+                  static_cast<double>(predictions.size()),
+              0.99);
+}
+
+TEST(Evaluation, FitPooledModelOnUndefinedComboIsFatal)
+{
+    const auto &campaign = core2Campaign();
+    EXPECT_EXIT(fitPooledModel(campaign.data, cpuOnlyFeatureSet(),
+                               ModelType::Quadratic, MarsConfig()),
+                ::testing::ExitedWithCode(1), "undefined");
+}
+
+TEST(Evaluation, SweepCoversAllCellsAndFindsABest)
+{
+    const auto &campaign = core2Campaign();
+    const std::vector<FeatureSet> sets = {
+        cpuOnlyFeatureSet(), clusterFeatureSet(campaign.selection)};
+    const auto sweeps = sweepWorkloads(
+        campaign.data, sets, allModelTypes(), campaign.envelopes,
+        quickCampaignConfig().evaluation, {"Prime", "Sort"});
+
+    ASSERT_EQ(sweeps.size(), 2u);
+    for (const auto &sweep : sweeps) {
+        EXPECT_EQ(sweep.cells.size(), 8u);  // 4 types x 2 sets.
+        const SweepCell *best = sweep.best();
+        ASSERT_NE(best, nullptr);
+        EXPECT_TRUE(best->outcome.valid);
+        EXPECT_LT(best->outcome.avgDre, 0.2);
+        // Labels follow the paper's convention.
+        EXPECT_FALSE(best->label().empty());
+    }
+    EXPECT_GT(totalModelsFitted(sweeps), 0u);
+}
+
+TEST(Evaluation, SweepLabelsCombineTypeAndSet)
+{
+    SweepCell cell;
+    cell.type = ModelType::Quadratic;
+    cell.featureSetName = "C";
+    EXPECT_EQ(cell.label(), "QC");
+}
+
+} // namespace
+} // namespace chaos

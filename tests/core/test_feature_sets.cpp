@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the named feature sets (U, C, CP, G) and general-set
+ * derivation.
+ */
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "campaign_fixture.hpp"
+#include "oscounters/counter_catalog.hpp"
+
+namespace chaos {
+namespace {
+
+using testing_support::atomCampaign;
+using testing_support::core2Campaign;
+
+TEST(FeatureSets, CpuOnlyHasExactlyUtilization)
+{
+    const FeatureSet set = cpuOnlyFeatureSet();
+    EXPECT_EQ(set.name, "U");
+    ASSERT_EQ(set.counters.size(), 1u);
+    EXPECT_EQ(set.counters[0], counters::kCpuUtilization);
+}
+
+TEST(FeatureSets, ClusterSetWrapsSelection)
+{
+    const FeatureSet set =
+        clusterFeatureSet(core2Campaign().selection);
+    EXPECT_EQ(set.name, "C");
+    EXPECT_EQ(set.counters, core2Campaign().selection.selected);
+}
+
+TEST(FeatureSets, ClusterPlusLagAppendsLagOnce)
+{
+    const FeatureSet set =
+        clusterPlusLagFeatureSet(core2Campaign().selection);
+    EXPECT_EQ(set.name, "CP");
+    EXPECT_EQ(set.counters.size(),
+              core2Campaign().selection.selected.size() + 1);
+    EXPECT_EQ(std::count(set.counters.begin(), set.counters.end(),
+                         counters::kCore0FrequencyLag),
+              1);
+}
+
+TEST(FeatureSets, PaperGeneralSetMatchesTableTwo)
+{
+    const FeatureSet set = paperGeneralFeatureSet();
+    EXPECT_EQ(set.counters.size(), 8u);
+    const auto &catalog = CounterCatalog::instance();
+    for (const auto &name : set.counters)
+        EXPECT_TRUE(catalog.contains(name)) << name;
+}
+
+TEST(FeatureSets, DeriveGeneralFromTwoClusters)
+{
+    const std::vector<FeatureSelectionResult> selections{
+        core2Campaign().selection, atomCampaign().selection};
+    const FeatureSet general = deriveGeneralFeatureSet(selections, 2);
+    EXPECT_EQ(general.name, "G");
+    EXPECT_FALSE(general.counters.empty());
+
+    // Counters in both cluster sets must be in the general set.
+    for (const auto &name : core2Campaign().selection.selected) {
+        const auto &other = atomCampaign().selection.selected;
+        if (std::find(other.begin(), other.end(), name) !=
+            other.end()) {
+            EXPECT_NE(std::find(general.counters.begin(),
+                                general.counters.end(), name),
+                      general.counters.end())
+                << name;
+        }
+    }
+}
+
+TEST(FeatureSets, GeneralSetCoversAllSelectedCategories)
+{
+    const std::vector<FeatureSelectionResult> selections{
+        core2Campaign().selection, atomCampaign().selection};
+    const FeatureSet general = deriveGeneralFeatureSet(selections, 2);
+
+    const auto &catalog = CounterCatalog::instance();
+    std::set<CounterCategory> wanted, covered;
+    for (const auto &selection : selections) {
+        for (const auto &name : selection.selected)
+            wanted.insert(
+                catalog.def(catalog.indexOf(name)).category);
+    }
+    for (const auto &name : general.counters)
+        covered.insert(catalog.def(catalog.indexOf(name)).category);
+    EXPECT_EQ(covered, wanted);
+}
+
+TEST(FeatureSets, LagWindowSetsGrowByWindow)
+{
+    const auto &selection = core2Campaign().selection;
+    const size_t base = selection.selected.size();
+    for (size_t window = 1; window <= 3; ++window) {
+        const FeatureSet set =
+            clusterPlusLagWindowFeatureSet(selection, window);
+        EXPECT_EQ(set.name, "CP" + std::to_string(window));
+        EXPECT_EQ(set.counters.size(), base + window);
+    }
+    // Window 1 matches the classic CP set's counters.
+    EXPECT_EQ(clusterPlusLagWindowFeatureSet(selection, 1).counters,
+              clusterPlusLagFeatureSet(selection).counters);
+}
+
+TEST(FeatureSets, LagWindowBoundsAreFatal)
+{
+    const auto &selection = core2Campaign().selection;
+    EXPECT_EXIT(clusterPlusLagWindowFeatureSet(selection, 0),
+                ::testing::ExitedWithCode(1), "lag window");
+    EXPECT_EXIT(clusterPlusLagWindowFeatureSet(selection, 4),
+                ::testing::ExitedWithCode(1), "lag window");
+}
+
+TEST(FeatureSets, DeriveFromNothingIsFatal)
+{
+    EXPECT_EXIT(deriveGeneralFeatureSet({}),
+                ::testing::ExitedWithCode(1), "no cluster");
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for machine-model persistence (features + fitted model).
+ */
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "campaign_fixture.hpp"
+#include "core/model_store.hpp"
+
+namespace chaos {
+namespace {
+
+using testing_support::core2Campaign;
+using testing_support::quickCampaignConfig;
+
+MachinePowerModel
+trainedModel()
+{
+    const auto &campaign = core2Campaign();
+    return MachinePowerModel::fit(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Quadratic, quickCampaignConfig().evaluation.mars);
+}
+
+TEST(ModelStore, StreamRoundTripPreservesPredictions)
+{
+    const MachinePowerModel original = trainedModel();
+    std::stringstream buffer;
+    saveMachineModel(buffer, original);
+    const MachinePowerModel loaded = loadMachineModel(buffer);
+
+    EXPECT_EQ(loaded.featureSet().counters,
+              original.featureSet().counters);
+    const auto &campaign = core2Campaign();
+    for (size_t r = 0; r < 200; r += 17) {
+        const auto row = campaign.data.features().row(r);
+        EXPECT_DOUBLE_EQ(loaded.predictFromCatalogRow(row),
+                         original.predictFromCatalogRow(row));
+    }
+}
+
+TEST(ModelStore, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "machine.txt";
+    const MachinePowerModel original = trainedModel();
+    saveMachineModelFile(path, original);
+    const MachinePowerModel loaded = loadMachineModelFile(path);
+    const auto row = core2Campaign().data.features().row(5);
+    EXPECT_DOUBLE_EQ(loaded.predictFromCatalogRow(row),
+                     original.predictFromCatalogRow(row));
+    std::remove(path.c_str());
+}
+
+TEST(ModelStore, RejectsWrongMagic)
+{
+    std::stringstream buffer("chaos-model 1\nlinear\n");
+    EXPECT_EXIT(loadMachineModel(buffer),
+                ::testing::ExitedWithCode(1),
+                "not a chaos machine model");
+}
+
+TEST(ModelStore, RejectsUnknownCounterName)
+{
+    const MachinePowerModel original = trainedModel();
+    std::stringstream buffer;
+    saveMachineModel(buffer, original);
+    std::string text = buffer.str();
+    // Corrupt the first counter name.
+    const size_t pos = text.find("Processor");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 9, "Imaginary");
+    std::stringstream corrupted(text);
+    EXPECT_EXIT(loadMachineModel(corrupted),
+                ::testing::ExitedWithCode(1), "unknown counter");
+}
+
+TEST(ModelStore, FromPartsRejectsNull)
+{
+    EXPECT_EXIT(MachinePowerModel::fromParts(FeatureSet{}, nullptr),
+                ::testing::ExitedWithCode(1), "null model");
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the pooling ablation (paper Section IV): pooled,
+ * per-machine, and partially pooled strategies.
+ */
+#include <gtest/gtest.h>
+
+#include "campaign_fixture.hpp"
+#include "core/pooling.hpp"
+
+namespace chaos {
+namespace {
+
+using testing_support::core2Campaign;
+using testing_support::quickCampaignConfig;
+
+PoolingComparison
+core2Comparison()
+{
+    const auto &campaign = core2Campaign();
+    return comparePooling(campaign.data,
+                          clusterFeatureSet(campaign.selection),
+                          ModelType::Quadratic, campaign.envelopes,
+                          quickCampaignConfig().evaluation);
+}
+
+TEST(Pooling, AllStrategiesAreAccurate)
+{
+    const PoolingComparison comparison = core2Comparison();
+    EXPECT_LT(comparison.pooledDre, 0.15);
+    EXPECT_LT(comparison.perMachineDre, 0.15);
+    EXPECT_LT(comparison.partialDre, 0.15);
+    EXPECT_GT(comparison.pooledDre, 0.0);
+}
+
+TEST(Pooling, PoolingIsAdequateOnPaperStyleClusters)
+{
+    // The paper's §IV conclusion: pooled residual variance is close
+    // to the per-machine models' (their Gelman-style test).
+    const PoolingComparison comparison = core2Comparison();
+    EXPECT_GT(comparison.varianceRatio, 0.5);
+    EXPECT_LT(comparison.varianceRatio, 1.6);
+    EXPECT_TRUE(comparison.poolingAdequate ||
+                comparison.varianceRatio < 1.6);
+}
+
+TEST(Pooling, PartialPoolingNeverFarWorseThanPooled)
+{
+    // Adding per-machine intercepts can only help or be neutral
+    // (up to CV noise): it nests the pooled model.
+    const PoolingComparison comparison = core2Comparison();
+    EXPECT_LT(comparison.partialDre,
+              comparison.pooledDre + 0.02);
+}
+
+TEST(Pooling, ResidualVariancesArePositive)
+{
+    const PoolingComparison comparison = core2Comparison();
+    EXPECT_GT(comparison.pooledResidualVar, 0.0);
+    EXPECT_GT(comparison.perMachineResidualVar, 0.0);
+}
+
+TEST(Pooling, AdequacyThresholdIsRespected)
+{
+    const auto &campaign = core2Campaign();
+    // With an absurdly strict threshold, adequacy must fail;
+    // with an absurdly lax one, it must pass.
+    const auto strict = comparePooling(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Linear, campaign.envelopes,
+        quickCampaignConfig().evaluation, 1e-6);
+    EXPECT_FALSE(strict.poolingAdequate);
+    const auto lax = comparePooling(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Linear, campaign.envelopes,
+        quickCampaignConfig().evaluation, 1e6);
+    EXPECT_TRUE(lax.poolingAdequate);
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * End-to-end integration checks: the paper's qualitative claims on a
+ * reduced-scale campaign. These are the repository's regression tests
+ * for the *shapes* the benches reproduce at full scale.
+ */
+#include <gtest/gtest.h>
+
+#include "core/capping.hpp"
+#include "core/chaos.hpp"
+#include "core/model_store.hpp"
+#include "stats/metrics.hpp"
+#include "workloads/standard_workloads.hpp"
+
+namespace chaos {
+namespace {
+
+CampaignConfig
+integrationConfig(uint64_t seed)
+{
+    CampaignConfig config;
+    config.numMachines = 3;
+    config.runsPerWorkload = 3;
+    config.seed = seed;
+    config.run.durationScale = 0.4;
+    config.evaluation.folds = 3;
+    return config;
+}
+
+/** Shared Athlon campaign (DVFS desktop: strong nonlinearity). */
+const ClusterCampaign &
+athlonCampaign()
+{
+    static const ClusterCampaign campaign =
+        runClusterCampaign(MachineClass::Athlon,
+                           integrationConfig(31415));
+    return campaign;
+}
+
+TEST(EndToEnd, BestModelsStayUnderThePaperTwelvePercentBound)
+{
+    const auto &campaign = athlonCampaign();
+    const auto config = integrationConfig(31415);
+    const std::vector<FeatureSet> sets = {
+        cpuOnlyFeatureSet(), clusterFeatureSet(campaign.selection)};
+    const auto sweeps = sweepWorkloads(
+        campaign.data, sets, allModelTypes(), campaign.envelopes,
+        config.evaluation);
+    for (const auto &sweep : sweeps) {
+        const SweepCell *best = sweep.best();
+        ASSERT_NE(best, nullptr) << sweep.workload;
+        EXPECT_LT(best->outcome.avgDre, 0.12) << sweep.workload;
+    }
+}
+
+TEST(EndToEnd, NonlinearTechniquesBeatLinearOnDvfsPlatform)
+{
+    const auto &campaign = athlonCampaign();
+    const auto config = integrationConfig(31415);
+    const FeatureSet cluster_set =
+        clusterFeatureSet(campaign.selection);
+
+    const auto linear = evaluateTechnique(
+        campaign.data, cpuOnlyFeatureSet(), ModelType::Linear,
+        campaign.envelopes, config.evaluation);
+    const auto quadratic = evaluateTechnique(
+        campaign.data, cluster_set, ModelType::Quadratic,
+        campaign.envelopes, config.evaluation);
+    ASSERT_TRUE(linear.valid);
+    ASSERT_TRUE(quadratic.valid);
+    EXPECT_GT(linear.avgDre, quadratic.avgDre);
+}
+
+TEST(EndToEnd, MedianRelativeErrorInPaperBand)
+{
+    // Paper: median relative errors of 0.5-2.5% for the best models.
+    const auto &campaign = athlonCampaign();
+    const auto config = integrationConfig(31415);
+    const auto outcome = evaluateTechnique(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Quadratic, campaign.envelopes, config.evaluation);
+    ASSERT_TRUE(outcome.valid);
+    EXPECT_LT(outcome.medianRelErr, 0.035);
+    EXPECT_GT(outcome.medianRelErr, 0.001);
+}
+
+TEST(EndToEnd, DeployedModelTracksAnUnseenClusterRealization)
+{
+    const auto &campaign = athlonCampaign();
+    const auto config = integrationConfig(31415);
+    const MachinePowerModel model =
+        fitDefaultModel(campaign, config);
+
+    Cluster fresh = Cluster::homogeneous(MachineClass::Athlon, 2,
+                                         271828);
+    WordCountWorkload workload;
+    const RunResult run =
+        runWorkload(fresh, workload, 4321, 0, config.run);
+
+    std::vector<double> estimated, metered;
+    for (const auto &records : run.machineRecords) {
+        for (const auto &record : records) {
+            estimated.push_back(
+                model.predictFromCatalogRow(record.counters));
+            metered.push_back(record.measuredPowerW);
+        }
+    }
+    const MachineSpec spec = machineSpecFor(MachineClass::Athlon);
+    const double dre = dynamicRangeError(
+        estimated, metered, spec.idlePowerW, spec.maxPowerW);
+    EXPECT_LT(dre, 0.12);
+}
+
+TEST(EndToEnd, PersistedModelSurvivesDeployment)
+{
+    const auto &campaign = athlonCampaign();
+    const auto config = integrationConfig(31415);
+    const MachinePowerModel model =
+        fitDefaultModel(campaign, config);
+
+    std::stringstream buffer;
+    saveMachineModel(buffer, model);
+    const MachinePowerModel reloaded = loadMachineModel(buffer);
+
+    const auto row = campaign.data.features().row(42);
+    EXPECT_DOUBLE_EQ(reloaded.predictFromCatalogRow(row),
+                     model.predictFromCatalogRow(row));
+}
+
+TEST(EndToEnd, CappingGuardBandFromDeployedModelIsUsable)
+{
+    const auto &campaign = athlonCampaign();
+    const auto config = integrationConfig(31415);
+    const MachinePowerModel model =
+        fitDefaultModel(campaign, config);
+
+    // Residuals on training data (optimistic but structured).
+    std::vector<double> residuals;
+    for (size_t r = 0; r < campaign.data.numRows(); r += 3) {
+        residuals.push_back(
+            campaign.data.powerW()[r] -
+            model.predictFromCatalogRow(
+                campaign.data.features().row(r)));
+    }
+    const GuardBand band = GuardBand::fromResiduals(residuals);
+    // The band must be a small fraction of a machine's envelope.
+    const MachineSpec spec = machineSpecFor(MachineClass::Athlon);
+    EXPECT_LT(band.perMachineW(), 0.3 * spec.dynamicRangeW());
+    EXPECT_GT(band.perMachineW(), 0.0);
+
+    PowerCapController controller(
+        spec.maxPowerW * 3.0, band, 3);
+    EXPECT_GT(controller.thresholdW(), spec.idlePowerW * 3.0);
+}
+
+TEST(EndToEnd, HeterogeneousCompositionStaysAccurate)
+{
+    const auto config = integrationConfig(161803);
+    const ClusterCampaign core2 =
+        runClusterCampaign(MachineClass::Core2, config);
+
+    ClusterPowerModel composed;
+    composed.setClassModel(MachineClass::Athlon,
+                           fitDefaultModel(athlonCampaign(),
+                                           integrationConfig(31415)));
+    composed.setClassModel(MachineClass::Core2,
+                           fitDefaultModel(core2, config));
+
+    Cluster hetero = Cluster::heterogeneous(
+        {{MachineClass::Core2, 2}, {MachineClass::Athlon, 2}},
+        55555);
+    SortWorkload workload;
+    const RunResult run =
+        runWorkload(hetero, workload, 2718, 0, config.run);
+
+    const auto metered = run.clusterPowerSeries();
+    std::vector<double> estimated(metered.size(), 0.0);
+    for (size_t m = 0; m < hetero.size(); ++m) {
+        const MachineClass mc = hetero.machine(m).spec().machineClass;
+        for (size_t t = 0; t < run.machineRecords[m].size(); ++t) {
+            estimated[t] += composed.predictMachine(
+                mc, run.machineRecords[m][t].counters);
+        }
+    }
+    const double dre = dynamicRangeError(estimated, metered,
+                                         hetero.totalIdlePowerW(),
+                                         hetero.totalMaxPowerW());
+    EXPECT_LT(dre, 0.12);
+}
+
+} // namespace
+} // namespace chaos

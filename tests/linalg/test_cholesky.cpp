@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the Cholesky factorization: correctness against known
+ * systems, property checks over random SPD matrices, and stabilized
+ * factoring of near-singular inputs.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+Matrix
+randomSpd(size_t n, Rng &rng, double ridge = 0.5)
+{
+    // A^T A + ridge I is SPD.
+    Matrix a(n, n);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c)
+            a(r, c) = rng.normal();
+    }
+    Matrix spd = a.gram();
+    for (size_t i = 0; i < n; ++i)
+        spd(i, i) += ridge;
+    return spd;
+}
+
+TEST(Cholesky, SolvesKnownSystem)
+{
+    // [[4,2],[2,3]] x = [8, 7]  ->  x = [1.25, 1.5]
+    const Matrix a = Matrix::fromRows({{4, 2}, {2, 3}});
+    const auto chol = Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value());
+    const auto x = chol->solve({8, 7});
+    EXPECT_NEAR(x[0], 1.25, 1e-12);
+    EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {2, 1}});  // Eig -1, 3.
+    EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquarePanics)
+{
+    const Matrix a(2, 3);
+    EXPECT_DEATH(Cholesky::factor(a), "square");
+}
+
+TEST(Cholesky, InverseOfIdentityIsIdentity)
+{
+    const auto chol = Cholesky::factor(Matrix::identity(4));
+    ASSERT_TRUE(chol.has_value());
+    EXPECT_LT(chol->inverse().maxAbsDiff(Matrix::identity(4)), 1e-12);
+}
+
+TEST(Cholesky, LogDetOfDiagonal)
+{
+    Matrix d(3, 3);
+    d(0, 0) = 2.0;
+    d(1, 1) = 4.0;
+    d(2, 2) = 8.0;
+    const auto chol = Cholesky::factor(d);
+    ASSERT_TRUE(chol.has_value());
+    EXPECT_NEAR(chol->logDet(), std::log(64.0), 1e-12);
+}
+
+TEST(Cholesky, FactorRidgedStabilizesSingular)
+{
+    // Rank-1 matrix: plain factor fails, ridged succeeds.
+    const Matrix a = Matrix::fromRows({{1, 1}, {1, 1}});
+    EXPECT_FALSE(Cholesky::factor(a).has_value());
+    const Cholesky ridged = Cholesky::factorRidged(a);
+    EXPECT_GT(ridged.appliedRidge(), 0.0);
+    const auto x = ridged.solve({2, 2});
+    // Solution of the ridged system stays finite and symmetric.
+    EXPECT_TRUE(std::isfinite(x[0]));
+    EXPECT_NEAR(x[0], x[1], 1e-9);
+}
+
+TEST(Cholesky, FactorRidgedLeavesGoodMatricesAlone)
+{
+    const Matrix a = Matrix::fromRows({{4, 2}, {2, 3}});
+    const Cholesky chol = Cholesky::factorRidged(a);
+    EXPECT_DOUBLE_EQ(chol.appliedRidge(), 0.0);
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(CholeskyPropertyTest, SolveRecoversRandomSolution)
+{
+    Rng rng(1000 + GetParam());
+    const size_t n = GetParam();
+    const Matrix spd = randomSpd(n, rng);
+
+    std::vector<double> truth(n);
+    for (auto &v : truth)
+        v = rng.normal();
+    const auto b = spd.multiply(truth);
+
+    const auto chol = Cholesky::factor(spd);
+    ASSERT_TRUE(chol.has_value());
+    const auto x = chol->solve(b);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], truth[i], 1e-6);
+}
+
+TEST_P(CholeskyPropertyTest, InverseTimesSelfIsIdentity)
+{
+    Rng rng(2000 + GetParam());
+    const size_t n = GetParam();
+    const Matrix spd = randomSpd(n, rng);
+    const auto chol = Cholesky::factor(spd);
+    ASSERT_TRUE(chol.has_value());
+    const Matrix product = spd.multiply(chol->inverse());
+    EXPECT_LT(product.maxAbsDiff(Matrix::identity(n)), 1e-6);
+}
+
+TEST_P(CholeskyPropertyTest, InverseDiagonalMatchesInverse)
+{
+    Rng rng(3000 + GetParam());
+    const size_t n = GetParam();
+    const Matrix spd = randomSpd(n, rng);
+    const auto chol = Cholesky::factor(spd);
+    ASSERT_TRUE(chol.has_value());
+    const auto diag = chol->inverseDiagonal();
+    const Matrix inv = chol->inverse();
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(diag[i], inv(i, i), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the dense Matrix type.
+ */
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Matrix, ConstructionZeroFills)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (size_t r = 0; r < 2; ++r) {
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+    }
+}
+
+TEST(Matrix, FromRowsAndAccessors)
+{
+    const Matrix m = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(2, 1), 6.0);
+    EXPECT_EQ(m.row(1), (std::vector<double>{3, 4}));
+    EXPECT_EQ(m.column(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(Matrix, FromRaggedRowsPanics)
+{
+    EXPECT_DEATH(Matrix::fromRows({{1, 2}, {3}}), "ragged");
+}
+
+TEST(Matrix, AtOutOfRangePanics)
+{
+    Matrix m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "out of range");
+    EXPECT_DEATH(m.at(0, 2), "out of range");
+}
+
+TEST(Matrix, Identity)
+{
+    const Matrix eye = Matrix::identity(3);
+    for (size_t r = 0; r < 3; ++r) {
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+    }
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    const Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(m.maxAbsDiff(t.transposed()), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchPanics)
+{
+    const Matrix a(2, 3);
+    const Matrix b(2, 3);
+    EXPECT_DEATH(a.multiply(b), "shape mismatch");
+}
+
+TEST(Matrix, MatrixVectorProduct)
+{
+    const Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const auto v = a.multiply(std::vector<double>{1, 0, -1});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], -2.0);
+    EXPECT_DOUBLE_EQ(v[1], -2.0);
+}
+
+TEST(Matrix, GramEqualsTransposeTimesSelf)
+{
+    const Matrix a =
+        Matrix::fromRows({{1, 2, 0.5}, {3, -4, 2}, {0, 1, 7}, {2, 2, 2}});
+    const Matrix direct = a.transposed().multiply(a);
+    EXPECT_LT(a.gram().maxAbsDiff(direct), 1e-12);
+}
+
+TEST(Matrix, TransposeTimesVector)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    const auto v = a.transposeTimes({1, 1, 1});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 9.0);
+    EXPECT_DOUBLE_EQ(v[1], 12.0);
+}
+
+TEST(Matrix, SelectColumnsReorders)
+{
+    const Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix s = a.selectColumns({2, 0});
+    EXPECT_EQ(s.cols(), 2u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(s(1, 1), 4.0);
+}
+
+TEST(Matrix, SelectRowsReorders)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    const Matrix s = a.selectRows({2, 2, 0});
+    EXPECT_EQ(s.rows(), 3u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(s(1, 0), 5.0);
+    EXPECT_DOUBLE_EQ(s(2, 1), 2.0);
+}
+
+TEST(Matrix, SelectOutOfRangePanics)
+{
+    const Matrix a(2, 2);
+    EXPECT_DEATH(a.selectColumns({5}), "out of range");
+    EXPECT_DEATH(a.selectRows({5}), "out of range");
+}
+
+TEST(Matrix, AppendRowsAndRow)
+{
+    Matrix a;
+    a.appendRow({1, 2});
+    a.appendRow({3, 4});
+    EXPECT_EQ(a.rows(), 2u);
+    Matrix b = Matrix::fromRows({{5, 6}});
+    a.appendRows(b);
+    EXPECT_EQ(a.rows(), 3u);
+    EXPECT_DOUBLE_EQ(a(2, 1), 6.0);
+}
+
+TEST(Matrix, AppendWidthMismatchPanics)
+{
+    Matrix a;
+    a.appendRow({1, 2});
+    EXPECT_DEATH(a.appendRow({1, 2, 3}), "width mismatch");
+}
+
+TEST(Matrix, SetColumn)
+{
+    Matrix a(3, 2);
+    a.setColumn(1, {7, 8, 9});
+    EXPECT_DOUBLE_EQ(a(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(a(2, 1), 9.0);
+    EXPECT_DEATH(a.setColumn(1, {1, 2}), "size mismatch");
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}});
+    const Matrix b = Matrix::fromRows({{1.5, 1}});
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 1.0);
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tests for model construction by technique.
+ */
+#include <gtest/gtest.h>
+
+#include "models/factory.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Factory, AllFourTechniquesInPaperOrder)
+{
+    const auto &types = allModelTypes();
+    ASSERT_EQ(types.size(), 4u);
+    EXPECT_EQ(types[0], ModelType::Linear);
+    EXPECT_EQ(types[1], ModelType::PiecewiseLinear);
+    EXPECT_EQ(types[2], ModelType::Quadratic);
+    EXPECT_EQ(types[3], ModelType::Switching);
+}
+
+TEST(Factory, CreatesMatchingTypes)
+{
+    ModelOptions options;
+    options.frequencyFeature = 0;
+    for (ModelType type : allModelTypes()) {
+        const auto model = makeModel(type, options);
+        ASSERT_NE(model, nullptr);
+        EXPECT_EQ(model->type(), type);
+    }
+}
+
+TEST(Factory, QuadraticGetsDegreeTwo)
+{
+    ModelOptions options;
+    options.mars.maxDegree = 1;  // Factory must override per type.
+    const auto quadratic = makeModel(ModelType::Quadratic, options);
+    EXPECT_EQ(quadratic->type(), ModelType::Quadratic);
+    const auto piecewise =
+        makeModel(ModelType::PiecewiseLinear, options);
+    EXPECT_EQ(piecewise->type(), ModelType::PiecewiseLinear);
+}
+
+TEST(Factory, SwitchingWithoutFrequencyIsFatal)
+{
+    EXPECT_EXIT(makeModel(ModelType::Switching),
+                ::testing::ExitedWithCode(1), "frequency feature");
+}
+
+TEST(Factory, ModelCodesMatchPaperLabels)
+{
+    EXPECT_EQ(modelTypeCode(ModelType::Linear), "L");
+    EXPECT_EQ(modelTypeCode(ModelType::PiecewiseLinear), "P");
+    EXPECT_EQ(modelTypeCode(ModelType::Quadratic), "Q");
+    EXPECT_EQ(modelTypeCode(ModelType::Switching), "S");
+}
+
+} // namespace
+} // namespace chaos

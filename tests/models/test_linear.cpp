@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the baseline linear power model (paper Eq. 1).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "models/linear.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(LinearModel, RecoversExactLinearFunction)
+{
+    Rng rng(1);
+    const size_t n = 200;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0, 100);
+        x(i, 1) = rng.uniform(0, 10);
+        y[i] = 25.0 + 0.2 * x(i, 0) + 1.5 * x(i, 1);
+    }
+    LinearModel model;
+    model.fit(x, y);
+    EXPECT_NEAR(model.intercept(), 25.0, 1e-6);
+    const auto coefs = model.featureCoefficients();
+    EXPECT_NEAR(coefs[0], 0.2, 1e-8);
+    EXPECT_NEAR(coefs[1], 1.5, 1e-8);
+    EXPECT_NEAR(model.predict({50.0, 5.0}), 25.0 + 10.0 + 7.5, 1e-6);
+}
+
+TEST(LinearModel, HandlesWildlyDifferentFeatureScales)
+{
+    // The conditioning scenario that motivated internal
+    // standardization: bytes (1e9) next to percentages (1e2).
+    Rng rng(2);
+    const size_t n = 500;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0, 100);        // Utilization.
+        x(i, 1) = rng.uniform(0.5e9, 2.5e9);  // Committed bytes.
+        y[i] = 30.0 + 0.15 * x(i, 0) + 4e-9 * x(i, 1) +
+               rng.normal(0, 0.01);
+    }
+    LinearModel model;
+    model.fit(x, y);
+    // Predictions must be accurate even though raw normal equations
+    // would be ill-conditioned.
+    double worst = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        worst = std::max(worst, std::fabs(model.predict(x.row(i)) -
+                                          y[i]));
+    }
+    EXPECT_LT(worst, 0.1);
+}
+
+TEST(LinearModel, ConstantFeatureGetsZeroWeight)
+{
+    Rng rng(3);
+    const size_t n = 100;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0, 1);
+        x(i, 1) = 7.0;  // Constant.
+        y[i] = 2.0 * x(i, 0) + 5.0;
+    }
+    LinearModel model;
+    model.fit(x, y);
+    EXPECT_NEAR(model.featureCoefficients()[1], 0.0, 1e-9);
+    EXPECT_NEAR(model.predict({0.5, 7.0}), 6.0, 1e-6);
+}
+
+TEST(LinearModel, PredictBeforeFitPanics)
+{
+    LinearModel model;
+    EXPECT_DEATH(model.predict({1.0}), "before fit");
+}
+
+TEST(LinearModel, PredictWidthMismatchPanics)
+{
+    LinearModel model;
+    Matrix x = Matrix::fromRows({{1.0}, {2.0}, {3.0}});
+    model.fit(x, {1, 2, 3});
+    EXPECT_DEATH(model.predict({1.0, 2.0}), "width mismatch");
+}
+
+TEST(LinearModel, PredictAllMatchesRowWise)
+{
+    Rng rng(4);
+    Matrix x(50, 3);
+    std::vector<double> y(50);
+    for (size_t i = 0; i < 50; ++i) {
+        for (size_t c = 0; c < 3; ++c)
+            x(i, c) = rng.normal();
+        y[i] = rng.normal();
+    }
+    LinearModel model;
+    model.fit(x, y);
+    const auto all = model.predictAll(x);
+    for (size_t i = 0; i < 50; i += 9)
+        EXPECT_DOUBLE_EQ(all[i], model.predict(x.row(i)));
+}
+
+TEST(LinearModel, MetadataAccessors)
+{
+    LinearModel model;
+    Matrix x = Matrix::fromRows({{1.0}, {2.0}, {3.0}});
+    model.fit(x, {2, 4, 6});
+    EXPECT_EQ(model.type(), ModelType::Linear);
+    EXPECT_EQ(model.numParameters(), 2u);
+    EXPECT_FALSE(model.describe().empty());
+    EXPECT_EQ(modelTypeCode(model.type()), "L");
+    EXPECT_EQ(modelTypeName(model.type()), "linear");
+}
+
+TEST(LinearModel, CannotCaptureConvexResponse)
+{
+    // Sanity for the paper's core claim: a linear model systematically
+    // underpredicts the top of a convex power curve.
+    const size_t n = 200;
+    Matrix x(n, 1);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double u = static_cast<double>(i) / (n - 1);
+        x(i, 0) = u;
+        y[i] = 50.0 + 50.0 * (0.6 * u + 0.4 * u * u);
+    }
+    LinearModel model;
+    model.fit(x, y);
+    // At the very top, prediction falls short of the actual power.
+    EXPECT_LT(model.predict({1.0}), y[n - 1] - 1.0);
+}
+
+} // namespace
+} // namespace chaos

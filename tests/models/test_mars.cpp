@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the MARS implementation (paper Eqs. 2 and 3): hinge
+ * recovery, interaction capture, pruning, and extrapolation safety.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "models/linear.hpp"
+#include "models/mars.hpp"
+#include "stats/metrics.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Hinge, EvaluatesBothDirections)
+{
+    const Hinge up{0, 2.0, +1};
+    EXPECT_DOUBLE_EQ(up.evaluate(5.0), 3.0);
+    EXPECT_DOUBLE_EQ(up.evaluate(1.0), 0.0);
+    const Hinge down{0, 2.0, -1};
+    EXPECT_DOUBLE_EQ(down.evaluate(5.0), 0.0);
+    EXPECT_DOUBLE_EQ(down.evaluate(1.0), 1.0);
+}
+
+TEST(BasisTerm, ProductOfHinges)
+{
+    BasisTerm term;
+    term.hinges.push_back({0, 1.0, +1});
+    term.hinges.push_back({1, 0.0, -1});
+    EXPECT_DOUBLE_EQ(term.evaluate({3.0, -2.0}), 4.0);  // 2 * 2.
+    EXPECT_DOUBLE_EQ(term.evaluate({0.5, -2.0}), 0.0);
+    EXPECT_EQ(term.degree(), 2u);
+    EXPECT_TRUE(term.usesFeature(0));
+    EXPECT_FALSE(term.usesFeature(2));
+}
+
+TEST(BasisTerm, EmptyTermIsIntercept)
+{
+    const BasisTerm intercept;
+    EXPECT_DOUBLE_EQ(intercept.evaluate({1.0, 2.0}), 1.0);
+    EXPECT_EQ(intercept.degree(), 0u);
+}
+
+TEST(Mars, RecoversPiecewiseLinearFunction)
+{
+    // y has a kink at x = 5: exactly one hinge pair needed.
+    Rng rng(1);
+    const size_t n = 500;
+    Matrix x(n, 1);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double v = rng.uniform(0.0, 10.0);
+        x(i, 0) = v;
+        y[i] = v < 5.0 ? 10.0 + 1.0 * v
+                       : 15.0 + 4.0 * (v - 5.0);
+        y[i] += rng.normal(0, 0.1);
+    }
+    MarsConfig config;
+    config.maxDegree = 1;
+    MarsModel mars(config);
+    mars.fit(x, y);
+
+    LinearModel linear;
+    linear.fit(x, y);
+
+    // MARS must clearly outperform the straight line.
+    const auto mars_pred = mars.predictAll(x);
+    const auto lin_pred = linear.predictAll(x);
+    EXPECT_LT(rootMeanSquaredError(mars_pred, y),
+              0.35 * rootMeanSquaredError(lin_pred, y));
+}
+
+TEST(Mars, QuadraticCapturesInteractions)
+{
+    // y = x0 * x1 (the utilization-times-frequency shape): degree-2
+    // MARS should fit it far better than degree-1.
+    Rng rng(2);
+    const size_t n = 600;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 1.0);
+        x(i, 1) = rng.uniform(0.0, 1.0);
+        y[i] = 20.0 + 30.0 * x(i, 0) * x(i, 1) + rng.normal(0, 0.1);
+    }
+    MarsConfig cfg1;
+    cfg1.maxDegree = 1;
+    MarsModel additive(cfg1);
+    additive.fit(x, y);
+
+    MarsConfig cfg2;
+    cfg2.maxDegree = 2;
+    MarsModel interactive(cfg2);
+    interactive.fit(x, y);
+
+    const double rmse_additive =
+        rootMeanSquaredError(additive.predictAll(x), y);
+    const double rmse_interactive =
+        rootMeanSquaredError(interactive.predictAll(x), y);
+    EXPECT_LT(rmse_interactive, 0.6 * rmse_additive);
+}
+
+TEST(Mars, RespectsMaxDegree)
+{
+    Rng rng(3);
+    const size_t n = 300;
+    Matrix x(n, 3);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < 3; ++c)
+            x(i, c) = rng.uniform(0, 1);
+        y[i] = x(i, 0) * x(i, 1) + x(i, 2);
+    }
+    MarsConfig config;
+    config.maxDegree = 2;
+    MarsModel mars(config);
+    mars.fit(x, y);
+    for (const auto &term : mars.terms())
+        EXPECT_LE(term.degree(), 2u);
+}
+
+TEST(Mars, RespectsMaxTerms)
+{
+    Rng rng(4);
+    const size_t n = 400;
+    Matrix x(n, 5);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < 5; ++c)
+            x(i, c) = rng.uniform(0, 1);
+        y[i] = std::sin(6.0 * x(i, 0)) + x(i, 1) * x(i, 2) +
+               rng.normal(0, 0.05);
+    }
+    MarsConfig config;
+    config.maxDegree = 2;
+    config.maxTerms = 9;
+    MarsModel mars(config);
+    mars.fit(x, y);
+    EXPECT_LE(mars.terms().size(), 9u);
+    EXPECT_EQ(mars.coefficients().size(), mars.terms().size());
+}
+
+TEST(Mars, PredictClampsExtrapolation)
+{
+    // Outside the training range, predictions freeze at the boundary
+    // value instead of extrapolating hinge slopes.
+    Rng rng(5);
+    const size_t n = 300;
+    Matrix x(n, 1);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 10.0);
+        y[i] = 3.0 * x(i, 0);
+    }
+    MarsModel mars;
+    mars.fit(x, y);
+    const double at_edge = mars.predict({10.0});
+    const double far_out = mars.predict({1000.0});
+    EXPECT_NEAR(far_out, at_edge, 1.0);
+}
+
+TEST(Mars, HandlesDiscreteFeatures)
+{
+    // P-state-like feature with 3 levels: knots at the levels.
+    Rng rng(6);
+    const size_t n = 600;
+    Matrix x(n, 1);
+    std::vector<double> y(n);
+    const double levels[] = {800.0, 1600.0, 2260.0};
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = levels[rng.uniformInt(3)];
+        y[i] = x(i, 0) == 800.0 ? 25.0
+               : x(i, 0) == 1600.0 ? 30.0
+                                   : 42.0;
+        y[i] += rng.normal(0, 0.2);
+    }
+    MarsModel mars;
+    mars.fit(x, y);
+    EXPECT_NEAR(mars.predict({800.0}), 25.0, 0.5);
+    EXPECT_NEAR(mars.predict({1600.0}), 30.0, 0.5);
+    EXPECT_NEAR(mars.predict({2260.0}), 42.0, 0.5);
+}
+
+TEST(Mars, BackwardPassPrunesUselessTerms)
+{
+    // Pure linear data: GCV pruning should leave a compact model
+    // (intercept plus roughly one hinge pair).
+    Rng rng(7);
+    const size_t n = 500;
+    Matrix x(n, 1);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0, 1);
+        y[i] = 2.0 * x(i, 0) + rng.normal(0, 0.01);
+    }
+    MarsConfig config;
+    config.maxTerms = 15;
+    MarsModel mars(config);
+    mars.fit(x, y);
+    EXPECT_LE(mars.terms().size(), 7u);
+}
+
+TEST(Mars, TypeReflectsDegree)
+{
+    MarsConfig cfg1;
+    cfg1.maxDegree = 1;
+    EXPECT_EQ(MarsModel(cfg1).type(), ModelType::PiecewiseLinear);
+    MarsConfig cfg2;
+    cfg2.maxDegree = 2;
+    EXPECT_EQ(MarsModel(cfg2).type(), ModelType::Quadratic);
+}
+
+TEST(Mars, InvalidConfigPanics)
+{
+    MarsConfig bad;
+    bad.maxDegree = 3;
+    EXPECT_DEATH(MarsModel{bad}, "degree 1 or 2");
+    MarsConfig tiny;
+    tiny.maxTerms = 2;
+    EXPECT_DEATH(MarsModel{tiny}, "maxTerms");
+}
+
+TEST(Mars, PredictBeforeFitPanics)
+{
+    MarsModel mars;
+    EXPECT_DEATH(mars.predict({1.0}), "before fit");
+}
+
+TEST(Mars, TooFewRowsPanics)
+{
+    MarsModel mars;
+    Matrix x(5, 1);
+    EXPECT_DEATH(mars.fit(x, {1, 2, 3, 4, 5}), "at least 10");
+}
+
+TEST(Mars, SubsamplingStillFitsWell)
+{
+    // More rows than maxSearchRows: the forward search subsamples
+    // but the final refit uses everything.
+    Rng rng(8);
+    const size_t n = 5000;
+    Matrix x(n, 1);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0, 10);
+        y[i] = x(i, 0) < 5 ? x(i, 0) : 5.0 + 3.0 * (x(i, 0) - 5.0);
+    }
+    MarsConfig config;
+    config.maxSearchRows = 500;
+    MarsModel mars(config);
+    mars.fit(x, y);
+    EXPECT_LT(rootMeanSquaredError(mars.predictAll(x), y), 0.25);
+}
+
+TEST(Mars, DescribeListsTerms)
+{
+    Rng rng(9);
+    Matrix x(100, 1);
+    std::vector<double> y(100);
+    for (size_t i = 0; i < 100; ++i) {
+        x(i, 0) = rng.uniform(0, 1);
+        y[i] = x(i, 0);
+    }
+    MarsModel mars;
+    mars.fit(x, y);
+    const std::string desc = mars.describe();
+    EXPECT_NE(desc.find("MARS"), std::string::npos);
+    EXPECT_NE(desc.find("terms"), std::string::npos);
+    EXPECT_GE(mars.numParameters(), mars.terms().size());
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for model persistence: save/load round trips must reproduce
+ * predictions exactly for every technique.
+ */
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "models/factory.hpp"
+#include "models/serialize.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+/** Power-like training problem with utilization and frequency. */
+void
+makeProblem(Matrix &x, std::vector<double> &y, uint64_t seed)
+{
+    Rng rng(seed);
+    const size_t n = 500;
+    x = Matrix(n, 3);
+    y.assign(n, 0.0);
+    const double levels[] = {800.0, 1600.0, 2260.0};
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 100.0);          // Utilization.
+        x(i, 1) = levels[rng.uniformInt(3)];        // Frequency.
+        x(i, 2) = rng.uniform(0.0, 5e7);            // Disk bytes.
+        y[i] = 25.0 + 0.002 * x(i, 0) * x(i, 1) / 1000.0 +
+               2e-7 * x(i, 2) + rng.normal(0.0, 0.2);
+    }
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<ModelType>
+{
+};
+
+TEST_P(SerializeRoundTrip, PredictionsSurviveExactly)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeProblem(x, y, 42);
+
+    ModelOptions options;
+    options.frequencyFeature = 1;
+    auto model = makeModel(GetParam(), options);
+    model->fit(x, y);
+
+    std::stringstream buffer;
+    saveModel(buffer, *model);
+    const auto loaded = loadModel(buffer);
+
+    ASSERT_EQ(loaded->type(), model->type());
+    EXPECT_EQ(loaded->numParameters(), model->numParameters());
+    for (size_t r = 0; r < x.rows(); r += 13) {
+        EXPECT_DOUBLE_EQ(loaded->predict(x.row(r)),
+                         model->predict(x.row(r)))
+            << "row " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, SerializeRoundTrip,
+    ::testing::ValuesIn(allModelTypes()),
+    [](const ::testing::TestParamInfo<ModelType> &info) {
+        return modelTypeName(info.param) == "piecewise-linear"
+                   ? std::string("piecewise")
+                   : modelTypeName(info.param);
+    });
+
+TEST(Serialize, FileRoundTrip)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeProblem(x, y, 7);
+    ModelOptions options;
+    options.frequencyFeature = 1;
+    auto model = makeModel(ModelType::Quadratic, options);
+    model->fit(x, y);
+
+    const std::string path = ::testing::TempDir() + "model.txt";
+    saveModelFile(path, *model);
+    const auto loaded = loadModelFile(path);
+    EXPECT_DOUBLE_EQ(loaded->predict(x.row(3)),
+                     model->predict(x.row(3)));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbage)
+{
+    std::stringstream buffer("not-a-model 9");
+    EXPECT_EXIT(loadModel(buffer), ::testing::ExitedWithCode(1),
+                "not a chaos model");
+}
+
+TEST(Serialize, RejectsWrongVersion)
+{
+    std::stringstream buffer("chaos-model 99\nlinear\n");
+    EXPECT_EXIT(loadModel(buffer), ::testing::ExitedWithCode(1),
+                "unsupported");
+}
+
+TEST(Serialize, RejectsTruncatedBody)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeProblem(x, y, 8);
+    LinearModel model;
+    model.fit(x, y);
+    std::stringstream buffer;
+    saveModel(buffer, model);
+    const std::string text = buffer.str();
+    std::stringstream truncated(text.substr(0, text.size() / 2));
+    EXPECT_EXIT(loadModel(truncated), ::testing::ExitedWithCode(1),
+                "model file");
+}
+
+TEST(Serialize, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadModelFile("/no/such/model.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Serialize, SavingUnfittedModelPanics)
+{
+    LinearModel model;
+    std::stringstream buffer;
+    EXPECT_DEATH(saveModel(buffer, model), "before fit");
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for Wald-test backward stepwise elimination (Algorithm 1,
+ * steps 4 and 6).
+ */
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "models/stepwise.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Stepwise, DropsPureNoiseKeepsSignal)
+{
+    Rng rng(1);
+    const size_t n = 300;
+    Matrix x(n, 5);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < 5; ++c)
+            x(i, c) = rng.normal();
+        // Only features 1 and 4 matter.
+        y[i] = 2.0 * x(i, 1) - 3.0 * x(i, 4) + rng.normal(0, 0.5);
+    }
+    const StepwiseResult result = stepwiseEliminate(x, y);
+    ASSERT_EQ(result.keptFeatures.size(), 2u);
+    EXPECT_EQ(result.keptFeatures[0], 1u);
+    EXPECT_EQ(result.keptFeatures[1], 4u);
+    // Removed features recorded.
+    EXPECT_EQ(result.removedFeatures.size(), 3u);
+}
+
+TEST(Stepwise, KeptFeaturesAreAllSignificant)
+{
+    Rng rng(2);
+    const size_t n = 400;
+    Matrix x(n, 6);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < 6; ++c)
+            x(i, c) = rng.normal();
+        y[i] = x(i, 0) + 0.5 * x(i, 2) + rng.normal(0, 0.3);
+    }
+    StepwiseConfig config;
+    config.alpha = 0.05;
+    const StepwiseResult result = stepwiseEliminate(x, y, config);
+    for (double p : result.pValues)
+        EXPECT_LE(p, config.alpha);
+}
+
+TEST(Stepwise, RespectsMinFeatures)
+{
+    Rng rng(3);
+    const size_t n = 200;
+    Matrix x(n, 4);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < 4; ++c)
+            x(i, c) = rng.normal();
+        y[i] = rng.normal();  // Pure noise: nothing is significant.
+    }
+    StepwiseConfig config;
+    config.minFeatures = 2;
+    const StepwiseResult result = stepwiseEliminate(x, y, config);
+    EXPECT_EQ(result.keptFeatures.size(), 2u);
+}
+
+TEST(Stepwise, AllSignificantKeepsEverything)
+{
+    Rng rng(4);
+    const size_t n = 500;
+    Matrix x(n, 3);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < 3; ++c)
+            x(i, c) = rng.normal();
+        y[i] = x(i, 0) + x(i, 1) + x(i, 2) + rng.normal(0, 0.1);
+    }
+    const StepwiseResult result = stepwiseEliminate(x, y);
+    EXPECT_EQ(result.keptFeatures.size(), 3u);
+    EXPECT_TRUE(result.removedFeatures.empty());
+}
+
+TEST(Stepwise, DegenerateConstantColumnIsDroppedFirst)
+{
+    Rng rng(5);
+    const size_t n = 150;
+    Matrix x(n, 3);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.normal();
+        x(i, 1) = 5.0;  // Constant: collinear with the intercept.
+        x(i, 2) = rng.normal();
+        y[i] = x(i, 0) + x(i, 2) + rng.normal(0, 0.2);
+    }
+    const StepwiseResult result = stepwiseEliminate(x, y);
+    EXPECT_EQ(std::find(result.keptFeatures.begin(),
+                        result.keptFeatures.end(), 1u),
+              result.keptFeatures.end());
+}
+
+TEST(Stepwise, CoefficientsIncludeIntercept)
+{
+    Rng rng(6);
+    const size_t n = 200;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.normal();
+        x(i, 1) = rng.normal();
+        y[i] = 100.0 + 2.0 * x(i, 0) + rng.normal(0, 0.1);
+    }
+    const StepwiseResult result = stepwiseEliminate(x, y);
+    ASSERT_EQ(result.coefficients.size(),
+              result.keptFeatures.size() + 1);
+    EXPECT_NEAR(result.coefficients[0], 100.0, 0.1);
+}
+
+TEST(Stepwise, EmptyDesignPanics)
+{
+    Matrix x(3, 0);
+    EXPECT_DEATH(stepwiseEliminate(x, {1, 2, 3}), "no features");
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the frequency-switching model (paper Eq. 4).
+ */
+#include <gtest/gtest.h>
+
+#include "models/linear.hpp"
+#include "models/switching.hpp"
+#include "stats/metrics.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+/**
+ * Data where the utilization/power slope depends on the P-state:
+ * exactly the regime the switching model is built for.
+ */
+void
+switchingProblem(Matrix &x, std::vector<double> &y, Rng &rng,
+                 size_t n = 900)
+{
+    const double levels[] = {800.0, 1600.0, 2260.0};
+    const double slopes[] = {4.0, 9.0, 21.0};
+    const double idles[] = {25.0, 27.0, 30.0};
+    x = Matrix(n, 2);
+    y.assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t state = rng.uniformInt(3);
+        x(i, 0) = rng.uniform(0.0, 1.0);   // Utilization.
+        x(i, 1) = levels[state];           // Frequency.
+        y[i] = idles[state] + slopes[state] * x(i, 0) +
+               rng.normal(0, 0.1);
+    }
+}
+
+SwitchingConfig
+configOnFeature1()
+{
+    SwitchingConfig config;
+    config.frequencyFeature = 1;
+    return config;
+}
+
+TEST(Switching, DiscoversThePStates)
+{
+    Rng rng(1);
+    Matrix x;
+    std::vector<double> y;
+    switchingProblem(x, y, rng);
+    SwitchingModel model(configOnFeature1());
+    model.fit(x, y);
+    EXPECT_EQ(model.numStates(), 3u);
+}
+
+TEST(Switching, OutperformsGlobalLinearOnStateDependentSlopes)
+{
+    Rng rng(2);
+    Matrix x;
+    std::vector<double> y;
+    switchingProblem(x, y, rng);
+
+    SwitchingModel switching(configOnFeature1());
+    switching.fit(x, y);
+    LinearModel linear;
+    linear.fit(x, y);
+
+    const double rmse_switching =
+        rootMeanSquaredError(switching.predictAll(x), y);
+    const double rmse_linear =
+        rootMeanSquaredError(linear.predictAll(x), y);
+    EXPECT_LT(rmse_switching, 0.5 * rmse_linear);
+    EXPECT_NEAR(rmse_switching, 0.1, 0.05);  // Noise floor.
+}
+
+TEST(Switching, PredictsAccuratelyPerState)
+{
+    Rng rng(3);
+    Matrix x;
+    std::vector<double> y;
+    switchingProblem(x, y, rng);
+    SwitchingModel model(configOnFeature1());
+    model.fit(x, y);
+
+    EXPECT_NEAR(model.predict({0.5, 800.0}), 25.0 + 2.0, 0.2);
+    EXPECT_NEAR(model.predict({0.5, 1600.0}), 27.0 + 4.5, 0.2);
+    EXPECT_NEAR(model.predict({0.5, 2260.0}), 30.0 + 10.5, 0.2);
+}
+
+TEST(Switching, UnseenFrequencySnapsToNearestState)
+{
+    Rng rng(4);
+    Matrix x;
+    std::vector<double> y;
+    switchingProblem(x, y, rng);
+    SwitchingModel model(configOnFeature1());
+    model.fit(x, y);
+
+    // 900 MHz is closest to the 800 MHz state.
+    EXPECT_NEAR(model.predict({0.5, 900.0}),
+                model.predict({0.5, 800.0}), 1e-9);
+}
+
+TEST(Switching, SparseStateFallsBackToGlobalModel)
+{
+    Rng rng(5);
+    const size_t n = 300;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        // Only 5 samples at the rare 3000 MHz state.
+        const bool rare = i < 5;
+        x(i, 0) = rng.uniform(0, 1);
+        x(i, 1) = rare ? 3000.0 : 1000.0;
+        y[i] = 20.0 + 5.0 * x(i, 0) + rng.normal(0, 0.1);
+    }
+    SwitchingConfig config = configOnFeature1();
+    config.minRowsPerState = 30;
+    SwitchingModel model(config);
+    model.fit(x, y);
+    EXPECT_EQ(model.numStates(), 2u);
+    // Rare-state prediction still sane (via the fallback).
+    EXPECT_NEAR(model.predict({0.5, 3000.0}), 22.5, 0.5);
+    EXPECT_NE(model.describe().find("fallback"), std::string::npos);
+}
+
+TEST(Switching, SingleStateDegeneratesToLinear)
+{
+    // An Atom-like platform: frequency never changes.
+    Rng rng(6);
+    const size_t n = 200;
+    Matrix x(n, 2);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0, 1);
+        x(i, 1) = 1600.0;
+        y[i] = 22.0 + 4.0 * x(i, 0) + rng.normal(0, 0.05);
+    }
+    SwitchingModel switching(configOnFeature1());
+    switching.fit(x, y);
+    LinearModel linear;
+    linear.fit(x, y);
+    EXPECT_EQ(switching.numStates(), 1u);
+    EXPECT_NEAR(switching.predict({0.5, 1600.0}),
+                linear.predict({0.5, 1600.0}), 0.05);
+}
+
+TEST(Switching, ParameterCountGrowsWithStates)
+{
+    Rng rng(7);
+    Matrix x;
+    std::vector<double> y;
+    switchingProblem(x, y, rng);
+    SwitchingModel model(configOnFeature1());
+    model.fit(x, y);
+    // Fallback (3 params) + 3 states x 3 params.
+    EXPECT_EQ(model.numParameters(), 12u);
+    EXPECT_EQ(model.type(), ModelType::Switching);
+}
+
+TEST(Switching, InvalidFrequencyFeaturePanics)
+{
+    SwitchingConfig config;
+    config.frequencyFeature = 5;
+    SwitchingModel model(config);
+    Matrix x(20, 2);
+    std::vector<double> y(20, 1.0);
+    EXPECT_DEATH(model.fit(x, y), "out of range");
+}
+
+TEST(Switching, PredictBeforeFitPanics)
+{
+    SwitchingModel model(configOnFeature1());
+    EXPECT_DEATH(model.predict({1.0, 2.0}), "before fit");
+}
+
+} // namespace
+} // namespace chaos

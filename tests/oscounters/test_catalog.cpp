@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the counter catalog: structure, Table II coverage, and
+ * the redundancy relationships Algorithm 1 depends on.
+ */
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "oscounters/counter_catalog.hpp"
+
+namespace chaos {
+namespace {
+
+MachineState
+typicalState(const MachineSpec &spec)
+{
+    MachineState state;
+    state.timeSeconds = 100.0;
+    state.uptimeSeconds = 90000.0;
+    state.coreUtilization.assign(spec.numCores, 0.6);
+    state.coreFrequencyMhz.assign(spec.numCores,
+                                  spec.maxFrequencyMhz());
+    state.disks.resize(spec.numDisks);
+    for (auto &disk : state.disks) {
+        disk.utilization = 0.4;
+        disk.readBytes = 30e6;
+        disk.writeBytes = 10e6;
+        disk.seekRate = 50.0;
+    }
+    state.netRxBytes = 20e6;
+    state.netTxBytes = 15e6;
+    state.committedBytes = 1.5e9;
+    state.pagesPerSec = 150.0;
+    state.pageFaultsPerSec = 2000.0;
+    state.cacheFaultsPerSec = 800.0;
+    state.pageReadsPerSec = 50.0;
+    state.poolNonpagedAllocs = 10000.0;
+    state.memIntensity = 0.4;
+    state.dataMapPinsPerSec = 200.0;
+    state.pinReadsPerSec = 250.0;
+    state.pinReadHitPct = 95.0;
+    state.copyReadsPerSec = 400.0;
+    state.fastReadsNotPossiblePerSec = 20.0;
+    state.lazyWriteFlushesPerSec = 10.0;
+    state.processPageFaultsPerSec = 1800.0;
+    state.processIoDataBytesPerSec = 50e6;
+    state.pageFileBytesPeak = 2.0e9;
+    state.interruptsPerSec = 3000.0;
+    state.dpcTimePct = 2.0;
+    return state;
+}
+
+TEST(Catalog, HasPrescreenedScale)
+{
+    // The paper pre-screens ~10,000 counters to ~250; our catalog is
+    // that screened set (order 10^2).
+    const auto &catalog = CounterCatalog::instance();
+    EXPECT_GE(catalog.size(), 150u);
+    EXPECT_LE(catalog.size(), 300u);
+}
+
+TEST(Catalog, NamesAreUnique)
+{
+    const auto &catalog = CounterCatalog::instance();
+    std::set<std::string> names;
+    for (const auto &def : catalog.all())
+        EXPECT_TRUE(names.insert(def.name).second)
+            << "duplicate counter " << def.name;
+}
+
+TEST(Catalog, AllSevenPaperCategoriesPresent)
+{
+    const auto &catalog = CounterCatalog::instance();
+    for (CounterCategory category :
+         {CounterCategory::Processor, CounterCategory::Memory,
+          CounterCategory::PhysicalDisk, CounterCategory::Network,
+          CounterCategory::FileSystemCache, CounterCategory::Process,
+          CounterCategory::JobObjectDetails,
+          CounterCategory::ProcessorPerformance}) {
+        EXPECT_FALSE(catalog.inCategory(category).empty())
+            << counterCategoryName(category);
+    }
+}
+
+TEST(Catalog, TableTwoCountersExist)
+{
+    // Every counter named in the paper's Table II must be present.
+    const auto &catalog = CounterCatalog::instance();
+    const char *table2[] = {
+        "IPv4\\Datagrams/sec",
+        "Memory\\Page Faults/sec",
+        "Memory\\Committed Bytes",
+        "Memory\\Cache Faults/sec",
+        "Memory\\Pages/sec",
+        "Memory\\Page Reads/sec",
+        "Memory\\Pool Nonpaged Allocs",
+        "PhysicalDisk(_Total)\\% Disk Time",
+        "PhysicalDisk(_Total)\\Disk Bytes/sec",
+        "Process(_Total)\\Page Faults/sec",
+        "Process(_Total)\\IO Data Bytes/sec",
+        "Processor(_Total)\\% Processor Time",
+        "Processor(_Total)\\Interrupts/sec",
+        "Processor(_Total)\\% DPC Time",
+        "Cache\\Data Map Pins/sec",
+        "Cache\\Pin Reads/sec",
+        "Cache\\Pin Read Hits %",
+        "Cache\\Copy Reads/sec",
+        "Cache\\Fast Reads Not Possible/sec",
+        "Cache\\Lazy Write Flushes/sec",
+        "Job Object Details(_Total)\\Page File Bytes Peak",
+        "Processor Performance\\Processor_0 Frequency",
+    };
+    for (const char *name : table2)
+        EXPECT_TRUE(catalog.contains(name)) << name;
+}
+
+TEST(Catalog, IndexOfRoundTrips)
+{
+    const auto &catalog = CounterCatalog::instance();
+    for (size_t i = 0; i < catalog.size(); i += 7)
+        EXPECT_EQ(catalog.indexOf(catalog.def(i).name), i);
+}
+
+TEST(Catalog, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(CounterCatalog::instance().indexOf("No\\Such Counter"),
+                ::testing::ExitedWithCode(1), "unknown counter");
+}
+
+TEST(Catalog, CoDependenciesReferenceRealCounters)
+{
+    const auto &catalog = CounterCatalog::instance();
+    EXPECT_FALSE(catalog.coDependencies().empty());
+    for (const auto &dep : catalog.coDependencies()) {
+        EXPECT_TRUE(catalog.contains(dep.sum)) << dep.sum;
+        EXPECT_GE(dep.parts.size(), 2u);
+        for (const auto &part : dep.parts)
+            EXPECT_TRUE(catalog.contains(part)) << part;
+    }
+}
+
+class CatalogSamplingTest
+    : public ::testing::TestWithParam<MachineClass>
+{
+  protected:
+    MachineSpec spec = machineSpecFor(GetParam());
+    MachineState state = typicalState(spec);
+    Rng rng{99};
+};
+
+TEST_P(CatalogSamplingTest, AllValuesAreFinite)
+{
+    const auto &catalog = CounterCatalog::instance();
+    SampleContext ctx{state, spec, rng, spec.maxFrequencyMhz()};
+    for (const auto &def : catalog.all()) {
+        const double value = def.compute(ctx);
+        EXPECT_TRUE(std::isfinite(value)) << def.name;
+    }
+}
+
+TEST_P(CatalogSamplingTest, PercentageCountersWithinRange)
+{
+    const auto &catalog = CounterCatalog::instance();
+    SampleContext ctx{state, spec, rng, spec.maxFrequencyMhz()};
+    for (const auto &def : catalog.all()) {
+        if (def.name.find("%") == std::string::npos)
+            continue;
+        const double value = def.compute(ctx);
+        EXPECT_GE(value, 0.0) << def.name;
+        EXPECT_LE(value, 100.0 * spec.numCores) << def.name;
+    }
+}
+
+TEST_P(CatalogSamplingTest, CoDependentSumsHoldExactly)
+{
+    // The a = b + c relationships step 2 exploits must hold in the
+    // sampled data, not just on paper.
+    const auto &catalog = CounterCatalog::instance();
+    SampleContext ctx{state, spec, rng, spec.maxFrequencyMhz()};
+    for (const auto &dep : catalog.coDependencies()) {
+        const double sum =
+            catalog.def(catalog.indexOf(dep.sum)).compute(ctx);
+        double parts = 0.0;
+        for (const auto &part : dep.parts)
+            parts += catalog.def(catalog.indexOf(part)).compute(ctx);
+        EXPECT_NEAR(sum, parts, 1e-6 * std::max(1.0, std::fabs(sum)))
+            << dep.sum;
+    }
+}
+
+TEST_P(CatalogSamplingTest, MissingHardwareCountersReadZero)
+{
+    const auto &catalog = CounterCatalog::instance();
+    SampleContext ctx{state, spec, rng, spec.maxFrequencyMhz()};
+    // Cores beyond the platform's count read 0 utilization.
+    for (size_t c = spec.numCores; c < 8; ++c) {
+        const std::string name = "Processor(" + std::to_string(c) +
+                                 ")\\% Processor Time";
+        EXPECT_DOUBLE_EQ(
+            catalog.def(catalog.indexOf(name)).compute(ctx), 0.0);
+    }
+    // Disks beyond the platform's count read 0 bytes.
+    for (size_t d = spec.numDisks; d < 6; ++d) {
+        const std::string name = "PhysicalDisk(" + std::to_string(d) +
+                                 ")\\Disk Bytes/sec";
+        EXPECT_DOUBLE_EQ(
+            catalog.def(catalog.indexOf(name)).compute(ctx), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, CatalogSamplingTest,
+    ::testing::ValuesIn(allMachineClasses()),
+    [](const ::testing::TestParamInfo<MachineClass> &info) {
+        return machineClassName(info.param);
+    });
+
+TEST(Catalog, FrequencyCounterReflectsState)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    MachineState state = typicalState(spec);
+    state.coreFrequencyMhz = {800.0, 1600.0};
+    Rng rng(1);
+    SampleContext ctx{state, spec, rng, 2260.0};
+
+    const auto &catalog = CounterCatalog::instance();
+    EXPECT_DOUBLE_EQ(
+        catalog
+            .def(catalog.indexOf(
+                "Processor Performance\\Processor_0 Frequency"))
+            .compute(ctx),
+        800.0);
+    EXPECT_DOUBLE_EQ(
+        catalog
+            .def(catalog.indexOf(
+                "Processor Performance\\Processor_1 Frequency"))
+            .compute(ctx),
+        1600.0);
+    // The lag counter exposes the context's previous frequency.
+    EXPECT_DOUBLE_EQ(
+        catalog
+            .def(catalog.indexOf(
+                "Processor Performance\\Processor_0 Frequency Lag1"))
+            .compute(ctx),
+        2260.0);
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Statistical properties of the sampled counters over real runs —
+ * the structure Algorithm 1 depends on: correlated siblings above
+ * the 0.95 threshold, exact co-dependent sums, activity counters
+ * that track power, and junk counters that do not.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.hpp"
+#include "trace/dataset.hpp"
+#include "workloads/standard_workloads.hpp"
+
+namespace chaos {
+namespace {
+
+/** One short Sort run on a 2-machine Core2 cluster, as a dataset. */
+const Dataset &
+sortDataset()
+{
+    static const Dataset dataset = [] {
+        Cluster cluster =
+            Cluster::homogeneous(MachineClass::Core2, 2, 808);
+        SortWorkload workload;
+        RunConfig config;
+        config.durationScale = 0.5;
+        std::vector<RunResult> runs;
+        runs.push_back(runWorkload(cluster, workload, 17, 0, config));
+        return Dataset::fromRunResults(runs);
+    }();
+    return dataset;
+}
+
+double
+columnCorrelation(const Dataset &data, const std::string &a,
+                  const std::string &b)
+{
+    return pearson(data.features().column(data.featureIndex(a)),
+                   data.features().column(data.featureIndex(b)));
+}
+
+TEST(CounterStatistics, PerCoreAndTotalUtilizationAreSiblings)
+{
+    // Step 1 of Algorithm 1 exists because of pairs like these.
+    const double r = columnCorrelation(
+        sortDataset(), "Processor(0)\\% Processor Time",
+        "Processor(_Total)\\% Processor Time");
+    EXPECT_GT(r, 0.9);
+}
+
+TEST(CounterStatistics, PacketsTrackBytes)
+{
+    const double r = columnCorrelation(
+        sortDataset(), "Network Interface(nic0)\\Packets Received/sec",
+        "Network Interface(nic0)\\Bytes Received/sec");
+    EXPECT_GT(r, 0.95);
+}
+
+TEST(CounterStatistics, CoDependentSumHoldsOverWholeRun)
+{
+    const Dataset &data = sortDataset();
+    const auto total = data.features().column(data.featureIndex(
+        "PhysicalDisk(_Total)\\Disk Bytes/sec"));
+    const auto reads = data.features().column(data.featureIndex(
+        "PhysicalDisk(_Total)\\Disk Read Bytes/sec"));
+    const auto writes = data.features().column(data.featureIndex(
+        "PhysicalDisk(_Total)\\Disk Write Bytes/sec"));
+    for (size_t r = 0; r < total.size(); r += 11) {
+        EXPECT_NEAR(total[r], reads[r] + writes[r],
+                    1e-6 * std::max(1.0, total[r]));
+    }
+}
+
+TEST(CounterStatistics, UtilizationCorrelatesWithPower)
+{
+    const Dataset &data = sortDataset();
+    const double r = pearson(
+        data.features().column(data.featureIndex(
+            "Processor(_Total)\\% Processor Time")),
+        data.powerW());
+    EXPECT_GT(r, 0.6);
+}
+
+TEST(CounterStatistics, JunkCountersDoNotTrackPower)
+{
+    const Dataset &data = sortDataset();
+    for (const char *junk :
+         {"Objects\\Mutexes", "System\\Processes",
+          "Process(_Total)\\Handle Count"}) {
+        const double r = pearson(
+            data.features().column(data.featureIndex(junk)),
+            data.powerW());
+        EXPECT_LT(std::fabs(r), 0.4) << junk;
+    }
+}
+
+TEST(CounterStatistics, MissingHardwareColumnsAreConstantZero)
+{
+    // Core2 has 2 cores and 1 disk: the phantom instances are
+    // constant and will be dropped by the constant-column screen.
+    const Dataset &data = sortDataset();
+    const auto constants = data.constantColumns();
+    auto is_constant = [&](const std::string &name) {
+        const size_t idx = data.featureIndex(name);
+        return std::find(constants.begin(), constants.end(), idx) !=
+               constants.end();
+    };
+    EXPECT_TRUE(is_constant("Processor(7)\\% Processor Time"));
+    EXPECT_TRUE(is_constant("PhysicalDisk(5)\\Disk Bytes/sec"));
+    EXPECT_FALSE(is_constant("Processor(0)\\% Processor Time"));
+}
+
+TEST(CounterStatistics, DiskCountersDecoupleFromCpuWithinSort)
+{
+    // I/O burstiness keeps disk traffic from being a pure proxy of
+    // utilization (otherwise disk counters could never be selected).
+    const double r = columnCorrelation(
+        sortDataset(), "PhysicalDisk(_Total)\\Disk Bytes/sec",
+        "Processor(_Total)\\% Processor Time");
+    EXPECT_LT(std::fabs(r), 0.9);
+}
+
+TEST(CounterStatistics, FrequencyIsDiscretePStates)
+{
+    const Dataset &data = sortDataset();
+    const auto freqs = data.features().column(data.featureIndex(
+        "Processor Performance\\Processor_0 Frequency"));
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    for (size_t r = 0; r < freqs.size(); r += 7) {
+        bool valid = freqs[r] == 0.0;
+        for (double p : spec.pStatesMhz)
+            valid = valid || freqs[r] == p;
+        EXPECT_TRUE(valid) << freqs[r];
+    }
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the ETW-style logging session.
+ */
+#include <gtest/gtest.h>
+
+#include "oscounters/etw_session.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(EtwSession, AccumulatesOneRecordPerTick)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    Machine machine(spec, 0, 1);
+    PowerMeter meter{Rng(2)};
+    EtwSession session(machine, meter, 3);
+
+    for (int t = 0; t < 25; ++t)
+        session.tick(ActivityDemand{});
+    EXPECT_EQ(session.records().size(), 25u);
+    for (size_t t = 0; t < 25; ++t) {
+        EXPECT_DOUBLE_EQ(session.records()[t].timeSeconds,
+                         static_cast<double>(t));
+        EXPECT_EQ(session.records()[t].counters.size(),
+                  CounterCatalog::instance().size());
+        EXPECT_GT(session.records()[t].measuredPowerW, 0.0);
+    }
+}
+
+TEST(EtwSession, MeasuredPowerIsPlausible)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Athlon);
+    Machine machine(spec, 0, 4);
+    PowerMeter meter{Rng(5)};
+    EtwSession session(machine, meter, 6);
+
+    ActivityDemand busy;
+    busy.cpuCoreSeconds = 2.0;
+    busy.memIntensity = 0.5;
+    for (int t = 0; t < 20; ++t)
+        session.tick(busy);
+
+    for (const auto &record : session.records()) {
+        EXPECT_GT(record.measuredPowerW, spec.idlePowerW * 0.8);
+        EXPECT_LT(record.measuredPowerW, spec.maxPowerW * 1.2);
+    }
+}
+
+TEST(EtwSession, StartNewRunClearsLogAndResetsMachine)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    Machine machine(spec, 0, 7);
+    PowerMeter meter{Rng(8)};
+    EtwSession session(machine, meter, 9);
+
+    for (int t = 0; t < 10; ++t)
+        session.tick(ActivityDemand{});
+    session.startNewRun();
+    EXPECT_TRUE(session.records().empty());
+
+    const EtwRecord &first = session.tick(ActivityDemand{});
+    EXPECT_DOUBLE_EQ(first.timeSeconds, 0.0);
+}
+
+TEST(EtwSession, TickReturnsTheRecordJustLogged)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    Machine machine(spec, 0, 10);
+    PowerMeter meter{Rng(11)};
+    EtwSession session(machine, meter, 12);
+    const EtwRecord &record = session.tick(ActivityDemand{});
+    EXPECT_EQ(&record, &session.records().back());
+}
+
+} // namespace
+} // namespace chaos

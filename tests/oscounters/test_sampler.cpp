@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the per-machine counter sampler.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "oscounters/sampler.hpp"
+#include "sim/machine.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Sampler, ProducesOneValuePerCatalogCounter)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    Machine machine(spec, 0, 1);
+    CounterSampler sampler(spec, Rng(2));
+    const MachineTick tick = machine.step(ActivityDemand{});
+    const auto values = sampler.sample(tick.state);
+    EXPECT_EQ(values.size(), CounterCatalog::instance().size());
+    for (double v : values)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Sampler, SameSeedSameValues)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Opteron);
+    Machine machine(spec, 0, 3);
+    const MachineTick tick = machine.step(ActivityDemand{});
+
+    CounterSampler a(spec, Rng(7));
+    CounterSampler b(spec, Rng(7));
+    EXPECT_EQ(a.sample(tick.state), b.sample(tick.state));
+}
+
+TEST(Sampler, LagCounterTracksPreviousFrequency)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    const auto &catalog = CounterCatalog::instance();
+    const size_t lag_idx = catalog.indexOf(
+        "Processor Performance\\Processor_0 Frequency Lag1");
+    const size_t freq_idx = catalog.indexOf(
+        "Processor Performance\\Processor_0 Frequency");
+
+    CounterSampler sampler(spec, Rng(8));
+    Machine machine(spec, 0, 9);
+
+    // First sample: lag primed with the max frequency.
+    ActivityDemand busy;
+    busy.cpuCoreSeconds = 2.0;
+    auto tick = machine.step(busy);
+    auto values = sampler.sample(tick.state);
+    EXPECT_DOUBLE_EQ(values[lag_idx], spec.maxFrequencyMhz());
+
+    // Afterwards: lag equals the previous sample's frequency.
+    double prev_freq = values[freq_idx];
+    for (int t = 0; t < 20; ++t) {
+        ActivityDemand demand;
+        demand.cpuCoreSeconds = (t % 4 == 0) ? 2.0 : 0.0;
+        tick = machine.step(demand);
+        values = sampler.sample(tick.state);
+        EXPECT_DOUBLE_EQ(values[lag_idx], prev_freq) << "t=" << t;
+        prev_freq = values[freq_idx];
+    }
+}
+
+TEST(Sampler, ResetReprimesLagCounter)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    const auto &catalog = CounterCatalog::instance();
+    const size_t lag_idx = catalog.indexOf(
+        "Processor Performance\\Processor_0 Frequency Lag1");
+
+    CounterSampler sampler(spec, Rng(10));
+    Machine machine(spec, 0, 11);
+    // Drive the machine to a low P-state.
+    for (int t = 0; t < 10; ++t)
+        sampler.sample(machine.step(ActivityDemand{}).state);
+
+    sampler.reset();
+    const auto values =
+        sampler.sample(machine.step(ActivityDemand{}).state);
+    EXPECT_DOUBLE_EQ(values[lag_idx], spec.maxFrequencyMhz());
+}
+
+TEST(Sampler, LagChainShiftsThroughThreeSeconds)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    const auto &catalog = CounterCatalog::instance();
+    const size_t freq_idx = catalog.indexOf(
+        "Processor Performance\\Processor_0 Frequency");
+    const size_t lag1 = catalog.indexOf(
+        "Processor Performance\\Processor_0 Frequency Lag1");
+    const size_t lag2 = catalog.indexOf(
+        "Processor Performance\\Processor_0 Frequency Lag2");
+    const size_t lag3 = catalog.indexOf(
+        "Processor Performance\\Processor_0 Frequency Lag3");
+
+    CounterSampler sampler(spec, Rng(21));
+    Machine machine(spec, 0, 22);
+    std::vector<double> freq_history;
+    for (int t = 0; t < 25; ++t) {
+        ActivityDemand demand;
+        demand.cpuCoreSeconds = (t % 3 == 0) ? 2.0 : 0.0;
+        const auto values =
+            sampler.sample(machine.step(demand).state);
+        if (freq_history.size() >= 3) {
+            const size_t n = freq_history.size();
+            EXPECT_DOUBLE_EQ(values[lag1], freq_history[n - 1]);
+            EXPECT_DOUBLE_EQ(values[lag2], freq_history[n - 2]);
+            EXPECT_DOUBLE_EQ(values[lag3], freq_history[n - 3]);
+        }
+        freq_history.push_back(values[freq_idx]);
+    }
+}
+
+TEST(Sampler, BusyMachineShowsHigherUtilizationCounter)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Athlon);
+    const auto &catalog = CounterCatalog::instance();
+    const size_t util_idx =
+        catalog.indexOf("Processor(_Total)\\% Processor Time");
+
+    Machine machine(spec, 0, 12);
+    CounterSampler sampler(spec, Rng(13));
+
+    const auto idle_values =
+        sampler.sample(machine.step(ActivityDemand{}).state);
+    ActivityDemand busy;
+    busy.cpuCoreSeconds = 2.0;
+    const auto busy_values =
+        sampler.sample(machine.step(busy).state);
+    EXPECT_GT(busy_values[util_idx], idle_values[util_idx] + 30.0);
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Property tests for ActivityDemand composition — the operator the
+ * scheduler uses to stack concurrent tasks on one machine.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/activity.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+ActivityDemand
+randomDemand(Rng &rng)
+{
+    ActivityDemand demand;
+    demand.cpuCoreSeconds = rng.uniform(0.0, 2.0);
+    demand.diskReadBytes = rng.uniform(0.0, 5e7);
+    demand.diskWriteBytes = rng.uniform(0.0, 5e7);
+    demand.diskRandomFraction = rng.uniform(0.0, 1.0);
+    demand.netRxBytes = rng.uniform(0.0, 3e7);
+    demand.netTxBytes = rng.uniform(0.0, 3e7);
+    demand.workingSetBytes = rng.uniform(0.0, 2e9);
+    demand.memIntensity = rng.uniform(0.0, 1.0);
+    demand.fsCacheOps = rng.uniform(0.0, 2000.0);
+    return demand;
+}
+
+TEST(ActivityDemand, DefaultIsIdle)
+{
+    const ActivityDemand idle;
+    EXPECT_DOUBLE_EQ(idle.cpuCoreSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(idle.diskReadBytes, 0.0);
+    EXPECT_DOUBLE_EQ(idle.netRxBytes, 0.0);
+    EXPECT_DOUBLE_EQ(idle.memIntensity, 0.0);
+}
+
+TEST(ActivityDemand, AddingIdleIsIdentityForRates)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 50; ++trial) {
+        ActivityDemand demand = randomDemand(rng);
+        const ActivityDemand before = demand;
+        demand += ActivityDemand{};
+        EXPECT_DOUBLE_EQ(demand.cpuCoreSeconds,
+                         before.cpuCoreSeconds);
+        EXPECT_DOUBLE_EQ(demand.diskReadBytes, before.diskReadBytes);
+        EXPECT_DOUBLE_EQ(demand.diskWriteBytes,
+                         before.diskWriteBytes);
+        EXPECT_DOUBLE_EQ(demand.netRxBytes, before.netRxBytes);
+        EXPECT_DOUBLE_EQ(demand.netTxBytes, before.netTxBytes);
+        EXPECT_DOUBLE_EQ(demand.memIntensity, before.memIntensity);
+        EXPECT_DOUBLE_EQ(demand.fsCacheOps, before.fsCacheOps);
+    }
+}
+
+TEST(ActivityDemand, RatesAddLinearly)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 50; ++trial) {
+        const ActivityDemand a = randomDemand(rng);
+        const ActivityDemand b = randomDemand(rng);
+        ActivityDemand sum = a;
+        sum += b;
+        EXPECT_NEAR(sum.cpuCoreSeconds,
+                    a.cpuCoreSeconds + b.cpuCoreSeconds, 1e-12);
+        EXPECT_NEAR(sum.diskReadBytes,
+                    a.diskReadBytes + b.diskReadBytes, 1e-3);
+        EXPECT_NEAR(sum.netTxBytes, a.netTxBytes + b.netTxBytes,
+                    1e-3);
+        EXPECT_NEAR(sum.workingSetBytes,
+                    a.workingSetBytes + b.workingSetBytes, 1e-3);
+        EXPECT_NEAR(sum.fsCacheOps, a.fsCacheOps + b.fsCacheOps,
+                    1e-9);
+    }
+}
+
+TEST(ActivityDemand, MemIntensityComposesAsUnionAndStaysBounded)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        const ActivityDemand a = randomDemand(rng);
+        const ActivityDemand b = randomDemand(rng);
+        ActivityDemand sum = a;
+        sum += b;
+        // Union formula: p + q - pq, always in [max(p,q), 1].
+        EXPECT_GE(sum.memIntensity,
+                  std::max(a.memIntensity, b.memIntensity) - 1e-12);
+        EXPECT_LE(sum.memIntensity, 1.0 + 1e-12);
+        EXPECT_NEAR(sum.memIntensity,
+                    a.memIntensity + b.memIntensity -
+                        a.memIntensity * b.memIntensity,
+                    1e-12);
+    }
+}
+
+TEST(ActivityDemand, RandomFractionIsTrafficWeighted)
+{
+    // A task with 3x the traffic should dominate the blended random
+    // fraction.
+    ActivityDemand heavy;
+    heavy.diskReadBytes = 30e6;
+    heavy.diskRandomFraction = 0.9;
+    ActivityDemand light;
+    light.diskReadBytes = 10e6;
+    light.diskRandomFraction = 0.1;
+
+    ActivityDemand sum = heavy;
+    sum += light;
+    EXPECT_NEAR(sum.diskRandomFraction,
+                (0.9 * 30e6 + 0.1 * 10e6) / 40e6, 1e-9);
+
+    // Order matters only through weighting, not result.
+    ActivityDemand reversed = light;
+    reversed += heavy;
+    EXPECT_NEAR(reversed.diskRandomFraction, sum.diskRandomFraction,
+                1e-9);
+}
+
+TEST(ActivityDemand, RandomFractionStaysInUnitInterval)
+{
+    Rng rng(4);
+    ActivityDemand acc;
+    for (int i = 0; i < 100; ++i) {
+        acc += randomDemand(rng);
+        EXPECT_GE(acc.diskRandomFraction, 0.0);
+        EXPECT_LE(acc.diskRandomFraction, 1.0);
+    }
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for cluster construction (homogeneous and heterogeneous).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Cluster, HomogeneousHasRequestedShape)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 5, 1);
+    EXPECT_EQ(cluster.size(), 5u);
+    EXPECT_EQ(cluster.name(), "Core2 x5");
+    for (size_t m = 0; m < 5; ++m) {
+        EXPECT_EQ(cluster.machine(m).id(), m);
+        EXPECT_EQ(cluster.machine(m).spec().machineClass,
+                  MachineClass::Core2);
+    }
+}
+
+TEST(Cluster, MachinesRealizeDistinctPowerCharacteristics)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Opteron, 5, 2);
+    for (size_t a = 0; a < 5; ++a) {
+        for (size_t b = a + 1; b < 5; ++b) {
+            EXPECT_NE(cluster.machine(a).idlePowerW(),
+                      cluster.machine(b).idlePowerW());
+        }
+    }
+}
+
+TEST(Cluster, MetersAreDistinct)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Atom, 3, 3);
+    EXPECT_NE(cluster.meter(0).gain(), cluster.meter(1).gain());
+}
+
+TEST(Cluster, EnvelopeSumsOverMachines)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Athlon, 4, 4);
+    double idle = 0.0, max = 0.0;
+    for (size_t m = 0; m < 4; ++m) {
+        idle += cluster.machine(m).idlePowerW();
+        max += cluster.machine(m).maxPowerW();
+    }
+    EXPECT_DOUBLE_EQ(cluster.totalIdlePowerW(), idle);
+    EXPECT_DOUBLE_EQ(cluster.totalMaxPowerW(), max);
+}
+
+TEST(Cluster, HeterogeneousCombinesClasses)
+{
+    // The paper's 10-machine Core2 + Opteron experiment.
+    Cluster cluster = Cluster::heterogeneous(
+        {{MachineClass::Core2, 5}, {MachineClass::Opteron, 5}}, 5);
+    EXPECT_EQ(cluster.size(), 10u);
+    EXPECT_EQ(cluster.name(), "Core2x5+Opteronx5");
+    for (size_t m = 0; m < 5; ++m) {
+        EXPECT_EQ(cluster.machine(m).spec().machineClass,
+                  MachineClass::Core2);
+    }
+    for (size_t m = 5; m < 10; ++m) {
+        EXPECT_EQ(cluster.machine(m).spec().machineClass,
+                  MachineClass::Opteron);
+        EXPECT_EQ(cluster.machine(m).id(), m);  // Consecutive ids.
+    }
+}
+
+TEST(Cluster, EmptyClusterIsFatal)
+{
+    EXPECT_EXIT(Cluster::homogeneous(MachineClass::Atom, 0, 1),
+                ::testing::ExitedWithCode(1), "at least one");
+    EXPECT_EXIT(Cluster::heterogeneous({}, 1),
+                ::testing::ExitedWithCode(1), "needs groups");
+}
+
+TEST(Cluster, OutOfRangeAccessPanics)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Atom, 2, 6);
+    EXPECT_DEATH(cluster.machine(2), "out of range");
+    EXPECT_DEATH(cluster.meter(2), "out of range");
+}
+
+TEST(Cluster, ResetRunStateAffectsAllMachines)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 2, 7);
+    ActivityDemand demand;
+    demand.cpuCoreSeconds = 2.0;
+    for (int t = 0; t < 10; ++t) {
+        cluster.machine(0).step(demand);
+        cluster.machine(1).step(demand);
+    }
+    cluster.resetRunState();
+    const auto t0 = cluster.machine(0).step(demand);
+    const auto t1 = cluster.machine(1).step(demand);
+    EXPECT_DOUBLE_EQ(t0.state.timeSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(t1.state.timeSeconds, 0.0);
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the hypothetical FutureServer platform (paper discussion:
+ * fully independent per-core DVFS decorrelates core frequencies).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/dvfs.hpp"
+#include "sim/machine.hpp"
+#include "stats/correlation.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(FutureServer, NotPartOfThePaperSixButExtended)
+{
+    const auto &paper = allMachineClasses();
+    EXPECT_EQ(paper.size(), 6u);
+    for (MachineClass mc : paper)
+        EXPECT_NE(mc, MachineClass::FutureServer);
+
+    const auto &extended = extendedMachineClasses();
+    EXPECT_EQ(extended.size(), 7u);
+    EXPECT_EQ(extended.back(), MachineClass::FutureServer);
+    EXPECT_EQ(machineClassFromName("FutureServer"),
+              MachineClass::FutureServer);
+}
+
+TEST(FutureServer, SpecDeclaresIndependentDvfs)
+{
+    const MachineSpec spec =
+        machineSpecFor(MachineClass::FutureServer);
+    EXPECT_TRUE(spec.independentDvfs);
+    EXPECT_TRUE(spec.perCoreDvfs);
+    EXPECT_EQ(spec.efficiencyCores, 4u);
+    EXPECT_EQ(spec.pStatesMhz.size(), 5u);
+    EXPECT_GT(spec.dynamicRangeW(), 100.0);
+}
+
+TEST(FutureServer, EfficiencyCoresNeverExceedTheCap)
+{
+    const MachineSpec spec =
+        machineSpecFor(MachineClass::FutureServer);
+    const double cap =
+        spec.pStatesMhz[spec.pStatesMhz.size() / 2];
+    DvfsGovernor governor(spec, Rng(1));
+    Rng util_rng(2);
+    for (int t = 0; t < 500; ++t) {
+        std::vector<double> utils(spec.numCores);
+        for (auto &u : utils)
+            u = util_rng.uniform();
+        const auto freqs = governor.step(utils);
+        for (size_t c = spec.numCores - spec.efficiencyCores;
+             c < spec.numCores; ++c) {
+            EXPECT_LE(freqs[c], cap) << "core " << c;
+        }
+    }
+}
+
+TEST(FutureServer, PerformanceCoresCanReachTop)
+{
+    const MachineSpec spec =
+        machineSpecFor(MachineClass::FutureServer);
+    DvfsGovernor governor(spec, Rng(3));
+    const std::vector<double> busy(spec.numCores, 0.95);
+    std::vector<double> freqs;
+    for (int t = 0; t < 10; ++t)
+        freqs = governor.step(busy);  // Gradual ramp to the top.
+    EXPECT_DOUBLE_EQ(freqs[0], spec.maxFrequencyMhz());
+}
+
+TEST(FutureServer, RampIsGradualOneStatePerSecond)
+{
+    const MachineSpec spec =
+        machineSpecFor(MachineClass::FutureServer);
+    DvfsGovernor governor(spec, Rng(4));
+    // Drive to the bottom first.
+    const std::vector<double> idle(spec.numCores, 0.05);
+    for (int t = 0; t < 10; ++t)
+        governor.step(idle);
+    // One busy second moves at most one P-state up.
+    const std::vector<double> busy(spec.numCores, 0.95);
+    const auto freqs = governor.step(busy);
+    EXPECT_LE(freqs[0], spec.pStatesMhz[1]);
+}
+
+TEST(FutureServer, CoreFrequenciesDecorrelateUnderLoad)
+{
+    // The paper's prediction: less than 80% correlation on fully
+    // independent platforms (2012 servers: ~95%+).
+    Machine machine(machineSpecFor(MachineClass::FutureServer), 0, 5);
+    Rng demand_rng(6);
+    std::vector<double> core0, core3;
+    for (int t = 0; t < 2500; ++t) {
+        ActivityDemand demand;
+        demand.cpuCoreSeconds = demand_rng.uniform(0.0, 8.0);
+        const MachineTick tick = machine.step(demand);
+        core0.push_back(tick.state.coreFrequencyMhz[0]);
+        core3.push_back(tick.state.coreFrequencyMhz[3]);
+    }
+    EXPECT_LT(pearson(core0, core3), 0.80);
+}
+
+TEST(FutureServer, CorePackingConcentratesWork)
+{
+    // The energy-aware scheduler fills whole cores before spilling,
+    // so at half load some cores are saturated and others idle.
+    Machine machine(machineSpecFor(MachineClass::FutureServer), 0, 7);
+    ActivityDemand demand;
+    demand.cpuCoreSeconds = 4.0;  // Half of 8 cores.
+    const MachineTick tick = machine.step(demand);
+    int saturated = 0, idle = 0;
+    for (double u : tick.state.coreUtilization) {
+        if (u > 0.9)
+            ++saturated;
+        if (u < 0.1)
+            ++idle;
+    }
+    EXPECT_GE(saturated, 3);
+    EXPECT_GE(idle, 3);
+}
+
+} // namespace
+} // namespace chaos

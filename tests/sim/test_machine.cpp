@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the Machine: demand-to-state conversion, OS state
+ * dynamics, and run resets.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+
+namespace chaos {
+namespace {
+
+ActivityDemand
+busyDemand()
+{
+    ActivityDemand demand;
+    demand.cpuCoreSeconds = 2.0;
+    demand.diskReadBytes = 40e6;
+    demand.diskWriteBytes = 10e6;
+    demand.netRxBytes = 20e6;
+    demand.netTxBytes = 5e6;
+    demand.workingSetBytes = 1.5e9;
+    demand.memIntensity = 0.5;
+    demand.fsCacheOps = 500.0;
+    return demand;
+}
+
+TEST(Machine, UtilizationStaysInUnitRange)
+{
+    Machine machine(machineSpecFor(MachineClass::Core2), 0, 1);
+    for (int t = 0; t < 50; ++t) {
+        ActivityDemand demand;
+        demand.cpuCoreSeconds = (t % 5) * 1.0;  // 0..4 > numCores.
+        const MachineTick tick = machine.step(demand);
+        for (double u : tick.state.coreUtilization) {
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST(Machine, SaturatedCpuDemandLoadsAllCores)
+{
+    Machine machine(machineSpecFor(MachineClass::Core2), 0, 2);
+    ActivityDemand demand;
+    demand.cpuCoreSeconds = 10.0;  // Far beyond 2 cores.
+    MachineTick tick;
+    for (int t = 0; t < 5; ++t)
+        tick = machine.step(demand);
+    for (double u : tick.state.coreUtilization)
+        EXPECT_GT(u, 0.6);
+}
+
+TEST(Machine, IdleDemandYieldsNearIdlePower)
+{
+    Machine machine(machineSpecFor(MachineClass::Athlon), 0, 3);
+    MachineTick tick;
+    for (int t = 0; t < 20; ++t)
+        tick = machine.step(ActivityDemand{});
+    EXPECT_LT(tick.truePowerW,
+              machine.idlePowerW() +
+                  0.25 * (machine.maxPowerW() - machine.idlePowerW()));
+}
+
+TEST(Machine, BusyDemandRaisesPower)
+{
+    Machine machine(machineSpecFor(MachineClass::Athlon), 0, 4);
+    double idle_power = 0.0;
+    for (int t = 0; t < 10; ++t)
+        idle_power = machine.step(ActivityDemand{}).truePowerW;
+    double busy_power = 0.0;
+    for (int t = 0; t < 10; ++t)
+        busy_power = machine.step(busyDemand()).truePowerW;
+    EXPECT_GT(busy_power, idle_power + 5.0);
+}
+
+TEST(Machine, CommittedBytesTrackWorkingSet)
+{
+    Machine machine(machineSpecFor(MachineClass::Core2), 0, 5);
+    ActivityDemand demand;
+    demand.workingSetBytes = 2.0e9;
+    double committed = 0.0;
+    for (int t = 0; t < 40; ++t)
+        committed = machine.step(demand).state.committedBytes;
+    EXPECT_NEAR(committed, 2.35e9, 0.25e9);
+}
+
+TEST(Machine, PageFilePeakIsMonotoneWithinRun)
+{
+    Machine machine(machineSpecFor(MachineClass::Core2), 0, 6);
+    double prev_peak = 0.0;
+    for (int t = 0; t < 30; ++t) {
+        ActivityDemand demand;
+        demand.workingSetBytes = (t % 7) * 0.3e9;
+        const double peak =
+            machine.step(demand).state.pageFileBytesPeak;
+        EXPECT_GE(peak, prev_peak);
+        prev_peak = peak;
+    }
+}
+
+TEST(Machine, ResetRunStateClearsPeakButNotUptime)
+{
+    Machine machine(machineSpecFor(MachineClass::Core2), 0, 7);
+    ActivityDemand demand;
+    demand.workingSetBytes = 2.5e9;
+    MachineTick tick;
+    for (int t = 0; t < 30; ++t)
+        tick = machine.step(demand);
+    const double peak_before = tick.state.pageFileBytesPeak;
+    const double uptime_before = tick.state.uptimeSeconds;
+
+    machine.resetRunState();
+    tick = machine.step(ActivityDemand{});
+    EXPECT_LT(tick.state.pageFileBytesPeak, peak_before);
+    EXPECT_DOUBLE_EQ(tick.state.timeSeconds, 0.0);
+    EXPECT_GT(tick.state.uptimeSeconds, uptime_before);
+}
+
+TEST(Machine, DiskTrafficIsCappedByBandwidth)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    Machine machine(spec, 0, 8);
+    ActivityDemand demand;
+    demand.diskReadBytes = 10e9;  // Way beyond one SSD.
+    const MachineTick tick = machine.step(demand);
+    EXPECT_LE(tick.state.totalDiskBytes(),
+              spec.numDisks * spec.diskBandwidthMBs * 1e6 * 1.01);
+    for (const auto &disk : tick.state.disks) {
+        EXPECT_GE(disk.utilization, 0.0);
+        EXPECT_LE(disk.utilization, 1.0);
+    }
+}
+
+TEST(Machine, RandomAccessCreatesSeeksOnHddOnly)
+{
+    ActivityDemand demand;
+    demand.diskReadBytes = 30e6;
+    demand.diskRandomFraction = 0.8;
+
+    Machine hdd(machineSpecFor(MachineClass::XeonSas), 0, 9);
+    double hdd_seeks = 0.0;
+    for (const auto &disk : hdd.step(demand).state.disks)
+        hdd_seeks += disk.seekRate;
+    EXPECT_GT(hdd_seeks, 0.0);
+
+    Machine ssd(machineSpecFor(MachineClass::Core2), 0, 10);
+    double ssd_seeks = 0.0;
+    for (const auto &disk : ssd.step(demand).state.disks)
+        ssd_seeks += disk.seekRate;
+    EXPECT_DOUBLE_EQ(ssd_seeks, 0.0);
+}
+
+TEST(Machine, NetworkIsCappedAtLineRate)
+{
+    Machine machine(machineSpecFor(MachineClass::Core2), 0, 11);
+    ActivityDemand demand;
+    demand.netRxBytes = 1e9;
+    demand.netTxBytes = 1e9;
+    const MachineTick tick = machine.step(demand);
+    EXPECT_LE(tick.state.netRxBytes, 125e6);
+    EXPECT_LE(tick.state.netTxBytes, 125e6);
+}
+
+TEST(Machine, SameSeedReproducesSamePowerTrace)
+{
+    Machine a(machineSpecFor(MachineClass::Opteron), 0, 12);
+    Machine b(machineSpecFor(MachineClass::Opteron), 0, 12);
+    for (int t = 0; t < 30; ++t) {
+        const auto ta = a.step(busyDemand());
+        const auto tb = b.step(busyDemand());
+        ASSERT_DOUBLE_EQ(ta.truePowerW, tb.truePowerW);
+    }
+}
+
+TEST(Machine, DifferentSeedsRealizeDifferentMachines)
+{
+    Machine a(machineSpecFor(MachineClass::Opteron), 0, 13);
+    Machine b(machineSpecFor(MachineClass::Opteron), 1, 14);
+    EXPECT_NE(a.idlePowerW(), b.idlePowerW());
+}
+
+TEST(ActivityDemand, AdditionAccumulates)
+{
+    ActivityDemand a = busyDemand();
+    ActivityDemand b = busyDemand();
+    a += b;
+    EXPECT_DOUBLE_EQ(a.cpuCoreSeconds, 4.0);
+    EXPECT_DOUBLE_EQ(a.diskReadBytes, 80e6);
+    EXPECT_DOUBLE_EQ(a.netTxBytes, 10e6);
+    // Memory pressure composes as a union, staying below 1.
+    EXPECT_GT(a.memIntensity, 0.5);
+    EXPECT_LE(a.memIntensity, 1.0);
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests that the platform specs reproduce the paper's Table I.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/machine_spec.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(MachineSpec, SixClassesInPaperOrder)
+{
+    const auto &classes = allMachineClasses();
+    ASSERT_EQ(classes.size(), 6u);
+    EXPECT_EQ(machineClassName(classes[0]), "Atom");
+    EXPECT_EQ(machineClassName(classes[5]), "XeonSAS");
+}
+
+TEST(MachineSpec, NameRoundTrip)
+{
+    for (MachineClass mc : allMachineClasses())
+        EXPECT_EQ(machineClassFromName(machineClassName(mc)), mc);
+}
+
+TEST(MachineSpec, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(machineClassFromName("Pentium"),
+                ::testing::ExitedWithCode(1), "unknown machine class");
+}
+
+TEST(MachineSpec, TableIPowerEnvelopes)
+{
+    // Table I "Power Range" column.
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::Atom).idlePowerW, 22);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::Atom).maxPowerW, 26);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::Core2).idlePowerW, 25);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::Core2).maxPowerW, 46);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::Athlon).idlePowerW, 54);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::Athlon).maxPowerW, 104);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::Opteron).idlePowerW,
+                     135);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::Opteron).maxPowerW,
+                     190);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::XeonSata).idlePowerW,
+                     250);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::XeonSata).maxPowerW,
+                     375);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::XeonSas).idlePowerW,
+                     260);
+    EXPECT_DOUBLE_EQ(machineSpecFor(MachineClass::XeonSas).maxPowerW,
+                     380);
+}
+
+TEST(MachineSpec, AtomHasNoDvfs)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Atom);
+    EXPECT_FALSE(spec.hasDvfs);
+    EXPECT_FALSE(spec.hasC1);
+    EXPECT_EQ(spec.pStatesMhz.size(), 1u);
+    EXPECT_EQ(spec.numCores, 2u);
+}
+
+TEST(MachineSpec, ServersHavePerCoreDvfsAndC1)
+{
+    for (MachineClass mc : {MachineClass::Opteron,
+                            MachineClass::XeonSata,
+                            MachineClass::XeonSas}) {
+        const MachineSpec spec = machineSpecFor(mc);
+        EXPECT_TRUE(spec.perCoreDvfs) << spec.name;
+        EXPECT_TRUE(spec.hasC1) << spec.name;
+        EXPECT_EQ(spec.numCores, 8u) << spec.name;  // Dual socket x4.
+        EXPECT_GE(spec.pStateDivergence, 0.12) << spec.name;
+    }
+}
+
+TEST(MachineSpec, MobileAndDesktopHavePackageDvfs)
+{
+    for (MachineClass mc : {MachineClass::Core2, MachineClass::Athlon}) {
+        const MachineSpec spec = machineSpecFor(mc);
+        EXPECT_TRUE(spec.hasDvfs) << spec.name;
+        EXPECT_FALSE(spec.perCoreDvfs) << spec.name;
+        // Cores agree 99.8% of the time -> divergence 0.2%.
+        EXPECT_NEAR(spec.pStateDivergence, 0.002, 1e-9) << spec.name;
+    }
+}
+
+TEST(MachineSpec, DiskConfigurationsMatchTableI)
+{
+    EXPECT_EQ(machineSpecFor(MachineClass::Atom).numDisks, 1u);
+    EXPECT_EQ(machineSpecFor(MachineClass::Atom).diskType,
+              DiskType::Ssd);
+    EXPECT_EQ(machineSpecFor(MachineClass::Opteron).numDisks, 2u);
+    EXPECT_EQ(machineSpecFor(MachineClass::Opteron).diskType,
+              DiskType::Sata10k);
+    EXPECT_EQ(machineSpecFor(MachineClass::XeonSata).numDisks, 4u);
+    EXPECT_EQ(machineSpecFor(MachineClass::XeonSas).numDisks, 6u);
+    EXPECT_EQ(machineSpecFor(MachineClass::XeonSas).diskType,
+              DiskType::Sas15k);
+}
+
+class AllSpecsTest : public ::testing::TestWithParam<MachineClass>
+{
+};
+
+TEST_P(AllSpecsTest, InvariantsHold)
+{
+    const MachineSpec spec = machineSpecFor(GetParam());
+    EXPECT_GT(spec.dynamicRangeW(), 0.0);
+    EXPECT_GE(spec.numCores, 2u);
+    EXPECT_GE(spec.numDisks, 1u);
+    EXPECT_FALSE(spec.pStatesMhz.empty());
+    // P-states ascend.
+    for (size_t i = 1; i < spec.pStatesMhz.size(); ++i)
+        EXPECT_LT(spec.pStatesMhz[i - 1], spec.pStatesMhz[i]);
+    EXPECT_DOUBLE_EQ(spec.maxFrequencyMhz(), spec.pStatesMhz.back());
+    EXPECT_DOUBLE_EQ(spec.minFrequencyMhz(), spec.pStatesMhz.front());
+    // Component power shares sum to ~1.
+    EXPECT_NEAR(spec.cpuPowerShare + spec.memPowerShare +
+                    spec.diskPowerShare + spec.netPowerShare,
+                1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, AllSpecsTest,
+    ::testing::ValuesIn(allMachineClasses()),
+    [](const ::testing::TestParamInfo<MachineClass> &info) {
+        return machineClassName(info.param);
+    });
+
+} // namespace
+} // namespace chaos

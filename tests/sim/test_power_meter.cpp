@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the WattsUp-style power meter model.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/power_meter.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(PowerMeter, ReadingsAreQuantizedToTenths)
+{
+    PowerMeter meter(Rng(1));
+    for (int i = 0; i < 100; ++i) {
+        const double reading = meter.sample(123.456);
+        const double tenths = reading * 10.0;
+        EXPECT_NEAR(tenths, std::round(tenths), 1e-9);
+    }
+}
+
+TEST(PowerMeter, CalibrationGainWithinAccuracySpec)
+{
+    // Gain drawn within +/- accuracy (clamped at 2 sigma of acc/2).
+    for (uint64_t seed = 0; seed < 50; ++seed) {
+        PowerMeter meter(Rng(seed), 0.015);
+        EXPECT_GE(meter.gain(), 1.0 - 0.015);
+        EXPECT_LE(meter.gain(), 1.0 + 0.015);
+    }
+}
+
+TEST(PowerMeter, MetersDifferFromEachOther)
+{
+    PowerMeter a{Rng(1)};
+    PowerMeter b{Rng(2)};
+    EXPECT_NE(a.gain(), b.gain());
+}
+
+TEST(PowerMeter, MeanReadingTracksTruePowerTimesGain)
+{
+    PowerMeter meter(Rng(3));
+    const double truth = 200.0;
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        sum += meter.sample(truth);
+    EXPECT_NEAR(sum / n, truth * meter.gain(), 0.5);
+}
+
+TEST(PowerMeter, PerSampleNoiseIsSmall)
+{
+    PowerMeter meter(Rng(4));
+    const double truth = 300.0;
+    double min_r = 1e9, max_r = -1e9;
+    for (int i = 0; i < 1000; ++i) {
+        const double r = meter.sample(truth);
+        min_r = std::min(min_r, r);
+        max_r = std::max(max_r, r);
+    }
+    // 0.3% per-sample noise: spread well under 3% of reading.
+    EXPECT_LT(max_r - min_r, 0.03 * truth);
+}
+
+TEST(PowerMeter, NeverReturnsNegative)
+{
+    PowerMeter meter(Rng(5));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_GE(meter.sample(0.01), 0.0);
+}
+
+} // namespace
+} // namespace chaos

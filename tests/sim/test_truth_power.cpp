@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the ground-truth power model: envelope fidelity,
+ * monotonicity, nonlinearity, and machine-to-machine variation.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/truth_power.hpp"
+
+namespace chaos {
+namespace {
+
+MachineState
+stateFor(const MachineSpec &spec, double util, double freq_rel,
+         double disk_util = 0.0, double net = 0.0, double mem = 0.0)
+{
+    MachineState state;
+    state.coreUtilization.assign(spec.numCores, util);
+    state.coreFrequencyMhz.assign(
+        spec.numCores, spec.maxFrequencyMhz() * freq_rel);
+    state.disks.resize(spec.numDisks);
+    for (auto &disk : state.disks) {
+        disk.utilization = disk_util;
+        disk.readBytes = disk_util * spec.diskBandwidthMBs * 1e6;
+    }
+    state.netRxBytes = net;
+    state.netTxBytes = net;
+    state.memIntensity = mem;
+    return state;
+}
+
+class TruthPowerTest : public ::testing::TestWithParam<MachineClass>
+{
+  protected:
+    MachineSpec spec = machineSpecFor(GetParam());
+    TruthPowerModel truth{spec, Rng(42)};
+};
+
+TEST_P(TruthPowerTest, IdlePowerNearEnvelopeBottom)
+{
+    const double idle =
+        truth.deterministicPower(stateFor(spec, 0.0, 1.0));
+    // Realized idle varies by a few percent around the spec value
+    // (machine variation), plus a small frequency-floor component.
+    EXPECT_GT(idle, spec.idlePowerW * 0.90);
+    EXPECT_LT(idle, spec.idlePowerW + 0.25 * spec.dynamicRangeW());
+}
+
+TEST_P(TruthPowerTest, FullLoadApproachesEnvelopeTop)
+{
+    const double full = truth.deterministicPower(
+        stateFor(spec, 1.0, 1.0, 1.0, 125e6, 1.0));
+    EXPECT_GT(full, spec.idlePowerW + 0.65 * spec.dynamicRangeW());
+    EXPECT_LT(full, spec.maxPowerW * 1.15);
+}
+
+TEST_P(TruthPowerTest, PowerIsMonotoneInUtilization)
+{
+    double prev = -1.0;
+    for (double u = 0.0; u <= 1.0; u += 0.1) {
+        const double p =
+            truth.deterministicPower(stateFor(spec, u, 1.0));
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST_P(TruthPowerTest, InstanceEnvelopeIsConsistent)
+{
+    EXPECT_GT(truth.maxPowerW(), truth.idlePowerW());
+    // Realized envelope within ~15% of the spec envelope.
+    EXPECT_NEAR(truth.idlePowerW(), spec.idlePowerW,
+                0.15 * spec.idlePowerW);
+    EXPECT_NEAR(truth.maxPowerW(), spec.maxPowerW,
+                0.15 * spec.maxPowerW);
+}
+
+TEST_P(TruthPowerTest, StepAddsBoundedNoise)
+{
+    const MachineState state = stateFor(spec, 0.5, 1.0);
+    const double deterministic = truth.deterministicPower(state);
+    double max_dev = 0.0;
+    TruthPowerModel noisy(spec, Rng(42));
+    for (int i = 0; i < 200; ++i) {
+        max_dev = std::max(
+            max_dev, std::fabs(noisy.step(state) - deterministic));
+    }
+    EXPECT_GT(max_dev, 0.0);
+    // Noise + hidden-mix wander stays well inside the dynamic range.
+    EXPECT_LT(max_dev, 0.35 * spec.dynamicRangeW());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, TruthPowerTest,
+    ::testing::ValuesIn(allMachineClasses()),
+    [](const ::testing::TestParamInfo<MachineClass> &info) {
+        return machineClassName(info.param);
+    });
+
+TEST(TruthPower, FrequencyScalingInteractsWithUtilization)
+{
+    // The power cost of utilization must depend on frequency — the
+    // nonlinearity that motivates quadratic/switching models on DVFS
+    // platforms (paper Fig. 4).
+    const MachineSpec spec = machineSpecFor(MachineClass::Athlon);
+    TruthPowerModel truth(spec, Rng(7));
+
+    const double low_f_delta =
+        truth.deterministicPower(stateFor(spec, 1.0, 0.3)) -
+        truth.deterministicPower(stateFor(spec, 0.0, 0.3));
+    const double high_f_delta =
+        truth.deterministicPower(stateFor(spec, 1.0, 1.0)) -
+        truth.deterministicPower(stateFor(spec, 0.0, 1.0));
+    EXPECT_GT(high_f_delta, 1.5 * low_f_delta);
+}
+
+TEST(TruthPower, ConvexResponseUnderpredictsTopForLinearFit)
+{
+    // AC power is convex in aggregate activity: the midpoint power
+    // lies below the chord between idle and full load (why linear
+    // models clip the top of the range, paper Fig. 5).
+    const MachineSpec spec = machineSpecFor(MachineClass::Athlon);
+    TruthPowerModel truth(spec, Rng(8));
+    const double p0 =
+        truth.deterministicPower(stateFor(spec, 0.0, 1.0));
+    const double p_half =
+        truth.deterministicPower(stateFor(spec, 0.5, 1.0));
+    const double p1 =
+        truth.deterministicPower(stateFor(spec, 1.0, 1.0));
+    EXPECT_LT(p_half, 0.5 * (p0 + p1));
+}
+
+TEST(TruthPower, C1StateSavesPowerOnServers)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Opteron);
+    TruthPowerModel truth(spec, Rng(9));
+    MachineState idle = stateFor(spec, 0.0, 0.5);
+    const double awake = truth.deterministicPower(idle);
+    idle.inC1 = true;
+    const double sleeping = truth.deterministicPower(idle);
+    EXPECT_LT(sleeping, awake);
+}
+
+TEST(TruthPower, MachineToMachineVariationWithinTenPercent)
+{
+    // Paper Section III-B: identical machines vary by up to ~10%.
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    std::vector<double> idles, fulls;
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+        TruthPowerModel truth(spec, Rng(1000 + seed));
+        idles.push_back(
+            truth.deterministicPower(stateFor(spec, 0.0, 1.0)));
+        fulls.push_back(truth.deterministicPower(
+            stateFor(spec, 1.0, 1.0, 1.0, 125e6, 1.0)));
+    }
+    auto spread = [](const std::vector<double> &v) {
+        double lo = v[0], hi = v[0];
+        for (double x : v) {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+        return (hi - lo) / lo;
+    };
+    EXPECT_GT(spread(idles), 0.01);   // Variation exists...
+    EXPECT_LT(spread(idles), 0.20);   // ...but is bounded.
+    EXPECT_GT(spread(fulls), 0.01);
+    EXPECT_LT(spread(fulls), 0.20);
+}
+
+TEST(TruthPower, DiskActivityRaisesPowerMoreOnDiskHeavyPlatforms)
+{
+    const MachineSpec xeon = machineSpecFor(MachineClass::XeonSas);
+    const MachineSpec mobile = machineSpecFor(MachineClass::Core2);
+    TruthPowerModel truth_xeon(xeon, Rng(10));
+    TruthPowerModel truth_mobile(mobile, Rng(10));
+
+    auto disk_delta = [](TruthPowerModel &truth,
+                         const MachineSpec &spec) {
+        const double quiet =
+            truth.deterministicPower(stateFor(spec, 0.3, 1.0, 0.0));
+        const double busy =
+            truth.deterministicPower(stateFor(spec, 0.3, 1.0, 1.0));
+        return (busy - quiet) / spec.dynamicRangeW();
+    };
+    EXPECT_GT(disk_delta(truth_xeon, xeon),
+              disk_delta(truth_mobile, mobile));
+}
+
+TEST(TruthPower, WrongCoreCountPanics)
+{
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    TruthPowerModel truth(spec, Rng(11));
+    MachineState bad;
+    bad.coreUtilization = {0.5};
+    bad.coreFrequencyMhz = {2260.0};
+    EXPECT_DEATH(truth.deterministicPower(bad), "wrong core count");
+}
+
+} // namespace
+} // namespace chaos

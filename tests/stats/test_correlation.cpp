@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for Pearson correlation (step 1 of Algorithm 1 relies on it).
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Pearson, PerfectPositiveAndNegative)
+{
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> y{2, 4, 6, 8};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    const std::vector<double> z{8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant)
+{
+    Rng rng(1);
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back(rng.normal());
+        y.push_back(0.5 * x.back() + rng.normal());
+    }
+    const double base = pearson(x, y);
+    std::vector<double> x2(x);
+    for (auto &v : x2)
+        v = 100.0 + 7.0 * v;
+    EXPECT_NEAR(pearson(x2, y), base, 1e-12);
+}
+
+TEST(Pearson, ConstantVectorGivesZero)
+{
+    const std::vector<double> c{5, 5, 5, 5};
+    const std::vector<double> y{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(pearson(c, y), 0.0);
+}
+
+TEST(Pearson, IndependentVariablesNearZero)
+{
+    Rng rng(2);
+    std::vector<double> x, y;
+    for (int i = 0; i < 20000; ++i) {
+        x.push_back(rng.normal());
+        y.push_back(rng.normal());
+    }
+    EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, LengthMismatchPanics)
+{
+    EXPECT_DEATH(pearson({1, 2}, {1, 2, 3}), "length mismatch");
+}
+
+TEST(CorrelationMatrix, DiagonalIsOneAndSymmetric)
+{
+    Rng rng(3);
+    Matrix x(100, 4);
+    for (size_t r = 0; r < 100; ++r) {
+        for (size_t c = 0; c < 4; ++c)
+            x(r, c) = rng.normal();
+    }
+    const Matrix corr = correlationMatrix(x);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(corr(i, i), 1.0);
+        for (size_t j = 0; j < 4; ++j) {
+            EXPECT_DOUBLE_EQ(corr(i, j), corr(j, i));
+            EXPECT_LE(std::fabs(corr(i, j)), 1.0 + 1e-12);
+        }
+    }
+}
+
+TEST(CorrelationMatrix, MatchesPairwisePearson)
+{
+    Rng rng(4);
+    const size_t n = 300, p = 5;
+    Matrix x(n, p);
+    for (size_t r = 0; r < n; ++r) {
+        x(r, 0) = rng.normal();
+        x(r, 1) = x(r, 0) * 2.0 + rng.normal(0, 0.1);
+        x(r, 2) = rng.normal();
+        x(r, 3) = -x(r, 2) + rng.normal(0, 0.5);
+        x(r, 4) = rng.uniform();
+    }
+    const Matrix corr = correlationMatrix(x);
+    for (size_t i = 0; i < p; ++i) {
+        for (size_t j = 0; j < p; ++j) {
+            EXPECT_NEAR(corr(i, j),
+                        pearson(x.column(i), x.column(j)), 1e-10);
+        }
+    }
+}
+
+TEST(CorrelationMatrix, HighlyCorrelatedSiblingsExceedThreshold)
+{
+    // The scenario step 1 of Algorithm 1 prunes: a scaled noisy copy.
+    Rng rng(5);
+    const size_t n = 1000;
+    Matrix x(n, 2);
+    for (size_t r = 0; r < n; ++r) {
+        x(r, 0) = rng.uniform(0, 100);
+        x(r, 1) = 3.0 * x(r, 0) * rng.uniform(0.98, 1.02);
+    }
+    const Matrix corr = correlationMatrix(x);
+    EXPECT_GT(corr(0, 1), 0.95);
+}
+
+} // namespace
+} // namespace chaos

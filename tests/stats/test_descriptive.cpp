@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for descriptive statistics.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Descriptive, MeanAndVariance)
+{
+    const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyMeanPanics)
+{
+    EXPECT_DEATH(mean({}), "empty");
+}
+
+TEST(Descriptive, VarianceOfSingletonIsZero)
+{
+    EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+}
+
+TEST(Descriptive, MinMax)
+{
+    const std::vector<double> v{3, -1, 7, 2};
+    EXPECT_DOUBLE_EQ(minValue(v), -1.0);
+    EXPECT_DOUBLE_EQ(maxValue(v), 7.0);
+}
+
+TEST(Descriptive, MedianOddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median({5}), 5.0);
+}
+
+TEST(Descriptive, QuantileInterpolates)
+{
+    const std::vector<double> v{0, 10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 20.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.1), 4.0);
+}
+
+TEST(Descriptive, QuantileOutOfRangePanics)
+{
+    EXPECT_DEATH(quantile({1.0, 2.0}, 1.5), "q in");
+}
+
+TEST(Descriptive, DistinctSortedMergesNearValues)
+{
+    const auto out =
+        distinctSorted({3.0, 1.0, 1.0 + 1e-12, 2.0, 3.0}, 1e-9);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 2.0);
+    EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(Descriptive, DistinctSortedWithTolerance)
+{
+    const auto out = distinctSorted({800, 805, 1600, 2260}, 10.0);
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(RunningStats, MatchesBatchStatistics)
+{
+    Rng rng(3);
+    std::vector<double> values;
+    RunningStats rs;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.normal(10.0, 3.0);
+        values.push_back(v);
+        rs.add(v);
+    }
+    EXPECT_EQ(rs.count(), values.size());
+    EXPECT_NEAR(rs.mean(), mean(values), 1e-9);
+    EXPECT_NEAR(rs.variance(), variance(values), 1e-6);
+    EXPECT_DOUBLE_EQ(rs.min(), minValue(values));
+    EXPECT_DOUBLE_EQ(rs.max(), maxValue(values));
+}
+
+TEST(RunningStats, EmptyIsSafe)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats rs;
+    rs.add(5.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+} // namespace
+} // namespace chaos

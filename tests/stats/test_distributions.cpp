@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for the normal-distribution helpers behind the Wald test.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(NormalPdf, KnownValues)
+{
+    EXPECT_NEAR(normalPdf(0.0), 0.3989422804014327, 1e-12);
+    EXPECT_NEAR(normalPdf(1.0), 0.24197072451914337, 1e-12);
+    EXPECT_NEAR(normalPdf(-1.0), normalPdf(1.0), 1e-15);
+}
+
+TEST(NormalCdf, KnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.959963985), 0.975, 1e-6);
+    EXPECT_NEAR(normalCdf(-1.959963985), 0.025, 1e-6);
+    EXPECT_NEAR(normalCdf(5.0), 1.0, 1e-6);
+}
+
+TEST(NormalCdf, MonotoneIncreasing)
+{
+    double prev = 0.0;
+    for (double z = -4.0; z <= 4.0; z += 0.25) {
+        const double value = normalCdf(z);
+        EXPECT_GT(value, prev);
+        prev = value;
+    }
+}
+
+TEST(WaldPValue, TwoSidedAtCriticalValues)
+{
+    EXPECT_NEAR(waldPValue(1.959963985), 0.05, 1e-6);
+    EXPECT_NEAR(waldPValue(-1.959963985), 0.05, 1e-6);
+    EXPECT_NEAR(waldPValue(0.0), 1.0, 1e-12);
+    EXPECT_LT(waldPValue(10.0), 1e-20);
+}
+
+TEST(WaldPValue, SymmetricInSign)
+{
+    for (double z = 0.0; z < 5.0; z += 0.5)
+        EXPECT_DOUBLE_EQ(waldPValue(z), waldPValue(-z));
+}
+
+TEST(WaldPValue, ConsistentWithCdf)
+{
+    for (double z = 0.1; z < 4.0; z += 0.3) {
+        EXPECT_NEAR(waldPValue(z), 2.0 * (1.0 - normalCdf(z)), 1e-10);
+    }
+}
+
+} // namespace
+} // namespace chaos

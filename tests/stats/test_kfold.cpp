@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for k-fold splitting: partition properties and the grouped
+ * (run-aware) variants the paper's protocol requires.
+ */
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/kfold.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(KFold, FoldsPartitionAllRows)
+{
+    Rng rng(1);
+    const size_t n = 103, k = 5;
+    const auto folds = kFold(n, k, rng);
+    ASSERT_EQ(folds.size(), k);
+
+    std::set<size_t> all_test;
+    for (const auto &fold : folds) {
+        EXPECT_EQ(fold.trainIndices.size() + fold.testIndices.size(),
+                  n);
+        for (size_t idx : fold.testIndices) {
+            EXPECT_TRUE(all_test.insert(idx).second)
+                << "row " << idx << " tested twice";
+        }
+        // Train and test are disjoint.
+        std::set<size_t> train(fold.trainIndices.begin(),
+                               fold.trainIndices.end());
+        for (size_t idx : fold.testIndices)
+            EXPECT_FALSE(train.count(idx));
+    }
+    EXPECT_EQ(all_test.size(), n);
+}
+
+TEST(KFold, FoldSizesAreBalanced)
+{
+    Rng rng(2);
+    const auto folds = kFold(100, 5, rng);
+    for (const auto &fold : folds)
+        EXPECT_EQ(fold.testIndices.size(), 20u);
+}
+
+TEST(KFold, InvalidParametersPanic)
+{
+    Rng rng(3);
+    EXPECT_DEATH(kFold(10, 1, rng), "k >= 2");
+    EXPECT_DEATH(kFold(3, 5, rng), "k <= numRows");
+}
+
+class GroupedKFoldTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(GroupedKFoldTest, GroupsNeverSplitAcrossTrainAndTest)
+{
+    Rng rng(40 + GetParam());
+    // 10 groups of uneven sizes.
+    std::vector<int> groups;
+    for (int g = 0; g < 10; ++g) {
+        for (int i = 0; i < 5 + g; ++i)
+            groups.push_back(g);
+    }
+    const auto folds = groupedKFold(groups, GetParam(), rng);
+    for (const auto &fold : folds) {
+        std::set<int> test_groups, train_groups;
+        for (size_t idx : fold.testIndices)
+            test_groups.insert(groups[idx]);
+        for (size_t idx : fold.trainIndices)
+            train_groups.insert(groups[idx]);
+        for (int g : test_groups)
+            EXPECT_FALSE(train_groups.count(g))
+                << "group " << g << " split across the fold";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FoldCounts, GroupedKFoldTest,
+                         ::testing::Values(2, 3, 5));
+
+TEST(GroupedKFold, EveryGroupTestedExactlyOnce)
+{
+    Rng rng(5);
+    std::vector<int> groups;
+    for (int g = 0; g < 6; ++g) {
+        for (int i = 0; i < 4; ++i)
+            groups.push_back(g * 11);  // Non-contiguous ids.
+    }
+    const auto folds = groupedKFold(groups, 3, rng);
+    std::multiset<int> tested;
+    for (const auto &fold : folds) {
+        std::set<int> fold_groups;
+        for (size_t idx : fold.testIndices)
+            fold_groups.insert(groups[idx]);
+        for (int g : fold_groups)
+            tested.insert(g);
+    }
+    for (int g = 0; g < 6; ++g)
+        EXPECT_EQ(tested.count(g * 11), 1u);
+}
+
+TEST(GroupedKFold, ReducesFoldsWhenGroupsAreScarce)
+{
+    Rng rng(6);
+    const std::vector<int> groups{0, 0, 1, 1, 2, 2};
+    const auto folds = groupedKFold(groups, 5, rng);
+    EXPECT_EQ(folds.size(), 3u);
+}
+
+TEST(GroupedKFold, SingleGroupPanics)
+{
+    Rng rng(7);
+    const std::vector<int> groups{0, 0, 0};
+    EXPECT_DEATH(groupedKFold(groups, 2, rng), "at least 2");
+}
+
+TEST(GroupedHoldout, RespectsTrainFractionAtGroupGranularity)
+{
+    Rng rng(8);
+    std::vector<int> groups;
+    for (int g = 0; g < 10; ++g) {
+        for (int i = 0; i < 10; ++i)
+            groups.push_back(g);
+    }
+    const auto split = groupedHoldout(groups, 0.2, rng);
+    EXPECT_EQ(split.trainIndices.size(), 20u);  // 2 of 10 groups.
+    EXPECT_EQ(split.testIndices.size(), 80u);
+
+    std::set<int> train_groups, test_groups;
+    for (size_t idx : split.trainIndices)
+        train_groups.insert(groups[idx]);
+    for (size_t idx : split.testIndices)
+        test_groups.insert(groups[idx]);
+    for (int g : train_groups)
+        EXPECT_FALSE(test_groups.count(g));
+}
+
+TEST(GroupedHoldout, AlwaysKeepsBothSidesNonEmpty)
+{
+    Rng rng(9);
+    const std::vector<int> groups{0, 1};
+    const auto split = groupedHoldout(groups, 0.01, rng);
+    EXPECT_FALSE(split.trainIndices.empty());
+    EXPECT_FALSE(split.testIndices.empty());
+}
+
+TEST(GroupedHoldout, InvalidFractionPanics)
+{
+    Rng rng(10);
+    const std::vector<int> groups{0, 1};
+    EXPECT_DEATH(groupedHoldout(groups, 0.0, rng), "trainFraction");
+    EXPECT_DEATH(groupedHoldout(groups, 1.0, rng), "trainFraction");
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the error metrics, including the paper's Dynamic Range
+ * Error (Eq. 6) and its key property: platform-independence.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/metrics.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Metrics, PerfectPredictionIsZeroError)
+{
+    const std::vector<double> v{10, 20, 30};
+    EXPECT_DOUBLE_EQ(meanSquaredError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(rootMeanSquaredError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(meanAbsoluteError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(medianAbsoluteError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(medianRelativeError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(dynamicRangeError(v, v, 0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(rSquared(v, v), 1.0);
+}
+
+TEST(Metrics, KnownValues)
+{
+    const std::vector<double> pred{1, 2, 3};
+    const std::vector<double> act{2, 2, 5};
+    // Errors: -1, 0, -2 -> MSE = 5/3.
+    EXPECT_NEAR(meanSquaredError(pred, act), 5.0 / 3.0, 1e-12);
+    EXPECT_NEAR(meanAbsoluteError(pred, act), 1.0, 1e-12);
+    EXPECT_NEAR(medianAbsoluteError(pred, act), 1.0, 1e-12);
+}
+
+TEST(Metrics, DreDefinition)
+{
+    const std::vector<double> pred{10, 10, 10, 10};
+    const std::vector<double> act{12, 12, 12, 12};
+    // rMSE = 2, range = 25 - 5 = 20 -> DRE = 0.1.
+    EXPECT_NEAR(dynamicRangeError(pred, act, 5.0, 25.0), 0.1, 1e-12);
+}
+
+TEST(Metrics, DreIsStricterThanPercentErrorOnHighIdleSystems)
+{
+    // The Table III phenomenon: a small %err hides a large DRE when
+    // static power dominates (Atom: 22-26 W envelope).
+    std::vector<double> act, pred;
+    for (int i = 0; i < 100; ++i) {
+        act.push_back(24.0);
+        pred.push_back(24.0 + ((i % 2 == 0) ? 0.6 : -0.6));
+    }
+    const double pct = percentError(pred, act);
+    const double dre = dynamicRangeError(pred, act, 22.0, 26.0);
+    EXPECT_LT(pct, 0.03);   // ~2.5% of total power.
+    EXPECT_GT(dre, 0.10);   // but 15% of the dynamic range.
+}
+
+TEST(Metrics, DreIsScaleInvariantAcrossPlatforms)
+{
+    // Scaling power and range together leaves DRE unchanged: the
+    // property that makes DRE comparable across platforms.
+    const std::vector<double> pred{30, 35, 40};
+    const std::vector<double> act{32, 33, 44};
+    const double small = dynamicRangeError(pred, act, 25, 46);
+
+    std::vector<double> pred10, act10;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        pred10.push_back(pred[i] * 10.0);
+        act10.push_back(act[i] * 10.0);
+    }
+    const double big = dynamicRangeError(pred10, act10, 250, 460);
+    EXPECT_NEAR(small, big, 1e-12);
+}
+
+TEST(Metrics, DreObservedUsesDataRange)
+{
+    const std::vector<double> pred{1, 2, 3, 4};
+    const std::vector<double> act{1, 2, 3, 5};
+    const double expected =
+        rootMeanSquaredError(pred, act) / (5.0 - 1.0);
+    EXPECT_NEAR(dynamicRangeErrorObserved(pred, act), expected, 1e-12);
+}
+
+TEST(Metrics, DreRejectsNonPositiveRange)
+{
+    const std::vector<double> v{1, 2};
+    EXPECT_DEATH(dynamicRangeError(v, v, 10.0, 10.0),
+                 "non-positive dynamic range");
+}
+
+TEST(Metrics, MedianRelativeErrorSkipsZeros)
+{
+    const std::vector<double> pred{1, 5};
+    const std::vector<double> act{0, 4};
+    EXPECT_NEAR(medianRelativeError(pred, act), 0.25, 1e-12);
+}
+
+TEST(Metrics, PercentErrorDefinition)
+{
+    const std::vector<double> pred{9, 11};
+    const std::vector<double> act{10, 10};
+    EXPECT_NEAR(percentError(pred, act), 0.1, 1e-12);
+}
+
+TEST(Metrics, RSquaredOfMeanPredictorIsZero)
+{
+    const std::vector<double> act{1, 2, 3, 4, 5};
+    const std::vector<double> pred(5, 3.0);
+    EXPECT_NEAR(rSquared(pred, act), 0.0, 1e-12);
+}
+
+TEST(Metrics, LengthMismatchPanics)
+{
+    EXPECT_DEATH(meanSquaredError({1}, {1, 2}), "length mismatch");
+}
+
+TEST(Metrics, EmptyInputPanics)
+{
+    EXPECT_DEATH(meanSquaredError({}, {}), "empty");
+}
+
+TEST(ErrorReport, FieldsAreConsistent)
+{
+    std::vector<double> pred, act;
+    for (int i = 0; i < 50; ++i) {
+        act.push_back(100.0 + i);
+        pred.push_back(100.0 + i + (i % 3 == 0 ? 2.0 : -1.0));
+    }
+    const ErrorReport report = evaluateErrors(pred, act, 90, 160);
+    EXPECT_NEAR(report.rmse, std::sqrt(report.mse), 1e-12);
+    EXPECT_NEAR(report.dre, report.rmse / 70.0, 1e-12);
+    EXPECT_NEAR(report.pctErr, percentError(pred, act), 1e-12);
+    EXPECT_FALSE(report.summary().empty());
+    EXPECT_NE(report.summary().find("DRE"), std::string::npos);
+}
+
+class DreScaleTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DreScaleTest, InvariantUnderJointScaling)
+{
+    const double scale = GetParam();
+    const std::vector<double> pred{3, 4, 5, 6};
+    const std::vector<double> act{3.5, 4, 4.5, 7};
+    const double base = dynamicRangeError(pred, act, 2, 8);
+
+    std::vector<double> ps, as;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        ps.push_back(pred[i] * scale);
+        as.push_back(act[i] * scale);
+    }
+    EXPECT_NEAR(dynamicRangeError(ps, as, 2 * scale, 8 * scale), base,
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DreScaleTest,
+                         ::testing::Values(0.1, 2.0, 13.0, 1000.0));
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for dataset assembly and manipulation.
+ */
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "oscounters/counter_catalog.hpp"
+#include "trace/dataset.hpp"
+#include "workloads/standard_workloads.hpp"
+
+namespace chaos {
+namespace {
+
+/** Small synthetic dataset with hand-picked features. */
+Dataset
+tinyDataset()
+{
+    Dataset ds({"f0", "f1", "f2"});
+    ds.addRow({1, 10, 5}, 100, 0, 0, "Sort");
+    ds.addRow({2, 20, 5}, 110, 0, 1, "Sort");
+    ds.addRow({3, 30, 5}, 120, 1, 0, "Prime");
+    ds.addRow({4, 40, 5}, 130, 1, 1, "Prime");
+    return ds;
+}
+
+TEST(Dataset, AddRowTracksProvenance)
+{
+    const Dataset ds = tinyDataset();
+    EXPECT_EQ(ds.numRows(), 4u);
+    EXPECT_EQ(ds.numFeatures(), 3u);
+    EXPECT_EQ(ds.workloadNames(),
+              (std::vector<std::string>{"Sort", "Prime"}));
+    EXPECT_EQ(ds.workloadIds()[2], 1);
+    EXPECT_EQ(ds.runIds()[3], 1);
+    EXPECT_EQ(ds.machineIds()[1], 1);
+    EXPECT_DOUBLE_EQ(ds.powerW()[2], 120.0);
+}
+
+TEST(Dataset, WrongWidthRowPanics)
+{
+    Dataset ds({"a", "b"});
+    EXPECT_DEATH(ds.addRow({1.0}, 1.0, 0, 0, "w"), "width mismatch");
+}
+
+TEST(Dataset, FeatureIndexLookup)
+{
+    const Dataset ds = tinyDataset();
+    EXPECT_EQ(ds.featureIndex("f1"), 1u);
+    EXPECT_EXIT(ds.featureIndex("nope"),
+                ::testing::ExitedWithCode(1), "not found");
+}
+
+TEST(Dataset, SelectFeaturesKeepsProvenance)
+{
+    const Dataset ds = tinyDataset();
+    const Dataset sub = ds.selectFeaturesByName({"f2", "f0"});
+    EXPECT_EQ(sub.numFeatures(), 2u);
+    EXPECT_EQ(sub.featureNames()[0], "f2");
+    EXPECT_DOUBLE_EQ(sub.features()(1, 1), 2.0);
+    EXPECT_EQ(sub.runIds(), ds.runIds());
+    EXPECT_EQ(sub.workloadNames(), ds.workloadNames());
+}
+
+TEST(Dataset, SelectRowsKeepsAlignment)
+{
+    const Dataset ds = tinyDataset();
+    const Dataset sub = ds.selectRows({3, 0});
+    EXPECT_EQ(sub.numRows(), 2u);
+    EXPECT_DOUBLE_EQ(sub.powerW()[0], 130.0);
+    EXPECT_EQ(sub.machineIds()[1], 0);
+    EXPECT_EQ(sub.workloadIds()[0], 1);  // Prime keeps its id.
+}
+
+TEST(Dataset, FilterWorkload)
+{
+    const Dataset ds = tinyDataset();
+    const Dataset prime = ds.filterWorkload("Prime");
+    EXPECT_EQ(prime.numRows(), 2u);
+    for (size_t r = 0; r < prime.numRows(); ++r)
+        EXPECT_GE(prime.powerW()[r], 120.0);
+
+    const Dataset none = ds.filterWorkload("PageRank");
+    EXPECT_EQ(none.numRows(), 0u);
+}
+
+TEST(Dataset, FilterMachine)
+{
+    const Dataset ds = tinyDataset();
+    const Dataset m1 = ds.filterMachine(1);
+    EXPECT_EQ(m1.numRows(), 2u);
+    EXPECT_DOUBLE_EQ(m1.powerW()[0], 110.0);
+    EXPECT_DOUBLE_EQ(m1.powerW()[1], 130.0);
+}
+
+TEST(Dataset, AppendMergesWorkloadTables)
+{
+    Dataset a({"x"});
+    a.addRow({1}, 10, 0, 0, "Sort");
+    Dataset b({"x"});
+    b.addRow({2}, 20, 1, 0, "Prime");
+    b.addRow({3}, 30, 1, 0, "Sort");
+    a.append(b);
+    EXPECT_EQ(a.numRows(), 3u);
+    EXPECT_EQ(a.workloadNames(),
+              (std::vector<std::string>{"Sort", "Prime"}));
+    EXPECT_EQ(a.workloadIds()[1], 1);
+    EXPECT_EQ(a.workloadIds()[2], 0);
+}
+
+TEST(Dataset, AppendFeatureMismatchPanics)
+{
+    Dataset a({"x"});
+    Dataset b({"y"});
+    b.addRow({1}, 1, 0, 0, "w");
+    EXPECT_DEATH(a.append(b), "feature space mismatch");
+}
+
+TEST(Dataset, ConstantColumnsDetected)
+{
+    const Dataset ds = tinyDataset();
+    const auto constants = ds.constantColumns();
+    ASSERT_EQ(constants.size(), 1u);
+    EXPECT_EQ(constants[0], 2u);  // f2 is always 5.
+}
+
+TEST(Dataset, FromRunResultsFlattensEverything)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 2, 1);
+    RunConfig config;
+    config.idleLeadInSeconds = 3.0;
+    config.idleLeadOutSeconds = 3.0;
+    config.durationScale = 0.1;
+    WordCountWorkload workload;
+    std::vector<RunResult> runs;
+    runs.push_back(runWorkload(cluster, workload, 1, 0, config));
+    runs.push_back(runWorkload(cluster, workload, 2, 1, config));
+
+    const Dataset ds = Dataset::fromRunResults(runs);
+    size_t expected = 0;
+    for (const auto &run : runs) {
+        for (const auto &records : run.machineRecords)
+            expected += records.size();
+    }
+    EXPECT_EQ(ds.numRows(), expected);
+    EXPECT_EQ(ds.numFeatures(), CounterCatalog::instance().size());
+    EXPECT_EQ(ds.workloadNames(),
+              std::vector<std::string>{"WordCount"});
+
+    // Both runs and machines appear.
+    std::set<int> run_ids(ds.runIds().begin(), ds.runIds().end());
+    EXPECT_EQ(run_ids.size(), 2u);
+    std::set<int> machine_ids(ds.machineIds().begin(),
+                              ds.machineIds().end());
+    EXPECT_EQ(machine_ids.size(), 2u);
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for dataset persistence (save/load round trip).
+ */
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_io.hpp"
+
+namespace chaos {
+namespace {
+
+Dataset
+sampleDataset()
+{
+    Dataset ds({"util", "freq", "disk"});
+    ds.addRow({50.5, 2260, 1e6}, 35.2, 0, 0, "Sort");
+    ds.addRow({80.0, 2260, 2e6}, 41.7, 0, 1, "Sort");
+    ds.addRow({10.0, 800, 0.0}, 27.1, 1, 0, "Prime");
+    return ds;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const std::string path = ::testing::TempDir() + "ds.csv";
+    const Dataset original = sampleDataset();
+    saveDataset(path, original);
+    const Dataset loaded = loadDataset(path);
+
+    EXPECT_EQ(loaded.featureNames(), original.featureNames());
+    ASSERT_EQ(loaded.numRows(), original.numRows());
+    for (size_t r = 0; r < original.numRows(); ++r) {
+        EXPECT_DOUBLE_EQ(loaded.powerW()[r], original.powerW()[r]);
+        EXPECT_EQ(loaded.runIds()[r], original.runIds()[r]);
+        EXPECT_EQ(loaded.machineIds()[r], original.machineIds()[r]);
+        EXPECT_EQ(loaded.workloadIds()[r], original.workloadIds()[r]);
+        for (size_t c = 0; c < original.numFeatures(); ++c) {
+            EXPECT_DOUBLE_EQ(loaded.features()(r, c),
+                             original.features()(r, c));
+        }
+    }
+    EXPECT_EQ(loaded.workloadNames(), original.workloadNames());
+
+    std::remove(path.c_str());
+    std::remove((path + ".workloads").c_str());
+}
+
+TEST(TraceIo, MissingSidecarIsFatal)
+{
+    const std::string path = ::testing::TempDir() + "ds2.csv";
+    saveDataset(path, sampleDataset());
+    std::remove((path + ".workloads").c_str());
+    EXPECT_EXIT(loadDataset(path), ::testing::ExitedWithCode(1),
+                "sidecar");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadDataset("/no/such/dataset.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace chaos

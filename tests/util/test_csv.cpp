@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for CSV reading/writing.
+ */
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+
+namespace chaos {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+TEST(Csv, WriteReadRoundTrip)
+{
+    CsvTable table;
+    table.header = {"alpha", "beta", "gamma"};
+    table.rows = {{1.0, 2.5, -3.0}, {4.0, 0.0, 1e9}};
+
+    const std::string path = tempPath("roundtrip.csv");
+    writeCsv(path, table);
+    const CsvTable loaded = readCsv(path);
+
+    EXPECT_EQ(loaded.header, table.header);
+    ASSERT_EQ(loaded.rows.size(), 2u);
+    for (size_t r = 0; r < 2; ++r) {
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(loaded.rows[r][c], table.rows[r][c]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Csv, ColumnExtraction)
+{
+    CsvTable table;
+    table.header = {"x", "y"};
+    table.rows = {{1, 10}, {2, 20}, {3, 30}};
+    EXPECT_EQ(table.columnIndex("y"), 1u);
+    const auto col = table.column("y");
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_DOUBLE_EQ(col[2], 30.0);
+}
+
+TEST(Csv, MissingColumnIsFatal)
+{
+    CsvTable table;
+    table.header = {"x"};
+    EXPECT_EXIT(table.columnIndex("nope"),
+                ::testing::ExitedWithCode(1), "CSV column not found");
+}
+
+TEST(Csv, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readCsv("/nonexistent/dir/file.csv"),
+                ::testing::ExitedWithCode(1), "cannot open CSV");
+}
+
+TEST(Csv, RaggedRowIsFatal)
+{
+    const std::string path = tempPath("ragged.csv");
+    std::ofstream out(path);
+    out << "a,b\n1,2\n3\n";
+    out.close();
+    EXPECT_EXIT(readCsv(path), ::testing::ExitedWithCode(1),
+                "row width mismatch");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, NonNumericFieldIsFatal)
+{
+    const std::string path = tempPath("nonnum.csv");
+    std::ofstream out(path);
+    out << "a,b\n1,hello\n";
+    out.close();
+    EXPECT_EXIT(readCsv(path), ::testing::ExitedWithCode(1),
+                "non-numeric CSV field");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, SkipsBlankLines)
+{
+    const std::string path = tempPath("blank.csv");
+    std::ofstream out(path);
+    out << "a\n1\n\n2\n";
+    out.close();
+    const CsvTable loaded = readCsv(path);
+    EXPECT_EQ(loaded.rows.size(), 2u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tests for the status/error reporting helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom"), "panic: boom");
+}
+
+TEST(Logging, PanicIfTriggersOnlyWhenTrue)
+{
+    panicIf(false, "must not fire");  // No crash.
+    EXPECT_DEATH(panicIf(true, "fired"), "panic: fired");
+}
+
+TEST(Logging, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config"),
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(Logging, FatalIfTriggersOnlyWhenTrue)
+{
+    fatalIf(false, "must not fire");  // No exit.
+    EXPECT_EXIT(fatalIf(true, "fired"),
+                ::testing::ExitedWithCode(1), "fatal: fired");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    setQuiet(false);
+    warn("just a warning");
+    inform("just info");
+    setQuiet(true);
+    warn("suppressed");
+    inform("suppressed");
+    setQuiet(false);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace chaos

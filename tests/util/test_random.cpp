@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, distribution
+ * moments, and stream independence.
+ */
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic)
+{
+    SplitMix64 a(12345);
+    SplitMix64 b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t v = rng.uniformInt(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntOfOneIsAlwaysZero)
+{
+    Rng rng(10);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.uniformInt(1), 0u);
+}
+
+class RngMomentsTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngMomentsTest, NormalMomentsMatchStandard)
+{
+    Rng rng(GetParam());
+    const int n = 50000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sum_sq += z * z;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST_P(RngMomentsTest, UniformMomentsMatch)
+{
+    Rng rng(GetParam());
+    const int n = 50000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        sum += u;
+        sum_sq += u * u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+    EXPECT_NEAR(sum_sq / n - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST_P(RngMomentsTest, ExponentialMeanMatchesRate)
+{
+    Rng rng(GetParam());
+    const double rate = 2.5;
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.02);
+}
+
+TEST_P(RngMomentsTest, BernoulliFrequencyMatchesP)
+{
+    Rng rng(GetParam());
+    const double p = 0.3;
+    const int n = 50000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngMomentsTest,
+                         ::testing::Values(1ULL, 42ULL, 9999ULL,
+                                           0xDEADBEEFULL));
+
+TEST(Rng, NormalWithParamsShiftsAndScales)
+{
+    Rng rng(77);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ClampedNormalRespectsLimit)
+{
+    Rng rng(78);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.clampedNormal(1.0, 0.1, 2.0);
+        ASSERT_GE(v, 1.0 - 0.2);
+        ASSERT_LE(v, 1.0 + 0.2);
+    }
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(123);
+    Rng child_a = parent.fork(1);
+    Rng child_b = parent.fork(2);
+    // Streams should differ from each other.
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (child_a.nextU64() == child_b.nextU64())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState)
+{
+    Rng p1(55), p2(55);
+    Rng c1 = p1.fork(9);
+    Rng c2 = p2.fork(9);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(c1.nextU64(), c2.nextU64());
+}
+
+TEST(Rng, ShuffleProducesPermutation)
+{
+    Rng rng(321);
+    std::vector<size_t> items(50);
+    for (size_t i = 0; i < items.size(); ++i)
+        items[i] = i;
+    auto shuffled = items;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, items);  // Astronomically unlikely to match.
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ShuffleHandlesDegenerateSizes)
+{
+    Rng rng(1);
+    std::vector<size_t> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<size_t> one{42};
+    rng.shuffle(one);
+    EXPECT_EQ(one[0], 42u);
+}
+
+} // namespace
+} // namespace chaos

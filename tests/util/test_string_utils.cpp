@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for string helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "util/string_utils.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Split, BasicFields)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, AdjacentSeparatorsYieldEmptyFields)
+{
+    const auto parts = split("a,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField)
+{
+    const auto parts = split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingSeparator)
+{
+    const auto parts = split("a,b,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(Join, RoundTripsWithSplit)
+{
+    const std::vector<std::string> parts{"x", "y", "z"};
+    EXPECT_EQ(join(parts, ","), "x,y,z");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Join, EmptyAndSingle)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Trim, RemovesSurroundingWhitespaceOnly)
+{
+    EXPECT_EQ(trim("  hello world \t\n"), "hello world");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("none"), "none");
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(startsWith("Processor(_Total)", "Processor"));
+    EXPECT_FALSE(startsWith("Pro", "Processor"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(ToLower, AsciiOnly)
+{
+    EXPECT_EQ(toLower("MiXeD Case 42"), "mixed case 42");
+}
+
+TEST(FormatDouble, RespectsDecimals)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.0, 0), "3");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatPercent, ConvertsFraction)
+{
+    EXPECT_EQ(formatPercent(0.123, 1), "12.3%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the ASCII table renderer.
+ */
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable table({"Workload", "DRE"});
+    table.addRow({"Sort", "10.2%"});
+    table.addRow({"Prime", "2.5%"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Workload"), std::string::npos);
+    EXPECT_NE(out.find("Sort"), std::string::npos);
+    EXPECT_NE(out.find("2.5%"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, ColumnsArePadded)
+{
+    TextTable table({"A", "B"});
+    table.addRow({"longvalue", "x"});
+    const std::string out = table.render();
+    // Every line has the same length.
+    size_t expected = 0;
+    size_t start = 0;
+    while (start < out.size()) {
+        const size_t end = out.find('\n', start);
+        const size_t len = end - start;
+        if (expected == 0)
+            expected = len;
+        EXPECT_EQ(len, expected);
+        start = end + 1;
+    }
+}
+
+TEST(TextTable, RuleAddsSeparator)
+{
+    TextTable table({"A"});
+    table.addRow({"1"});
+    table.addRule();
+    table.addRow({"2"});
+    const std::string out = table.render();
+    // Header rule + top + bottom + explicit = at least 4 "+--" rules.
+    size_t rules = 0;
+    size_t pos = 0;
+    while ((pos = out.find("+-", pos)) != std::string::npos) {
+        ++rules;
+        pos += 2;
+    }
+    EXPECT_GE(rules, 4u);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, MismatchedRowWidthPanics)
+{
+    TextTable table({"A", "B"});
+    EXPECT_DEATH(table.addRow({"only one"}), "row width");
+}
+
+TEST(BarLine, ScalesToWidth)
+{
+    const std::string full = barLine("x", 10.0, 10.0, 20, "10");
+    const std::string half = barLine("x", 5.0, 10.0, 20, "5");
+    const size_t full_hashes =
+        static_cast<size_t>(std::count(full.begin(), full.end(), '#'));
+    const size_t half_hashes =
+        static_cast<size_t>(std::count(half.begin(), half.end(), '#'));
+    EXPECT_EQ(full_hashes, 20u);
+    EXPECT_EQ(half_hashes, 10u);
+}
+
+TEST(BarLine, ClampsOutOfRangeValues)
+{
+    const std::string over = barLine("x", 50.0, 10.0, 10, "50");
+    EXPECT_EQ(std::count(over.begin(), over.end(), '#'), 10);
+    const std::string under = barLine("x", -5.0, 10.0, 10, "-5");
+    EXPECT_EQ(std::count(under.begin(), under.end(), '#'), 0);
+}
+
+} // namespace
+} // namespace chaos

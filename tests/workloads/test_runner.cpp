@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the cluster workload runner and its Dryad-like scheduler.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/standard_workloads.hpp"
+
+namespace chaos {
+namespace {
+
+RunConfig
+quickConfig()
+{
+    RunConfig config;
+    config.idleLeadInSeconds = 5.0;
+    config.idleLeadOutSeconds = 5.0;
+    config.durationScale = 0.25;
+    return config;
+}
+
+TEST(Runner, CompletesAndRecordsEveryMachineSecond)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 3, 1);
+    WordCountWorkload workload;
+    const RunResult result =
+        runWorkload(cluster, workload, 11, 0, quickConfig());
+
+    EXPECT_EQ(result.workloadName, "WordCount");
+    ASSERT_EQ(result.machineRecords.size(), 3u);
+    const size_t len = result.machineRecords[0].size();
+    EXPECT_GT(len, 10u);
+    for (const auto &records : result.machineRecords)
+        EXPECT_EQ(records.size(), len);
+    EXPECT_DOUBLE_EQ(result.durationSeconds,
+                     static_cast<double>(len));
+}
+
+TEST(Runner, StaysUnderTheMaxSecondsCap)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 2, 2);
+    SortWorkload workload;
+    RunConfig config = quickConfig();
+    config.maxSeconds = 40.0;
+    const RunResult result =
+        runWorkload(cluster, workload, 3, 0, config);
+    EXPECT_LE(result.durationSeconds, 40.0);
+}
+
+TEST(Runner, IdleLeadInShowsNearIdlePower)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Athlon, 2, 3);
+    PrimeWorkload workload;
+    RunConfig config = quickConfig();
+    config.idleLeadInSeconds = 10.0;
+    const RunResult result =
+        runWorkload(cluster, workload, 4, 0, config);
+
+    // During the lead-in, power sits near the bottom of the envelope;
+    // once Prime saturates the CPUs it rises far above it.
+    const auto &records = result.machineRecords[0];
+    const MachineSpec spec = machineSpecFor(MachineClass::Athlon);
+    double lead_in_max = 0.0;
+    for (size_t t = 2; t < 9; ++t) {
+        lead_in_max =
+            std::max(lead_in_max, records[t].measuredPowerW);
+    }
+    double busy_max = 0.0;
+    for (const auto &record : records)
+        busy_max = std::max(busy_max, record.measuredPowerW);
+    EXPECT_LT(lead_in_max, spec.idlePowerW + 0.4 * spec.dynamicRangeW());
+    EXPECT_GT(busy_max, lead_in_max + 0.3 * spec.dynamicRangeW());
+}
+
+TEST(Runner, ClusterPowerSeriesSumsMachines)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 3, 5);
+    WordCountWorkload workload;
+    const RunResult result =
+        runWorkload(cluster, workload, 6, 0, quickConfig());
+    const auto series = result.clusterPowerSeries();
+    ASSERT_EQ(series.size(), result.machineRecords[0].size());
+    for (size_t t = 0; t < series.size(); t += 10) {
+        double manual = 0.0;
+        for (const auto &records : result.machineRecords)
+            manual += records[t].measuredPowerW;
+        EXPECT_DOUBLE_EQ(series[t], manual);
+    }
+}
+
+TEST(Runner, SameSeedIsBitReproducible)
+{
+    SortWorkload workload;
+    Cluster a = Cluster::homogeneous(MachineClass::Core2, 2, 7);
+    Cluster b = Cluster::homogeneous(MachineClass::Core2, 2, 7);
+    const RunResult ra = runWorkload(a, workload, 8, 0, quickConfig());
+    const RunResult rb = runWorkload(b, workload, 8, 0, quickConfig());
+    ASSERT_EQ(ra.durationSeconds, rb.durationSeconds);
+    for (size_t m = 0; m < 2; ++m) {
+        for (size_t t = 0; t < ra.machineRecords[m].size(); t += 7) {
+            ASSERT_DOUBLE_EQ(ra.machineRecords[m][t].measuredPowerW,
+                             rb.machineRecords[m][t].measuredPowerW);
+        }
+    }
+}
+
+TEST(Runner, DifferentSeedsPartitionWorkDifferently)
+{
+    // The paper's nondeterministic scheduler: different runs place
+    // tasks differently, so per-machine power traces differ.
+    SortWorkload workload;
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 3, 9);
+    const RunResult ra =
+        runWorkload(cluster, workload, 100, 0, quickConfig());
+    const RunResult rb =
+        runWorkload(cluster, workload, 200, 1, quickConfig());
+    EXPECT_NE(ra.durationSeconds, rb.durationSeconds);
+}
+
+TEST(Runner, RunIdIsStamped)
+{
+    WordCountWorkload workload;
+    Cluster cluster = Cluster::homogeneous(MachineClass::Atom, 2, 10);
+    const RunResult result =
+        runWorkload(cluster, workload, 11, 42, quickConfig());
+    EXPECT_EQ(result.runId, 42);
+}
+
+TEST(Runner, StandardCampaignCoversAllWorkloadsAndRuns)
+{
+    Cluster cluster = Cluster::homogeneous(MachineClass::Core2, 2, 11);
+    RunConfig config = quickConfig();
+    config.durationScale = 0.1;
+    const auto results = runStandardCampaign(cluster, 2, 123, config);
+    ASSERT_EQ(results.size(), 8u);  // 4 workloads x 2 runs.
+
+    // Distinct run ids 0..7, workloads in paper order.
+    for (size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i].runId, static_cast<int>(i));
+    EXPECT_EQ(results[0].workloadName, "Sort");
+    EXPECT_EQ(results[2].workloadName, "PageRank");
+    EXPECT_EQ(results[7].workloadName, "WordCount");
+}
+
+TEST(Runner, WorkloadsShowDistinctPowerSignatures)
+{
+    // Fig. 1's premise: the four workloads have dramatically
+    // different cluster power profiles. Check Prime sustains higher
+    // mean power than Sort (CPU saturation vs I/O waits) on a
+    // desktop-class cluster.
+    Cluster cluster = Cluster::homogeneous(MachineClass::Athlon, 3, 12);
+    PrimeWorkload prime;
+    SortWorkload sort;
+    RunConfig config = quickConfig();
+
+    const RunResult rp = runWorkload(cluster, prime, 5, 0, config);
+    const RunResult rs = runWorkload(cluster, sort, 5, 1, config);
+
+    auto busy_mean = [](const RunResult &run) {
+        const auto series = run.clusterPowerSeries();
+        std::vector<double> busy(series.begin() + 8,
+                                 series.end() - 6);
+        return mean(busy);
+    };
+    EXPECT_GT(busy_mean(rp), busy_mean(rs));
+}
+
+} // namespace
+} // namespace chaos

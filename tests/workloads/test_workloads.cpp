@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the four workload generators: scale, structure, and the
+ * per-workload characteristics the paper describes (Section III-A).
+ */
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/standard_workloads.hpp"
+
+namespace chaos {
+namespace {
+
+struct Totals
+{
+    double cpu = 0.0, disk = 0.0, net = 0.0;
+    double taskSeconds = 0.0;
+};
+
+Totals
+totalsOf(const std::vector<Task> &tasks)
+{
+    Totals totals;
+    for (const auto &task : tasks) {
+        const double dur = task.durationSeconds;
+        totals.cpu += task.demand.cpuCoreSeconds * dur;
+        totals.disk += (task.demand.diskReadBytes +
+                        task.demand.diskWriteBytes) *
+                       dur;
+        totals.net +=
+            (task.demand.netRxBytes + task.demand.netTxBytes) * dur;
+        totals.taskSeconds += dur;
+    }
+    return totals;
+}
+
+TEST(Workloads, StandardSetHasPaperOrder)
+{
+    const auto names = standardWorkloadNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "Sort");
+    EXPECT_EQ(names[1], "PageRank");
+    EXPECT_EQ(names[2], "Prime");
+    EXPECT_EQ(names[3], "WordCount");
+
+    const auto workloads = standardWorkloads();
+    ASSERT_EQ(workloads.size(), 4u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(workloads[i]->name(), names[i]);
+}
+
+TEST(Workloads, ByNameConstructsAndUnknownIsFatal)
+{
+    EXPECT_EQ(workloadByName("Prime")->name(), "Prime");
+    EXPECT_EXIT(workloadByName("TensorFlow"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Workloads, PageRankGeneratesHundredsOfTasks)
+{
+    // Paper: PageRank has over 800 tasks on the 5-machine clusters.
+    PageRankWorkload workload;
+    Rng rng(1);
+    const auto tasks = workload.generateTasks(10.0, rng);
+    EXPECT_GT(tasks.size(), 500u);
+}
+
+TEST(Workloads, TaskCountsScaleWithClusterCapacity)
+{
+    for (const auto &workload : standardWorkloads()) {
+        Rng rng_small(2), rng_large(2);
+        const auto small = workload->generateTasks(10.0, rng_small);
+        const auto large = workload->generateTasks(40.0, rng_large);
+        EXPECT_GT(large.size(), small.size()) << workload->name();
+    }
+}
+
+TEST(Workloads, DemandsAreNonNegativeAndBounded)
+{
+    for (const auto &workload : standardWorkloads()) {
+        Rng rng(3);
+        for (const auto &task : workload->generateTasks(40.0, rng)) {
+            EXPECT_GT(task.durationSeconds, 0.0);
+            EXPECT_GE(task.demand.cpuCoreSeconds, 0.0);
+            EXPECT_LE(task.demand.cpuCoreSeconds, 2.0);
+            EXPECT_GE(task.demand.diskReadBytes, 0.0);
+            EXPECT_GE(task.demand.netRxBytes, 0.0);
+            EXPECT_GE(task.demand.memIntensity, 0.0);
+            EXPECT_LE(task.demand.memIntensity, 1.0);
+        }
+    }
+}
+
+TEST(Workloads, StagesAreContiguousFromZero)
+{
+    for (const auto &workload : standardWorkloads()) {
+        Rng rng(4);
+        const auto tasks = workload->generateTasks(10.0, rng);
+        std::set<size_t> stages;
+        for (const auto &task : tasks)
+            stages.insert(task.stage);
+        ASSERT_FALSE(stages.empty());
+        EXPECT_EQ(*stages.begin(), 0u) << workload->name();
+        EXPECT_EQ(*stages.rbegin(), stages.size() - 1)
+            << workload->name();
+    }
+}
+
+TEST(Workloads, DifferentRunSeedsChangeTheTaskGraph)
+{
+    SortWorkload workload;
+    Rng rng_a(5), rng_b(6);
+    const auto a = workload.generateTasks(10.0, rng_a);
+    const auto b = workload.generateTasks(10.0, rng_b);
+    bool any_difference = a.size() != b.size();
+    for (size_t i = 0; !any_difference && i < a.size(); ++i)
+        any_difference = a[i].durationSeconds != b[i].durationSeconds;
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Workloads, PrimeIsCpuBoundWithLittleTraffic)
+{
+    // Paper: "CPU-intensive and produces little network traffic".
+    PrimeWorkload prime;
+    SortWorkload sort;
+    Rng rng_a(7), rng_b(7);
+    const Totals prime_totals = totalsOf(prime.generateTasks(10, rng_a));
+    const Totals sort_totals = totalsOf(sort.generateTasks(10, rng_b));
+
+    const double prime_net_per_cpu =
+        prime_totals.net / prime_totals.cpu;
+    const double sort_net_per_cpu = sort_totals.net / sort_totals.cpu;
+    EXPECT_LT(prime_net_per_cpu, 0.05 * sort_net_per_cpu);
+    EXPECT_LT(prime_totals.disk, 0.01 * sort_totals.disk + 1.0);
+}
+
+TEST(Workloads, SortIsDiskAndNetworkHeavy)
+{
+    SortWorkload sort;
+    WordCountWorkload wordcount;
+    Rng rng_a(8), rng_b(8);
+    const Totals sort_totals = totalsOf(sort.generateTasks(10, rng_a));
+    const Totals wc_totals =
+        totalsOf(wordcount.generateTasks(10, rng_b));
+
+    EXPECT_GT(sort_totals.disk / sort_totals.taskSeconds,
+              3.0 * wc_totals.disk / wc_totals.taskSeconds);
+    EXPECT_GT(sort_totals.net / sort_totals.taskSeconds,
+              3.0 * wc_totals.net / wc_totals.taskSeconds);
+}
+
+TEST(Workloads, PageRankIsNetworkHeavy)
+{
+    PageRankWorkload pagerank;
+    PrimeWorkload prime;
+    Rng rng_a(9), rng_b(9);
+    const Totals pr = totalsOf(pagerank.generateTasks(10, rng_a));
+    const Totals pm = totalsOf(prime.generateTasks(10, rng_b));
+    EXPECT_GT(pr.net / pr.taskSeconds, 20.0 * pm.net / pm.taskSeconds);
+}
+
+TEST(Workloads, PageRankHasLongestAggregateWork)
+{
+    // Paper: PageRank has the longest running time.
+    Rng rng(10);
+    double pagerank_work = 0.0, other_max = 0.0;
+    for (const auto &workload : standardWorkloads()) {
+        Rng local(11);
+        const Totals totals =
+            totalsOf(workload->generateTasks(10.0, local));
+        if (workload->name() == "PageRank")
+            pagerank_work = totals.taskSeconds;
+        else
+            other_max = std::max(other_max, totals.taskSeconds);
+    }
+    EXPECT_GT(pagerank_work, other_max);
+}
+
+} // namespace
+} // namespace chaos

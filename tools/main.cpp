@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Entry point of the `chaos` command-line tool.
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return chaos::runCli(args, std::cout, std::cerr);
+}
