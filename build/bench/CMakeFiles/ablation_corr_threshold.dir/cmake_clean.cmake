@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_corr_threshold.dir/ablation_corr_threshold.cpp.o"
+  "CMakeFiles/ablation_corr_threshold.dir/ablation_corr_threshold.cpp.o.d"
+  "ablation_corr_threshold"
+  "ablation_corr_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_corr_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lag_window.dir/ablation_lag_window.cpp.o"
+  "CMakeFiles/ablation_lag_window.dir/ablation_lag_window.cpp.o.d"
+  "ablation_lag_window"
+  "ablation_lag_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lag_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pooling.dir/ablation_pooling.cpp.o"
+  "CMakeFiles/ablation_pooling.dir/ablation_pooling.cpp.o.d"
+  "ablation_pooling"
+  "ablation_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

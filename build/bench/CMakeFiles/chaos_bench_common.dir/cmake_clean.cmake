@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libchaos_bench_common.a"
+  "../lib/libchaos_bench_common.pdb"
+  "CMakeFiles/chaos_bench_common.dir/common/bench_support.cpp.o"
+  "CMakeFiles/chaos_bench_common.dir/common/bench_support.cpp.o.d"
+  "CMakeFiles/chaos_bench_common.dir/common/model_sweep_figure.cpp.o"
+  "CMakeFiles/chaos_bench_common.dir/common/model_sweep_figure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libchaos_bench_common.a"
+)

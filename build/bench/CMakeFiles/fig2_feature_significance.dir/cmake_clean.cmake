@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_feature_significance.dir/fig2_feature_significance.cpp.o"
+  "CMakeFiles/fig2_feature_significance.dir/fig2_feature_significance.cpp.o.d"
+  "fig2_feature_significance"
+  "fig2_feature_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_feature_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

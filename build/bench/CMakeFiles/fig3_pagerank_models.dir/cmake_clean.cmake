@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pagerank_models.dir/fig3_pagerank_models.cpp.o"
+  "CMakeFiles/fig3_pagerank_models.dir/fig3_pagerank_models.cpp.o.d"
+  "fig3_pagerank_models"
+  "fig3_pagerank_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pagerank_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

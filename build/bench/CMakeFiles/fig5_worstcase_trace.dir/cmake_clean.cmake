@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_worstcase_trace.dir/fig5_worstcase_trace.cpp.o"
+  "CMakeFiles/fig5_worstcase_trace.dir/fig5_worstcase_trace.cpp.o.d"
+  "fig5_worstcase_trace"
+  "fig5_worstcase_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_worstcase_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

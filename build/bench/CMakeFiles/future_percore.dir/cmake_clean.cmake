@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_percore.dir/future_percore.cpp.o"
+  "CMakeFiles/future_percore.dir/future_percore.cpp.o.d"
+  "future_percore"
+  "future_percore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_percore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

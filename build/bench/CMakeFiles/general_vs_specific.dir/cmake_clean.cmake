@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_vs_specific.dir/general_vs_specific.cpp.o"
+  "CMakeFiles/general_vs_specific.dir/general_vs_specific.cpp.o.d"
+  "general_vs_specific"
+  "general_vs_specific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_vs_specific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

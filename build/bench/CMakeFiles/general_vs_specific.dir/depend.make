@@ -1,0 +1,2 @@
+# Empty dependencies file for general_vs_specific.
+# This may be replaced when dependencies are built.

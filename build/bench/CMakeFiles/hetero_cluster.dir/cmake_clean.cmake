@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_cluster.dir/hetero_cluster.cpp.o"
+  "CMakeFiles/hetero_cluster.dir/hetero_cluster.cpp.o.d"
+  "hetero_cluster"
+  "hetero_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_models.dir/micro_models.cpp.o"
+  "CMakeFiles/micro_models.dir/micro_models.cpp.o.d"
+  "micro_models"
+  "micro_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

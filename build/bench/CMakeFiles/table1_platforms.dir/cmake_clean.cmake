@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_platforms.dir/table1_platforms.cpp.o"
+  "CMakeFiles/table1_platforms.dir/table1_platforms.cpp.o.d"
+  "table1_platforms"
+  "table1_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_feature_sets.dir/table2_feature_sets.cpp.o"
+  "CMakeFiles/table2_feature_sets.dir/table2_feature_sets.cpp.o.d"
+  "table2_feature_sets"
+  "table2_feature_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_feature_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

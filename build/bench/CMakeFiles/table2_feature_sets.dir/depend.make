@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_feature_sets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dre_metric.dir/table3_dre_metric.cpp.o"
+  "CMakeFiles/table3_dre_metric.dir/table3_dre_metric.cpp.o.d"
+  "table3_dre_metric"
+  "table3_dre_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dre_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

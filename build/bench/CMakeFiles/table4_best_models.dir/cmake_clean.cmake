@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_best_models.dir/table4_best_models.cpp.o"
+  "CMakeFiles/table4_best_models.dir/table4_best_models.cpp.o.d"
+  "table4_best_models"
+  "table4_best_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_best_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_monitor.dir/hetero_monitor.cpp.o"
+  "CMakeFiles/hetero_monitor.dir/hetero_monitor.cpp.o.d"
+  "hetero_monitor"
+  "hetero_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

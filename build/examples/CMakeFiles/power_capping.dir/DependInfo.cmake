@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/power_capping.cpp" "examples/CMakeFiles/power_capping.dir/power_capping.cpp.o" "gcc" "examples/CMakeFiles/power_capping.dir/power_capping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chaos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chaos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/chaos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscounters/CMakeFiles/chaos_oscounters.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chaos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/chaos_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/chaos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/chaos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning.dir/provisioning.cpp.o"
+  "CMakeFiles/provisioning.dir/provisioning.cpp.o.d"
+  "provisioning"
+  "provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

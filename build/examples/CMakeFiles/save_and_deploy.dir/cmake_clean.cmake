@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_and_deploy.dir/save_and_deploy.cpp.o"
+  "CMakeFiles/save_and_deploy.dir/save_and_deploy.cpp.o.d"
+  "save_and_deploy"
+  "save_and_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_and_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

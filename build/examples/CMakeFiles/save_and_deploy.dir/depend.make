@@ -1,0 +1,2 @@
+# Empty dependencies file for save_and_deploy.
+# This may be replaced when dependencies are built.

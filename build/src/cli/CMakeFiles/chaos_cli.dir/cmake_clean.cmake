@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_cli.dir/cli.cpp.o"
+  "CMakeFiles/chaos_cli.dir/cli.cpp.o.d"
+  "libchaos_cli.a"
+  "libchaos_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

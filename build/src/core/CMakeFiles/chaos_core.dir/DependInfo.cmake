@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capping.cpp" "src/core/CMakeFiles/chaos_core.dir/capping.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/capping.cpp.o.d"
+  "/root/repo/src/core/cluster_model.cpp" "src/core/CMakeFiles/chaos_core.dir/cluster_model.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/cluster_model.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/chaos_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/chaos_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/feature_selection.cpp" "src/core/CMakeFiles/chaos_core.dir/feature_selection.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/core/feature_sets.cpp" "src/core/CMakeFiles/chaos_core.dir/feature_sets.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/feature_sets.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/chaos_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/model_store.cpp" "src/core/CMakeFiles/chaos_core.dir/model_store.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/model_store.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/chaos_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pooling.cpp" "src/core/CMakeFiles/chaos_core.dir/pooling.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/pooling.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/chaos_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/chaos_core.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/chaos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/chaos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chaos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscounters/CMakeFiles/chaos_oscounters.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/chaos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chaos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/chaos_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

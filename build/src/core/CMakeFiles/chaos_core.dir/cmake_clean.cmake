@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_core.dir/capping.cpp.o"
+  "CMakeFiles/chaos_core.dir/capping.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/cluster_model.cpp.o"
+  "CMakeFiles/chaos_core.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/energy.cpp.o"
+  "CMakeFiles/chaos_core.dir/energy.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/evaluation.cpp.o"
+  "CMakeFiles/chaos_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/feature_selection.cpp.o"
+  "CMakeFiles/chaos_core.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/feature_sets.cpp.o"
+  "CMakeFiles/chaos_core.dir/feature_sets.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/framework.cpp.o"
+  "CMakeFiles/chaos_core.dir/framework.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/model_store.cpp.o"
+  "CMakeFiles/chaos_core.dir/model_store.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/online.cpp.o"
+  "CMakeFiles/chaos_core.dir/online.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/pooling.cpp.o"
+  "CMakeFiles/chaos_core.dir/pooling.cpp.o.d"
+  "CMakeFiles/chaos_core.dir/sweep.cpp.o"
+  "CMakeFiles/chaos_core.dir/sweep.cpp.o.d"
+  "libchaos_core.a"
+  "libchaos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

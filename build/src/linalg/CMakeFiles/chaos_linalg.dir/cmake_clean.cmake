@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/chaos_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/chaos_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/chaos_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/chaos_linalg.dir/qr.cpp.o"
+  "CMakeFiles/chaos_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/chaos_linalg.dir/solve.cpp.o"
+  "CMakeFiles/chaos_linalg.dir/solve.cpp.o.d"
+  "libchaos_linalg.a"
+  "libchaos_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

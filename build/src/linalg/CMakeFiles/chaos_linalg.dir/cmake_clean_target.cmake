@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchaos_linalg.a"
+)

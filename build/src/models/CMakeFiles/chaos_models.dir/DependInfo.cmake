@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/factory.cpp" "src/models/CMakeFiles/chaos_models.dir/factory.cpp.o" "gcc" "src/models/CMakeFiles/chaos_models.dir/factory.cpp.o.d"
+  "/root/repo/src/models/lasso.cpp" "src/models/CMakeFiles/chaos_models.dir/lasso.cpp.o" "gcc" "src/models/CMakeFiles/chaos_models.dir/lasso.cpp.o.d"
+  "/root/repo/src/models/linear.cpp" "src/models/CMakeFiles/chaos_models.dir/linear.cpp.o" "gcc" "src/models/CMakeFiles/chaos_models.dir/linear.cpp.o.d"
+  "/root/repo/src/models/mars.cpp" "src/models/CMakeFiles/chaos_models.dir/mars.cpp.o" "gcc" "src/models/CMakeFiles/chaos_models.dir/mars.cpp.o.d"
+  "/root/repo/src/models/model.cpp" "src/models/CMakeFiles/chaos_models.dir/model.cpp.o" "gcc" "src/models/CMakeFiles/chaos_models.dir/model.cpp.o.d"
+  "/root/repo/src/models/serialize.cpp" "src/models/CMakeFiles/chaos_models.dir/serialize.cpp.o" "gcc" "src/models/CMakeFiles/chaos_models.dir/serialize.cpp.o.d"
+  "/root/repo/src/models/stepwise.cpp" "src/models/CMakeFiles/chaos_models.dir/stepwise.cpp.o" "gcc" "src/models/CMakeFiles/chaos_models.dir/stepwise.cpp.o.d"
+  "/root/repo/src/models/switching.cpp" "src/models/CMakeFiles/chaos_models.dir/switching.cpp.o" "gcc" "src/models/CMakeFiles/chaos_models.dir/switching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/chaos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/chaos_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_models.dir/factory.cpp.o"
+  "CMakeFiles/chaos_models.dir/factory.cpp.o.d"
+  "CMakeFiles/chaos_models.dir/lasso.cpp.o"
+  "CMakeFiles/chaos_models.dir/lasso.cpp.o.d"
+  "CMakeFiles/chaos_models.dir/linear.cpp.o"
+  "CMakeFiles/chaos_models.dir/linear.cpp.o.d"
+  "CMakeFiles/chaos_models.dir/mars.cpp.o"
+  "CMakeFiles/chaos_models.dir/mars.cpp.o.d"
+  "CMakeFiles/chaos_models.dir/model.cpp.o"
+  "CMakeFiles/chaos_models.dir/model.cpp.o.d"
+  "CMakeFiles/chaos_models.dir/serialize.cpp.o"
+  "CMakeFiles/chaos_models.dir/serialize.cpp.o.d"
+  "CMakeFiles/chaos_models.dir/stepwise.cpp.o"
+  "CMakeFiles/chaos_models.dir/stepwise.cpp.o.d"
+  "CMakeFiles/chaos_models.dir/switching.cpp.o"
+  "CMakeFiles/chaos_models.dir/switching.cpp.o.d"
+  "libchaos_models.a"
+  "libchaos_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

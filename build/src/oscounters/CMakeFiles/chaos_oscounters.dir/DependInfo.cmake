@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oscounters/counter_catalog.cpp" "src/oscounters/CMakeFiles/chaos_oscounters.dir/counter_catalog.cpp.o" "gcc" "src/oscounters/CMakeFiles/chaos_oscounters.dir/counter_catalog.cpp.o.d"
+  "/root/repo/src/oscounters/etw_session.cpp" "src/oscounters/CMakeFiles/chaos_oscounters.dir/etw_session.cpp.o" "gcc" "src/oscounters/CMakeFiles/chaos_oscounters.dir/etw_session.cpp.o.d"
+  "/root/repo/src/oscounters/sampler.cpp" "src/oscounters/CMakeFiles/chaos_oscounters.dir/sampler.cpp.o" "gcc" "src/oscounters/CMakeFiles/chaos_oscounters.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chaos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

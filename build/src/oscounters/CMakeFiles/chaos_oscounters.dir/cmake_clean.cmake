@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_oscounters.dir/counter_catalog.cpp.o"
+  "CMakeFiles/chaos_oscounters.dir/counter_catalog.cpp.o.d"
+  "CMakeFiles/chaos_oscounters.dir/etw_session.cpp.o"
+  "CMakeFiles/chaos_oscounters.dir/etw_session.cpp.o.d"
+  "CMakeFiles/chaos_oscounters.dir/sampler.cpp.o"
+  "CMakeFiles/chaos_oscounters.dir/sampler.cpp.o.d"
+  "libchaos_oscounters.a"
+  "libchaos_oscounters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_oscounters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

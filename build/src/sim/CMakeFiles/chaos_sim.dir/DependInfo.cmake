@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/chaos_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/chaos_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/dvfs.cpp" "src/sim/CMakeFiles/chaos_sim.dir/dvfs.cpp.o" "gcc" "src/sim/CMakeFiles/chaos_sim.dir/dvfs.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/chaos_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/chaos_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/machine_spec.cpp" "src/sim/CMakeFiles/chaos_sim.dir/machine_spec.cpp.o" "gcc" "src/sim/CMakeFiles/chaos_sim.dir/machine_spec.cpp.o.d"
+  "/root/repo/src/sim/power_meter.cpp" "src/sim/CMakeFiles/chaos_sim.dir/power_meter.cpp.o" "gcc" "src/sim/CMakeFiles/chaos_sim.dir/power_meter.cpp.o.d"
+  "/root/repo/src/sim/truth_power.cpp" "src/sim/CMakeFiles/chaos_sim.dir/truth_power.cpp.o" "gcc" "src/sim/CMakeFiles/chaos_sim.dir/truth_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

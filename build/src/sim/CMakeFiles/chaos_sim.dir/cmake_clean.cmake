@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_sim.dir/cluster.cpp.o"
+  "CMakeFiles/chaos_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/chaos_sim.dir/dvfs.cpp.o"
+  "CMakeFiles/chaos_sim.dir/dvfs.cpp.o.d"
+  "CMakeFiles/chaos_sim.dir/machine.cpp.o"
+  "CMakeFiles/chaos_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/chaos_sim.dir/machine_spec.cpp.o"
+  "CMakeFiles/chaos_sim.dir/machine_spec.cpp.o.d"
+  "CMakeFiles/chaos_sim.dir/power_meter.cpp.o"
+  "CMakeFiles/chaos_sim.dir/power_meter.cpp.o.d"
+  "CMakeFiles/chaos_sim.dir/truth_power.cpp.o"
+  "CMakeFiles/chaos_sim.dir/truth_power.cpp.o.d"
+  "libchaos_sim.a"
+  "libchaos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

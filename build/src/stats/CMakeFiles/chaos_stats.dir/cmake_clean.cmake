@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_stats.dir/correlation.cpp.o"
+  "CMakeFiles/chaos_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/chaos_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/chaos_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/chaos_stats.dir/distributions.cpp.o"
+  "CMakeFiles/chaos_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/chaos_stats.dir/kfold.cpp.o"
+  "CMakeFiles/chaos_stats.dir/kfold.cpp.o.d"
+  "CMakeFiles/chaos_stats.dir/metrics.cpp.o"
+  "CMakeFiles/chaos_stats.dir/metrics.cpp.o.d"
+  "libchaos_stats.a"
+  "libchaos_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/dataset.cpp" "src/trace/CMakeFiles/chaos_trace.dir/dataset.cpp.o" "gcc" "src/trace/CMakeFiles/chaos_trace.dir/dataset.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/chaos_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/chaos_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/chaos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/chaos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscounters/CMakeFiles/chaos_oscounters.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chaos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_trace.dir/dataset.cpp.o"
+  "CMakeFiles/chaos_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/chaos_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/chaos_trace.dir/trace_io.cpp.o.d"
+  "libchaos_trace.a"
+  "libchaos_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

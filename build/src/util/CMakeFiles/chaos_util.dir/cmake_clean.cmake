@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_util.dir/csv.cpp.o"
+  "CMakeFiles/chaos_util.dir/csv.cpp.o.d"
+  "CMakeFiles/chaos_util.dir/logging.cpp.o"
+  "CMakeFiles/chaos_util.dir/logging.cpp.o.d"
+  "CMakeFiles/chaos_util.dir/random.cpp.o"
+  "CMakeFiles/chaos_util.dir/random.cpp.o.d"
+  "CMakeFiles/chaos_util.dir/string_utils.cpp.o"
+  "CMakeFiles/chaos_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/chaos_util.dir/table.cpp.o"
+  "CMakeFiles/chaos_util.dir/table.cpp.o.d"
+  "libchaos_util.a"
+  "libchaos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/runner.cpp" "src/workloads/CMakeFiles/chaos_workloads.dir/runner.cpp.o" "gcc" "src/workloads/CMakeFiles/chaos_workloads.dir/runner.cpp.o.d"
+  "/root/repo/src/workloads/standard_workloads.cpp" "src/workloads/CMakeFiles/chaos_workloads.dir/standard_workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/chaos_workloads.dir/standard_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chaos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscounters/CMakeFiles/chaos_oscounters.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_workloads.dir/runner.cpp.o"
+  "CMakeFiles/chaos_workloads.dir/runner.cpp.o.d"
+  "CMakeFiles/chaos_workloads.dir/standard_workloads.cpp.o"
+  "CMakeFiles/chaos_workloads.dir/standard_workloads.cpp.o.d"
+  "libchaos_workloads.a"
+  "libchaos_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchaos_workloads.a"
+)

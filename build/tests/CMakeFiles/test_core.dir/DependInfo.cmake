@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_capping.cpp" "tests/CMakeFiles/test_core.dir/core/test_capping.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_capping.cpp.o.d"
+  "/root/repo/tests/core/test_cluster_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_cluster_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cluster_model.cpp.o.d"
+  "/root/repo/tests/core/test_energy.cpp" "tests/CMakeFiles/test_core.dir/core/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_energy.cpp.o.d"
+  "/root/repo/tests/core/test_evaluation.cpp" "tests/CMakeFiles/test_core.dir/core/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_evaluation.cpp.o.d"
+  "/root/repo/tests/core/test_feature_selection.cpp" "tests/CMakeFiles/test_core.dir/core/test_feature_selection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_feature_selection.cpp.o.d"
+  "/root/repo/tests/core/test_feature_sets.cpp" "tests/CMakeFiles/test_core.dir/core/test_feature_sets.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_feature_sets.cpp.o.d"
+  "/root/repo/tests/core/test_framework.cpp" "tests/CMakeFiles/test_core.dir/core/test_framework.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_framework.cpp.o.d"
+  "/root/repo/tests/core/test_model_store.cpp" "tests/CMakeFiles/test_core.dir/core/test_model_store.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model_store.cpp.o.d"
+  "/root/repo/tests/core/test_pooling.cpp" "tests/CMakeFiles/test_core.dir/core/test_pooling.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pooling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chaos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chaos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/chaos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscounters/CMakeFiles/chaos_oscounters.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chaos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/chaos_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/chaos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/chaos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

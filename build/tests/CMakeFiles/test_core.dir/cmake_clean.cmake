@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_capping.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_capping.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cluster_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cluster_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_energy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_energy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_evaluation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_evaluation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_feature_selection.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_feature_selection.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_feature_sets.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_feature_sets.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_framework.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_framework.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model_store.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model_store.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pooling.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pooling.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/test_cholesky.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_cholesky.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_qr.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_qr.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_solve.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_solve.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models.dir/models/test_factory.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_factory.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_lasso.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_lasso.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_linear.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_linear.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_mars.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_mars.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_serialize.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_serialize.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_stepwise.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_stepwise.cpp.o.d"
+  "CMakeFiles/test_models.dir/models/test_switching.cpp.o"
+  "CMakeFiles/test_models.dir/models/test_switching.cpp.o.d"
+  "test_models"
+  "test_models.pdb"
+  "test_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oscounters.dir/oscounters/test_catalog.cpp.o"
+  "CMakeFiles/test_oscounters.dir/oscounters/test_catalog.cpp.o.d"
+  "CMakeFiles/test_oscounters.dir/oscounters/test_counter_statistics.cpp.o"
+  "CMakeFiles/test_oscounters.dir/oscounters/test_counter_statistics.cpp.o.d"
+  "CMakeFiles/test_oscounters.dir/oscounters/test_etw.cpp.o"
+  "CMakeFiles/test_oscounters.dir/oscounters/test_etw.cpp.o.d"
+  "CMakeFiles/test_oscounters.dir/oscounters/test_sampler.cpp.o"
+  "CMakeFiles/test_oscounters.dir/oscounters/test_sampler.cpp.o.d"
+  "test_oscounters"
+  "test_oscounters.pdb"
+  "test_oscounters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oscounters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

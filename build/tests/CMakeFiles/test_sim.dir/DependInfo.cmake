@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_activity.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_activity.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_activity.cpp.o.d"
+  "/root/repo/tests/sim/test_cluster.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cluster.cpp.o.d"
+  "/root/repo/tests/sim/test_dvfs.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_dvfs.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_dvfs.cpp.o.d"
+  "/root/repo/tests/sim/test_future_server.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_future_server.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_future_server.cpp.o.d"
+  "/root/repo/tests/sim/test_machine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  "/root/repo/tests/sim/test_machine_spec.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_machine_spec.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine_spec.cpp.o.d"
+  "/root/repo/tests/sim/test_power_meter.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_power_meter.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_power_meter.cpp.o.d"
+  "/root/repo/tests/sim/test_truth_power.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_truth_power.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_truth_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chaos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chaos_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/chaos_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/oscounters/CMakeFiles/chaos_oscounters.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chaos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/chaos_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/chaos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/chaos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chaos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_activity.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_activity.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cluster.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cluster.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_dvfs.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_dvfs.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_future_server.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_future_server.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine_spec.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine_spec.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_power_meter.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_power_meter.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_truth_power.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_truth_power.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_tool.dir/main.cpp.o"
+  "CMakeFiles/chaos_tool.dir/main.cpp.o.d"
+  "chaos"
+  "chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
