@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the
+# fault-injection tests again under ASan + UBSan (CHAOS_SANITIZE=ON)
+# so memory errors in the degraded-telemetry paths cannot slip
+# through a plain build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo
+echo "== tier 1: fault-injection tests under ASan+UBSan =="
+cmake -B build-asan -S . -DCHAOS_SANITIZE=ON >/dev/null
+cmake --build build-asan -j"$(nproc)" --target test_faults
+./build-asan/tests/test_faults
+
+echo
+echo "tier 1: PASS"

@@ -12,6 +12,7 @@
 #include "stats/descriptive.hpp"
 #include "stats/metrics.hpp"
 #include "trace/trace_io.hpp"
+#include "util/result.hpp"
 #include "util/string_utils.hpp"
 #include "util/table.hpp"
 
@@ -421,6 +422,39 @@ cmdReport(const ParsedArgs &args, std::ostream &out,
 
 } // namespace
 
+namespace {
+
+/** Dispatch one parsed subcommand; may raise RecoverableError. */
+int
+dispatch(const std::string &command, const ParsedArgs &parsed,
+         std::ostream &out, std::ostream &err)
+{
+    if (command == "list-platforms")
+        return cmdListPlatforms(out);
+    if (command == "list-counters")
+        return cmdListCounters(parsed, out, err);
+    if (command == "probe")
+        return cmdProbe(parsed, out, err);
+    if (command == "collect")
+        return cmdCollect(parsed, out, err);
+    if (command == "select")
+        return cmdSelect(parsed, out, err);
+    if (command == "train")
+        return cmdTrain(parsed, out, err);
+    if (command == "evaluate")
+        return cmdEvaluate(parsed, out, err);
+    if (command == "predict")
+        return cmdPredict(parsed, out, err);
+    if (command == "report")
+        return cmdReport(parsed, out, err);
+
+    err << "error: unknown subcommand '" << command
+        << "' (try 'chaos help')\n";
+    return 2;
+}
+
+} // namespace
+
 int
 runCli(const std::vector<std::string> &args, std::ostream &out,
        std::ostream &err)
@@ -435,28 +469,16 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     const std::string &command = parsed->positional.empty()
                                      ? args[0]
                                      : parsed->positional[0];
-    if (command == "list-platforms")
-        return cmdListPlatforms(out);
-    if (command == "list-counters")
-        return cmdListCounters(*parsed, out, err);
-    if (command == "probe")
-        return cmdProbe(*parsed, out, err);
-    if (command == "collect")
-        return cmdCollect(*parsed, out, err);
-    if (command == "select")
-        return cmdSelect(*parsed, out, err);
-    if (command == "train")
-        return cmdTrain(*parsed, out, err);
-    if (command == "evaluate")
-        return cmdEvaluate(*parsed, out, err);
-    if (command == "predict")
-        return cmdPredict(*parsed, out, err);
-    if (command == "report")
-        return cmdReport(*parsed, out, err);
-
-    err << "error: unknown subcommand '" << command
-        << "' (try 'chaos help')\n";
-    return 2;
+    // The library raises RecoverableError on malformed user data
+    // (bad dataset CSV, corrupt model file, unknown names); the CLI
+    // is the process boundary where that becomes an error message
+    // and a nonzero exit code.
+    try {
+        return dispatch(command, *parsed, out, err);
+    } catch (const RecoverableError &e) {
+        err << "error: " << e.message() << "\n";
+        return 2;
+    }
 }
 
 } // namespace chaos

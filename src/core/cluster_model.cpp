@@ -2,6 +2,7 @@
 
 #include "oscounters/counter_catalog.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -13,7 +14,7 @@ MachinePowerModel::fit(const Dataset &data, const FeatureSet &featureSet,
     out.features = featureSet;
     const auto &catalog = CounterCatalog::instance();
     for (const auto &name : featureSet.counters)
-        out.catalogIndices.push_back(catalog.indexOf(name));
+        out.catalogIdx.push_back(catalog.indexOf(name));
     out.fitted = fitPooledModel(data, featureSet, type, mars);
     return out;
 }
@@ -22,13 +23,13 @@ MachinePowerModel
 MachinePowerModel::fromParts(FeatureSet featureSet,
                              std::shared_ptr<PowerModel> model)
 {
-    fatalIf(model == nullptr,
+    raiseIf(model == nullptr,
             "MachinePowerModel::fromParts: null model");
     MachinePowerModel out;
     out.features = std::move(featureSet);
     const auto &catalog = CounterCatalog::instance();
     for (const auto &name : out.features.counters)
-        out.catalogIndices.push_back(catalog.indexOf(name));
+        out.catalogIdx.push_back(catalog.indexOf(name));
     out.fitted = std::move(model);
     return out;
 }
@@ -39,8 +40,8 @@ MachinePowerModel::predictFromCatalogRow(
 {
     panicIf(!fitted, "MachinePowerModel used before fit");
     std::vector<double> projected;
-    projected.reserve(catalogIndices.size());
-    for (size_t idx : catalogIndices) {
+    projected.reserve(catalogIdx.size());
+    for (size_t idx : catalogIdx) {
         panicIf(idx >= row.size(),
                 "catalog row narrower than the model expects");
         projected.push_back(row[idx]);
@@ -73,7 +74,7 @@ ClusterPowerModel::predictMachine(
     MachineClass mc, const std::vector<double> &catalogRow) const
 {
     const auto it = classModels.find(mc);
-    fatalIf(it == classModels.end(),
+    raiseIf(it == classModels.end(),
             "no cluster model registered for class " +
                 machineClassName(mc));
     return it->second.predictFromCatalogRow(catalogRow);

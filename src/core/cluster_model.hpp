@@ -55,12 +55,22 @@ class MachinePowerModel
     /** The feature set this model consumes. */
     const FeatureSet &featureSet() const { return features; }
 
+    /**
+     * Catalog positions of the consumed counters, aligned with
+     * featureSet().counters; online validation uses these to check
+     * exactly the inputs the model reads.
+     */
+    const std::vector<size_t> &catalogIndices() const
+    {
+        return catalogIdx;
+    }
+
     /** The underlying fitted model. */
     const PowerModel &model() const { return *fitted; }
 
   private:
     FeatureSet features;
-    std::vector<size_t> catalogIndices;
+    std::vector<size_t> catalogIdx;
     std::shared_ptr<PowerModel> fitted;
 };
 
@@ -74,7 +84,10 @@ class ClusterPowerModel
     /** True if a model is registered for @p mc. */
     bool hasClassModel(MachineClass mc) const;
 
-    /** Per-machine prediction; fatal() if the class is unknown. */
+    /**
+     * Per-machine prediction; raises RecoverableError if the class
+     * is unknown.
+     */
     double predictMachine(MachineClass mc,
                           const std::vector<double> &catalogRow) const;
 

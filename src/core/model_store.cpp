@@ -4,6 +4,7 @@
 
 #include "models/serialize.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -24,9 +25,9 @@ saveMachineModelFile(const std::string &path,
                      const MachinePowerModel &model)
 {
     std::ofstream out(path);
-    fatalIf(!out, "cannot open machine model file for writing: " + path);
+    raiseIf(!out, "cannot open machine model file for writing: " + path);
     saveMachineModel(out, model);
-    fatalIf(!out.good(), "I/O error writing machine model: " + path);
+    raiseIf(!out.good(), "I/O error writing machine model: " + path);
 }
 
 MachinePowerModel
@@ -34,22 +35,22 @@ loadMachineModel(std::istream &in)
 {
     std::string magic;
     int version = 0;
-    fatalIf(!(in >> magic >> version) ||
+    raiseIf(!(in >> magic >> version) ||
                 magic != "chaos-machine-model",
             "not a chaos machine model file");
-    fatalIf(version != 1, "unsupported machine model file version");
+    raiseIf(version != 1, "unsupported machine model file version");
 
     std::string token;
-    fatalIf(!(in >> token) || token != "feature-set",
+    raiseIf(!(in >> token) || token != "feature-set",
             "machine model file: missing feature set");
     FeatureSet features;
     size_t count = 0;
-    fatalIf(!(in >> features.name >> count),
+    raiseIf(!(in >> features.name >> count),
             "machine model file: bad feature-set header");
     in.ignore();  // Consume the end of the header line.
     for (size_t i = 0; i < count; ++i) {
         std::string line;
-        fatalIf(!std::getline(in, line),
+        raiseIf(!std::getline(in, line),
                 "machine model file: truncated counter list");
         features.counters.push_back(line);
     }
@@ -62,8 +63,14 @@ MachinePowerModel
 loadMachineModelFile(const std::string &path)
 {
     std::ifstream in(path);
-    fatalIf(!in, "cannot open machine model file for reading: " + path);
+    raiseIf(!in, "cannot open machine model file for reading: " + path);
     return loadMachineModel(in);
+}
+
+Result<MachinePowerModel>
+tryLoadMachineModelFile(const std::string &path)
+{
+    return tryInvoke([&] { return loadMachineModelFile(path); });
 }
 
 } // namespace chaos

@@ -12,25 +12,36 @@
 #include <string>
 
 #include "core/cluster_model.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
 /** Write a machine model (features + fitted model) to a stream. */
 void saveMachineModel(std::ostream &out, const MachinePowerModel &model);
 
-/** Write a machine model to a file; fatal() on I/O error. */
+/**
+ * Write a machine model to a file; raises RecoverableError on I/O
+ * error.
+ */
 void saveMachineModelFile(const std::string &path,
                           const MachinePowerModel &model);
 
 /**
  * Read a machine model written by saveMachineModel(). Counter names
- * are re-resolved against the catalog; fatal() if one no longer
- * exists.
+ * are re-resolved against the catalog; raises RecoverableError if
+ * one no longer exists or the stream is malformed.
  */
 MachinePowerModel loadMachineModel(std::istream &in);
 
-/** Read a machine model from a file; fatal() on I/O error. */
+/**
+ * Read a machine model from a file; raises RecoverableError on I/O
+ * or format errors.
+ */
 MachinePowerModel loadMachineModelFile(const std::string &path);
+
+/** loadMachineModelFile() with value-style error handling. */
+Result<MachinePowerModel> tryLoadMachineModelFile(
+    const std::string &path);
 
 } // namespace chaos
 

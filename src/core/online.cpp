@@ -1,11 +1,150 @@
 #include "core/online.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "oscounters/counter_catalog.hpp"
+#include "util/logging.hpp"
+
 namespace chaos {
+
+std::string
+machineHealthName(MachineHealth health)
+{
+    switch (health) {
+      case MachineHealth::Healthy:  return "Healthy";
+      case MachineHealth::Degraded: return "Degraded";
+      case MachineHealth::Stale:    return "Stale";
+      case MachineHealth::Lost:     return "Lost";
+    }
+    panic("unknown machine health state");
+}
+
+OnlineEstimatorConfig
+OnlineEstimatorConfig::forSpec(const MachineSpec &spec)
+{
+    OnlineEstimatorConfig config;
+    config.idlePowerW = spec.idlePowerW;
+    config.maxPowerW = spec.maxPowerW;
+    return config;
+}
+
+OnlinePowerEstimator::OnlinePowerEstimator(MachinePowerModel model,
+                                           OnlineEstimatorConfig config)
+    : model(std::move(model)), config(config)
+{
+    const auto &catalog = CounterCatalog::instance();
+    const auto &indices = this->model.catalogIndices();
+    featureStates.resize(indices.size());
+    plausibleBounds.reserve(indices.size());
+    for (size_t idx : indices)
+        plausibleBounds.push_back(catalog.def(idx).maxPlausible);
+}
+
+double
+OnlinePowerEstimator::substitutePowerW() const
+{
+    if (!recentTrusted.empty())
+        return recentTrustedSum / double(recentTrusted.size());
+    if (config.hasEnvelope())
+        return 0.5 * (config.idlePowerW + config.maxPowerW);
+    return 0.0;
+}
+
+void
+OnlinePowerEstimator::rememberTrusted(double watts)
+{
+    const size_t window = std::max<size_t>(config.recentMeanWindow, 1);
+    recentTrusted.push_back(watts);
+    recentTrustedSum += watts;
+    while (recentTrusted.size() > window) {
+        recentTrustedSum -= recentTrusted.front();
+        recentTrusted.pop_front();
+    }
+}
 
 double
 OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
 {
-    const double watts = model.predictFromCatalogRow(catalogRow);
+    const auto &indices = model.catalogIndices();
+    std::vector<double> projected(indices.size(), 0.0);
+
+    bool anyValid = false;
+    bool anyImputed = false;
+    bool anyStale = false;
+    for (size_t i = 0; i < indices.size(); ++i) {
+        const size_t idx = indices[i];
+        const double raw = idx < catalogRow.size()
+                               ? catalogRow[idx]
+                               : std::numeric_limits<double>::quiet_NaN();
+        FeatureState &fs = featureStates[i];
+        const bool valid = std::isfinite(raw) && raw >= -1e-9 &&
+                           raw <= plausibleBounds[i];
+        if (valid) {
+            const double value = std::max(raw, 0.0);
+            fs.lastGood = value;
+            fs.ageSeconds = 0.0;
+            fs.seen = true;
+            projected[i] = value;
+            anyValid = true;
+            ++tallies.validInputs;
+            continue;
+        }
+        ++tallies.rejectedInputs;
+        fs.ageSeconds += 1.0;
+        if (fs.seen) {
+            projected[i] = fs.lastGood;
+            ++tallies.imputedInputs;
+            anyImputed = true;
+            if (fs.ageSeconds > config.stalenessBudgetSeconds)
+                anyStale = true;
+        } else {
+            // Nothing ever observed for this feature: model with 0
+            // (the idle reading) and flag the estimate stale.
+            projected[i] = 0.0;
+            anyStale = true;
+        }
+    }
+
+    const bool allInvalid = !indices.empty() && !anyValid;
+    secondsAllInvalid = allInvalid ? secondsAllInvalid + 1.0 : 0.0;
+
+    if (secondsAllInvalid >= config.lostAfterSeconds)
+        healthState = MachineHealth::Lost;
+    else if (anyStale)
+        healthState = MachineHealth::Stale;
+    else if (anyImputed)
+        healthState = MachineHealth::Degraded;
+    else
+        healthState = MachineHealth::Healthy;
+
+    double watts;
+    bool trusted = false;
+    if (healthState == MachineHealth::Lost) {
+        watts = substitutePowerW();
+        ++tallies.substitutedEstimates;
+    } else {
+        watts = model.predictFromFeatureRow(projected);
+        if (std::isfinite(watts)) {
+            trusted = true;
+        } else {
+            watts = substitutePowerW();
+            ++tallies.substitutedEstimates;
+        }
+    }
+
+    if (config.hasEnvelope()) {
+        const double clamped =
+            std::clamp(watts, config.idlePowerW, config.maxPowerW);
+        if (clamped != watts)
+            ++tallies.clampedEstimates;
+        watts = clamped;
+    }
+
+    if (trusted)
+        rememberTrusted(watts);
+
     estimateStats.add(watts);
     ++count;
     return watts;
@@ -16,8 +155,63 @@ OnlinePowerEstimator::estimateWithReference(
     const std::vector<double> &catalogRow, double meteredW)
 {
     const double watts = estimate(catalogRow);
-    residualStats.add(meteredW - watts);
+    if (std::isfinite(meteredW))
+        residualStats.add(meteredW - watts);
     return watts;
+}
+
+size_t
+ClusterPowerEstimator::addMachine(MachinePowerModel model,
+                                  OnlineEstimatorConfig config)
+{
+    estimators.emplace_back(std::move(model), config);
+    return estimators.size() - 1;
+}
+
+OnlinePowerEstimator &
+ClusterPowerEstimator::machine(size_t index)
+{
+    panicIf(index >= estimators.size(),
+            "ClusterPowerEstimator: machine index out of range");
+    return estimators[index];
+}
+
+const OnlinePowerEstimator &
+ClusterPowerEstimator::machine(size_t index) const
+{
+    panicIf(index >= estimators.size(),
+            "ClusterPowerEstimator: machine index out of range");
+    return estimators[index];
+}
+
+MachineHealth
+ClusterPowerEstimator::machineHealth(size_t index) const
+{
+    return machine(index).health();
+}
+
+size_t
+ClusterPowerEstimator::countInHealth(MachineHealth health) const
+{
+    size_t n = 0;
+    for (const auto &est : estimators) {
+        if (est.health() == health)
+            ++n;
+    }
+    return n;
+}
+
+double
+ClusterPowerEstimator::estimateCluster(
+    const std::vector<std::vector<double>> &catalogRows)
+{
+    panicIf(catalogRows.size() != estimators.size(),
+            "estimateCluster: machine/row count mismatch");
+    double total = 0.0;
+    for (size_t m = 0; m < estimators.size(); ++m)
+        total += estimators[m].estimate(catalogRows[m]);
+    clusterStats.add(total);
+    return total;
 }
 
 } // namespace chaos

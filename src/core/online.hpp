@@ -5,36 +5,133 @@
  * available metered readings. This is the "online deployment" mode
  * the paper targets (model as a complement to, or replacement for,
  * physical instrumentation).
+ *
+ * Deployed collectors misbehave in ways training traces never do:
+ * counters go NaN when a provider restarts, stick at a frozen value,
+ * or arrive corrupted; whole machines drop off the telemetry network
+ * for seconds at a time. The estimator therefore validates every
+ * input against the catalog's plausibility bounds, imputes rejected
+ * values from the last known-good reading within a staleness budget,
+ * clamps predictions to the machine's physical power envelope, and
+ * tracks an explicit health state so operators can tell a trusted
+ * estimate from a substituted one. Cluster composition (paper Eq. 5)
+ * then degrades gracefully instead of propagating one machine's NaN
+ * into the cluster total.
  */
 #ifndef CHAOS_CORE_ONLINE_HPP
 #define CHAOS_CORE_ONLINE_HPP
 
+#include <deque>
+
 #include "core/cluster_model.hpp"
+#include "sim/machine_spec.hpp"
 #include "stats/descriptive.hpp"
 
 namespace chaos {
+
+/** Telemetry health of one estimated machine, worst to best. */
+enum class MachineHealth
+{
+    Healthy,    ///< All model inputs valid this second.
+    Degraded,   ///< Some inputs imputed from recent known-good values.
+    Stale,      ///< Imputation exceeded the staleness budget.
+    Lost,       ///< No valid telemetry long enough to distrust the model.
+};
+
+/** Human-readable health-state name. */
+std::string machineHealthName(MachineHealth health);
+
+/** Knobs for the hardened online estimation path. */
+struct OnlineEstimatorConfig
+{
+    /**
+     * Physical power envelope [idlePowerW, maxPowerW] of the machine
+     * (Table I "Power Range"). Predictions are clamped to it and the
+     * midpoint is the substitution of last resort when telemetry is
+     * lost. Clamping is disabled when maxPowerW <= idlePowerW (the
+     * default, envelope unknown).
+     */
+    double idlePowerW = 0.0;
+    double maxPowerW = 0.0;
+
+    /**
+     * How long a last-known-good value may stand in for a rejected
+     * input before the estimate is flagged Stale rather than merely
+     * Degraded.
+     */
+    double stalenessBudgetSeconds = 5.0;
+
+    /**
+     * Consecutive seconds with no valid input at all before the
+     * machine is declared Lost and model output is replaced by a
+     * substitute.
+     */
+    double lostAfterSeconds = 10.0;
+
+    /**
+     * Number of recent trusted estimates averaged for the Lost-state
+     * substitute (falls back to the envelope midpoint when none have
+     * been produced yet).
+     */
+    size_t recentMeanWindow = 30;
+
+    /** True when a physical envelope was provided. */
+    bool hasEnvelope() const { return maxPowerW > idlePowerW; }
+
+    /** Config with the envelope of the given platform. */
+    static OnlineEstimatorConfig forSpec(const MachineSpec &spec);
+};
+
+/** Tallies of what the validation/imputation path did so far. */
+struct OnlineHealthCounters
+{
+    size_t validInputs = 0;       ///< Feature values accepted as-is.
+    size_t rejectedInputs = 0;    ///< Feature values failing validation.
+    size_t imputedInputs = 0;     ///< Rejected values bridged by
+                                  ///< last-known-good imputation.
+    size_t substitutedEstimates = 0; ///< Seconds the model was bypassed.
+    size_t clampedEstimates = 0;  ///< Predictions pulled into envelope.
+};
 
 /** Streaming estimator for one machine. */
 class OnlinePowerEstimator
 {
   public:
-    /** @param model Deployed machine model. */
-    explicit OnlinePowerEstimator(MachinePowerModel model)
-        : model(std::move(model))
-    {}
+    /**
+     * @param model Deployed machine model.
+     * @param config Hardening knobs; the default disables envelope
+     *        clamping (envelope unknown) but still validates inputs.
+     */
+    explicit OnlinePowerEstimator(MachinePowerModel model,
+                                  OnlineEstimatorConfig config = {});
 
     /**
-     * Estimate power for one second of counters.
-     * @param catalogRow Catalog-ordered counter vector.
+     * Estimate power for one second of counters. Never returns NaN or
+     * infinity: invalid inputs are imputed or, once the machine is
+     * Lost, the whole prediction is substituted (recent mean, then
+     * envelope midpoint).
+     *
+     * @param catalogRow Catalog-ordered counter vector; may be short
+     *        or empty (missing columns count as invalid inputs).
      */
     double estimate(const std::vector<double> &catalogRow);
 
     /**
-     * Estimate and, where a metered reading exists, accumulate the
-     * residual (meter minus estimate) statistics.
+     * Estimate and, where a finite metered reading exists, accumulate
+     * the residual (meter minus estimate) statistics. Non-finite
+     * meter readings (dropouts) are skipped, not accumulated.
      */
     double estimateWithReference(const std::vector<double> &catalogRow,
                                  double meteredW);
+
+    /** Health after the most recent sample (Healthy before any). */
+    MachineHealth health() const { return healthState; }
+
+    /** Validation/imputation tallies so far. */
+    const OnlineHealthCounters &healthCounters() const
+    {
+        return tallies;
+    }
 
     /** Number of estimates produced. */
     size_t samples() const { return count; }
@@ -46,10 +143,77 @@ class OnlinePowerEstimator
     double meanEstimateW() const { return estimateStats.mean(); }
 
   private:
+    /** Imputation bookkeeping for one consumed feature. */
+    struct FeatureState
+    {
+        double lastGood = 0.0;    ///< Most recent valid value.
+        double ageSeconds = 0.0;  ///< Seconds since it was observed.
+        bool seen = false;        ///< Any valid value yet?
+    };
+
+    /** Stand-in power while the machine is Lost. */
+    double substitutePowerW() const;
+
+    /** Record a trusted (model-produced) estimate for substitution. */
+    void rememberTrusted(double watts);
+
     MachinePowerModel model;
+    OnlineEstimatorConfig config;
+    std::vector<FeatureState> featureStates;
+    std::vector<double> plausibleBounds;
+
+    MachineHealth healthState = MachineHealth::Healthy;
+    double secondsAllInvalid = 0.0;
+    OnlineHealthCounters tallies;
+
+    std::deque<double> recentTrusted;
+    double recentTrustedSum = 0.0;
+
     size_t count = 0;
     RunningStats residualStats;
     RunningStats estimateStats;
+};
+
+/**
+ * Cluster-level online estimation (paper Eq. 5): the cluster estimate
+ * is the sum of per-machine estimates, with per-machine health
+ * composed so one machine losing telemetry degrades the total
+ * gracefully instead of poisoning it with NaN.
+ */
+class ClusterPowerEstimator
+{
+  public:
+    /** Register one machine (returns its index). */
+    size_t addMachine(MachinePowerModel model,
+                      OnlineEstimatorConfig config = {});
+
+    /** Number of registered machines. */
+    size_t numMachines() const { return estimators.size(); }
+
+    /** The per-machine estimator (panic on bad index). */
+    OnlinePowerEstimator &machine(size_t index);
+    const OnlinePowerEstimator &machine(size_t index) const;
+
+    /** Health of one machine after its most recent sample. */
+    MachineHealth machineHealth(size_t index) const;
+
+    /** Number of machines currently in the given health state. */
+    size_t countInHealth(MachineHealth health) const;
+
+    /**
+     * One cluster-second: estimate every machine and sum. Always
+     * finite. @p catalogRows must have one row per registered
+     * machine, in registration order.
+     */
+    double estimateCluster(
+        const std::vector<std::vector<double>> &catalogRows);
+
+    /** Running statistics of the cluster totals. */
+    const RunningStats &clusterEstimates() const { return clusterStats; }
+
+  private:
+    std::vector<OnlinePowerEstimator> estimators;
+    RunningStats clusterStats;
 };
 
 } // namespace chaos

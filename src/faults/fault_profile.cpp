@@ -1,0 +1,78 @@
+#include "faults/fault_profile.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+const std::vector<FaultClass> &
+allFaultClasses()
+{
+    static const std::vector<FaultClass> classes = {
+        FaultClass::MeterDropout, FaultClass::MeterSpike,
+        FaultClass::StuckCounter, FaultClass::CounterNan,
+        FaultClass::SampleJitter, FaultClass::MachineLoss,
+    };
+    return classes;
+}
+
+std::string
+faultClassName(FaultClass faultClass)
+{
+    switch (faultClass) {
+      case FaultClass::MeterDropout: return "MeterDropout";
+      case FaultClass::MeterSpike:   return "MeterSpike";
+      case FaultClass::StuckCounter: return "StuckCounter";
+      case FaultClass::CounterNan:   return "CounterNan";
+      case FaultClass::SampleJitter: return "SampleJitter";
+      case FaultClass::MachineLoss:  return "MachineLoss";
+    }
+    panic("unknown fault class");
+}
+
+bool
+FaultProfile::anyMeterFaults() const
+{
+    return meterDropoutRate > 0 || meterSpikeRate > 0 ||
+           meterQuantizationW > 0;
+}
+
+bool
+FaultProfile::anyCounterFaults() const
+{
+    return stuckOnsetRate > 0 || counterNanRate > 0 ||
+           sampleJitterRate > 0 || machineLossRate > 0;
+}
+
+FaultProfile
+FaultProfile::forClass(FaultClass faultClass, double intensity)
+{
+    const double k = std::clamp(intensity, 0.0, 1.0);
+    FaultProfile profile;
+    switch (faultClass) {
+      case FaultClass::MeterDropout:
+        profile.meterDropoutRate = k;
+        break;
+      case FaultClass::MeterSpike:
+        profile.meterSpikeRate = 0.5 * k;
+        profile.meterSpikeRelMagnitude = 0.5;
+        profile.meterQuantizationW = 2.0 * k;
+        break;
+      case FaultClass::StuckCounter:
+        profile.stuckOnsetRate = 0.02 * k;
+        break;
+      case FaultClass::CounterNan:
+        profile.counterNanRate = 0.05 * k;
+        break;
+      case FaultClass::SampleJitter:
+        profile.sampleJitterRate = 0.5 * k;
+        break;
+      case FaultClass::MachineLoss:
+        profile.machineLossRate = 0.02 * k;
+        break;
+    }
+    return profile;
+}
+
+} // namespace chaos

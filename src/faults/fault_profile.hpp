@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Composable fault profiles for degraded-telemetry experiments.
+ *
+ * Real deployments of the paper's measurement pipeline lose data in
+ * characteristic ways: wall meters drop readings or spike, Perfmon
+ * providers freeze a counter at its last value or return NaN after a
+ * restart, the sampling interval slips under load, and whole machines
+ * fall off the collection network. A FaultProfile describes such an
+ * environment as a set of per-second probabilities; injectors in
+ * injectors.hpp apply it to live samplers or to already-logged traces
+ * so any campaign can be re-run under a configurable fault profile
+ * with full seeded determinism.
+ */
+#ifndef CHAOS_FAULTS_FAULT_PROFILE_HPP
+#define CHAOS_FAULTS_FAULT_PROFILE_HPP
+
+#include <string>
+#include <vector>
+
+namespace chaos {
+
+/** The fault classes the harness can inject. */
+enum class FaultClass
+{
+    MeterDropout,   ///< Metered reading lost (NaN).
+    MeterSpike,     ///< Transient spike plus coarse quantization.
+    StuckCounter,   ///< A counter freezes at its last value.
+    CounterNan,     ///< A counter reads NaN (provider gap).
+    SampleJitter,   ///< Interval slips; the stale vector repeats.
+    MachineLoss,    ///< Whole-machine telemetry outage.
+};
+
+/** All fault classes, in declaration order. */
+const std::vector<FaultClass> &allFaultClasses();
+
+/** Human-readable fault-class name. */
+std::string faultClassName(FaultClass faultClass);
+
+/**
+ * Per-second fault probabilities describing one degraded telemetry
+ * environment. All rates default to zero (no faults); profiles
+ * compose by simply setting several rates at once.
+ */
+struct FaultProfile
+{
+    // --- Wall-meter faults ---
+    double meterDropoutRate = 0.0;   ///< P(reading lost -> NaN) per s.
+    double meterSpikeRate = 0.0;     ///< P(transient spike) per second.
+    double meterSpikeRelMagnitude = 0.5; ///< Spike size vs. reading.
+    double meterQuantizationW = 0.0; ///< Extra quantization step (W).
+
+    // --- Per-counter faults ---
+    double stuckOnsetRate = 0.0;     ///< P(freeze) per counter-second.
+    double stuckMeanSeconds = 8.0;   ///< Mean frozen-episode length.
+    double counterNanRate = 0.0;     ///< P(NaN gap) per counter-second.
+
+    // --- Whole-vector faults ---
+    double sampleJitterRate = 0.0;   ///< P(stale repeat) per second.
+    double machineLossRate = 0.0;    ///< P(outage starts) per second.
+    double machineLossMeanSeconds = 12.0; ///< Mean outage length.
+
+    /** True if any meter-path fault can fire. */
+    bool anyMeterFaults() const;
+
+    /** True if any counter-path fault can fire. */
+    bool anyCounterFaults() const;
+
+    /**
+     * Profile exercising exactly one fault class, scaled by
+     * @p intensity in [0, 1] (clamped). Intensity 0 is fault-free;
+     * intensity 1 is the harshest setting the robustness benchmark
+     * sweeps to.
+     */
+    static FaultProfile forClass(FaultClass faultClass,
+                                 double intensity);
+};
+
+} // namespace chaos
+
+#endif // CHAOS_FAULTS_FAULT_PROFILE_HPP

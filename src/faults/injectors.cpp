@@ -1,0 +1,165 @@
+#include "faults/injectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace chaos {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/** Episode length in whole seconds with the given mean (>= 1). */
+double
+episodeSeconds(Rng &rng, double meanSeconds)
+{
+    const double mean = std::max(meanSeconds, 1.0);
+    return std::max(1.0, std::ceil(rng.exponential(1.0 / mean)));
+}
+
+} // namespace
+
+MeterFaultInjector::MeterFaultInjector(const FaultProfile &profile,
+                                       Rng rng)
+    : profile(profile), rng(rng)
+{}
+
+double
+MeterFaultInjector::apply(double readingW)
+{
+    if (profile.meterDropoutRate > 0 &&
+        rng.bernoulli(profile.meterDropoutRate))
+        return kNan;
+    if (profile.meterSpikeRate > 0 &&
+        rng.bernoulli(profile.meterSpikeRate)) {
+        // Transient glitch: up to the full relative magnitude, either
+        // direction, never below zero watts.
+        const double swing = profile.meterSpikeRelMagnitude *
+                             rng.uniform(0.5, 1.0);
+        const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+        readingW = std::max(0.0, readingW * (1.0 + sign * swing));
+    }
+    if (profile.meterQuantizationW > 0) {
+        readingW = std::round(readingW / profile.meterQuantizationW) *
+                   profile.meterQuantizationW;
+    }
+    return readingW;
+}
+
+CounterFaultInjector::CounterFaultInjector(const FaultProfile &profile,
+                                           Rng rng)
+    : profile(profile), rng(rng)
+{}
+
+void
+CounterFaultInjector::reset()
+{
+    outageSecondsLeft = 0.0;
+    stuckSecondsLeft.clear();
+    heldValues.clear();
+    lastVector.clear();
+    haveLastVector = false;
+}
+
+std::vector<double>
+CounterFaultInjector::apply(std::vector<double> values)
+{
+    // Whole-machine outage: every counter is gone until the episode
+    // ends. Episodes cannot overlap; a new onset is drawn only while
+    // telemetry is up.
+    if (outageSecondsLeft > 0.0) {
+        outageSecondsLeft -= 1.0;
+        std::fill(values.begin(), values.end(), kNan);
+        return values;
+    }
+    if (profile.machineLossRate > 0 &&
+        rng.bernoulli(profile.machineLossRate)) {
+        outageSecondsLeft =
+            episodeSeconds(rng, profile.machineLossMeanSeconds) - 1.0;
+        std::fill(values.begin(), values.end(), kNan);
+        return values;
+    }
+
+    // Sample-interval jitter: the collector missed its tick and the
+    // previous vector repeats (values one second stale).
+    if (profile.sampleJitterRate > 0 && haveLastVector &&
+        lastVector.size() == values.size() &&
+        rng.bernoulli(profile.sampleJitterRate))
+        return lastVector;
+
+    const bool anyStuck =
+        profile.stuckOnsetRate > 0 ||
+        std::any_of(stuckSecondsLeft.begin(), stuckSecondsLeft.end(),
+                    [](double s) { return s > 0.0; });
+    if (anyStuck) {
+        stuckSecondsLeft.resize(values.size(), 0.0);
+        heldValues.resize(values.size(), 0.0);
+        for (size_t i = 0; i < values.size(); ++i) {
+            if (stuckSecondsLeft[i] > 0.0) {
+                stuckSecondsLeft[i] -= 1.0;
+                values[i] = heldValues[i];
+            } else if (profile.stuckOnsetRate > 0 &&
+                       rng.bernoulli(profile.stuckOnsetRate)) {
+                heldValues[i] = values[i];
+                stuckSecondsLeft[i] =
+                    episodeSeconds(rng, profile.stuckMeanSeconds);
+            }
+        }
+    }
+
+    if (profile.counterNanRate > 0) {
+        for (double &v : values) {
+            if (rng.bernoulli(profile.counterNanRate))
+                v = kNan;
+        }
+    }
+
+    lastVector = values;
+    haveLastVector = true;
+    return values;
+}
+
+FaultyPowerMeter::FaultyPowerMeter(PowerMeter meter,
+                                   const FaultProfile &profile, Rng rng)
+    : inner(std::move(meter)), injector(profile, rng)
+{}
+
+double
+FaultyPowerMeter::sample(double truePowerW)
+{
+    return injector.apply(inner.sample(truePowerW));
+}
+
+FaultyCounterSampler::FaultyCounterSampler(CounterSampler sampler,
+                                           const FaultProfile &profile,
+                                           Rng rng)
+    : inner(std::move(sampler)), injector(profile, rng)
+{}
+
+std::vector<double>
+FaultyCounterSampler::sample(const MachineState &state)
+{
+    return injector.apply(inner.sample(state));
+}
+
+void
+FaultyCounterSampler::reset()
+{
+    inner.reset();
+    injector.reset();
+}
+
+void
+injectFaults(std::vector<EtwRecord> &records,
+             const FaultProfile &profile, Rng rng)
+{
+    CounterFaultInjector counterInjector(profile, rng.fork(0x5eed));
+    MeterFaultInjector meterInjector(profile, rng.fork(0x7a77));
+    for (auto &record : records) {
+        record.counters = counterInjector.apply(std::move(record.counters));
+        record.measuredPowerW = meterInjector.apply(record.measuredPowerW);
+    }
+}
+
+} // namespace chaos

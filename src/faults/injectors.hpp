@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fault injectors wrapping the measurement pipeline.
+ *
+ * Two composition points mirror how real telemetry degrades:
+ *
+ *  - live wrappers (FaultyPowerMeter, FaultyCounterSampler) sit where
+ *    the physical meter and the Perfmon session sit, corrupting
+ *    samples as they are produced;
+ *  - injectFaults() replays a fault profile over an already-logged
+ *    trace, so any recorded campaign can be re-evaluated under
+ *    degraded telemetry without re-simulating the machines.
+ *
+ * All injectors draw from private seeded Rng streams, so a (profile,
+ * seed) pair reproduces the exact same fault pattern bit-for-bit.
+ */
+#ifndef CHAOS_FAULTS_INJECTORS_HPP
+#define CHAOS_FAULTS_INJECTORS_HPP
+
+#include <vector>
+
+#include "faults/fault_profile.hpp"
+#include "oscounters/etw_session.hpp"
+#include "oscounters/sampler.hpp"
+#include "sim/power_meter.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+
+/** Applies meter-path faults to one reading per second. */
+class MeterFaultInjector
+{
+  public:
+    /** @param rng Private fault stream (consumed only on fault draws). */
+    MeterFaultInjector(const FaultProfile &profile, Rng rng);
+
+    /**
+     * Corrupt one metered reading: dropout (NaN), transient spike,
+     * then coarse quantization, in that order.
+     */
+    double apply(double readingW);
+
+  private:
+    FaultProfile profile;
+    Rng rng;
+};
+
+/** Applies counter-path faults to one catalog vector per second. */
+class CounterFaultInjector
+{
+  public:
+    /** @param rng Private fault stream. */
+    CounterFaultInjector(const FaultProfile &profile, Rng rng);
+
+    /**
+     * Corrupt one catalog-ordered counter vector in place:
+     * whole-machine outage (all NaN), sample jitter (previous vector
+     * repeats), stuck counters (frozen at their held value), and
+     * per-counter NaN gaps.
+     */
+    std::vector<double> apply(std::vector<double> values);
+
+    /** True while a whole-machine outage episode is running. */
+    bool inOutage() const { return outageSecondsLeft > 0.0; }
+
+    /** Forget all episode state (new run). */
+    void reset();
+
+  private:
+    FaultProfile profile;
+    Rng rng;
+    double outageSecondsLeft = 0.0;
+    std::vector<double> stuckSecondsLeft;
+    std::vector<double> heldValues;
+    std::vector<double> lastVector;
+    bool haveLastVector = false;
+};
+
+/** A wall meter whose output passes through a fault injector. */
+class FaultyPowerMeter
+{
+  public:
+    /**
+     * @param meter The wrapped meter (by value; meters are small).
+     * @param rng Private fault stream, independent of the meter's own
+     *        noise stream.
+     */
+    FaultyPowerMeter(PowerMeter meter, const FaultProfile &profile,
+                     Rng rng);
+
+    /** Measure true power, then corrupt the reading. */
+    double sample(double truePowerW);
+
+    /** The wrapped fault-free meter. */
+    const PowerMeter &meter() const { return inner; }
+
+  private:
+    PowerMeter inner;
+    MeterFaultInjector injector;
+};
+
+/** A counter sampler whose output passes through a fault injector. */
+class FaultyCounterSampler
+{
+  public:
+    FaultyCounterSampler(CounterSampler sampler,
+                         const FaultProfile &profile, Rng rng);
+
+    /** Sample the catalog, then corrupt the vector. */
+    std::vector<double> sample(const MachineState &state);
+
+    /** True while a whole-machine outage episode is running. */
+    bool inOutage() const { return injector.inOutage(); }
+
+    /** Reset sampler and injector state (new run). */
+    void reset();
+
+  private:
+    CounterSampler inner;
+    CounterFaultInjector injector;
+};
+
+/**
+ * Replay-mode injection: corrupt an already-logged trace in place
+ * according to @p profile. Counter vectors and metered power are
+ * faulted with independent child streams of @p rng.
+ */
+void injectFaults(std::vector<EtwRecord> &records,
+                  const FaultProfile &profile, Rng rng);
+
+} // namespace chaos
+
+#endif // CHAOS_FAULTS_INJECTORS_HPP

@@ -5,6 +5,7 @@
 #include "linalg/solve.hpp"
 #include "models/serialize_detail.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 #include "util/string_utils.hpp"
 
 namespace chaos {
@@ -133,7 +134,7 @@ LinearModel::load(std::istream &in)
     model.coef = serialize_detail::readVector(in, "coef");
     model.mu = serialize_detail::readVector(in, "mu");
     model.sigma = serialize_detail::readVector(in, "sigma");
-    fatalIf(model.coef.size() != model.mu.size() + 1 ||
+    raiseIf(model.coef.size() != model.mu.size() + 1 ||
                 model.mu.size() != model.sigma.size(),
             "model file: inconsistent linear model");
     return model;

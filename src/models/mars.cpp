@@ -10,6 +10,7 @@
 #include "models/serialize_detail.hpp"
 #include "stats/descriptive.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 #include "util/string_utils.hpp"
 
 namespace chaos {
@@ -530,22 +531,22 @@ MarsModel::load(std::istream &in)
 {
     serialize_detail::expectToken(in, "degree");
     size_t degree = 0;
-    fatalIf(!(in >> degree), "model file: missing MARS degree");
+    raiseIf(!(in >> degree), "model file: missing MARS degree");
     MarsConfig cfg;
     cfg.maxDegree = degree;
     MarsModel model(cfg);
 
     serialize_detail::expectToken(in, "terms");
     size_t num_terms = 0;
-    fatalIf(!(in >> num_terms), "model file: missing MARS term count");
+    raiseIf(!(in >> num_terms), "model file: missing MARS term count");
     for (size_t t = 0; t < num_terms; ++t) {
         serialize_detail::expectToken(in, "term");
         size_t num_hinges = 0;
-        fatalIf(!(in >> num_hinges), "model file: bad MARS term");
+        raiseIf(!(in >> num_hinges), "model file: bad MARS term");
         BasisTerm term;
         for (size_t h = 0; h < num_hinges; ++h) {
             Hinge hinge;
-            fatalIf(!(in >> hinge.feature >> hinge.knot >>
+            raiseIf(!(in >> hinge.feature >> hinge.knot >>
                       hinge.direction),
                     "model file: truncated MARS hinge");
             term.hinges.push_back(hinge);
@@ -557,7 +558,7 @@ MarsModel::load(std::istream &in)
     model.sigma = serialize_detail::readVector(in, "sigma");
     model.zmin = serialize_detail::readVector(in, "zmin");
     model.zmax = serialize_detail::readVector(in, "zmax");
-    fatalIf(model.coef.size() != model.basis.size(),
+    raiseIf(model.coef.size() != model.basis.size(),
             "model file: inconsistent MARS model");
     return model;
 }

@@ -8,6 +8,7 @@
 #include "models/mars.hpp"
 #include "models/switching.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -29,11 +30,11 @@ readVector(std::istream &in, const std::string &expected_key)
 {
     std::string key;
     size_t count = 0;
-    fatalIf(!(in >> key >> count) || key != expected_key,
+    raiseIf(!(in >> key >> count) || key != expected_key,
             "model file: expected vector '" + expected_key + "'");
     std::vector<double> values(count);
     for (double &v : values)
-        fatalIf(!(in >> v), "model file: truncated vector " + key);
+        raiseIf(!(in >> v), "model file: truncated vector " + key);
     return values;
 }
 
@@ -41,7 +42,7 @@ void
 expectToken(std::istream &in, const std::string &expected)
 {
     std::string token;
-    fatalIf(!(in >> token) || token != expected,
+    raiseIf(!(in >> token) || token != expected,
             "model file: expected token '" + expected + "'");
 }
 
@@ -72,9 +73,9 @@ void
 saveModelFile(const std::string &path, const PowerModel &model)
 {
     std::ofstream out(path);
-    fatalIf(!out, "cannot open model file for writing: " + path);
+    raiseIf(!out, "cannot open model file for writing: " + path);
     saveModel(out, model);
-    fatalIf(!out.good(), "I/O error writing model file: " + path);
+    raiseIf(!out.good(), "I/O error writing model file: " + path);
 }
 
 std::unique_ptr<PowerModel>
@@ -82,12 +83,12 @@ loadModel(std::istream &in)
 {
     std::string magic;
     int version = 0;
-    fatalIf(!(in >> magic >> version) || magic != "chaos-model",
+    raiseIf(!(in >> magic >> version) || magic != "chaos-model",
             "not a chaos model file");
-    fatalIf(version != 1, "unsupported chaos model file version");
+    raiseIf(version != 1, "unsupported chaos model file version");
 
     std::string kind;
-    fatalIf(!(in >> kind), "model file: missing model kind");
+    raiseIf(!(in >> kind), "model file: missing model kind");
     if (kind == "linear")
         return std::make_unique<LinearModel>(LinearModel::load(in));
     if (kind == "mars")
@@ -96,15 +97,21 @@ loadModel(std::istream &in)
         return std::make_unique<SwitchingModel>(
             SwitchingModel::load(in));
     }
-    fatal("model file: unknown model kind '" + kind + "'");
+    raise("model file: unknown model kind '" + kind + "'");
 }
 
 std::unique_ptr<PowerModel>
 loadModelFile(const std::string &path)
 {
     std::ifstream in(path);
-    fatalIf(!in, "cannot open model file for reading: " + path);
+    raiseIf(!in, "cannot open model file for reading: " + path);
     return loadModel(in);
+}
+
+Result<std::unique_ptr<PowerModel>>
+tryLoadModelFile(const std::string &path)
+{
+    return tryInvoke([&] { return loadModelFile(path); });
 }
 
 } // namespace chaos

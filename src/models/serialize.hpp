@@ -16,23 +16,35 @@
 #include <string>
 
 #include "models/model.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
 /** Serialize a trained model to a stream; panic()s on unfitted. */
 void saveModel(std::ostream &out, const PowerModel &model);
 
-/** Serialize a trained model to a file; fatal() on I/O errors. */
+/**
+ * Serialize a trained model to a file; raises RecoverableError on
+ * I/O errors.
+ */
 void saveModelFile(const std::string &path, const PowerModel &model);
 
 /**
- * Deserialize a model written by saveModel(). fatal()s on malformed
- * input. The returned model is ready to predict.
+ * Deserialize a model written by saveModel(). Raises
+ * RecoverableError on malformed input. The returned model is ready
+ * to predict.
  */
 std::unique_ptr<PowerModel> loadModel(std::istream &in);
 
-/** Deserialize from a file; fatal() on I/O or format errors. */
+/**
+ * Deserialize from a file; raises RecoverableError on I/O or format
+ * errors.
+ */
 std::unique_ptr<PowerModel> loadModelFile(const std::string &path);
+
+/** loadModelFile() with value-style error handling. */
+Result<std::unique_ptr<PowerModel>> tryLoadModelFile(
+    const std::string &path);
 
 } // namespace chaos
 

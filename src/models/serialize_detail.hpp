@@ -17,11 +17,14 @@ namespace serialize_detail {
 void writeVector(std::ostream &out, const std::string &key,
                  const std::vector<double> &values);
 
-/** Read a vector written by writeVector(); fatal() on mismatch. */
+/**
+ * Read a vector written by writeVector(); raises RecoverableError on
+ * mismatch.
+ */
 std::vector<double> readVector(std::istream &in,
                                const std::string &expected_key);
 
-/** Consume one token and fatal() unless it matches. */
+/** Consume one token; raises RecoverableError unless it matches. */
 void expectToken(std::istream &in, const std::string &expected);
 
 } // namespace serialize_detail

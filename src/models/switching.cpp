@@ -7,6 +7,7 @@
 #include "models/serialize_detail.hpp"
 #include "stats/descriptive.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 #include "util/string_utils.hpp"
 
 namespace chaos {
@@ -128,13 +129,13 @@ SwitchingModel::load(std::istream &in)
 {
     SwitchingConfig cfg;
     serialize_detail::expectToken(in, "freq_feature");
-    fatalIf(!(in >> cfg.frequencyFeature),
+    raiseIf(!(in >> cfg.frequencyFeature),
             "model file: bad switching header");
     serialize_detail::expectToken(in, "min_rows");
-    fatalIf(!(in >> cfg.minRowsPerState),
+    raiseIf(!(in >> cfg.minRowsPerState),
             "model file: bad switching header");
     serialize_detail::expectToken(in, "merge_tol");
-    fatalIf(!(in >> cfg.stateMergeTolerance),
+    raiseIf(!(in >> cfg.stateMergeTolerance),
             "model file: bad switching header");
 
     SwitchingModel model(cfg);
@@ -145,7 +146,7 @@ SwitchingModel::load(std::istream &in)
         serialize_detail::expectToken(in, "state_model");
         size_t index = 0;
         int own = 0;
-        fatalIf(!(in >> index >> own) || index != s,
+        raiseIf(!(in >> index >> own) || index != s,
                 "model file: bad switching state record");
         if (own != 0) {
             model.perState[s] = LinearModel::load(in);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -34,12 +35,38 @@ CounterCatalog::instance()
     return catalog;
 }
 
+namespace {
+
+/**
+ * Physically plausible upper bound for a counter, derived from its
+ * name. Percent counters cannot exceed 100 plus sampling slack; the
+ * Process object's CPU time sums across processes and tops out at
+ * 100 x cores; frequencies are bounded well below 10 GHz on every
+ * platform in Table I. Everything else (bytes, event rates) gets a
+ * bound generous enough to never reject legitimate data while still
+ * catching corrupted values such as reinterpreted garbage.
+ */
+double
+plausibleUpperBound(const std::string &name)
+{
+    if (name == "Process(_Total)\\% Processor Time")
+        return 900.0; // 100% x up to 8 cores, plus slack.
+    if (name.find('%') != std::string::npos)
+        return 110.0;
+    if (name.find("Frequency") != std::string::npos)
+        return 10000.0; // MHz.
+    return 1e15;
+}
+
+} // namespace
+
 void
 CounterCatalog::add(std::string name, CounterCategory category,
                     std::function<double(const SampleContext &)> compute)
 {
+    const double bound = plausibleUpperBound(name);
     defs.push_back(
-        {std::move(name), category, std::move(compute)});
+        {std::move(name), category, std::move(compute), bound});
 }
 
 const CounterDef &
@@ -56,7 +83,7 @@ CounterCatalog::indexOf(const std::string &name) const
         if (defs[i].name == name)
             return i;
     }
-    fatal("unknown counter name: " + name);
+    raise("unknown counter name: " + name);
 }
 
 bool

@@ -70,6 +70,13 @@ struct CounterDef
     CounterCategory category;       ///< Table II category.
     /** Compute this counter's value for one second. */
     std::function<double(const SampleContext &)> compute;
+    /**
+     * Upper bound of physically plausible values, derived from the
+     * counter name when the catalog is built. Online validation
+     * rejects readings above it (or below zero) as corrupt telemetry
+     * rather than feeding them to the model.
+     */
+    double maxPlausible = 1e15;
 };
 
 /**
@@ -99,7 +106,11 @@ class CounterCatalog
     /** All definitions in index order. */
     const std::vector<CounterDef> &all() const { return defs; }
 
-    /** Index of the counter with the given full name; fatal if absent. */
+    /**
+     * Index of the counter with the given full name; raises
+     * RecoverableError if absent (counter names arrive in user data
+     * such as saved model files).
+     */
     size_t indexOf(const std::string &name) const;
 
     /** True if a counter with the given full name exists. */

@@ -1,6 +1,7 @@
 #include "sim/machine_spec.hpp"
 
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -49,7 +50,7 @@ machineClassFromName(const std::string &name)
         if (machineClassName(mc) == name)
             return mc;
     }
-    fatal("unknown machine class name: " + name);
+    raise("unknown machine class name: " + name);
 }
 
 MachineSpec

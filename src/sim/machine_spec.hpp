@@ -41,7 +41,10 @@ const std::vector<MachineClass> &extendedMachineClasses();
 /** Human-readable name ("Atom", "Core2", ...). */
 std::string machineClassName(MachineClass mc);
 
-/** Parse a class name produced by machineClassName(); fatal()s else. */
+/**
+ * Parse a class name produced by machineClassName(); raises
+ * RecoverableError otherwise.
+ */
 MachineClass machineClassFromName(const std::string &name);
 
 /** Storage technology of a platform's disks. */

@@ -4,6 +4,7 @@
 
 #include "oscounters/counter_catalog.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -53,7 +54,7 @@ Dataset::featureIndex(const std::string &name) const
         if (names[i] == name)
             return i;
     }
-    fatal("dataset feature not found: " + name);
+    raise("dataset feature not found: " + name);
 }
 
 int

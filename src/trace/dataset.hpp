@@ -62,7 +62,7 @@ class Dataset
         return names;
     }
 
-    /** Index of a named feature; fatal() if absent. */
+    /** Index of a named feature; raises RecoverableError if absent. */
     size_t featureIndex(const std::string &name) const;
 
     /** Append one row (used by builders and tests). */

@@ -37,7 +37,7 @@ saveDataset(const std::string &path, const Dataset &dataset)
     writeCsv(path, table);
 
     std::ofstream names(path + ".workloads");
-    fatalIf(!names, "cannot write workload sidecar for " + path);
+    raiseIf(!names, "cannot write workload sidecar for " + path);
     for (const auto &name : dataset.workloadNames())
         names << name << "\n";
 }
@@ -46,8 +46,10 @@ Dataset
 loadDataset(const std::string &path)
 {
     const CsvTable table = readCsv(path);
-    fatalIf(table.header.size() < 5,
-            "dataset CSV missing metadata columns: " + path);
+    raiseIf(table.header.size() < 5,
+            path + ":1: dataset CSV missing metadata columns (have " +
+                std::to_string(table.header.size()) +
+                ", need counters plus 4)");
 
     // Counter columns are everything before the "__" metadata block.
     std::vector<std::string> feature_names;
@@ -57,13 +59,15 @@ loadDataset(const std::string &path)
         feature_names.push_back(name);
     }
     const size_t p = feature_names.size();
-    fatalIf(table.header.size() != p + 4,
-            "dataset CSV has unexpected metadata layout: " + path);
+    raiseIf(table.header.size() != p + 4,
+            path + ":1: dataset CSV has unexpected metadata layout (" +
+                std::to_string(table.header.size() - p) +
+                " metadata columns, expected 4)");
 
     std::vector<std::string> workload_names;
     {
         std::ifstream names(path + ".workloads");
-        fatalIf(!names, "missing workload sidecar for " + path);
+        raiseIf(!names, "missing workload sidecar for " + path);
         std::string line;
         while (std::getline(names, line)) {
             line = trim(line);
@@ -73,18 +77,28 @@ loadDataset(const std::string &path)
     }
 
     Dataset ds(feature_names);
-    for (const auto &row : table.rows) {
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+        const auto &row = table.rows[r];
         std::vector<double> features(row.begin(), row.begin() + p);
         const double power = row[p];
         const int run = static_cast<int>(row[p + 1]);
         const int machine = static_cast<int>(row[p + 2]);
         const auto workload_id = static_cast<size_t>(row[p + 3]);
-        fatalIf(workload_id >= workload_names.size(),
-                "dataset CSV workload id out of range: " + path);
+        raiseIf(workload_id >= workload_names.size(),
+                path + ":" + std::to_string(table.lineOfRow(r)) +
+                    ": workload id " + std::to_string(workload_id) +
+                    " out of range (sidecar lists " +
+                    std::to_string(workload_names.size()) + ")");
         ds.addRow(features, power, run, machine,
                   workload_names[workload_id]);
     }
     return ds;
+}
+
+Result<Dataset>
+tryLoadDataset(const std::string &path)
+{
+    return tryInvoke([&] { return loadDataset(path); });
 }
 
 } // namespace chaos

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "trace/dataset.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -17,12 +18,18 @@ namespace chaos {
  * Write @p dataset to @p path as CSV. Metadata columns (power, run,
  * machine, workload id) are prefixed with "__" to stay clear of
  * counter names; a sidecar "<path>.workloads" file maps workload ids
- * to names.
+ * to names. Raises RecoverableError on I/O failure.
  */
 void saveDataset(const std::string &path, const Dataset &dataset);
 
-/** Reload a dataset written by saveDataset(); fatal() on format errors. */
+/**
+ * Reload a dataset written by saveDataset(). Raises RecoverableError
+ * on format errors, citing the offending file and line.
+ */
 Dataset loadDataset(const std::string &path);
+
+/** loadDataset() with value-style error handling. */
+Result<Dataset> tryLoadDataset(const std::string &path);
 
 } // namespace chaos
 

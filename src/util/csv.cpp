@@ -8,6 +8,17 @@
 
 namespace chaos {
 
+namespace {
+
+/** "path:line" prefix for parse diagnostics. */
+std::string
+at(const std::string &path, size_t line)
+{
+    return path + ":" + std::to_string(line);
+}
+
+} // namespace
+
 size_t
 CsvTable::columnIndex(const std::string &name) const
 {
@@ -15,7 +26,7 @@ CsvTable::columnIndex(const std::string &name) const
         if (header[i] == name)
             return i;
     }
-    fatal("CSV column not found: " + name);
+    raise("CSV column not found: " + name);
 }
 
 std::vector<double>
@@ -29,11 +40,19 @@ CsvTable::column(const std::string &name) const
     return out;
 }
 
+size_t
+CsvTable::lineOfRow(size_t row) const
+{
+    if (row < rowLines.size())
+        return rowLines[row];
+    return row + 2;  // Header is line 1; assume no blank lines.
+}
+
 void
 writeCsv(const std::string &path, const CsvTable &table)
 {
     std::ofstream file(path);
-    fatalIf(!file, "cannot open CSV for writing: " + path);
+    raiseIf(!file, "cannot open CSV for writing: " + path);
     file << join(table.header, ",") << "\n";
     for (const auto &row : table.rows) {
         panicIf(row.size() != table.header.size(),
@@ -45,39 +64,53 @@ writeCsv(const std::string &path, const CsvTable &table)
         }
         file << "\n";
     }
-    fatalIf(!file.good(), "I/O error while writing CSV: " + path);
+    raiseIf(!file.good(), "I/O error while writing CSV: " + path);
 }
 
 CsvTable
 readCsv(const std::string &path)
 {
     std::ifstream file(path);
-    fatalIf(!file, "cannot open CSV for reading: " + path);
+    raiseIf(!file, "cannot open CSV for reading: " + path);
 
     CsvTable table;
     std::string line;
-    fatalIf(!std::getline(file, line), "empty CSV file: " + path);
+    raiseIf(!std::getline(file, line), "empty CSV file: " + path);
     table.header = split(trim(line), ',');
 
+    size_t lineNo = 1;
     while (std::getline(file, line)) {
+        ++lineNo;
         line = trim(line);
         if (line.empty())
             continue;
         const auto fields = split(line, ',');
-        fatalIf(fields.size() != table.header.size(),
-                "CSV row width mismatch in " + path);
+        raiseIf(fields.size() != table.header.size(),
+                at(path, lineNo) + ": CSV row has " +
+                    std::to_string(fields.size()) + " fields, header has " +
+                    std::to_string(table.header.size()));
         std::vector<double> row;
         row.reserve(fields.size());
         for (const auto &field : fields) {
             char *end = nullptr;
             const double value = std::strtod(field.c_str(), &end);
-            fatalIf(end == field.c_str(),
-                    "non-numeric CSV field '" + field + "' in " + path);
+            // The whole field must parse: a partial parse ("0.3xyz")
+            // is corruption, not a number.
+            raiseIf(end != field.c_str() + field.size(),
+                    at(path, lineNo) + ": non-numeric CSV field '" +
+                        field + "'");
             row.push_back(value);
         }
         table.rows.push_back(std::move(row));
+        table.rowLines.push_back(lineNo);
     }
     return table;
+}
+
+Result<CsvTable>
+tryReadCsv(const std::string &path)
+{
+    return tryInvoke([&] { return readCsv(path); });
 }
 
 } // namespace chaos

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/result.hpp"
+
 namespace chaos {
 
 /** In-memory CSV table: a header plus numeric rows. */
@@ -20,19 +22,41 @@ struct CsvTable
     std::vector<std::string> header;
     /** Row-major numeric values; every row matches header size. */
     std::vector<std::vector<double>> rows;
+    /**
+     * 1-based source line of each row in the file it was read from
+     * (blank lines are skipped, so this is not simply index + 2).
+     * Empty for tables built in memory; parallel to rows otherwise.
+     */
+    std::vector<size_t> rowLines;
 
-    /** Index of a named column, or fatal() if absent. */
+    /**
+     * Index of a named column; raises RecoverableError if absent.
+     */
     size_t columnIndex(const std::string &name) const;
 
     /** Extract a whole column by name. */
     std::vector<double> column(const std::string &name) const;
+
+    /**
+     * Source line of row @p row for error messages; falls back to a
+     * header-relative guess when the table was built in memory.
+     */
+    size_t lineOfRow(size_t row) const;
 };
 
-/** Write @p table to @p path; fatal() on I/O failure. */
+/**
+ * Write @p table to @p path; raises RecoverableError on I/O failure.
+ */
 void writeCsv(const std::string &path, const CsvTable &table);
 
-/** Read a numeric CSV from @p path; fatal() on I/O or parse failure. */
+/**
+ * Read a numeric CSV from @p path; raises RecoverableError on I/O or
+ * parse failure, citing the offending "path:line".
+ */
 CsvTable readCsv(const std::string &path);
+
+/** readCsv() with value-style error handling. */
+Result<CsvTable> tryReadCsv(const std::string &path);
 
 } // namespace chaos
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -213,7 +214,7 @@ workloadByName(const std::string &name)
         if (workload->name() == name)
             return std::move(workload);
     }
-    fatal("unknown workload: " + name);
+    raise("unknown workload: " + name);
 }
 
 std::vector<std::string>

@@ -47,7 +47,10 @@ class Workload
 /** The paper's four workloads, in its order. */
 std::vector<std::unique_ptr<Workload>> standardWorkloads();
 
-/** Construct one standard workload by name; fatal() on unknown name. */
+/**
+ * Construct one standard workload by name; raises RecoverableError
+ * on an unknown name.
+ */
 std::unique_ptr<Workload> workloadByName(const std::string &name);
 
 /** Names of the standard workloads, in paper order. */

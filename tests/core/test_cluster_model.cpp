@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
+
 #include "campaign_fixture.hpp"
 
 namespace chaos {
@@ -105,8 +107,8 @@ TEST(ClusterPowerModel, UnknownClassIsFatal)
     ClusterPowerModel cluster_model;
     const std::vector<double> row(
         CounterCatalog::instance().size(), 0.0);
-    EXPECT_EXIT(cluster_model.predictMachine(MachineClass::XeonSas, row),
-                ::testing::ExitedWithCode(1), "no cluster model");
+    EXPECT_RAISES(cluster_model.predictMachine(MachineClass::XeonSas, row),
+                  "no cluster model");
 }
 
 TEST(ClusterPowerModel, MismatchedShapesPanic)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
+
 #include "campaign_fixture.hpp"
 #include "core/model_store.hpp"
 
@@ -57,9 +59,8 @@ TEST(ModelStore, FileRoundTrip)
 TEST(ModelStore, RejectsWrongMagic)
 {
     std::stringstream buffer("chaos-model 1\nlinear\n");
-    EXPECT_EXIT(loadMachineModel(buffer),
-                ::testing::ExitedWithCode(1),
-                "not a chaos machine model");
+    EXPECT_RAISES(loadMachineModel(buffer),
+                  "not a chaos machine model");
 }
 
 TEST(ModelStore, RejectsUnknownCounterName)
@@ -73,14 +74,13 @@ TEST(ModelStore, RejectsUnknownCounterName)
     ASSERT_NE(pos, std::string::npos);
     text.replace(pos, 9, "Imaginary");
     std::stringstream corrupted(text);
-    EXPECT_EXIT(loadMachineModel(corrupted),
-                ::testing::ExitedWithCode(1), "unknown counter");
+    EXPECT_RAISES(loadMachineModel(corrupted), "unknown counter");
 }
 
 TEST(ModelStore, FromPartsRejectsNull)
 {
-    EXPECT_EXIT(MachinePowerModel::fromParts(FeatureSet{}, nullptr),
-                ::testing::ExitedWithCode(1), "null model");
+    EXPECT_RAISES(MachinePowerModel::fromParts(FeatureSet{}, nullptr),
+                  "null model");
 }
 
 } // namespace

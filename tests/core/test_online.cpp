@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the hardened online estimation path: input validation,
+ * last-known-good imputation, envelope clamping, health-state
+ * transitions, and graceful cluster composition under telemetry loss.
+ */
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "campaign_fixture.hpp"
+#include "core/online.hpp"
+
+namespace chaos {
+namespace {
+
+using testing_support::core2Campaign;
+using testing_support::quickCampaignConfig;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+MachinePowerModel
+core2Model()
+{
+    const auto &campaign = core2Campaign();
+    return MachinePowerModel::fit(
+        campaign.data, clusterFeatureSet(campaign.selection),
+        ModelType::Quadratic, quickCampaignConfig().evaluation.mars);
+}
+
+OnlineEstimatorConfig
+core2Config()
+{
+    return OnlineEstimatorConfig::forSpec(
+        machineSpecFor(MachineClass::Core2));
+}
+
+std::vector<double>
+cleanRow(size_t r)
+{
+    return core2Campaign().data.features().row(r);
+}
+
+TEST(OnlineEstimator, HealthyOnCleanTelemetry)
+{
+    OnlinePowerEstimator estimator(core2Model(), core2Config());
+    for (size_t r = 0; r < 20; ++r)
+        estimator.estimate(cleanRow(r));
+    EXPECT_EQ(estimator.health(), MachineHealth::Healthy);
+    EXPECT_EQ(estimator.healthCounters().rejectedInputs, 0u);
+    EXPECT_EQ(estimator.healthCounters().imputedInputs, 0u);
+}
+
+TEST(OnlineEstimator, NanInputIsImputedFromLastGood)
+{
+    const MachinePowerModel model = core2Model();
+    OnlinePowerEstimator estimator(model, core2Config());
+
+    const double before = estimator.estimate(cleanRow(5));
+    std::vector<double> corrupted = cleanRow(5);
+    corrupted[model.catalogIndices()[0]] = kNan;
+    const double after = estimator.estimate(corrupted);
+
+    // The bad input was bridged with its last-known-good value, so
+    // the estimate is unchanged and still finite.
+    EXPECT_TRUE(std::isfinite(after));
+    EXPECT_DOUBLE_EQ(after, before);
+    EXPECT_EQ(estimator.health(), MachineHealth::Degraded);
+    EXPECT_GT(estimator.healthCounters().imputedInputs, 0u);
+    EXPECT_GT(estimator.healthCounters().rejectedInputs, 0u);
+}
+
+TEST(OnlineEstimator, ImplausiblyLargeInputIsRejected)
+{
+    const MachinePowerModel model = core2Model();
+    OnlinePowerEstimator estimator(model, core2Config());
+    estimator.estimate(cleanRow(0));
+
+    const size_t idx = model.catalogIndices()[0];
+    const double bound = CounterCatalog::instance().def(idx).maxPlausible;
+    std::vector<double> corrupted = cleanRow(0);
+    corrupted[idx] = bound * 2.0;
+    const double watts = estimator.estimate(corrupted);
+
+    EXPECT_TRUE(std::isfinite(watts));
+    EXPECT_EQ(estimator.health(), MachineHealth::Degraded);
+    EXPECT_GT(estimator.healthCounters().rejectedInputs, 0u);
+
+    std::vector<double> negative = cleanRow(0);
+    negative[idx] = -5.0;
+    estimator.estimate(negative);
+    EXPECT_EQ(estimator.health(), MachineHealth::Degraded);
+}
+
+TEST(OnlineEstimator, EmptyCatalogRowNeverCrashes)
+{
+    OnlinePowerEstimator estimator(core2Model(), core2Config());
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    // No telemetry at all, from the very first second: every
+    // estimate must still be finite and inside the envelope.
+    for (int t = 0; t < 30; ++t) {
+        const double watts = estimator.estimate({});
+        EXPECT_TRUE(std::isfinite(watts));
+        EXPECT_GE(watts, spec.idlePowerW);
+        EXPECT_LE(watts, spec.maxPowerW);
+    }
+    EXPECT_EQ(estimator.health(), MachineHealth::Lost);
+    EXPECT_GT(estimator.healthCounters().substitutedEstimates, 0u);
+}
+
+TEST(OnlineEstimator, TransitionsToLostAndBack)
+{
+    OnlinePowerEstimator estimator(core2Model(), core2Config());
+    const size_t catalogSize = CounterCatalog::instance().size();
+    const std::vector<double> allNan(catalogSize, kNan);
+
+    for (size_t r = 0; r < 20; ++r)
+        estimator.estimate(cleanRow(r));
+    const double trusted = estimator.meanEstimateW();
+
+    // Stale imputation first, Lost once the outage outlives the
+    // threshold; the substitute tracks the recent trusted mean.
+    double lastWatts = 0.0;
+    for (int t = 0; t < 15; ++t)
+        lastWatts = estimator.estimate(allNan);
+    EXPECT_EQ(estimator.health(), MachineHealth::Lost);
+    EXPECT_NEAR(lastWatts, trusted, 5.0);
+
+    // Telemetry returns: health recovers immediately.
+    estimator.estimate(cleanRow(21));
+    EXPECT_EQ(estimator.health(), MachineHealth::Healthy);
+}
+
+TEST(OnlineEstimator, ClampsToEnvelope)
+{
+    // A deliberately absurd envelope forces every prediction through
+    // the clamp.
+    OnlineEstimatorConfig config;
+    config.idlePowerW = 30.0;
+    config.maxPowerW = 31.0;
+    OnlinePowerEstimator estimator(core2Model(), config);
+    for (size_t r = 0; r < 50; ++r) {
+        const double watts = estimator.estimate(cleanRow(r));
+        EXPECT_GE(watts, 30.0);
+        EXPECT_LE(watts, 31.0);
+    }
+    EXPECT_GT(estimator.healthCounters().clampedEstimates, 0u);
+}
+
+TEST(OnlineEstimator, ResidualStatsAccumulateOnlyForFiniteMeter)
+{
+    const auto &campaign = core2Campaign();
+    OnlinePowerEstimator estimator(core2Model(), core2Config());
+
+    for (size_t r = 0; r < 10; ++r) {
+        estimator.estimateWithReference(cleanRow(r),
+                                        campaign.data.powerW()[r]);
+    }
+    EXPECT_EQ(estimator.residuals().count(), 10u);
+    EXPECT_LT(std::fabs(estimator.residuals().mean()), 5.0);
+
+    // Meter dropouts must not poison the residual statistics.
+    estimator.estimateWithReference(cleanRow(10), kNan);
+    estimator.estimateWithReference(
+        cleanRow(11), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(estimator.residuals().count(), 10u);
+    EXPECT_EQ(estimator.samples(), 12u);
+    EXPECT_TRUE(std::isfinite(estimator.residuals().mean()));
+}
+
+TEST(OnlineEstimator, HealthNamesAreDistinct)
+{
+    EXPECT_EQ(machineHealthName(MachineHealth::Healthy), "Healthy");
+    EXPECT_EQ(machineHealthName(MachineHealth::Degraded), "Degraded");
+    EXPECT_EQ(machineHealthName(MachineHealth::Stale), "Stale");
+    EXPECT_EQ(machineHealthName(MachineHealth::Lost), "Lost");
+}
+
+TEST(ClusterEstimator, SurvivesSingleMachineLoss)
+{
+    const MachinePowerModel model = core2Model();
+    const MachineSpec spec = machineSpecFor(MachineClass::Core2);
+    const std::vector<double> allNan(
+        CounterCatalog::instance().size(), kNan);
+
+    ClusterPowerEstimator cluster;
+    for (int m = 0; m < 3; ++m)
+        cluster.addMachine(model, core2Config());
+    ASSERT_EQ(cluster.numMachines(), 3u);
+
+    for (size_t r = 0; r < 20; ++r) {
+        cluster.estimateCluster(
+            {cleanRow(r), cleanRow(r), cleanRow(r)});
+    }
+    EXPECT_EQ(cluster.countInHealth(MachineHealth::Healthy), 3u);
+
+    // Machine 0 goes dark; the cluster total must stay finite and
+    // the lost machine's substitute must stay inside its envelope,
+    // bounding its error by the dynamic range.
+    double total = 0.0;
+    for (size_t r = 20; r < 40; ++r) {
+        total = cluster.estimateCluster(
+            {allNan, cleanRow(r), cleanRow(r)});
+        EXPECT_TRUE(std::isfinite(total));
+    }
+    EXPECT_EQ(cluster.machineHealth(0), MachineHealth::Lost);
+    EXPECT_EQ(cluster.countInHealth(MachineHealth::Lost), 1u);
+    EXPECT_EQ(cluster.countInHealth(MachineHealth::Healthy), 2u);
+    EXPECT_GE(total, 3.0 * spec.idlePowerW);
+    EXPECT_LE(total, 3.0 * spec.maxPowerW);
+    EXPECT_EQ(cluster.clusterEstimates().count(), 40u);
+}
+
+TEST(ClusterEstimator, MismatchedRowCountPanics)
+{
+    ClusterPowerEstimator cluster;
+    cluster.addMachine(core2Model(), core2Config());
+    EXPECT_DEATH(cluster.estimateCluster({}), "count mismatch");
+}
+
+} // namespace
+} // namespace chaos

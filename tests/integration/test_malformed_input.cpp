@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Malformed-user-input sweep: every load path must surface a
+ * RecoverableError (or a failed Result) instead of exiting the
+ * process. These tests run in-process — if any library path still
+ * called fatal()/exit, the whole test binary would die.
+ */
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "../support/raises.hpp"
+#include "core/model_store.hpp"
+#include "models/serialize.hpp"
+#include "oscounters/counter_catalog.hpp"
+#include "trace/trace_io.hpp"
+#include "util/csv.hpp"
+
+namespace chaos {
+namespace {
+
+std::string
+writeFile(const std::string &name, const std::string &content)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+TEST(MalformedInput, TruncatedDatasetCsv)
+{
+    // A dataset whose last row was cut off mid-write (power outage,
+    // full disk): the row is ragged and must be reported with its
+    // line number, not exit the process.
+    const std::string path = writeFile(
+        "truncated.csv", "util,freq,__power_w,__run_id,__machine_id,"
+                         "__workload_id\n"
+                         "50,2260,35.2,0,0,0\n"
+                         "80,2260\n");
+    EXPECT_RAISES(loadDataset(path), path + ":3");
+    const auto result = tryLoadDataset(path);
+    EXPECT_FALSE(result.hasValue());
+    std::remove(path.c_str());
+}
+
+TEST(MalformedInput, DatasetMissingRequiredColumns)
+{
+    const std::string path = writeFile("nocols.csv",
+                                       "util,freq\n50,2260\n");
+    EXPECT_RAISES(loadDataset(path), path + ":1");
+    std::remove(path.c_str());
+}
+
+TEST(MalformedInput, CorruptModelFile)
+{
+    const std::string garbage = writeFile(
+        "garbage.model", "this is not a model file at all\n");
+    const auto result = tryLoadModelFile(garbage);
+    EXPECT_FALSE(result.hasValue());
+    EXPECT_FALSE(result.error().empty());
+    EXPECT_RAISES(loadModelFile(garbage), "");
+    std::remove(garbage.c_str());
+}
+
+TEST(MalformedInput, MissingModelFile)
+{
+    EXPECT_RAISES(loadModelFile("/no/such/file.model"), "");
+    const auto result =
+        tryLoadMachineModelFile("/no/such/file.model");
+    EXPECT_FALSE(result.hasValue());
+}
+
+TEST(MalformedInput, CorruptMachineModelFile)
+{
+    const std::string garbage = writeFile(
+        "garbage.machine", "chaos-machine-model 99\nnonsense\n");
+    const auto result = tryLoadMachineModelFile(garbage);
+    EXPECT_FALSE(result.hasValue());
+    std::remove(garbage.c_str());
+}
+
+TEST(MalformedInput, UnknownCounterName)
+{
+    const auto &catalog = CounterCatalog::instance();
+    EXPECT_FALSE(catalog.contains("No\\Such Counter"));
+    EXPECT_RAISES(catalog.indexOf("No\\Such Counter"),
+                  "unknown counter name");
+}
+
+TEST(MalformedInput, NonNumericCsvField)
+{
+    const std::string path =
+        writeFile("alpha.csv", "a,b\n1,definitely-not-a-number\n");
+    EXPECT_RAISES(readCsv(path), "non-numeric CSV field");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace chaos

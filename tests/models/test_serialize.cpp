@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
+
 #include "models/factory.hpp"
 #include "models/serialize.hpp"
 #include "util/random.hpp"
@@ -91,15 +93,13 @@ TEST(Serialize, FileRoundTrip)
 TEST(Serialize, RejectsGarbage)
 {
     std::stringstream buffer("not-a-model 9");
-    EXPECT_EXIT(loadModel(buffer), ::testing::ExitedWithCode(1),
-                "not a chaos model");
+    EXPECT_RAISES(loadModel(buffer), "not a chaos model");
 }
 
 TEST(Serialize, RejectsWrongVersion)
 {
     std::stringstream buffer("chaos-model 99\nlinear\n");
-    EXPECT_EXIT(loadModel(buffer), ::testing::ExitedWithCode(1),
-                "unsupported");
+    EXPECT_RAISES(loadModel(buffer), "unsupported");
 }
 
 TEST(Serialize, RejectsTruncatedBody)
@@ -113,14 +113,15 @@ TEST(Serialize, RejectsTruncatedBody)
     saveModel(buffer, model);
     const std::string text = buffer.str();
     std::stringstream truncated(text.substr(0, text.size() / 2));
-    EXPECT_EXIT(loadModel(truncated), ::testing::ExitedWithCode(1),
-                "model file");
+    EXPECT_RAISES(loadModel(truncated), "model file");
 }
 
-TEST(Serialize, MissingFileIsFatal)
+TEST(Serialize, MissingFileIsRecoverable)
 {
-    EXPECT_EXIT(loadModelFile("/no/such/model.txt"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_RAISES(loadModelFile("/no/such/model.txt"), "cannot open");
+    const auto result = tryLoadModelFile("/no/such/model.txt");
+    EXPECT_FALSE(result.hasValue());
+    EXPECT_NE(result.error().find("cannot open"), std::string::npos);
 }
 
 TEST(Serialize, SavingUnfittedModelPanics)

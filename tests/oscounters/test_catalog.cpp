@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
+
 #include "oscounters/counter_catalog.hpp"
 
 namespace chaos {
@@ -125,8 +127,8 @@ TEST(Catalog, IndexOfRoundTrips)
 
 TEST(Catalog, UnknownNameIsFatal)
 {
-    EXPECT_EXIT(CounterCatalog::instance().indexOf("No\\Such Counter"),
-                ::testing::ExitedWithCode(1), "unknown counter");
+    EXPECT_RAISES(CounterCatalog::instance().indexOf("No\\Such Counter"),
+                  "unknown counter");
 }
 
 TEST(Catalog, CoDependenciesReferenceRealCounters)

@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
+
 #include "sim/machine_spec.hpp"
 
 namespace chaos {
@@ -25,8 +27,8 @@ TEST(MachineSpec, NameRoundTrip)
 
 TEST(MachineSpec, UnknownNameIsFatal)
 {
-    EXPECT_EXIT(machineClassFromName("Pentium"),
-                ::testing::ExitedWithCode(1), "unknown machine class");
+    EXPECT_RAISES(machineClassFromName("Pentium"),
+                  "unknown machine class");
 }
 
 TEST(MachineSpec, TableIPowerEnvelopes)

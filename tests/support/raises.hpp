@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Assertion helper for recoverable user-data errors: the statement
+ * must raise chaos::RecoverableError whose message contains the given
+ * substring. The library counterpart of EXPECT_EXIT for fatal().
+ */
+#ifndef CHAOS_TESTS_SUPPORT_RAISES_HPP
+#define CHAOS_TESTS_SUPPORT_RAISES_HPP
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/result.hpp"
+
+#define EXPECT_RAISES(statement, substring)                               \
+    do {                                                                  \
+        try {                                                             \
+            statement;                                                    \
+            ADD_FAILURE() << "expected RecoverableError containing '"     \
+                          << (substring) << "', nothing was raised";      \
+        } catch (const chaos::RecoverableError &raised_) {                \
+            EXPECT_NE(std::string(raised_.what()).find(substring),        \
+                      std::string::npos)                                  \
+                << "message was: " << raised_.what();                     \
+        }                                                                 \
+    } while (0)
+
+#endif // CHAOS_TESTS_SUPPORT_RAISES_HPP

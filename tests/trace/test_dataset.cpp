@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
+
 #include "oscounters/counter_catalog.hpp"
 #include "trace/dataset.hpp"
 #include "workloads/standard_workloads.hpp"
@@ -48,8 +50,7 @@ TEST(Dataset, FeatureIndexLookup)
 {
     const Dataset ds = tinyDataset();
     EXPECT_EQ(ds.featureIndex("f1"), 1u);
-    EXPECT_EXIT(ds.featureIndex("nope"),
-                ::testing::ExitedWithCode(1), "not found");
+    EXPECT_RAISES(ds.featureIndex("nope"), "not found");
 }
 
 TEST(Dataset, SelectFeaturesKeepsProvenance)

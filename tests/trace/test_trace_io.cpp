@@ -4,8 +4,11 @@
  */
 #include <cstdio>
 
+#include <fstream>
+
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
 #include "trace/trace_io.hpp"
 
 namespace chaos {
@@ -46,20 +49,40 @@ TEST(TraceIo, RoundTripPreservesEverything)
     std::remove((path + ".workloads").c_str());
 }
 
-TEST(TraceIo, MissingSidecarIsFatal)
+TEST(TraceIo, MissingSidecarIsRecoverable)
 {
     const std::string path = ::testing::TempDir() + "ds2.csv";
     saveDataset(path, sampleDataset());
     std::remove((path + ".workloads").c_str());
-    EXPECT_EXIT(loadDataset(path), ::testing::ExitedWithCode(1),
-                "sidecar");
+    EXPECT_RAISES(loadDataset(path), "sidecar");
     std::remove(path.c_str());
 }
 
-TEST(TraceIo, MissingFileIsFatal)
+TEST(TraceIo, MissingFileIsRecoverable)
 {
-    EXPECT_EXIT(loadDataset("/no/such/dataset.csv"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_RAISES(loadDataset("/no/such/dataset.csv"), "cannot open");
+    const auto result = tryLoadDataset("/no/such/dataset.csv");
+    EXPECT_FALSE(result.hasValue());
+    EXPECT_NE(result.error().find("cannot open"), std::string::npos);
+}
+
+TEST(TraceIo, BadWorkloadIdReportsFileAndLine)
+{
+    const std::string path = ::testing::TempDir() + "ds3.csv";
+    saveDataset(path, sampleDataset());
+    // Corrupt the workload id of the second data row (file line 3)
+    // to point past the sidecar table.
+    {
+        std::ofstream out(path);
+        out << "util,freq,disk,__power_w,__run_id,__machine_id,"
+               "__workload_id\n"
+            << "50.5,2260,1e6,35.2,0,0,0\n"
+            << "80,2260,2e6,41.7,0,1,9\n";
+    }
+    EXPECT_RAISES(loadDataset(path),
+                  path + ":3: workload id 9 out of range");
+    std::remove(path.c_str());
+    std::remove((path + ".workloads").c_str());
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
 #include "util/csv.hpp"
 
 namespace chaos {
@@ -48,39 +49,69 @@ TEST(Csv, ColumnExtraction)
     EXPECT_DOUBLE_EQ(col[2], 30.0);
 }
 
-TEST(Csv, MissingColumnIsFatal)
+TEST(Csv, MissingColumnIsRecoverable)
 {
     CsvTable table;
     table.header = {"x"};
-    EXPECT_EXIT(table.columnIndex("nope"),
-                ::testing::ExitedWithCode(1), "CSV column not found");
+    EXPECT_RAISES(table.columnIndex("nope"), "CSV column not found");
 }
 
-TEST(Csv, MissingFileIsFatal)
+TEST(Csv, MissingFileIsRecoverable)
 {
-    EXPECT_EXIT(readCsv("/nonexistent/dir/file.csv"),
-                ::testing::ExitedWithCode(1), "cannot open CSV");
+    EXPECT_RAISES(readCsv("/nonexistent/dir/file.csv"),
+                  "cannot open CSV");
+    const auto result = tryReadCsv("/nonexistent/dir/file.csv");
+    EXPECT_FALSE(result.hasValue());
+    EXPECT_NE(result.error().find("cannot open CSV"),
+              std::string::npos);
 }
 
-TEST(Csv, RaggedRowIsFatal)
+TEST(Csv, RaggedRowReportsLineNumber)
 {
     const std::string path = tempPath("ragged.csv");
     std::ofstream out(path);
     out << "a,b\n1,2\n3\n";
     out.close();
-    EXPECT_EXIT(readCsv(path), ::testing::ExitedWithCode(1),
-                "row width mismatch");
+    // The short row is on line 3 of the file.
+    EXPECT_RAISES(readCsv(path), path + ":3");
     std::remove(path.c_str());
 }
 
-TEST(Csv, NonNumericFieldIsFatal)
+TEST(Csv, NonNumericFieldReportsLineNumber)
 {
     const std::string path = tempPath("nonnum.csv");
     std::ofstream out(path);
     out << "a,b\n1,hello\n";
     out.close();
-    EXPECT_EXIT(readCsv(path), ::testing::ExitedWithCode(1),
-                "non-numeric CSV field");
+    EXPECT_RAISES(readCsv(path),
+                  path + ":2: non-numeric CSV field");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, PartiallyNumericFieldIsRejected)
+{
+    // strtod() would happily parse the "0.3" prefix; a trailing-
+    // garbage field is corruption and must be rejected whole.
+    const std::string path = tempPath("partial.csv");
+    std::ofstream out(path);
+    out << "a,b\n1,0.3banana02\n";
+    out.close();
+    EXPECT_RAISES(readCsv(path),
+                  path + ":2: non-numeric CSV field '0.3banana02'");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, RowLinesSkipBlankLines)
+{
+    const std::string path = tempPath("lines.csv");
+    std::ofstream out(path);
+    out << "a\n1\n\n\n2\n";
+    out.close();
+    const CsvTable loaded = readCsv(path);
+    ASSERT_EQ(loaded.rowLines.size(), 2u);
+    EXPECT_EQ(loaded.rowLines[0], 2u);
+    EXPECT_EQ(loaded.rowLines[1], 5u);
+    EXPECT_EQ(loaded.lineOfRow(1), 5u);
     std::remove(path.c_str());
 }
 

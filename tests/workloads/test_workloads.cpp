@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
+
 #include "workloads/standard_workloads.hpp"
 
 namespace chaos {
@@ -54,8 +56,7 @@ TEST(Workloads, StandardSetHasPaperOrder)
 TEST(Workloads, ByNameConstructsAndUnknownIsFatal)
 {
     EXPECT_EQ(workloadByName("Prime")->name(), "Prime");
-    EXPECT_EXIT(workloadByName("TensorFlow"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_RAISES(workloadByName("TensorFlow"), "unknown workload");
 }
 
 TEST(Workloads, PageRankGeneratesHundredsOfTasks)

@@ -7,10 +7,19 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "util/logging.hpp"
+#include "util/result.hpp"
 
 int
 main(int argc, char **argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
-    return chaos::runCli(args, std::cout, std::cerr);
+    // runCli() reports recoverable errors itself; this catch is the
+    // process boundary where anything that slips through becomes the
+    // classic fatal() exit. Library code never exits on user data.
+    try {
+        return chaos::runCli(args, std::cout, std::cerr);
+    } catch (const chaos::RecoverableError &e) {
+        chaos::fatal(e.message());
+    }
 }
