@@ -1,0 +1,304 @@
+/**
+ * @file
+ * End-to-end training-pipeline performance benchmark.
+ *
+ * Times the full train+eval path — MARS fits, stepwise elimination,
+ * cross-validated technique evaluation, the model/feature-set sweep,
+ * and the pooling comparison — on one seeded simulated cluster, in
+ * two algorithmic modes:
+ *
+ *  - legacy:    the reference search paths (per-candidate Gram
+ *               refactorization in MARS, per-iteration least-squares
+ *               refits in stepwise), single-threaded — the serial
+ *               baseline this PR-series started from;
+ *  - optimized: incremental MARS knot sweeps + bordered solves,
+ *               stepwise Gram reuse, and the thread pool, at 1, 2,
+ *               and 4+ threads.
+ *
+ * Besides wall time, the bench proves the optimization is safe: the
+ * cross-validated DRE and the fitted MARS coefficients must agree
+ * between the serial (CHAOS_THREADS=1) and parallel runs to within
+ * 1e-9 (they are bit-identical by construction: every parallel task
+ * writes its own slot and reductions run serially in index order).
+ *
+ * Writes BENCH_pipeline.json into the working directory and exits
+ * nonzero if any accuracy or sanity assertion fails, so tier-1 can
+ * run it as a smoke test (CHAOS_BENCH_FAST=1 shrinks the campaign).
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_support.hpp"
+#include "core/pooling.hpp"
+#include "models/mars.hpp"
+#include "models/stepwise.hpp"
+#include "util/parallel.hpp"
+#include "util/string_utils.hpp"
+
+using namespace chaos;
+
+namespace {
+
+double
+wallMs(const std::function<void()> &body)
+{
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+/** One timed pass over every pipeline stage. */
+struct StageTimes
+{
+    double marsFitMs = 0.0;
+    double stepwiseMs = 0.0;
+    double cvEvalMs = 0.0;
+    double sweepMs = 0.0;
+    double poolingMs = 0.0;
+
+    double total() const
+    {
+        return marsFitMs + stepwiseMs + cvEvalMs + sweepMs +
+               poolingMs;
+    }
+};
+
+struct PipelineRun
+{
+    StageTimes times;
+    double dre = 0.0;                  ///< CV DRE of the quadratic fit.
+    std::vector<double> marsCoef;      ///< Pooled MARS coefficients.
+};
+
+/** Run every stage once with the given algorithmic mode. */
+PipelineRun
+runPipeline(const ClusterCampaign &campaign,
+            const CampaignConfig &config, bool optimized)
+{
+    PipelineRun run;
+    const FeatureSet features = clusterFeatureSet(campaign.selection);
+
+    EvaluationConfig eval = config.evaluation;
+    eval.mars.incrementalSearch = optimized;
+    StepwiseConfig stepwise;
+    stepwise.reuseGram = optimized;
+
+    const Dataset subset =
+        campaign.data.selectFeaturesByName(features.counters);
+
+    // Pooled MARS fit (degree 2, the paper's strongest technique).
+    MarsConfig marsCfg = eval.mars;
+    marsCfg.maxDegree = 2;
+    run.times.marsFitMs = wallMs([&] {
+        MarsModel model(marsCfg);
+        model.fit(subset.features(), subset.powerW());
+        run.marsCoef = model.coefficients();
+    });
+
+    // Wald stepwise elimination over the full counter set — the
+    // Algorithm-1 screening shape (many columns, most insignificant).
+    run.times.stepwiseMs = wallMs([&] {
+        const StepwiseResult r = stepwiseEliminate(
+            campaign.data.features(), campaign.data.powerW(),
+            stepwise);
+        (void)r;
+    });
+
+    // Cross-validated evaluation of the quadratic technique.
+    run.times.cvEvalMs = wallMs([&] {
+        const EvaluationOutcome outcome =
+            evaluateTechnique(campaign.data, features,
+                              ModelType::Quadratic,
+                              campaign.envelopes, eval);
+        run.dre = outcome.avgDre;
+    });
+
+    // Model-family x feature-set sweep on one workload.
+    run.times.sweepMs = wallMs([&] {
+        const auto sweeps = sweepWorkloads(
+            campaign.data, {cpuOnlyFeatureSet(), features},
+            allModelTypes(), campaign.envelopes, eval,
+            {campaign.data.workloadNames().front()});
+        (void)sweeps;
+    });
+
+    // Pooled vs per-machine vs partial pooling comparison.
+    run.times.poolingMs = wallMs([&] {
+        const PoolingComparison cmp =
+            comparePooling(campaign.data, features,
+                           ModelType::PiecewiseLinear,
+                           campaign.envelopes, eval);
+        (void)cmp;
+    });
+    return run;
+}
+
+std::string
+stageJson(const std::string &name, double legacyMs,
+          const std::vector<std::pair<size_t, double>> &optimized)
+{
+    std::string out = "    {\"name\": \"" + name +
+                      "\", \"legacy_ms\": " +
+                      formatDouble(legacyMs, 3) +
+                      ", \"optimized\": [";
+    for (size_t i = 0; i < optimized.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "{\"threads\": " +
+               std::to_string(optimized[i].first) + ", \"ms\": " +
+               formatDouble(optimized[i].second, 3) + "}";
+    }
+    return out + "]}";
+}
+
+} // namespace
+
+int
+main()
+{
+    const CampaignConfig config = bench::paperCampaignConfig();
+    std::cout << "== perf_pipeline: end-to-end training speed, "
+                 "legacy vs optimized ==\n\n";
+
+    ClusterCampaign campaign =
+        bench::campaignFor(MachineClass::Core2, config);
+    bench::dropRawRuns(campaign);
+
+    const size_t hw =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+    std::vector<size_t> threadCounts = {1, 2, 4};
+    if (hw > 4)
+        threadCounts.push_back(hw);
+
+    // Legacy serial baseline.
+    setGlobalThreadCount(1);
+    const PipelineRun legacy = runPipeline(campaign, config, false);
+
+    // Optimized path at each thread count.
+    std::vector<std::pair<size_t, PipelineRun>> optimized;
+    for (size_t t : threadCounts) {
+        setGlobalThreadCount(t);
+        optimized.emplace_back(t,
+                               runPipeline(campaign, config, true));
+    }
+    setGlobalThreadCount(1);
+
+    // --- Report. ---
+    auto row = [](const std::string &label, const StageTimes &t) {
+        std::printf("%-16s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+                    label.c_str(), t.marsFitMs, t.stepwiseMs,
+                    t.cvEvalMs, t.sweepMs, t.poolingMs, t.total());
+    };
+    std::printf("%-16s %9s %9s %9s %9s %9s %9s\n", "config",
+                "mars", "stepwise", "cv_eval", "sweep", "pooling",
+                "total");
+    row("legacy@1", legacy.times);
+    for (const auto &[t, r] : optimized)
+        row("optimized@" + std::to_string(t), r.times);
+
+    double bestMs = optimized.front().second.times.total();
+    size_t bestThreads = optimized.front().first;
+    for (const auto &[t, r] : optimized) {
+        if (r.times.total() < bestMs) {
+            bestMs = r.times.total();
+            bestThreads = t;
+        }
+    }
+    const double speedup = legacy.times.total() / bestMs;
+    std::printf("\nend-to-end speedup (legacy@1 -> optimized@%zu): "
+                "%.2fx\n",
+                bestThreads, speedup);
+
+    // --- Accuracy: serial vs parallel optimized runs must agree. ---
+    const PipelineRun &serial = optimized.front().second;
+    const PipelineRun &parallel = optimized.back().second;
+    const double dreDiff = std::fabs(serial.dre - parallel.dre);
+    double coefDiff = 0.0;
+    const bool coefShapeOk =
+        serial.marsCoef.size() == parallel.marsCoef.size();
+    if (coefShapeOk) {
+        for (size_t i = 0; i < serial.marsCoef.size(); ++i) {
+            coefDiff = std::max(
+                coefDiff, std::fabs(serial.marsCoef[i] -
+                                    parallel.marsCoef[i]));
+        }
+    }
+    std::printf("DRE serial=%.6f parallel=%.6f |diff|=%.3g; "
+                "max coef |diff|=%.3g\n",
+                serial.dre, parallel.dre, dreDiff, coefDiff);
+
+    // --- BENCH_pipeline.json. ---
+    std::string json = "{\n";
+    json += "  \"bench\": \"perf_pipeline\",\n";
+    json += "  \"fast_mode\": " +
+            std::string(bench::fastMode() ? "true" : "false") + ",\n";
+    json += "  \"hardware_threads\": " + std::to_string(hw) + ",\n";
+    json += "  \"rows\": " +
+            std::to_string(campaign.data.numRows()) + ",\n";
+    json += "  \"features\": " +
+            std::to_string(campaign.data.numFeatures()) + ",\n";
+    json += "  \"stages\": [\n";
+    auto stage = [&](const std::string &name,
+                     double StageTimes::*member) {
+        std::vector<std::pair<size_t, double>> per_thread;
+        for (const auto &[t, r] : optimized)
+            per_thread.emplace_back(t, r.times.*member);
+        return stageJson(name, legacy.times.*member, per_thread);
+    };
+    json += stage("mars_fit", &StageTimes::marsFitMs) + ",\n";
+    json += stage("stepwise", &StageTimes::stepwiseMs) + ",\n";
+    json += stage("cv_eval", &StageTimes::cvEvalMs) + ",\n";
+    json += stage("sweep", &StageTimes::sweepMs) + ",\n";
+    json += stage("pooling", &StageTimes::poolingMs) + "\n";
+    json += "  ],\n";
+    json += "  \"end_to_end\": {\"legacy_ms\": " +
+            formatDouble(legacy.times.total(), 3) +
+            ", \"best_optimized_ms\": " + formatDouble(bestMs, 3) +
+            ", \"best_threads\": " + std::to_string(bestThreads) +
+            ", \"speedup\": " + formatDouble(speedup, 3) + "},\n";
+    json += "  \"accuracy\": {\"dre_serial\": " +
+            formatDouble(serial.dre, 9) + ", \"dre_parallel\": " +
+            formatDouble(parallel.dre, 9) + ", \"dre_abs_diff\": " +
+            formatDouble(dreDiff, 12) +
+            ", \"mars_coef_max_abs_diff\": " +
+            formatDouble(coefDiff, 12) + ", \"dre_legacy\": " +
+            formatDouble(legacy.dre, 9) + "}\n";
+    json += "}\n";
+    std::ofstream out("BENCH_pipeline.json");
+    out << json;
+    out.close();
+    std::cout << "\nwrote BENCH_pipeline.json\n";
+
+    // --- Assertions (smoke contract for tier-1). ---
+    int failures = 0;
+    auto require = [&](bool ok, const std::string &what) {
+        if (!ok) {
+            std::cerr << "FAIL: " << what << "\n";
+            ++failures;
+        }
+    };
+    require(std::isfinite(serial.dre) && serial.dre > 0.0,
+            "cross-validated DRE is finite and positive");
+    require(std::isfinite(legacy.dre),
+            "legacy-path DRE is finite");
+    require(coefShapeOk,
+            "serial and parallel MARS fits have the same basis");
+    require(dreDiff <= 1e-9,
+            "serial vs parallel DRE within 1e-9");
+    require(coefDiff <= 1e-9,
+            "serial vs parallel MARS coefficients within 1e-9");
+    require(speedup >= 1.0,
+            "optimized pipeline at least as fast as legacy");
+    if (failures == 0)
+        std::cout << "perf_pipeline: PASS\n";
+    return failures == 0 ? 0 : 1;
+}

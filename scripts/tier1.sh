@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the
-# fault-injection tests again under ASan + UBSan (CHAOS_SANITIZE=ON)
-# so memory errors in the degraded-telemetry paths cannot slip
-# through a plain build.
+# Tier-1 verification: full build + test suite, the fault-injection
+# tests again under ASan + UBSan (CHAOS_SANITIZE=ON) so memory errors
+# in the degraded-telemetry paths cannot slip through a plain build,
+# the parallel-pipeline tests under ThreadSanitizer
+# (CHAOS_SANITIZE=thread), and a perf_pipeline smoke run (the bench
+# itself asserts speedup >= 1.0 and serial == parallel accuracy with
+# a finite DRE, exiting nonzero otherwise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,10 +15,23 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 echo
+echo "== tier 1: perf pipeline smoke (fast mode) =="
+CHAOS_BENCH_FAST=1 ./build/bench/perf_pipeline
+
+echo
 echo "== tier 1: fault-injection tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCHAOS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)" --target test_faults
 ./build-asan/tests/test_faults
+
+echo
+echo "== tier 1: parallel tests under TSan =="
+cmake -B build-tsan -S . -DCHAOS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target test_util test_core
+CHAOS_THREADS=8 ./build-tsan/tests/test_util \
+    --gtest_filter='ParallelTest.*'
+CHAOS_BENCH_FAST=1 CHAOS_THREADS=8 ./build-tsan/tests/test_core \
+    --gtest_filter='ParallelDeterminism.*'
 
 echo
 echo "tier 1: PASS"

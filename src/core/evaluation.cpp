@@ -7,6 +7,7 @@
 #include "stats/descriptive.hpp"
 #include "stats/kfold.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace chaos {
 
@@ -61,6 +62,24 @@ buildModel(const FeatureSet &featureSet, ModelType type,
     return makeModel(type, options);
 }
 
+/**
+ * Everything one cross-validation fold produces. Folds are trained
+ * concurrently (the fold assignment is fixed before the parallel
+ * region, so every fold is a pure function of the shared dataset);
+ * the caller merges these in fold-index order, which reproduces the
+ * serial accumulation bit-for-bit regardless of thread count.
+ */
+struct FoldOutcome
+{
+    bool ran = false;
+    size_t params = 0;
+    std::vector<double> predictions;
+    std::vector<double> actual;
+    std::vector<double> machineDre;
+    std::vector<double> machineRmse;
+    std::vector<double> machinePct;
+};
+
 } // namespace
 
 EnvelopeMap
@@ -102,60 +121,80 @@ evaluateTechnique(const Dataset &data, const FeatureSet &featureSet,
     Rng rng(config.seed);
     auto folds = groupedKFold(subset.runIds(), config.folds, rng);
 
+    // The rng is fully consumed by the fold assignment above, so each
+    // fold below is independent and can train concurrently.
+    const auto per_fold = parallelMap<FoldOutcome>(
+        folds.size(), [&](size_t fi) {
+            FoldOutcome out;
+            const auto &fold = folds[fi];
+            // Paper protocol: the small side is the training set.
+            const auto &train_rows = config.trainOnSingleFold
+                                         ? fold.testIndices
+                                         : fold.trainIndices;
+            const auto &test_rows = config.trainOnSingleFold
+                                        ? fold.trainIndices
+                                        : fold.testIndices;
+            if (train_rows.size() <
+                    featureSet.counters.size() + 5 ||
+                test_rows.empty()) {
+                return out;
+            }
+
+            const Dataset train = subset.selectRows(train_rows);
+            const Dataset test = subset.selectRows(test_rows);
+
+            auto model = buildModel(featureSet, type, config.mars);
+            model->fit(train.features(), train.powerW());
+            out.params = model->numParameters();
+
+            out.predictions = model->predictAll(test.features());
+            out.actual = test.powerW();
+
+            // Per-machine metrics against that machine's envelope.
+            std::set<int> machines(test.machineIds().begin(),
+                                   test.machineIds().end());
+            for (int machine : machines) {
+                std::vector<double> mp, ma;
+                for (size_t r = 0; r < test.numRows(); ++r) {
+                    if (test.machineIds()[r] == machine) {
+                        mp.push_back(out.predictions[r]);
+                        ma.push_back(out.actual[r]);
+                    }
+                }
+                if (mp.size() < 10)
+                    continue;
+                const auto it = envelopes.find(machine);
+                panicIf(it == envelopes.end(),
+                        "missing envelope for machine");
+                const double rmse = rootMeanSquaredError(mp, ma);
+                out.machineRmse.push_back(rmse);
+                out.machinePct.push_back(rmse / mean(ma));
+                out.machineDre.push_back(
+                    rmse /
+                    (it->second.maxPowerW - it->second.idlePowerW));
+            }
+            out.ran = true;
+            return out;
+        });
+
     std::vector<double> machine_dre, machine_rmse, machine_pct;
     std::vector<double> pooled_pred, pooled_actual;
     size_t total_params = 0;
-
-    for (auto &fold : folds) {
-        // Paper protocol: the small side is the training set.
-        const auto &train_rows = config.trainOnSingleFold
-                                     ? fold.testIndices
-                                     : fold.trainIndices;
-        const auto &test_rows = config.trainOnSingleFold
-                                    ? fold.trainIndices
-                                    : fold.testIndices;
-        if (train_rows.size() < featureSet.counters.size() + 5 ||
-            test_rows.empty()) {
+    for (const auto &fr : per_fold) {
+        if (!fr.ran)
             continue;
-        }
-
-        const Dataset train = subset.selectRows(train_rows);
-        const Dataset test = subset.selectRows(test_rows);
-
-        auto model = buildModel(featureSet, type, config.mars);
-        model->fit(train.features(), train.powerW());
-        total_params += model->numParameters();
-
-        const auto predictions = model->predictAll(test.features());
-        const auto &actual = test.powerW();
-        pooled_pred.insert(pooled_pred.end(), predictions.begin(),
-                           predictions.end());
-        pooled_actual.insert(pooled_actual.end(), actual.begin(),
-                             actual.end());
-
-        // Per-machine metrics against that machine's envelope.
-        std::set<int> machines(test.machineIds().begin(),
-                               test.machineIds().end());
-        for (int machine : machines) {
-            std::vector<double> mp, ma;
-            for (size_t r = 0; r < test.numRows(); ++r) {
-                if (test.machineIds()[r] == machine) {
-                    mp.push_back(predictions[r]);
-                    ma.push_back(actual[r]);
-                }
-            }
-            if (mp.size() < 10)
-                continue;
-            const auto it = envelopes.find(machine);
-            panicIf(it == envelopes.end(),
-                    "missing envelope for machine");
-            const double rmse = rootMeanSquaredError(mp, ma);
-            machine_rmse.push_back(rmse);
-            machine_pct.push_back(rmse / mean(ma));
-            machine_dre.push_back(
-                rmse /
-                (it->second.maxPowerW - it->second.idlePowerW));
-        }
+        total_params += fr.params;
+        pooled_pred.insert(pooled_pred.end(), fr.predictions.begin(),
+                           fr.predictions.end());
+        pooled_actual.insert(pooled_actual.end(), fr.actual.begin(),
+                             fr.actual.end());
+        machine_dre.insert(machine_dre.end(), fr.machineDre.begin(),
+                           fr.machineDre.end());
+        machine_rmse.insert(machine_rmse.end(),
+                            fr.machineRmse.begin(),
+                            fr.machineRmse.end());
+        machine_pct.insert(machine_pct.end(), fr.machinePct.begin(),
+                           fr.machinePct.end());
         ++outcome.foldsRun;
     }
 

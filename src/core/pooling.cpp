@@ -8,6 +8,7 @@
 #include "stats/kfold.hpp"
 #include "stats/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace chaos {
 
@@ -66,6 +67,21 @@ accumulateMachineDre(const Dataset &test,
     }
 }
 
+/**
+ * All three pooling strategies evaluated on one fold. Folds run
+ * concurrently (the assignment is fixed before the parallel region);
+ * the caller merges outcomes in fold-index order so the accumulated
+ * vectors — and hence every mean and variance — match the serial
+ * loop bit-for-bit at any thread count.
+ */
+struct PoolingFoldOutcome
+{
+    bool ran = false;
+    std::vector<double> pooledDres, perMachineDres, partialDres;
+    std::vector<double> pooledResiduals, perMachineResiduals,
+        partialResiduals;
+};
+
 } // namespace
 
 PoolingComparison
@@ -81,84 +97,116 @@ comparePooling(const Dataset &data, const FeatureSet &featureSet,
     Rng rng(config.seed);
     auto folds = groupedKFold(subset.runIds(), config.folds, rng);
 
+    // The rng is fully consumed by the fold assignment above; no task
+    // below touches shared generator state.
+    const auto per_fold = parallelMap<PoolingFoldOutcome>(
+        folds.size(), [&](size_t fi) {
+            PoolingFoldOutcome out;
+            const auto &fold = folds[fi];
+            const auto &train_rows = config.trainOnSingleFold
+                                         ? fold.testIndices
+                                         : fold.trainIndices;
+            const auto &test_rows = config.trainOnSingleFold
+                                        ? fold.trainIndices
+                                        : fold.testIndices;
+            if (train_rows.size() <
+                    featureSet.counters.size() + 5 ||
+                test_rows.empty()) {
+                return out;
+            }
+            const Dataset train = subset.selectRows(train_rows);
+            const Dataset test = subset.selectRows(test_rows);
+
+            // --- Pooled. ---
+            auto pooled = build(featureSet, type, config.mars);
+            pooled->fit(train.features(), train.powerW());
+            const auto pooled_pred =
+                pooled->predictAll(test.features());
+            accumulateMachineDre(test, pooled_pred, envelopes,
+                                 out.pooledDres,
+                                 out.pooledResiduals);
+
+            // --- Partial pooling: per-machine intercept offsets
+            // from training residuals. ---
+            std::map<int, double> offsets;
+            {
+                const auto train_pred =
+                    pooled->predictAll(train.features());
+                std::map<int, RunningStats> residual_stats;
+                for (size_t r = 0; r < train.numRows(); ++r) {
+                    residual_stats[train.machineIds()[r]].add(
+                        train.powerW()[r] - train_pred[r]);
+                }
+                for (auto &[machine, stats] : residual_stats)
+                    offsets[machine] = stats.mean();
+            }
+            std::vector<double> partial_pred(pooled_pred);
+            for (size_t r = 0; r < test.numRows(); ++r) {
+                const auto it = offsets.find(test.machineIds()[r]);
+                if (it != offsets.end())
+                    partial_pred[r] += it->second;
+            }
+            accumulateMachineDre(test, partial_pred, envelopes,
+                                 out.partialDres,
+                                 out.partialResiduals);
+
+            // --- Per-machine models, fitted concurrently. Each task
+            // writes only the prediction slots of its own machine's
+            // test rows (disjoint by construction; `covered` is a
+            // char vector so element writes never share a byte the
+            // way std::vector<bool> bits would). ---
+            const std::set<int> machine_set(
+                train.machineIds().begin(), train.machineIds().end());
+            const std::vector<int> machines(machine_set.begin(),
+                                            machine_set.end());
+            std::vector<double> pm_pred(test.numRows(), 0.0);
+            std::vector<char> covered(test.numRows(), 0);
+            parallelFor(machines.size(), [&](size_t mi) {
+                const int machine = machines[mi];
+                const Dataset m_train = train.filterMachine(machine);
+                if (m_train.numRows() <
+                    featureSet.counters.size() + 5) {
+                    return;
+                }
+                auto model = build(featureSet, type, config.mars);
+                model->fit(m_train.features(), m_train.powerW());
+                for (size_t r = 0; r < test.numRows(); ++r) {
+                    if (test.machineIds()[r] == machine) {
+                        pm_pred[r] = model->predict(
+                            test.features().row(r));
+                        covered[r] = 1;
+                    }
+                }
+            });
+            // Rows of machines lacking their own model fall back to
+            // the pooled prediction (keeps the comparison fair).
+            for (size_t r = 0; r < test.numRows(); ++r) {
+                if (!covered[r])
+                    pm_pred[r] = pooled_pred[r];
+            }
+            accumulateMachineDre(test, pm_pred, envelopes,
+                                 out.perMachineDres,
+                                 out.perMachineResiduals);
+            out.ran = true;
+            return out;
+        });
+
     std::vector<double> pooled_dres, per_machine_dres, partial_dres;
     std::vector<double> pooled_residuals, per_machine_residuals,
         partial_residuals;
-
-    for (auto &fold : folds) {
-        const auto &train_rows = config.trainOnSingleFold
-                                     ? fold.testIndices
-                                     : fold.trainIndices;
-        const auto &test_rows = config.trainOnSingleFold
-                                    ? fold.trainIndices
-                                    : fold.testIndices;
-        if (train_rows.size() < featureSet.counters.size() + 5 ||
-            test_rows.empty()) {
+    auto append = [](std::vector<double> &dst,
+                     const std::vector<double> &src) {
+        dst.insert(dst.end(), src.begin(), src.end());
+    };
+    for (const auto &fr : per_fold) {
+        if (!fr.ran)
             continue;
-        }
-        const Dataset train = subset.selectRows(train_rows);
-        const Dataset test = subset.selectRows(test_rows);
-
-        // --- Pooled. ---
-        auto pooled = build(featureSet, type, config.mars);
-        pooled->fit(train.features(), train.powerW());
-        const auto pooled_pred = pooled->predictAll(test.features());
-        accumulateMachineDre(test, pooled_pred, envelopes,
-                             pooled_dres, pooled_residuals);
-
-        // --- Partial pooling: per-machine intercept offsets from
-        // training residuals. ---
-        std::map<int, double> offsets;
-        {
-            const auto train_pred =
-                pooled->predictAll(train.features());
-            std::map<int, RunningStats> residual_stats;
-            for (size_t r = 0; r < train.numRows(); ++r) {
-                residual_stats[train.machineIds()[r]].add(
-                    train.powerW()[r] - train_pred[r]);
-            }
-            for (auto &[machine, stats] : residual_stats)
-                offsets[machine] = stats.mean();
-        }
-        std::vector<double> partial_pred(pooled_pred);
-        for (size_t r = 0; r < test.numRows(); ++r) {
-            const auto it = offsets.find(test.machineIds()[r]);
-            if (it != offsets.end())
-                partial_pred[r] += it->second;
-        }
-        accumulateMachineDre(test, partial_pred, envelopes,
-                             partial_dres, partial_residuals);
-
-        // --- Per-machine models. ---
-        std::set<int> machines(train.machineIds().begin(),
-                               train.machineIds().end());
-        std::vector<double> pm_pred(test.numRows(), 0.0);
-        std::vector<bool> covered(test.numRows(), false);
-        for (int machine : machines) {
-            const Dataset m_train = train.filterMachine(machine);
-            if (m_train.numRows() <
-                featureSet.counters.size() + 5) {
-                continue;
-            }
-            auto model = build(featureSet, type, config.mars);
-            model->fit(m_train.features(), m_train.powerW());
-            for (size_t r = 0; r < test.numRows(); ++r) {
-                if (test.machineIds()[r] == machine) {
-                    pm_pred[r] = model->predict(
-                        test.features().row(r));
-                    covered[r] = true;
-                }
-            }
-        }
-        // Rows of machines lacking their own model fall back to the
-        // pooled prediction (keeps the comparison fair).
-        for (size_t r = 0; r < test.numRows(); ++r) {
-            if (!covered[r])
-                pm_pred[r] = pooled_pred[r];
-        }
-        accumulateMachineDre(test, pm_pred, envelopes,
-                             per_machine_dres,
-                             per_machine_residuals);
+        append(pooled_dres, fr.pooledDres);
+        append(pooled_residuals, fr.pooledResiduals);
+        append(partial_dres, fr.partialDres);
+        append(partial_residuals, fr.partialResiduals);
+        append(per_machine_dres, fr.perMachineDres);
+        append(per_machine_residuals, fr.perMachineResiduals);
     }
 
     panicIf(pooled_dres.empty(),

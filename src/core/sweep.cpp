@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace chaos {
 
@@ -46,16 +47,20 @@ sweepWorkloads(const Dataset &clusterData,
             warn("sweep: no rows for workload " + workload);
             continue;
         }
-        for (ModelType type : types) {
-            for (const auto &featureSet : featureSets) {
-                SweepCell cell;
-                cell.type = type;
-                cell.featureSetName = featureSet.name;
-                cell.outcome = evaluateTechnique(
-                    slice, featureSet, type, envelopes, config);
-                sweep.cells.push_back(std::move(cell));
-            }
-        }
+        // Evaluate the (technique, feature set) grid concurrently;
+        // each cell is an independent cross-validation run, and the
+        // flattened index keeps cells in the serial loop's order.
+        const size_t grid = types.size() * featureSets.size();
+        sweep.cells = parallelMap<SweepCell>(grid, [&](size_t g) {
+            SweepCell cell;
+            cell.type = types[g / featureSets.size()];
+            const auto &featureSet =
+                featureSets[g % featureSets.size()];
+            cell.featureSetName = featureSet.name;
+            cell.outcome = evaluateTechnique(
+                slice, featureSet, cell.type, envelopes, config);
+            return cell;
+        });
         sweeps.push_back(std::move(sweep));
     }
     return sweeps;

@@ -83,6 +83,113 @@ Cholesky::solve(const std::vector<double> &b) const
     return x;
 }
 
+std::vector<double>
+Cholesky::forwardSolve(const std::vector<double> &b) const
+{
+    const size_t n = lower.rows();
+    panicIf(b.size() != n, "Cholesky::forwardSolve size mismatch");
+    std::vector<double> z(n);
+    for (size_t i = 0; i < n; ++i) {
+        double value = b[i];
+        const double *row = lower.rowPtr(i);
+        for (size_t k = 0; k < i; ++k)
+            value -= row[k] * z[k];
+        z[i] = value / row[i];
+    }
+    return z;
+}
+
+void
+Cholesky::update(const std::vector<double> &v)
+{
+    const size_t n = lower.rows();
+    panicIf(v.size() != n, "Cholesky::update size mismatch");
+    std::vector<double> w = v;
+    // Classic Givens-style cholupdate: rotate w into the factor one
+    // column at a time.
+    for (size_t j = 0; j < n; ++j) {
+        const double ljj = lower(j, j);
+        const double r = std::sqrt(ljj * ljj + w[j] * w[j]);
+        const double c = r / ljj;
+        const double s = w[j] / ljj;
+        lower(j, j) = r;
+        for (size_t i = j + 1; i < n; ++i) {
+            lower(i, j) = (lower(i, j) + s * w[i]) / c;
+            w[i] = c * w[i] - s * lower(i, j);
+        }
+    }
+}
+
+bool
+Cholesky::downdate(const std::vector<double> &v)
+{
+    const size_t n = lower.rows();
+    panicIf(v.size() != n, "Cholesky::downdate size mismatch");
+    std::vector<double> w = v;
+    for (size_t j = 0; j < n; ++j) {
+        const double ljj = lower(j, j);
+        const double r2 = ljj * ljj - w[j] * w[j];
+        if (!(r2 > 0.0) || !std::isfinite(r2))
+            return false;  // Downdated matrix lost definiteness.
+        const double r = std::sqrt(r2);
+        const double c = r / ljj;
+        const double s = w[j] / ljj;
+        lower(j, j) = r;
+        for (size_t i = j + 1; i < n; ++i) {
+            lower(i, j) = (lower(i, j) - s * w[i]) / c;
+            w[i] = c * w[i] - s * lower(i, j);
+        }
+    }
+    return true;
+}
+
+Cholesky
+Cholesky::dropColumn(size_t k) const
+{
+    const size_t n = lower.rows();
+    panicIf(k >= n, "Cholesky::dropColumn out of range");
+
+    // Delete row/column k of L; the leading (k x k) block is still a
+    // valid factor. The trailing block loses column k's contribution
+    // L(i,k)*L(j,k), which a rank-1 update with that column restores.
+    Matrix next(n - 1, n - 1);
+    for (size_t i = 0, oi = 0; i < n; ++i) {
+        if (i == k)
+            continue;
+        const double *src = lower.rowPtr(i);
+        double *dst = next.rowPtr(oi);
+        for (size_t j = 0, oj = 0; j <= i; ++j) {
+            if (j == k)
+                continue;
+            dst[oj] = src[j];
+            ++oj;
+        }
+        ++oi;
+    }
+    Cholesky out(std::move(next));
+    out.ridgeUsed = ridgeUsed;
+    if (k + 1 < n) {
+        // Rank-1 update of the trailing block with u = L(k+1.., k).
+        std::vector<double> w(n - 1 - k);
+        for (size_t i = k + 1; i < n; ++i)
+            w[i - k - 1] = lower(i, k);
+        Matrix &l = out.lower;
+        for (size_t j = k; j < n - 1; ++j) {
+            const double ljj = l(j, j);
+            const double wj = w[j - k];
+            const double r = std::sqrt(ljj * ljj + wj * wj);
+            const double c = r / ljj;
+            const double s = wj / ljj;
+            l(j, j) = r;
+            for (size_t i = j + 1; i < n - 1; ++i) {
+                l(i, j) = (l(i, j) + s * w[i - k]) / c;
+                w[i - k] = c * w[i - k] - s * l(i, j);
+            }
+        }
+    }
+    return out;
+}
+
 Matrix
 Cholesky::inverse() const
 {

@@ -41,6 +41,38 @@ class Cholesky
     /** Solve L L^T x = b. */
     std::vector<double> solve(const std::vector<double> &b) const;
 
+    /**
+     * Forward substitution only: solve L z = b. Building block for
+     * bordered (Schur-complement) solves that append candidate
+     * columns to an already-factored Gram system.
+     */
+    std::vector<double> forwardSolve(const std::vector<double> &b) const;
+
+    /**
+     * Rank-1 update in place: refactor so the represented matrix
+     * becomes A + v v^T. O(n^2) instead of an O(n^3) refactorization.
+     */
+    void update(const std::vector<double> &v);
+
+    /**
+     * Rank-1 downdate in place: A - v v^T. Returns false (leaving
+     * the factor in an unspecified state) when the downdated matrix
+     * is not positive definite; callers should refactor from scratch
+     * in that case.
+     */
+    bool downdate(const std::vector<double> &v);
+
+    /**
+     * Factorization of the matrix with row and column @p k removed —
+     * the stepwise-elimination step. Deleting column k of L and
+     * rank-1-updating the trailing block costs O((n-k)^2) versus
+     * O(n^3) for refactoring the shrunken Gram matrix.
+     */
+    Cholesky dropColumn(size_t k) const;
+
+    /** Order of the factored matrix. */
+    size_t order() const { return lower.rows(); }
+
     /** Inverse of the factored matrix (for coefficient covariances). */
     Matrix inverse() const;
 

@@ -56,8 +56,9 @@ Matrix::column(size_t c) const
 {
     panicIf(c >= numCols, "Matrix::column out of range");
     std::vector<double> out(numRows);
-    for (size_t r = 0; r < numRows; ++r)
-        out[r] = (*this)(r, c);
+    const double *src = data.data() + c;
+    for (size_t r = 0; r < numRows; ++r, src += numCols)
+        out[r] = *src;
     return out;
 }
 
@@ -66,17 +67,22 @@ Matrix::setColumn(size_t c, const std::vector<double> &values)
 {
     panicIf(c >= numCols, "Matrix::setColumn out of range");
     panicIf(values.size() != numRows, "Matrix::setColumn size mismatch");
-    for (size_t r = 0; r < numRows; ++r)
-        (*this)(r, c) = values[r];
+    double *dst = data.data() + c;
+    for (size_t r = 0; r < numRows; ++r, dst += numCols)
+        *dst = values[r];
 }
 
 Matrix
 Matrix::transposed() const
 {
     Matrix t(numCols, numRows);
+    // Read rows sequentially (cache-friendly on the source); the
+    // strided writes walk one output column per source row.
     for (size_t r = 0; r < numRows; ++r) {
-        for (size_t c = 0; c < numCols; ++c)
-            t(c, r) = (*this)(r, c);
+        const double *src = rowPtr(r);
+        double *dst = t.data.data() + r;
+        for (size_t c = 0; c < numCols; ++c, dst += numRows)
+            *dst = src[c];
     }
     return t;
 }
@@ -132,6 +138,34 @@ Matrix::gram() const
         }
     }
     // Mirror the upper triangle.
+    for (size_t i = 0; i < numCols; ++i) {
+        for (size_t j = 0; j < i; ++j)
+            g(i, j) = g(j, i);
+    }
+    return g;
+}
+
+Matrix
+Matrix::transposeTimesSelf(const std::vector<double> &y,
+                           std::vector<double> &xty) const
+{
+    panicIf(y.size() != numRows,
+            "transposeTimesSelf shape mismatch");
+    Matrix g(numCols, numCols);
+    xty.assign(numCols, 0.0);
+    for (size_t r = 0; r < numRows; ++r) {
+        const double *row_ptr = rowPtr(r);
+        const double yr = y[r];
+        for (size_t i = 0; i < numCols; ++i) {
+            const double xi = row_ptr[i];
+            if (xi == 0.0)
+                continue;
+            xty[i] += xi * yr;
+            double *g_row = g.rowPtr(i);
+            for (size_t j = i; j < numCols; ++j)
+                g_row[j] += xi * row_ptr[j];
+        }
+    }
     for (size_t i = 0; i < numCols; ++i) {
         for (size_t j = 0; j < i; ++j)
             g(i, j) = g(j, i);

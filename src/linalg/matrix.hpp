@@ -88,6 +88,21 @@ class Matrix
     /** X^T y for a target vector @p y of length rows(). */
     std::vector<double> transposeTimes(const std::vector<double> &y) const;
 
+    /** Alias of gram(): X^T X in one pass over the rows. */
+    Matrix transposeTimesSelf() const { return gram(); }
+
+    /**
+     * Fused normal-equation inputs: computes X^T X and X^T y in a
+     * single pass over the rows (half the memory traffic of calling
+     * gram() and transposeTimes() separately). Used by the stepwise
+     * and MARS refits, where Gram construction dominates.
+     *
+     * @param y Target vector of length rows().
+     * @param xty Receives X^T y (resized to cols()).
+     */
+    Matrix transposeTimesSelf(const std::vector<double> &y,
+                              std::vector<double> &xty) const;
+
     /**
      * New matrix keeping only the listed columns, in the given order.
      * Used pervasively by feature selection.

@@ -16,8 +16,8 @@ leastSquares(const Matrix &x, const std::vector<double> &y,
     panicIf(x.rows() < x.cols(),
             "leastSquares: fewer observations than parameters");
 
-    const Matrix gram = x.gram();
-    const auto xty = x.transposeTimes(y);
+    std::vector<double> xty;
+    const Matrix gram = x.transposeTimesSelf(y, xty);
     const Cholesky chol = Cholesky::factorRidged(gram);
 
     LeastSquaresResult result;
@@ -50,11 +50,12 @@ ridgeSolve(const Matrix &x, const std::vector<double> &y, double lambda)
     panicIf(x.rows() != y.size(), "ridgeSolve shape mismatch");
     panicIf(lambda < 0.0, "ridgeSolve: negative lambda");
 
-    Matrix gram = x.gram();
+    std::vector<double> xty;
+    Matrix gram = x.transposeTimesSelf(y, xty);
     for (size_t i = 0; i < gram.rows(); ++i)
         gram(i, i) += lambda;
     const Cholesky chol = Cholesky::factorRidged(gram);
-    return chol.solve(x.transposeTimes(y));
+    return chol.solve(xty);
 }
 
 std::vector<double>

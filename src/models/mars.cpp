@@ -10,6 +10,7 @@
 #include "models/serialize_detail.hpp"
 #include "stats/descriptive.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/result.hpp"
 #include "util/string_utils.hpp"
 
@@ -141,6 +142,235 @@ candidateRss(const ForwardState &st, const std::vector<double> &c1,
     return gramRss(gram, bty, st.yty);
 }
 
+/**
+ * Per-iteration factorization of the equilibrated forward-state Gram
+ * matrix, shared (read-only) by every candidate in that iteration and
+ * consumed through bordered rank-2 solves instead of re-factorizing
+ * the extended system per candidate.
+ */
+struct EquilibratedFactor
+{
+    std::vector<double> scale;         ///< sqrt(diag) equilibration.
+    std::optional<Cholesky> chol;      ///< Factor of the scaled Gram.
+    double diagAdd = 0.0;              ///< Ridge added per diagonal.
+    std::vector<double> ztilde;        ///< L^{-1} (scaled bty).
+    double zz = 0.0;                   ///< |ztilde|^2: explained energy.
+};
+
+EquilibratedFactor
+factorForwardState(const Matrix &gram, const std::vector<double> &bty)
+{
+    const size_t m = gram.rows();
+    EquilibratedFactor out;
+    out.scale.resize(m);
+    for (size_t i = 0; i < m; ++i)
+        out.scale[i] = gram(i, i) > 1e-30 ? std::sqrt(gram(i, i)) : 1.0;
+
+    Matrix eq(m, m);
+    std::vector<double> rhs(m);
+    for (size_t i = 0; i < m; ++i) {
+        rhs[i] = bty[i] / out.scale[i];
+        for (size_t j = 0; j < m; ++j)
+            eq(i, j) = gram(i, j) / (out.scale[i] * out.scale[j]);
+    }
+    out.chol = Cholesky::factorRidged(eq, 1e-5);
+    // Recover the diagonal addition factorRidged actually applied;
+    // the bordered candidate diagonal must carry the same ridge.
+    double trace = 0.0;
+    for (size_t i = 0; i < m; ++i)
+        trace += std::fabs(eq(i, i));
+    const double tscale = m > 0 ? trace / static_cast<double>(m) : 1.0;
+    out.diagAdd = out.chol->appliedRidge() * std::max(tscale, 1.0);
+
+    out.ztilde = out.chol->forwardSolve(rhs);
+    for (double v : out.ztilde)
+        out.zz += v * v;
+    return out;
+}
+
+/** Best candidate found along one (parent, feature) knot chain. */
+struct ChainBest
+{
+    double rss = std::numeric_limits<double>::infinity();
+    size_t knot = 0;     ///< Index into the chain's knot list.
+    bool valid = false;
+};
+
+/**
+ * Score every knot of one (parent, feature) chain.
+ *
+ * Instead of materializing hinge columns and re-computing O(n*m) dot
+ * products per knot, two sweeps over the rows (sorted by feature
+ * value) maintain prefix sums from which every knot's cross products
+ * follow in O(m). For the up hinge u_i = a_i * max(0, x_i - t) over
+ * rows with x > t:
+ *
+ *   sum c_j u  = P1_j - t P0_j     with P_k(j) = sum c_j a x^k
+ *   sum u^2    = S2 - 2t S1 + t^2 S0    S_k = sum a^2 x^k
+ *   sum u y    = Q1 - t Q0              Q_k = sum a y x^k
+ *
+ * and symmetrically for the down hinge over rows with x < t. Each
+ * knot is then evaluated against the shared equilibrated factor L of
+ * the current Gram via a bordered solve: with W = L^{-1} Vtilde the
+ * 2x2 Schur complement is diag-dominant because the two hinges have
+ * disjoint support (their cross product is exactly zero), and
+ *
+ *   RSS = yty - (|z|^2 + d' S^{-1} d),  d = ctilde_y - W' z.
+ *
+ * Pure function of read-only state; chains run in parallel and the
+ * result is deterministic for any thread count.
+ */
+ChainBest
+scoreChain(const Matrix &colsRM, const EquilibratedFactor &ef,
+           const std::vector<double> &xv,
+           const std::vector<size_t> &asc,
+           const std::vector<double> &knots,
+           const std::vector<double> &ys,
+           const std::vector<double> &parentCol, size_t minSupport,
+           double yty)
+{
+    const size_t n = colsRM.rows();
+    const size_t m = colsRM.cols();
+    const size_t numKnots = knots.size();
+
+    // Up-side sweep: knots descending, accumulating rows with x > t.
+    std::vector<double> upV(numKnots * m), upC11(numKnots),
+        upC1y(numKnots);
+    std::vector<size_t> upCnt(numKnots);
+    {
+        std::vector<double> p0(m, 0.0), p1(m, 0.0);
+        double s0 = 0, s1 = 0, s2 = 0, q0 = 0, q1 = 0;
+        size_t cnt = 0, pos = n;
+        for (size_t kk = numKnots; kk-- > 0;) {
+            const double t = knots[kk];
+            while (pos > 0 && xv[asc[pos - 1]] > t) {
+                const size_t i = asc[--pos];
+                const double a = parentCol[i];
+                if (a == 0.0)
+                    continue;
+                ++cnt;
+                const double x = xv[i];
+                const double ax = a * x;
+                s0 += a * a;
+                s1 += a * ax;
+                s2 += ax * ax;
+                q0 += a * ys[i];
+                q1 += ax * ys[i];
+                const double *crow = colsRM.rowPtr(i);
+                for (size_t j = 0; j < m; ++j) {
+                    p0[j] += crow[j] * a;
+                    p1[j] += crow[j] * ax;
+                }
+            }
+            upCnt[kk] = cnt;
+            upC11[kk] = s2 - t * (2.0 * s1 - t * s0);
+            upC1y[kk] = q1 - t * q0;
+            double *dst = &upV[kk * m];
+            for (size_t j = 0; j < m; ++j)
+                dst[j] = p1[j] - t * p0[j];
+        }
+    }
+    // Down-side sweep: knots ascending, accumulating rows with x < t.
+    std::vector<double> downV(numKnots * m), downC22(numKnots),
+        downC2y(numKnots);
+    std::vector<size_t> downCnt(numKnots);
+    {
+        std::vector<double> r0(m, 0.0), r1(m, 0.0);
+        double u0 = 0, u1 = 0, u2 = 0, q0 = 0, q1 = 0;
+        size_t cnt = 0, pos = 0;
+        for (size_t kk = 0; kk < numKnots; ++kk) {
+            const double t = knots[kk];
+            while (pos < n && xv[asc[pos]] < t) {
+                const size_t i = asc[pos++];
+                const double a = parentCol[i];
+                if (a == 0.0)
+                    continue;
+                ++cnt;
+                const double x = xv[i];
+                const double ax = a * x;
+                u0 += a * a;
+                u1 += a * ax;
+                u2 += ax * ax;
+                q0 += a * ys[i];
+                q1 += ax * ys[i];
+                const double *crow = colsRM.rowPtr(i);
+                for (size_t j = 0; j < m; ++j) {
+                    r0[j] += crow[j] * a;
+                    r1[j] += crow[j] * ax;
+                }
+            }
+            downCnt[kk] = cnt;
+            downC22[kk] = u2 - t * (2.0 * u1 - t * u0);
+            downC2y[kk] = t * q0 - q1;
+            double *dst = &downV[kk * m];
+            for (size_t j = 0; j < m; ++j)
+                dst[j] = t * r0[j] - r1[j];
+        }
+    }
+
+    ChainBest best;
+    std::vector<double> v1(m), v2(m);
+    for (size_t k = 0; k < numKnots; ++k) {
+        // Reject thinly-supported corners outright.
+        if (upCnt[k] < minSupport || downCnt[k] < minSupport)
+            continue;
+        const double c11 = upC11[k], c22 = downC22[k];
+        if (!(c11 > 0.0) || !(c22 > 0.0))
+            continue;
+        const double sc1 = std::sqrt(c11), sc2 = std::sqrt(c22);
+        for (size_t j = 0; j < m; ++j) {
+            v1[j] = upV[k * m + j] / (ef.scale[j] * sc1);
+            v2[j] = downV[k * m + j] / (ef.scale[j] * sc2);
+        }
+        const auto w1 = ef.chol->forwardSolve(v1);
+        const auto w2 = ef.chol->forwardSolve(v2);
+        double w11 = 0, w22 = 0, w12 = 0, w1z = 0, w2z = 0;
+        for (size_t j = 0; j < m; ++j) {
+            w11 += w1[j] * w1[j];
+            w22 += w2[j] * w2[j];
+            w12 += w1[j] * w2[j];
+            w1z += w1[j] * ef.ztilde[j];
+            w2z += w2[j] * ef.ztilde[j];
+        }
+        const double s11 = 1.0 + ef.diagAdd - w11;
+        const double s22 = 1.0 + ef.diagAdd - w22;
+        const double s12 = -w12;
+        // Candidates overlapping the current basis span are routine,
+        // not exceptional: a second hinge pair on an already-split
+        // feature satisfies up - down = x - t, which is linear in x
+        // and hence in-span, leaving the Schur complement rank-1
+        // singular. Mirror the reference path's escalating ridge
+        // instead of rejecting: the in-span direction carries no
+        // residual correlation, so the ridge merely suppresses it
+        // while the genuinely new direction (the kink) survives.
+        double s11r = s11, s22r = s22;
+        double det = s11r * s22r - s12 * s12;
+        double ridge = 0.0;
+        for (int attempt = 0;
+             attempt < 12 && (!(s11r > 0.0) || !(det > 1e-12));
+             ++attempt) {
+            ridge = ridge == 0.0 ? 1e-5 : ridge * 10.0;
+            s11r = s11 + ridge;
+            s22r = s22 + ridge;
+            det = s11r * s22r - s12 * s12;
+        }
+        if (!(s11r > 0.0) || !(det > 0.0))
+            continue;
+        const double d1 = upC1y[k] / sc1 - w1z;
+        const double d2 = downC2y[k] / sc2 - w2z;
+        const double g1 = (s22r * d1 - s12 * d2) / det;
+        const double g2 = (s11r * d2 - s12 * d1) / det;
+        const double fit = ef.zz + d1 * g1 + d2 * g2;
+        const double rss = std::max(0.0, yty - fit);
+        if (rss < best.rss) {
+            best.rss = rss;
+            best.knot = k;
+            best.valid = true;
+        }
+    }
+    return best;
+}
+
 /** Generalized cross validation score. */
 double
 gcvScore(double rss, size_t numRows, size_t numTerms, double penalty)
@@ -226,26 +456,34 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
     for (size_t i = 0; i < n; ++i)
         ys[i] = y[search_rows[i]];
 
-    // --- Candidate knots per feature: interior quantiles. ---
+    // --- Candidate knots per feature: interior quantiles. Feature
+    // values over the search rows are cached once and shared by knot
+    // selection, the candidate sweeps, and winner materialization. ---
+    std::vector<std::vector<double>> featVals(p);
     std::vector<std::vector<double>> knots(p);
     for (size_t f = 0; f < p; ++f) {
-        std::vector<double> values(n);
+        featVals[f].resize(n);
         for (size_t i = 0; i < n; ++i)
-            values[i] = z(search_rows[i], f);
-        const auto distinct = distinctSorted(values);
-        if (distinct.size() < 2)
-            continue;  // Constant feature: no knots.
-        if (distinct.size() <= cfg.knotCandidates + 1) {
-            // Discrete feature (e.g. P-state): every interior level.
-            knots[f].assign(distinct.begin(), distinct.end() - 1);
-        } else {
-            for (size_t k = 1; k <= cfg.knotCandidates; ++k) {
-                const double q =
-                    static_cast<double>(k) /
-                    static_cast<double>(cfg.knotCandidates + 1);
-                knots[f].push_back(quantile(values, q));
-            }
-            knots[f] = distinctSorted(std::move(knots[f]));
+            featVals[f][i] = z(search_rows[i], f);
+        knots[f] = quantileKnots(featVals[f], cfg.knotCandidates);
+    }
+
+    // Rows sorted by feature value (ascending, stable), computed once
+    // per feature: the incremental search sweeps them per knot chain.
+    std::vector<std::vector<size_t>> featOrder(p);
+    if (cfg.incrementalSearch) {
+        for (size_t f = 0; f < p; ++f) {
+            if (knots[f].empty())
+                continue;
+            auto &ord = featOrder[f];
+            ord.resize(n);
+            for (size_t i = 0; i < n; ++i)
+                ord[i] = i;
+            const auto &vals = featVals[f];
+            std::stable_sort(ord.begin(), ord.end(),
+                             [&vals](size_t a, size_t b) {
+                                 return vals[a] < vals[b];
+                             });
         }
     }
 
@@ -265,6 +503,10 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
     }
     double current_rss = gramRss(st.gram, st.bty, st.yty);
 
+    const size_t min_support = std::max<size_t>(
+        5, static_cast<size_t>(cfg.minBasisSupport *
+                               static_cast<double>(n)));
+
     std::vector<double> cand1(n), cand2(n);
     while (basis.size() + 2 <= cfg.maxTerms) {
         double best_rss = current_rss;
@@ -273,43 +515,114 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
         bool found = false;
         std::vector<double> best_c1, best_c2;
 
-        for (size_t parent = 0; parent < basis.size(); ++parent) {
-            if (basis[parent].degree() + 1 > cfg.maxDegree)
-                continue;
-            const auto &parent_col = st.columns[parent];
-            for (size_t f = 0; f < p; ++f) {
-                if (knots[f].empty() || basis[parent].usesFeature(f))
+        if (cfg.incrementalSearch) {
+            // Flatten eligible (parent, feature) chains in the legacy
+            // parent -> feature enumeration order.
+            struct Chain
+            {
+                size_t parent;
+                size_t feature;
+            };
+            std::vector<Chain> chains;
+            for (size_t parent = 0; parent < basis.size(); ++parent) {
+                if (basis[parent].degree() + 1 > cfg.maxDegree)
                     continue;
-                const size_t min_support = std::max<size_t>(
-                    5, static_cast<size_t>(cfg.minBasisSupport *
-                                           static_cast<double>(n)));
-                for (double t : knots[f]) {
-                    size_t support1 = 0, support2 = 0;
-                    for (size_t i = 0; i < n; ++i) {
-                        const double v = z(search_rows[i], f);
-                        const double up = v - t;
-                        cand1[i] =
-                            parent_col[i] * (up > 0.0 ? up : 0.0);
-                        cand2[i] =
-                            parent_col[i] * (up < 0.0 ? -up : 0.0);
-                        support1 += cand1[i] != 0.0;
-                        support2 += cand2[i] != 0.0;
-                    }
-                    // Reject thinly-supported corners outright.
-                    if (support1 < min_support ||
-                        support2 < min_support) {
+                for (size_t f = 0; f < p; ++f) {
+                    if (knots[f].empty() ||
+                        basis[parent].usesFeature(f))
                         continue;
-                    }
-                    const double rss =
-                        candidateRss(st, cand1, cand2, ys);
-                    if (rss < best_rss) {
-                        best_rss = rss;
-                        best_parent = parent;
-                        best_feature = f;
-                        best_knot = t;
-                        best_c1 = cand1;
-                        best_c2 = cand2;
-                        found = true;
+                    chains.push_back({parent, f});
+                }
+            }
+
+            // Row-major snapshot of the basis columns: the sweeps
+            // read every column of one row at a time.
+            const size_t m = st.columns.size();
+            Matrix colsRM(n, m);
+            for (size_t i = 0; i < n; ++i) {
+                double *dst = colsRM.rowPtr(i);
+                for (size_t j = 0; j < m; ++j)
+                    dst[j] = st.columns[j][i];
+            }
+            const EquilibratedFactor ef =
+                factorForwardState(st.gram, st.bty);
+
+            // Workers score chains against shared read-only state;
+            // each writes only its own result slot.
+            const auto results = parallelMap<ChainBest>(
+                chains.size(), [&](size_t c) {
+                    const auto &ch = chains[c];
+                    return scoreChain(colsRM, ef,
+                                      featVals[ch.feature],
+                                      featOrder[ch.feature],
+                                      knots[ch.feature], ys,
+                                      st.columns[ch.parent],
+                                      min_support, st.yty);
+                });
+            // Serial reduction in enumeration order; strict < keeps
+            // the earliest winner on ties like the reference scan.
+            for (size_t c = 0; c < chains.size(); ++c) {
+                if (results[c].valid && results[c].rss < best_rss) {
+                    best_rss = results[c].rss;
+                    best_parent = chains[c].parent;
+                    best_feature = chains[c].feature;
+                    best_knot =
+                        knots[chains[c].feature][results[c].knot];
+                    found = true;
+                }
+            }
+            if (found) {
+                // Materialize the winning pair hinge-exact (not via
+                // prefix sums): the committed state must match what
+                // the reference path would have built.
+                const auto &parent_col = st.columns[best_parent];
+                const auto &xvw = featVals[best_feature];
+                best_c1.resize(n);
+                best_c2.resize(n);
+                for (size_t i = 0; i < n; ++i) {
+                    const double up = xvw[i] - best_knot;
+                    best_c1[i] =
+                        parent_col[i] * (up > 0.0 ? up : 0.0);
+                    best_c2[i] =
+                        parent_col[i] * (up < 0.0 ? -up : 0.0);
+                }
+            }
+        } else {
+            for (size_t parent = 0; parent < basis.size(); ++parent) {
+                if (basis[parent].degree() + 1 > cfg.maxDegree)
+                    continue;
+                const auto &parent_col = st.columns[parent];
+                for (size_t f = 0; f < p; ++f) {
+                    if (knots[f].empty() ||
+                        basis[parent].usesFeature(f))
+                        continue;
+                    for (double t : knots[f]) {
+                        size_t support1 = 0, support2 = 0;
+                        for (size_t i = 0; i < n; ++i) {
+                            const double up = featVals[f][i] - t;
+                            cand1[i] =
+                                parent_col[i] * (up > 0.0 ? up : 0.0);
+                            cand2[i] =
+                                parent_col[i] * (up < 0.0 ? -up : 0.0);
+                            support1 += cand1[i] != 0.0;
+                            support2 += cand2[i] != 0.0;
+                        }
+                        // Reject thinly-supported corners outright.
+                        if (support1 < min_support ||
+                            support2 < min_support) {
+                            continue;
+                        }
+                        const double rss =
+                            candidateRss(st, cand1, cand2, ys);
+                        if (rss < best_rss) {
+                            best_rss = rss;
+                            best_parent = parent;
+                            best_feature = f;
+                            best_knot = t;
+                            best_c1 = cand1;
+                            best_c2 = cand2;
+                            found = true;
+                        }
                     }
                 }
             }
@@ -423,13 +736,16 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
     for (;;) {
         const size_t m = basis.size();
         Matrix design(full_n, m);
-        for (size_t r = 0; r < full_n; ++r) {
+        // Rows are independent (disjoint writes), so the design
+        // matrix builds in parallel deterministically.
+        parallelFor(full_n, [&](size_t r) {
             const auto row = z.row(r);
+            double *dst = design.rowPtr(r);
             for (size_t c = 0; c < m; ++c)
-                design(r, c) = basis[c].evaluate(row);
-        }
-        const Matrix gram = design.gram();
-        const auto bty = design.transposeTimes(y);
+                dst[c] = basis[c].evaluate(row);
+        });
+        std::vector<double> bty;
+        const Matrix gram = design.transposeTimesSelf(y, bty);
         coef = equilibratedSolve(gram, bty);
 
         // Worst-case contribution of each non-intercept term over

@@ -72,6 +72,17 @@ struct MarsConfig
      * the feature space.
      */
     double minBasisSupport = 0.03;
+    /**
+     * Use the incremental forward search: per-(parent, feature) knot
+     * sweeps with prefix sums share one pass over the rows across all
+     * knots, candidates reuse a single equilibrated Cholesky
+     * factorization of the current Gram through bordered rank-2
+     * solves, and chains are scored in parallel. False restores the
+     * reference search that rebuilds and re-factors the extended
+     * Gram system per candidate — kept as the perf-benchmark
+     * baseline and as a cross-check oracle in tests.
+     */
+    bool incrementalSearch = true;
 };
 
 /** MARS power model (degree 1 or 2). */

@@ -37,6 +37,14 @@ struct StepwiseConfig
     size_t minFeatures = 1;
     /** Remove at most one feature per refit (always true here). */
     size_t maxIterations = 1000;
+    /**
+     * Compute the full-design Gram matrix once and drop columns via
+     * O(k^2) Cholesky downdates instead of rebuilding the design and
+     * re-factoring X'X on every elimination step. False restores the
+     * reference per-iteration refit — kept as the perf-benchmark
+     * baseline and as a cross-check oracle in tests.
+     */
+    bool reuseGram = true;
 };
 
 /**

@@ -85,6 +85,39 @@ distinctSorted(std::vector<double> values, double tol)
     return out;
 }
 
+std::vector<double>
+quantileKnots(const std::vector<double> &values, size_t numKnots)
+{
+    if (numKnots == 0)
+        return {};
+    const auto distinct = distinctSorted(values);
+    if (distinct.size() < 2)
+        return {};  // Constant feature: nothing to split on.
+    if (distinct.size() <= numKnots + 1) {
+        // Discrete feature: every interior level is a knot.
+        return std::vector<double>(distinct.begin(),
+                                   distinct.end() - 1);
+    }
+    // Sort once and interpolate directly (quantile() would re-sort
+    // its input per call).
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> knots;
+    knots.reserve(numKnots);
+    for (size_t k = 1; k <= numKnots; ++k) {
+        const double q = static_cast<double>(k) /
+                         static_cast<double>(numKnots + 1);
+        const double pos =
+            q * static_cast<double>(sorted.size() - 1);
+        const size_t lo = static_cast<size_t>(pos);
+        const size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        knots.push_back(sorted[lo] * (1.0 - frac) +
+                        sorted[hi] * frac);
+    }
+    return distinctSorted(std::move(knots));
+}
+
 void
 RunningStats::add(double value)
 {

@@ -43,6 +43,17 @@ std::vector<double> distinctSorted(std::vector<double> values,
                                    double tol = 1e-9);
 
 /**
+ * Candidate spline knots for one feature: @p numKnots interior
+ * quantiles of @p values, de-duplicated and sorted ascending.
+ * Discrete features (at most numKnots + 1 distinct levels, e.g. a
+ * P-state counter) return every interior level instead; constant
+ * features return no knots. Shared by the MARS degree-1/2 forward
+ * passes, which previously each re-ran the distinct-sort per feature.
+ */
+std::vector<double> quantileKnots(const std::vector<double> &values,
+                                  size_t numKnots);
+
+/**
  * Streaming mean/variance accumulator (Welford). Used by online
  * monitoring and the counter sampler.
  */

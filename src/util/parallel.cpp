@@ -1,0 +1,250 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace chaos {
+
+namespace {
+
+thread_local bool tl_in_parallel = false;
+
+size_t
+resolveThreadCount()
+{
+    if (const char *env = std::getenv("CHAOS_THREADS")) {
+        char *end = nullptr;
+        const long value = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || value < 1 || value > 256) {
+            warn("CHAOS_THREADS=" + std::string(env) +
+                 " is not in [1, 256]; ignoring");
+        } else {
+            return static_cast<size_t>(value);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+/**
+ * One parallelFor() invocation: the index range is cut into chunks
+ * claimed dynamically by participating threads. Each chunk records
+ * its own exception slot so the rethrow choice is deterministic.
+ */
+struct Job
+{
+    const std::function<void(size_t)> *body = nullptr;
+    size_t n = 0;
+    size_t chunkSize = 1;
+    size_t numChunks = 0;
+    std::atomic<size_t> nextChunk{0};
+    std::atomic<size_t> remainingChunks{0};
+    std::vector<std::exception_ptr> errors;
+
+    std::mutex mutex;
+    std::condition_variable finished;
+
+    /** Claim and run chunks until none are left. */
+    void
+    participate()
+    {
+        const bool was_in_parallel = tl_in_parallel;
+        tl_in_parallel = true;
+        for (;;) {
+            const size_t chunk = nextChunk.fetch_add(1);
+            if (chunk >= numChunks)
+                break;
+            const size_t begin = chunk * chunkSize;
+            const size_t end = std::min(n, begin + chunkSize);
+            try {
+                for (size_t i = begin; i < end; ++i)
+                    (*body)(i);
+            } catch (...) {
+                errors[chunk] = std::current_exception();
+            }
+            if (remainingChunks.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(mutex);
+                finished.notify_all();
+            }
+        }
+        tl_in_parallel = was_in_parallel;
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        finished.wait(lock,
+                      [this] { return remainingChunks.load() == 0; });
+    }
+};
+
+/** Fixed-size worker pool; jobs are broadcast to all workers. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(size_t numWorkers)
+    {
+        workers.reserve(numWorkers);
+        for (size_t i = 0; i < numWorkers; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        wake.notify_all();
+        for (auto &worker : workers)
+            worker.join();
+    }
+
+    void
+    post(const std::shared_ptr<Job> &job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            for (size_t i = 0; i < workers.size(); ++i)
+                queue.push_back(job);
+        }
+        wake.notify_all();
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                wake.wait(lock, [this] {
+                    return stopping || !queue.empty();
+                });
+                if (stopping)
+                    return;
+                job = std::move(queue.front());
+                queue.pop_front();
+            }
+            job->participate();
+        }
+    }
+
+    std::vector<std::thread> workers;
+    std::deque<std::shared_ptr<Job>> queue;
+    std::mutex mutex;
+    std::condition_variable wake;
+    bool stopping = false;
+};
+
+/** Pool state guarded by a mutex; the pool itself is lazily built. */
+struct PoolState
+{
+    std::mutex mutex;
+    size_t configured = 0;  // 0 = not yet resolved.
+    std::unique_ptr<ThreadPool> pool;
+};
+
+PoolState &
+poolState()
+{
+    static PoolState state;
+    return state;
+}
+
+/** Resolve the count and (re)build the pool if needed. */
+size_t
+ensurePool()
+{
+    PoolState &state = poolState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.configured == 0)
+        state.configured = resolveThreadCount();
+    if (state.configured > 1 && !state.pool) {
+        // The caller participates too, so one fewer worker thread.
+        state.pool =
+            std::make_unique<ThreadPool>(state.configured - 1);
+    }
+    return state.configured;
+}
+
+} // namespace
+
+size_t
+globalThreadCount()
+{
+    return ensurePool();
+}
+
+void
+setGlobalThreadCount(size_t count)
+{
+    panicIf(inParallelRegion(),
+            "setGlobalThreadCount inside a parallel region");
+    panicIf(count > 256, "setGlobalThreadCount: count > 256");
+    PoolState &state = poolState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (count != 0 && count == state.configured)
+        return;
+    state.pool.reset();
+    state.configured = count;
+}
+
+bool
+inParallelRegion()
+{
+    return tl_in_parallel;
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const size_t threads = globalThreadCount();
+    if (threads <= 1 || n <= 1 || tl_in_parallel) {
+        // Serial path: identical arithmetic, no pool involvement.
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->n = n;
+    // Small chunks balance uneven task costs; the floor of one index
+    // per chunk keeps tiny loops (e.g. 5 folds) fully spread out.
+    job->chunkSize = std::max<size_t>(1, n / (threads * 8));
+    job->numChunks = (n + job->chunkSize - 1) / job->chunkSize;
+    job->remainingChunks.store(job->numChunks);
+    job->errors.resize(job->numChunks);
+
+    {
+        PoolState &state = poolState();
+        std::lock_guard<std::mutex> lock(state.mutex);
+        panicIf(!state.pool, "parallelFor: pool vanished");
+        state.pool->post(job);
+    }
+    job->participate();
+    job->wait();
+
+    // Deterministic failure: rethrow the lowest-index exception.
+    for (auto &error : job->errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+} // namespace chaos

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic data parallelism for the training pipeline.
+ *
+ * A small fixed-size thread pool drives parallelFor()/parallelMap()
+ * over index ranges. The contract is built for reproducibility:
+ *
+ *  - Results are ordered by index, never by completion time. Every
+ *    task i writes only slot i, and reductions over the results run
+ *    serially in the caller, so the arithmetic (including floating
+ *    point) is bit-identical for any thread count.
+ *  - Exceptions thrown by tasks propagate to the caller; when several
+ *    tasks throw, the exception of the lowest index is rethrown so
+ *    the observed failure is deterministic too.
+ *  - Nested parallelism is guarded: a parallelFor() issued from
+ *    inside a worker task runs inline on that worker, serially. Outer
+ *    loops therefore own the pool and inner loops degrade gracefully.
+ *
+ * The pool size comes from, in priority order: setGlobalThreadCount(),
+ * the CHAOS_THREADS environment variable, then the hardware
+ * concurrency. A count of 1 bypasses the pool entirely (no worker
+ * threads are created, tasks run inline), giving exact serial
+ * behavior.
+ */
+#ifndef CHAOS_UTIL_PARALLEL_HPP
+#define CHAOS_UTIL_PARALLEL_HPP
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace chaos {
+
+/**
+ * Number of threads parallelFor() will use. Resolved on first use
+ * from CHAOS_THREADS (clamped to [1, 256]) or hardware concurrency.
+ */
+size_t globalThreadCount();
+
+/**
+ * Override the thread count (0 = re-resolve from the environment on
+ * next use). Recreates the pool; must not be called concurrently
+ * with running parallel loops. Intended for benchmarks and tests.
+ */
+void setGlobalThreadCount(size_t count);
+
+/** True while the calling thread is executing a parallel task. */
+bool inParallelRegion();
+
+/**
+ * Run body(i) for every i in [0, n). Blocks until all iterations
+ * finish. Iterations must be independent; each may write only to its
+ * own output slot. Runs inline (serially, in index order) when the
+ * pool has one thread, when n <= 1, or when called from inside
+ * another parallel region.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+/**
+ * Map f over [0, n) into a vector with deterministic ordering:
+ * result[i] = f(i). T must be default-constructible.
+ */
+template <typename T, typename F>
+std::vector<T>
+parallelMap(size_t n, F &&f)
+{
+    std::vector<T> out(n);
+    parallelFor(n, [&](size_t i) { out[i] = f(i); });
+    return out;
+}
+
+} // namespace chaos
+
+#endif // CHAOS_UTIL_PARALLEL_HPP

@@ -139,5 +139,136 @@ TEST_P(CholeskyPropertyTest, InverseDiagonalMatchesInverse)
 INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21));
 
+TEST(Cholesky, ForwardSolveMatchesFullSolve)
+{
+    Rng rng(41);
+    const size_t n = 9;
+    const Matrix spd = randomSpd(n, rng);
+    const auto chol = Cholesky::factor(spd);
+    ASSERT_TRUE(chol.has_value());
+
+    std::vector<double> b(n);
+    for (auto &v : b)
+        v = rng.normal();
+    const auto z = chol->forwardSolve(b);
+    const auto x = chol->solve(b);
+    // Energy identity: z'z = b' A^{-1} b = b'x.
+    double zz = 0.0, bx = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        zz += z[i] * z[i];
+        bx += b[i] * x[i];
+    }
+    EXPECT_NEAR(zz, bx, 1e-9 * std::max(1.0, std::fabs(bx)));
+}
+
+TEST_P(CholeskyPropertyTest, RankOneUpdateMatchesRefactorization)
+{
+    Rng rng(4000 + GetParam());
+    const size_t n = GetParam();
+    const Matrix spd = randomSpd(n, rng);
+    std::vector<double> v(n);
+    for (auto &value : v)
+        value = rng.normal();
+
+    auto chol = Cholesky::factor(spd);
+    ASSERT_TRUE(chol.has_value());
+    chol->update(v);
+
+    Matrix updated = spd;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            updated(i, j) += v[i] * v[j];
+    }
+    const auto full = Cholesky::factor(updated);
+    ASSERT_TRUE(full.has_value());
+
+    std::vector<double> rhs(n);
+    for (auto &value : rhs)
+        value = rng.normal();
+    const auto a = chol->solve(rhs);
+    const auto b = full->solve(rhs);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-8);
+}
+
+TEST_P(CholeskyPropertyTest, RankOneDowndateMatchesRefactorization)
+{
+    Rng rng(5000 + GetParam());
+    const size_t n = GetParam();
+    const Matrix spd = randomSpd(n, rng, 2.0);
+    // Small vector keeps the downdated matrix comfortably PD.
+    std::vector<double> v(n);
+    for (auto &value : v)
+        value = 0.1 * rng.normal();
+
+    auto chol = Cholesky::factor(spd);
+    ASSERT_TRUE(chol.has_value());
+    ASSERT_TRUE(chol->downdate(v));
+
+    Matrix downdated = spd;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            downdated(i, j) -= v[i] * v[j];
+    }
+    const auto full = Cholesky::factor(downdated);
+    ASSERT_TRUE(full.has_value());
+
+    std::vector<double> rhs(n);
+    for (auto &value : rhs)
+        value = rng.normal();
+    const auto a = chol->solve(rhs);
+    const auto b = full->solve(rhs);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-8);
+}
+
+TEST(Cholesky, DowndateDetectsLossOfDefiniteness)
+{
+    Matrix spd = Matrix::identity(3);
+    auto chol = Cholesky::factor(spd);
+    ASSERT_TRUE(chol.has_value());
+    // Subtracting 2*e0 e0' makes the matrix indefinite.
+    EXPECT_FALSE(chol->downdate({1.5, 0.0, 0.0}));
+}
+
+TEST_P(CholeskyPropertyTest, DropColumnMatchesShrunkenRefactorization)
+{
+    const size_t n = GetParam();
+    if (n < 2)
+        GTEST_SKIP() << "need at least two columns to drop one";
+    Rng rng(6000 + n);
+    const Matrix spd = randomSpd(n, rng);
+    const auto chol = Cholesky::factor(spd);
+    ASSERT_TRUE(chol.has_value());
+
+    for (size_t k = 0; k < n; ++k) {
+        const Cholesky dropped = chol->dropColumn(k);
+        ASSERT_EQ(dropped.order(), n - 1);
+
+        Matrix shrunken(n - 1, n - 1);
+        for (size_t i = 0, oi = 0; i < n; ++i) {
+            if (i == k)
+                continue;
+            for (size_t j = 0, oj = 0; j < n; ++j) {
+                if (j == k)
+                    continue;
+                shrunken(oi, oj) = spd(i, j);
+                ++oj;
+            }
+            ++oi;
+        }
+        const auto full = Cholesky::factor(shrunken);
+        ASSERT_TRUE(full.has_value());
+
+        std::vector<double> rhs(n - 1);
+        for (auto &value : rhs)
+            value = rng.normal();
+        const auto a = dropped.solve(rhs);
+        const auto b = full->solve(rhs);
+        for (size_t i = 0; i < n - 1; ++i)
+            EXPECT_NEAR(a[i], b[i], 1e-8) << "k=" << k;
+    }
+}
+
 } // namespace
 } // namespace chaos

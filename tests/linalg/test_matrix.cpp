@@ -166,5 +166,36 @@ TEST(Matrix, MaxAbsDiff)
     EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 1.0);
 }
 
+TEST(Matrix, TransposeTimesSelfMatchesGram)
+{
+    const Matrix x = Matrix::fromRows(
+        {{1, 2, 0}, {0, -1, 3}, {4, 0, 1}, {2, 2, 2}});
+    const Matrix g = x.gram();
+    EXPECT_DOUBLE_EQ(x.transposeTimesSelf().maxAbsDiff(g), 0.0);
+}
+
+TEST(Matrix, TransposeTimesSelfFusedRhs)
+{
+    const Matrix x = Matrix::fromRows(
+        {{1, 2, 0}, {0, -1, 3}, {4, 0, 1}, {2, 2, 2}});
+    const std::vector<double> y = {1, -2, 0.5, 3};
+
+    std::vector<double> xty;
+    const Matrix g = x.transposeTimesSelf(y, xty);
+
+    EXPECT_DOUBLE_EQ(g.maxAbsDiff(x.gram()), 0.0);
+    const auto expected = x.transposeTimes(y);
+    ASSERT_EQ(xty.size(), expected.size());
+    for (size_t i = 0; i < xty.size(); ++i)
+        EXPECT_DOUBLE_EQ(xty[i], expected[i]);
+}
+
+TEST(Matrix, TransposeTimesSelfShapeMismatchPanics)
+{
+    const Matrix x = Matrix::fromRows({{1, 2}, {3, 4}});
+    std::vector<double> xty;
+    EXPECT_DEATH(x.transposeTimesSelf({1.0}, xty), "shape mismatch");
+}
+
 } // namespace
 } // namespace chaos

@@ -255,6 +255,97 @@ TEST(Mars, SubsamplingStillFitsWell)
     EXPECT_LT(rootMeanSquaredError(mars.predictAll(x), y), 0.25);
 }
 
+TEST(Mars, IncrementalSearchMatchesReferenceSearch)
+{
+    // The incremental (prefix-sum + bordered-solve) search and the
+    // reference per-candidate refactorization evaluate candidate RSS
+    // with different arithmetic, but on well-conditioned data they
+    // must select the same basis and land on equal coefficients.
+    Rng rng(10);
+    const size_t n = 700;
+    Matrix x(n, 3);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 10.0);
+        x(i, 1) = rng.uniform(-3.0, 3.0);
+        x(i, 2) = rng.uniform(0.0, 1.0);
+        y[i] = (x(i, 0) < 4.0 ? 2.0 * x(i, 0) : 8.0) +
+               std::fabs(x(i, 1)) + 5.0 * x(i, 2) +
+               rng.normal(0, 0.05);
+    }
+    for (size_t degree = 1; degree <= 2; ++degree) {
+        // While candidate improvements are decisive (well above the
+        // noise floor), both searches must select the identical
+        // basis; cap the term budget so the forward pass stops
+        // before score differences at the noise floor can tip the
+        // stopping rule one iteration apart.
+        MarsConfig fast;
+        fast.maxDegree = degree;
+        fast.maxTerms = 9;
+        fast.incrementalSearch = true;
+        MarsModel a(fast);
+        a.fit(x, y);
+
+        MarsConfig reference = fast;
+        reference.incrementalSearch = false;
+        MarsModel b(reference);
+        b.fit(x, y);
+
+        ASSERT_EQ(a.terms().size(), b.terms().size())
+            << "degree " << degree;
+        for (size_t t = 0; t < a.terms().size(); ++t) {
+            const auto &ta = a.terms()[t];
+            const auto &tb = b.terms()[t];
+            ASSERT_EQ(ta.hinges.size(), tb.hinges.size());
+            for (size_t h = 0; h < ta.hinges.size(); ++h) {
+                EXPECT_EQ(ta.hinges[h].feature, tb.hinges[h].feature);
+                EXPECT_EQ(ta.hinges[h].direction,
+                          tb.hinges[h].direction);
+                EXPECT_DOUBLE_EQ(ta.hinges[h].knot, tb.hinges[h].knot);
+            }
+            EXPECT_NEAR(a.coefficients()[t], b.coefficients()[t],
+                        1e-7 * std::max(
+                                   1.0, std::fabs(b.coefficients()[t])));
+        }
+    }
+}
+
+TEST(Mars, IncrementalSearchMatchesReferenceQuality)
+{
+    // At the full default term budget the two searches may part ways
+    // deep in the noise floor (their ridge arithmetic differs), but
+    // the resulting models must be interchangeable in quality.
+    Rng rng(11);
+    const size_t n = 700;
+    Matrix x(n, 3);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 10.0);
+        x(i, 1) = rng.uniform(-3.0, 3.0);
+        x(i, 2) = rng.uniform(0.0, 1.0);
+        y[i] = (x(i, 0) < 4.0 ? 2.0 * x(i, 0) : 8.0) +
+               std::fabs(x(i, 1)) + 5.0 * x(i, 2) +
+               rng.normal(0, 0.05);
+    }
+    for (size_t degree = 1; degree <= 2; ++degree) {
+        MarsConfig fast;
+        fast.maxDegree = degree;
+        fast.incrementalSearch = true;
+        MarsModel a(fast);
+        a.fit(x, y);
+
+        MarsConfig reference = fast;
+        reference.incrementalSearch = false;
+        MarsModel b(reference);
+        b.fit(x, y);
+
+        const double rmse_a = rootMeanSquaredError(a.predictAll(x), y);
+        const double rmse_b = rootMeanSquaredError(b.predictAll(x), y);
+        EXPECT_LT(rmse_a, 1.15 * rmse_b) << "degree " << degree;
+        EXPECT_LT(rmse_b, 1.15 * rmse_a) << "degree " << degree;
+    }
+}
+
 TEST(Mars, DescribeListsTerms)
 {
     Rng rng(9);

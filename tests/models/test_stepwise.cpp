@@ -4,6 +4,7 @@
  * steps 4 and 6).
  */
 #include <algorithm>
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -117,6 +118,41 @@ TEST(Stepwise, CoefficientsIncludeIntercept)
     ASSERT_EQ(result.coefficients.size(),
               result.keptFeatures.size() + 1);
     EXPECT_NEAR(result.coefficients[0], 100.0, 0.1);
+}
+
+TEST(Stepwise, GramReuseMatchesReferenceRefit)
+{
+    // The downdate-based elimination reads the same Gram entries the
+    // per-iteration refit would recompute, so both paths must agree
+    // on the elimination order and land on the same coefficients.
+    Rng rng(7);
+    const size_t n = 350;
+    Matrix x(n, 8);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < 8; ++c)
+            x(i, c) = rng.normal();
+        y[i] = 1.5 * x(i, 0) - 2.0 * x(i, 3) + 0.8 * x(i, 6) +
+               rng.normal(0, 0.4);
+    }
+    StepwiseConfig fast;
+    fast.reuseGram = true;
+    const StepwiseResult a = stepwiseEliminate(x, y, fast);
+
+    StepwiseConfig reference = fast;
+    reference.reuseGram = false;
+    const StepwiseResult b = stepwiseEliminate(x, y, reference);
+
+    ASSERT_EQ(a.keptFeatures, b.keptFeatures);
+    ASSERT_EQ(a.removedFeatures, b.removedFeatures);
+    ASSERT_EQ(a.coefficients.size(), b.coefficients.size());
+    for (size_t i = 0; i < a.coefficients.size(); ++i) {
+        EXPECT_NEAR(a.coefficients[i], b.coefficients[i],
+                    1e-8 * std::max(1.0, std::fabs(b.coefficients[i])));
+    }
+    ASSERT_EQ(a.pValues.size(), b.pValues.size());
+    for (size_t i = 0; i < a.pValues.size(); ++i)
+        EXPECT_NEAR(a.pValues[i], b.pValues[i], 1e-6);
 }
 
 TEST(Stepwise, EmptyDesignPanics)

@@ -110,5 +110,47 @@ TEST(RunningStats, SingleValue)
     EXPECT_DOUBLE_EQ(rs.max(), 5.0);
 }
 
+TEST(QuantileKnots, ConstantFeatureHasNoKnots)
+{
+    EXPECT_TRUE(quantileKnots({3.0, 3.0, 3.0, 3.0}, 5).empty());
+    EXPECT_TRUE(quantileKnots({1.0, 2.0, 3.0}, 0).empty());
+}
+
+TEST(QuantileKnots, DiscreteFeatureUsesInteriorLevels)
+{
+    // Four distinct levels with numKnots = 5: every level but the
+    // top becomes a knot (a hinge at the max would be empty).
+    const auto knots =
+        quantileKnots({2.0, 1.0, 2.0, 4.0, 3.0, 1.0}, 5);
+    ASSERT_EQ(knots.size(), 3u);
+    EXPECT_DOUBLE_EQ(knots[0], 1.0);
+    EXPECT_DOUBLE_EQ(knots[1], 2.0);
+    EXPECT_DOUBLE_EQ(knots[2], 3.0);
+}
+
+TEST(QuantileKnots, ContinuousFeatureUsesInteriorQuantiles)
+{
+    std::vector<double> values(101);
+    for (size_t i = 0; i <= 100; ++i)
+        values[i] = static_cast<double>(i);
+    const auto knots = quantileKnots(values, 3);
+    ASSERT_EQ(knots.size(), 3u);
+    EXPECT_NEAR(knots[0], quantile(values, 0.25), 1e-12);
+    EXPECT_NEAR(knots[1], quantile(values, 0.50), 1e-12);
+    EXPECT_NEAR(knots[2], quantile(values, 0.75), 1e-12);
+}
+
+TEST(QuantileKnots, HeavilyTiedFeatureDeduplicates)
+{
+    // 90% of the mass at 0 puts several quantiles on the same value;
+    // the result must not contain duplicates.
+    std::vector<double> values(100, 0.0);
+    for (size_t i = 90; i < 100; ++i)
+        values[i] = static_cast<double>(i - 89);
+    const auto knots = quantileKnots(values, 7);
+    for (size_t i = 1; i < knots.size(); ++i)
+        EXPECT_GT(knots[i], knots[i - 1]);
+}
+
 } // namespace
 } // namespace chaos

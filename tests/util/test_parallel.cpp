@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the deterministic thread pool behind the parallel
+ * training pipeline: result ordering, exception propagation, the
+ * nested-parallelism guard, and the CHAOS_THREADS override.
+ */
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.hpp"
+
+namespace chaos {
+namespace {
+
+/** Restores a known serial configuration when a test ends. */
+class ParallelTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        unsetenv("CHAOS_THREADS");
+        setGlobalThreadCount(1);
+    }
+};
+
+TEST_F(ParallelTest, MapPreservesIndexOrdering)
+{
+    setGlobalThreadCount(8);
+    const size_t n = 5000;
+    const auto out = parallelMap<size_t>(
+        n, [](size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), n);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], i * i);
+}
+
+TEST_F(ParallelTest, SerialAndParallelResultsAreIdentical)
+{
+    // Floating-point sums per slot must be bit-identical because
+    // each task performs the same arithmetic regardless of threads.
+    auto work = [](size_t i) {
+        double acc = 0.0;
+        for (size_t k = 1; k <= 100; ++k)
+            acc += 1.0 / static_cast<double>(i * 100 + k);
+        return acc;
+    };
+    setGlobalThreadCount(1);
+    const auto serial = parallelMap<double>(300, work);
+    setGlobalThreadCount(8);
+    const auto parallel = parallelMap<double>(300, work);
+    for (size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(serial[i], parallel[i]);  // Exact, not NEAR.
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesLowestIndexFirst)
+{
+    setGlobalThreadCount(4);
+    auto thrower = [](size_t i) {
+        if (i == 7 || i == 900) {
+            throw std::runtime_error("boom " + std::to_string(i));
+        }
+    };
+    try {
+        parallelFor(1000, thrower);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        // Index 7 lives in an earlier chunk than 900, so its
+        // exception is the one that must surface.
+        EXPECT_STREQ(e.what(), "boom 7");
+    }
+}
+
+TEST_F(ParallelTest, PoolSurvivesAThrowingJob)
+{
+    setGlobalThreadCount(4);
+    EXPECT_THROW(parallelFor(100,
+                             [](size_t) {
+                                 throw std::runtime_error("x");
+                             }),
+                 std::runtime_error);
+    // The pool must still execute subsequent jobs normally.
+    const auto out =
+        parallelMap<size_t>(100, [](size_t i) { return i + 1; });
+    EXPECT_EQ(out[99], 100u);
+}
+
+TEST_F(ParallelTest, NestedParallelismRunsInlineOnTheWorker)
+{
+    setGlobalThreadCount(4);
+    const size_t outer = 8, inner = 16;
+    std::vector<std::vector<std::thread::id>> ids(outer);
+    parallelFor(outer, [&](size_t o) {
+        EXPECT_TRUE(inParallelRegion());
+        ids[o].resize(inner);
+        parallelFor(inner, [&, o](size_t i) {
+            ids[o][i] = std::this_thread::get_id();
+        });
+    });
+    // Every inner iteration must have run on its outer task's thread.
+    for (size_t o = 0; o < outer; ++o) {
+        const std::set<std::thread::id> distinct(ids[o].begin(),
+                                                 ids[o].end());
+        EXPECT_EQ(distinct.size(), 1u);
+    }
+    EXPECT_FALSE(inParallelRegion());
+}
+
+TEST_F(ParallelTest, SingleThreadRunsEverythingInline)
+{
+    setGlobalThreadCount(1);
+    const auto main_id = std::this_thread::get_id();
+    parallelFor(64, [&](size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), main_id);
+    });
+}
+
+TEST_F(ParallelTest, EnvOverrideSetsThreadCount)
+{
+    setenv("CHAOS_THREADS", "3", 1);
+    setGlobalThreadCount(0);  // Force re-resolution from the env.
+    EXPECT_EQ(globalThreadCount(), 3u);
+}
+
+TEST_F(ParallelTest, BadEnvValueFallsBackToHardware)
+{
+    setenv("CHAOS_THREADS", "zero", 1);
+    setGlobalThreadCount(0);
+    EXPECT_GE(globalThreadCount(), 1u);
+}
+
+TEST_F(ParallelTest, EmptyRangeIsANoOp)
+{
+    setGlobalThreadCount(8);
+    size_t calls = 0;
+    parallelFor(0, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls, 0u);
+}
+
+} // namespace
+} // namespace chaos
