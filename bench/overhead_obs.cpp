@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Self-overhead accounting for the observability layer.
+ *
+ * The instrumentation contract is that tracing spans, metric counters
+ * and the event log together cost less than 1% of pipeline wall time.
+ * This bench measures it directly: the same training pipeline (MARS
+ * fit, stepwise elimination, cross-validated evaluation) runs with
+ * all observability enabled and with all of it disabled, interleaved
+ * so thermal/cache drift hits both sides equally, and the minima are
+ * compared. Timing at millisecond scale is noisy, so a run also
+ * passes when the absolute difference is below a small epsilon even
+ * if the ratio momentarily exceeds 1%.
+ *
+ * The warm-up pass doubles as the trace-export check: it runs every
+ * instrumented stage (Algorithm-1 feature selection, MARS, stepwise,
+ * CV folds, pooling) with tracing on and asserts the exported Chrome
+ * trace JSON is well-formed and names each stage.
+ *
+ * Writes BENCH_obs.json; exits nonzero if any assertion fails so
+ * tier-1 can run it as a smoke test (CHAOS_BENCH_FAST=1 shrinks the
+ * campaign).
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/bench_support.hpp"
+#include "core/pooling.hpp"
+#include "models/mars.hpp"
+#include "models/stepwise.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+#include "util/string_utils.hpp"
+
+using namespace chaos;
+
+namespace {
+
+double
+wallMs(const std::function<void()> &body)
+{
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(stop - start)
+        .count();
+}
+
+/** The instrumented stages timed for the overhead comparison. */
+void
+runPipeline(const ClusterCampaign &campaign,
+            const CampaignConfig &config)
+{
+    const FeatureSet features = clusterFeatureSet(campaign.selection);
+    const Dataset subset =
+        campaign.data.selectFeaturesByName(features.counters);
+
+    MarsConfig marsCfg = config.evaluation.mars;
+    marsCfg.maxDegree = 2;
+    MarsModel model(marsCfg);
+    model.fit(subset.features(), subset.powerW());
+
+    const StepwiseResult sw = stepwiseEliminate(
+        campaign.data.features(), campaign.data.powerW(),
+        StepwiseConfig());
+    (void)sw;
+
+    const EvaluationOutcome outcome =
+        evaluateTechnique(campaign.data, features,
+                          ModelType::Quadratic, campaign.envelopes,
+                          config.evaluation);
+    (void)outcome;
+}
+
+std::string
+msArrayJson(const std::vector<double> &values)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += formatDouble(values[i], 3);
+    }
+    return out + "]";
+}
+
+} // namespace
+
+int
+main()
+{
+    const CampaignConfig config = bench::paperCampaignConfig();
+    std::cout << "== overhead_obs: observability self-overhead ==\n\n";
+
+    ClusterCampaign campaign =
+        bench::campaignFor(MachineClass::Core2, config);
+    bench::dropRawRuns(campaign);
+    setGlobalThreadCount(1);
+
+    // --- Warm-up + trace coverage: every stage under tracing. ---
+    obs::setMetricsEnabled(true);
+    obs::setTraceEnabled(true);
+    obs::clearTrace();
+    runPipeline(campaign, config);
+    {
+        Rng rng(config.seed ^ 0xfeedfaceULL);
+        const FeatureSelectionResult selection = selectClusterFeatures(
+            campaign.data, config.featureSelection, rng);
+        (void)selection;
+        const PoolingComparison cmp = comparePooling(
+            campaign.data, clusterFeatureSet(campaign.selection),
+            ModelType::PiecewiseLinear, campaign.envelopes,
+            config.evaluation);
+        (void)cmp;
+    }
+    const size_t traceEvents = obs::collectTrace().size();
+    const std::string traceJson = obs::chromeTraceJson();
+    const bool traceValid = obs::jsonWellFormed(traceJson);
+    const std::vector<std::string> requiredPhases = {
+        "select.cluster_features", "mars.forward", "mars.backward",
+        "stepwise.eliminate",      "cv.fold",      "pooling.compare",
+    };
+    bool traceCovers = true;
+    for (const auto &phase : requiredPhases) {
+        if (traceJson.find("\"" + phase + "\"") == std::string::npos) {
+            std::cerr << "missing phase in trace: " << phase << "\n";
+            traceCovers = false;
+        }
+    }
+    obs::setTraceEnabled(false);
+    obs::clearTrace();
+
+    // --- Interleaved timing: instrumented vs no-op. ---
+    const int reps = 3;
+    std::vector<double> offMs, onMs;
+    for (int rep = 0; rep < reps; ++rep) {
+        obs::setMetricsEnabled(false);
+        offMs.push_back(
+            wallMs([&] { runPipeline(campaign, config); }));
+
+        obs::setMetricsEnabled(true);
+        obs::setTraceEnabled(true);
+        onMs.push_back(
+            wallMs([&] { runPipeline(campaign, config); }));
+        obs::setTraceEnabled(false);
+        obs::clearTrace();
+    }
+    obs::setMetricsEnabled(true);
+
+    const double minOff = *std::min_element(offMs.begin(), offMs.end());
+    const double minOn = *std::min_element(onMs.begin(), onMs.end());
+    const double diffMs = minOn - minOff;
+    const double overheadPct = minOff > 0.0 ? diffMs / minOff * 100.0
+                                            : 0.0;
+    // Millisecond timing is noisy; a tiny absolute difference passes
+    // even when the ratio wobbles past 1% on a fast (shrunk) run.
+    const double epsilonMs = 15.0;
+    const bool overheadOk = overheadPct < 1.0 || diffMs < epsilonMs;
+
+    std::printf("instrumented (min of %d):  %9.1f ms\n", reps, minOn);
+    std::printf("no-op        (min of %d):  %9.1f ms\n", reps, minOff);
+    std::printf("overhead: %+.3f ms (%+.3f%%), budget 1%% "
+                "(or < %.0f ms absolute)\n",
+                diffMs, overheadPct, epsilonMs);
+    std::printf("trace export: %zu events, well-formed=%s, "
+                "all stages present=%s\n",
+                traceEvents, traceValid ? "yes" : "no",
+                traceCovers ? "yes" : "no");
+
+    // --- BENCH_obs.json. ---
+    std::string json = "{\n";
+    json += "  \"bench\": \"overhead_obs\",\n";
+    json += "  \"fast_mode\": " +
+            std::string(bench::fastMode() ? "true" : "false") + ",\n";
+    json += "  \"rows\": " +
+            std::to_string(campaign.data.numRows()) + ",\n";
+    json += "  \"reps\": " + std::to_string(reps) + ",\n";
+    json += "  \"instrumented_ms\": " + msArrayJson(onMs) + ",\n";
+    json += "  \"noop_ms\": " + msArrayJson(offMs) + ",\n";
+    json += "  \"min_instrumented_ms\": " + formatDouble(minOn, 3) +
+            ",\n";
+    json += "  \"min_noop_ms\": " + formatDouble(minOff, 3) + ",\n";
+    json += "  \"overhead_ms\": " + formatDouble(diffMs, 3) + ",\n";
+    json += "  \"overhead_pct\": " + formatDouble(overheadPct, 4) +
+            ",\n";
+    json += "  \"trace_events\": " + std::to_string(traceEvents) +
+            ",\n";
+    json += "  \"trace_well_formed\": " +
+            std::string(traceValid ? "true" : "false") + ",\n";
+    json += "  \"trace_covers_all_stages\": " +
+            std::string(traceCovers ? "true" : "false") + "\n";
+    json += "}\n";
+    std::ofstream out("BENCH_obs.json");
+    out << json;
+    out.close();
+    std::cout << "\nwrote BENCH_obs.json\n";
+
+    int failures = 0;
+    auto require = [&](bool ok, const std::string &what) {
+        if (!ok) {
+            std::cerr << "FAIL: " << what << "\n";
+            ++failures;
+        }
+    };
+    require(traceEvents > 0, "tracing recorded events");
+    require(traceValid, "Chrome trace JSON is well-formed");
+    require(traceCovers, "trace covers every pipeline stage");
+    require(overheadOk, "observability overhead under 1% "
+                        "(or below absolute epsilon)");
+    if (failures == 0)
+        std::cout << "overhead_obs: PASS\n";
+    return failures == 0 ? 0 : 1;
+}

@@ -18,6 +18,7 @@
  *    lost machine's contribution within the dynamic-range bound.
  */
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <vector>
@@ -26,6 +27,8 @@
 #include "core/online.hpp"
 #include "faults/fault_profile.hpp"
 #include "faults/injectors.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/string_utils.hpp"
 #include "util/table.hpp"
 
@@ -143,6 +146,29 @@ lostMachineBoundHolds(const ClusterCampaign &campaign,
     return ok;
 }
 
+/** One reported sweep row, mirrored into BENCH_robustness.json. */
+struct SweepRow
+{
+    std::string faultClass;
+    double intensity = 0.0;
+    SweepResult result;
+};
+
+std::string
+sweepRowJson(const SweepRow &row)
+{
+    return "    {\"fault_class\": \"" + row.faultClass +
+           "\", \"intensity\": " + formatDouble(row.intensity, 2) +
+           ", \"dre\": " + formatDouble(row.result.dre, 6) +
+           ", \"worst_abs_err_w\": " +
+           formatDouble(row.result.worstAbsErrW, 3) +
+           ", \"substituted\": " +
+           std::to_string(row.result.substituted) +
+           ", \"imputed\": " + std::to_string(row.result.imputed) +
+           ", \"non_finite\": " +
+           std::to_string(row.result.nonFinite) + "}";
+}
+
 } // namespace
 
 int
@@ -162,8 +188,10 @@ main()
     TextTable table({"Fault class", "Intensity", "DRE", "Worst err",
                      "Substituted", "Imputed", "NaN est"});
 
+    std::vector<SweepRow> rows;
     const SweepResult baseline =
         sweepProfile(campaign, model, spec, FaultProfile{}, 4242);
+    rows.push_back({"(none)", 0.0, baseline});
     table.addRow({"(none)", "0.00", bench::pct(baseline.dre),
                   formatDouble(baseline.worstAbsErrW, 1) + " W",
                   std::to_string(baseline.substituted),
@@ -179,6 +207,7 @@ main()
             const SweepResult res = sweepProfile(
                 campaign, model, spec, profile,
                 4242 + static_cast<uint64_t>(fc) * 17);
+            rows.push_back({faultClassName(fc), k, res});
             table.addRow({faultClassName(fc), formatDouble(k, 2),
                           bench::pct(res.dre),
                           formatDouble(res.worstAbsErrW, 1) + " W",
@@ -206,6 +235,33 @@ main()
               << "  lost machine -> Lost health, finite cluster total,"
                  " error within Pmax-Pidle: "
               << (lostOk ? "PASS" : "FAIL") << "\n";
+
+    // --- BENCH_robustness.json: sweep rows plus the registry view
+    // of the online health counters and fault activations (the
+    // chaos.online.* / chaos.faults.* metrics the sweeps drove).
+    {
+        std::string json = "{\n";
+        json += "  \"bench\": \"robustness_dre\",\n";
+        json += "  \"fast_mode\": " +
+                std::string(bench::fastMode() ? "true" : "false") +
+                ",\n";
+        json += "  \"sweeps\": [\n";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            json += sweepRowJson(rows[i]);
+            json += i + 1 < rows.size() ? ",\n" : "\n";
+        }
+        json += "  ],\n";
+        json += "  \"health_events_emitted\": " +
+                std::to_string(
+                    obs::EventLog::instance().totalEmitted()) +
+                ",\n";
+        json += "  \"metrics\": " +
+                obs::Registry::instance().snapshotJson() + "\n";
+        json += "}\n";
+        std::ofstream out("BENCH_robustness.json");
+        out << json;
+        std::cout << "wrote BENCH_robustness.json\n";
+    }
 
     const bool pass = totalNonFinite == 0 && boundedGrowth && lostOk;
     std::cout << "\nShape check: DRE grows with fault intensity but "

@@ -5,7 +5,10 @@
 # the parallel-pipeline tests under ThreadSanitizer
 # (CHAOS_SANITIZE=thread), and a perf_pipeline smoke run (the bench
 # itself asserts speedup >= 1.0 and serial == parallel accuracy with
-# a finite DRE, exiting nonzero otherwise).
+# a finite DRE, exiting nonzero otherwise). The observability layer
+# gets its own stage: an overhead_obs smoke run (asserts < 1 %
+# instrumentation overhead and valid trace/metrics exports) plus the
+# obs unit tests under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +22,10 @@ echo "== tier 1: perf pipeline smoke (fast mode) =="
 CHAOS_BENCH_FAST=1 ./build/bench/perf_pipeline
 
 echo
+echo "== tier 1: observability overhead smoke (fast mode) =="
+CHAOS_BENCH_FAST=1 ./build/bench/overhead_obs
+
+echo
 echo "== tier 1: fault-injection tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCHAOS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)" --target test_faults
@@ -27,11 +34,13 @@ cmake --build build-asan -j"$(nproc)" --target test_faults
 echo
 echo "== tier 1: parallel tests under TSan =="
 cmake -B build-tsan -S . -DCHAOS_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"$(nproc)" --target test_util test_core
+cmake --build build-tsan -j"$(nproc)" --target test_util test_core \
+    test_obs
 CHAOS_THREADS=8 ./build-tsan/tests/test_util \
-    --gtest_filter='ParallelTest.*'
+    --gtest_filter='ParallelTest.*:Logging.Concurrent*'
 CHAOS_BENCH_FAST=1 CHAOS_THREADS=8 ./build-tsan/tests/test_core \
     --gtest_filter='ParallelDeterminism.*'
+CHAOS_THREADS=8 ./build-tsan/tests/test_obs
 
 echo
 echo "tier 1: PASS"

@@ -1,11 +1,15 @@
 #include "cli/cli.hpp"
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
 #include <optional>
 
 #include "core/chaos.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
 #include "core/model_store.hpp"
 #include "oscounters/counter_catalog.hpp"
 #include "oscounters/etw_session.hpp"
@@ -97,7 +101,15 @@ cmdHelp(std::ostream &out)
         << "      [--type T] [--folds K] [--seed S]\n"
         << "  predict <model.txt> <data.csv>     apply a saved model\n"
         << "  report <data.csv>                  markdown dataset "
-           "summary\n";
+           "summary\n"
+        << "\nglobal flags (any subcommand):\n"
+        << "  --log-level L      debug|info|warn|error|silent\n"
+        << "  --trace-out F      write a Chrome trace-event JSON "
+           "(chrome://tracing)\n"
+        << "  --trace-summary F  write the human-readable phase-tree "
+           "summary\n"
+        << "  --metrics-out F    write the metrics registry snapshot "
+           "as JSON\n";
     return 0;
 }
 
@@ -453,6 +465,66 @@ dispatch(const std::string &command, const ParsedArgs &parsed,
     return 2;
 }
 
+/** Write @p content to @p path, raising RecoverableError on failure. */
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path);
+    raiseIf(!file, "cannot write " + path);
+    file << content;
+    file.flush();
+    raiseIf(!file.good(), "failed writing " + path);
+}
+
+/**
+ * Observability flags shared by every subcommand. Tracing is enabled
+ * only when a trace output was requested; the export itself happens
+ * after the subcommand ran.
+ */
+struct ObsOptions
+{
+    std::string traceOutPath;
+    std::string traceSummaryPath;
+    std::string metricsOutPath;
+
+    static std::optional<ObsOptions> fromArgs(const ParsedArgs &args,
+                                              std::ostream &err)
+    {
+        const std::string level_name = args.flagOr("log-level", "");
+        if (!level_name.empty()) {
+            LogLevel level;
+            if (!logLevelFromName(level_name, level)) {
+                err << "error: unknown log level '" << level_name
+                    << "' (debug|info|warn|error|silent)\n";
+                return std::nullopt;
+            }
+            setLogLevel(level);
+        }
+        ObsOptions options;
+        options.traceOutPath = args.flagOr("trace-out", "");
+        options.traceSummaryPath = args.flagOr("trace-summary", "");
+        options.metricsOutPath = args.flagOr("metrics-out", "");
+        if (!options.traceOutPath.empty() ||
+            !options.traceSummaryPath.empty())
+            obs::setTraceEnabled(true);
+        return options;
+    }
+
+    /** Export whatever was requested; raises on unwritable paths. */
+    void exportAll() const
+    {
+        if (!traceOutPath.empty())
+            writeTextFile(traceOutPath, obs::chromeTraceJson());
+        if (!traceSummaryPath.empty())
+            writeTextFile(traceSummaryPath, obs::phaseSummary());
+        if (!metricsOutPath.empty()) {
+            writeTextFile(metricsOutPath,
+                          obs::Registry::instance().snapshotJson(
+                              /*includeScheduling=*/true));
+        }
+    }
+};
+
 } // namespace
 
 int
@@ -466,6 +538,10 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     if (!parsed)
         return 2;
 
+    const auto obs_options = ObsOptions::fromArgs(*parsed, err);
+    if (!obs_options)
+        return 2;
+
     const std::string &command = parsed->positional.empty()
                                      ? args[0]
                                      : parsed->positional[0];
@@ -473,12 +549,22 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     // (bad dataset CSV, corrupt model file, unknown names); the CLI
     // is the process boundary where that becomes an error message
     // and a nonzero exit code.
+    int code;
     try {
-        return dispatch(command, *parsed, out, err);
+        code = dispatch(command, *parsed, out, err);
+    } catch (const RecoverableError &e) {
+        err << "error: " << e.message() << "\n";
+        code = 2;
+    }
+    // Trace/metrics exports also cover failed runs: observability is
+    // most valuable exactly when a run went wrong.
+    try {
+        obs_options->exportAll();
     } catch (const RecoverableError &e) {
         err << "error: " << e.message() << "\n";
         return 2;
     }
+    return code;
 }
 
 } // namespace chaos

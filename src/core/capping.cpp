@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -11,9 +12,9 @@ GuardBand
 GuardBand::fromResiduals(const std::vector<double> &residualsW,
                          double sigmas)
 {
-    fatalIf(residualsW.size() < 10,
+    raiseIf(residualsW.size() < 10,
             "GuardBand needs at least 10 validation residuals");
-    fatalIf(sigmas <= 0.0, "GuardBand needs positive sigmas");
+    raiseIf(sigmas <= 0.0, "GuardBand needs positive sigmas");
 
     GuardBand band;
     band.bias = mean(residualsW);
@@ -40,8 +41,8 @@ PowerCapController::PowerCapController(double capW,
                                        size_t machines)
     : cap(capW), threshold(capW - band.clusterW(machines))
 {
-    fatalIf(capW <= 0.0, "PowerCapController needs a positive cap");
-    fatalIf(threshold <= 0.0,
+    raiseIf(capW <= 0.0, "PowerCapController needs a positive cap");
+    raiseIf(threshold <= 0.0,
             "guard band leaves no usable capacity under the cap");
 }
 

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/kfold.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -97,8 +100,8 @@ std::unique_ptr<PowerModel>
 fitPooledModel(const Dataset &data, const FeatureSet &featureSet,
                ModelType type, const MarsConfig &mars)
 {
-    fatalIf(!combinationDefined(featureSet, type),
-            "model/feature-set combination is undefined");
+    raiseIf(!combinationDefined(featureSet, type),
+            "fitPooledModel: model/feature-set combination is undefined");
     const Dataset subset = data.selectFeaturesByName(featureSet.counters);
     auto model = buildModel(featureSet, type, mars);
     model->fit(subset.features(), subset.powerW());
@@ -110,9 +113,18 @@ evaluateTechnique(const Dataset &data, const FeatureSet &featureSet,
                   ModelType type, const EnvelopeMap &envelopes,
                   const EvaluationConfig &config)
 {
+    obs::Span span("cv.evaluate");
+    static auto &techniques =
+        obs::Registry::instance().counter("chaos.eval.techniques_evaluated");
+    static auto &undefined =
+        obs::Registry::instance().counter("chaos.eval.undefined_combinations");
+    techniques.add();
+
     EvaluationOutcome outcome;
-    if (!combinationDefined(featureSet, type))
+    if (!combinationDefined(featureSet, type)) {
+        undefined.add();
         return outcome;
+    }
     panicIf(data.numRows() == 0, "evaluateTechnique: empty dataset");
 
     const Dataset subset =
@@ -125,6 +137,7 @@ evaluateTechnique(const Dataset &data, const FeatureSet &featureSet,
     // fold below is independent and can train concurrently.
     const auto per_fold = parallelMap<FoldOutcome>(
         folds.size(), [&](size_t fi) {
+            obs::Span fold_span("cv.fold");
             FoldOutcome out;
             const auto &fold = folds[fi];
             // Paper protocol: the small side is the training set.
@@ -174,6 +187,11 @@ evaluateTechnique(const Dataset &data, const FeatureSet &featureSet,
                     (it->second.maxPowerW - it->second.idlePowerW));
             }
             out.ran = true;
+            // Commutative integer add: deterministic for any thread
+            // count even though folds finish out of order.
+            static auto &folds_run =
+                obs::Registry::instance().counter("chaos.eval.folds_run");
+            folds_run.add();
             return out;
         });
 

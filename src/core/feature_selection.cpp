@@ -6,9 +6,12 @@
 
 #include "models/lasso.hpp"
 #include "models/stepwise.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "oscounters/counter_catalog.hpp"
 #include "stats/correlation.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -41,25 +44,29 @@ screenCounters(const Dataset &data,
                FeatureSelectionResult *funnel)
 {
     (void)rng;
+    obs::Span span("select.screen");
     panicIf(data.numRows() == 0, "screenCounters: empty dataset");
 
     if (funnel)
         funnel->catalogSize = data.numFeatures();
 
     // --- Step 0: drop constant and explicitly excluded counters. ---
-    std::set<size_t> dropped;
-    for (size_t c : data.constantColumns())
-        dropped.insert(c);
-    for (const auto &name : config.excludedCounters) {
-        for (size_t c = 0; c < data.numFeatures(); ++c) {
-            if (data.featureNames()[c] == name)
-                dropped.insert(c);
-        }
-    }
     std::vector<size_t> alive;
-    for (size_t c = 0; c < data.numFeatures(); ++c) {
-        if (!dropped.count(c))
-            alive.push_back(c);
+    {
+        obs::Span step_span("select.constant_drop");
+        std::set<size_t> dropped;
+        for (size_t c : data.constantColumns())
+            dropped.insert(c);
+        for (const auto &name : config.excludedCounters) {
+            for (size_t c = 0; c < data.numFeatures(); ++c) {
+                if (data.featureNames()[c] == name)
+                    dropped.insert(c);
+            }
+        }
+        for (size_t c = 0; c < data.numFeatures(); ++c) {
+            if (!dropped.count(c))
+                alive.push_back(c);
+        }
     }
     if (funnel)
         funnel->afterConstantDrop = alive.size();
@@ -67,6 +74,7 @@ screenCounters(const Dataset &data,
     // --- Step 1: prune |r| > threshold pairs. Within a correlated
     // pair, keep the counter more correlated with measured power
     // (a deterministic, power-aware representative choice). ---
+    obs::Span prune_span("select.correlation_prune");
     const auto sample_rows =
         strideRows(data.numRows(), config.maxCorrelationRows);
     const Dataset sampled = data.selectRows(sample_rows);
@@ -143,12 +151,14 @@ screenCounters(const Dataset &data,
     survivors.reserve(kept_local.size());
     for (size_t i : kept_local)
         survivors.push_back(alive[i]);
+    prune_span.end();
     if (funnel)
         funnel->afterCorrelation = survivors.size();
 
     // --- Step 2: co-dependent counters (a = b + c): remove the
     // derived counter a and one addend, keeping a single part, per
     // the paper's Algorithm 1 lines 4-6. ---
+    obs::Span codep_span("select.co_dependency");
     const auto &catalog = CounterCatalog::instance();
     std::set<std::string> surviving_names;
     for (size_t c : survivors)
@@ -194,6 +204,15 @@ FeatureSelectionResult
 selectClusterFeatures(const Dataset &data,
                       const FeatureSelectionConfig &config, Rng &rng)
 {
+    obs::Span span("select.cluster_features");
+    static auto &lasso_fits =
+        obs::Registry::instance().counter("chaos.select.lasso_fits");
+    static auto &stepwise_runs =
+        obs::Registry::instance().counter("chaos.select.stepwise_runs");
+    static auto &threshold_iters =
+        obs::Registry::instance().counter(
+            "chaos.select.threshold_iterations");
+
     FeatureSelectionResult result;
     const std::vector<size_t> screened =
         screenCounters(data, config, rng, &result);
@@ -205,6 +224,7 @@ selectClusterFeatures(const Dataset &data,
     const auto &workload_names = data.workloadNames();
 
     // --- Steps 3-4: per machine and workload, L1 then stepwise. ---
+    obs::Span slice_span("select.per_machine_slices");
     LassoSolver lasso;
     for (int machine : machine_set) {
         const Dataset machine_data = data.filterMachine(machine);
@@ -225,6 +245,7 @@ selectClusterFeatures(const Dataset &data,
             record.workload = workload;
 
             // Step 3: L1 regularization discards the bulk.
+            lasso_fits.add();
             const LassoFit fit = lasso.fitWithTargetSupport(
                 x, y, config.lassoMaxSupport);
             const auto support = fit.support();
@@ -242,6 +263,7 @@ selectClusterFeatures(const Dataset &data,
             const Matrix xs = x.selectColumns(support_cols);
             StepwiseConfig sw;
             sw.alpha = config.stepwiseAlpha;
+            stepwise_runs.add();
             const StepwiseResult stepped = stepwiseEliminate(xs, y, sw);
             for (size_t k : stepped.keptFeatures) {
                 record.significant.push_back(
@@ -250,6 +272,7 @@ selectClusterFeatures(const Dataset &data,
             result.perMachine.push_back(std::move(record));
         }
     }
+    slice_span.end();
     panicIf(result.perMachine.empty(),
             "no machine/workload slice had enough data");
 
@@ -266,12 +289,14 @@ selectClusterFeatures(const Dataset &data,
 
     // --- Step 6: threshold + cluster-level stepwise; raise the
     // threshold until stepwise keeps everything. ---
+    obs::Span threshold_span("select.threshold_search");
     const auto pooled_rows = strideRows(
         data.numRows(), config.maxCorrelationRows);
     const Dataset pooled = data.selectRows(pooled_rows);
 
     double threshold = config.initialThreshold;
     for (;;) {
+        threshold_iters.add();
         std::vector<size_t> candidates;
         for (size_t c : screened) {
             const auto it =
@@ -287,7 +312,8 @@ selectClusterFeatures(const Dataset &data,
             double best = 0.0;
             for (const auto &[name, weight] : result.histogram)
                 best = std::max(best, weight);
-            fatalIf(best <= 0.0, "empty feature histogram");
+            raiseIf(best <= 0.0,
+                    "selectClusterFeatures: empty feature histogram");
             threshold = best;
             continue;
         }
@@ -295,6 +321,7 @@ selectClusterFeatures(const Dataset &data,
         const Matrix x = pooled.features().selectColumns(candidates);
         StepwiseConfig sw;
         sw.alpha = config.stepwiseAlpha;
+        stepwise_runs.add();
         const StepwiseResult stepped =
             stepwiseEliminate(x, pooled.powerW(), sw);
 

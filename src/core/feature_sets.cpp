@@ -6,6 +6,7 @@
 
 #include "oscounters/counter_catalog.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -53,7 +54,7 @@ FeatureSet
 clusterPlusLagWindowFeatureSet(const FeatureSelectionResult &selection,
                                size_t window)
 {
-    fatalIf(window < 1 || window > 3,
+    raiseIf(window < 1 || window > 3,
             "lag window must be between 1 and 3");
     FeatureSet set{"CP" + std::to_string(window), selection.selected};
     for (size_t k = 0; k < window; ++k) {
@@ -70,7 +71,7 @@ deriveGeneralFeatureSet(
     const std::vector<FeatureSelectionResult> &selections,
     size_t minClusters)
 {
-    fatalIf(selections.empty(),
+    raiseIf(selections.empty(),
             "deriveGeneralFeatureSet: no cluster selections");
     const auto &catalog = CounterCatalog::instance();
 
@@ -123,7 +124,7 @@ deriveGeneralFeatureSet(
         }
     }
 
-    fatalIf(general.counters.empty(),
+    raiseIf(general.counters.empty(),
             "general feature set derivation produced nothing");
     return general;
 }

@@ -1,6 +1,7 @@
 #include "core/framework.hpp"
 
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -39,7 +40,7 @@ MachinePowerModel
 fitDefaultModel(const ClusterCampaign &campaign,
                 const CampaignConfig &config)
 {
-    fatalIf(campaign.selection.selected.empty(),
+    raiseIf(campaign.selection.selected.empty(),
             "fitDefaultModel: campaign has no feature selection");
     const FeatureSet features = clusterFeatureSet(campaign.selection);
     return MachinePowerModel::fit(campaign.data, features,

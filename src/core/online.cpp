@@ -2,12 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "oscounters/counter_catalog.hpp"
 #include "util/logging.hpp"
 
 namespace chaos {
+
+namespace {
+
+/** Event-source label for estimators that were not given one. */
+const std::string kDefaultSource = "machine";
+
+/**
+ * Registry mirror of the per-estimator OnlineHealthCounters plus the
+ * transition count. The online path is serial per estimator, so the
+ * tallies are Stable (work-proportional) metrics.
+ */
+struct OnlineMetrics {
+    obs::Counter &validInputs;
+    obs::Counter &rejectedInputs;
+    obs::Counter &imputedInputs;
+    obs::Counter &substitutedEstimates;
+    obs::Counter &clampedEstimates;
+    obs::Counter &healthTransitions;
+
+    static OnlineMetrics &
+    get()
+    {
+        auto &registry = obs::Registry::instance();
+        static OnlineMetrics m{
+            registry.counter("chaos.online.valid_inputs"),
+            registry.counter("chaos.online.rejected_inputs"),
+            registry.counter("chaos.online.imputed_inputs"),
+            registry.counter("chaos.online.substituted_estimates"),
+            registry.counter("chaos.online.clamped_estimates"),
+            registry.counter("chaos.online.health_transitions"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 std::string
 machineHealthName(MachineHealth health)
@@ -70,9 +109,15 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
     const auto &indices = model.catalogIndices();
     std::vector<double> projected(indices.size(), 0.0);
 
+    auto &metrics = OnlineMetrics::get();
+    auto &events = obs::EventLog::instance();
+    const std::string &source =
+        config.sourceLabel.empty() ? kDefaultSource : config.sourceLabel;
+
     bool anyValid = false;
     bool anyImputed = false;
     bool anyStale = false;
+    std::uint64_t imputedThisSample = 0;
     for (size_t i = 0; i < indices.size(); ++i) {
         const size_t idx = indices[i];
         const double raw = idx < catalogRow.size()
@@ -89,13 +134,17 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
             projected[i] = value;
             anyValid = true;
             ++tallies.validInputs;
+            metrics.validInputs.add();
             continue;
         }
         ++tallies.rejectedInputs;
+        metrics.rejectedInputs.add();
         fs.ageSeconds += 1.0;
         if (fs.seen) {
             projected[i] = fs.lastGood;
             ++tallies.imputedInputs;
+            metrics.imputedInputs.add();
+            ++imputedThisSample;
             anyImputed = true;
             if (fs.ageSeconds > config.stalenessBudgetSeconds)
                 anyStale = true;
@@ -107,9 +156,18 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
         }
     }
 
+    // One aggregated event per sample keeps the log readable under
+    // sustained degradation (vs one event per imputed feature).
+    if (imputedThisSample > 0) {
+        events.emit(obs::EventKind::Imputation, source,
+                    "inputs imputed from last-known-good",
+                    imputedThisSample);
+    }
+
     const bool allInvalid = !indices.empty() && !anyValid;
     secondsAllInvalid = allInvalid ? secondsAllInvalid + 1.0 : 0.0;
 
+    const MachineHealth previous = healthState;
     if (secondsAllInvalid >= config.lostAfterSeconds)
         healthState = MachineHealth::Lost;
     else if (anyStale)
@@ -119,11 +177,21 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
     else
         healthState = MachineHealth::Healthy;
 
+    if (healthState != previous) {
+        metrics.healthTransitions.add();
+        events.emit(obs::EventKind::HealthTransition, source,
+                    machineHealthName(previous) + " -> " +
+                        machineHealthName(healthState));
+    }
+
     double watts;
     bool trusted = false;
     if (healthState == MachineHealth::Lost) {
         watts = substitutePowerW();
         ++tallies.substitutedEstimates;
+        metrics.substitutedEstimates.add();
+        events.emit(obs::EventKind::Substitution, source,
+                    "machine Lost: estimate substituted");
     } else {
         watts = model.predictFromFeatureRow(projected);
         if (std::isfinite(watts)) {
@@ -131,14 +199,23 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
         } else {
             watts = substitutePowerW();
             ++tallies.substitutedEstimates;
+            metrics.substitutedEstimates.add();
+            events.emit(obs::EventKind::Substitution, source,
+                        "non-finite model output: estimate substituted");
         }
     }
 
     if (config.hasEnvelope()) {
         const double clamped =
             std::clamp(watts, config.idlePowerW, config.maxPowerW);
-        if (clamped != watts)
+        if (clamped != watts) {
             ++tallies.clampedEstimates;
+            metrics.clampedEstimates.add();
+            events.emit(obs::EventKind::Clamp, source,
+                        clamped >= watts
+                            ? "estimate clamped up to idle power"
+                            : "estimate clamped down to max power");
+        }
         watts = clamped;
     }
 
@@ -164,7 +241,9 @@ size_t
 ClusterPowerEstimator::addMachine(MachinePowerModel model,
                                   OnlineEstimatorConfig config)
 {
-    estimators.emplace_back(std::move(model), config);
+    if (config.sourceLabel.empty())
+        config.sourceLabel = "machine" + std::to_string(estimators.size());
+    estimators.emplace_back(std::move(model), std::move(config));
     return estimators.size() - 1;
 }
 

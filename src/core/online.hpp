@@ -75,6 +75,13 @@ struct OnlineEstimatorConfig
      */
     size_t recentMeanWindow = 30;
 
+    /**
+     * Label identifying this machine in health events (obs::EventLog).
+     * Empty means "machine"; ClusterPowerEstimator::addMachine fills
+     * in "machine<index>" when left empty.
+     */
+    std::string sourceLabel;
+
     /** True when a physical envelope was provided. */
     bool hasEnvelope() const { return maxPowerW > idlePowerW; }
 

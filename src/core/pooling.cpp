@@ -4,6 +4,8 @@
 #include <set>
 
 #include "models/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/kfold.hpp"
 #include "stats/metrics.hpp"
@@ -90,6 +92,7 @@ comparePooling(const Dataset &data, const FeatureSet &featureSet,
                const EvaluationConfig &config,
                double adequacyThreshold)
 {
+    obs::Span span("pooling.compare");
     panicIf(data.numRows() == 0, "comparePooling: empty dataset");
     const Dataset subset =
         data.selectFeaturesByName(featureSet.counters);
@@ -101,6 +104,7 @@ comparePooling(const Dataset &data, const FeatureSet &featureSet,
     // below touches shared generator state.
     const auto per_fold = parallelMap<PoolingFoldOutcome>(
         folds.size(), [&](size_t fi) {
+            obs::Span fold_span("pooling.fold");
             PoolingFoldOutcome out;
             const auto &fold = folds[fi];
             const auto &train_rows = config.trainOnSingleFold
@@ -170,6 +174,10 @@ comparePooling(const Dataset &data, const FeatureSet &featureSet,
                 }
                 auto model = build(featureSet, type, config.mars);
                 model->fit(m_train.features(), m_train.powerW());
+                static auto &machine_fits =
+                    obs::Registry::instance().counter(
+                        "chaos.pooling.machine_fits");
+                machine_fits.add();
                 for (size_t r = 0; r < test.numRows(); ++r) {
                     if (test.machineIds()[r] == machine) {
                         pm_pred[r] = model->predict(
@@ -188,6 +196,9 @@ comparePooling(const Dataset &data, const FeatureSet &featureSet,
                                  out.perMachineDres,
                                  out.perMachineResiduals);
             out.ran = true;
+            static auto &folds_run =
+                obs::Registry::instance().counter("chaos.pooling.folds_run");
+            folds_run.add();
             return out;
         });
 

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -35,6 +37,10 @@ sweepWorkloads(const Dataset &clusterData,
                const EvaluationConfig &config,
                const std::vector<std::string> &workloads)
 {
+    obs::Span span("sweep.workloads");
+    static auto &cells_evaluated =
+        obs::Registry::instance().counter("chaos.sweep.cells_evaluated");
+
     const std::vector<std::string> &names =
         workloads.empty() ? clusterData.workloadNames() : workloads;
 
@@ -52,6 +58,8 @@ sweepWorkloads(const Dataset &clusterData,
         // flattened index keeps cells in the serial loop's order.
         const size_t grid = types.size() * featureSets.size();
         sweep.cells = parallelMap<SweepCell>(grid, [&](size_t g) {
+            obs::Span cell_span("sweep.cell");
+            cells_evaluated.add();
             SweepCell cell;
             cell.type = types[g / featureSets.size()];
             const auto &featureSet =

@@ -4,11 +4,42 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
 namespace chaos {
 
 namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/**
+ * Activation tallies per fault class. Stable: the injectors are
+ * seeded and run serially, so counts are work-proportional.
+ */
+struct FaultMetrics {
+    obs::Counter &meterDropouts;
+    obs::Counter &meterSpikes;
+    obs::Counter &machineOutages;
+    obs::Counter &jitterRepeats;
+    obs::Counter &stuckOnsets;
+    obs::Counter &counterNans;
+
+    static FaultMetrics &
+    get()
+    {
+        auto &registry = obs::Registry::instance();
+        static FaultMetrics m{
+            registry.counter("chaos.faults.meter_dropouts"),
+            registry.counter("chaos.faults.meter_spikes"),
+            registry.counter("chaos.faults.machine_outages"),
+            registry.counter("chaos.faults.jitter_repeats"),
+            registry.counter("chaos.faults.stuck_onsets"),
+            registry.counter("chaos.faults.counter_nans"),
+        };
+        return m;
+    }
+};
 
 /** Episode length in whole seconds with the given mean (>= 1). */
 double
@@ -29,10 +60,13 @@ double
 MeterFaultInjector::apply(double readingW)
 {
     if (profile.meterDropoutRate > 0 &&
-        rng.bernoulli(profile.meterDropoutRate))
+        rng.bernoulli(profile.meterDropoutRate)) {
+        FaultMetrics::get().meterDropouts.add();
         return kNan;
+    }
     if (profile.meterSpikeRate > 0 &&
         rng.bernoulli(profile.meterSpikeRate)) {
+        FaultMetrics::get().meterSpikes.add();
         // Transient glitch: up to the full relative magnitude, either
         // direction, never below zero watts.
         const double swing = profile.meterSpikeRelMagnitude *
@@ -77,6 +111,12 @@ CounterFaultInjector::apply(std::vector<double> values)
         rng.bernoulli(profile.machineLossRate)) {
         outageSecondsLeft =
             episodeSeconds(rng, profile.machineLossMeanSeconds) - 1.0;
+        FaultMetrics::get().machineOutages.add();
+        obs::EventLog::instance().emit(
+            obs::EventKind::FaultActivation, "counter_injector",
+            "machine outage for " +
+                std::to_string(static_cast<long>(outageSecondsLeft) + 1) +
+                "s");
         std::fill(values.begin(), values.end(), kNan);
         return values;
     }
@@ -85,8 +125,10 @@ CounterFaultInjector::apply(std::vector<double> values)
     // previous vector repeats (values one second stale).
     if (profile.sampleJitterRate > 0 && haveLastVector &&
         lastVector.size() == values.size() &&
-        rng.bernoulli(profile.sampleJitterRate))
+        rng.bernoulli(profile.sampleJitterRate)) {
+        FaultMetrics::get().jitterRepeats.add();
         return lastVector;
+    }
 
     const bool anyStuck =
         profile.stuckOnsetRate > 0 ||
@@ -104,14 +146,17 @@ CounterFaultInjector::apply(std::vector<double> values)
                 heldValues[i] = values[i];
                 stuckSecondsLeft[i] =
                     episodeSeconds(rng, profile.stuckMeanSeconds);
+                FaultMetrics::get().stuckOnsets.add();
             }
         }
     }
 
     if (profile.counterNanRate > 0) {
         for (double &v : values) {
-            if (rng.bernoulli(profile.counterNanRate))
+            if (rng.bernoulli(profile.counterNanRate)) {
                 v = kNan;
+                FaultMetrics::get().counterNans.add();
+            }
         }
     }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -55,7 +56,7 @@ Cholesky::factorRidged(const Matrix &a, double ridge, int maxAttempts)
         }
         current = current == 0.0 ? ridge : current * 10.0;
     }
-    fatal("Cholesky::factorRidged: matrix could not be stabilized");
+    raise("Cholesky::factorRidged: matrix could not be stabilized");
 }
 
 std::vector<double>

@@ -33,7 +33,7 @@ class Cholesky
     /**
      * Factor a + ridge*I, escalating the ridge by 10x (up to
      * @p maxAttempts times) until the factorization succeeds.
-     * fatal()s if the matrix cannot be stabilized.
+     * Raises RecoverableError if the matrix cannot be stabilized.
      */
     static Cholesky factorRidged(const Matrix &a, double ridge = 1e-10,
                                  int maxAttempts = 12);

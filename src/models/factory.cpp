@@ -2,6 +2,7 @@
 
 #include "models/linear.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -22,7 +23,7 @@ makeModel(ModelType type, const ModelOptions &options)
         return std::make_unique<MarsModel>(cfg);
       }
       case ModelType::Switching: {
-        fatalIf(!options.frequencyFeature.has_value(),
+        raiseIf(!options.frequencyFeature.has_value(),
                 "switching model requires a frequency feature");
         SwitchingConfig cfg;
         cfg.frequencyFeature = *options.frequencyFeature;

@@ -8,6 +8,8 @@
 
 #include "linalg/cholesky.hpp"
 #include "models/serialize_detail.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -392,6 +394,17 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
     panicIf(x.rows() != y.size(), "MarsModel::fit shape mismatch");
     panicIf(x.rows() < 10, "MarsModel::fit needs at least 10 rows");
 
+    obs::Span fit_span("mars.fit");
+    static auto &fits =
+        obs::Registry::instance().counter("chaos.mars.fits");
+    static auto &forward_iters =
+        obs::Registry::instance().counter("chaos.mars.forward_iterations");
+    static auto &chains_scored =
+        obs::Registry::instance().counter("chaos.mars.chains_scored");
+    static auto &knots_scored =
+        obs::Registry::instance().counter("chaos.mars.knots_scored");
+    fits.add();
+
     // --- Standardize features: counters span ~10 orders of
     // magnitude, and degree-2 products of raw byte counts would
     // destroy the Gram matrix conditioning. ---
@@ -507,8 +520,11 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
         5, static_cast<size_t>(cfg.minBasisSupport *
                                static_cast<double>(n)));
 
+    obs::Span forward_span("mars.forward");
     std::vector<double> cand1(n), cand2(n);
     while (basis.size() + 2 <= cfg.maxTerms) {
+        obs::Span iter_span("mars.forward_iter");
+        forward_iters.add();
         double best_rss = current_rss;
         size_t best_parent = 0, best_feature = 0;
         double best_knot = 0.0;
@@ -537,6 +553,7 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
 
             // Row-major snapshot of the basis columns: the sweeps
             // read every column of one row at a time.
+            obs::Span factor_span("mars.cholesky_factor");
             const size_t m = st.columns.size();
             Matrix colsRM(n, m);
             for (size_t i = 0; i < n; ++i) {
@@ -546,9 +563,11 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
             }
             const EquilibratedFactor ef =
                 factorForwardState(st.gram, st.bty);
+            factor_span.end();
 
             // Workers score chains against shared read-only state;
             // each writes only its own result slot.
+            obs::Span sweep_span("mars.knot_sweep");
             const auto results = parallelMap<ChainBest>(
                 chains.size(), [&](size_t c) {
                     const auto &ch = chains[c];
@@ -559,6 +578,14 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
                                       st.columns[ch.parent],
                                       min_support, st.yty);
                 });
+            sweep_span.end();
+            chains_scored.add(chains.size());
+            {
+                std::uint64_t total_knots = 0;
+                for (const auto &ch : chains)
+                    total_knots += knots[ch.feature].size();
+                knots_scored.add(total_knots);
+            }
             // Serial reduction in enumeration order; strict < keeps
             // the earliest winner on ties like the reference scan.
             for (size_t c = 0; c < chains.size(); ++c) {
@@ -588,6 +615,7 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
                 }
             }
         } else {
+            obs::Span sweep_span("mars.knot_sweep");
             for (size_t parent = 0; parent < basis.size(); ++parent) {
                 if (basis[parent].degree() + 1 > cfg.maxDegree)
                     continue;
@@ -596,6 +624,8 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
                     if (knots[f].empty() ||
                         basis[parent].usesFeature(f))
                         continue;
+                    chains_scored.add();
+                    knots_scored.add(knots[f].size());
                     for (double t : knots[f]) {
                         size_t support1 = 0, support2 = 0;
                         for (size_t i = 0; i < n; ++i) {
@@ -666,6 +696,11 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
         st.gram = std::move(gram);
         current_rss = best_rss;
     }
+    forward_span.end();
+
+    obs::Span backward_span("mars.backward");
+    static auto &backward_drops =
+        obs::Registry::instance().counter("chaos.mars.backward_drops");
 
     // --- Backward pruning by GCV. ---
     // Work with term indices into `basis`; index 0 (intercept) is
@@ -705,13 +740,17 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
             }
         }
         active.erase(active.begin() + static_cast<long>(round_drop));
+        backward_drops.add();
         if (round_best_gcv < best_gcv) {
             best_gcv = round_best_gcv;
             best_subset = active;
         }
     }
 
+    backward_span.end();
+
     // --- Refit the surviving terms on ALL rows. ---
+    obs::Span refit_span("mars.refit");
     std::vector<BasisTerm> final_terms;
     final_terms.reserve(best_subset.size());
     for (size_t idx : best_subset)

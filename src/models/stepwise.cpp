@@ -7,12 +7,23 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/solve.hpp"
 #include "models/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/distributions.hpp"
 #include "util/logging.hpp"
 
 namespace chaos {
 
 namespace {
+
+/** Count of features eliminated, across both stepwise paths. */
+obs::Counter &
+stepwiseDropCounter()
+{
+    static auto &drops =
+        obs::Registry::instance().counter("chaos.stepwise.drops");
+    return drops;
+}
 
 /**
  * Incremental elimination: the Gram matrix of the full intercept-
@@ -109,6 +120,7 @@ eliminateReusingGram(const Matrix &x, const std::vector<double> &y,
         }
         result.removedFeatures.push_back(active[worst + 1] - 1);
         active.erase(active.begin() + static_cast<long>(worst + 1));
+        stepwiseDropCounter().add();
         if (chol->appliedRidge() > 0.0) {
             // A stabilizing ridge is tied to the column set it was
             // computed for; re-factor rather than carry it along.
@@ -128,6 +140,11 @@ stepwiseEliminate(const Matrix &x, const std::vector<double> &y,
 {
     panicIf(x.rows() != y.size(), "stepwise shape mismatch");
     panicIf(x.cols() == 0, "stepwise: no features");
+
+    obs::Span span("stepwise.eliminate");
+    static auto &runs =
+        obs::Registry::instance().counter("chaos.stepwise.runs");
+    runs.add();
 
     if (config.reuseGram)
         return eliminateReusingGram(x, y, config);
@@ -172,6 +189,7 @@ stepwiseEliminate(const Matrix &x, const std::vector<double> &y,
         }
         result.removedFeatures.push_back(kept[worst]);
         kept.erase(kept.begin() + static_cast<long>(worst));
+        stepwiseDropCounter().add();
     }
     panic("stepwiseEliminate failed to converge");
 }

@@ -1,0 +1,105 @@
+#include "obs/events.hpp"
+
+#include "obs/json.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace chaos::obs {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::HealthTransition: return "health_transition";
+      case EventKind::Imputation: return "imputation";
+      case EventKind::Clamp: return "clamp";
+      case EventKind::Substitution: return "substitution";
+      case EventKind::FaultActivation: return "fault_activation";
+    }
+    return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+    ring_.reserve(capacity_);
+}
+
+EventLog &
+EventLog::instance()
+{
+    static EventLog log;
+    return log;
+}
+
+void
+EventLog::emit(EventKind kind, std::string source, std::string detail,
+               std::uint64_t count)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Event event;
+    event.seq = nextSeq_++;
+    event.kind = kind;
+    event.source = std::move(source);
+    event.detail = std::move(detail);
+    event.count = count;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(event));
+    } else {
+        ring_[head_] = std::move(event);
+        head_ = (head_ + 1) % capacity_;
+    }
+}
+
+std::vector<Event>
+EventLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+std::uint64_t
+EventLog::totalEmitted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return nextSeq_;
+}
+
+void
+EventLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    head_ = 0;
+}
+
+namespace {
+
+
+} // namespace
+
+std::string
+EventLog::jsonDump() const
+{
+    auto events = snapshot();
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        out << (i ? ",\n" : "\n") << "  {\"seq\": " << e.seq
+            << ", \"kind\": \"" << eventKindName(e.kind) << "\""
+            << ", \"source\": \"" << jsonEscape(e.source) << "\""
+            << ", \"detail\": \"" << jsonEscape(e.detail) << "\""
+            << ", \"count\": " << e.count << "}";
+    }
+    out << (events.empty() ? "]" : "\n]") << "\n";
+    return out.str();
+}
+
+} // namespace chaos::obs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured health/event log for the online estimation path.
+ *
+ * The online estimators and the fault injectors emit an Event on
+ * every state change that affects an estimate: health transitions
+ * (Healthy/Degraded/Stale/Lost), imputations, envelope clamps,
+ * substituted estimates, and fault activations. Events land in a
+ * fixed-capacity ring buffer (oldest overwritten first), are
+ * queryable in emission order, and can be dumped as JSON.
+ *
+ * Per-sample floods are aggregated by the emitter: consecutive
+ * imputations within one sample are reported as a single event with a
+ * count, so the log stays readable under sustained degradation.
+ */
+#ifndef CHAOS_OBS_EVENTS_HPP
+#define CHAOS_OBS_EVENTS_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chaos::obs {
+
+/** What happened (see file comment). */
+enum class EventKind {
+    HealthTransition, ///< Machine health state changed.
+    Imputation,       ///< Invalid counter values replaced by last-known-good.
+    Clamp,            ///< Estimate clamped to the machine's power envelope.
+    Substitution,     ///< Estimate substituted (recent mean / idle power).
+    FaultActivation,  ///< A fault injector fired.
+};
+
+/** @return Stable lowercase name for @p kind (e.g. "health_transition"). */
+const char *eventKindName(EventKind kind);
+
+/** One logged occurrence. */
+struct Event {
+    std::uint64_t seq = 0; ///< Global emission index (0-based, never reused).
+    EventKind kind = EventKind::HealthTransition;
+    std::string source; ///< Emitting entity, e.g. "machine3" or "meter".
+    std::string detail; ///< Human-readable description.
+    std::uint64_t count = 1; ///< Aggregated occurrences behind this event.
+};
+
+/**
+ * Fixed-capacity, thread-safe ring buffer of Events. A process-wide
+ * instance() is shared by the online path and the fault injectors;
+ * independent logs can be constructed for tests.
+ */
+class EventLog
+{
+  public:
+    /** @param capacity Ring size; oldest events overwritten beyond it. */
+    explicit EventLog(std::size_t capacity = 4096);
+
+    /** @return The process-wide event log. */
+    static EventLog &instance();
+
+    /** Append an event; assigns it the next sequence number. */
+    void emit(EventKind kind, std::string source, std::string detail,
+              std::uint64_t count = 1);
+
+    /** @return Retained events, oldest first. */
+    std::vector<Event> snapshot() const;
+
+    /** @return Events emitted over the log's lifetime (incl. overwritten). */
+    std::uint64_t totalEmitted() const;
+
+    /** @return Ring capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Drop all retained events; sequence numbers keep advancing. */
+    void clear();
+
+    /** Serialize the retained events as a JSON array of objects. */
+    std::string jsonDump() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<Event> ring_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;     // Next write position.
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace chaos::obs
+
+#endif // CHAOS_OBS_EVENTS_HPP

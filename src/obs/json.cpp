@@ -1,0 +1,232 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <cstdio>
+
+namespace chaos::obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/// Recursive-descent validator over a [pos, end) window. Each parse*
+/// function returns false on malformed input and otherwise advances
+/// pos past the parsed construct.
+struct Validator {
+    const std::string &text;
+    std::size_t pos = 0;
+    int depth = 0;
+    static constexpr int maxDepth = 256;
+
+    bool
+    atEnd() const
+    {
+        return pos >= text.size();
+    }
+
+    char
+    peek() const
+    {
+        return text[pos];
+    }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                            text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (atEnd() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseString()
+    {
+        if (!consume('"'))
+            return false;
+        while (!atEnd()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // Raw control character.
+            if (c == '\\') {
+                if (atEnd())
+                    return false;
+                char esc = text[pos++];
+                switch (esc) {
+                  case '"': case '\\': case '/': case 'b': case 'f':
+                  case 'n': case 'r': case 't':
+                    break;
+                  case 'u':
+                    for (int i = 0; i < 4; ++i) {
+                        if (atEnd() || !std::isxdigit(static_cast<unsigned char>(
+                                           text[pos])))
+                            return false;
+                        ++pos;
+                    }
+                    break;
+                  default:
+                    return false;
+                }
+            }
+        }
+        return false; // Unterminated.
+    }
+
+    bool
+    parseNumber()
+    {
+        consume('-');
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        if (peek() == '0') {
+            ++pos;
+        } else {
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos;
+            if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos;
+            if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        return true;
+    }
+
+    bool
+    parseLiteral(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (atEnd() || text[pos] != *p)
+                return false;
+            ++pos;
+        }
+        return true;
+    }
+
+    bool
+    parseValue()
+    {
+        if (++depth > maxDepth)
+            return false;
+        skipSpace();
+        if (atEnd()) {
+            --depth;
+            return false;
+        }
+        bool ok = false;
+        switch (peek()) {
+          case '{': ok = parseObject(); break;
+          case '[': ok = parseArray(); break;
+          case '"': ok = parseString(); break;
+          case 't': ok = parseLiteral("true"); break;
+          case 'f': ok = parseLiteral("false"); break;
+          case 'n': ok = parseLiteral("null"); break;
+          default: ok = parseNumber(); break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool
+    parseObject()
+    {
+        if (!consume('{'))
+            return false;
+        skipSpace();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipSpace();
+            if (!parseString())
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return false;
+            if (!parseValue())
+                return false;
+            skipSpace();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        if (!consume('['))
+            return false;
+        skipSpace();
+        if (consume(']'))
+            return true;
+        while (true) {
+            if (!parseValue())
+                return false;
+            skipSpace();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonWellFormed(const std::string &text)
+{
+    Validator v{text};
+    if (!v.parseValue())
+        return false;
+    v.skipSpace();
+    return v.atEnd();
+}
+
+} // namespace chaos::obs

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal JSON well-formedness checker (parse-only, no DOM), used by
+ * the obs tests and bench/overhead_obs to validate exported trace,
+ * metrics, and event files without an external JSON dependency.
+ */
+#ifndef CHAOS_OBS_JSON_HPP
+#define CHAOS_OBS_JSON_HPP
+
+#include <string>
+
+namespace chaos::obs {
+
+/**
+ * @return True when @p text is exactly one well-formed JSON value
+ *         (object, array, string, number, true/false/null) with
+ *         nothing but whitespace around it.
+ */
+bool jsonWellFormed(const std::string &text);
+
+/**
+ * @return @p s with the characters that would break a JSON string
+ *         literal escaped (quotes, backslashes, control characters).
+ */
+std::string jsonEscape(const std::string &s);
+
+} // namespace chaos::obs
+
+#endif // CHAOS_OBS_JSON_HPP

@@ -1,0 +1,263 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace chaos::obs {
+
+namespace {
+
+std::atomic<bool> metricsOn{true};
+
+/// Format a double with enough digits to round-trip exactly.
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+
+
+} // namespace
+
+void
+setMetricsEnabled(bool enabled)
+{
+    metricsOn.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+metricsEnabled()
+{
+    return metricsOn.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      minSeen_(std::numeric_limits<double>::infinity()),
+      maxSeen_(-std::numeric_limits<double>::infinity())
+{
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    if (!metricsEnabled())
+        return;
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+
+    // min and max are commutative, so CAS loops keep them exact and
+    // deterministic regardless of observation order.
+    double seen = minSeen_.load(std::memory_order_relaxed);
+    while (v < seen &&
+           !minSeen_.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed)) {
+    }
+    seen = maxSeen_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !maxSeen_.compare_exchange_weak(seen, v,
+                                           std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = counts_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        total += counts_[i].load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+Histogram::minValue() const
+{
+    return minSeen_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::maxValue() const
+{
+    return maxSeen_.load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+    minSeen_.store(std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+    maxSeen_.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name, Stability stability)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        auto entry = std::make_unique<CounterEntry>();
+        entry->stability = stability;
+        it = counters_.emplace(name, std::move(entry)).first;
+    }
+    return it->second->counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, Stability stability)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        auto entry = std::make_unique<GaugeEntry>();
+        entry->stability = stability;
+        it = gauges_.emplace(name, std::move(entry)).first;
+    }
+    return it->second->gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name,
+                    const std::vector<double> &upperBounds,
+                    Stability stability)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(name, std::make_unique<HistogramEntry>(stability,
+                                                                 upperBounds))
+                 .first;
+    }
+    return it->second->histogram;
+}
+
+namespace {
+
+/// Append one `"key": {"name": value, ...}` section holding the
+/// entries of the selected stability class.
+template <typename Map, typename Render>
+void
+appendSection(std::ostringstream &out, const std::string &indent,
+              const std::string &key, const Map &entries, Stability wanted,
+              Render render, bool &needComma)
+{
+    if (needComma)
+        out << ",\n";
+    needComma = true;
+    out << indent << "\"" << key << "\": {";
+    bool first = true;
+    for (const auto &[name, entry] : entries) {
+        if (entry->stability != wanted)
+            continue;
+        out << (first ? "\n" : ",\n") << indent << "  \"" << jsonEscape(name)
+            << "\": ";
+        render(out, *entry);
+        first = false;
+    }
+    if (first)
+        out << "}";
+    else
+        out << "\n" << indent << "}";
+}
+
+} // namespace
+
+std::string
+Registry::snapshotJson(bool includeScheduling) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream out;
+
+    auto renderCounter = [](std::ostringstream &s, const CounterEntry &e) {
+        s << e.counter.value();
+    };
+    auto renderGauge = [](std::ostringstream &s, const GaugeEntry &e) {
+        s << e.gauge.value();
+    };
+    auto renderHistogram = [](std::ostringstream &s,
+                              const HistogramEntry &e) {
+        const Histogram &h = e.histogram;
+        s << "{\"bounds\": [";
+        for (std::size_t i = 0; i < h.bounds().size(); ++i)
+            s << (i ? ", " : "") << formatDouble(h.bounds()[i]);
+        s << "], \"counts\": [";
+        auto counts = h.bucketCounts();
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            s << (i ? ", " : "") << counts[i];
+            total += counts[i];
+        }
+        s << "], \"count\": " << total;
+        if (total > 0) {
+            s << ", \"min\": " << formatDouble(h.minValue())
+              << ", \"max\": " << formatDouble(h.maxValue());
+        }
+        s << "}";
+    };
+
+    auto emitClass = [&](const std::string &indent, Stability wanted,
+                         bool &needComma) {
+        appendSection(out, indent, "counters", counters_, wanted,
+                      renderCounter, needComma);
+        appendSection(out, indent, "gauges", gauges_, wanted, renderGauge,
+                      needComma);
+        appendSection(out, indent, "histograms", histograms_, wanted,
+                      renderHistogram, needComma);
+    };
+
+    out << "{\n";
+    bool needComma = false;
+    emitClass("  ", Stability::Stable, needComma);
+    if (includeScheduling) {
+        out << ",\n  \"scheduling\": {\n";
+        bool innerComma = false;
+        emitClass("    ", Stability::Scheduling, innerComma);
+        out << "\n  }";
+    }
+    out << "\n}\n";
+    return out.str();
+}
+
+void
+Registry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, entry] : counters_)
+        entry->counter.reset();
+    for (auto &[name, entry] : gauges_)
+        entry->gauge.reset();
+    for (auto &[name, entry] : histograms_)
+        entry->histogram.reset();
+}
+
+} // namespace chaos::obs

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and fixed-bucket
+ * histograms with cheap atomic updates and a deterministic JSON
+ * snapshot.
+ *
+ * Metrics carry a Stability tag. Stable metrics count work the
+ * pipeline performs (folds run, knots scored, inputs rejected) using
+ * commutative integer updates, so their values are bit-identical for
+ * any thread count. Scheduling metrics describe how the work was
+ * executed (queue depth, jobs posted, timings) and legitimately vary
+ * between runs; the deterministic snapshot excludes them unless asked.
+ *
+ * This library sits below chaos_util and depends only on the standard
+ * library, so every layer (including the thread pool) can record into
+ * it without a dependency cycle.
+ */
+#ifndef CHAOS_OBS_METRICS_HPP
+#define CHAOS_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chaos::obs {
+
+/**
+ * Globally enable or disable metric recording. When disabled every
+ * update is a single relaxed atomic load and an early return; values
+ * already recorded are preserved. Enabled by default.
+ */
+void setMetricsEnabled(bool enabled);
+
+/** @return True when metric updates are being recorded. */
+bool metricsEnabled();
+
+/**
+ * Determinism class of a metric (see file comment). Fixed at
+ * registration; the first registration of a name wins.
+ */
+enum class Stability {
+    Stable,     ///< Work-proportional; identical across thread counts.
+    Scheduling, ///< Execution-dependent; excluded from deterministic snapshots.
+};
+
+/** Monotonically increasing integer count. */
+class Counter
+{
+  public:
+    /** Add @p n to the counter (no-op while metrics are disabled). */
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (metricsEnabled())
+            value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** @return The current count. */
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset the count to zero. */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Signed integer level that can move both ways (e.g. queue depth). */
+class Gauge
+{
+  public:
+    /** Replace the gauge value (no-op while metrics are disabled). */
+    void
+    set(std::int64_t v)
+    {
+        if (metricsEnabled())
+            value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Add @p delta (may be negative) to the gauge. */
+    void
+    add(std::int64_t delta)
+    {
+        if (metricsEnabled())
+            value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** @return The current level. */
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset the level to zero. */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations v with
+ * v <= upperBounds[i] (first matching bucket); a final overflow bucket
+ * counts everything above the last bound. Only integer bucket counts
+ * and the commutative min/max are kept — no floating-point running
+ * sum, which would make snapshots depend on observation order.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param upperBounds Strictly increasing inclusive upper bucket
+     *                    bounds; must be non-empty.
+     */
+    explicit Histogram(std::vector<double> upperBounds);
+
+    /** Record one observation (no-op while metrics are disabled). */
+    void observe(double v);
+
+    /** @return The inclusive upper bounds the histogram was built with. */
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /**
+     * @return Per-bucket counts; one entry per bound plus a trailing
+     *         overflow bucket.
+     */
+    std::vector<std::uint64_t> bucketCounts() const;
+
+    /** @return Total number of observations. */
+    std::uint64_t count() const;
+
+    /** @return Smallest observation; only meaningful when count() > 0. */
+    double minValue() const;
+
+    /** @return Largest observation; only meaningful when count() > 0. */
+    double maxValue() const;
+
+    /** Reset all counts and the min/max (bounds are kept). */
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+    std::atomic<double> minSeen_;
+    std::atomic<double> maxSeen_;
+};
+
+/**
+ * Process-wide metric registry. Registration is mutex-protected;
+ * returned references stay valid for the life of the process (entries
+ * are never removed — resetAll() only zeroes values), so hot paths
+ * should look a metric up once and cache the reference:
+ *
+ * @code
+ * static auto &folds = obs::Registry::instance().counter("chaos.eval.folds_run");
+ * folds.add();
+ * @endcode
+ */
+class Registry
+{
+  public:
+    /** @return The process-wide registry. */
+    static Registry &instance();
+
+    /**
+     * Find or create the counter named @p name. The stability of the
+     * first registration wins.
+     */
+    Counter &counter(const std::string &name,
+                     Stability stability = Stability::Stable);
+
+    /** Find or create the gauge named @p name. */
+    Gauge &gauge(const std::string &name,
+                 Stability stability = Stability::Scheduling);
+
+    /**
+     * Find or create the histogram named @p name. The bounds and
+     * stability of the first registration win.
+     */
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &upperBounds,
+                         Stability stability = Stability::Stable);
+
+    /**
+     * Serialize the registry to JSON. Names are emitted in sorted
+     * order and Stable metrics hold work-proportional values, so for
+     * identical work the default snapshot is bit-identical regardless
+     * of thread count.
+     *
+     * @param includeScheduling Also emit a "scheduling" section with
+     *                          the execution-dependent metrics.
+     */
+    std::string snapshotJson(bool includeScheduling = false) const;
+
+    /** Zero every metric value. Registered entries remain valid. */
+    void resetAll();
+
+  private:
+    Registry() = default;
+
+    struct CounterEntry {
+        Stability stability;
+        Counter counter;
+    };
+    struct GaugeEntry {
+        Stability stability;
+        Gauge gauge;
+    };
+    struct HistogramEntry {
+        Stability stability;
+        Histogram histogram;
+        explicit HistogramEntry(Stability s, std::vector<double> bounds)
+            : stability(s), histogram(std::move(bounds))
+        {}
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<CounterEntry>> counters_;
+    std::map<std::string, std::unique_ptr<GaugeEntry>> gauges_;
+    std::map<std::string, std::unique_ptr<HistogramEntry>> histograms_;
+};
+
+} // namespace chaos::obs
+
+#endif // CHAOS_OBS_METRICS_HPP

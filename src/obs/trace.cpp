@@ -1,0 +1,257 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace chaos::obs {
+
+namespace {
+
+std::atomic<bool> traceOn{false};
+
+/// Spans recorded by one thread. Owned jointly by the recording
+/// thread (thread_local shared_ptr) and the global buffer registry,
+/// so events survive pool-thread exit and remain collectable.
+struct ThreadBuffer {
+    std::mutex mu;                  // Guards events (recorder vs collector).
+    int tid = 0;
+    int depth = 0;                  // Touched only by the owning thread.
+    std::vector<TraceEvent> events; // Guarded by mu.
+};
+
+struct BufferRegistry {
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    int nextTid = 0;
+};
+
+BufferRegistry &
+bufferRegistry()
+{
+    static BufferRegistry registry;
+    return registry;
+}
+
+ThreadBuffer &
+localBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        b->events.reserve(4096);
+        BufferRegistry &registry = bufferRegistry();
+        std::lock_guard<std::mutex> lock(registry.mu);
+        b->tid = registry.nextTid++;
+        registry.buffers.push_back(b);
+        return b;
+    }();
+    return *buffer;
+}
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+void
+setTraceEnabled(bool enabled)
+{
+    traceEpoch(); // Pin the epoch before any span can use it.
+    traceOn.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+traceEnabled()
+{
+    return traceOn.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+traceNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - traceEpoch())
+            .count());
+}
+
+Span::Span(const char *name)
+{
+    if (!traceOn.load(std::memory_order_relaxed)) {
+        name_ = nullptr;
+        return;
+    }
+    name_ = name;
+    depth_ = localBuffer().depth++;
+    startNs_ = traceNowNs();
+}
+
+Span::~Span()
+{
+    end();
+}
+
+void
+Span::end()
+{
+    if (name_ == nullptr)
+        return;
+    std::uint64_t endNs = traceNowNs();
+    ThreadBuffer &buffer = localBuffer();
+    --buffer.depth;
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    buffer.events.push_back(
+        {name_, startNs_, endNs - startNs_, buffer.tid, depth_});
+    name_ = nullptr;
+}
+
+std::vector<TraceEvent>
+collectTrace()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        BufferRegistry &registry = bufferRegistry();
+        std::lock_guard<std::mutex> lock(registry.mu);
+        buffers = registry.buffers;
+    }
+    std::vector<TraceEvent> all;
+    for (const auto &buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mu);
+        all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.depth < b.depth;
+              });
+    return all;
+}
+
+void
+clearTrace()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        BufferRegistry &registry = bufferRegistry();
+        std::lock_guard<std::mutex> lock(registry.mu);
+        buffers = registry.buffers;
+    }
+    for (const auto &buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mu);
+        buffer->events.clear();
+    }
+}
+
+std::string
+chromeTraceJson()
+{
+    auto events = collectTrace();
+    std::ostringstream out;
+    out << "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
+        char ts[64];
+        char dur[64];
+        std::snprintf(ts, sizeof(ts), "%.3f", e.startNs / 1000.0);
+        std::snprintf(dur, sizeof(dur), "%.3f", e.durNs / 1000.0);
+        out << (i ? ",\n" : "\n") << "  {\"name\": \""
+            << jsonEscape(e.name)
+            << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+            << ", \"ts\": " << ts << ", \"dur\": " << dur << "}";
+    }
+    out << (events.empty() ? "]" : "\n]")
+        << ", \"displayTimeUnit\": \"ms\"}\n";
+    return out.str();
+}
+
+namespace {
+
+struct PhaseStats {
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t childNs = 0;
+};
+
+} // namespace
+
+std::string
+phaseSummary()
+{
+    auto events = collectTrace();
+
+    // Reconstruct each thread's span tree by containment: events are
+    // sorted by start time, so an enclosing span appears before the
+    // spans it contains. Paths are joined with '/' for aggregation.
+    std::map<std::string, PhaseStats> stats;
+    std::vector<std::string> order; // First-appearance order of paths.
+
+    struct Open {
+        std::uint64_t endNs;
+        std::string path;
+    };
+
+    int currentTid = -1;
+    std::vector<Open> stack;
+    for (const TraceEvent &e : events) {
+        if (e.tid != currentTid) {
+            currentTid = e.tid;
+            stack.clear();
+        }
+        while (!stack.empty() && stack.back().endNs <= e.startNs)
+            stack.pop_back();
+        std::string path =
+            stack.empty() ? e.name : stack.back().path + "/" + e.name;
+        if (!stack.empty())
+            stats[stack.back().path].childNs += e.durNs;
+        auto [it, inserted] = stats.emplace(path, PhaseStats{});
+        if (inserted)
+            order.push_back(path);
+        it->second.count += 1;
+        it->second.totalNs += e.durNs;
+        stack.push_back({e.startNs + e.durNs, std::move(path)});
+    }
+
+    std::ostringstream out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-52s %8s %12s %12s\n", "phase",
+                  "count", "total ms", "self ms");
+    out << line;
+    for (const std::string &path : order) {
+        const PhaseStats &s = stats[path];
+        std::size_t depth = 0;
+        std::size_t lastSlash = std::string::npos;
+        for (std::size_t i = 0; i < path.size(); ++i) {
+            if (path[i] == '/') {
+                ++depth;
+                lastSlash = i;
+            }
+        }
+        std::string label(2 * depth, ' ');
+        label += lastSlash == std::string::npos ? path
+                                                : path.substr(lastSlash + 1);
+        std::uint64_t self =
+            s.totalNs > s.childNs ? s.totalNs - s.childNs : 0;
+        std::snprintf(line, sizeof(line), "%-52s %8llu %12.3f %12.3f\n",
+                      label.c_str(),
+                      static_cast<unsigned long long>(s.count),
+                      s.totalNs / 1e6, self / 1e6);
+        out << line;
+    }
+    return out.str();
+}
+
+} // namespace chaos::obs

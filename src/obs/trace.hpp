@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tracing facility: RAII phase spans recorded into preallocated
+ * per-thread buffers with a monotonic clock, exportable as Chrome
+ * trace-event JSON (load the file at chrome://tracing or
+ * https://ui.perfetto.dev) or as a human-readable phase tree.
+ *
+ * Recording is gated on a single relaxed atomic: while tracing is
+ * disabled (the default) constructing a Span does no clock read, no
+ * allocation, and no buffer access, keeping the instrumented hot
+ * paths within the self-overhead budget (see bench/overhead_obs).
+ *
+ * Span names must be string literals (or otherwise outlive the trace)
+ * — only the pointer is stored.
+ */
+#ifndef CHAOS_OBS_TRACE_HPP
+#define CHAOS_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chaos::obs {
+
+/** Enable or disable span recording. Disabled by default. */
+void setTraceEnabled(bool enabled);
+
+/** @return True while spans are being recorded. */
+bool traceEnabled();
+
+/** One completed span, as returned by collectTrace(). */
+struct TraceEvent {
+    const char *name;     ///< Phase name (string literal).
+    std::uint64_t startNs; ///< Monotonic start, ns since the trace epoch.
+    std::uint64_t durNs;   ///< Duration in ns.
+    int tid;               ///< Sequential id of the recording thread.
+    int depth;             ///< Nesting depth on that thread (0 = top level).
+};
+
+/**
+ * RAII phase timer. Records one TraceEvent into the calling thread's
+ * buffer when destroyed, provided tracing was enabled at construction.
+ *
+ * @code
+ * {
+ *     obs::Span span("mars.forward");
+ *     ... forward pass ...
+ * } // event recorded here
+ * @endcode
+ */
+class Span
+{
+  public:
+    /** @param name Phase name; must be a string literal. */
+    explicit Span(const char *name);
+    ~Span();
+
+    /**
+     * Record the span now instead of at destruction (for sequential
+     * phases in one scope). Idempotent; the destructor becomes a
+     * no-op afterwards.
+     */
+    void end();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_;      // Null when tracing was disabled at entry.
+    std::uint64_t startNs_;
+    int depth_;
+};
+
+/** @return Monotonic nanoseconds since the process trace epoch. */
+std::uint64_t traceNowNs();
+
+/**
+ * Snapshot every completed span from all thread buffers, sorted by
+ * (tid, start time, deeper-last). Safe to call while other threads
+ * are still recording; spans still open are not included.
+ */
+std::vector<TraceEvent> collectTrace();
+
+/** Discard all recorded spans (thread ids are retained). */
+void clearTrace();
+
+/**
+ * Serialize the recorded spans in Chrome trace-event JSON (complete
+ * events, "ph":"X", microsecond timestamps).
+ */
+std::string chromeTraceJson();
+
+/**
+ * Human-readable phase tree: one row per distinct span path with
+ * call count, total and self wall time, aggregated over all threads.
+ */
+std::string phaseSummary();
+
+} // namespace chaos::obs
+
+#endif // CHAOS_OBS_TRACE_HPP

@@ -1,13 +1,14 @@
 #include "sim/cluster.hpp"
 
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
 Cluster
 Cluster::homogeneous(MachineClass mc, size_t numMachines, uint64_t seed)
 {
-    fatalIf(numMachines == 0, "cluster needs at least one machine");
+    raiseIf(numMachines == 0, "cluster needs at least one machine");
     Cluster cluster;
     cluster.clusterName = machineClassName(mc) + " x" +
                           std::to_string(numMachines);
@@ -28,12 +29,12 @@ Cluster::heterogeneous(
     const std::vector<std::pair<MachineClass, size_t>> &groups,
     uint64_t seed)
 {
-    fatalIf(groups.empty(), "heterogeneous cluster needs groups");
+    raiseIf(groups.empty(), "heterogeneous cluster needs groups");
     Cluster cluster;
     Rng root(seed);
     size_t next_id = 0;
     for (const auto &[mc, count] : groups) {
-        fatalIf(count == 0, "heterogeneous group with zero machines");
+        raiseIf(count == 0, "heterogeneous group with zero machines");
         if (!cluster.clusterName.empty())
             cluster.clusterName += "+";
         cluster.clusterName +=

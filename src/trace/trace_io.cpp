@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/string_utils.hpp"
@@ -18,6 +20,7 @@ const std::string kWorkloadCol = "__workload_id";
 void
 saveDataset(const std::string &path, const Dataset &dataset)
 {
+    obs::Span span("trace_io.save");
     CsvTable table;
     table.header = dataset.featureNames();
     table.header.push_back(kPowerCol);
@@ -40,11 +43,16 @@ saveDataset(const std::string &path, const Dataset &dataset)
     raiseIf(!names, "cannot write workload sidecar for " + path);
     for (const auto &name : dataset.workloadNames())
         names << name << "\n";
+
+    static auto &rows_written =
+        obs::Registry::instance().counter("chaos.trace_io.rows_written");
+    rows_written.add(dataset.numRows());
 }
 
 Dataset
 loadDataset(const std::string &path)
 {
+    obs::Span span("trace_io.load");
     const CsvTable table = readCsv(path);
     raiseIf(table.header.size() < 5,
             path + ":1: dataset CSV missing metadata columns (have " +
@@ -92,6 +100,9 @@ loadDataset(const std::string &path)
         ds.addRow(features, power, run, machine,
                   workload_names[workload_id]);
     }
+    static auto &rows_read =
+        obs::Registry::instance().counter("chaos.trace_io.rows_read");
+    rows_read.add(ds.numRows());
     return ds;
 }
 

@@ -1,46 +1,122 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <mutex>
 
 namespace chaos {
 
 namespace {
-bool quietMode = false;
+
+std::atomic<int> minLevel{static_cast<int>(LogLevel::Info)};
+
+std::mutex sinkMu;      // Serializes sink replacement and every emission.
+LogSink customSink;     // Guarded by sinkMu; empty = default stderr sink.
+
+/// Format and deliver one line. The level gate has already passed.
+void
+deliver(LogLevel level, const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(sinkMu);
+    if (customSink) {
+        customSink(level, line);
+    } else {
+        // One write per message so parallel warnings never interleave.
+        std::fwrite(line.data(), 1, line.size(), stderr);
+        std::fflush(stderr);
+    }
+}
+
+bool
+enabled(LogLevel level)
+{
+    return static_cast<int>(level) >= minLevel.load(std::memory_order_relaxed);
+}
+
 } // namespace
 
 void
 panic(const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    // Write straight to stderr first: the process is about to abort
+    // and a custom sink may be buffering.
+    std::string line = "panic: " + msg + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
     std::abort();
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << std::endl;
+    std::string line = "fatal: " + msg + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
     std::exit(1);
 }
 
 void
 warn(const std::string &msg)
 {
-    if (!quietMode)
-        std::cerr << "warn: " << msg << std::endl;
+    if (enabled(LogLevel::Warn))
+        deliver(LogLevel::Warn, "warn: ", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (!quietMode)
-        std::cerr << "info: " << msg << std::endl;
+    if (enabled(LogLevel::Info))
+        deliver(LogLevel::Info, "info: ", msg);
 }
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    setLogLevel(quiet ? LogLevel::Error : LogLevel::Info);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    minLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(minLevel.load(std::memory_order_relaxed));
+}
+
+bool
+logLevelFromName(const std::string &name, LogLevel &out)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "debug") out = LogLevel::Debug;
+    else if (lower == "info") out = LogLevel::Info;
+    else if (lower == "warn" || lower == "warning") out = LogLevel::Warn;
+    else if (lower == "error") out = LogLevel::Error;
+    else if (lower == "silent" || lower == "quiet") out = LogLevel::Silent;
+    else return false;
+    return true;
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMu);
+    LogSink previous = std::move(customSink);
+    customSink = std::move(sink);
+    return previous;
 }
 
 } // namespace chaos

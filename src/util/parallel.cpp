@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace chaos {
@@ -18,6 +19,40 @@ namespace chaos {
 namespace {
 
 thread_local bool tl_in_parallel = false;
+
+/**
+ * Pool metrics are Scheduling-class: they describe how work was
+ * executed (queue depth, chunk claiming, pool size), all of which
+ * legitimately vary with CHAOS_THREADS, so they are excluded from the
+ * deterministic registry snapshot. References are cached once —
+ * registry entries are never removed.
+ */
+struct PoolMetrics {
+    obs::Counter &jobsPosted;
+    obs::Counter &inlineLoops;
+    obs::Counter &chunksExecuted;
+    obs::Gauge &queueDepth;
+    obs::Gauge &threads;
+
+    static PoolMetrics &
+    get()
+    {
+        static PoolMetrics m{
+            obs::Registry::instance().counter("chaos.parallel.jobs_posted",
+                                              obs::Stability::Scheduling),
+            obs::Registry::instance().counter("chaos.parallel.inline_loops",
+                                              obs::Stability::Scheduling),
+            obs::Registry::instance().counter(
+                "chaos.parallel.chunks_executed",
+                obs::Stability::Scheduling),
+            obs::Registry::instance().gauge("chaos.parallel.queue_depth",
+                                            obs::Stability::Scheduling),
+            obs::Registry::instance().gauge("chaos.parallel.threads",
+                                            obs::Stability::Scheduling),
+        };
+        return m;
+    }
+};
 
 size_t
 resolveThreadCount()
@@ -64,6 +99,7 @@ struct Job
             const size_t chunk = nextChunk.fetch_add(1);
             if (chunk >= numChunks)
                 break;
+            PoolMetrics::get().chunksExecuted.add();
             const size_t begin = chunk * chunkSize;
             const size_t end = std::min(n, begin + chunkSize);
             try {
@@ -118,6 +154,8 @@ class ThreadPool
             std::lock_guard<std::mutex> lock(mutex);
             for (size_t i = 0; i < workers.size(); ++i)
                 queue.push_back(job);
+            PoolMetrics::get().queueDepth.set(
+                static_cast<std::int64_t>(queue.size()));
         }
         wake.notify_all();
     }
@@ -137,6 +175,8 @@ class ThreadPool
                     return;
                 job = std::move(queue.front());
                 queue.pop_front();
+                PoolMetrics::get().queueDepth.set(
+                    static_cast<std::int64_t>(queue.size()));
             }
             job->participate();
         }
@@ -177,6 +217,8 @@ ensurePool()
         state.pool =
             std::make_unique<ThreadPool>(state.configured - 1);
     }
+    PoolMetrics::get().threads.set(
+        static_cast<std::int64_t>(state.configured));
     return state.configured;
 }
 
@@ -216,10 +258,12 @@ parallelFor(size_t n, const std::function<void(size_t)> &body)
     const size_t threads = globalThreadCount();
     if (threads <= 1 || n <= 1 || tl_in_parallel) {
         // Serial path: identical arithmetic, no pool involvement.
+        PoolMetrics::get().inlineLoops.add();
         for (size_t i = 0; i < n; ++i)
             body(i);
         return;
     }
+    PoolMetrics::get().jobsPosted.add();
 
     auto job = std::make_shared<Job>();
     job->body = &body;

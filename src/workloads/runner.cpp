@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "util/logging.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 
@@ -47,7 +48,7 @@ RunResult
 runWorkload(Cluster &cluster, const Workload &workload,
             uint64_t runSeed, int runId, const RunConfig &config)
 {
-    fatalIf(cluster.size() == 0, "runWorkload: empty cluster");
+    raiseIf(cluster.size() == 0, "runWorkload: empty cluster");
     Rng rng(runSeed);
     cluster.resetRunState();
 

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "cli/cli.hpp"
@@ -37,7 +39,10 @@ const std::string &
 tinyDatasetPath()
 {
     static const std::string path = [] {
-        const std::string csv = ::testing::TempDir() + "cli_data.csv";
+        // Process-unique name: ctest runs each test in its own
+        // process, concurrently, and a shared file would race.
+        const std::string csv = ::testing::TempDir() + "cli_data_" +
+                                std::to_string(::getpid()) + ".csv";
         const CliResult result =
             run({"collect", "Core2", "--out", csv, "--machines", "2",
                  "--runs", "2", "--scale", "0.15", "--seed", "77"});

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
 #include "core/capping.hpp"
 #include "util/random.hpp"
 
@@ -63,10 +64,9 @@ TEST(GuardBand, ClusterBandGrowsLinearlyForBias)
     EXPECT_NEAR(band.clusterW(10) / band.clusterW(1), 10.0, 0.1);
 }
 
-TEST(GuardBand, TooFewResidualsIsFatal)
+TEST(GuardBand, TooFewResidualsRaises)
 {
-    EXPECT_EXIT(GuardBand::fromResiduals({1, 2, 3}),
-                ::testing::ExitedWithCode(1), "at least 10");
+    EXPECT_RAISES(GuardBand::fromResiduals({1, 2, 3}), "at least 10");
 }
 
 TEST(CapController, ThrottlesAboveThresholdOnly)
@@ -113,12 +113,12 @@ TEST(CapController, TighterModelStrandsLessPower)
                 2.0, 0.15);
 }
 
-TEST(CapController, ImpossibleBandIsFatal)
+TEST(CapController, ImpossibleBandRaises)
 {
     const GuardBand band = GuardBand::fromResiduals(
         normalResiduals(50.0, 1.0, 1000, 10));
-    EXPECT_EXIT(PowerCapController(100.0, band, 10),
-                ::testing::ExitedWithCode(1), "no usable capacity");
+    EXPECT_RAISES(PowerCapController(100.0, band, 10),
+                  "no usable capacity");
 }
 
 } // namespace

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
 #include "campaign_fixture.hpp"
 
 namespace chaos {
@@ -109,12 +110,12 @@ TEST(Evaluation, FitPooledModelPredictsWithinEnvelope)
               0.99);
 }
 
-TEST(Evaluation, FitPooledModelOnUndefinedComboIsFatal)
+TEST(Evaluation, FitPooledModelOnUndefinedComboRaises)
 {
     const auto &campaign = core2Campaign();
-    EXPECT_EXIT(fitPooledModel(campaign.data, cpuOnlyFeatureSet(),
-                               ModelType::Quadratic, MarsConfig()),
-                ::testing::ExitedWithCode(1), "undefined");
+    EXPECT_RAISES(fitPooledModel(campaign.data, cpuOnlyFeatureSet(),
+                                 ModelType::Quadratic, MarsConfig()),
+                  "undefined");
 }
 
 TEST(Evaluation, SweepCoversAllCellsAndFindsABest)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
 #include "campaign_fixture.hpp"
 #include "oscounters/counter_catalog.hpp"
 
@@ -107,19 +108,18 @@ TEST(FeatureSets, LagWindowSetsGrowByWindow)
               clusterPlusLagFeatureSet(selection).counters);
 }
 
-TEST(FeatureSets, LagWindowBoundsAreFatal)
+TEST(FeatureSets, LagWindowBoundsRaise)
 {
     const auto &selection = core2Campaign().selection;
-    EXPECT_EXIT(clusterPlusLagWindowFeatureSet(selection, 0),
-                ::testing::ExitedWithCode(1), "lag window");
-    EXPECT_EXIT(clusterPlusLagWindowFeatureSet(selection, 4),
-                ::testing::ExitedWithCode(1), "lag window");
+    EXPECT_RAISES(clusterPlusLagWindowFeatureSet(selection, 0),
+                  "lag window");
+    EXPECT_RAISES(clusterPlusLagWindowFeatureSet(selection, 4),
+                  "lag window");
 }
 
-TEST(FeatureSets, DeriveFromNothingIsFatal)
+TEST(FeatureSets, DeriveFromNothingRaises)
 {
-    EXPECT_EXIT(deriveGeneralFeatureSet({}),
-                ::testing::ExitedWithCode(1), "no cluster");
+    EXPECT_RAISES(deriveGeneralFeatureSet({}), "no cluster");
 }
 
 } // namespace

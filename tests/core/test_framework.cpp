@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
 #include "campaign_fixture.hpp"
 
 namespace chaos {
@@ -69,15 +70,15 @@ TEST(Framework, DefaultModelDeploysAndPredictsSanely)
     EXPECT_LT(watts, spec.maxPowerW + 5.0);
 }
 
-TEST(Framework, DefaultModelWithoutSelectionIsFatal)
+TEST(Framework, DefaultModelWithoutSelectionRaises)
 {
     CampaignConfig config = quickCampaignConfig();
     config.runsPerWorkload = 1;
     config.run.durationScale = 0.1;
     const ClusterCampaign campaign =
         collectClusterData(MachineClass::Atom, config);
-    EXPECT_EXIT(fitDefaultModel(campaign, config),
-                ::testing::ExitedWithCode(1), "no feature selection");
+    EXPECT_RAISES(fitDefaultModel(campaign, config),
+                  "no feature selection");
 }
 
 TEST(Framework, AtomSelectsNoFrequencyCounter)

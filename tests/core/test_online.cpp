@@ -11,6 +11,7 @@
 
 #include "campaign_fixture.hpp"
 #include "core/online.hpp"
+#include "obs/events.hpp"
 
 namespace chaos {
 namespace {
@@ -175,6 +176,83 @@ TEST(OnlineEstimator, HealthNamesAreDistinct)
     EXPECT_EQ(machineHealthName(MachineHealth::Degraded), "Degraded");
     EXPECT_EQ(machineHealthName(MachineHealth::Stale), "Stale");
     EXPECT_EQ(machineHealthName(MachineHealth::Lost), "Lost");
+}
+
+TEST(OnlineEstimator, HealthEventsFollowScriptedFaultSequence)
+{
+    const MachinePowerModel model = core2Model();
+    OnlineEstimatorConfig config = core2Config();
+    config.sourceLabel = "scripted-machine";
+    OnlinePowerEstimator estimator(model, config);
+    obs::EventLog::instance().clear();
+
+    // Scripted sequence: clean, one corrupt feature, clean again,
+    // then a total blackout long enough to reach Stale and Lost.
+    estimator.estimate(cleanRow(0));
+    std::vector<double> corrupted = cleanRow(1);
+    corrupted[model.catalogIndices()[0]] = kNan;
+    estimator.estimate(corrupted);
+    estimator.estimate(cleanRow(2));
+    const std::vector<double> allNan(
+        CounterCatalog::instance().size(), kNan);
+    for (int t = 0; t < 15; ++t)
+        estimator.estimate(allNan);
+    ASSERT_EQ(estimator.health(), MachineHealth::Lost);
+
+    std::vector<obs::Event> mine;
+    for (const auto &e : obs::EventLog::instance().snapshot()) {
+        if (e.source == "scripted-machine")
+            mine.push_back(e);
+    }
+    ASSERT_FALSE(mine.empty());
+    for (size_t i = 1; i < mine.size(); ++i)
+        EXPECT_GT(mine[i].seq, mine[i - 1].seq);
+
+    std::vector<std::string> transitions;
+    bool imputation_before_first_transition = false;
+    bool substitution_after_lost = false;
+    bool lost_seen = false;
+    for (const auto &e : mine) {
+        if (e.kind == obs::EventKind::HealthTransition) {
+            transitions.push_back(e.detail);
+            lost_seen = lost_seen || e.detail == "Stale -> Lost";
+        } else if (e.kind == obs::EventKind::Imputation &&
+                   transitions.empty()) {
+            imputation_before_first_transition = true;
+        } else if (e.kind == obs::EventKind::Substitution &&
+                   lost_seen) {
+            substitution_after_lost = true;
+        }
+    }
+    const std::vector<std::string> expected = {
+        "Healthy -> Degraded", "Degraded -> Healthy",
+        "Healthy -> Degraded", "Degraded -> Stale", "Stale -> Lost"};
+    EXPECT_EQ(transitions, expected);
+    EXPECT_TRUE(imputation_before_first_transition);
+    EXPECT_TRUE(substitution_after_lost);
+}
+
+TEST(ClusterEstimator, AssignsDefaultSourceLabels)
+{
+    ClusterPowerEstimator cluster;
+    cluster.addMachine(core2Model(), core2Config());
+    OnlineEstimatorConfig labelled = core2Config();
+    labelled.sourceLabel = "rack7";
+    cluster.addMachine(core2Model(), labelled);
+
+    obs::EventLog::instance().clear();
+    const std::vector<double> allNan(
+        CounterCatalog::instance().size(), kNan);
+    cluster.estimateCluster({cleanRow(0), cleanRow(0)});
+    cluster.estimateCluster({allNan, allNan});
+
+    bool saw_machine0 = false, saw_rack7 = false;
+    for (const auto &e : obs::EventLog::instance().snapshot()) {
+        saw_machine0 = saw_machine0 || e.source == "machine0";
+        saw_rack7 = saw_rack7 || e.source == "rack7";
+    }
+    EXPECT_TRUE(saw_machine0);
+    EXPECT_TRUE(saw_rack7);
 }
 
 TEST(ClusterEstimator, SurvivesSingleMachineLoss)

@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
 #include "models/factory.hpp"
 
 namespace chaos {
@@ -41,10 +42,9 @@ TEST(Factory, QuadraticGetsDegreeTwo)
     EXPECT_EQ(piecewise->type(), ModelType::PiecewiseLinear);
 }
 
-TEST(Factory, SwitchingWithoutFrequencyIsFatal)
+TEST(Factory, SwitchingWithoutFrequencyRaises)
 {
-    EXPECT_EXIT(makeModel(ModelType::Switching),
-                ::testing::ExitedWithCode(1), "frequency feature");
+    EXPECT_RAISES(makeModel(ModelType::Switching), "frequency feature");
 }
 
 TEST(Factory, ModelCodesMatchPaperLabels)

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the health/event log: emission order, sequence numbers,
+ * ring-buffer overwrite semantics, and the JSON dump.
+ */
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(EventLog, EmitsInOrderWithSequenceNumbers)
+{
+    obs::EventLog log(16);
+    log.emit(obs::EventKind::HealthTransition, "m0",
+             "Healthy -> Degraded");
+    log.emit(obs::EventKind::Imputation, "m0", "bridged", 3);
+    log.emit(obs::EventKind::Clamp, "m1", "clamped");
+
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[1].seq, 1u);
+    EXPECT_EQ(events[2].seq, 2u);
+    EXPECT_EQ(events[0].kind, obs::EventKind::HealthTransition);
+    EXPECT_EQ(events[1].count, 3u);
+    EXPECT_EQ(events[2].source, "m1");
+    EXPECT_EQ(log.totalEmitted(), 3u);
+}
+
+TEST(EventLog, RingOverwritesOldestFirst)
+{
+    obs::EventLog log(4);
+    for (int i = 0; i < 6; ++i) {
+        log.emit(obs::EventKind::FaultActivation, "injector",
+                 "burst " + std::to_string(i));
+    }
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    // The two oldest events (seq 0, 1) were overwritten.
+    EXPECT_EQ(events.front().seq, 2u);
+    EXPECT_EQ(events.back().seq, 5u);
+    EXPECT_EQ(events.front().detail, "burst 2");
+    EXPECT_EQ(log.totalEmitted(), 6u);
+}
+
+TEST(EventLog, ClearKeepsSequenceAdvancing)
+{
+    obs::EventLog log(8);
+    log.emit(obs::EventKind::Substitution, "m0", "a");
+    log.clear();
+    EXPECT_TRUE(log.snapshot().empty());
+    log.emit(obs::EventKind::Substitution, "m0", "b");
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].seq, 1u);  // Not reused after clear().
+    EXPECT_EQ(log.totalEmitted(), 2u);
+}
+
+TEST(EventLog, JsonDumpIsWellFormed)
+{
+    obs::EventLog log(8);
+    EXPECT_TRUE(obs::jsonWellFormed(log.jsonDump()));
+    log.emit(obs::EventKind::HealthTransition, "machine\"3\"",
+             "Stale -> Lost");
+    log.emit(obs::EventKind::Imputation, "m1", "line1\nline2", 12);
+    const std::string json = log.jsonDump();
+    EXPECT_TRUE(obs::jsonWellFormed(json));
+    EXPECT_NE(json.find("health_transition"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 12"), std::string::npos);
+}
+
+TEST(EventLog, KindNamesAreStable)
+{
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::HealthTransition),
+                 "health_transition");
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::Imputation),
+                 "imputation");
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::Clamp), "clamp");
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::Substitution),
+                 "substitution");
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::FaultActivation),
+                 "fault_activation");
+}
+
+} // namespace
+} // namespace chaos

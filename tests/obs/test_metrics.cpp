@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the metrics registry: counter/gauge/histogram semantics,
+ * bucket edge handling, the enable gate, and the determinism contract
+ * of the Stable snapshot across thread counts.
+ */
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndResets)
+{
+    auto &c = obs::Registry::instance().counter("test.metrics.basic");
+    c.reset();
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeMovesBothWays)
+{
+    auto &g = obs::Registry::instance().gauge("test.metrics.gauge");
+    g.reset();
+    g.set(7);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -3);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Metrics, DisabledGateDropsUpdatesButKeepsValues)
+{
+    auto &c = obs::Registry::instance().counter("test.metrics.gate");
+    c.reset();
+    c.add(5);
+    obs::setMetricsEnabled(false);
+    c.add(100);
+    obs::setMetricsEnabled(true);
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusive)
+{
+    auto &h = obs::Registry::instance().histogram(
+        "test.metrics.hist_edges", {1.0, 2.0});
+    h.reset();
+    h.observe(0.5);
+    h.observe(1.0);  // On the edge: first bucket (inclusive bound).
+    h.observe(1.5);
+    h.observe(2.0);  // On the edge: second bucket.
+    h.observe(2.5);  // Above the last bound: overflow bucket.
+
+    const std::vector<std::uint64_t> counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 3u);  // Two bounds plus overflow.
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.minValue(), 0.5);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 2.5);
+}
+
+TEST(Metrics, FirstHistogramRegistrationWins)
+{
+    auto &a = obs::Registry::instance().histogram(
+        "test.metrics.hist_dup", {10.0});
+    auto &b = obs::Registry::instance().histogram(
+        "test.metrics.hist_dup", {99.0, 100.0});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.bounds(), std::vector<double>({10.0}));
+}
+
+TEST(Metrics, SnapshotJsonIsWellFormed)
+{
+    auto &reg = obs::Registry::instance();
+    reg.counter("test.metrics.snap").add();
+    reg.gauge("test.metrics.snap_gauge").set(3);
+    reg.histogram("test.metrics.snap_hist", {1.0}).observe(0.5);
+    EXPECT_TRUE(obs::jsonWellFormed(reg.snapshotJson(false)));
+    EXPECT_TRUE(obs::jsonWellFormed(reg.snapshotJson(true)));
+}
+
+TEST(Metrics, SchedulingMetricsExcludedFromStableSnapshot)
+{
+    auto &reg = obs::Registry::instance();
+    reg.counter("test.metrics.sched_only",
+                obs::Stability::Scheduling)
+        .add(123);
+    const std::string stable = reg.snapshotJson(false);
+    const std::string full = reg.snapshotJson(true);
+    EXPECT_EQ(stable.find("test.metrics.sched_only"),
+              std::string::npos);
+    EXPECT_NE(full.find("test.metrics.sched_only"), std::string::npos);
+}
+
+/**
+ * The determinism contract: for identical work, the Stable snapshot
+ * is bit-identical no matter how many threads executed it. This is
+ * the CHAOS_THREADS=1 vs 8 acceptance check in miniature.
+ */
+TEST(Metrics, StableSnapshotIdenticalAcrossThreadCounts)
+{
+    auto &reg = obs::Registry::instance();
+    const auto runWork = [&reg]() {
+        reg.resetAll();
+        parallelFor(512, [](size_t i) {
+            static auto &c = obs::Registry::instance().counter(
+                "test.metrics.det_count");
+            c.add(i % 7);
+            static auto &h = obs::Registry::instance().histogram(
+                "test.metrics.det_hist", {64.0, 256.0});
+            h.observe(static_cast<double>(i));
+        });
+        return reg.snapshotJson(false);
+    };
+
+    setGlobalThreadCount(1);
+    const std::string serial = runWork();
+    setGlobalThreadCount(8);
+    const std::string threaded = runWork();
+    setGlobalThreadCount(1);
+    EXPECT_EQ(serial, threaded);
+}
+
+} // namespace
+} // namespace chaos

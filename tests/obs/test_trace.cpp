@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the tracing facility: span nesting and containment,
+ * thread attribution, the enable gate, early end(), and the two
+ * exporters (Chrome trace JSON, phase-tree summary).
+ */
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace chaos {
+namespace {
+
+/** RAII enable/clear so a failing test cannot poison the next one. */
+struct TraceFixture : ::testing::Test
+{
+    void SetUp() override
+    {
+        obs::setTraceEnabled(true);
+        obs::clearTrace();
+    }
+    void TearDown() override
+    {
+        obs::setTraceEnabled(false);
+        obs::clearTrace();
+    }
+};
+
+const obs::TraceEvent *
+findEvent(const std::vector<obs::TraceEvent> &events, const char *name)
+{
+    for (const auto &e : events) {
+        if (std::string(e.name) == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+using Trace = TraceFixture;
+
+TEST_F(Trace, NestedSpansRecordDepthAndContainment)
+{
+    {
+        obs::Span outer("test.outer");
+        {
+            obs::Span inner("test.inner");
+        }
+    }
+    const auto events = obs::collectTrace();
+    const obs::TraceEvent *outer = findEvent(events, "test.outer");
+    const obs::TraceEvent *inner = findEvent(events, "test.inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->depth, 0);
+    EXPECT_EQ(inner->depth, 1);
+    EXPECT_EQ(outer->tid, inner->tid);
+    // The inner span is contained in the outer one.
+    EXPECT_GE(inner->startNs, outer->startNs);
+    EXPECT_LE(inner->startNs + inner->durNs,
+              outer->startNs + outer->durNs);
+}
+
+TEST_F(Trace, ThreadsGetDistinctSequentialIds)
+{
+    {
+        obs::Span main_span("test.main_thread");
+    }
+    std::thread worker([] { obs::Span span("test.worker_thread"); });
+    worker.join();
+
+    const auto events = obs::collectTrace();
+    const obs::TraceEvent *main_ev =
+        findEvent(events, "test.main_thread");
+    const obs::TraceEvent *worker_ev =
+        findEvent(events, "test.worker_thread");
+    ASSERT_NE(main_ev, nullptr);
+    // Events from exited threads must survive (the pool's threads can
+    // die before the trace is exported).
+    ASSERT_NE(worker_ev, nullptr);
+    EXPECT_NE(main_ev->tid, worker_ev->tid);
+    EXPECT_EQ(worker_ev->depth, 0);
+}
+
+TEST_F(Trace, DisabledSpansRecordNothing)
+{
+    obs::setTraceEnabled(false);
+    {
+        obs::Span span("test.invisible");
+    }
+    obs::setTraceEnabled(true);
+    EXPECT_EQ(findEvent(obs::collectTrace(), "test.invisible"),
+              nullptr);
+}
+
+TEST_F(Trace, EarlyEndIsIdempotent)
+{
+    {
+        obs::Span first("test.first");
+        first.end();
+        obs::Span second("test.second");  // Sibling, not a child.
+        second.end();
+        second.end();  // Second end() must not double-record.
+    }
+    const auto events = obs::collectTrace();
+    ASSERT_EQ(events.size(), 2u);
+    const obs::TraceEvent *second = findEvent(events, "test.second");
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->depth, 0);
+}
+
+TEST_F(Trace, ChromeExportIsWellFormedJson)
+{
+    EXPECT_TRUE(obs::jsonWellFormed(obs::chromeTraceJson()));
+    {
+        obs::Span outer("test.chrome \"quoted\"");
+        obs::Span inner("test.chrome_inner");
+    }
+    const std::string json = obs::chromeTraceJson();
+    EXPECT_TRUE(obs::jsonWellFormed(json));
+    EXPECT_NE(json.find("test.chrome_inner"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\""), std::string::npos);
+}
+
+TEST_F(Trace, PhaseSummaryAggregatesByPath)
+{
+    for (int i = 0; i < 3; ++i) {
+        obs::Span outer("test.summary_outer");
+        obs::Span inner("test.summary_inner");
+    }
+    const std::string summary = obs::phaseSummary();
+    EXPECT_NE(summary.find("test.summary_outer"), std::string::npos);
+    EXPECT_NE(summary.find("test.summary_inner"), std::string::npos);
+    EXPECT_NE(summary.find("3"), std::string::npos);  // Call count.
+}
+
+TEST_F(Trace, ClearDropsEvents)
+{
+    {
+        obs::Span span("test.cleared");
+    }
+    EXPECT_FALSE(obs::collectTrace().empty());
+    obs::clearTrace();
+    EXPECT_TRUE(obs::collectTrace().empty());
+}
+
+} // namespace
+} // namespace chaos

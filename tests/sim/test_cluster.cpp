@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "../support/raises.hpp"
 #include "sim/cluster.hpp"
 
 namespace chaos {
@@ -68,12 +69,11 @@ TEST(Cluster, HeterogeneousCombinesClasses)
     }
 }
 
-TEST(Cluster, EmptyClusterIsFatal)
+TEST(Cluster, EmptyClusterRaises)
 {
-    EXPECT_EXIT(Cluster::homogeneous(MachineClass::Atom, 0, 1),
-                ::testing::ExitedWithCode(1), "at least one");
-    EXPECT_EXIT(Cluster::heterogeneous({}, 1),
-                ::testing::ExitedWithCode(1), "needs groups");
+    EXPECT_RAISES(Cluster::homogeneous(MachineClass::Atom, 0, 1),
+                  "at least one");
+    EXPECT_RAISES(Cluster::heterogeneous({}, 1), "needs groups");
 }
 
 TEST(Cluster, OutOfRangeAccessPanics)

@@ -1,13 +1,36 @@
 /**
  * @file
- * Tests for the status/error reporting helpers.
+ * Tests for the status/error reporting helpers: fatal/panic exits,
+ * level filtering, the pluggable sink, and thread safety of the
+ * formatted write path.
  */
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "util/logging.hpp"
 
 namespace chaos {
 namespace {
+
+/** Capture log lines through a custom sink for the test's scope. */
+struct SinkCapture
+{
+    std::mutex mu;
+    std::vector<std::pair<LogLevel, std::string>> lines;
+
+    SinkCapture()
+    {
+        setLogSink([this](LogLevel level, const std::string &line) {
+            std::lock_guard<std::mutex> lock(mu);
+            lines.emplace_back(level, line);
+        });
+    }
+    ~SinkCapture() { setLogSink(nullptr); }
+};
 
 TEST(Logging, PanicAborts)
 {
@@ -43,6 +66,74 @@ TEST(Logging, WarnAndInformDoNotTerminate)
     inform("suppressed");
     setQuiet(false);
     SUCCEED();
+}
+
+TEST(Logging, SinkCapturesFormattedLines)
+{
+    SinkCapture capture;
+    setLogLevel(LogLevel::Info);
+    warn("watch out");
+    inform("fyi");
+
+    ASSERT_EQ(capture.lines.size(), 2u);
+    EXPECT_EQ(capture.lines[0].first, LogLevel::Warn);
+    EXPECT_EQ(capture.lines[0].second, "warn: watch out\n");
+    EXPECT_EQ(capture.lines[1].first, LogLevel::Info);
+    EXPECT_EQ(capture.lines[1].second, "info: fyi\n");
+}
+
+TEST(Logging, LevelFiltersBelowThreshold)
+{
+    SinkCapture capture;
+    setLogLevel(LogLevel::Warn);
+    inform("filtered out");
+    warn("kept");
+    setLogLevel(LogLevel::Silent);
+    warn("also filtered");
+    setLogLevel(LogLevel::Info);
+
+    ASSERT_EQ(capture.lines.size(), 1u);
+    EXPECT_EQ(capture.lines[0].second, "warn: kept\n");
+}
+
+TEST(Logging, LevelNamesParse)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(logLevelFromName("debug", level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(logLevelFromName("WARNING", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(logLevelFromName("quiet", level));
+    EXPECT_EQ(level, LogLevel::Silent);
+    EXPECT_FALSE(logLevelFromName("shout", level));
+}
+
+TEST(Logging, ConcurrentWarnsArriveIntact)
+{
+    SinkCapture capture;
+    setLogLevel(LogLevel::Info);
+    const int threads = 8, perThread = 50;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([t] {
+            for (int i = 0; i < perThread; ++i) {
+                warn("thread " + std::to_string(t) + " message " +
+                     std::to_string(i));
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    // Every message arrives exactly once, unsheared: each line is a
+    // single "warn: thread T message I\n" (no interleaved fragments).
+    ASSERT_EQ(capture.lines.size(),
+              static_cast<size_t>(threads * perThread));
+    for (const auto &[level, line] : capture.lines) {
+        EXPECT_EQ(level, LogLevel::Warn);
+        EXPECT_EQ(line.rfind("warn: thread ", 0), 0u);
+        EXPECT_EQ(line.back(), '\n');
+    }
 }
 
 } // namespace
