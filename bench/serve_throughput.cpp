@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Streaming serving-path throughput benchmark.
+ *
+ * Measures the fleet server (src/serve) on a 5-machine Core2 fleet
+ * with a deployed linear model, in two phases:
+ *
+ *  - blast: a single producer submits recorded catalog rows as fast
+ *    as possible while the drainer evaluates them through the thread
+ *    pool at 1, 2, 4, and 8 threads; reports sustained samples/sec
+ *    and the p50/p99 per-pass drain latency;
+ *  - replay: the trace replayer streams the same fleet at a paced
+ *    speed multiplier (a 1 Hz-per-machine trace accelerated, still
+ *    far below saturation) and asserts that not a single sample was
+ *    dropped.
+ *
+ * Writes BENCH_serve.json into the working directory and exits
+ * nonzero if the throughput floor (100k samples/sec at 8 threads;
+ * 10k in CHAOS_BENCH_FAST=1 mode) or the zero-drop replay assertion
+ * fails, so tier-1 can run it as a smoke test.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_support.hpp"
+#include "serve/replay.hpp"
+#include "serve/server.hpp"
+#include "util/parallel.hpp"
+#include "util/string_utils.hpp"
+
+using namespace chaos;
+
+namespace {
+
+constexpr size_t kFleetSize = 5;
+
+/** Percentile of a latency sample (by sorted rank). */
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const size_t rank = std::min(
+        values.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(values.size())));
+    return values[rank];
+}
+
+struct BlastResult
+{
+    size_t threads = 0;
+    double samplesPerSec = 0.0;
+    uint64_t submitted = 0;
+    uint64_t processed = 0;
+    uint64_t dropped = 0;
+    double p50DrainMs = 0.0;
+    double p99DrainMs = 0.0;
+};
+
+/** Saturate a fresh server with @p total samples round-robin. */
+BlastResult
+blast(const MachinePowerModel &model,
+      const std::vector<std::vector<double>> &rows, size_t threads,
+      size_t total)
+{
+    setGlobalThreadCount(threads);
+    serve::FleetServerConfig config;
+    config.recordDrainLatencies = true;
+    serve::FleetServer server(config);
+    std::vector<serve::MachineEntry *> entries;
+    for (size_t m = 0; m < kFleetSize; ++m) {
+        entries.push_back(&server.addMachine(
+            "machine" + std::to_string(m), model));
+    }
+    server.start();
+
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < total; ++i) {
+        server.submitTo(*entries[i % entries.size()],
+                        std::vector<double>(rows[i % rows.size()]));
+    }
+    server.waitIdle();
+    const auto stop = std::chrono::steady_clock::now();
+    server.stop();
+
+    BlastResult result;
+    result.threads = threads;
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    result.submitted = server.submitted();
+    result.processed = server.processed();
+    result.dropped = server.dropped();
+    result.samplesPerSec =
+        static_cast<double>(result.processed) / seconds;
+    const std::vector<double> latencies = server.drainLatenciesMs();
+    result.p50DrainMs = percentile(latencies, 0.50);
+    result.p99DrainMs = percentile(latencies, 0.99);
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool fast = bench::fastMode();
+    std::printf("== serve_throughput: streaming serving path ==\n\n");
+
+    // A small recorded campaign supplies realistic catalog rows and
+    // the training data for the deployed model.
+    CampaignConfig config;
+    config.numMachines = kFleetSize;
+    config.runsPerWorkload = 1;
+    config.seed = 2012;
+    config.run.durationScale = fast ? 0.05 : 0.2;
+    const ClusterCampaign campaign =
+        collectClusterData(MachineClass::Core2, config);
+    const Dataset &data = campaign.data;
+
+    FeatureSet features{"bench",
+                        {"Processor(0)\\% Processor Time",
+                         "Processor(1)\\% Processor Time"}};
+    const MachinePowerModel model = MachinePowerModel::fit(
+        data, features, ModelType::Linear, MarsConfig());
+
+    std::vector<std::vector<double>> rows;
+    const size_t pool = std::min<size_t>(data.numRows(), 1024);
+    rows.reserve(pool);
+    for (size_t r = 0; r < pool; ++r)
+        rows.push_back(data.features().row(r));
+
+    // --- Blast phase: sustained throughput per thread count. ---
+    const size_t total = fast ? 50'000 : 400'000;
+    std::vector<BlastResult> results;
+    std::printf("%8s %14s %10s %10s %12s %12s\n", "threads",
+                "samples/sec", "processed", "dropped", "p50 drain",
+                "p99 drain");
+    for (size_t threads : {1, 2, 4, 8}) {
+        const BlastResult r = blast(model, rows, threads, total);
+        results.push_back(r);
+        std::printf("%8zu %14.0f %10llu %10llu %9.3f ms %9.3f ms\n",
+                    r.threads, r.samplesPerSec,
+                    static_cast<unsigned long long>(r.processed),
+                    static_cast<unsigned long long>(r.dropped),
+                    r.p50DrainMs, r.p99DrainMs);
+    }
+
+    // --- Replay phase: paced 1 Hz-per-machine trace, zero drops. ---
+    setGlobalThreadCount(4);
+    serve::FleetServer replayServer;
+    serve::TraceReplayer replayer(data);
+    for (const std::string &id : replayer.machineIds())
+        replayServer.addMachine(id, model);
+    serve::ReplayConfig replayConfig;
+    replayConfig.speed = 100.0;
+    replayServer.start();
+    const serve::ReplayStats replayStats =
+        replayer.replayInto(replayServer, replayConfig);
+    replayServer.stop();
+    setGlobalThreadCount(1);
+    std::printf("\nreplay @%gx: %llu ticks, %llu samples, "
+                "%llu dropped\n",
+                replayConfig.speed,
+                static_cast<unsigned long long>(replayStats.ticks),
+                static_cast<unsigned long long>(
+                    replayStats.submitted),
+                static_cast<unsigned long long>(
+                    replayServer.dropped()));
+
+    // --- Assertions. ---
+    const double floorSps = fast ? 10'000.0 : 100'000.0;
+    const BlastResult &eightThreads = results.back();
+    bool ok = true;
+    if (eightThreads.samplesPerSec < floorSps) {
+        std::printf("FAIL: %.0f samples/sec at %zu threads is below "
+                    "the %.0f floor\n",
+                    eightThreads.samplesPerSec, eightThreads.threads,
+                    floorSps);
+        ok = false;
+    }
+    if (replayServer.dropped() != 0) {
+        std::printf("FAIL: paced replay dropped %llu samples\n",
+                    static_cast<unsigned long long>(
+                        replayServer.dropped()));
+        ok = false;
+    }
+    if (replayServer.processed() != replayStats.submitted) {
+        std::printf("FAIL: replay processed %llu of %llu submitted "
+                    "(lost or duplicated samples)\n",
+                    static_cast<unsigned long long>(
+                        replayServer.processed()),
+                    static_cast<unsigned long long>(
+                        replayStats.submitted));
+        ok = false;
+    }
+
+    // --- BENCH_serve.json. ---
+    std::string json = "{\n";
+    json += "  \"bench\": \"serve_throughput\",\n";
+    json += "  \"fast_mode\": " +
+            std::string(fast ? "true" : "false") + ",\n";
+    json += "  \"fleet_size\": " + std::to_string(kFleetSize) + ",\n";
+    json += "  \"samples_per_config\": " + std::to_string(total) +
+            ",\n";
+    json += "  \"throughput\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const BlastResult &r = results[i];
+        json += "    {\"threads\": " + std::to_string(r.threads) +
+                ", \"samples_per_sec\": " +
+                formatDouble(r.samplesPerSec, 0) +
+                ", \"processed\": " + std::to_string(r.processed) +
+                ", \"dropped\": " + std::to_string(r.dropped) +
+                ", \"p50_drain_ms\": " +
+                formatDouble(r.p50DrainMs, 4) +
+                ", \"p99_drain_ms\": " +
+                formatDouble(r.p99DrainMs, 4) + "}";
+        json += (i + 1 < results.size()) ? ",\n" : "\n";
+    }
+    json += "  ],\n";
+    json += "  \"replay\": {\"speed\": " +
+            formatDouble(replayConfig.speed, 0) +
+            ", \"ticks\": " + std::to_string(replayStats.ticks) +
+            ", \"submitted\": " +
+            std::to_string(replayStats.submitted) +
+            ", \"processed\": " +
+            std::to_string(replayServer.processed()) +
+            ", \"dropped\": " +
+            std::to_string(replayServer.dropped()) + "},\n";
+    json += "  \"throughput_floor_sps\": " +
+            formatDouble(floorSps, 0) + ",\n";
+    json += "  \"pass\": " + std::string(ok ? "true" : "false") +
+            "\n}\n";
+    std::ofstream out("BENCH_serve.json");
+    out << json;
+    std::printf("\nwrote BENCH_serve.json (%s)\n",
+                ok ? "pass" : "FAIL");
+    return ok ? 0 : 1;
+}

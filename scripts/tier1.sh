@@ -8,7 +8,11 @@
 # a finite DRE, exiting nonzero otherwise). The observability layer
 # gets its own stage: an overhead_obs smoke run (asserts < 1 %
 # instrumentation overhead and valid trace/metrics exports) plus the
-# obs unit tests under ThreadSanitizer.
+# obs unit tests under ThreadSanitizer. The serving subsystem gets a
+# throughput/zero-drop smoke (serve_throughput asserts the samples/sec
+# floor and a drop-free paced replay), a CLI replay smoke, and its
+# whole test binary under ThreadSanitizer alongside the serialization
+# round-trip tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +30,26 @@ echo "== tier 1: observability overhead smoke (fast mode) =="
 CHAOS_BENCH_FAST=1 ./build/bench/overhead_obs
 
 echo
+echo "== tier 1: serve throughput + replay smoke (fast mode) =="
+CHAOS_BENCH_FAST=1 ./build/bench/serve_throughput
+
+echo
+echo "== tier 1: chaos serve CLI replay smoke =="
+serve_tmp="$(mktemp -d)"
+trap 'rm -rf "$serve_tmp"' EXIT
+./build/tools/chaos collect Core2 --machines 2 --runs 1 \
+    --scale 0.05 --out "$serve_tmp/trace.csv" >/dev/null
+./build/tools/chaos train "$serve_tmp/trace.csv" \
+    --out "$serve_tmp/model.txt" --type linear >/dev/null
+./build/tools/chaos serve --replay "$serve_tmp/trace.csv" \
+    --model "$serve_tmp/model.txt" --platform Core2 \
+    --snapshot-every 200 --snapshots-out "$serve_tmp/snaps.json"
+grep -q '"cluster_w"' "$serve_tmp/snaps.json" || {
+    echo "serve smoke: no fleet snapshots written" >&2
+    exit 1
+}
+
+echo
 echo "== tier 1: fault-injection tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCHAOS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)" --target test_faults
@@ -35,12 +59,18 @@ echo
 echo "== tier 1: parallel tests under TSan =="
 cmake -B build-tsan -S . -DCHAOS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_util test_core \
-    test_obs
+    test_obs test_serve test_models
 CHAOS_THREADS=8 ./build-tsan/tests/test_util \
     --gtest_filter='ParallelTest.*:Logging.Concurrent*'
 CHAOS_BENCH_FAST=1 CHAOS_THREADS=8 ./build-tsan/tests/test_core \
     --gtest_filter='ParallelDeterminism.*'
 CHAOS_THREADS=8 ./build-tsan/tests/test_obs
+
+echo
+echo "== tier 1: serve + serialization round-trip tests under TSan =="
+CHAOS_THREADS=8 ./build-tsan/tests/test_serve
+CHAOS_THREADS=8 ./build-tsan/tests/test_models \
+    --gtest_filter='*SerializePropertyRoundTrip*'
 
 echo
 echo "tier 1: PASS"

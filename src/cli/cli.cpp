@@ -13,6 +13,9 @@
 #include "core/model_store.hpp"
 #include "oscounters/counter_catalog.hpp"
 #include "oscounters/etw_session.hpp"
+#include "serve/fleet_store.hpp"
+#include "serve/replay.hpp"
+#include "serve/server.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/metrics.hpp"
 #include "trace/trace_io.hpp"
@@ -100,6 +103,12 @@ cmdHelp(std::ostream &out)
            "accuracy\n"
         << "      [--type T] [--folds K] [--seed S]\n"
         << "  predict <model.txt> <data.csv>     apply a saved model\n"
+        << "  serve --replay <data.csv>          stream a recorded "
+           "trace through the fleet server\n"
+        << "      (--model M.txt | --fleet manifest.txt) [--speed X] "
+           "[--platform P]\n"
+        << "      [--shards N] [--queue-capacity N] "
+           "[--snapshot-every N] [--snapshots-out F]\n"
         << "  report <data.csv>                  markdown dataset "
            "summary\n"
         << "\nglobal flags (any subcommand):\n"
@@ -378,6 +387,104 @@ cmdPredict(const ParsedArgs &args, std::ostream &out,
     return 0;
 }
 
+/**
+ * Replay a recorded counter trace through the streaming fleet server
+ * (paper Eq. 5 as a service): every machine in the trace gets an
+ * online estimator, samples are enqueued tick by tick at the chosen
+ * speed, and the server drains them through the thread pool while
+ * emitting periodic fleet-power snapshots.
+ */
+int
+cmdServe(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    const std::string replayPath = args.flagOr("replay", "");
+    const std::string modelPath = args.flagOr("model", "");
+    const std::string fleetPath = args.flagOr("fleet", "");
+    if (replayPath.empty() || (modelPath.empty() == fleetPath.empty())) {
+        err << "usage: chaos serve --replay <data.csv> "
+               "(--model <model.txt> | --fleet <manifest.txt>)\n"
+               "    [--speed X] [--platform P] [--shards N] "
+               "[--queue-capacity N]\n"
+               "    [--snapshot-every N] [--snapshots-out F]\n";
+        return 2;
+    }
+
+    const Dataset data = loadDataset(replayPath);
+    serve::TraceReplayer replayer(data);
+
+    serve::FleetServerConfig config;
+    config.numShards = static_cast<size_t>(
+        std::stoul(args.flagOr("shards", "4")));
+    config.queueCapacity = static_cast<size_t>(
+        std::stoul(args.flagOr("queue-capacity", "8192")));
+    config.snapshotEverySamples = static_cast<size_t>(
+        std::stoul(args.flagOr("snapshot-every", "0")));
+    serve::FleetServer server(config);
+
+    OnlineEstimatorConfig estimatorConfig;
+    const std::string platform = args.flagOr("platform", "");
+    if (!platform.empty()) {
+        estimatorConfig = OnlineEstimatorConfig::forSpec(
+            machineSpecFor(machineClassFromName(platform)));
+    }
+
+    if (!modelPath.empty()) {
+        // One shared model deployed to every machine in the trace.
+        const MachinePowerModel model = loadMachineModelFile(modelPath);
+        for (const std::string &id : replayer.machineIds())
+            server.addMachine(id, model, estimatorConfig);
+    } else {
+        for (serve::FleetMachine &machine :
+             serve::loadFleetModels(fleetPath)) {
+            server.addMachine(machine.id, std::move(machine.model),
+                              estimatorConfig);
+        }
+    }
+
+    serve::ReplayConfig replayConfig;
+    replayConfig.speed = std::stod(args.flagOr("speed", "0"));
+
+    server.start();
+    const serve::ReplayStats stats =
+        replayer.replayInto(server, replayConfig);
+    server.stop();
+
+    const serve::FleetSnapshot final_snapshot = server.snapshot();
+    out << "replayed " << stats.ticks << " ticks x "
+        << server.numMachines() << " machines: " << stats.submitted
+        << " samples submitted, " << server.processed()
+        << " processed, " << server.dropped() << " dropped\n";
+    out << "cluster power: "
+        << formatDouble(final_snapshot.clusterW, 1) << " W (healthy "
+        << final_snapshot.healthy << ", degraded "
+        << final_snapshot.degraded << ", stale "
+        << final_snapshot.stale << ", lost " << final_snapshot.lost
+        << ")\n";
+    TextTable table({"Machine", "Watts", "Health", "Samples"});
+    for (const serve::MachineSnapshot &machine :
+         final_snapshot.machines) {
+        table.addRow({machine.id, formatDouble(machine.watts, 1),
+                      machineHealthName(machine.health),
+                      std::to_string(machine.samples)});
+    }
+    out << table.render();
+
+    const std::string snapshotsOut = args.flagOr("snapshots-out", "");
+    if (!snapshotsOut.empty()) {
+        std::ofstream file(snapshotsOut);
+        raiseIf(!file, "cannot write " + snapshotsOut);
+        file << "[\n";
+        for (const serve::FleetSnapshot &snap : server.snapshots())
+            file << "  " << snap.toJson() << ",\n";
+        file << "  " << final_snapshot.toJson() << "\n]\n";
+        file.flush();
+        raiseIf(!file.good(), "failed writing " + snapshotsOut);
+        out << "wrote " << server.snapshots().size() + 1
+            << " snapshots to " << snapshotsOut << "\n";
+    }
+    return 0;
+}
+
 int
 cmdReport(const ParsedArgs &args, std::ostream &out,
           std::ostream &err)
@@ -457,6 +564,8 @@ dispatch(const std::string &command, const ParsedArgs &parsed,
         return cmdEvaluate(parsed, out, err);
     if (command == "predict")
         return cmdPredict(parsed, out, err);
+    if (command == "serve")
+        return cmdServe(parsed, out, err);
     if (command == "report")
         return cmdReport(parsed, out, err);
 

@@ -64,7 +64,11 @@ loadMachineModelFile(const std::string &path)
 {
     std::ifstream in(path);
     raiseIf(!in, "cannot open machine model file for reading: " + path);
-    return loadMachineModel(in);
+    try {
+        return loadMachineModel(in);
+    } catch (const RecoverableError &e) {
+        raise(path + ": " + e.message());
+    }
 }
 
 Result<MachinePowerModel>

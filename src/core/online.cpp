@@ -223,8 +223,35 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
         rememberTrusted(watts);
 
     estimateStats.add(watts);
+    lastEstimate = watts;
     ++count;
     return watts;
+}
+
+void
+OnlinePowerEstimator::swapModel(MachinePowerModel newModel)
+{
+    const auto &catalog = CounterCatalog::instance();
+    const std::vector<size_t> oldIndices = model.catalogIndices();
+    const std::vector<FeatureState> oldStates = featureStates;
+
+    model = std::move(newModel);
+    const auto &indices = model.catalogIndices();
+    featureStates.assign(indices.size(), FeatureState{});
+    plausibleBounds.clear();
+    plausibleBounds.reserve(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+        plausibleBounds.push_back(catalog.def(indices[i]).maxPlausible);
+        // Carry last-known-good state across the swap for counters
+        // both models consume, so a swap during degraded telemetry
+        // does not discard the imputation history.
+        for (size_t j = 0; j < oldIndices.size(); ++j) {
+            if (oldIndices[j] == indices[i]) {
+                featureStates[i] = oldStates[j];
+                break;
+            }
+        }
+    }
 }
 
 double

@@ -131,8 +131,23 @@ class OnlinePowerEstimator
     double estimateWithReference(const std::vector<double> &catalogRow,
                                  double meteredW);
 
+    /**
+     * Replace the deployed model in place (hot-swap). Health state,
+     * tallies, and residual/estimate statistics carry over; the
+     * last-known-good imputation state survives for every counter the
+     * new model shares with the old one (matched by catalog index)
+     * and starts fresh for counters only the new model consumes.
+     */
+    void swapModel(MachinePowerModel newModel);
+
+    /** The deployed machine model. */
+    const MachinePowerModel &deployedModel() const { return model; }
+
     /** Health after the most recent sample (Healthy before any). */
     MachineHealth health() const { return healthState; }
+
+    /** Most recent estimate in watts (0 before any sample). */
+    double lastEstimateW() const { return lastEstimate; }
 
     /** Validation/imputation tallies so far. */
     const OnlineHealthCounters &healthCounters() const
@@ -177,6 +192,7 @@ class OnlinePowerEstimator
     double recentTrustedSum = 0.0;
 
     size_t count = 0;
+    double lastEstimate = 0.0;
     RunningStats residualStats;
     RunningStats estimateStats;
 };

@@ -1,5 +1,6 @@
 #include "models/serialize.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -33,8 +34,14 @@ readVector(std::istream &in, const std::string &expected_key)
     raiseIf(!(in >> key >> count) || key != expected_key,
             "model file: expected vector '" + expected_key + "'");
     std::vector<double> values(count);
-    for (double &v : values)
+    for (double &v : values) {
         raiseIf(!(in >> v), "model file: truncated vector " + key);
+        // A fitted model never contains NaN/inf; accepting one here
+        // would poison every later prediction instead of failing at
+        // the load boundary.
+        raiseIf(!std::isfinite(v),
+                "model file: non-finite value in vector " + key);
+    }
     return values;
 }
 
@@ -51,7 +58,11 @@ expectToken(std::istream &in, const std::string &expected)
 void
 saveModel(std::ostream &out, const PowerModel &model)
 {
-    out << "chaos-model 1\n";
+    // Version 2 adds the trailing "end" marker: a payload truncated
+    // anywhere (even inside the digits of the last coefficient, which
+    // would still parse as a valid double) fails loudly on load
+    // instead of producing a silently different model.
+    out << "chaos-model 2\n";
     switch (model.type()) {
       case ModelType::Linear:
         out << "linear\n";
@@ -67,6 +78,7 @@ saveModel(std::ostream &out, const PowerModel &model)
         static_cast<const SwitchingModel &>(model).save(out);
         break;
     }
+    out << "end\n";
 }
 
 void
@@ -85,19 +97,27 @@ loadModel(std::istream &in)
     int version = 0;
     raiseIf(!(in >> magic >> version) || magic != "chaos-model",
             "not a chaos model file");
-    raiseIf(version != 1, "unsupported chaos model file version");
+    raiseIf(version != 1 && version != 2,
+            "unsupported chaos model file version " +
+                std::to_string(version));
 
     std::string kind;
     raiseIf(!(in >> kind), "model file: missing model kind");
+    std::unique_ptr<PowerModel> model;
     if (kind == "linear")
-        return std::make_unique<LinearModel>(LinearModel::load(in));
-    if (kind == "mars")
-        return std::make_unique<MarsModel>(MarsModel::load(in));
-    if (kind == "switching") {
-        return std::make_unique<SwitchingModel>(
+        model = std::make_unique<LinearModel>(LinearModel::load(in));
+    else if (kind == "mars")
+        model = std::make_unique<MarsModel>(MarsModel::load(in));
+    else if (kind == "switching") {
+        model = std::make_unique<SwitchingModel>(
             SwitchingModel::load(in));
+    } else {
+        raise("model file: unknown model kind '" + kind + "'");
     }
-    raise("model file: unknown model kind '" + kind + "'");
+    // Version 1 files predate the end marker and are accepted as-is.
+    if (version >= 2)
+        serialize_detail::expectToken(in, "end");
+    return model;
 }
 
 std::unique_ptr<PowerModel>
@@ -105,7 +125,11 @@ loadModelFile(const std::string &path)
 {
     std::ifstream in(path);
     raiseIf(!in, "cannot open model file for reading: " + path);
-    return loadModel(in);
+    try {
+        return loadModel(in);
+    } catch (const RecoverableError &e) {
+        raise(path + ": " + e.message());
+    }
 }
 
 Result<std::unique_ptr<PowerModel>>

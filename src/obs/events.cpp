@@ -17,6 +17,7 @@ eventKindName(EventKind kind)
       case EventKind::Clamp: return "clamp";
       case EventKind::Substitution: return "substitution";
       case EventKind::FaultActivation: return "fault_activation";
+      case EventKind::Backpressure: return "backpressure";
     }
     return "unknown";
 }

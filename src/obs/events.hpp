@@ -30,6 +30,7 @@ enum class EventKind {
     Clamp,            ///< Estimate clamped to the machine's power envelope.
     Substitution,     ///< Estimate substituted (recent mean / idle power).
     FaultActivation,  ///< A fault injector fired.
+    Backpressure,     ///< A serving-shard queue saturated (drop-oldest engaged).
 };
 
 /** @return Stable lowercase name for @p kind (e.g. "health_transition"). */

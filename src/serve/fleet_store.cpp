@@ -1,0 +1,130 @@
+#include "serve/fleet_store.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/model_store.hpp"
+#include "util/result.hpp"
+#include "util/string_utils.hpp"
+
+namespace chaos::serve {
+
+namespace {
+
+/** "path:line: what" error for manifest parsing. */
+[[noreturn]] void
+manifestError(const std::string &path, std::size_t line,
+              const std::string &what)
+{
+    raise(path + ":" + std::to_string(line) + ": " + what);
+}
+
+/** Directory part of @p path ("" when there is none). */
+std::string
+dirnameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash + 1);
+}
+
+} // namespace
+
+void
+saveFleetManifest(const std::string &path,
+                  const std::vector<FleetMachineRef> &fleet)
+{
+    std::ofstream out(path);
+    raiseIf(!out, "cannot open fleet manifest for writing: " + path);
+    out << "chaos-fleet 1\n";
+    for (const FleetMachineRef &machine : fleet) {
+        raiseIf(machine.id.empty(),
+                "fleet manifest: empty machine id");
+        out << "machine " << machine.id << ' ' << machine.modelPath
+            << '\n';
+    }
+    out << "end\n";
+    raiseIf(!out.good(), "I/O error writing fleet manifest: " + path);
+}
+
+std::vector<FleetMachineRef>
+loadFleetManifest(const std::string &path)
+{
+    std::ifstream in(path);
+    raiseIf(!in, "cannot open fleet manifest for reading: " + path);
+
+    std::string line;
+    std::size_t lineNo = 0;
+
+    raiseIf(!std::getline(in, line),
+            path + ": empty fleet manifest");
+    ++lineNo;
+    {
+        std::istringstream header(line);
+        std::string magic;
+        int version = 0;
+        if (!(header >> magic >> version) || magic != "chaos-fleet")
+            manifestError(path, lineNo, "not a chaos fleet manifest");
+        if (version != 1) {
+            manifestError(path, lineNo,
+                          "unsupported fleet manifest version " +
+                              std::to_string(version));
+        }
+    }
+
+    std::vector<FleetMachineRef> fleet;
+    std::set<std::string> seen;
+    bool ended = false;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        if (trimmed == "end") {
+            ended = true;
+            break;
+        }
+        std::istringstream record(trimmed);
+        std::string keyword;
+        FleetMachineRef ref;
+        if (!(record >> keyword) || keyword != "machine") {
+            manifestError(path, lineNo,
+                          "expected 'machine <id> <model-path>', got '" +
+                              trimmed + "'");
+        }
+        if (!(record >> ref.id >> ref.modelPath)) {
+            manifestError(path, lineNo,
+                          "truncated machine record '" + trimmed +
+                              "'");
+        }
+        if (!seen.insert(ref.id).second) {
+            manifestError(path, lineNo,
+                          "duplicate machine id '" + ref.id + "'");
+        }
+        fleet.push_back(std::move(ref));
+    }
+    if (!ended) {
+        manifestError(path, lineNo,
+                      "truncated fleet manifest (missing 'end')");
+    }
+    return fleet;
+}
+
+std::vector<FleetMachine>
+loadFleetModels(const std::string &path)
+{
+    const std::string base = dirnameOf(path);
+    std::vector<FleetMachine> fleet;
+    for (const FleetMachineRef &ref : loadFleetManifest(path)) {
+        const std::string modelPath =
+            (!ref.modelPath.empty() && ref.modelPath.front() == '/')
+                ? ref.modelPath
+                : base + ref.modelPath;
+        fleet.push_back(FleetMachine{
+            ref.id, loadMachineModelFile(modelPath)});
+    }
+    return fleet;
+}
+
+} // namespace chaos::serve

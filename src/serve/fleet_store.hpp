@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fleet manifest persistence: which model file serves which machine.
+ *
+ * A manifest is the deployment unit of a served fleet — a small text
+ * file mapping machine ids to machine-model files (model_store
+ * format), versioned and end-marked like the model files themselves.
+ * Loading validates the manifest shape (unique, non-empty machine
+ * ids) before any model file is touched, and reports every error as a
+ * RecoverableError citing the file and line.
+ *
+ * Format:
+ *
+ *     chaos-fleet 1
+ *     machine <id> <model-path>
+ *     ...
+ *     end
+ */
+#ifndef CHAOS_SERVE_FLEET_STORE_HPP
+#define CHAOS_SERVE_FLEET_STORE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/cluster_model.hpp"
+
+namespace chaos::serve {
+
+/** One manifest line: machine id -> model file. */
+struct FleetMachineRef
+{
+    std::string id;
+    std::string modelPath;
+};
+
+/** A loaded fleet member: machine id + its deployable model. */
+struct FleetMachine
+{
+    std::string id;
+    MachinePowerModel model;
+};
+
+/** Write a manifest; raises RecoverableError on I/O failure. */
+void saveFleetManifest(const std::string &path,
+                       const std::vector<FleetMachineRef> &fleet);
+
+/**
+ * Parse a manifest. Raises RecoverableError (with file:line) on bad
+ * magic/version, malformed or truncated records, duplicate or empty
+ * machine ids, or a missing end marker.
+ */
+std::vector<FleetMachineRef>
+loadFleetManifest(const std::string &path);
+
+/**
+ * loadFleetManifest() plus loading every referenced model file.
+ * Relative model paths resolve against the manifest's directory.
+ */
+std::vector<FleetMachine> loadFleetModels(const std::string &path);
+
+} // namespace chaos::serve
+
+#endif // CHAOS_SERVE_FLEET_STORE_HPP

@@ -1,0 +1,110 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "util/result.hpp"
+
+namespace chaos::serve {
+
+EstimatorRegistry::EstimatorRegistry(std::size_t numShards)
+    : shards(std::max<std::size_t>(numShards, 1))
+{}
+
+std::size_t
+EstimatorRegistry::shardOf(const std::string &machineId) const
+{
+    return std::hash<std::string>{}(machineId) % shards.size();
+}
+
+MachineEntry &
+EstimatorRegistry::add(const std::string &machineId,
+                       MachinePowerModel model,
+                       OnlineEstimatorConfig config)
+{
+    raiseIf(machineId.empty(), "registry: empty machine id");
+    if (config.sourceLabel.empty())
+        config.sourceLabel = machineId;
+
+    Shard &shard = shards[shardOf(machineId)];
+    auto entry = std::make_unique<MachineEntry>(
+        machineId, std::move(model), std::move(config));
+
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] =
+        shard.entries.try_emplace(machineId, std::move(entry));
+    raiseIf(!inserted,
+            "registry: duplicate machine id '" + machineId + "'");
+    return *it->second;
+}
+
+MachineEntry *
+EstimatorRegistry::find(const std::string &machineId)
+{
+    Shard &shard = shards[shardOf(machineId)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(machineId);
+    return it == shard.entries.end() ? nullptr : it->second.get();
+}
+
+void
+EstimatorRegistry::swapModel(const std::string &machineId,
+                             MachinePowerModel model)
+{
+    MachineEntry *entry = find(machineId);
+    raiseIf(entry == nullptr,
+            "registry: cannot swap model of unknown machine '" +
+                machineId + "'");
+    entry->withEstimator([&](OnlinePowerEstimator &estimator) {
+        estimator.swapModel(std::move(model));
+    });
+    static auto &swaps =
+        obs::Registry::instance().counter("chaos.serve.model_swaps");
+    swaps.add();
+    obs::EventLog::instance().emit(obs::EventKind::HealthTransition,
+                                   machineId, "model hot-swapped");
+}
+
+std::size_t
+EstimatorRegistry::size() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+std::vector<std::string>
+EstimatorRegistry::ids() const
+{
+    std::vector<std::string> out;
+    for (const Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[id, entry] : shard.entries)
+            out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<MachineEntry *>
+EstimatorRegistry::entriesById()
+{
+    std::vector<MachineEntry *> out;
+    for (Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (auto &[id, entry] : shard.entries)
+            out.push_back(entry.get());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MachineEntry *a, const MachineEntry *b) {
+                  return a->id() < b->id();
+              });
+    return out;
+}
+
+} // namespace chaos::serve

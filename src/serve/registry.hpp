@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Sharded estimator registry: the serving-side home of one
+ * OnlinePowerEstimator per fleet machine, keyed by machine id.
+ *
+ * Lookups are lock-striped: machine ids hash onto a fixed set of
+ * shards, each with its own mutex, so concurrent producers resolving
+ * different machines rarely contend. Entry addresses are stable for
+ * the life of the registry (entries are never removed), which lets
+ * the ingestion queues carry raw MachineEntry pointers.
+ *
+ * Each entry carries its own mutex guarding the (stateful) estimator.
+ * Model hot-swap takes only that entry mutex, so swapping one
+ * machine's model serializes with that machine's predictions but
+ * never stalls ingestion or any other machine.
+ */
+#ifndef CHAOS_SERVE_REGISTRY_HPP
+#define CHAOS_SERVE_REGISTRY_HPP
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online.hpp"
+
+namespace chaos::serve {
+
+/** One registered machine: id + mutex-guarded online estimator. */
+class MachineEntry
+{
+  public:
+    MachineEntry(std::string machineId, MachinePowerModel model,
+                 OnlineEstimatorConfig config)
+        : id_(std::move(machineId)),
+          estimator_(std::move(model), std::move(config))
+    {}
+
+    /** The machine id this entry was registered under. */
+    const std::string &id() const { return id_; }
+
+    /**
+     * Run @p fn with exclusive access to the estimator. All estimator
+     * use (predictions, hot-swap, snapshot reads) goes through here.
+     */
+    template <typename Fn>
+    auto
+    withEstimator(Fn &&fn)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return fn(estimator_);
+    }
+
+  private:
+    std::string id_;
+    std::mutex mu_;
+    OnlinePowerEstimator estimator_;
+};
+
+/** Lock-striped map of machine id -> MachineEntry. */
+class EstimatorRegistry
+{
+  public:
+    /** @param numShards Stripe count; clamped to at least 1. */
+    explicit EstimatorRegistry(std::size_t numShards = 8);
+
+    /**
+     * Register a machine. Raises RecoverableError if @p machineId is
+     * already registered or empty. When the estimator config carries
+     * no source label, the machine id is used (health events are then
+     * attributable to the machine).
+     *
+     * @return The stable entry for the new machine.
+     */
+    MachineEntry &add(const std::string &machineId,
+                      MachinePowerModel model,
+                      OnlineEstimatorConfig config = {});
+
+    /** @return The entry for @p machineId, or nullptr if unknown. */
+    MachineEntry *find(const std::string &machineId);
+
+    /**
+     * Atomically replace the deployed model of one machine (see
+     * OnlinePowerEstimator::swapModel for what state carries over).
+     * Raises RecoverableError if the machine is unknown.
+     */
+    void swapModel(const std::string &machineId,
+                   MachinePowerModel model);
+
+    /** @return Number of registered machines. */
+    std::size_t size() const;
+
+    /** @return All machine ids, sorted. */
+    std::vector<std::string> ids() const;
+
+    /**
+     * All entries, ordered by machine id (deterministic snapshot
+     * order). Entry pointers stay valid for the registry's lifetime.
+     */
+    std::vector<MachineEntry *> entriesById();
+
+    /** @return The stripe count. */
+    std::size_t numShards() const { return shards.size(); }
+
+    /** @return The shard index @p machineId hashes to. */
+    std::size_t shardOf(const std::string &machineId) const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, std::unique_ptr<MachineEntry>>
+            entries;
+    };
+
+    std::vector<Shard> shards;
+};
+
+} // namespace chaos::serve
+
+#endif // CHAOS_SERVE_REGISTRY_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bounded multi-producer/single-consumer ingestion queue for the
+ * streaming serving subsystem.
+ *
+ * Collectors push one counter sample per machine-second; the drain
+ * loop pops them in batches. The queue is bounded with an explicit
+ * drop-oldest overflow policy: when a shard falls behind, the samples
+ * sacrificed are the *stalest* ones — exactly the ones whose estimate
+ * would be least useful by the time it was produced — and every drop
+ * is counted so backpressure is observable, never silent.
+ */
+#ifndef CHAOS_SERVE_SAMPLE_QUEUE_HPP
+#define CHAOS_SERVE_SAMPLE_QUEUE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace chaos::serve {
+
+class MachineEntry;
+
+/** One enqueued machine-second of telemetry. */
+struct QueuedSample
+{
+    /** Registry entry of the machine this sample belongs to. */
+    MachineEntry *entry = nullptr;
+    /** Catalog-ordered counter vector. */
+    std::vector<double> catalogRow;
+    /** Metered reference power; NaN when the machine has no meter. */
+    double meteredW = std::numeric_limits<double>::quiet_NaN();
+};
+
+/**
+ * Mutex-protected bounded FIFO of QueuedSamples (MPSC: any number of
+ * producers, one draining consumer). All operations are O(1) apart
+ * from popBatch, which is linear in the batch it returns.
+ */
+class BoundedSampleQueue
+{
+  public:
+    /** @param capacity Maximum retained samples; at least 1. */
+    explicit BoundedSampleQueue(std::size_t capacity)
+        : cap(capacity == 0 ? 1 : capacity)
+    {}
+
+    /**
+     * Enqueue one sample. When the queue is full the *oldest* sample
+     * is discarded to make room (drop-oldest policy).
+     *
+     * @return Number of samples dropped by this push (0 or 1).
+     */
+    std::size_t
+    push(QueuedSample &&sample)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        std::size_t dropped = 0;
+        if (items.size() >= cap) {
+            items.pop_front();
+            dropped = 1;
+        }
+        items.push_back(std::move(sample));
+        return dropped;
+    }
+
+    /**
+     * Move up to @p maxItems samples into @p out (appended), oldest
+     * first. @return The number of samples transferred.
+     */
+    std::size_t
+    popBatch(std::vector<QueuedSample> &out, std::size_t maxItems)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        std::size_t moved = 0;
+        while (moved < maxItems && !items.empty()) {
+            out.push_back(std::move(items.front()));
+            items.pop_front();
+            ++moved;
+        }
+        return moved;
+    }
+
+    /** @return Samples currently queued. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return items.size();
+    }
+
+    /** @return True when nothing is queued. */
+    bool empty() const { return size() == 0; }
+
+    /** @return The configured capacity. */
+    std::size_t capacity() const { return cap; }
+
+  private:
+    mutable std::mutex mu;
+    std::deque<QueuedSample> items;
+    std::size_t cap;
+};
+
+} // namespace chaos::serve
+
+#endif // CHAOS_SERVE_SAMPLE_QUEUE_HPP

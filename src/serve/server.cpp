@@ -1,0 +1,382 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+#include "util/result.hpp"
+
+namespace chaos::serve {
+
+namespace {
+
+/**
+ * chaos.serve.* registry metrics. Submission and processing counts
+ * are work-proportional (Stable); drops, batching, and queue depth
+ * depend on producer/drainer timing (Scheduling).
+ */
+struct ServeMetrics
+{
+    obs::Counter &submitted;
+    obs::Counter &processed;
+    obs::Counter &dropped;
+    obs::Counter &batches;
+    obs::Counter &snapshots;
+    obs::Counter &saturations;
+    obs::Gauge &queueDepth;
+
+    static ServeMetrics &
+    get()
+    {
+        auto &registry = obs::Registry::instance();
+        static ServeMetrics m{
+            registry.counter("chaos.serve.submitted"),
+            registry.counter("chaos.serve.processed"),
+            registry.counter("chaos.serve.dropped",
+                             obs::Stability::Scheduling),
+            registry.counter("chaos.serve.batches",
+                             obs::Stability::Scheduling),
+            registry.counter("chaos.serve.snapshots",
+                             obs::Stability::Scheduling),
+            registry.counter("chaos.serve.saturations",
+                             obs::Stability::Scheduling),
+            registry.gauge("chaos.serve.queue_depth",
+                           obs::Stability::Scheduling),
+        };
+        return m;
+    }
+};
+
+} // namespace
+
+std::string
+FleetSnapshot::toJson() const
+{
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "{\"seq\": " << seq << ", \"submitted\": "
+        << samplesSubmitted << ", \"processed\": " << samplesProcessed
+        << ", \"dropped\": " << samplesDropped << ", \"cluster_w\": "
+        << clusterW << ", \"health_mix\": {\"healthy\": " << healthy
+        << ", \"degraded\": " << degraded << ", \"stale\": " << stale
+        << ", \"lost\": " << lost << "}, \"machines\": [";
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        const MachineSnapshot &m = machines[i];
+        if (i > 0)
+            out << ", ";
+        out << "{\"id\": \"" << obs::jsonEscape(m.id)
+            << "\", \"watts\": " << m.watts << ", \"health\": \""
+            << machineHealthName(m.health) << "\", \"samples\": "
+            << m.samples << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+FleetServer::FleetServer(FleetServerConfig config)
+    : cfg(config), registry(cfg.numShards)
+{
+    queueShards.reserve(registry.numShards());
+    for (std::size_t s = 0; s < registry.numShards(); ++s) {
+        queueShards.push_back(
+            std::make_unique<QueueShard>(cfg.queueCapacity));
+    }
+}
+
+FleetServer::~FleetServer()
+{
+    if (runningFlag.load()) {
+        stopRequested.store(true);
+        drainer.join();
+        runningFlag.store(false);
+    }
+}
+
+MachineEntry &
+FleetServer::addMachine(const std::string &machineId,
+                        MachinePowerModel model,
+                        OnlineEstimatorConfig config)
+{
+    return registry.add(machineId, std::move(model),
+                        std::move(config));
+}
+
+MachineEntry *
+FleetServer::machine(const std::string &machineId)
+{
+    return registry.find(machineId);
+}
+
+void
+FleetServer::swapModel(const std::string &machineId,
+                       MachinePowerModel model)
+{
+    registry.swapModel(machineId, std::move(model));
+}
+
+void
+FleetServer::submit(const std::string &machineId,
+                    std::vector<double> catalogRow, double meteredW)
+{
+    MachineEntry *entry = registry.find(machineId);
+    raiseIf(entry == nullptr,
+            "serve: unknown machine id '" + machineId + "'");
+    enqueue(*entry, std::move(catalogRow), meteredW);
+}
+
+void
+FleetServer::submitTo(MachineEntry &entry,
+                      std::vector<double> catalogRow, double meteredW)
+{
+    enqueue(entry, std::move(catalogRow), meteredW);
+}
+
+void
+FleetServer::enqueue(MachineEntry &entry,
+                     std::vector<double> catalogRow, double meteredW)
+{
+    QueueShard &shard = *queueShards[registry.shardOf(entry.id())];
+    // Count the submission before the push: waitIdle() can then rely
+    // on submitted >= (queued + processed + dropped) at all times.
+    submittedCount.fetch_add(1);
+    ServeMetrics::get().submitted.add();
+    const std::size_t droppedNow = shard.queue.push(
+        QueuedSample{&entry, std::move(catalogRow), meteredW});
+    if (droppedNow > 0) {
+        droppedCount.fetch_add(droppedNow);
+        ServeMetrics::get().dropped.add(droppedNow);
+        // One backpressure event per saturation episode, not per
+        // dropped sample; the flag re-arms when the drain loop next
+        // empties the shard.
+        if (!shard.saturated.exchange(true)) {
+            ServeMetrics::get().saturations.add();
+            obs::EventLog::instance().emit(
+                obs::EventKind::Backpressure, entry.id(),
+                "shard queue saturated: dropping oldest samples");
+        }
+    }
+}
+
+std::size_t
+FleetServer::drainShard(QueueShard &shard,
+                        std::vector<QueuedSample> &batch)
+{
+    batch.clear();
+    shard.queue.popBatch(batch, cfg.maxBatch);
+    if (batch.empty()) {
+        shard.saturated.store(false);
+        return 0;
+    }
+
+    // Group the batch by machine, preserving first-appearance order;
+    // machines evaluate in parallel, each machine's samples serially
+    // in arrival order (the estimator is stateful).
+    std::vector<std::pair<MachineEntry *, std::vector<std::size_t>>>
+        groups;
+    std::unordered_map<MachineEntry *, std::size_t> groupIndex;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto [it, inserted] =
+            groupIndex.try_emplace(batch[i].entry, groups.size());
+        if (inserted)
+            groups.emplace_back(batch[i].entry,
+                                std::vector<std::size_t>{});
+        groups[it->second].second.push_back(i);
+    }
+
+    {
+        obs::Span span("serve.predict");
+        parallelFor(groups.size(), [&](std::size_t g) {
+            auto &[entry, indices] = groups[g];
+            entry->withEstimator(
+                [&](OnlinePowerEstimator &estimator) {
+                    for (std::size_t i : indices) {
+                        QueuedSample &sample = batch[i];
+                        if (std::isfinite(sample.meteredW)) {
+                            estimator.estimateWithReference(
+                                sample.catalogRow, sample.meteredW);
+                        } else {
+                            estimator.estimate(sample.catalogRow);
+                        }
+                    }
+                });
+        });
+    }
+
+    if (shard.queue.empty())
+        shard.saturated.store(false);
+    processedCount.fetch_add(batch.size());
+    ServeMetrics::get().processed.add(batch.size());
+    return batch.size();
+}
+
+std::size_t
+FleetServer::drainOnce()
+{
+    obs::Span span("serve.drain");
+    const auto start = std::chrono::steady_clock::now();
+
+    std::size_t total = 0;
+    std::vector<QueuedSample> batch;
+    batch.reserve(cfg.maxBatch);
+    std::size_t depth = 0;
+    for (auto &shard : queueShards) {
+        total += drainShard(*shard, batch);
+        depth += shard->queue.size();
+    }
+    ServeMetrics::get().queueDepth.set(
+        static_cast<std::int64_t>(depth));
+
+    if (total > 0) {
+        ServeMetrics::get().batches.add();
+        if (cfg.recordDrainLatencies) {
+            const auto stop = std::chrono::steady_clock::now();
+            const double ms =
+                std::chrono::duration<double, std::milli>(stop - start)
+                    .count();
+            std::lock_guard<std::mutex> lock(latencyMu);
+            drainMs.push_back(ms);
+        }
+        if (cfg.snapshotEverySamples > 0) {
+            sinceSnapshot += total;
+            while (sinceSnapshot >= cfg.snapshotEverySamples) {
+                sinceSnapshot -= cfg.snapshotEverySamples;
+                emitPeriodicSnapshot();
+            }
+        }
+    }
+    return total;
+}
+
+void
+FleetServer::drainerLoop()
+{
+    while (!stopRequested.load()) {
+        if (drainOnce() == 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(cfg.idleSleepMicros));
+        }
+    }
+}
+
+void
+FleetServer::start()
+{
+    panicIf(runningFlag.load(), "FleetServer::start while running");
+    stopRequested.store(false);
+    runningFlag.store(true);
+    drainer = std::thread([this] { drainerLoop(); });
+}
+
+void
+FleetServer::stop()
+{
+    if (!runningFlag.load())
+        return;
+    stopRequested.store(true);
+    drainer.join();
+    runningFlag.store(false);
+    // Flush what the drainer left behind; producers are expected to
+    // be quiescent by now.
+    while (drainOnce() > 0) {
+    }
+}
+
+void
+FleetServer::waitIdle() const
+{
+    for (;;) {
+        bool empty = true;
+        for (const auto &shard : queueShards) {
+            if (!shard->queue.empty()) {
+                empty = false;
+                break;
+            }
+        }
+        if (empty && processedCount.load() + droppedCount.load() ==
+                         submittedCount.load())
+            return;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+}
+
+FleetSnapshot
+FleetServer::buildSnapshot() const
+{
+    obs::Span span("serve.snapshot");
+    FleetSnapshot snap;
+    snap.seq = snapshotSeq.fetch_add(1) + 1;
+    snap.samplesSubmitted = submittedCount.load();
+    snap.samplesProcessed = processedCount.load();
+    snap.samplesDropped = droppedCount.load();
+    for (MachineEntry *entry : registry.entriesById()) {
+        MachineSnapshot m;
+        m.id = entry->id();
+        entry->withEstimator([&](OnlinePowerEstimator &estimator) {
+            m.watts = estimator.lastEstimateW();
+            m.health = estimator.health();
+            m.samples = estimator.samples();
+        });
+        snap.clusterW += m.watts;
+        switch (m.health) {
+          case MachineHealth::Healthy:  ++snap.healthy; break;
+          case MachineHealth::Degraded: ++snap.degraded; break;
+          case MachineHealth::Stale:    ++snap.stale; break;
+          case MachineHealth::Lost:     ++snap.lost; break;
+        }
+        snap.machines.push_back(std::move(m));
+    }
+    return snap;
+}
+
+FleetSnapshot
+FleetServer::snapshot() const
+{
+    return buildSnapshot();
+}
+
+void
+FleetServer::emitPeriodicSnapshot()
+{
+    FleetSnapshot snap = buildSnapshot();
+    ServeMetrics::get().snapshots.add();
+    std::function<void(const FleetSnapshot &)> callback;
+    {
+        std::lock_guard<std::mutex> lock(snapMu);
+        periodicSnapshots.push_back(snap);
+        callback = snapshotCallback;
+    }
+    if (callback)
+        callback(snap);
+}
+
+void
+FleetServer::onSnapshot(
+    std::function<void(const FleetSnapshot &)> fn)
+{
+    std::lock_guard<std::mutex> lock(snapMu);
+    snapshotCallback = std::move(fn);
+}
+
+std::vector<FleetSnapshot>
+FleetServer::snapshots() const
+{
+    std::lock_guard<std::mutex> lock(snapMu);
+    return periodicSnapshots;
+}
+
+std::vector<double>
+FleetServer::drainLatenciesMs() const
+{
+    std::lock_guard<std::mutex> lock(latencyMu);
+    return drainMs;
+}
+
+} // namespace chaos::serve

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Streaming fleet power estimation: a long-running serving loop over
+ * the composable per-machine online estimators (paper Eq. 5 run as a
+ * service rather than a per-call API).
+ *
+ * Architecture (one FleetServer):
+ *
+ *   producers ──submit()──> per-shard BoundedSampleQueue (MPSC,
+ *                           drop-oldest, chaos.serve.* drop metrics)
+ *   drainer thread ──drain pass──> batch per shard, grouped by
+ *                           machine, machines evaluated in parallel
+ *                           through the util/parallel thread pool
+ *                           (each machine's samples stay serial and
+ *                           in arrival order)
+ *   snapshots ──────> periodic fleet-power snapshots: per-machine
+ *                           watts, cluster sum, health mix — as JSON
+ *
+ * Invariants:
+ *  - a sample is evaluated exactly once (never duplicated) or counted
+ *    as dropped (never silently discarded);
+ *  - per-machine evaluation order equals arrival order, so per-machine
+ *    results match a serial OnlinePowerEstimator fed the same rows;
+ *  - model hot-swap (swapModel) takes only the target machine's entry
+ *    mutex: ingestion and other machines are never stalled.
+ */
+#ifndef CHAOS_SERVE_SERVER_HPP
+#define CHAOS_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/sample_queue.hpp"
+
+namespace chaos::serve {
+
+/** Serving-loop knobs. */
+struct FleetServerConfig
+{
+    /** Queue/registry stripe count. */
+    std::size_t numShards = 4;
+    /** Per-shard queue capacity (drop-oldest beyond it). */
+    std::size_t queueCapacity = 8192;
+    /** Maximum samples drained from one shard per pass. */
+    std::size_t maxBatch = 1024;
+    /**
+     * Emit a fleet snapshot every N processed samples (0 disables
+     * periodic snapshots; snapshot() is always available on demand).
+     */
+    std::size_t snapshotEverySamples = 0;
+    /** Drainer sleep when every queue was empty, microseconds. */
+    std::size_t idleSleepMicros = 200;
+    /** Record per-pass drain latencies (for benchmarks). */
+    bool recordDrainLatencies = false;
+};
+
+/** Per-machine slice of a fleet snapshot. */
+struct MachineSnapshot
+{
+    std::string id;
+    double watts = 0.0;          ///< Most recent estimate.
+    MachineHealth health = MachineHealth::Healthy;
+    std::uint64_t samples = 0;   ///< Estimates produced so far.
+};
+
+/** One fleet-power snapshot (Eq. 5 at a point in time). */
+struct FleetSnapshot
+{
+    std::uint64_t seq = 0;               ///< Snapshot sequence number.
+    std::uint64_t samplesSubmitted = 0;
+    std::uint64_t samplesProcessed = 0;
+    std::uint64_t samplesDropped = 0;
+    double clusterW = 0.0;               ///< Sum of per-machine watts.
+    std::size_t healthy = 0;             ///< Health mix counts.
+    std::size_t degraded = 0;
+    std::size_t stale = 0;
+    std::size_t lost = 0;
+    std::vector<MachineSnapshot> machines; ///< Sorted by machine id.
+
+    /** Serialize as one JSON object. */
+    std::string toJson() const;
+};
+
+/** The streaming serving loop (see file comment). */
+class FleetServer
+{
+  public:
+    explicit FleetServer(FleetServerConfig config = {});
+
+    /** Stops the drainer (without flushing) if still running. */
+    ~FleetServer();
+
+    FleetServer(const FleetServer &) = delete;
+    FleetServer &operator=(const FleetServer &) = delete;
+
+    /**
+     * Register a machine (raises RecoverableError on duplicate id).
+     * Safe while the server is running; the machine starts receiving
+     * samples as soon as this returns.
+     */
+    MachineEntry &addMachine(const std::string &machineId,
+                             MachinePowerModel model,
+                             OnlineEstimatorConfig config = {});
+
+    /** Entry lookup (nullptr when unknown); for hot submit paths. */
+    MachineEntry *machine(const std::string &machineId);
+
+    /** Hot-swap one machine's model (raises on unknown id). */
+    void swapModel(const std::string &machineId,
+                   MachinePowerModel model);
+
+    /**
+     * Enqueue one machine-second of telemetry. Never blocks: when the
+     * shard queue is full the oldest queued sample is dropped and
+     * counted. Raises RecoverableError on an unknown machine id.
+     *
+     * @param meteredW Optional reference reading; finite values feed
+     *        the machine's residual statistics.
+     */
+    void submit(const std::string &machineId,
+                std::vector<double> catalogRow,
+                double meteredW =
+                    std::numeric_limits<double>::quiet_NaN());
+
+    /** submit() without the registry lookup (entry from machine()). */
+    void submitTo(MachineEntry &entry, std::vector<double> catalogRow,
+                  double meteredW =
+                      std::numeric_limits<double>::quiet_NaN());
+
+    /** Start the drainer thread (panics if already running). */
+    void start();
+
+    /**
+     * Stop the drainer thread, then flush every queue on the calling
+     * thread: after stop() returns, processed + dropped == submitted.
+     * No-op when not running.
+     */
+    void stop();
+
+    /** True while the drainer thread is running. */
+    bool running() const { return runningFlag.load(); }
+
+    /**
+     * One drain pass over all shards on the calling thread (for
+     * non-threaded use and tests). @return Samples processed.
+     */
+    std::size_t drainOnce();
+
+    /**
+     * Block until every queue is empty and every submitted sample was
+     * processed or dropped. Producers must be quiescent, or this can
+     * wait forever.
+     */
+    void waitIdle() const;
+
+    /** Build a fleet snapshot now (does not affect periodic ones). */
+    FleetSnapshot snapshot() const;
+
+    /**
+     * Callback invoked (from the drainer thread) for every periodic
+     * snapshot. Set before start(); not thread-safe afterwards.
+     */
+    void onSnapshot(std::function<void(const FleetSnapshot &)> fn);
+
+    /** Periodic snapshots taken so far. */
+    std::vector<FleetSnapshot> snapshots() const;
+
+    /** Per-pass drain latencies (recordDrainLatencies only), ms. */
+    std::vector<double> drainLatenciesMs() const;
+
+    /** Lifetime sample counts. */
+    std::uint64_t submitted() const { return submittedCount.load(); }
+    std::uint64_t processed() const { return processedCount.load(); }
+    std::uint64_t dropped() const { return droppedCount.load(); }
+
+    /** Number of registered machines. */
+    std::size_t numMachines() const { return registry.size(); }
+
+    /** The configuration the server was built with. */
+    const FleetServerConfig &config() const { return cfg; }
+
+  private:
+    struct QueueShard
+    {
+        explicit QueueShard(std::size_t capacity) : queue(capacity) {}
+        BoundedSampleQueue queue;
+        std::atomic<bool> saturated{false};
+    };
+
+    void drainerLoop();
+    std::size_t drainShard(QueueShard &shard,
+                           std::vector<QueuedSample> &batch);
+    void enqueue(MachineEntry &entry, std::vector<double> catalogRow,
+                 double meteredW);
+    FleetSnapshot buildSnapshot() const;
+    void emitPeriodicSnapshot();
+
+    FleetServerConfig cfg;
+    mutable EstimatorRegistry registry;
+    std::vector<std::unique_ptr<QueueShard>> queueShards;
+
+    std::thread drainer;
+    std::atomic<bool> runningFlag{false};
+    std::atomic<bool> stopRequested{false};
+
+    std::atomic<std::uint64_t> submittedCount{0};
+    std::atomic<std::uint64_t> processedCount{0};
+    std::atomic<std::uint64_t> droppedCount{0};
+    mutable std::atomic<std::uint64_t> snapshotSeq{0};
+
+    /** Processed samples since the last periodic snapshot (drainer
+     *  thread only). */
+    std::uint64_t sinceSnapshot = 0;
+
+    mutable std::mutex snapMu;
+    std::vector<FleetSnapshot> periodicSnapshots;
+    std::function<void(const FleetSnapshot &)> snapshotCallback;
+
+    mutable std::mutex latencyMu;
+    std::vector<double> drainMs;
+};
+
+} // namespace chaos::serve
+
+#endif // CHAOS_SERVE_SERVER_HPP

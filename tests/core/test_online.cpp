@@ -290,6 +290,43 @@ TEST(ClusterEstimator, SurvivesSingleMachineLoss)
     EXPECT_EQ(cluster.clusterEstimates().count(), 40u);
 }
 
+TEST(ClusterEstimator, LostMachineRecoverySnapsClusterSumBack)
+{
+    const MachinePowerModel model = core2Model();
+    const std::vector<double> allNan(
+        CounterCatalog::instance().size(), kNan);
+
+    ClusterPowerEstimator cluster;
+    for (int m = 0; m < 3; ++m)
+        cluster.addMachine(model, core2Config());
+
+    // Warm up healthy, then machine 0 goes dark long enough for Lost.
+    for (size_t r = 0; r < 20; ++r) {
+        cluster.estimateCluster(
+            {cleanRow(r), cleanRow(r), cleanRow(r)});
+    }
+    for (size_t r = 20; r < 35; ++r) {
+        cluster.estimateCluster(
+            {allNan, cleanRow(r), cleanRow(r)});
+    }
+    ASSERT_EQ(cluster.machineHealth(0), MachineHealth::Lost);
+
+    // Telemetry returns: the very next clean sample flips the
+    // machine back to Healthy, and — because a fully-valid row is
+    // evaluated by the model alone, independent of outage history —
+    // the cluster sum snaps back to exactly three healthy machines'
+    // worth of the same row.
+    const double total = cluster.estimateCluster(
+        {cleanRow(36), cleanRow(36), cleanRow(36)});
+    EXPECT_EQ(cluster.machineHealth(0), MachineHealth::Healthy);
+    EXPECT_EQ(cluster.countInHealth(MachineHealth::Healthy), 3u);
+    EXPECT_EQ(cluster.countInHealth(MachineHealth::Lost), 0u);
+
+    OnlinePowerEstimator reference(model, core2Config());
+    const double healthyOne = reference.estimate(cleanRow(36));
+    EXPECT_DOUBLE_EQ(total, 3.0 * healthyOne);
+}
+
 TEST(ClusterEstimator, MismatchedRowCountPanics)
 {
     ClusterPowerEstimator cluster;

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Golden-file numeric regression test for the end-to-end modeling
+ * pipeline: a fixed-seed Core2 campaign, evaluated single-threaded
+ * (CHAOS_THREADS=1 equivalent), must reproduce the pinned DRE, rMSE,
+ * and coefficient checksums in tests/support/golden/core2_small.txt
+ * to within a 1e-9 relative tolerance. Any drift — a changed default,
+ * a reordered reduction, an "equivalent" refactor that is not — fails
+ * with a printed per-key diff.
+ *
+ * Regenerating after an *intentional* numeric change:
+ *
+ *     CHAOS_REGEN_GOLDEN=1 ./build/tests/test_golden
+ *
+ * which rewrites the golden file in the source tree; commit the diff
+ * together with the change that caused it.
+ */
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/chaos.hpp"
+#include "models/linear.hpp"
+#include "models/mars.hpp"
+#include "util/parallel.hpp"
+
+#ifndef CHAOS_GOLDEN_DIR
+#error "CHAOS_GOLDEN_DIR must point at tests/support/golden"
+#endif
+
+namespace chaos {
+namespace {
+
+const char kGoldenFile[] = CHAOS_GOLDEN_DIR "/core2_small.txt";
+
+/**
+ * Order-dependent coefficient checksum: catches swapped, dropped,
+ * and perturbed coefficients alike, while staying a single pinnable
+ * number per model.
+ */
+double
+coefficientChecksum(const std::vector<double> &coef)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < coef.size(); ++i)
+        sum += static_cast<double>(i + 1) * coef[i];
+    return sum;
+}
+
+/** The pinned pipeline: collect, fit, evaluate — all fixed-seed. */
+std::vector<std::pair<std::string, double>>
+computeGoldenValues()
+{
+    // Single-threaded: golden numbers must not depend on the host's
+    // core count (parallel results are deterministic by construction,
+    // but the pin removes even that assumption from this test).
+    setGlobalThreadCount(1);
+
+    CampaignConfig config;
+    config.numMachines = 2;
+    config.runsPerWorkload = 2;
+    config.seed = 2012;
+    config.run.durationScale = 0.2;
+    config.evaluation.folds = 2;
+    const ClusterCampaign campaign =
+        collectClusterData(MachineClass::Core2, config);
+    const Dataset &data = campaign.data;
+
+    std::vector<std::pair<std::string, double>> values;
+    values.emplace_back("dataset.rows",
+                        static_cast<double>(data.numRows()));
+    double powerSum = 0.0;
+    for (double w : data.powerW())
+        powerSum += w;
+    values.emplace_back("dataset.power_sum_w", powerSum);
+
+    // Two counters so every pinned technique (quadratic included,
+    // which requires multiple features) is defined.
+    const FeatureSet features{
+        "golden",
+        {counters::kCpuUtilization, counters::kCore0Frequency}};
+    for (const ModelType type :
+         {ModelType::Linear, ModelType::Quadratic}) {
+        const EvaluationOutcome outcome = evaluateTechnique(
+            data, features, type, campaign.envelopes,
+            config.evaluation);
+        const std::string prefix =
+            std::string("eval.") + modelTypeName(type);
+        values.emplace_back(prefix + ".dre", outcome.avgDre);
+        values.emplace_back(prefix + ".rmse_w", outcome.avgRmse);
+        values.emplace_back(prefix + ".r2", outcome.r2);
+    }
+
+    // Pooled fits: coefficient checksums pin the fitted parameters
+    // themselves, not just the aggregate accuracy.
+    const Dataset subset =
+        data.selectFeaturesByName(features.counters);
+    {
+        LinearModel linear;
+        linear.fit(subset.features(), subset.powerW());
+        std::vector<double> coef = linear.featureCoefficients();
+        coef.insert(coef.begin(), linear.intercept());
+        values.emplace_back("fit.linear.coef_checksum",
+                            coefficientChecksum(coef));
+    }
+    {
+        MarsConfig marsConfig = config.evaluation.mars;
+        marsConfig.maxDegree = 2;
+        MarsModel mars(marsConfig);
+        mars.fit(subset.features(), subset.powerW());
+        values.emplace_back("fit.mars.coef_checksum",
+                            coefficientChecksum(mars.coefficients()));
+        values.emplace_back("fit.mars.terms",
+                            static_cast<double>(
+                                mars.coefficients().size()));
+    }
+    return values;
+}
+
+void
+writeGoldenFile(
+    const std::vector<std::pair<std::string, double>> &values)
+{
+    std::ofstream out(kGoldenFile);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenFile;
+    out << "# Pinned numerics for the fixed-seed Core2 campaign.\n"
+        << "# Regenerate: CHAOS_REGEN_GOLDEN=1 "
+           "./build/tests/test_golden\n";
+    out << std::setprecision(17);
+    for (const auto &[key, value] : values)
+        out << key << ' ' << value << '\n';
+}
+
+std::map<std::string, double>
+readGoldenFile()
+{
+    std::ifstream in(kGoldenFile);
+    EXPECT_TRUE(in) << "missing golden file " << kGoldenFile
+                    << " (regenerate with CHAOS_REGEN_GOLDEN=1)";
+    std::map<std::string, double> golden;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string key;
+        double value = 0.0;
+        if (fields >> key >> value)
+            golden[key] = value;
+    }
+    return golden;
+}
+
+TEST(GoldenRegression, Core2SmallCampaignMatchesPinnedNumerics)
+{
+    const std::vector<std::pair<std::string, double>> computed =
+        computeGoldenValues();
+
+    if (std::getenv("CHAOS_REGEN_GOLDEN") != nullptr) {
+        writeGoldenFile(computed);
+        GTEST_SKIP() << "regenerated " << kGoldenFile;
+    }
+
+    const std::map<std::string, double> golden = readGoldenFile();
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(golden.size(), computed.size())
+        << "golden file key count drifted; regenerate if intended";
+
+    size_t mismatches = 0;
+    for (const auto &[key, value] : computed) {
+        const auto it = golden.find(key);
+        if (it == golden.end()) {
+            ADD_FAILURE() << "key '" << key
+                          << "' missing from golden file";
+            ++mismatches;
+            continue;
+        }
+        const double pinned = it->second;
+        const double tolerance =
+            1e-9 * std::max(1.0, std::fabs(pinned));
+        const double diff = std::fabs(value - pinned);
+        if (!(diff <= tolerance)) {
+            ADD_FAILURE() << std::setprecision(17) << key
+                          << ": computed " << value << " vs golden "
+                          << pinned << " (|diff| " << diff << " > "
+                          << tolerance << ")";
+            ++mismatches;
+        }
+    }
+    EXPECT_EQ(mismatches, 0u)
+        << "numeric drift against " << kGoldenFile
+        << "; if intentional, regenerate with CHAOS_REGEN_GOLDEN=1 "
+           "and commit the new golden file";
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Fuzz-style malformed-input tests for the model and machine-model
+ * loaders: every proper prefix of a serialized payload, wrong version
+ * tags, unknown kinds, and non-finite coefficients must raise
+ * RecoverableError — never crash, never zero-fill, never silently
+ * yield a different model. The version-2 trailing end marker is what
+ * makes *every* truncation detectable, including cuts inside the
+ * digits of the final coefficient.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "../support/raises.hpp"
+
+#include "core/model_store.hpp"
+#include "models/factory.hpp"
+#include "models/serialize.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+/** Small fitted problem shared by the corpus builders. */
+void
+makeProblem(Matrix &x, std::vector<double> &y, uint64_t seed)
+{
+    Rng rng(seed);
+    const size_t n = 150;
+    x = Matrix(n, 3);
+    y.assign(n, 0.0);
+    const double levels[] = {800.0, 1600.0, 2260.0};
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 100.0);
+        x(i, 1) = levels[rng.uniformInt(3)];
+        x(i, 2) = rng.uniform(0.0, 5e7);
+        y[i] = 22.0 + 0.08 * x(i, 0) + 0.004 * x(i, 1) +
+               2e-7 * x(i, 2) + rng.normal(0.0, 0.2);
+    }
+}
+
+std::string
+serializedModel(ModelType type)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeProblem(x, y, 97);
+    ModelOptions options;
+    options.frequencyFeature = 1;
+    auto model = makeModel(type, options);
+    model->fit(x, y);
+    std::stringstream out;
+    saveModel(out, *model);
+    return out.str();
+}
+
+/** Assert that loading @p text raises RecoverableError. */
+::testing::AssertionResult
+loadRejects(const std::string &text)
+{
+    std::stringstream in(text);
+    try {
+        const auto model = loadModel(in);
+        return ::testing::AssertionFailure()
+               << "payload of " << text.size()
+               << " bytes loaded as a '" << modelTypeName(model->type())
+               << "' model instead of raising";
+    } catch (const RecoverableError &) {
+        return ::testing::AssertionSuccess();
+    }
+}
+
+class SerializeFuzz : public ::testing::TestWithParam<ModelType>
+{
+};
+
+TEST_P(SerializeFuzz, EveryTruncationIsRejected)
+{
+    const std::string text = serializedModel(GetParam());
+    ASSERT_GT(text.size(), 20u);
+    // The payload ends with "end\n"; only stripping the final newline
+    // leaves a parseable stream. Every shorter prefix must raise —
+    // including cuts inside the digits of a coefficient, which
+    // without the end marker would parse as a *different* model.
+    for (size_t len = 0; len + 1 < text.size(); ++len) {
+        EXPECT_TRUE(loadRejects(text.substr(0, len)))
+            << "prefix length " << len << " of " << text.size();
+    }
+    // Sanity: the untruncated payload does load.
+    std::stringstream in(text);
+    EXPECT_EQ(loadModel(in)->type(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, SerializeFuzz, ::testing::ValuesIn(allModelTypes()),
+    [](const ::testing::TestParamInfo<ModelType> &info) {
+        return modelTypeName(info.param) == "piecewise-linear"
+                   ? std::string("piecewise")
+                   : modelTypeName(info.param);
+    });
+
+TEST(SerializeFuzz, WrongVersionTagsAreRejected)
+{
+    for (const char *version : {"0", "3", "99", "-1"}) {
+        std::stringstream in(std::string("chaos-model ") + version +
+                             "\nlinear\n");
+        EXPECT_RAISES(loadModel(in), "unsupported chaos model file "
+                                     "version");
+    }
+    std::stringstream junkVersion("chaos-model two\nlinear\n");
+    EXPECT_RAISES(loadModel(junkVersion), "not a chaos model");
+}
+
+TEST(SerializeFuzz, UnknownKindIsRejected)
+{
+    std::stringstream in("chaos-model 2\nneural\nend\n");
+    EXPECT_RAISES(loadModel(in), "unknown model kind 'neural'");
+}
+
+TEST(SerializeFuzz, NonFiniteCoefficientsAreRejected)
+{
+    // However the platform's istream treats "nan"/"inf"/overflowing
+    // literals, the loader must raise on the coef vector rather than
+    // deliver a model that predicts NaN.
+    for (const char *bad : {"nan", "inf", "-inf", "1e999"}) {
+        std::stringstream in(
+            "chaos-model 2\nlinear\ncoef 2 " + std::string(bad) +
+            " 1.5\nmu 1 0\nsigma 1 1\nend\n");
+        EXPECT_RAISES(loadModel(in), "vector coef");
+    }
+}
+
+TEST(SerializeFuzz, VectorCountMismatchIsRejected)
+{
+    // Declared count larger than the data: must be truncation, not a
+    // zero-filled tail.
+    std::stringstream in("chaos-model 2\nlinear\ncoef 5 1.0 2.0\n");
+    EXPECT_RAISES(loadModel(in), "vector coef");
+}
+
+TEST(SerializeFuzz, MachineModelTruncationsAreRejected)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeProblem(x, y, 101);
+    auto fitted = std::shared_ptr<PowerModel>(
+        makeModel(ModelType::Linear, ModelOptions{}));
+    fitted->fit(x, y);
+    const MachinePowerModel model = MachinePowerModel::fromParts(
+        FeatureSet{"fuzz",
+                   {"Processor(0)\\% Processor Time",
+                    "Processor(1)\\% Processor Time",
+                    "Processor(0)\\% C1 Time"}},
+        std::move(fitted));
+    std::stringstream out;
+    saveMachineModel(out, model);
+    const std::string text = out.str();
+
+    for (size_t len = 0; len + 1 < text.size(); ++len) {
+        std::stringstream in(text.substr(0, len));
+        try {
+            const MachinePowerModel loaded = loadMachineModel(in);
+            ADD_FAILURE() << "prefix length " << len << " of "
+                          << text.size() << " loaded silently";
+        } catch (const RecoverableError &) {
+        }
+    }
+    std::stringstream full(text);
+    const MachinePowerModel reloaded = loadMachineModel(full);
+    EXPECT_EQ(reloaded.featureSet().counters.size(), 3u);
+}
+
+TEST(SerializeFuzz, MachineModelWrongVersionIsRejected)
+{
+    std::stringstream in("chaos-machine-model 2\nfeature-set f 0\n");
+    EXPECT_RAISES(loadMachineModel(in),
+                  "unsupported machine model file version");
+}
+
+TEST(SerializeFuzz, FileLoadErrorsCarryThePath)
+{
+    const std::string path = ::testing::TempDir() + "fuzz_broken.txt";
+    {
+        std::ofstream file(path);
+        file << "chaos-model 2\nlinear\ncoef 9 1.0\n";
+    }
+    EXPECT_RAISES(loadModelFile(path), "fuzz_broken.txt: ");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace chaos

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared plumbing for the serving-subsystem tests: a cheap deployable
+ * machine model over two real catalog counters, and catalog-row
+ * builders that exercise it.
+ */
+#ifndef CHAOS_TESTS_SERVE_SERVE_SUPPORT_HPP
+#define CHAOS_TESTS_SERVE_SERVE_SUPPORT_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster_model.hpp"
+#include "models/linear.hpp"
+#include "oscounters/counter_catalog.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace serve_testing {
+
+/** The two catalog counters every test model consumes. */
+inline const std::vector<std::string> &
+testCounters()
+{
+    static const std::vector<std::string> names = {
+        "Processor(0)\\% Processor Time",
+        "Processor(1)\\% Processor Time",
+    };
+    return names;
+}
+
+/**
+ * Fit a linear model on synthetic utilization data: roughly
+ * baseW + 0.1*u0 + 0.08*u1 watts. Different @p baseW values yield
+ * models whose predictions differ by tens of watts, which hot-swap
+ * tests rely on.
+ */
+inline MachinePowerModel
+makeTestModel(uint64_t seed, double baseW = 25.0)
+{
+    Rng rng(seed);
+    const size_t n = 200;
+    Matrix x(n, 2);
+    std::vector<double> y(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 100.0);
+        x(i, 1) = rng.uniform(0.0, 100.0);
+        y[i] = baseW + 0.1 * x(i, 0) + 0.08 * x(i, 1) +
+               rng.normal(0.0, 0.05);
+    }
+    auto model = std::make_shared<LinearModel>();
+    model->fit(x, y);
+    return MachinePowerModel::fromParts(
+        FeatureSet{"serve-test", testCounters()}, std::move(model));
+}
+
+/** Full-catalog row with the two test counters set to @p u0, @p u1. */
+inline std::vector<double>
+catalogRow(double u0, double u1)
+{
+    const auto &catalog = CounterCatalog::instance();
+    std::vector<double> row(catalog.size(), 0.0);
+    row[catalog.indexOf(testCounters()[0])] = u0;
+    row[catalog.indexOf(testCounters()[1])] = u1;
+    return row;
+}
+
+} // namespace serve_testing
+} // namespace chaos
+
+#endif // CHAOS_TESTS_SERVE_SERVE_SUPPORT_HPP

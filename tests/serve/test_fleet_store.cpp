@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for fleet manifest persistence: round trips, file:line error
+ * context on malformed manifests, and relative model-path resolution.
+ */
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "../support/raises.hpp"
+#include "serve_support.hpp"
+
+#include "core/model_store.hpp"
+#include "serve/fleet_store.hpp"
+
+namespace chaos::serve {
+namespace {
+
+using serve_testing::catalogRow;
+using serve_testing::makeTestModel;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+void
+writeText(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content;
+}
+
+TEST(FleetStore, ManifestRoundTrip)
+{
+    const std::string path = tempPath("fleet_roundtrip.txt");
+    saveFleetManifest(path, {{"web1", "models/web.txt"},
+                             {"db1", "/abs/db.txt"}});
+    const std::vector<FleetMachineRef> fleet =
+        loadFleetManifest(path);
+    ASSERT_EQ(fleet.size(), 2u);
+    EXPECT_EQ(fleet[0].id, "web1");
+    EXPECT_EQ(fleet[0].modelPath, "models/web.txt");
+    EXPECT_EQ(fleet[1].id, "db1");
+    EXPECT_EQ(fleet[1].modelPath, "/abs/db.txt");
+    std::remove(path.c_str());
+}
+
+TEST(FleetStore, RejectsBadMagicAndVersion)
+{
+    const std::string path = tempPath("fleet_bad.txt");
+    writeText(path, "not-a-manifest 1\nend\n");
+    EXPECT_RAISES(loadFleetManifest(path),
+                  ":1: not a chaos fleet manifest");
+    writeText(path, "chaos-fleet 9\nend\n");
+    EXPECT_RAISES(loadFleetManifest(path),
+                  "unsupported fleet manifest version 9");
+    std::remove(path.c_str());
+}
+
+TEST(FleetStore, RejectsTruncatedAndMalformedRecords)
+{
+    const std::string path = tempPath("fleet_trunc.txt");
+    // Missing end marker (e.g. a partially written file).
+    writeText(path, "chaos-fleet 1\nmachine web1 web.txt\n");
+    EXPECT_RAISES(loadFleetManifest(path), "truncated fleet manifest");
+    // A record that is not 'machine <id> <path>'.
+    writeText(path, "chaos-fleet 1\nhost web1 web.txt\nend\n");
+    EXPECT_RAISES(loadFleetManifest(path),
+                  ":2: expected 'machine <id> <model-path>'");
+    writeText(path, "chaos-fleet 1\nmachine onlyid\nend\n");
+    EXPECT_RAISES(loadFleetManifest(path), "truncated machine record");
+    std::remove(path.c_str());
+}
+
+TEST(FleetStore, RejectsDuplicateMachineIds)
+{
+    const std::string path = tempPath("fleet_dup.txt");
+    writeText(path, "chaos-fleet 1\n"
+                    "machine web1 a.txt\n"
+                    "machine web1 b.txt\n"
+                    "end\n");
+    EXPECT_RAISES(loadFleetManifest(path),
+                  ":3: duplicate machine id 'web1'");
+    std::remove(path.c_str());
+}
+
+TEST(FleetStore, MissingFileIsRecoverable)
+{
+    EXPECT_RAISES(loadFleetManifest("/no/such/fleet.txt"),
+                  "cannot open");
+}
+
+TEST(FleetStore, LoadsModelsRelativeToManifest)
+{
+    const std::string dir = ::testing::TempDir();
+    const MachinePowerModel model = makeTestModel(51, 40.0);
+    saveMachineModelFile(dir + "fleet_member.txt", model);
+    const std::string manifest = dir + "fleet_models.txt";
+    saveFleetManifest(manifest, {{"m0", "fleet_member.txt"}});
+
+    const std::vector<FleetMachine> fleet =
+        loadFleetModels(manifest);
+    ASSERT_EQ(fleet.size(), 1u);
+    EXPECT_EQ(fleet[0].id, "m0");
+    const std::vector<double> row = catalogRow(30, 70);
+    EXPECT_DOUBLE_EQ(fleet[0].model.predictFromCatalogRow(row),
+                     model.predictFromCatalogRow(row));
+    std::remove((dir + "fleet_member.txt").c_str());
+    std::remove(manifest.c_str());
+}
+
+TEST(FleetStore, LoadModelsReportsBrokenMemberWithPath)
+{
+    const std::string dir = ::testing::TempDir();
+    writeText(dir + "fleet_broken_member.txt", "garbage");
+    const std::string manifest = dir + "fleet_broken.txt";
+    saveFleetManifest(manifest, {{"m0", "fleet_broken_member.txt"}});
+    EXPECT_RAISES(loadFleetModels(manifest),
+                  "fleet_broken_member.txt");
+    std::remove((dir + "fleet_broken_member.txt").c_str());
+    std::remove(manifest.c_str());
+}
+
+} // namespace
+} // namespace chaos::serve

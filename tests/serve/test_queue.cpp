@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the bounded MPSC ingestion queue: FIFO order, the
+ * drop-oldest overflow policy, and batch draining.
+ */
+#include <gtest/gtest.h>
+
+#include "serve/sample_queue.hpp"
+
+namespace chaos::serve {
+namespace {
+
+/** Sample tagged with an identity in its first row slot. */
+QueuedSample
+tagged(double id)
+{
+    QueuedSample sample;
+    sample.catalogRow = {id};
+    return sample;
+}
+
+double
+tagOf(const QueuedSample &sample)
+{
+    return sample.catalogRow.at(0);
+}
+
+TEST(BoundedSampleQueue, FifoOrderWithinCapacity)
+{
+    BoundedSampleQueue queue(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(queue.push(tagged(i)), 0u);
+    EXPECT_EQ(queue.size(), 5u);
+
+    std::vector<QueuedSample> out;
+    EXPECT_EQ(queue.popBatch(out, 100), 5u);
+    ASSERT_EQ(out.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(tagOf(out[i]), i);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(BoundedSampleQueue, DropsOldestWhenFull)
+{
+    BoundedSampleQueue queue(3);
+    std::size_t dropped = 0;
+    for (int i = 0; i < 5; ++i)
+        dropped += queue.push(tagged(i));
+    EXPECT_EQ(dropped, 2u);
+    EXPECT_EQ(queue.size(), 3u);
+
+    // The three newest samples survive, oldest-first.
+    std::vector<QueuedSample> out;
+    queue.popBatch(out, 100);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(tagOf(out[0]), 2);
+    EXPECT_EQ(tagOf(out[1]), 3);
+    EXPECT_EQ(tagOf(out[2]), 4);
+}
+
+TEST(BoundedSampleQueue, PopBatchHonorsLimitAndAppends)
+{
+    BoundedSampleQueue queue(10);
+    for (int i = 0; i < 7; ++i)
+        queue.push(tagged(i));
+
+    std::vector<QueuedSample> out;
+    EXPECT_EQ(queue.popBatch(out, 3), 3u);
+    EXPECT_EQ(queue.popBatch(out, 3), 3u);
+    EXPECT_EQ(queue.popBatch(out, 3), 1u);
+    EXPECT_EQ(queue.popBatch(out, 3), 0u);
+    ASSERT_EQ(out.size(), 7u);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(tagOf(out[i]), i) << "position " << i;
+}
+
+TEST(BoundedSampleQueue, ZeroCapacityClampsToOne)
+{
+    BoundedSampleQueue queue(0);
+    EXPECT_EQ(queue.capacity(), 1u);
+    EXPECT_EQ(queue.push(tagged(1)), 0u);
+    EXPECT_EQ(queue.push(tagged(2)), 1u);
+    std::vector<QueuedSample> out;
+    queue.popBatch(out, 10);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(tagOf(out[0]), 2);
+}
+
+} // namespace
+} // namespace chaos::serve

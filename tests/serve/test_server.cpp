@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the streaming fleet server: exact agreement with a serial
+ * estimator, threaded drain accounting, the drop-oldest backpressure
+ * path, snapshots, and model hot-swap under an active producer.
+ */
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../support/raises.hpp"
+#include "serve_support.hpp"
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "util/parallel.hpp"
+
+namespace chaos::serve {
+namespace {
+
+using serve_testing::catalogRow;
+using serve_testing::makeTestModel;
+
+TEST(FleetServer, DrainOnceMatchesSerialEstimator)
+{
+    FleetServerConfig config;
+    config.numShards = 2;
+    FleetServer server(config);
+    std::vector<MachineEntry *> entries;
+    for (int m = 0; m < 3; ++m) {
+        entries.push_back(&server.addMachine(
+            "m" + std::to_string(m), makeTestModel(7)));
+    }
+
+    // The reference: one serial estimator per machine, fed the exact
+    // same rows in the same per-machine order.
+    std::vector<OnlinePowerEstimator> serial;
+    for (int m = 0; m < 3; ++m)
+        serial.emplace_back(makeTestModel(7));
+
+    for (int t = 0; t < 40; ++t) {
+        for (int m = 0; m < 3; ++m) {
+            const std::vector<double> row =
+                catalogRow(t * 2.0 + m, 100.0 - t - m);
+            const double metered = 25.0 + 0.2 * t;
+            server.submitTo(*entries[m], std::vector<double>(row),
+                            metered);
+            serial[m].estimateWithReference(row, metered);
+        }
+    }
+    while (server.drainOnce() > 0) {
+    }
+
+    EXPECT_EQ(server.submitted(), 120u);
+    EXPECT_EQ(server.processed(), 120u);
+    EXPECT_EQ(server.dropped(), 0u);
+    for (int m = 0; m < 3; ++m) {
+        entries[m]->withEstimator([&](OnlinePowerEstimator &e) {
+            // Bitwise agreement: the served path runs each machine's
+            // samples serially in arrival order.
+            EXPECT_EQ(e.lastEstimateW(), serial[m].lastEstimateW());
+            EXPECT_EQ(e.meanEstimateW(), serial[m].meanEstimateW());
+            EXPECT_EQ(e.samples(), serial[m].samples());
+            EXPECT_EQ(e.residuals().mean(),
+                      serial[m].residuals().mean());
+        });
+    }
+}
+
+TEST(FleetServer, ThreadedDrainProcessesEverySample)
+{
+    setGlobalThreadCount(2);
+    FleetServer server;
+    std::vector<MachineEntry *> entries;
+    for (int m = 0; m < 4; ++m) {
+        entries.push_back(&server.addMachine(
+            "m" + std::to_string(m), makeTestModel(11)));
+    }
+    server.start();
+
+    const size_t perProducer = 2000;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&, p] {
+            for (size_t i = 0; i < perProducer; ++i) {
+                server.submitTo(*entries[p],
+                                catalogRow(i % 100, p * 10.0));
+            }
+        });
+    }
+    for (auto &producer : producers)
+        producer.join();
+    server.waitIdle();
+    server.stop();
+    setGlobalThreadCount(1);
+
+    EXPECT_EQ(server.submitted(), 4 * perProducer);
+    EXPECT_EQ(server.processed() + server.dropped(),
+              server.submitted());
+    // Capacity (4 shards x 8192) far exceeds the burst: no drops.
+    EXPECT_EQ(server.dropped(), 0u);
+    for (int m = 0; m < 4; ++m) {
+        entries[m]->withEstimator([&](OnlinePowerEstimator &e) {
+            EXPECT_EQ(e.samples(), perProducer);
+        });
+    }
+}
+
+TEST(FleetServer, DropOldestEngagesAndIsCounted)
+{
+    obs::EventLog::instance().clear();
+    FleetServerConfig config;
+    config.numShards = 1;
+    config.queueCapacity = 4;
+    FleetServer server(config);
+    MachineEntry &entry = server.addMachine("m0", makeTestModel(3));
+
+    // No drainer running: pushes 5..10 evict the oldest each time.
+    for (int i = 0; i < 10; ++i)
+        server.submitTo(entry, catalogRow(i, i));
+    EXPECT_EQ(server.submitted(), 10u);
+    EXPECT_EQ(server.dropped(), 6u);
+
+    while (server.drainOnce() > 0) {
+    }
+    EXPECT_EQ(server.processed(), 4u);
+    EXPECT_EQ(server.processed() + server.dropped(),
+              server.submitted());
+
+    // One backpressure event for the whole saturation episode.
+    size_t backpressureEvents = 0;
+    for (const obs::Event &event :
+         obs::EventLog::instance().snapshot()) {
+        if (event.kind == obs::EventKind::Backpressure) {
+            ++backpressureEvents;
+            EXPECT_EQ(event.source, "m0");
+        }
+    }
+    EXPECT_EQ(backpressureEvents, 1u);
+
+    const FleetSnapshot snap = server.snapshot();
+    EXPECT_EQ(snap.samplesDropped, 6u);
+    EXPECT_EQ(snap.samplesProcessed, 4u);
+}
+
+TEST(FleetServer, SubmitToUnknownMachineRaises)
+{
+    FleetServer server;
+    server.addMachine("known", makeTestModel(5));
+    EXPECT_RAISES(server.submit("ghost", catalogRow(1, 2)),
+                  "unknown machine id 'ghost'");
+}
+
+TEST(FleetServer, SnapshotAggregatesFleet)
+{
+    FleetServer server;
+    MachineEntry &a = server.addMachine("a", makeTestModel(5, 25.0));
+    MachineEntry &b = server.addMachine("b", makeTestModel(5, 80.0));
+    server.submitTo(a, catalogRow(50, 50));
+    server.submitTo(b, catalogRow(50, 50));
+    while (server.drainOnce() > 0) {
+    }
+
+    const FleetSnapshot snap = server.snapshot();
+    ASSERT_EQ(snap.machines.size(), 2u);
+    EXPECT_EQ(snap.machines[0].id, "a");
+    EXPECT_EQ(snap.machines[1].id, "b");
+    EXPECT_DOUBLE_EQ(snap.clusterW, snap.machines[0].watts +
+                                        snap.machines[1].watts);
+    EXPECT_GT(snap.machines[1].watts, snap.machines[0].watts + 30.0);
+    EXPECT_EQ(snap.healthy, 2u);
+    EXPECT_EQ(snap.degraded + snap.stale + snap.lost, 0u);
+    EXPECT_EQ(snap.samplesProcessed, 2u);
+
+    // Sequence numbers advance per snapshot; JSON stays well-formed.
+    const FleetSnapshot next = server.snapshot();
+    EXPECT_EQ(next.seq, snap.seq + 1);
+    EXPECT_FALSE(snap.toJson().empty());
+    EXPECT_EQ(snap.toJson().front(), '{');
+    EXPECT_EQ(snap.toJson().back(), '}');
+}
+
+TEST(FleetServer, PeriodicSnapshotsEveryNSamples)
+{
+    FleetServerConfig config;
+    config.snapshotEverySamples = 10;
+    FleetServer server(config);
+    MachineEntry &entry = server.addMachine("m0", makeTestModel(9));
+
+    size_t callbacks = 0;
+    server.onSnapshot([&](const FleetSnapshot &) { ++callbacks; });
+    for (int i = 0; i < 35; ++i)
+        server.submitTo(entry, catalogRow(i, i));
+    while (server.drainOnce() > 0) {
+    }
+
+    EXPECT_EQ(server.snapshots().size(), 3u);
+    EXPECT_EQ(callbacks, 3u);
+}
+
+TEST(FleetServer, HotSwapUnderActiveProducerLosesNothing)
+{
+    setGlobalThreadCount(2);
+    FleetServer server;
+    MachineEntry &entry =
+        server.addMachine("m0", makeTestModel(13, 25.0));
+    server.start();
+
+    const std::vector<double> row = catalogRow(50.0, 50.0);
+    std::atomic<bool> swapped{false};
+    std::thread producer([&] {
+        for (int i = 0; i < 6000; ++i) {
+            server.submitTo(entry, std::vector<double>(row));
+            if (i == 3000) {
+                // Swap mid-stream, while the drainer is active.
+                server.swapModel("m0", makeTestModel(13, 100.0));
+                swapped.store(true);
+            }
+        }
+    });
+    producer.join();
+    server.waitIdle();
+    server.stop();
+    setGlobalThreadCount(1);
+
+    ASSERT_TRUE(swapped.load());
+    // Not a sample dropped or duplicated across the swap...
+    EXPECT_EQ(server.submitted(), 6000u);
+    EXPECT_EQ(server.processed(), 6000u);
+    EXPECT_EQ(server.dropped(), 0u);
+    entry.withEstimator([&](OnlinePowerEstimator &e) {
+        EXPECT_EQ(e.samples(), 6000u);
+        // ...and the new model is what serves afterwards: the last
+        // estimate reflects the ~75 W heavier swapped-in model.
+        EXPECT_GT(e.lastEstimateW(), 90.0);
+    });
+}
+
+TEST(FleetServer, StopFlushesPendingSamples)
+{
+    FleetServer server;
+    MachineEntry &entry = server.addMachine("m0", makeTestModel(17));
+    server.start();
+    for (int i = 0; i < 500; ++i)
+        server.submitTo(entry, catalogRow(i % 100, 50));
+    // stop() without waitIdle(): the flush must still account for
+    // every submitted sample.
+    server.stop();
+    EXPECT_FALSE(server.running());
+    EXPECT_EQ(server.processed() + server.dropped(),
+              server.submitted());
+}
+
+} // namespace
+} // namespace chaos::serve
