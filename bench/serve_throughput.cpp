@@ -12,12 +12,20 @@
  *  - replay: the trace replayer streams the same fleet at a paced
  *    speed multiplier (a 1 Hz-per-machine trace accelerated, still
  *    far below saturation) and asserts that not a single sample was
- *    dropped.
+ *    dropped;
+ *  - monitor overhead: the blast is repeated with metered reference
+ *    readings on every sample, with and without a FleetMonitor
+ *    attached (interleaved, best-of-N each), and the monitored
+ *    throughput must stay within 1% of the unmonitored one, or the
+ *    absolute cost under 20 ns/sample (the resolution floor of a
+ *    short run on a noisy host) — the model-quality layer's hot-path
+ *    budget.
  *
  * Writes BENCH_serve.json into the working directory and exits
  * nonzero if the throughput floor (100k samples/sec at 8 threads;
- * 10k in CHAOS_BENCH_FAST=1 mode) or the zero-drop replay assertion
- * fails, so tier-1 can run it as a smoke test.
+ * 10k in CHAOS_BENCH_FAST=1 mode), the zero-drop replay assertion,
+ * or the monitor overhead budget fails, so tier-1 can run it as a
+ * smoke test.
  */
 #include <algorithm>
 #include <chrono>
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "common/bench_support.hpp"
+#include "monitor/fleet_monitor.hpp"
 #include "serve/replay.hpp"
 #include "serve/server.hpp"
 #include "util/parallel.hpp"
@@ -103,6 +112,46 @@ blast(const MachinePowerModel &model,
     return result;
 }
 
+/**
+ * Blast with metered references on every sample, optionally with a
+ * FleetMonitor attached. @return Sustained samples/sec.
+ */
+double
+monitoredBlast(const MachinePowerModel &model,
+               const std::vector<std::vector<double>> &rows,
+               const std::vector<double> &meteredW, bool monitorOn,
+               size_t total)
+{
+    serve::FleetServer server;
+    std::vector<serve::MachineEntry *> entries;
+    for (size_t m = 0; m < kFleetSize; ++m) {
+        entries.push_back(&server.addMachine(
+            "machine" + std::to_string(m), model));
+    }
+    monitor::QualityMonitorConfig qualityConfig;
+    // Arm the detector early so the whole run pays the full
+    // per-sample monitoring cost, not just the warmup accumulation.
+    qualityConfig.warmupSamples = 100;
+    monitor::FleetMonitor fleetMonitor(qualityConfig);
+    if (monitorOn)
+        fleetMonitor.attach(server);
+    server.start();
+
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < total; ++i) {
+        const size_t r = i % rows.size();
+        server.submitTo(*entries[i % entries.size()],
+                        std::vector<double>(rows[r]), meteredW[r]);
+    }
+    server.waitIdle();
+    const auto stop = std::chrono::steady_clock::now();
+    server.stop();
+
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    return static_cast<double>(server.processed()) / seconds;
+}
+
 } // namespace
 
 int
@@ -172,6 +221,44 @@ main()
                 static_cast<unsigned long long>(
                     replayServer.dropped()));
 
+    // --- Monitor overhead: metered blast with/without FleetMonitor. ---
+    std::vector<double> meteredPool;
+    meteredPool.reserve(pool);
+    for (size_t r = 0; r < pool; ++r)
+        meteredPool.push_back(data.powerW()[r]);
+    setGlobalThreadCount(8);
+    const size_t monitorTotal = fast ? 50'000 : 200'000;
+    const int monitorReps = 5;
+    double offSps = 0.0, onSps = 0.0;
+    for (int rep = 0; rep < monitorReps; ++rep) {
+        const double off = monitoredBlast(model, rows, meteredPool,
+                                          false, monitorTotal);
+        const double on = monitoredBlast(model, rows, meteredPool,
+                                         true, monitorTotal);
+        std::printf("  monitor rep %d: off %.0f/s, on %.0f/s\n",
+                    rep + 1, off, on);
+        offSps = std::max(offSps, off);
+        onSps = std::max(onSps, on);
+    }
+    setGlobalThreadCount(1);
+    const double monitorOverheadPct =
+        offSps > 0.0 ? (offSps - onSps) / offSps * 100.0 : 0.0;
+    // Absolute per-sample cost: the honest unit for the hot-path
+    // budget. Short fast-mode runs on a loaded host carry several
+    // percent of scheduler noise, so the relative gate alone would
+    // flap; 20 ns/sample is < 1% of any realistic per-sample serving
+    // cost (row validation + prediction alone is ~600 ns here).
+    const double monitorOverheadNs =
+        (offSps > 0.0 && onSps > 0.0)
+            ? (1e9 / onSps - 1e9 / offSps)
+            : 0.0;
+    const double overheadNsBudget = 20.0;
+    std::printf("\nmonitor overhead (best of %d, metered refs): "
+                "off %.0f/s, on %.0f/s (%+.3f%%, %+.1f ns/sample), "
+                "budget 1%% or %.0f ns/sample\n",
+                monitorReps, offSps, onSps, monitorOverheadPct,
+                monitorOverheadNs, overheadNsBudget);
+
     // --- Assertions. ---
     const double floorSps = fast ? 10'000.0 : 100'000.0;
     const BlastResult &eightThreads = results.back();
@@ -196,6 +283,21 @@ main()
                         replayServer.processed()),
                     static_cast<unsigned long long>(
                         replayStats.submitted));
+        ok = false;
+    }
+    if (onSps < 0.99 * offSps &&
+        monitorOverheadNs > overheadNsBudget) {
+        std::printf("FAIL: monitored throughput %.0f/s is more than "
+                    "1%% below unmonitored %.0f/s and the absolute "
+                    "cost %.1f ns/sample exceeds %.0f ns\n",
+                    onSps, offSps, monitorOverheadNs,
+                    overheadNsBudget);
+        ok = false;
+    }
+    if (onSps < floorSps) {
+        std::printf("FAIL: monitored throughput %.0f/s is below the "
+                    "%.0f floor\n",
+                    onSps, floorSps);
         ok = false;
     }
 
@@ -231,6 +333,15 @@ main()
             std::to_string(replayServer.processed()) +
             ", \"dropped\": " +
             std::to_string(replayServer.dropped()) + "},\n";
+    json += "  \"monitor_overhead\": {\"samples\": " +
+            std::to_string(monitorTotal) +
+            ", \"reps\": " + std::to_string(monitorReps) +
+            ", \"off_samples_per_sec\": " + formatDouble(offSps, 0) +
+            ", \"on_samples_per_sec\": " + formatDouble(onSps, 0) +
+            ", \"overhead_pct\": " +
+            formatDouble(monitorOverheadPct, 4) +
+            ", \"overhead_ns_per_sample\": " +
+            formatDouble(monitorOverheadNs, 2) + "},\n";
     json += "  \"throughput_floor_sps\": " +
             formatDouble(floorSps, 0) + ",\n";
     json += "  \"pass\": " + std::string(ok ? "true" : "false") +

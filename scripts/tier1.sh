@@ -12,7 +12,9 @@
 # throughput/zero-drop smoke (serve_throughput asserts the samples/sec
 # floor and a drop-free paced replay), a CLI replay smoke, and its
 # whole test binary under ThreadSanitizer alongside the serialization
-# round-trip tests.
+# round-trip tests. The model-quality monitor gets a `chaos monitor`
+# replay smoke (clean replay => zero drift events, telemetry is
+# well-formed JSONL) and its tests run under ThreadSanitizer too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,6 +52,34 @@ grep -q '"cluster_w"' "$serve_tmp/snaps.json" || {
 }
 
 echo
+echo "== tier 1: chaos monitor replay smoke =="
+./build/tools/chaos monitor --replay "$serve_tmp/trace.csv" \
+    --model "$serve_tmp/model.txt" --platform Core2 \
+    --telemetry-out "$serve_tmp/telemetry.jsonl" \
+    | tee "$serve_tmp/monitor.out"
+# A model replayed over its own training trace must not drift.
+grep -q '^drift events: 0$' "$serve_tmp/monitor.out" || {
+    echo "monitor smoke: clean replay raised drift events" >&2
+    exit 1
+}
+# Telemetry is line-delimited JSON: every line is one object, and all
+# three record types are present.
+[ -s "$serve_tmp/telemetry.jsonl" ] || {
+    echo "monitor smoke: no telemetry written" >&2
+    exit 1
+}
+if grep -qv '^{.*}$' "$serve_tmp/telemetry.jsonl"; then
+    echo "monitor smoke: telemetry line is not a JSON object" >&2
+    exit 1
+fi
+for record_type in fleet quality metrics; do
+    grep -q "\"type\": \"$record_type\"" "$serve_tmp/telemetry.jsonl" || {
+        echo "monitor smoke: no $record_type records" >&2
+        exit 1
+    }
+done
+
+echo
 echo "== tier 1: fault-injection tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCHAOS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)" --target test_faults
@@ -59,7 +89,7 @@ echo
 echo "== tier 1: parallel tests under TSan =="
 cmake -B build-tsan -S . -DCHAOS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_util test_core \
-    test_obs test_serve test_models
+    test_obs test_serve test_models test_monitor
 CHAOS_THREADS=8 ./build-tsan/tests/test_util \
     --gtest_filter='ParallelTest.*:Logging.Concurrent*'
 CHAOS_BENCH_FAST=1 CHAOS_THREADS=8 ./build-tsan/tests/test_core \
@@ -69,6 +99,7 @@ CHAOS_THREADS=8 ./build-tsan/tests/test_obs
 echo
 echo "== tier 1: serve + serialization round-trip tests under TSan =="
 CHAOS_THREADS=8 ./build-tsan/tests/test_serve
+CHAOS_THREADS=8 ./build-tsan/tests/test_monitor
 CHAOS_THREADS=8 ./build-tsan/tests/test_models \
     --gtest_filter='*SerializePropertyRoundTrip*'
 

@@ -1,5 +1,7 @@
 #include "cli/cli.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -11,6 +13,8 @@
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "core/model_store.hpp"
+#include "monitor/exporter.hpp"
+#include "monitor/fleet_monitor.hpp"
 #include "oscounters/counter_catalog.hpp"
 #include "oscounters/etw_session.hpp"
 #include "serve/fleet_store.hpp"
@@ -109,6 +113,14 @@ cmdHelp(std::ostream &out)
            "[--platform P]\n"
         << "      [--shards N] [--queue-capacity N] "
            "[--snapshot-every N] [--snapshots-out F]\n"
+        << "  monitor --replay <data.csv>        replay with online "
+           "model-quality monitoring\n"
+        << "      (--model M.txt | --fleet manifest.txt) "
+           "[--platform P] [--speed X]\n"
+        << "      [--window N] [--warmup N] [--drift-lambda L] "
+           "[--drift-delta D]\n"
+        << "      [--telemetry-out F.jsonl] [--telemetry-every N] "
+           "[--dashboard-every N]\n"
         << "  report <data.csv>                  markdown dataset "
            "summary\n"
         << "\nglobal flags (any subcommand):\n"
@@ -485,6 +497,151 @@ cmdServe(const ParsedArgs &args, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+/**
+ * Replay a recorded trace through a monitored fleet: every evaluated
+ * sample updates the per-machine rolling model-quality statistics
+ * (windowed rMSE, rolling DRE, bias) and the Page-Hinkley drift
+ * detector, a periodic text dashboard shows the fleet converging (or
+ * drifting), and --telemetry-out streams fleet/quality/metrics
+ * records as JSONL for downstream collectors.
+ *
+ * The replay is synchronous: instead of the background drainer
+ * thread, every tick's samples are drained on the calling thread via
+ * the replay onTick hook, so dashboard lines and telemetry records
+ * are in lockstep with the trace (and deterministic for a fixed
+ * trace).
+ */
+int
+cmdMonitor(const ParsedArgs &args, std::ostream &out,
+           std::ostream &err)
+{
+    const std::string replayPath = args.flagOr("replay", "");
+    const std::string modelPath = args.flagOr("model", "");
+    const std::string fleetPath = args.flagOr("fleet", "");
+    if (replayPath.empty() || (modelPath.empty() == fleetPath.empty())) {
+        err << "usage: chaos monitor --replay <data.csv> "
+               "(--model <model.txt> | --fleet <manifest.txt>)\n"
+               "    [--platform P] [--speed X] [--window N] "
+               "[--warmup N]\n"
+               "    [--drift-lambda L] [--drift-delta D]\n"
+               "    [--telemetry-out F.jsonl] [--telemetry-every N] "
+               "[--dashboard-every N]\n";
+        return 2;
+    }
+
+    const Dataset data = loadDataset(replayPath);
+    serve::TraceReplayer replayer(data);
+
+    serve::FleetServer server;
+
+    OnlineEstimatorConfig estimatorConfig;
+    const std::string platform = args.flagOr("platform", "");
+    if (!platform.empty()) {
+        estimatorConfig = OnlineEstimatorConfig::forSpec(
+            machineSpecFor(machineClassFromName(platform)));
+    }
+
+    if (!modelPath.empty()) {
+        const MachinePowerModel model = loadMachineModelFile(modelPath);
+        for (const std::string &id : replayer.machineIds())
+            server.addMachine(id, model, estimatorConfig);
+    } else {
+        for (serve::FleetMachine &machine :
+             serve::loadFleetModels(fleetPath)) {
+            server.addMachine(machine.id, std::move(machine.model),
+                              estimatorConfig);
+        }
+    }
+
+    monitor::QualityMonitorConfig qualityConfig;
+    qualityConfig.windowSamples = static_cast<size_t>(
+        std::stoul(args.flagOr("window", "60")));
+    qualityConfig.warmupSamples = static_cast<size_t>(
+        std::stoul(args.flagOr("warmup", "600")));
+    qualityConfig.driftLambda =
+        std::stod(args.flagOr("drift-lambda", "60"));
+    qualityConfig.driftDelta =
+        std::stod(args.flagOr("drift-delta", "0.5"));
+    monitor::FleetMonitor fleetMonitor(qualityConfig);
+    fleetMonitor.attach(server);
+
+    std::optional<monitor::TelemetryExporter> telemetry;
+    const std::string telemetryOut = args.flagOr("telemetry-out", "");
+    if (!telemetryOut.empty())
+        telemetry.emplace(telemetryOut);
+    const size_t telemetryEvery = static_cast<size_t>(
+        std::stoul(args.flagOr("telemetry-every", "10")));
+    const size_t dashboardEvery = static_cast<size_t>(
+        std::stoul(args.flagOr("dashboard-every", "0")));
+
+    serve::ReplayConfig replayConfig;
+    replayConfig.speed = std::stod(args.flagOr("speed", "0"));
+    replayConfig.onTick = [&](size_t tick) {
+        // Synchronous lockstep: drain this tick's samples here.
+        while (server.processed() + server.dropped() <
+               server.submitted())
+            server.drainOnce();
+        const bool lastTick = tick + 1 == replayer.numTicks();
+        if (telemetry &&
+            (tick % telemetryEvery == 0 || lastTick)) {
+            const monitor::QualitySnapshot quality =
+                fleetMonitor.publishMetrics();
+            telemetry->writeFleet(server.snapshot(), tick);
+            telemetry->writeQuality(quality, tick);
+            telemetry->writeMetrics(tick);
+        }
+        if (dashboardEvery != 0 &&
+            (tick % dashboardEvery == 0 || lastTick)) {
+            const monitor::QualitySnapshot quality =
+                fleetMonitor.snapshot();
+            double worstDre = 0.0;
+            for (const auto &machine : quality.machines) {
+                if (std::isfinite(machine.rollingDre))
+                    worstDre =
+                        std::max(worstDre, machine.rollingDre);
+            }
+            out << "tick " << tick << ": cluster "
+                << formatDouble(server.snapshot().clusterW, 1)
+                << " W, worst rolling DRE "
+                << formatPercent(worstDre, 1) << ", drifting "
+                << quality.driftingCount() << "/"
+                << quality.machines.size() << "\n";
+        }
+    };
+
+    const serve::ReplayStats stats =
+        replayer.replayInto(server, replayConfig);
+
+    const monitor::QualitySnapshot quality =
+        fleetMonitor.publishMetrics();
+    out << "monitored " << stats.ticks << " ticks x "
+        << fleetMonitor.numMachines() << " machines: "
+        << stats.submitted << " samples, " << server.processed()
+        << " processed, " << server.dropped() << " dropped\n";
+    TextTable table({"Machine", "Quality", "rMSE (W)", "DRE", "Bias (W)",
+                     "Drift stat"});
+    for (const monitor::MachineQualityReport &machine :
+         quality.machines) {
+        table.addRow(
+            {machine.id, modelQualityName(machine.quality),
+             formatDouble(machine.windowRmseW, 2),
+             std::isfinite(machine.rollingDre)
+                 ? formatPercent(machine.rollingDre, 1)
+                 : "n/a",
+             formatDouble(machine.biasW, 2),
+             formatDouble(machine.driftStatistic, 1)});
+    }
+    out << table.render();
+    out << "drift events: " << fleetMonitor.driftEvents() << "\n";
+
+    if (telemetry) {
+        telemetry->flush();
+        out << "wrote " << telemetry->records()
+            << " telemetry records to " << telemetry->path() << "\n";
+    }
+    return 0;
+}
+
 int
 cmdReport(const ParsedArgs &args, std::ostream &out,
           std::ostream &err)
@@ -566,6 +723,8 @@ dispatch(const std::string &command, const ParsedArgs &parsed,
         return cmdPredict(parsed, out, err);
     if (command == "serve")
         return cmdServe(parsed, out, err);
+    if (command == "monitor")
+        return cmdMonitor(parsed, out, err);
     if (command == "report")
         return cmdReport(parsed, out, err);
 

@@ -60,6 +60,17 @@ machineHealthName(MachineHealth health)
     panic("unknown machine health state");
 }
 
+std::string
+modelQualityName(ModelQuality quality)
+{
+    switch (quality) {
+      case ModelQuality::Unknown:  return "Unknown";
+      case ModelQuality::Ok:       return "Ok";
+      case ModelQuality::Drifting: return "Drifting";
+    }
+    panic("unknown model quality state");
+}
+
 OnlineEstimatorConfig
 OnlineEstimatorConfig::forSpec(const MachineSpec &spec)
 {
@@ -236,6 +247,7 @@ OnlinePowerEstimator::swapModel(MachinePowerModel newModel)
     const std::vector<FeatureState> oldStates = featureStates;
 
     model = std::move(newModel);
+    quality = ModelQuality::Unknown;
     const auto &indices = model.catalogIndices();
     featureStates.assign(indices.size(), FeatureState{});
     plausibleBounds.clear();

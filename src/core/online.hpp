@@ -41,6 +41,28 @@ enum class MachineHealth
 /** Human-readable health-state name. */
 std::string machineHealthName(MachineHealth health);
 
+/**
+ * Model-quality verdict for one deployed machine model. Orthogonal to
+ * MachineHealth: health describes the *telemetry feeding the model*
+ * (are the inputs trustworthy?), quality describes the *model itself*
+ * (do its estimates still track the metered reference?). A machine
+ * can be Healthy yet Drifting — clean counters through a model the
+ * workload has outgrown — or Degraded yet Ok.
+ *
+ * The verdict is produced by the monitoring layer (src/monitor) from
+ * rolling residual statistics; the estimator only stores it so the
+ * serving snapshot can report both axes side by side.
+ */
+enum class ModelQuality
+{
+    Unknown,  ///< No reference readings observed (or model just swapped).
+    Ok,       ///< Residuals consistent with the calibration baseline.
+    Drifting, ///< Drift detector fired: estimates no longer trusted.
+};
+
+/** Human-readable model-quality name. */
+std::string modelQualityName(ModelQuality quality);
+
 /** Knobs for the hardened online estimation path. */
 struct OnlineEstimatorConfig
 {
@@ -137,6 +159,8 @@ class OnlinePowerEstimator
      * last-known-good imputation state survives for every counter the
      * new model shares with the old one (matched by catalog index)
      * and starts fresh for counters only the new model consumes.
+     * Model quality resets to Unknown: verdicts about the old model
+     * say nothing about the new one.
      */
     void swapModel(MachinePowerModel newModel);
 
@@ -145,6 +169,18 @@ class OnlinePowerEstimator
 
     /** Health after the most recent sample (Healthy before any). */
     MachineHealth health() const { return healthState; }
+
+    /** Model-quality verdict (Unknown until a monitor produces one). */
+    ModelQuality modelQuality() const { return quality; }
+
+    /** Store the monitoring layer's model-quality verdict. */
+    void setModelQuality(ModelQuality q) { quality = q; }
+
+    /** The hardening configuration this estimator was built with. */
+    const OnlineEstimatorConfig &configuration() const
+    {
+        return config;
+    }
 
     /** Most recent estimate in watts (0 before any sample). */
     double lastEstimateW() const { return lastEstimate; }
@@ -185,6 +221,7 @@ class OnlinePowerEstimator
     std::vector<double> plausibleBounds;
 
     MachineHealth healthState = MachineHealth::Healthy;
+    ModelQuality quality = ModelQuality::Unknown;
     double secondsAllInvalid = 0.0;
     OnlineHealthCounters tallies;
 

@@ -1,0 +1,85 @@
+#include "monitor/exporter.hpp"
+
+#include <sstream>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "util/result.hpp"
+
+namespace chaos::monitor {
+
+namespace {
+
+/**
+ * Collapse a pretty-printed JSON value onto one line. Newlines in
+ * JSON are pure inter-token whitespace (string literals escape them
+ * as \n), so replacing them with spaces preserves the value.
+ */
+std::string
+oneLine(const std::string &json)
+{
+    std::string flat = json;
+    for (char &c : flat) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    // Trim trailing whitespace left by the final newline.
+    while (!flat.empty() && flat.back() == ' ')
+        flat.pop_back();
+    return flat;
+}
+
+} // namespace
+
+TelemetryExporter::TelemetryExporter(const std::string &path)
+    : writer_(path)
+{
+    raiseIf(!writer_.ok(), "telemetry: " + writer_.error());
+}
+
+void
+TelemetryExporter::writeFleet(const serve::FleetSnapshot &snapshot,
+                              std::uint64_t tick)
+{
+    writeRecord("fleet", tick, snapshot.tsMs, "fleet",
+                snapshot.toJson());
+}
+
+void
+TelemetryExporter::writeQuality(const QualitySnapshot &snapshot,
+                                std::uint64_t tick)
+{
+    writeRecord("quality", tick, snapshot.tsMs, "quality",
+                snapshot.toJson());
+}
+
+void
+TelemetryExporter::writeMetrics(std::uint64_t tick)
+{
+    writeRecord("metrics", tick, obs::wallClockMs(), "metrics",
+                oneLine(obs::Registry::instance().snapshotJson(
+                    /*includeScheduling=*/true)));
+}
+
+void
+TelemetryExporter::flush()
+{
+    writer_.flush();
+    raiseIf(!writer_.ok(), "telemetry: " + writer_.error());
+}
+
+void
+TelemetryExporter::writeRecord(const std::string &type,
+                               std::uint64_t tick, std::uint64_t tsMs,
+                               const std::string &key,
+                               const std::string &payloadJson)
+{
+    std::ostringstream line;
+    line << "{\"type\": \"" << type << "\", \"tick\": " << tick
+         << ", \"ts_ms\": " << tsMs << ", \"" << key
+         << "\": " << payloadJson << "}";
+    raiseIf(!writer_.writeLine(line.str()),
+            "telemetry: " + writer_.error());
+}
+
+} // namespace chaos::monitor

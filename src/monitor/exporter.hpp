@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Continuous telemetry export for the monitored serving path.
+ *
+ * TelemetryExporter flushes the three observability surfaces — fleet
+ * power snapshots, per-machine model-quality snapshots, and the
+ * chaos.* metrics registry — to one JSONL file (one self-describing
+ * JSON object per line) that downstream collectors can tail. Every
+ * record carries the record type, the replay/serve tick it was taken
+ * at, and a wall-clock timestamp in milliseconds:
+ *
+ *   {"type": "fleet",   "tick": 12, "ts_ms": ..., "fleet": {...}}
+ *   {"type": "quality", "tick": 12, "ts_ms": ..., "quality": {...}}
+ *   {"type": "metrics", "tick": 12, "ts_ms": ..., "metrics": {...}}
+ *
+ * Each line is validated with the shared obs JSON checker before it is
+ * written; I/O or validation failures raise RecoverableError (this
+ * layer sits above chaos_util, unlike the bool-API obs::JsonlWriter it
+ * wraps).
+ */
+#ifndef CHAOS_MONITOR_EXPORTER_HPP
+#define CHAOS_MONITOR_EXPORTER_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "monitor/fleet_monitor.hpp"
+#include "obs/jsonl.hpp"
+#include "serve/server.hpp"
+
+namespace chaos::monitor {
+
+/** JSONL telemetry sink (see file comment). */
+class TelemetryExporter
+{
+  public:
+    /**
+     * Open (truncate) @p path for writing. Raises RecoverableError
+     * when the file cannot be opened.
+     */
+    explicit TelemetryExporter(const std::string &path);
+
+    /** Append one fleet power snapshot record. */
+    void writeFleet(const serve::FleetSnapshot &snapshot,
+                    std::uint64_t tick);
+
+    /** Append one model-quality snapshot record. */
+    void writeQuality(const QualitySnapshot &snapshot,
+                      std::uint64_t tick);
+
+    /**
+     * Append the current metrics-registry snapshot (Stable and
+     * Scheduling sections) as one record.
+     */
+    void writeMetrics(std::uint64_t tick);
+
+    /** Flush buffered lines to the file. */
+    void flush();
+
+    /** Records written so far. */
+    std::uint64_t records() const { return writer_.linesWritten(); }
+
+    /** The path records are written to. */
+    const std::string &path() const { return writer_.path(); }
+
+  private:
+    void writeRecord(const std::string &type, std::uint64_t tick,
+                     std::uint64_t tsMs, const std::string &key,
+                     const std::string &payloadJson);
+
+    obs::JsonlWriter writer_;
+};
+
+} // namespace chaos::monitor
+
+#endif // CHAOS_MONITOR_EXPORTER_HPP

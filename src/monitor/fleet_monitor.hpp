@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fleet-wide online model-quality monitoring for the serving path.
+ *
+ * FleetMonitor plugs into a FleetServer through the SampleObserver
+ * hook: for every evaluated sample that carried a metered reference,
+ * the machine's RollingQuality tracker is updated (rolling rMSE,
+ * rolling DRE, bias, Page-Hinkley drift detection) and the verdict is
+ * written back onto the machine's OnlinePowerEstimator so fleet
+ * snapshots report model quality alongside telemetry health.
+ *
+ * The hot path is deliberately minimal: the per-machine tracker is
+ * reached through a slot pointer cached on the MachineEntry itself
+ * (no map lookup), and the update is O(1) arithmetic with no atomics
+ * and no registry traffic — the
+ * chaos.monitor.* gauges and histograms are refreshed at snapshot /
+ * publish cadence instead of per sample, which keeps the serving
+ * throughput cost under the 1% budget.
+ *
+ * Threading: onSample runs under the machine's entry mutex (see
+ * SampleObserver), so per-machine state needs no extra lock; the
+ * machine table itself is immutable after attach(). snapshot() takes
+ * each entry mutex briefly to read a consistent per-machine view.
+ *
+ * Drift firings emit a ModelDrift event into the process EventLog and
+ * bump chaos.monitor.drift_events; both are deterministic for a given
+ * trace because per-machine evaluation order equals arrival order
+ * regardless of thread count.
+ */
+#ifndef CHAOS_MONITOR_FLEET_MONITOR_HPP
+#define CHAOS_MONITOR_FLEET_MONITOR_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitor/quality.hpp"
+#include "serve/server.hpp"
+
+namespace chaos::monitor {
+
+/** One machine's slice of a quality snapshot. */
+struct MachineQualityReport
+{
+    std::string id;
+    ModelQuality quality = ModelQuality::Unknown;
+    std::uint64_t referenceSamples = 0; ///< Residuals consumed.
+    std::uint64_t windowFill = 0;       ///< Residuals in the window.
+    double windowRmseW = 0.0;
+    double rollingDre = 0.0;            ///< NaN without an envelope.
+    double biasW = 0.0;
+    double driftStatistic = 0.0;        ///< Page-Hinkley excursion.
+    bool drifted = false;
+};
+
+/** Point-in-time model-quality view of the whole fleet. */
+struct QualitySnapshot
+{
+    std::uint64_t tsMs = 0;                    ///< Wall clock, ms.
+    std::vector<MachineQualityReport> machines; ///< Sorted by id.
+
+    /** Machines currently flagged Drifting. */
+    std::size_t driftingCount() const;
+
+    /** Serialize as one single-line JSON object. */
+    std::string toJson() const;
+};
+
+/** The fleet-wide monitor (see file comment). */
+class FleetMonitor : public serve::SampleObserver
+{
+  public:
+    explicit FleetMonitor(QualityMonitorConfig config = {});
+
+    /** Detaches from the server if still attached. */
+    ~FleetMonitor() override;
+
+    FleetMonitor(const FleetMonitor &) = delete;
+    FleetMonitor &operator=(const FleetMonitor &) = delete;
+
+    /**
+     * Track every machine currently registered with @p server and
+     * install this monitor as the server's sample observer. Machines
+     * with no envelope in the monitor config inherit the DRE
+     * denominator from their estimator's own configuration. Call
+     * after the fleet is registered and before serving starts;
+     * machines added later are not monitored until re-attach.
+     */
+    void attach(serve::FleetServer &server);
+
+    /** Remove this monitor from the attached server (idempotent). */
+    void detach();
+
+    /** True while installed on a server. */
+    bool attached() const { return server_ != nullptr; }
+
+    // SampleObserver:
+    void onSample(serve::MachineEntry &entry,
+                  OnlinePowerEstimator &estimator, double estimateW,
+                  double meteredW) override;
+    void onModelSwap(const std::string &machineId) override;
+
+    /** Consistent per-machine quality view (locks each entry). */
+    QualitySnapshot snapshot() const;
+
+    /**
+     * Refresh the chaos.monitor.* registry metrics from the current
+     * state: per-machine rolling DRE / window rMSE / |bias| histogram
+     * observations plus fleet-level gauges. Returns the snapshot the
+     * metrics were derived from. Deterministic for a fixed call
+     * pattern (histogram counts grow once per publish).
+     */
+    QualitySnapshot publishMetrics() const;
+
+    /** ModelDrift events emitted so far. */
+    std::uint64_t driftEvents() const;
+
+    /** Number of monitored machines. */
+    std::size_t numMachines() const { return slots_.size(); }
+
+    /** The configuration the monitor was built with. */
+    const QualityMonitorConfig &config() const { return config_; }
+
+  private:
+    struct Slot
+    {
+        serve::MachineEntry *entry = nullptr;
+        std::string id;
+        RollingQuality rolling;
+        Slot(serve::MachineEntry *e, std::string machineId,
+             QualityMonitorConfig cfg)
+            : entry(e), id(std::move(machineId)), rolling(cfg)
+        {}
+    };
+
+    QualityMonitorConfig config_;
+    serve::FleetServer *server_ = nullptr;
+    std::vector<std::unique_ptr<Slot>> slots_; ///< Sorted by id.
+    std::atomic<std::uint64_t> driftEvents_{0};
+};
+
+} // namespace chaos::monitor
+
+#endif // CHAOS_MONITOR_FLEET_MONITOR_HPP

@@ -3,6 +3,7 @@
 #include "obs/json.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 
@@ -18,8 +19,18 @@ eventKindName(EventKind kind)
       case EventKind::Substitution: return "substitution";
       case EventKind::FaultActivation: return "fault_activation";
       case EventKind::Backpressure: return "backpressure";
+      case EventKind::ModelDrift: return "model_drift";
     }
     return "unknown";
+}
+
+std::uint64_t
+wallClockMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
 }
 
 EventLog::EventLog(std::size_t capacity)
@@ -42,6 +53,7 @@ EventLog::emit(EventKind kind, std::string source, std::string detail,
     std::lock_guard<std::mutex> lock(mu_);
     Event event;
     event.seq = nextSeq_++;
+    event.tsMs = wallClockMs();
     event.kind = kind;
     event.source = std::move(source);
     event.detail = std::move(detail);
@@ -94,6 +106,7 @@ EventLog::jsonDump() const
     for (std::size_t i = 0; i < events.size(); ++i) {
         const Event &e = events[i];
         out << (i ? ",\n" : "\n") << "  {\"seq\": " << e.seq
+            << ", \"ts_ms\": " << e.tsMs
             << ", \"kind\": \"" << eventKindName(e.kind) << "\""
             << ", \"source\": \"" << jsonEscape(e.source) << "\""
             << ", \"detail\": \"" << jsonEscape(e.detail) << "\""

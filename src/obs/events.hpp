@@ -31,14 +31,19 @@ enum class EventKind {
     Substitution,     ///< Estimate substituted (recent mean / idle power).
     FaultActivation,  ///< A fault injector fired.
     Backpressure,     ///< A serving-shard queue saturated (drop-oldest engaged).
+    ModelDrift,       ///< Online drift detector fired on a deployed model.
 };
 
 /** @return Stable lowercase name for @p kind (e.g. "health_transition"). */
 const char *eventKindName(EventKind kind);
 
+/** @return Milliseconds since the Unix epoch (wall clock). */
+std::uint64_t wallClockMs();
+
 /** One logged occurrence. */
 struct Event {
     std::uint64_t seq = 0; ///< Global emission index (0-based, never reused).
+    std::uint64_t tsMs = 0; ///< Wall-clock emission time, ms since epoch.
     EventKind kind = EventKind::HealthTransition;
     std::string source; ///< Emitting entity, e.g. "machine3" or "meter".
     std::string detail; ///< Human-readable description.

@@ -1,0 +1,44 @@
+#include "obs/jsonl.hpp"
+
+#include "obs/json.hpp"
+
+namespace chaos::obs {
+
+JsonlWriter::JsonlWriter(const std::string &path)
+    : path_(path), out_(path)
+{
+    if (!out_)
+        error_ = "jsonl: cannot open " + path_ + " for writing";
+}
+
+bool
+JsonlWriter::writeLine(const std::string &jsonValue)
+{
+    if (!ok())
+        return false;
+    if (jsonValue.find('\n') != std::string::npos) {
+        error_ = "jsonl: record contains a newline";
+        return false;
+    }
+    if (!jsonWellFormed(jsonValue)) {
+        error_ = "jsonl: record is not well-formed JSON: " +
+                 jsonValue.substr(0, 120);
+        return false;
+    }
+    out_ << jsonValue << '\n';
+    if (!out_.good()) {
+        error_ = "jsonl: write to " + path_ + " failed";
+        return false;
+    }
+    ++lines_;
+    return true;
+}
+
+void
+JsonlWriter::flush()
+{
+    if (out_.is_open())
+        out_.flush();
+}
+
+} // namespace chaos::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Line-delimited JSON (JSONL) writer for continuous telemetry export.
+ *
+ * Each record is one single-line JSON value followed by '\n', so a
+ * consumer can tail the file and parse it line by line while the
+ * producer keeps appending. Every record is validated with the shared
+ * well-formedness checker (obs/json.hpp) before it is written: a
+ * malformed record is rejected and remembered as an error instead of
+ * corrupting the stream.
+ *
+ * This library sits below chaos_util, so errors are reported through
+ * ok()/error() rather than raised; callers at higher layers wrap the
+ * writer and raise on failure.
+ */
+#ifndef CHAOS_OBS_JSONL_HPP
+#define CHAOS_OBS_JSONL_HPP
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+
+namespace chaos::obs {
+
+/** Append-only writer of validated JSONL records (see file comment). */
+class JsonlWriter
+{
+  public:
+    /** Open (truncate) @p path; check ok() before writing. */
+    explicit JsonlWriter(const std::string &path);
+
+    /** @return False once opening, validation, or a write failed. */
+    bool ok() const { return error_.empty(); }
+
+    /** @return Description of the first failure ("" while ok). */
+    const std::string &error() const { return error_; }
+
+    /** @return The path the writer was opened on. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append one record. @p jsonValue must be a single-line,
+     * well-formed JSON value (checked with jsonWellFormed).
+     *
+     * @return True when the record was written; false records the
+     *         failure in error() and leaves the file untouched.
+     */
+    bool writeLine(const std::string &jsonValue);
+
+    /** @return Records successfully written so far. */
+    std::size_t linesWritten() const { return lines_; }
+
+    /** Flush buffered records to the file. */
+    void flush();
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    std::string error_;
+    std::size_t lines_ = 0;
+};
+
+} // namespace chaos::obs
+
+#endif // CHAOS_OBS_JSONL_HPP

@@ -101,6 +101,43 @@ Histogram::maxValue() const
     return maxSeen_.load(std::memory_order_relaxed);
 }
 
+double
+Histogram::percentile(double q) const
+{
+    const std::vector<std::uint64_t> counts = bucketCounts();
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    if (total == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+
+    q = std::clamp(q, 0.0, 1.0);
+    const double lo = minValue();
+    const double hi = maxValue();
+    // Rank of the wanted observation, 1-based, in sorted order.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               q * static_cast<double>(total) + 0.5));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const std::uint64_t before = cumulative;
+        cumulative += counts[i];
+        if (cumulative < rank)
+            continue;
+        if (i == bounds_.size()) // Overflow bucket: only max is known.
+            return hi;
+        const double upper = bounds_[i];
+        const double lower = i == 0 ? lo : bounds_[i - 1];
+        const double within =
+            static_cast<double>(rank - before) /
+            static_cast<double>(counts[i]);
+        return std::clamp(lower + within * (upper - lower), lo, hi);
+    }
+    return hi;
+}
+
 void
 Histogram::reset()
 {

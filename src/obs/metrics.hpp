@@ -144,6 +144,15 @@ class Histogram
     /** @return Largest observation; only meaningful when count() > 0. */
     double maxValue() const;
 
+    /**
+     * Approximate @p q-quantile (q in [0, 1]) from the bucket counts:
+     * the target rank's bucket is found, the value is interpolated
+     * linearly inside it, and the result is clamped to the observed
+     * [min, max]. The overflow bucket reports the observed maximum.
+     * @return NaN when the histogram is empty.
+     */
+    double percentile(double q) const;
+
     /** Reset all counts and the min/max (bounds are kept). */
     void reset();
 

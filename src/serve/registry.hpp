@@ -52,10 +52,22 @@ class MachineEntry
         return fn(estimator_);
     }
 
+    /**
+     * Opaque per-machine state owned by the installed SampleObserver
+     * (nullptr when unmonitored). Written under the entry mutex (via
+     * withEstimator) at attach/detach time and read by onSample on
+     * drain threads that already hold that mutex, so plain loads and
+     * stores suffice. Spares the observer a per-sample map lookup on
+     * the serving hot path.
+     */
+    void setObserverState(void *state) { observerState_ = state; }
+    void *observerState() const { return observerState_; }
+
   private:
     std::string id_;
     std::mutex mu_;
     OnlinePowerEstimator estimator_;
+    void *observerState_ = nullptr;
 };
 
 /** Lock-striped map of machine id -> MachineEntry. */

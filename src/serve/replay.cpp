@@ -89,6 +89,8 @@ TraceReplayer::replayInto(FleetServer &server,
             ++stats.submitted;
         }
         ++stats.ticks;
+        if (config.onTick)
+            config.onTick(t);
         if (paced) {
             const auto next =
                 epoch + std::chrono::duration_cast<clock::duration>(

@@ -15,6 +15,7 @@
 #define CHAOS_SERVE_REPLAY_HPP
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,13 @@ struct ReplayConfig
     double speed = 0.0;
     /** Forward the recorded metered power as reference readings. */
     bool feedMeteredReference = true;
+    /**
+     * Invoked on the replay thread after each tick's samples were
+     * submitted (before any pacing sleep). A synchronous caller can
+     * drain the server here to get per-tick lockstep — the monitor
+     * dashboard does exactly that.
+     */
+    std::function<void(std::size_t tick)> onTick;
 };
 
 /** What a replay run did. */

@@ -62,20 +62,25 @@ FleetSnapshot::toJson() const
 {
     std::ostringstream out;
     out << std::setprecision(17);
-    out << "{\"seq\": " << seq << ", \"submitted\": "
+    out << "{\"seq\": " << seq << ", \"ts_ms\": " << tsMs
+        << ", \"submitted\": "
         << samplesSubmitted << ", \"processed\": " << samplesProcessed
         << ", \"dropped\": " << samplesDropped << ", \"cluster_w\": "
         << clusterW << ", \"health_mix\": {\"healthy\": " << healthy
         << ", \"degraded\": " << degraded << ", \"stale\": " << stale
-        << ", \"lost\": " << lost << "}, \"machines\": [";
+        << ", \"lost\": " << lost << "}, \"drifting\": " << drifting
+        << ", \"machines\": [";
     for (std::size_t i = 0; i < machines.size(); ++i) {
         const MachineSnapshot &m = machines[i];
         if (i > 0)
             out << ", ";
         out << "{\"id\": \"" << obs::jsonEscape(m.id)
             << "\", \"watts\": " << m.watts << ", \"health\": \""
-            << machineHealthName(m.health) << "\", \"samples\": "
-            << m.samples << "}";
+            << machineHealthName(m.health) << "\", \"quality\": \""
+            << modelQualityName(m.quality) << "\", \"samples\": "
+            << m.samples << ", \"residual_samples\": "
+            << m.residualSamples << ", \"mean_residual_w\": "
+            << m.meanResidualW << "}";
     }
     out << "]}";
     return out.str();
@@ -120,6 +125,21 @@ FleetServer::swapModel(const std::string &machineId,
                        MachinePowerModel model)
 {
     registry.swapModel(machineId, std::move(model));
+    if (SampleObserver *observer =
+            observerPtr.load(std::memory_order_acquire))
+        observer->onModelSwap(machineId);
+}
+
+void
+FleetServer::setSampleObserver(SampleObserver *observer)
+{
+    observerPtr.store(observer, std::memory_order_release);
+}
+
+std::vector<std::string>
+FleetServer::machineIds() const
+{
+    return registry.ids();
 }
 
 void
@@ -193,17 +213,26 @@ FleetServer::drainShard(QueueShard &shard,
 
     {
         obs::Span span("serve.predict");
+        SampleObserver *observer =
+            observerPtr.load(std::memory_order_acquire);
         parallelFor(groups.size(), [&](std::size_t g) {
             auto &[entry, indices] = groups[g];
             entry->withEstimator(
                 [&](OnlinePowerEstimator &estimator) {
                     for (std::size_t i : indices) {
                         QueuedSample &sample = batch[i];
+                        double watts;
                         if (std::isfinite(sample.meteredW)) {
-                            estimator.estimateWithReference(
+                            watts = estimator.estimateWithReference(
                                 sample.catalogRow, sample.meteredW);
                         } else {
-                            estimator.estimate(sample.catalogRow);
+                            watts = estimator.estimate(
+                                sample.catalogRow);
+                        }
+                        if (observer != nullptr) {
+                            observer->onSample(*entry, estimator,
+                                               watts,
+                                               sample.meteredW);
                         }
                     }
                 });
@@ -313,6 +342,7 @@ FleetServer::buildSnapshot() const
     obs::Span span("serve.snapshot");
     FleetSnapshot snap;
     snap.seq = snapshotSeq.fetch_add(1) + 1;
+    snap.tsMs = obs::wallClockMs();
     snap.samplesSubmitted = submittedCount.load();
     snap.samplesProcessed = processedCount.load();
     snap.samplesDropped = droppedCount.load();
@@ -322,7 +352,10 @@ FleetServer::buildSnapshot() const
         entry->withEstimator([&](OnlinePowerEstimator &estimator) {
             m.watts = estimator.lastEstimateW();
             m.health = estimator.health();
+            m.quality = estimator.modelQuality();
             m.samples = estimator.samples();
+            m.residualSamples = estimator.residuals().count();
+            m.meanResidualW = estimator.residuals().mean();
         });
         snap.clusterW += m.watts;
         switch (m.health) {
@@ -331,6 +364,8 @@ FleetServer::buildSnapshot() const
           case MachineHealth::Stale:    ++snap.stale; break;
           case MachineHealth::Lost:     ++snap.lost; break;
         }
+        if (m.quality == ModelQuality::Drifting)
+            ++snap.drifting;
         snap.machines.push_back(std::move(m));
     }
     return snap;

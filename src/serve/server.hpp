@@ -67,13 +67,17 @@ struct MachineSnapshot
     std::string id;
     double watts = 0.0;          ///< Most recent estimate.
     MachineHealth health = MachineHealth::Healthy;
+    ModelQuality quality = ModelQuality::Unknown; ///< Monitor verdict.
     std::uint64_t samples = 0;   ///< Estimates produced so far.
+    std::uint64_t residualSamples = 0; ///< Metered refs accumulated.
+    double meanResidualW = 0.0;  ///< Mean (meter - estimate) so far.
 };
 
 /** One fleet-power snapshot (Eq. 5 at a point in time). */
 struct FleetSnapshot
 {
     std::uint64_t seq = 0;               ///< Snapshot sequence number.
+    std::uint64_t tsMs = 0;              ///< Wall clock, ms since epoch.
     std::uint64_t samplesSubmitted = 0;
     std::uint64_t samplesProcessed = 0;
     std::uint64_t samplesDropped = 0;
@@ -82,10 +86,39 @@ struct FleetSnapshot
     std::size_t degraded = 0;
     std::size_t stale = 0;
     std::size_t lost = 0;
+    std::size_t drifting = 0;            ///< Machines flagged Drifting.
     std::vector<MachineSnapshot> machines; ///< Sorted by machine id.
 
-    /** Serialize as one JSON object. */
+    /** Serialize as one single-line JSON object. */
     std::string toJson() const;
+};
+
+/**
+ * Per-sample hook for the model-quality monitoring layer. onSample is
+ * invoked on a drain thread for every evaluated sample while the
+ * machine's entry mutex is held: calls for one machine are serialized
+ * in arrival order, calls for different machines run concurrently, so
+ * an implementation keying its state per machine needs no extra
+ * locking. Keep it cheap — it sits on the serving hot path.
+ */
+class SampleObserver
+{
+  public:
+    virtual ~SampleObserver() = default;
+
+    /**
+     * One evaluated sample. @p meteredW is NaN when the sample
+     * carried no reference reading.
+     */
+    virtual void onSample(MachineEntry &entry,
+                          OnlinePowerEstimator &estimator,
+                          double estimateW, double meteredW) = 0;
+
+    /** A model hot-swap on @p machineId completed. */
+    virtual void onModelSwap(const std::string &machineId)
+    {
+        (void)machineId;
+    }
 };
 
 /** The streaming serving loop (see file comment). */
@@ -115,6 +148,23 @@ class FleetServer
     /** Hot-swap one machine's model (raises on unknown id). */
     void swapModel(const std::string &machineId,
                    MachinePowerModel model);
+
+    /**
+     * Install (or, with nullptr, remove) the per-sample observer. The
+     * observer must outlive the server's draining: detach it (or stop
+     * the server) before destroying it. Safe to call while running;
+     * in-flight drain passes may still see the previous observer.
+     */
+    void setSampleObserver(SampleObserver *observer);
+
+    /** The installed per-sample observer (nullptr when none). */
+    SampleObserver *sampleObserver() const
+    {
+        return observerPtr.load(std::memory_order_acquire);
+    }
+
+    /** All registered machine ids, sorted. */
+    std::vector<std::string> machineIds() const;
 
     /**
      * Enqueue one machine-second of telemetry. Never blocks: when the
@@ -209,6 +259,7 @@ class FleetServer
     std::thread drainer;
     std::atomic<bool> runningFlag{false};
     std::atomic<bool> stopRequested{false};
+    std::atomic<SampleObserver *> observerPtr{nullptr};
 
     std::atomic<std::uint64_t> submittedCount{0};
     std::atomic<std::uint64_t> processedCount{0};

@@ -5,6 +5,7 @@
  * a miniature dataset.
  */
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <unistd.h>
@@ -184,6 +185,50 @@ TEST(Cli, TrainRejectsUnknownType)
     EXPECT_EQ(result.code, 2);
     EXPECT_NE(result.err.find("unknown model type"),
               std::string::npos);
+}
+
+TEST(Cli, MonitorReplayReportsQualityAndWritesTelemetry)
+{
+    const std::string model_path =
+        ::testing::TempDir() + "cli_monitor_model_" +
+        std::to_string(::getpid()) + ".txt";
+    const std::string telemetry_path =
+        ::testing::TempDir() + "cli_monitor_tel_" +
+        std::to_string(::getpid()) + ".jsonl";
+
+    const CliResult trained =
+        run({"train", tinyDatasetPath(), "--out", model_path,
+             "--type", "quadratic"});
+    ASSERT_EQ(trained.code, 0) << trained.err;
+
+    const CliResult monitored =
+        run({"monitor", "--replay", tinyDatasetPath(), "--model",
+             model_path, "--platform", "Core2", "--telemetry-out",
+             telemetry_path, "--dashboard-every", "100"});
+    ASSERT_EQ(monitored.code, 0) << monitored.err;
+    EXPECT_NE(monitored.out.find("monitored"), std::string::npos);
+    EXPECT_NE(monitored.out.find("drift events:"), std::string::npos);
+    EXPECT_NE(monitored.out.find("telemetry records"),
+              std::string::npos);
+    // The dashboard printed at least one per-tick line.
+    EXPECT_NE(monitored.out.find("tick 0:"), std::string::npos);
+
+    std::ifstream telemetry(telemetry_path);
+    ASSERT_TRUE(telemetry.good());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(telemetry, line))
+        ++lines;
+    EXPECT_GT(lines, 0u);
+
+    std::remove(model_path.c_str());
+    std::remove(telemetry_path.c_str());
+}
+
+TEST(Cli, MonitorWithoutReplayOrModelFails)
+{
+    EXPECT_EQ(run({"monitor"}).code, 2);
+    EXPECT_EQ(run({"monitor", "--replay", "x.csv"}).code, 2);
 }
 
 TEST(Cli, ReportSummarizesWorkloads)

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the per-machine rolling quality tracker: window math
+ * against a naive recomputation, warmup gating, Page-Hinkley drift
+ * detection on synthetic residual streams, and reset semantics.
+ */
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "monitor/quality.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+using monitor::QualityMonitorConfig;
+using monitor::RollingQuality;
+
+/** Naive rMSE/bias over the last @p window entries of @p values. */
+void
+naiveWindowStats(const std::vector<double> &values, size_t window,
+                 double &rmse, double &bias)
+{
+    const size_t n = std::min(values.size(), window);
+    double sum = 0.0, sum2 = 0.0;
+    for (size_t i = values.size() - n; i < values.size(); ++i) {
+        sum += values[i];
+        sum2 += values[i] * values[i];
+    }
+    rmse = n > 0 ? std::sqrt(sum2 / static_cast<double>(n)) : 0.0;
+    bias = n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+TEST(RollingQuality, WindowMatchesNaiveRecomputationAcrossWraparound)
+{
+    QualityMonitorConfig config;
+    config.windowSamples = 8;
+    config.warmupSamples = 4;
+    RollingQuality rolling(config);
+
+    Rng rng(42);
+    std::vector<double> fed;
+    for (int i = 0; i < 30; ++i) {
+        const double r = rng.normal(0.5, 2.0);
+        fed.push_back(r);
+        rolling.addResidual(r);
+
+        double rmse, bias;
+        naiveWindowStats(fed, config.windowSamples, rmse, bias);
+        EXPECT_NEAR(rolling.windowRmseW(), rmse, 1e-9)
+            << "after sample " << i;
+        EXPECT_NEAR(rolling.biasW(), bias, 1e-9)
+            << "after sample " << i;
+        EXPECT_EQ(rolling.windowFill(),
+                  std::min<size_t>(fed.size(), config.windowSamples));
+    }
+    EXPECT_EQ(rolling.samples(), fed.size());
+}
+
+TEST(RollingQuality, WarmupGatesTheQualityState)
+{
+    QualityMonitorConfig config;
+    config.warmupSamples = 10;
+    RollingQuality rolling(config);
+
+    for (int i = 0; i < 9; ++i) {
+        rolling.addResidual(1.0);
+        EXPECT_EQ(rolling.quality(), ModelQuality::Unknown);
+        EXPECT_FALSE(rolling.warmedUp());
+    }
+    rolling.addResidual(1.0);
+    EXPECT_TRUE(rolling.warmedUp());
+    EXPECT_EQ(rolling.quality(), ModelQuality::Ok);
+}
+
+TEST(RollingQuality, StationaryNoiseDoesNotDrift)
+{
+    QualityMonitorConfig config;
+    config.warmupSamples = 200;
+    RollingQuality rolling(config);
+
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_FALSE(rolling.addResidual(rng.normal(1.0, 3.0)));
+    EXPECT_FALSE(rolling.drifted());
+    EXPECT_EQ(rolling.quality(), ModelQuality::Ok);
+}
+
+TEST(RollingQuality, DetectsUpwardMeanShiftWithinBoundedSamples)
+{
+    QualityMonitorConfig config;
+    config.warmupSamples = 200;
+    RollingQuality rolling(config);
+
+    Rng rng(11);
+    for (int i = 0; i < 400; ++i)
+        rolling.addResidual(rng.normal(0.0, 1.0));
+    ASSERT_FALSE(rolling.drifted());
+
+    // A +3 sigma shift accumulates ~(3 - delta) per sample; with the
+    // default lambda it must latch within a few dozen samples.
+    bool fired = false;
+    int firedAt = -1;
+    for (int i = 0; i < 100 && !fired; ++i) {
+        fired = rolling.addResidual(rng.normal(3.0, 1.0));
+        firedAt = i;
+    }
+    EXPECT_TRUE(fired);
+    EXPECT_LE(firedAt, 60);
+    EXPECT_EQ(rolling.quality(), ModelQuality::Drifting);
+    // Latched: further samples do not re-fire.
+    EXPECT_FALSE(rolling.addResidual(rng.normal(3.0, 1.0)));
+    EXPECT_TRUE(rolling.drifted());
+}
+
+TEST(RollingQuality, DetectsDownwardMeanShiftToo)
+{
+    QualityMonitorConfig config;
+    config.warmupSamples = 200;
+    RollingQuality rolling(config);
+
+    Rng rng(13);
+    for (int i = 0; i < 300; ++i)
+        rolling.addResidual(rng.normal(0.0, 1.0));
+    ASSERT_FALSE(rolling.drifted());
+
+    bool fired = false;
+    for (int i = 0; i < 100 && !fired; ++i)
+        fired = rolling.addResidual(rng.normal(-3.0, 1.0));
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(rolling.quality(), ModelQuality::Drifting);
+}
+
+TEST(RollingQuality, QuietWarmupIsFlooredByMinSigma)
+{
+    QualityMonitorConfig config;
+    config.warmupSamples = 50;
+    config.minSigmaW = 0.25;
+    RollingQuality rolling(config);
+
+    // A perfectly constant warmup would give sigma0 = 0 and make the
+    // first noisy sample an infinite z-score without the floor.
+    for (int i = 0; i < 50; ++i)
+        rolling.addResidual(2.0);
+    EXPECT_DOUBLE_EQ(rolling.baselineSigmaW(), 0.25);
+    EXPECT_DOUBLE_EQ(rolling.baselineMeanW(), 2.0);
+}
+
+TEST(RollingQuality, IgnoresNonFiniteResiduals)
+{
+    QualityMonitorConfig config;
+    config.windowSamples = 4;
+    config.warmupSamples = 4;
+    RollingQuality rolling(config);
+
+    rolling.addResidual(1.0);
+    rolling.addResidual(std::numeric_limits<double>::quiet_NaN());
+    rolling.addResidual(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(rolling.samples(), 1u);
+    EXPECT_EQ(rolling.windowFill(), 1u);
+    EXPECT_DOUBLE_EQ(rolling.biasW(), 1.0);
+}
+
+TEST(RollingQuality, RollingDreUsesTheEnvelopeDenominator)
+{
+    QualityMonitorConfig config;
+    config.windowSamples = 4;
+    config.idlePowerW = 100.0;
+    config.maxPowerW = 300.0;
+    RollingQuality rolling(config);
+    rolling.addResidual(4.0);
+    EXPECT_DOUBLE_EQ(rolling.rollingDre(), 4.0 / 200.0);
+
+    RollingQuality noEnvelope{QualityMonitorConfig{}};
+    noEnvelope.addResidual(4.0);
+    EXPECT_TRUE(std::isnan(noEnvelope.rollingDre()));
+}
+
+TEST(RollingQuality, ResetForgetsEverything)
+{
+    QualityMonitorConfig config;
+    config.warmupSamples = 20;
+    RollingQuality rolling(config);
+
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        rolling.addResidual(rng.normal(0.0, 1.0));
+    for (int i = 0; i < 200 && !rolling.drifted(); ++i)
+        rolling.addResidual(rng.normal(10.0, 1.0));
+    ASSERT_TRUE(rolling.drifted());
+
+    rolling.reset();
+    EXPECT_EQ(rolling.samples(), 0u);
+    EXPECT_EQ(rolling.windowFill(), 0u);
+    EXPECT_FALSE(rolling.drifted());
+    EXPECT_EQ(rolling.quality(), ModelQuality::Unknown);
+    EXPECT_DOUBLE_EQ(rolling.windowRmseW(), 0.0);
+    EXPECT_DOUBLE_EQ(rolling.driftStatistic(), 0.0);
+}
+
+} // namespace
+} // namespace chaos

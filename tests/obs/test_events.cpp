@@ -85,6 +85,26 @@ TEST(EventLog, KindNamesAreStable)
                  "substitution");
     EXPECT_STREQ(obs::eventKindName(obs::EventKind::FaultActivation),
                  "fault_activation");
+    EXPECT_STREQ(obs::eventKindName(obs::EventKind::ModelDrift),
+                 "model_drift");
+}
+
+TEST(EventLog, EventsCarryWallClockTimestamps)
+{
+    const std::uint64_t before = obs::wallClockMs();
+    obs::EventLog log(4);
+    log.emit(obs::EventKind::ModelDrift, "m0", "detector fired");
+    const std::uint64_t after = obs::wallClockMs();
+
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_GE(events[0].tsMs, before);
+    EXPECT_LE(events[0].tsMs, after);
+    // The dump schema stays backward compatible: ts_ms is additive.
+    const std::string json = log.jsonDump();
+    EXPECT_TRUE(obs::jsonWellFormed(json));
+    EXPECT_NE(json.find("\"ts_ms\": "), std::string::npos);
+    EXPECT_NE(json.find("model_drift"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the JSONL writer: per-line validation, rejection of
+ * malformed or multi-line records, and the error surface.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+
+namespace chaos {
+namespace {
+
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {}
+    ~TempPath() { std::remove(path_.c_str()); }
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream file(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(file, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(Jsonl, WritesOneValidatedRecordPerLine)
+{
+    TempPath path("chaos_test_jsonl_basic.jsonl");
+    obs::JsonlWriter writer(path.str());
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(writer.writeLine("{\"a\": 1}"));
+    EXPECT_TRUE(writer.writeLine("{\"b\": [1, 2, 3]}"));
+    writer.flush();
+    EXPECT_EQ(writer.linesWritten(), 2u);
+
+    const auto lines = readLines(path.str());
+    ASSERT_EQ(lines.size(), 2u);
+    for (const std::string &line : lines)
+        EXPECT_TRUE(obs::jsonWellFormed(line));
+    EXPECT_EQ(lines[0], "{\"a\": 1}");
+}
+
+TEST(Jsonl, RejectsMalformedAndMultiLineRecords)
+{
+    TempPath path("chaos_test_jsonl_reject.jsonl");
+    obs::JsonlWriter writer(path.str());
+    ASSERT_TRUE(writer.ok());
+    EXPECT_FALSE(writer.writeLine("{\"a\": "));  // Truncated.
+    EXPECT_FALSE(writer.ok());
+    EXPECT_NE(writer.error().find("well-formed"), std::string::npos);
+
+    obs::JsonlWriter second(path.str());
+    EXPECT_FALSE(second.writeLine("{\"a\":\n 1}"));  // Embedded newline.
+    EXPECT_EQ(second.linesWritten(), 0u);
+}
+
+TEST(Jsonl, ReportsUnopenablePath)
+{
+    obs::JsonlWriter writer("/nonexistent-dir/x/y/z.jsonl");
+    EXPECT_FALSE(writer.ok());
+    EXPECT_FALSE(writer.error().empty());
+    EXPECT_FALSE(writer.writeLine("{}"));
+}
+
+} // namespace
+} // namespace chaos

@@ -4,6 +4,7 @@
  * bucket edge handling, the enable gate, and the determinism contract
  * of the Stable snapshot across thread counts.
  */
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,72 @@ TEST(Metrics, SchedulingMetricsExcludedFromStableSnapshot)
     EXPECT_EQ(stable.find("test.metrics.sched_only"),
               std::string::npos);
     EXPECT_NE(full.find("test.metrics.sched_only"), std::string::npos);
+}
+
+TEST(Metrics, EmptyHistogramSnapshotsAndPercentiles)
+{
+    auto &h = obs::Registry::instance().histogram(
+        "test.metrics.hist_empty", {1.0, 2.0});
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+    EXPECT_TRUE(std::isnan(h.percentile(0.0)));
+    EXPECT_TRUE(std::isnan(h.percentile(1.0)));
+    // An empty histogram must still render into a well-formed
+    // snapshot (no min/max fields, zero counts).
+    const std::string snap =
+        obs::Registry::instance().snapshotJson(false);
+    EXPECT_TRUE(obs::jsonWellFormed(snap));
+    EXPECT_NE(snap.find("test.metrics.hist_empty"),
+              std::string::npos);
+}
+
+TEST(Metrics, SingleSamplePercentilesCollapseToTheSample)
+{
+    auto &h = obs::Registry::instance().histogram(
+        "test.metrics.hist_single", {10.0, 20.0});
+    h.reset();
+    h.observe(7.25);
+    // With one observation every quantile is that observation: the
+    // interpolated in-bucket value is clamped to [min, max].
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.25);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 7.25);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 7.25);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.25);
+}
+
+TEST(Metrics, OverflowBucketPercentileReportsObservedMax)
+{
+    auto &h = obs::Registry::instance().histogram(
+        "test.metrics.hist_overflow", {1.0});
+    h.reset();
+    h.observe(0.5);
+    h.observe(100.0);
+    h.observe(250.0);
+    // Ranks 2 and 3 land in the unbounded overflow bucket, where the
+    // only honest point estimate is the observed maximum.
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 250.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.6), 250.0);
+}
+
+TEST(Metrics, HistogramMinMaxSurviveConcurrentObservers)
+{
+    auto &h = obs::Registry::instance().histogram(
+        "test.metrics.hist_cas", {1e6});
+    h.reset();
+    // Hammer the CAS min/max loops from the pool: every value is
+    // observed exactly once, so the extremes are exact, whatever the
+    // interleaving.
+    setGlobalThreadCount(8);
+    parallelFor(4096, [](size_t i) {
+        static auto &hist = obs::Registry::instance().histogram(
+            "test.metrics.hist_cas", {1e6});
+        hist.observe(static_cast<double>(i) - 2048.0);
+    });
+    setGlobalThreadCount(1);
+    EXPECT_EQ(h.count(), 4096u);
+    EXPECT_DOUBLE_EQ(h.minValue(), -2048.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 2047.0);
 }
 
 /**
