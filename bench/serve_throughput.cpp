@@ -19,7 +19,13 @@
  *    throughput must stay within 1% of the unmonitored one, or the
  *    absolute cost under 20 ns/sample (the resolution floor of a
  *    short run on a noisy host) — the model-quality layer's hot-path
- *    budget.
+ *    budget;
+ *  - autopilot overhead: the monitored blast is repeated with an
+ *    armed AutopilotController (reference windows enabled on every
+ *    machine, drift listener installed, ticked periodically from the
+ *    producer) against a monitor-only baseline, under the same
+ *    1%-or-20 ns steady-state budget: self-healing must be free
+ *    while nothing drifts.
  *
  * Writes BENCH_serve.json into the working directory and exits
  * nonzero if the throughput floor (100k samples/sec at 8 threads;
@@ -31,9 +37,11 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "autopilot/autopilot.hpp"
 #include "common/bench_support.hpp"
 #include "monitor/fleet_monitor.hpp"
 #include "serve/replay.hpp"
@@ -152,6 +160,54 @@ monitoredBlast(const MachinePowerModel &model,
     return static_cast<double>(server.processed()) / seconds;
 }
 
+/**
+ * Monitored blast with an armed (but idle) autopilot: every machine
+ * has a live reference window, the drift listener is installed, and
+ * the controller ticks every ~1000 submissions the way a live
+ * deployment would tick once a second. Nothing drifts, so this
+ * measures the pure drain-path cost of being remediable.
+ * @return Sustained samples/sec.
+ */
+double
+autopilotBlast(const MachinePowerModel &model,
+               const std::vector<std::vector<double>> &rows,
+               const std::vector<double> &meteredW, bool autopilotOn,
+               size_t total)
+{
+    serve::FleetServer server;
+    std::vector<serve::MachineEntry *> entries;
+    for (size_t m = 0; m < kFleetSize; ++m) {
+        entries.push_back(&server.addMachine(
+            "machine" + std::to_string(m), model));
+    }
+    monitor::QualityMonitorConfig qualityConfig;
+    qualityConfig.warmupSamples = 100;
+    monitor::FleetMonitor fleetMonitor(qualityConfig);
+    fleetMonitor.attach(server);
+    autopilot::AutopilotController pilot(server, fleetMonitor);
+    if (autopilotOn)
+        pilot.start();
+    server.start();
+
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < total; ++i) {
+        const size_t r = i % rows.size();
+        server.submitTo(*entries[i % entries.size()],
+                        std::vector<double>(rows[r]), meteredW[r]);
+        if (autopilotOn && i % 1000 == 999)
+            pilot.tick();
+    }
+    server.waitIdle();
+    const auto stop = std::chrono::steady_clock::now();
+    server.stop();
+    if (autopilotOn)
+        pilot.stop();
+
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    return static_cast<double>(server.processed()) / seconds;
+}
+
 } // namespace
 
 int
@@ -229,7 +285,14 @@ main()
     setGlobalThreadCount(8);
     const size_t monitorTotal = fast ? 50'000 : 200'000;
     const int monitorReps = 5;
+    // Gate on the best *pair*, not independent best-of-N per side:
+    // off and on run back-to-back inside each rep, so the per-rep
+    // delta is the clean signal, while per-side bests let one side
+    // catch a scheduler window the other never saw and report that
+    // asymmetry as overhead. A real per-sample cost shows up in
+    // every pair.
     double offSps = 0.0, onSps = 0.0;
+    double monBestPairNs = std::numeric_limits<double>::infinity();
     for (int rep = 0; rep < monitorReps; ++rep) {
         const double off = monitoredBlast(model, rows, meteredPool,
                                           false, monitorTotal);
@@ -237,8 +300,14 @@ main()
                                          true, monitorTotal);
         std::printf("  monitor rep %d: off %.0f/s, on %.0f/s\n",
                     rep + 1, off, on);
-        offSps = std::max(offSps, off);
-        onSps = std::max(onSps, on);
+        const double pairNs = (off > 0.0 && on > 0.0)
+                                  ? (1e9 / on - 1e9 / off)
+                                  : 0.0;
+        if (pairNs < monBestPairNs) {
+            monBestPairNs = pairNs;
+            offSps = off;
+            onSps = on;
+        }
     }
     setGlobalThreadCount(1);
     const double monitorOverheadPct =
@@ -253,11 +322,57 @@ main()
             ? (1e9 / onSps - 1e9 / offSps)
             : 0.0;
     const double overheadNsBudget = 20.0;
-    std::printf("\nmonitor overhead (best of %d, metered refs): "
+    std::printf("\nmonitor overhead (best pair of %d, metered refs): "
                 "off %.0f/s, on %.0f/s (%+.3f%%, %+.1f ns/sample), "
                 "budget 1%% or %.0f ns/sample\n",
                 monitorReps, offSps, onSps, monitorOverheadPct,
                 monitorOverheadNs, overheadNsBudget);
+
+    // --- Autopilot overhead: armed-and-idle vs monitor-only. ---
+    // Longer runs and more reps than the monitor phase: the budget
+    // compares two already-monitored configurations, so the signal
+    // is a few ns/sample and a 30 ms fast-mode run would be pure
+    // scheduler noise. Each rep runs off and on back-to-back under
+    // near-identical host load, so the per-rep delta is the clean
+    // signal; independent best-of-N per side lets one side catch a
+    // scheduler window the other never saw and reports that
+    // asymmetry as overhead, so the gate uses the best *pair* — a
+    // real per-sample cost shows up in every pair.
+    setGlobalThreadCount(8);
+    const size_t autopilotTotal = fast ? 150'000 : 400'000;
+    const int autopilotReps = 7;
+    double apOffSps = 0.0, apOnSps = 0.0;
+    double bestPairNs = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < autopilotReps; ++rep) {
+        const double off = autopilotBlast(model, rows, meteredPool,
+                                          false, autopilotTotal);
+        const double on = autopilotBlast(model, rows, meteredPool,
+                                         true, autopilotTotal);
+        std::printf("  autopilot rep %d: off %.0f/s, on %.0f/s\n",
+                    rep + 1, off, on);
+        const double pairNs = (off > 0.0 && on > 0.0)
+                                  ? (1e9 / on - 1e9 / off)
+                                  : 0.0;
+        if (pairNs < bestPairNs) {
+            bestPairNs = pairNs;
+            apOffSps = off;
+            apOnSps = on;
+        }
+    }
+    setGlobalThreadCount(1);
+    const double autopilotOverheadPct =
+        apOffSps > 0.0 ? (apOffSps - apOnSps) / apOffSps * 100.0
+                       : 0.0;
+    const double autopilotOverheadNs =
+        (apOffSps > 0.0 && apOnSps > 0.0)
+            ? (1e9 / apOnSps - 1e9 / apOffSps)
+            : 0.0;
+    std::printf("\nautopilot overhead (best pair of %d, armed idle): "
+                "off %.0f/s, on %.0f/s (%+.3f%%, %+.1f ns/sample), "
+                "budget 1%% or %.0f ns/sample\n",
+                autopilotReps, apOffSps, apOnSps,
+                autopilotOverheadPct, autopilotOverheadNs,
+                overheadNsBudget);
 
     // --- Assertions. ---
     const double floorSps = fast ? 10'000.0 : 100'000.0;
@@ -298,6 +413,21 @@ main()
         std::printf("FAIL: monitored throughput %.0f/s is below the "
                     "%.0f floor\n",
                     onSps, floorSps);
+        ok = false;
+    }
+    if (apOnSps < 0.99 * apOffSps &&
+        autopilotOverheadNs > overheadNsBudget) {
+        std::printf("FAIL: autopilot-armed throughput %.0f/s is more "
+                    "than 1%% below monitor-only %.0f/s and the "
+                    "absolute cost %.1f ns/sample exceeds %.0f ns\n",
+                    apOnSps, apOffSps, autopilotOverheadNs,
+                    overheadNsBudget);
+        ok = false;
+    }
+    if (apOnSps < floorSps) {
+        std::printf("FAIL: autopilot-armed throughput %.0f/s is "
+                    "below the %.0f floor\n",
+                    apOnSps, floorSps);
         ok = false;
     }
 
@@ -342,6 +472,16 @@ main()
             formatDouble(monitorOverheadPct, 4) +
             ", \"overhead_ns_per_sample\": " +
             formatDouble(monitorOverheadNs, 2) + "},\n";
+    json += "  \"autopilot_overhead\": {\"samples\": " +
+            std::to_string(autopilotTotal) +
+            ", \"reps\": " + std::to_string(autopilotReps) +
+            ", \"off_samples_per_sec\": " +
+            formatDouble(apOffSps, 0) +
+            ", \"on_samples_per_sec\": " + formatDouble(apOnSps, 0) +
+            ", \"overhead_pct\": " +
+            formatDouble(autopilotOverheadPct, 4) +
+            ", \"overhead_ns_per_sample\": " +
+            formatDouble(autopilotOverheadNs, 2) + "},\n";
     json += "  \"throughput_floor_sps\": " +
             formatDouble(floorSps, 0) + ",\n";
     json += "  \"pass\": " + std::string(ok ? "true" : "false") +

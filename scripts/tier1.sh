@@ -15,6 +15,10 @@
 # round-trip tests. The model-quality monitor gets a `chaos monitor`
 # replay smoke (clean replay => zero drift events, telemetry is
 # well-formed JSONL) and its tests run under ThreadSanitizer too.
+# The self-healing autopilot gets a `chaos autopilot` replay smoke
+# (an injected stuck-counter fault must be quarantined, retrained,
+# and canary-promoted within the replay; a clean replay must report
+# zero remediations) and its tests run under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -80,6 +84,41 @@ for record_type in fleet quality metrics; do
 done
 
 echo
+echo "== tier 1: chaos autopilot self-healing smoke =="
+# Injected stuck counters on machine0: the autopilot must complete at
+# least one quarantine -> retrain -> promote cycle and hand the
+# machine back to serving.
+./build/tools/chaos autopilot --replay "$serve_tmp/trace.csv" \
+    --model "$serve_tmp/model.txt" --platform Core2 \
+    --warmup 40 --window 30 --min-retrain-samples 32 \
+    --canary-samples 16 --cooldown 30 \
+    --inject-stuck machine0 --inject-at 60 \
+    | tee "$serve_tmp/autopilot.out"
+grep -q 'autopilot summary: quarantines=[1-9]' \
+    "$serve_tmp/autopilot.out" || {
+    echo "autopilot smoke: injected fault was never quarantined" >&2
+    exit 1
+}
+grep -Eq 'promotions=[1-9]' "$serve_tmp/autopilot.out" || {
+    echo "autopilot smoke: retrained model was never promoted" >&2
+    exit 1
+}
+grep -q '| machine0 | serving' "$serve_tmp/autopilot.out" || {
+    echo "autopilot smoke: machine0 did not return to serving" >&2
+    exit 1
+}
+# A clean replay of the same trace must not remediate anything.
+./build/tools/chaos autopilot --replay "$serve_tmp/trace.csv" \
+    --model "$serve_tmp/model.txt" --platform Core2 \
+    --warmup 40 --window 30 \
+    | tee "$serve_tmp/autopilot_clean.out"
+grep -q 'autopilot summary: quarantines=0 retrains=0 promotions=0 rollbacks=0 failures=0' \
+    "$serve_tmp/autopilot_clean.out" || {
+    echo "autopilot smoke: clean replay triggered remediation" >&2
+    exit 1
+}
+
+echo
 echo "== tier 1: fault-injection tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCHAOS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j"$(nproc)" --target test_faults
@@ -89,7 +128,7 @@ echo
 echo "== tier 1: parallel tests under TSan =="
 cmake -B build-tsan -S . -DCHAOS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_util test_core \
-    test_obs test_serve test_models test_monitor
+    test_obs test_serve test_models test_monitor test_autopilot
 CHAOS_THREADS=8 ./build-tsan/tests/test_util \
     --gtest_filter='ParallelTest.*:Logging.Concurrent*'
 CHAOS_BENCH_FAST=1 CHAOS_THREADS=8 ./build-tsan/tests/test_core \
@@ -100,6 +139,7 @@ echo
 echo "== tier 1: serve + serialization round-trip tests under TSan =="
 CHAOS_THREADS=8 ./build-tsan/tests/test_serve
 CHAOS_THREADS=8 ./build-tsan/tests/test_monitor
+CHAOS_THREADS=8 ./build-tsan/tests/test_autopilot
 CHAOS_THREADS=8 ./build-tsan/tests/test_models \
     --gtest_filter='*SerializePropertyRoundTrip*'
 

@@ -1,0 +1,556 @@
+#include "autopilot/autopilot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "models/factory.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+
+namespace chaos::autopilot {
+
+namespace {
+
+/**
+ * chaos.autopilot.* registry metrics. Remediation counters are
+ * Stable: for a fixed trace replayed with inline retraining their
+ * values are bit-identical across thread counts. The in-flight gauge
+ * reflects background worker timing, hence Scheduling.
+ */
+struct AutopilotMetrics
+{
+    obs::Counter &quarantines;
+    obs::Counter &retrains;
+    obs::Counter &retrainFailures;
+    obs::Counter &promotions;
+    obs::Counter &rollbacks;
+    obs::Gauge &quarantinedMachines;
+    obs::Gauge &retrainsInFlight;
+
+    static AutopilotMetrics &
+    get()
+    {
+        auto &registry = obs::Registry::instance();
+        static AutopilotMetrics m{
+            registry.counter("chaos.autopilot.quarantines"),
+            registry.counter("chaos.autopilot.retrains"),
+            registry.counter("chaos.autopilot.retrain_failures"),
+            registry.counter("chaos.autopilot.promotions"),
+            registry.counter("chaos.autopilot.rollbacks"),
+            registry.gauge("chaos.autopilot.quarantined_machines"),
+            registry.gauge("chaos.autopilot.retrains_inflight",
+                           obs::Stability::Scheduling),
+        };
+        return m;
+    }
+};
+
+} // namespace
+
+const char *
+remediationStateName(RemediationState state)
+{
+    switch (state) {
+      case RemediationState::Serving:     return "serving";
+      case RemediationState::Quarantined: return "quarantined";
+      case RemediationState::Retraining:  return "retraining";
+      case RemediationState::Canary:      return "canary";
+      case RemediationState::Promoted:    return "promoted";
+      case RemediationState::RolledBack:  return "rolled_back";
+    }
+    return "unknown";
+}
+
+AutopilotController::AutopilotController(
+    serve::FleetServer &server, monitor::FleetMonitor &fleetMonitor,
+    AutopilotConfig config)
+    : server_(server), monitor_(fleetMonitor), cfg_(config)
+{}
+
+AutopilotController::~AutopilotController()
+{
+    stop();
+}
+
+void
+AutopilotController::setSubstituteModel(MachinePowerModel pooled)
+{
+    substitute_ = std::make_shared<const MachinePowerModel>(
+        std::move(pooled));
+}
+
+void
+AutopilotController::setRetrainHook(RetrainFn fn)
+{
+    retrainHook_ = std::move(fn);
+}
+
+void
+AutopilotController::start()
+{
+    raiseIf(armed_, "autopilot: start() while already armed");
+    raiseIf(!monitor_.attached(),
+            "autopilot: monitor must be attached before start()");
+    {
+        std::lock_guard<std::mutex> lock(stateMu_);
+        machines_.clear();
+        for (const std::string &id : server_.machineIds()) {
+            serve::MachineEntry *entry = server_.machine(id);
+            raiseIf(entry == nullptr,
+                    "autopilot: machine '" + id +
+                        "' vanished during start");
+            entry->enableReferenceWindow(
+                cfg_.referenceWindowSamples);
+            auto ctl = std::make_unique<MachineCtl>();
+            ctl->id = id;
+            ctl->entry = entry;
+            ctl->view.id = id;
+            machines_.push_back(std::move(ctl));
+        }
+    }
+    monitor_.setDriftListener([this](const std::string &id) {
+        onDriftFired(id);
+    });
+    if (cfg_.backgroundRetrain && cfg_.maxConcurrentRetrains > 0) {
+        stopping_ = false;
+        workers_.reserve(cfg_.maxConcurrentRetrains);
+        for (std::size_t i = 0; i < cfg_.maxConcurrentRetrains; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+    armed_ = true;
+}
+
+void
+AutopilotController::stop()
+{
+    if (!armed_)
+        return;
+    monitor_.setDriftListener(nullptr);
+    {
+        std::lock_guard<std::mutex> lock(jobMu_);
+        stopping_ = true;
+        jobQueue_.clear();
+    }
+    jobCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    armed_ = false;
+}
+
+void
+AutopilotController::onDriftFired(const std::string &machineId)
+{
+    // Runs on a drain thread under the machine's entry mutex: only
+    // touch the leaf pending queue, never stateMu_ or entry locks.
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    pendingDrifts_.push_back(machineId);
+}
+
+std::size_t
+AutopilotController::currentTick() const
+{
+    std::lock_guard<std::mutex> lock(stateMu_);
+    return tick_;
+}
+
+AutopilotController::MachineCtl *
+AutopilotController::findCtl(const std::string &machineId)
+{
+    for (const auto &ctl : machines_) {
+        if (ctl->id == machineId)
+            return ctl.get();
+    }
+    return nullptr;
+}
+
+void
+AutopilotController::tick()
+{
+    obs::Span span("autopilot.tick");
+
+    std::vector<std::string> drifts;
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        drifts.swap(pendingDrifts_);
+    }
+    std::vector<RetrainResult> results;
+    {
+        std::lock_guard<std::mutex> lock(resultMu_);
+        results.swap(results_);
+    }
+
+    std::lock_guard<std::mutex> lock(stateMu_);
+    ++tick_;
+
+    for (const std::string &id : drifts) {
+        if (MachineCtl *ctl = findCtl(id)) {
+            ++ctl->view.driftsSeen;
+            handleDrift(*ctl);
+        }
+    }
+
+    for (const RetrainResult &result : results) {
+        MachineCtl *ctl = findCtl(result.machineId);
+        // Stale results (a timed-out attempt's fit finishing late, or
+        // a machine that moved on) are discarded.
+        if (ctl != nullptr &&
+            ctl->state == RemediationState::Retraining &&
+            ctl->jobSeq == result.jobSeq)
+            applyRetrainResult(*ctl, result);
+    }
+
+    for (const auto &ctlPtr : machines_) {
+        MachineCtl &ctl = *ctlPtr;
+        switch (ctl.state) {
+          case RemediationState::Serving:
+            break;
+          case RemediationState::Quarantined:
+            if (tick_ >= ctl.notBeforeTick)
+                maybeStartRetrain(ctl);
+            if (ctl.state == RemediationState::Quarantined &&
+                tick_ > ctl.quarantineDeadline) {
+                rollBack(ctl,
+                         "quarantine timed out before the reference "
+                         "window was ready");
+            }
+            break;
+          case RemediationState::Retraining:
+            if (tick_ > ctl.attemptDeadline) {
+                // The fit wedged past its hard deadline; its late
+                // result (if any) is invalidated via jobSeq.
+                ctl.jobSeq = 0;
+                ++stats_.retrainFailures;
+                ++ctl.view.retrainFailures;
+                AutopilotMetrics::get().retrainFailures.add();
+                if (ctl.attempt < cfg_.retrainMaxAttempts) {
+                    ctl.state = RemediationState::Quarantined;
+                    ctl.notBeforeTick =
+                        tick_ + (cfg_.retrainBackoffTicks
+                                 << (ctl.attempt - 1));
+                } else {
+                    rollBack(ctl, "retrain timed out on the final "
+                                  "attempt");
+                }
+            }
+            break;
+          case RemediationState::Canary:
+            decideCanary(ctl, ctl.entry->shadowReport());
+            break;
+          case RemediationState::Promoted:
+          case RemediationState::RolledBack:
+            expireCooldown(ctl);
+            break;
+        }
+    }
+
+    publishGauges();
+}
+
+void
+AutopilotController::handleDrift(MachineCtl &ctl)
+{
+    if (ctl.state != RemediationState::Serving) {
+        // Mid-remediation firings are expected (e.g. the detector
+        // refires while the canary runs); the state machine already
+        // covers them.
+        ++ctl.view.driftsDeferred;
+        return;
+    }
+    ctl.entry->engageQuarantine(substitute_);
+    ctl.state = RemediationState::Quarantined;
+    ctl.attempt = 0;
+    ctl.notBeforeTick = 0;
+    ctl.jobSeq = 0;
+    ctl.quarantineDeadline = tick_ + cfg_.quarantineTimeoutTicks;
+    ++stats_.quarantines;
+    ++ctl.view.quarantines;
+    AutopilotMetrics::get().quarantines.add();
+    obs::EventLog::instance().emit(
+        obs::EventKind::Quarantine, ctl.id,
+        std::string("estimate isolated from the cluster sum; "
+                    "serving ") +
+            (substitute_ ? "class-pooled substitute"
+                         : "last-known-good mean"));
+}
+
+void
+AutopilotController::maybeStartRetrain(MachineCtl &ctl)
+{
+    const std::size_t fill = ctl.entry->referenceFill();
+    if (fill < cfg_.retrainMinSamples)
+        return;
+
+    RetrainJob job;
+    serve::MachineEntry::ReferenceData data =
+        ctl.entry->referenceData();
+    job.features = std::move(data.features);
+    job.x = std::move(data.x);
+    job.y = std::move(data.y);
+    job.machineId = ctl.id;
+    job.jobSeq = ++nextJobSeq_;
+    job.type = ctl.entry->withEstimator(
+        [](OnlinePowerEstimator &est) {
+            return est.deployedModel().model().type();
+        });
+    // The switching technique needs a frequency-feature annotation
+    // the reference window does not carry; refit with the fallback.
+    if (job.type == ModelType::Switching)
+        job.type = cfg_.fallbackRetrainType;
+
+    ctl.jobSeq = job.jobSeq;
+    ++ctl.attempt;
+    ctl.view.attempt = ctl.attempt;
+    ctl.state = RemediationState::Retraining;
+    ctl.attemptDeadline = tick_ + cfg_.retrainTimeoutTicks;
+    ++stats_.retrainsStarted;
+    AutopilotMetrics::get().retrains.add();
+    {
+        std::ostringstream detail;
+        detail << "retrain attempt " << ctl.attempt << "/"
+               << cfg_.retrainMaxAttempts << " on " << job.y.size()
+               << " reference samples ("
+               << modelTypeName(job.type) << ")";
+        obs::EventLog::instance().emit(obs::EventKind::Retrain,
+                                       ctl.id, detail.str());
+    }
+
+    if (cfg_.backgroundRetrain && !workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(jobMu_);
+            jobQueue_.push_back(std::move(job));
+        }
+        jobCv_.notify_one();
+    } else {
+        // Deterministic mode: fit inline, decide this same tick.
+        applyRetrainResult(ctl, runRetrain(job));
+    }
+}
+
+AutopilotController::RetrainResult
+AutopilotController::runRetrain(const RetrainJob &job)
+{
+    obs::Span span("autopilot.retrain");
+    RetrainResult result;
+    result.jobSeq = job.jobSeq;
+    result.machineId = job.machineId;
+    try {
+        if (retrainHook_) {
+            result.model = std::make_shared<MachinePowerModel>(
+                retrainHook_(job.machineId, job.features, job.x,
+                             job.y));
+        } else {
+            raiseIf(job.y.size() <
+                        job.features.counters.size() + 2,
+                    "autopilot: reference window too small to refit");
+            std::unique_ptr<PowerModel> model =
+                makeModel(job.type, ModelOptions{});
+            model->fit(job.x, job.y);
+            result.model = std::make_shared<MachinePowerModel>(
+                MachinePowerModel::fromParts(job.features,
+                                             std::move(model)));
+        }
+        result.ok = true;
+    } catch (const std::exception &e) {
+        result.ok = false;
+        result.error = e.what();
+    }
+    return result;
+}
+
+void
+AutopilotController::applyRetrainResult(MachineCtl &ctl,
+                                        const RetrainResult &result)
+{
+    ctl.jobSeq = 0;
+    if (!result.ok) {
+        ++stats_.retrainFailures;
+        ++ctl.view.retrainFailures;
+        AutopilotMetrics::get().retrainFailures.add();
+        if (ctl.attempt < cfg_.retrainMaxAttempts) {
+            ctl.state = RemediationState::Quarantined;
+            ctl.notBeforeTick =
+                tick_ +
+                (cfg_.retrainBackoffTicks << (ctl.attempt - 1));
+        } else {
+            rollBack(ctl, "retrain failed: " + result.error);
+        }
+        return;
+    }
+    ctl.entry->beginShadow(*result.model);
+    ctl.state = RemediationState::Canary;
+    ctl.canaryDeadline = tick_ + cfg_.canaryTimeoutTicks;
+}
+
+void
+AutopilotController::decideCanary(
+    MachineCtl &ctl, const serve::MachineEntry::ShadowReport &report)
+{
+    if (!report.active) {
+        // The shadow vanished underneath us (external swap): fall
+        // back to a rollback so the machine cannot wedge in Canary.
+        rollBack(ctl, "shadow evaluation lost");
+        return;
+    }
+    if (report.refSamples >= cfg_.canaryMinSamples) {
+        ctl.view.lastCandidateRmseW = report.candidateRmseW;
+        ctl.view.lastIncumbentRmseW = report.incumbentRmseW;
+        const double winBar = report.incumbentRmseW *
+                              (1.0 - cfg_.canaryMarginPct / 100.0);
+        if (report.candidateRmseW < winBar) {
+            promote(ctl, report);
+        } else {
+            std::ostringstream reason;
+            reason << std::setprecision(4) << "canary lost: candidate "
+                   << report.candidateRmseW << " W rMSE vs incumbent "
+                   << report.incumbentRmseW << " W over "
+                   << report.refSamples << " samples";
+            rollBack(ctl, reason.str());
+        }
+        return;
+    }
+    if (tick_ > ctl.canaryDeadline)
+        rollBack(ctl, "canary timed out waiting for metered samples");
+}
+
+void
+AutopilotController::promote(
+    MachineCtl &ctl, const serve::MachineEntry::ShadowReport &report)
+{
+    MachinePowerModel candidate = ctl.entry->shadowModel();
+    ctl.entry->endShadow();
+    ctl.entry->liftQuarantine();
+    // The atomic hot-swap also resets the monitor's tracker (fresh
+    // warmup, quality Unknown) and clears the reference window.
+    server_.swapModel(ctl.id, std::move(candidate));
+    ctl.state = RemediationState::Promoted;
+    ctl.cooldownUntil = tick_ + cfg_.cooldownTicks;
+    ++stats_.promotions;
+    ++ctl.view.promotions;
+    AutopilotMetrics::get().promotions.add();
+    std::ostringstream detail;
+    detail << std::setprecision(4) << "canary won: candidate "
+           << report.candidateRmseW << " W rMSE vs incumbent "
+           << report.incumbentRmseW << " W over " << report.refSamples
+           << " samples; model promoted";
+    obs::EventLog::instance().emit(obs::EventKind::Promote, ctl.id,
+                                   detail.str());
+}
+
+void
+AutopilotController::rollBack(MachineCtl &ctl,
+                              const std::string &reason)
+{
+    ctl.entry->endShadow();
+    ctl.entry->liftQuarantine();
+    // Keep the incumbent but clear the latched verdict: a persisting
+    // drift refires quickly (the baseline is retained), a transient
+    // one stays quiet.
+    monitor_.acknowledgeDrift(ctl.id);
+    ctl.state = RemediationState::RolledBack;
+    ctl.cooldownUntil = tick_ + cfg_.cooldownTicks;
+    ++stats_.rollbacks;
+    ++ctl.view.rollbacks;
+    AutopilotMetrics::get().rollbacks.add();
+    obs::EventLog::instance().emit(obs::EventKind::Rollback, ctl.id,
+                                   reason);
+}
+
+void
+AutopilotController::expireCooldown(MachineCtl &ctl)
+{
+    if (tick_ < ctl.cooldownUntil)
+        return;
+    ctl.state = RemediationState::Serving;
+    ctl.attempt = 0;
+    ctl.view.attempt = 0;
+    // A drift that latched again during the cool-down re-enters
+    // remediation immediately (its firing was deferred above).
+    if (monitor_.machineDrifted(ctl.id))
+        handleDrift(ctl);
+}
+
+void
+AutopilotController::publishGauges()
+{
+    std::size_t quarantined = 0;
+    for (const auto &ctl : machines_) {
+        if (ctl->state == RemediationState::Quarantined ||
+            ctl->state == RemediationState::Retraining ||
+            ctl->state == RemediationState::Canary)
+            ++quarantined;
+    }
+    stats_.quarantinedNow = quarantined;
+    std::size_t inFlight = 0;
+    {
+        std::lock_guard<std::mutex> lock(jobMu_);
+        inFlight = jobsExecuting_ + jobQueue_.size();
+    }
+    stats_.retrainsInFlight = inFlight;
+    AutopilotMetrics::get().quarantinedMachines.set(
+        static_cast<std::int64_t>(quarantined));
+    AutopilotMetrics::get().retrainsInFlight.set(
+        static_cast<std::int64_t>(inFlight));
+}
+
+void
+AutopilotController::workerLoop()
+{
+    for (;;) {
+        RetrainJob job;
+        {
+            std::unique_lock<std::mutex> lock(jobMu_);
+            jobCv_.wait(lock, [this] {
+                return stopping_ || !jobQueue_.empty();
+            });
+            if (stopping_)
+                return;
+            job = std::move(jobQueue_.front());
+            jobQueue_.pop_front();
+            ++jobsExecuting_;
+        }
+        RetrainResult result = runRetrain(job);
+        {
+            std::lock_guard<std::mutex> lock(resultMu_);
+            results_.push_back(std::move(result));
+        }
+        {
+            std::lock_guard<std::mutex> lock(jobMu_);
+            --jobsExecuting_;
+        }
+    }
+}
+
+std::vector<MachineRemediation>
+AutopilotController::status() const
+{
+    std::lock_guard<std::mutex> lock(stateMu_);
+    std::vector<MachineRemediation> out;
+    out.reserve(machines_.size());
+    for (const auto &ctl : machines_) {
+        MachineRemediation view = ctl->view;
+        view.state = ctl->state;
+        view.cooldownRemaining =
+            (ctl->state == RemediationState::Promoted ||
+             ctl->state == RemediationState::RolledBack) &&
+                    ctl->cooldownUntil > tick_
+                ? ctl->cooldownUntil - tick_
+                : 0;
+        out.push_back(std::move(view));
+    }
+    return out;
+}
+
+AutopilotStats
+AutopilotController::stats() const
+{
+    std::lock_guard<std::mutex> lock(stateMu_);
+    return stats_;
+}
+
+} // namespace chaos::autopilot

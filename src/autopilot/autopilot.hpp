@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Self-healing serving: the remediation autopilot.
+ *
+ * The monitor subsystem detects model drift (Page-Hinkley over live
+ * residuals) but only reports it — the cluster sum (paper Eq. 5)
+ * keeps accumulating a known-bad estimate until someone intervenes.
+ * The autopilot closes that loop. It subscribes to the monitor's
+ * drift firings and drives every affected machine through an explicit
+ * state machine:
+ *
+ *   Serving ──drift──> Quarantined ──window ready──> Retraining
+ *       ^                  │  (substitute model          │
+ *       │                  │   serves the sum)           │ fit on the
+ *       │                  │                             │ reference
+ *       │                  └──timeout──> RolledBack      │ window
+ *       │                                    ^           v
+ *       ├──cooldown── Promoted <──canary wins── Canary (shadow
+ *       └──cooldown── RolledBack <─canary loses──┘  old vs new)
+ *
+ * Invariants:
+ *  - The drain path NEVER blocks on remediation: retrains run on a
+ *    bounded background worker pool (or inline in tick() in
+ *    deterministic mode); the drain-side hooks are a branch and a few
+ *    flops per sample.
+ *  - At most maxConcurrentRetrains retrains execute at once — a drift
+ *    storm across the fleet queues up instead of fanning out.
+ *  - A retrain attempt has a hard tick deadline, bounded retries with
+ *    exponential backoff, and a wedged/failed retrain ends in
+ *    RolledBack, never in a stuck Quarantined machine.
+ *  - Promotion is canary-gated: the candidate must win the rolling
+ *    shadow comparison (rMSE over the same metered references, i.e. a
+ *    rolling-DRE win — the envelope denominator cancels) before the
+ *    atomic swapModel; otherwise the incumbent stays and the drift
+ *    verdict is acknowledged so a persisting drift can refire.
+ *  - Promoted/RolledBack decay back to Serving only after a cooldown,
+ *    which breaks promote/re-drift flap loops.
+ *
+ * Time is logical: the owner calls tick() at its own cadence (the
+ * replay loop once per trace second, a live deployment once per wall
+ * second) and every deadline above is measured in ticks.
+ */
+#ifndef CHAOS_AUTOPILOT_AUTOPILOT_HPP
+#define CHAOS_AUTOPILOT_AUTOPILOT_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "monitor/fleet_monitor.hpp"
+#include "serve/server.hpp"
+
+namespace chaos::autopilot {
+
+/** Where a machine stands in the remediation loop. */
+enum class RemediationState {
+    Serving,     ///< Healthy; autopilot idle for this machine.
+    Quarantined, ///< Substitute serving; reference window filling.
+    Retraining,  ///< Background fit in flight (or backing off).
+    Canary,      ///< Candidate shadow-evaluating against incumbent.
+    Promoted,    ///< Candidate swapped in; cooling down.
+    RolledBack,  ///< Incumbent kept; cooling down.
+};
+
+/** @return Stable lowercase name (e.g. "quarantined"). */
+const char *remediationStateName(RemediationState state);
+
+/** Autopilot knobs; every *_Ticks deadline is in tick() calls. */
+struct AutopilotConfig
+{
+    /** Background retrains allowed to execute at once. */
+    std::size_t maxConcurrentRetrains = 2;
+    /** Reference samples kept per machine for retraining. */
+    std::size_t referenceWindowSamples = 512;
+    /** Reference samples required before a retrain launches. */
+    std::size_t retrainMinSamples = 64;
+    /** Fit attempts per remediation before giving up. */
+    std::size_t retrainMaxAttempts = 3;
+    /** Backoff after a failed attempt; doubles per attempt. */
+    std::size_t retrainBackoffTicks = 2;
+    /** Hard per-attempt deadline; a wedged fit is abandoned. */
+    std::size_t retrainTimeoutTicks = 600;
+    /** Quarantine deadline when the window never fills. */
+    std::size_t quarantineTimeoutTicks = 2000;
+    /** Metered shadow samples required for a canary verdict. */
+    std::size_t canaryMinSamples = 32;
+    /** Canary deadline when references stop arriving. */
+    std::size_t canaryTimeoutTicks = 1000;
+    /**
+     * Promotion margin, percent: the candidate's rolling rMSE must be
+     * below (1 - margin/100) x incumbent's. 0 = any strict win.
+     */
+    double canaryMarginPct = 0.0;
+    /** Ticks a Promoted/RolledBack machine rests before Serving. */
+    std::size_t cooldownTicks = 120;
+    /**
+     * Run retrains on background worker threads. False = fit inline
+     * inside tick() (single-threaded, deterministic; for replay
+     * tooling and tests).
+     */
+    bool backgroundRetrain = true;
+    /**
+     * Technique for the refit when the incumbent's cannot be refit
+     * from a reference window alone (the switching model needs a
+     * frequency-feature annotation that is not carried there).
+     */
+    ModelType fallbackRetrainType = ModelType::Linear;
+};
+
+/** One machine's remediation status (for dashboards/tests). */
+struct MachineRemediation
+{
+    std::string id;
+    RemediationState state = RemediationState::Serving;
+    std::uint64_t driftsSeen = 0;     ///< Listener firings observed.
+    std::uint64_t driftsDeferred = 0; ///< Firings while mid-remediation.
+    std::uint64_t quarantines = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t retrainFailures = 0;
+    std::size_t attempt = 0;          ///< Current retrain attempt (1-based).
+    std::size_t cooldownRemaining = 0;
+    double lastCandidateRmseW = 0.0;  ///< From the last canary verdict.
+    double lastIncumbentRmseW = 0.0;
+};
+
+/** Fleet-wide remediation tallies. */
+struct AutopilotStats
+{
+    std::uint64_t quarantines = 0;
+    std::uint64_t retrainsStarted = 0;
+    std::uint64_t retrainFailures = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rollbacks = 0;
+    std::size_t retrainsInFlight = 0;
+    std::size_t quarantinedNow = 0;
+};
+
+/** The remediation controller (see file comment). */
+class AutopilotController
+{
+  public:
+    /**
+     * @param server The serving loop to remediate. Machines must all
+     *        be registered before start().
+     * @param fleetMonitor The drift detector; must be attach()ed to
+     *        @p server (start() installs the drift listener on it).
+     */
+    AutopilotController(serve::FleetServer &server,
+                        monitor::FleetMonitor &fleetMonitor,
+                        AutopilotConfig config = {});
+
+    /** Stops workers and unhooks the drift listener. */
+    ~AutopilotController();
+
+    AutopilotController(const AutopilotController &) = delete;
+    AutopilotController &operator=(const AutopilotController &) =
+        delete;
+
+    /**
+     * The class-pooled model served while a machine is quarantined
+     * (core/pooling fitPooledSubstitute). Without one, quarantine
+     * freezes the machine at its last-known-good mean estimate. Set
+     * before start().
+     */
+    void setSubstituteModel(MachinePowerModel pooled);
+
+    /**
+     * Custom retrain implementation (tests inject failures/bad
+     * models here). Receives the machine id and its reference window
+     * (feature-ordered rows, oldest first, with aligned metered
+     * watts); returns the candidate model or throws RecoverableError
+     * to report a failed attempt. Default: refit the incumbent's
+     * technique (or fallbackRetrainType) on the window.
+     */
+    using RetrainFn = std::function<MachinePowerModel(
+        const std::string &machineId, const FeatureSet &features,
+        const Matrix &x, const std::vector<double> &y)>;
+    void setRetrainHook(RetrainFn fn);
+
+    /**
+     * Arm the autopilot: enables every machine's reference window,
+     * installs the drift listener, and (in background mode) spawns
+     * the retrain workers. Call after the monitor is attached and
+     * the fleet registered.
+     */
+    void start();
+
+    /** Disarm: unhook the listener, drain and join workers. */
+    void stop();
+
+    /** True between start() and stop(). */
+    bool armed() const { return armed_; }
+
+    /**
+     * Advance every machine's state machine by one logical tick:
+     * absorb drift firings, launch/collect/time-out retrains, decide
+     * canaries, expire cooldowns. Never blocks on a fit in background
+     * mode. Safe to call from any single thread.
+     */
+    void tick();
+
+    /** Ticks elapsed so far. */
+    std::size_t currentTick() const;
+
+    /** Per-machine remediation view, sorted by id. */
+    std::vector<MachineRemediation> status() const;
+
+    /** Fleet-wide tallies. */
+    AutopilotStats stats() const;
+
+    /** The configuration the controller was built with. */
+    const AutopilotConfig &config() const { return cfg_; }
+
+  private:
+    /** A retrain request handed to a worker. */
+    struct RetrainJob
+    {
+        std::uint64_t jobSeq = 0;
+        std::string machineId;
+        FeatureSet features;
+        Matrix x{0, 0};
+        std::vector<double> y;
+        ModelType type = ModelType::Linear;
+    };
+
+    /** What came back from a worker. */
+    struct RetrainResult
+    {
+        std::uint64_t jobSeq = 0;
+        std::string machineId;
+        bool ok = false;
+        std::string error;
+        std::shared_ptr<MachinePowerModel> model;
+    };
+
+    /** Controller-side per-machine state (guarded by stateMu_). */
+    struct MachineCtl
+    {
+        std::string id;
+        serve::MachineEntry *entry = nullptr;
+        RemediationState state = RemediationState::Serving;
+        MachineRemediation view; ///< Rolling public counters.
+        std::uint64_t jobSeq = 0;       ///< Outstanding retrain job.
+        std::size_t attempt = 0;        ///< 1-based attempt number.
+        std::size_t notBeforeTick = 0;  ///< Backoff gate.
+        std::size_t attemptDeadline = 0;
+        std::size_t quarantineDeadline = 0;
+        std::size_t canaryDeadline = 0;
+        std::size_t cooldownUntil = 0;
+    };
+
+    void onDriftFired(const std::string &machineId);
+    void handleDrift(MachineCtl &ctl);
+    void maybeStartRetrain(MachineCtl &ctl);
+    void applyRetrainResult(MachineCtl &ctl,
+                            const RetrainResult &result);
+    void decideCanary(MachineCtl &ctl,
+                      const serve::MachineEntry::ShadowReport &report);
+    void promote(MachineCtl &ctl,
+                 const serve::MachineEntry::ShadowReport &report);
+    void rollBack(MachineCtl &ctl, const std::string &reason);
+    void expireCooldown(MachineCtl &ctl);
+    RetrainResult runRetrain(const RetrainJob &job);
+    void workerLoop();
+    MachineCtl *findCtl(const std::string &machineId);
+    void publishGauges();
+
+    serve::FleetServer &server_;
+    monitor::FleetMonitor &monitor_;
+    AutopilotConfig cfg_;
+    bool armed_ = false;
+
+    std::shared_ptr<const MachinePowerModel> substitute_;
+    RetrainFn retrainHook_;
+
+    /** Guards machines_, tick_, stats_. */
+    mutable std::mutex stateMu_;
+    std::vector<std::unique_ptr<MachineCtl>> machines_; ///< By id.
+    std::size_t tick_ = 0;
+    AutopilotStats stats_;
+    std::uint64_t nextJobSeq_ = 0;
+
+    /** Leaf lock: drift firings land here from drain threads. */
+    std::mutex pendingMu_;
+    std::vector<std::string> pendingDrifts_;
+
+    /** Worker pool (background mode). */
+    std::mutex jobMu_;
+    std::condition_variable jobCv_;
+    std::deque<RetrainJob> jobQueue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+    std::size_t jobsExecuting_ = 0; ///< Guarded by jobMu_.
+
+    /** Results travel back on their own leaf lock. */
+    std::mutex resultMu_;
+    std::vector<RetrainResult> results_;
+};
+
+} // namespace chaos::autopilot
+
+#endif // CHAOS_AUTOPILOT_AUTOPILOT_HPP

@@ -8,7 +8,10 @@
 #include <set>
 #include <optional>
 
+#include "autopilot/autopilot.hpp"
 #include "core/chaos.hpp"
+#include "core/pooling.hpp"
+#include "faults/scenarios.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -119,6 +122,20 @@ cmdHelp(std::ostream &out)
            "[--platform P] [--speed X]\n"
         << "      [--window N] [--warmup N] [--drift-lambda L] "
            "[--drift-delta D]\n"
+        << "      [--telemetry-out F.jsonl] [--telemetry-every N] "
+           "[--dashboard-every N]\n"
+        << "  autopilot --replay <data.csv>      replay with "
+           "self-healing remediation\n"
+        << "      (--model M.txt | --fleet manifest.txt) "
+           "[--platform P] [--speed X]\n"
+        << "      [--window N] [--warmup N] [--drift-lambda L] "
+           "[--drift-delta D]\n"
+        << "      [--substitute pooled|lastgood] [--retrain-type T] "
+           "[--canary-samples N]\n"
+        << "      [--cooldown N] [--max-retrains N] "
+           "[--reference-window N] [--min-retrain-samples N]\n"
+        << "      [--inject-stuck \"id;id\"] [--inject-at T] "
+           "[--inject-stagger N]\n"
         << "      [--telemetry-out F.jsonl] [--telemetry-every N] "
            "[--dashboard-every N]\n"
         << "  report <data.csv>                  markdown dataset "
@@ -642,6 +659,275 @@ cmdMonitor(const ParsedArgs &args, std::ostream &out,
     return 0;
 }
 
+/**
+ * Rebuild @p data with the listed machines' counter vectors passed
+ * through a stuck-counter DriftStorm from @p onsetTick on (metered
+ * power stays true — that divergence is what the monitor detects).
+ * @p targets holds replay-style ids ("machine<N>"); rows keep their
+ * recorded order, with a per-machine tick counter driving the storm.
+ */
+Dataset
+injectStuckCounters(const Dataset &data,
+                    const std::vector<std::string> &targets,
+                    std::size_t onsetTick, std::size_t staggerTicks,
+                    std::uint64_t seed)
+{
+    DriftStormConfig stormConfig;
+    stormConfig.machines = targets.size();
+    stormConfig.onsetTick = onsetTick;
+    stormConfig.staggerTicks = staggerTicks;
+    stormConfig.seed = seed;
+    DriftStorm storm(stormConfig);
+
+    Dataset faulted(data.featureNames());
+    std::map<int, std::size_t> tickOf;
+    for (size_t r = 0; r < data.numRows(); ++r) {
+        const int machine = data.machineIds()[r];
+        const std::size_t tick = tickOf[machine]++;
+        std::vector<double> row = data.features().row(r);
+        const auto target =
+            std::find(targets.begin(), targets.end(),
+                      "machine" + std::to_string(machine));
+        if (target != targets.end()) {
+            row = storm.apply(
+                static_cast<std::size_t>(target - targets.begin()),
+                tick, std::move(row));
+        }
+        faulted.addRow(
+            row, data.powerW()[r], data.runIds()[r], machine,
+            data.workloadNames()[data.workloadIds()[r]]);
+    }
+    return faulted;
+}
+
+/**
+ * Replay a recorded trace through the full self-healing loop: fleet
+ * server + quality monitor + remediation autopilot. Drift verdicts
+ * quarantine the machine behind a substitute model, a retrain on the
+ * live reference window produces a candidate, and a canary-gated swap
+ * either promotes it or rolls back. --inject-stuck fault-injects the
+ * trace itself (stuck counters under a moving workload) so the whole
+ * loop can be demonstrated from a clean recording.
+ *
+ * Replay is synchronous and single-threaded (samples drain and the
+ * autopilot ticks inside the replay onTick hook, retrains run inline)
+ * so a fixed trace and seed reproduce the same remediation story.
+ */
+int
+cmdAutopilot(const ParsedArgs &args, std::ostream &out,
+             std::ostream &err)
+{
+    const std::string replayPath = args.flagOr("replay", "");
+    const std::string modelPath = args.flagOr("model", "");
+    const std::string fleetPath = args.flagOr("fleet", "");
+    if (replayPath.empty() || (modelPath.empty() == fleetPath.empty())) {
+        err << "usage: chaos autopilot --replay <data.csv> "
+               "(--model <model.txt> | --fleet <manifest.txt>)\n"
+               "    [--platform P] [--speed X] [--window N] "
+               "[--warmup N]\n"
+               "    [--drift-lambda L] [--drift-delta D]\n"
+               "    [--substitute pooled|lastgood] [--retrain-type T]\n"
+               "    [--canary-samples N] [--cooldown N] "
+               "[--max-retrains N]\n"
+               "    [--reference-window N] [--min-retrain-samples N]\n"
+               "    [--inject-stuck \"machine0;machine1\"] "
+               "[--inject-at T] [--inject-stagger N]\n"
+               "    [--telemetry-out F.jsonl] [--telemetry-every N] "
+               "[--dashboard-every N]\n";
+        return 2;
+    }
+
+    Dataset data = loadDataset(replayPath);
+
+    // The pooled quarantine substitute is fit on the clean recording;
+    // faults are injected afterwards, into the replayed copy only.
+    const std::string substituteMode =
+        args.flagOr("substitute", "pooled");
+    if (substituteMode != "pooled" && substituteMode != "lastgood") {
+        err << "error: --substitute must be pooled or lastgood\n";
+        return 2;
+    }
+    const Dataset cleanData = data;
+
+    const std::string injectIds = args.flagOr("inject-stuck", "");
+    if (!injectIds.empty()) {
+        std::vector<std::string> targets;
+        for (const std::string &part : split(injectIds, ';')) {
+            const std::string id = trim(part);
+            if (!id.empty())
+                targets.push_back(id);
+        }
+        data = injectStuckCounters(
+            data, targets,
+            std::stoul(args.flagOr("inject-at", "0")),
+            std::stoul(args.flagOr("inject-stagger", "0")),
+            std::stoull(args.flagOr("seed", "2012")));
+    }
+
+    serve::TraceReplayer replayer(data);
+    serve::FleetServer server;
+
+    OnlineEstimatorConfig estimatorConfig;
+    const std::string platform = args.flagOr("platform", "");
+    if (!platform.empty()) {
+        estimatorConfig = OnlineEstimatorConfig::forSpec(
+            machineSpecFor(machineClassFromName(platform)));
+    }
+
+    FeatureSet substituteFeatures;
+    if (!modelPath.empty()) {
+        const MachinePowerModel model = loadMachineModelFile(modelPath);
+        substituteFeatures = model.featureSet();
+        for (const std::string &id : replayer.machineIds())
+            server.addMachine(id, model, estimatorConfig);
+    } else {
+        std::vector<serve::FleetMachine> fleet =
+            serve::loadFleetModels(fleetPath);
+        raiseIf(fleet.empty(), "empty fleet manifest " + fleetPath);
+        substituteFeatures = fleet.front().model.featureSet();
+        for (serve::FleetMachine &machine : fleet) {
+            server.addMachine(machine.id, std::move(machine.model),
+                              estimatorConfig);
+        }
+    }
+
+    monitor::QualityMonitorConfig qualityConfig;
+    qualityConfig.windowSamples = static_cast<size_t>(
+        std::stoul(args.flagOr("window", "60")));
+    qualityConfig.warmupSamples = static_cast<size_t>(
+        std::stoul(args.flagOr("warmup", "600")));
+    qualityConfig.driftLambda =
+        std::stod(args.flagOr("drift-lambda", "60"));
+    qualityConfig.driftDelta =
+        std::stod(args.flagOr("drift-delta", "0.5"));
+    monitor::FleetMonitor fleetMonitor(qualityConfig);
+    fleetMonitor.attach(server);
+
+    autopilot::AutopilotConfig pilotConfig;
+    pilotConfig.backgroundRetrain = false; // Deterministic replay.
+    pilotConfig.maxConcurrentRetrains = static_cast<size_t>(
+        std::stoul(args.flagOr("max-retrains", "2")));
+    pilotConfig.referenceWindowSamples = static_cast<size_t>(
+        std::stoul(args.flagOr("reference-window", "256")));
+    pilotConfig.retrainMinSamples = static_cast<size_t>(
+        std::stoul(args.flagOr("min-retrain-samples", "64")));
+    pilotConfig.canaryMinSamples = static_cast<size_t>(
+        std::stoul(args.flagOr("canary-samples", "32")));
+    pilotConfig.cooldownTicks = static_cast<size_t>(
+        std::stoul(args.flagOr("cooldown", "60")));
+    const std::string retrainType = args.flagOr("retrain-type", "");
+    if (!retrainType.empty()) {
+        bool ok = false;
+        pilotConfig.fallbackRetrainType =
+            modelTypeFromString(retrainType, err, ok);
+        if (!ok)
+            return 2;
+    }
+    autopilot::AutopilotController pilot(server, fleetMonitor,
+                                         pilotConfig);
+    if (substituteMode == "pooled") {
+        pilot.setSubstituteModel(
+            fitPooledSubstitute(cleanData, substituteFeatures));
+    }
+    pilot.start();
+
+    std::optional<monitor::TelemetryExporter> telemetry;
+    const std::string telemetryOut = args.flagOr("telemetry-out", "");
+    if (!telemetryOut.empty())
+        telemetry.emplace(telemetryOut);
+    const size_t telemetryEvery = static_cast<size_t>(
+        std::stoul(args.flagOr("telemetry-every", "10")));
+    const size_t dashboardEvery = static_cast<size_t>(
+        std::stoul(args.flagOr("dashboard-every", "0")));
+
+    serve::ReplayConfig replayConfig;
+    replayConfig.speed = std::stod(args.flagOr("speed", "0"));
+    replayConfig.onTick = [&](size_t tick) {
+        // Synchronous lockstep: drain, then advance the autopilot.
+        while (server.processed() + server.dropped() <
+               server.submitted())
+            server.drainOnce();
+        pilot.tick();
+        const bool lastTick = tick + 1 == replayer.numTicks();
+        if (telemetry &&
+            (tick % telemetryEvery == 0 || lastTick)) {
+            const monitor::QualitySnapshot quality =
+                fleetMonitor.publishMetrics();
+            telemetry->writeFleet(server.snapshot(), tick);
+            telemetry->writeQuality(quality, tick);
+            telemetry->writeMetrics(tick);
+        }
+        if (dashboardEvery != 0 &&
+            (tick % dashboardEvery == 0 || lastTick)) {
+            const serve::FleetSnapshot snap = server.snapshot();
+            size_t remediating = 0;
+            for (const autopilot::MachineRemediation &machine :
+                 pilot.status()) {
+                if (machine.state !=
+                    autopilot::RemediationState::Serving)
+                    ++remediating;
+            }
+            out << "tick " << tick << ": cluster "
+                << formatDouble(snap.clusterW, 1) << " W, quarantined "
+                << snap.quarantined << "/" << snap.machines.size()
+                << ", remediating " << remediating << "\n";
+        }
+    };
+
+    const serve::ReplayStats stats =
+        replayer.replayInto(server, replayConfig);
+    pilot.stop();
+
+    const monitor::QualitySnapshot quality = fleetMonitor.snapshot();
+    out << "replayed " << stats.ticks << " ticks x "
+        << server.numMachines() << " machines: " << stats.submitted
+        << " samples, " << server.processed() << " processed, "
+        << server.dropped() << " dropped\n";
+
+    std::map<std::string, const monitor::MachineQualityReport *>
+        reportById;
+    for (const monitor::MachineQualityReport &machine :
+         quality.machines)
+        reportById[machine.id] = &machine;
+    TextTable table({"Machine", "State", "Quality", "Quar", "Promo",
+                     "Rollb", "Canary rMSE (W)"});
+    for (const autopilot::MachineRemediation &machine :
+         pilot.status()) {
+        const auto report = reportById.find(machine.id);
+        const std::string qualityName =
+            report != reportById.end()
+                ? modelQualityName(report->second->quality)
+                : "n/a";
+        const std::string canary =
+            machine.promotions + machine.rollbacks > 0
+                ? formatDouble(machine.lastCandidateRmseW, 2) +
+                      " vs " +
+                      formatDouble(machine.lastIncumbentRmseW, 2)
+                : "n/a";
+        table.addRow({machine.id,
+                      autopilot::remediationStateName(machine.state),
+                      qualityName, std::to_string(machine.quarantines),
+                      std::to_string(machine.promotions),
+                      std::to_string(machine.rollbacks), canary});
+    }
+    out << table.render();
+
+    const autopilot::AutopilotStats pilotStats = pilot.stats();
+    out << "autopilot summary: quarantines=" << pilotStats.quarantines
+        << " retrains=" << pilotStats.retrainsStarted
+        << " promotions=" << pilotStats.promotions
+        << " rollbacks=" << pilotStats.rollbacks
+        << " failures=" << pilotStats.retrainFailures << "\n";
+    out << "drift events: " << fleetMonitor.driftEvents() << "\n";
+
+    if (telemetry) {
+        telemetry->flush();
+        out << "wrote " << telemetry->records()
+            << " telemetry records to " << telemetry->path() << "\n";
+    }
+    return 0;
+}
+
 int
 cmdReport(const ParsedArgs &args, std::ostream &out,
           std::ostream &err)
@@ -725,6 +1011,8 @@ dispatch(const std::string &command, const ParsedArgs &parsed,
         return cmdServe(parsed, out, err);
     if (command == "monitor")
         return cmdMonitor(parsed, out, err);
+    if (command == "autopilot")
+        return cmdAutopilot(parsed, out, err);
     if (command == "report")
         return cmdReport(parsed, out, err);
 

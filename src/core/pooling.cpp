@@ -10,6 +10,7 @@
 #include "stats/kfold.hpp"
 #include "stats/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/result.hpp"
 #include "util/parallel.hpp"
 
 namespace chaos {
@@ -236,6 +237,16 @@ comparePooling(const Dataset &data, const FeatureSet &featureSet,
     result.poolingAdequate =
         result.varianceRatio <= adequacyThreshold;
     return result;
+}
+
+MachinePowerModel
+fitPooledSubstitute(const Dataset &data, const FeatureSet &featureSet,
+                    ModelType type)
+{
+    raiseIf(data.numRows() == 0,
+            "fitPooledSubstitute: empty class dataset");
+    return MachinePowerModel::fit(data, featureSet, type,
+                                  MarsConfig{});
 }
 
 } // namespace chaos

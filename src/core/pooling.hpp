@@ -17,6 +17,7 @@
 #ifndef CHAOS_CORE_POOLING_HPP
 #define CHAOS_CORE_POOLING_HPP
 
+#include "core/cluster_model.hpp"
 #include "core/evaluation.hpp"
 
 namespace chaos {
@@ -60,6 +61,23 @@ PoolingComparison comparePooling(const Dataset &data,
                                  const EnvelopeMap &envelopes,
                                  const EvaluationConfig &config,
                                  double adequacyThreshold = 1.25);
+
+/**
+ * Fit the class-pooled stand-in model the serving autopilot deploys
+ * while a machine's own model sits in quarantine: one model over the
+ * whole class dataset (every machine's rows pooled, the CHAOS
+ * choice), which cross-architectural transfer studies show is an
+ * adequate substitute until a machine-specific refit lands. Raises
+ * RecoverableError when @p data is empty.
+ *
+ * @param data Class training dataset in full catalog feature space.
+ * @param featureSet Counters to model with.
+ * @param type Modeling technique (default Linear: substitutes favor
+ *        robustness over the last percent of accuracy).
+ */
+MachinePowerModel fitPooledSubstitute(
+    const Dataset &data, const FeatureSet &featureSet,
+    ModelType type = ModelType::Linear);
 
 } // namespace chaos
 

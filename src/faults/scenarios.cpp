@@ -1,0 +1,34 @@
+#include "faults/scenarios.hpp"
+
+namespace chaos {
+
+FaultProfile
+stuckCounterStormProfile()
+{
+    FaultProfile profile;
+    profile.stuckOnsetRate = 1.0;   // Freeze on the first faulted tick
+    profile.stuckMeanSeconds = 1e9; // ...and never recover.
+    return profile;
+}
+
+DriftStorm::DriftStorm(DriftStormConfig config) : cfg(config)
+{
+    const FaultProfile profile = stuckCounterStormProfile();
+    injectors.reserve(cfg.machines);
+    for (std::size_t m = 0; m < cfg.machines; ++m) {
+        // One child stream per machine: storms stay reproducible when
+        // machine counts change.
+        injectors.emplace_back(profile, Rng(cfg.seed + m));
+    }
+}
+
+std::vector<double>
+DriftStorm::apply(std::size_t machine, std::size_t tick,
+                  std::vector<double> row)
+{
+    if (!active(machine, tick))
+        return row;
+    return injectors[machine].apply(std::move(row));
+}
+
+} // namespace chaos

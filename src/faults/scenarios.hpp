@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Composed fault scenarios for robustness testing.
+ *
+ * A DriftStorm orchestrates the canonical model-drift trigger —
+ * stuck counters under a moving workload — across many machines at
+ * once, with per-machine staggered onsets: machine m's telemetry is
+ * healthy until its onset tick, then freezes (the stuck injector
+ * holds the last pre-onset vector) while the metered power keeps
+ * tracking the true load. Replayed through the monitor this raises a
+ * ModelDrift per affected machine; fed to the autopilot it proves N
+ * concurrent remediations stay bounded. Everything is seeded, so one
+ * (config, seed) pair reproduces the same storm bit-for-bit.
+ */
+#ifndef CHAOS_FAULTS_SCENARIOS_HPP
+#define CHAOS_FAULTS_SCENARIOS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "faults/injectors.hpp"
+
+namespace chaos {
+
+/** Shape of one staggered multi-machine stuck-counter storm. */
+struct DriftStormConfig
+{
+    /** Machines hit by the storm (indices 0..machines-1). */
+    std::size_t machines = 1;
+    /** Tick at which machine 0's counters freeze. */
+    std::size_t onsetTick = 0;
+    /** Extra onset delay per machine index (0 = simultaneous). */
+    std::size_t staggerTicks = 0;
+    /** Seed for the per-machine injector streams. */
+    std::uint64_t seed = 2012;
+};
+
+/**
+ * The profile a storm wraps around each machine: counters freeze the
+ * moment the fault arms and never recover within the scenario.
+ */
+FaultProfile stuckCounterStormProfile();
+
+/** Per-machine staggered stuck-counter fault (see file comment). */
+class DriftStorm
+{
+  public:
+    explicit DriftStorm(DriftStormConfig config);
+
+    /**
+     * Pass machine @p machine's tick-@p tick catalog vector through
+     * its injector. Before the machine's onset the vector is returned
+     * untouched; from the onset on, the values freeze at the last
+     * pre-onset vector. Ticks must be fed in order per machine.
+     */
+    std::vector<double> apply(std::size_t machine, std::size_t tick,
+                              std::vector<double> row);
+
+    /** The tick machine @p machine's counters freeze at. */
+    std::size_t
+    onsetOf(std::size_t machine) const
+    {
+        return cfg.onsetTick + machine * cfg.staggerTicks;
+    }
+
+    /** True when @p machine's fault is active at @p tick. */
+    bool
+    active(std::size_t machine, std::size_t tick) const
+    {
+        return machine < cfg.machines && tick >= onsetOf(machine);
+    }
+
+    /** The storm's configuration. */
+    const DriftStormConfig &config() const { return cfg; }
+
+  private:
+    DriftStormConfig cfg;
+    std::vector<CounterFaultInjector> injectors;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_FAULTS_SCENARIOS_HPP

@@ -187,7 +187,63 @@ FleetMonitor::onSample(serve::MachineEntry &entry,
                << slot.rolling.samples() << " reference samples";
         obs::EventLog::instance().emit(obs::EventKind::ModelDrift,
                                        slot.id, detail.str());
+        if (driftListener_)
+            driftListener_(slot.id);
     }
+}
+
+void
+FleetMonitor::setDriftListener(
+    std::function<void(const std::string &)> fn)
+{
+    driftListener_ = std::move(fn);
+}
+
+FleetMonitor::Slot *
+FleetMonitor::findSlot(const std::string &id) const
+{
+    for (const auto &slot : slots_) {
+        if (slot->id == id)
+            return slot.get();
+    }
+    return nullptr;
+}
+
+void
+FleetMonitor::acknowledgeDrift(const std::string &id)
+{
+    Slot *slot = findSlot(id);
+    if (slot == nullptr)
+        return;
+    slot->entry->withEstimator([&](OnlinePowerEstimator &est) {
+        slot->rolling.acknowledge();
+        est.setModelQuality(slot->rolling.quality());
+    });
+}
+
+void
+FleetMonitor::resetMachine(const std::string &id)
+{
+    Slot *slot = findSlot(id);
+    if (slot == nullptr)
+        return;
+    slot->entry->withEstimator([&](OnlinePowerEstimator &est) {
+        slot->rolling.reset();
+        est.setModelQuality(slot->rolling.quality());
+    });
+}
+
+bool
+FleetMonitor::machineDrifted(const std::string &id) const
+{
+    Slot *slot = findSlot(id);
+    if (slot == nullptr)
+        return false;
+    bool drifted = false;
+    slot->entry->withEstimator([&](OnlinePowerEstimator &) {
+        drifted = slot->rolling.drifted();
+    });
+    return drifted;
 }
 
 void

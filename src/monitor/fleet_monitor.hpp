@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -117,6 +118,33 @@ class FleetMonitor : public serve::SampleObserver
     /** ModelDrift events emitted so far. */
     std::uint64_t driftEvents() const;
 
+    /**
+     * Install a callback invoked right after a drift firing (after
+     * the ModelDrift event is emitted), with the machine id. Runs on
+     * the drain thread UNDER that machine's entry mutex: the callback
+     * must only touch leaf state (e.g. append to its own queue) and
+     * must never take entry or registry locks. Set before serving
+     * starts; pass nullptr to remove.
+     */
+    void setDriftListener(std::function<void(const std::string &)> fn);
+
+    /**
+     * Clear machine @p id's latched drift verdict while keeping its
+     * calibration baseline (RollingQuality::acknowledge), and write
+     * the fresh verdict back to the estimator. Used when remediation
+     * keeps the incumbent model. No-op for unknown ids.
+     */
+    void acknowledgeDrift(const std::string &id);
+
+    /**
+     * Fully reset machine @p id's tracker (new warmup) and write the
+     * Unknown verdict back to the estimator. No-op for unknown ids.
+     */
+    void resetMachine(const std::string &id);
+
+    /** True when machine @p id's detector is currently latched. */
+    bool machineDrifted(const std::string &id) const;
+
     /** Number of monitored machines. */
     std::size_t numMachines() const { return slots_.size(); }
 
@@ -135,10 +163,14 @@ class FleetMonitor : public serve::SampleObserver
         {}
     };
 
+    /** Slot for @p id, or nullptr when the machine is unmonitored. */
+    Slot *findSlot(const std::string &id) const;
+
     QualityMonitorConfig config_;
     serve::FleetServer *server_ = nullptr;
     std::vector<std::unique_ptr<Slot>> slots_; ///< Sorted by id.
     std::atomic<std::uint64_t> driftEvents_{0};
+    std::function<void(const std::string &)> driftListener_;
 };
 
 } // namespace chaos::monitor

@@ -116,4 +116,14 @@ RollingQuality::reset()
     driftedFlag = false;
 }
 
+void
+RollingQuality::acknowledge()
+{
+    cumUp = 0.0;
+    minUp = 0.0;
+    cumDown = 0.0;
+    maxDown = 0.0;
+    driftedFlag = false;
+}
+
 } // namespace chaos::monitor

@@ -148,6 +148,17 @@ class RollingQuality
     /** Forget everything (a new model was deployed). */
     void reset();
 
+    /**
+     * Clear the latched drift verdict but keep the calibration
+     * baseline and rolling window. Used when a remediation decided to
+     * keep the incumbent model (rollback): the detector re-arms
+     * immediately, so a genuinely persisting drift refires within a
+     * bounded number of samples instead of being latched forever,
+     * while a transient one stays quiet. Deploying a *new* model
+     * calls reset() instead.
+     */
+    void acknowledge();
+
     /** The configuration this tracker was built with. */
     const QualityMonitorConfig &config() const { return config_; }
 

@@ -20,6 +20,10 @@ eventKindName(EventKind kind)
       case EventKind::FaultActivation: return "fault_activation";
       case EventKind::Backpressure: return "backpressure";
       case EventKind::ModelDrift: return "model_drift";
+      case EventKind::Quarantine: return "quarantine";
+      case EventKind::Retrain: return "retrain";
+      case EventKind::Promote: return "promote";
+      case EventKind::Rollback: return "rollback";
     }
     return "unknown";
 }

@@ -32,6 +32,10 @@ enum class EventKind {
     FaultActivation,  ///< A fault injector fired.
     Backpressure,     ///< A serving-shard queue saturated (drop-oldest engaged).
     ModelDrift,       ///< Online drift detector fired on a deployed model.
+    Quarantine,       ///< Autopilot isolated a machine's estimate from the sum.
+    Retrain,          ///< Autopilot launched a background retrain attempt.
+    Promote,          ///< Canary won its rolling comparison; model swapped in.
+    Rollback,         ///< Canary lost/timed out; incumbent kept, drift acked.
 };
 
 /** @return Stable lowercase name for @p kind (e.g. "health_transition"). */

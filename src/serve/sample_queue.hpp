@@ -52,19 +52,23 @@ class BoundedSampleQueue
      * Enqueue one sample. When the queue is full the *oldest* sample
      * is discarded to make room (drop-oldest policy).
      *
-     * @return Number of samples dropped by this push (0 or 1).
+     * @return The registry entry of the machine whose sample was
+     *         dropped by this push, or nullptr when nothing was
+     *         dropped. The victim is the evicted (oldest) sample's
+     *         machine — not necessarily the pushing one — so callers
+     *         can attribute backpressure loss per machine.
      */
-    std::size_t
+    MachineEntry *
     push(QueuedSample &&sample)
     {
         std::lock_guard<std::mutex> lock(mu);
-        std::size_t dropped = 0;
+        MachineEntry *droppedFrom = nullptr;
         if (items.size() >= cap) {
+            droppedFrom = items.front().entry;
             items.pop_front();
-            dropped = 1;
         }
         items.push_back(std::move(sample));
-        return dropped;
+        return droppedFrom;
     }
 
     /**

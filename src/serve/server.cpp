@@ -69,18 +69,24 @@ FleetSnapshot::toJson() const
         << clusterW << ", \"health_mix\": {\"healthy\": " << healthy
         << ", \"degraded\": " << degraded << ", \"stale\": " << stale
         << ", \"lost\": " << lost << "}, \"drifting\": " << drifting
+        << ", \"quarantined\": " << quarantined
+        << ", \"substituted_w\": " << substitutedW
         << ", \"machines\": [";
     for (std::size_t i = 0; i < machines.size(); ++i) {
         const MachineSnapshot &m = machines[i];
         if (i > 0)
             out << ", ";
         out << "{\"id\": \"" << obs::jsonEscape(m.id)
-            << "\", \"watts\": " << m.watts << ", \"health\": \""
+            << "\", \"watts\": " << m.watts << ", \"model_w\": "
+            << m.modelW << ", \"quarantined\": "
+            << (m.quarantined ? "true" : "false")
+            << ", \"health\": \""
             << machineHealthName(m.health) << "\", \"quality\": \""
             << modelQualityName(m.quality) << "\", \"samples\": "
             << m.samples << ", \"residual_samples\": "
             << m.residualSamples << ", \"mean_residual_w\": "
-            << m.meanResidualW << "}";
+            << m.meanResidualW << ", \"dropped\": " << m.dropped
+            << "}";
     }
     out << "]}";
     return out.str();
@@ -168,11 +174,12 @@ FleetServer::enqueue(MachineEntry &entry,
     // on submitted >= (queued + processed + dropped) at all times.
     submittedCount.fetch_add(1);
     ServeMetrics::get().submitted.add();
-    const std::size_t droppedNow = shard.queue.push(
+    MachineEntry *droppedFrom = shard.queue.push(
         QueuedSample{&entry, std::move(catalogRow), meteredW});
-    if (droppedNow > 0) {
-        droppedCount.fetch_add(droppedNow);
-        ServeMetrics::get().dropped.add(droppedNow);
+    if (droppedFrom != nullptr) {
+        droppedFrom->noteDrop();
+        droppedCount.fetch_add(1);
+        ServeMetrics::get().dropped.add(1);
         // One backpressure event per saturation episode, not per
         // dropped sample; the flag re-arms when the drain loop next
         // empties the shard.
@@ -219,6 +226,10 @@ FleetServer::drainShard(QueueShard &shard,
             auto &[entry, indices] = groups[g];
             entry->withEstimator(
                 [&](OnlinePowerEstimator &estimator) {
+                    // One flag read per group: the quarantine /
+                    // shadow / reference-window hook costs nothing
+                    // while the autopilot has nothing engaged.
+                    const bool aux = entry->auxActiveLocked();
                     for (std::size_t i : indices) {
                         QueuedSample &sample = batch[i];
                         double watts;
@@ -228,6 +239,11 @@ FleetServer::drainShard(QueueShard &shard,
                         } else {
                             watts = estimator.estimate(
                                 sample.catalogRow);
+                        }
+                        if (aux) {
+                            entry->recordSampleLocked(
+                                sample.catalogRow, watts,
+                                sample.meteredW);
                         }
                         if (observer != nullptr) {
                             observer->onSample(*entry, estimator,
@@ -350,14 +366,21 @@ FleetServer::buildSnapshot() const
         MachineSnapshot m;
         m.id = entry->id();
         entry->withEstimator([&](OnlinePowerEstimator &estimator) {
-            m.watts = estimator.lastEstimateW();
+            m.modelW = estimator.lastEstimateW();
+            m.watts = entry->servedWattsLocked();
+            m.quarantined = entry->quarantinedLocked();
             m.health = estimator.health();
             m.quality = estimator.modelQuality();
             m.samples = estimator.samples();
             m.residualSamples = estimator.residuals().count();
             m.meanResidualW = estimator.residuals().mean();
         });
+        m.dropped = entry->droppedSamples();
         snap.clusterW += m.watts;
+        if (m.quarantined) {
+            ++snap.quarantined;
+            snap.substitutedW += m.watts;
+        }
         switch (m.health) {
           case MachineHealth::Healthy:  ++snap.healthy; break;
           case MachineHealth::Degraded: ++snap.degraded; break;

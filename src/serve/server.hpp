@@ -65,12 +65,20 @@ struct FleetServerConfig
 struct MachineSnapshot
 {
     std::string id;
-    double watts = 0.0;          ///< Most recent estimate.
+    /**
+     * What this machine contributes to the cluster sum: the most
+     * recent estimate, or the quarantine substitute while the
+     * autopilot has the machine's own model isolated.
+     */
+    double watts = 0.0;
+    double modelW = 0.0;         ///< Deployed model's raw estimate.
+    bool quarantined = false;    ///< Substitute serving (autopilot).
     MachineHealth health = MachineHealth::Healthy;
     ModelQuality quality = ModelQuality::Unknown; ///< Monitor verdict.
     std::uint64_t samples = 0;   ///< Estimates produced so far.
     std::uint64_t residualSamples = 0; ///< Metered refs accumulated.
     double meanResidualW = 0.0;  ///< Mean (meter - estimate) so far.
+    std::uint64_t dropped = 0;   ///< This machine's backpressure loss.
 };
 
 /** One fleet-power snapshot (Eq. 5 at a point in time). */
@@ -87,6 +95,8 @@ struct FleetSnapshot
     std::size_t stale = 0;
     std::size_t lost = 0;
     std::size_t drifting = 0;            ///< Machines flagged Drifting.
+    std::size_t quarantined = 0;         ///< Machines on substitutes.
+    double substitutedW = 0.0;           ///< Watts served by substitutes.
     std::vector<MachineSnapshot> machines; ///< Sorted by machine id.
 
     /** Serialize as one single-line JSON object. */

@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for the self-healing autopilot: the end-to-end remediation
+ * loop (drift -> quarantine -> retrain -> canary -> promote) must
+ * strictly improve cluster-sum accuracy against ground truth, a
+ * losing canary must roll back and re-arm, retrain failures retry
+ * with exponential backoff before giving up, a drift storm keeps
+ * concurrent retrains bounded, and quarantine substitution shows up
+ * in fleet snapshots.
+ */
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../serve/serve_support.hpp"
+
+#include "autopilot/autopilot.hpp"
+#include "faults/scenarios.hpp"
+#include "models/linear.hpp"
+#include "monitor/fleet_monitor.hpp"
+#include "obs/events.hpp"
+#include "serve/server.hpp"
+#include "util/random.hpp"
+#include "util/result.hpp"
+
+namespace chaos {
+namespace {
+
+using serve_testing::catalogRow;
+using serve_testing::makeTestModel;
+
+constexpr double kBaseW = 25.0;
+
+double
+truePowerW(double u0, double u1)
+{
+    return kBaseW + 0.1 * u0 + 0.08 * u1;
+}
+
+void
+drainAll(serve::FleetServer &server)
+{
+    while (server.processed() + server.dropped() < server.submitted())
+        server.drainOnce();
+}
+
+monitor::QualityMonitorConfig
+fastMonitorConfig()
+{
+    monitor::QualityMonitorConfig config;
+    config.warmupSamples = 100;
+    config.windowSamples = 60;
+    return config;
+}
+
+/** Deterministic autopilot knobs for single-threaded replay tests. */
+autopilot::AutopilotConfig
+inlineAutopilotConfig()
+{
+    autopilot::AutopilotConfig config;
+    config.backgroundRetrain = false;
+    config.referenceWindowSamples = 128;
+    config.retrainMinSamples = 40;
+    config.canaryMinSamples = 20;
+    config.cooldownTicks = 10;
+    return config;
+}
+
+// By value: call sites pass the temporary from pilot.status(), and a
+// reference into it would dangle past the full expression.
+autopilot::MachineRemediation
+statusOf(const std::vector<autopilot::MachineRemediation> &status,
+         const std::string &id)
+{
+    for (const auto &machine : status) {
+        if (machine.id == id)
+            return machine;
+    }
+    ADD_FAILURE() << "no remediation status for " << id;
+    static autopilot::MachineRemediation none;
+    return none;
+}
+
+/**
+ * The canonical drift scenario from the monitor tests, with or
+ * without an autopilot attached: machine0's counters freeze at their
+ * tick-0 values while machine1 stays healthy; at kShiftTick the true
+ * load jumps from the 20-40 band to the 80-100 band, so machine0's
+ * frozen estimate diverges from its meter. Returns the mean absolute
+ * cluster-sum error against ground truth over the final phase (well
+ * after remediation completes when the autopilot is on).
+ */
+struct ScenarioOutcome
+{
+    double finalPhaseErrW = 0.0;
+    autopilot::AutopilotStats stats;
+    std::vector<autopilot::MachineRemediation> status;
+    ModelQuality faultedQuality = ModelQuality::Unknown;
+};
+
+constexpr int kShiftTick = 200;
+constexpr int kTotalTicks = 600;
+constexpr int kMeasureFrom = 420;
+
+ScenarioOutcome
+runStuckCounterScenario(bool withAutopilot)
+{
+    serve::FleetServer server;
+    serve::MachineEntry &faulted =
+        server.addMachine("machine0", makeTestModel(17));
+    serve::MachineEntry &healthy =
+        server.addMachine("machine1", makeTestModel(17));
+    monitor::FleetMonitor fleetMonitor(fastMonitorConfig());
+    fleetMonitor.attach(server);
+
+    autopilot::AutopilotController pilot(server, fleetMonitor,
+                                         inlineAutopilotConfig());
+    if (withAutopilot) {
+        pilot.setSubstituteModel(makeTestModel(99));
+        pilot.start();
+    }
+
+    DriftStormConfig stormConfig;
+    stormConfig.machines = 1;
+    DriftStorm storm(stormConfig);
+
+    Rng rng(31);
+    double errSum = 0.0;
+    int errTicks = 0;
+    for (int t = 0; t < kTotalTicks; ++t) {
+        const double lo = t < kShiftTick ? 20.0 : 80.0;
+        const double u0 = rng.uniform(lo, lo + 20.0);
+        const double u1 = rng.uniform(lo, lo + 20.0);
+        const double metered =
+            truePowerW(u0, u1) + rng.normal(0.0, 0.05);
+        server.submitTo(faulted,
+                        storm.apply(0, static_cast<std::size_t>(t),
+                                    catalogRow(u0, u1)),
+                        metered);
+        server.submitTo(healthy, catalogRow(u0, u1), metered);
+        drainAll(server);
+        if (withAutopilot)
+            pilot.tick();
+        if (t >= kMeasureFrom) {
+            // Both machines saw the same true load this tick.
+            const double trueClusterW = 2.0 * truePowerW(u0, u1);
+            errSum += std::abs(server.snapshot().clusterW -
+                               trueClusterW);
+            ++errTicks;
+        }
+    }
+
+    ScenarioOutcome outcome;
+    outcome.finalPhaseErrW = errSum / errTicks;
+    outcome.stats = pilot.stats();
+    outcome.status = pilot.status();
+    for (const auto &machine : fleetMonitor.snapshot().machines) {
+        if (machine.id == "machine0")
+            outcome.faultedQuality = machine.quality;
+    }
+    if (withAutopilot)
+        pilot.stop();
+    return outcome;
+}
+
+/**
+ * The headline acceptance test: with the autopilot on, the faulted
+ * machine is quarantined, retrained on the post-drift reference
+ * window, canary-promoted, and ends the replay back in Serving with
+ * an Ok verdict — and the cluster-sum error against ground truth is
+ * strictly (and substantially) lower than the same replay without
+ * remediation.
+ */
+TEST(Autopilot, SelfHealingImprovesClusterAccuracyEndToEnd)
+{
+    const ScenarioOutcome unhealed = runStuckCounterScenario(false);
+    const ScenarioOutcome healed = runStuckCounterScenario(true);
+
+    // Remediation ran exactly once and succeeded.
+    EXPECT_EQ(healed.stats.quarantines, 1u);
+    EXPECT_EQ(healed.stats.promotions, 1u);
+    EXPECT_EQ(healed.stats.rollbacks, 0u);
+    EXPECT_EQ(healed.stats.retrainFailures, 0u);
+
+    const autopilot::MachineRemediation &machine0 =
+        statusOf(healed.status, "machine0");
+    EXPECT_EQ(machine0.state, autopilot::RemediationState::Serving);
+    EXPECT_EQ(machine0.promotions, 1u);
+    // The canary verdict that justified the promotion is recorded.
+    EXPECT_LT(machine0.lastCandidateRmseW, machine0.lastIncumbentRmseW);
+    EXPECT_EQ(statusOf(healed.status, "machine1").quarantines, 0u);
+
+    // The remediated machine re-warmed and reads Ok again.
+    EXPECT_EQ(healed.faultedQuality, ModelQuality::Ok);
+
+    // And the whole point: the cluster sum got strictly better.
+    EXPECT_LT(healed.finalPhaseErrW, unhealed.finalPhaseErrW);
+    EXPECT_LT(healed.finalPhaseErrW, 0.5 * unhealed.finalPhaseErrW);
+
+    // The untreated replay never left Serving.
+    EXPECT_EQ(unhealed.stats.quarantines, 0u);
+}
+
+TEST(Autopilot, RemediationEmitsLifecycleEvents)
+{
+    const std::uint64_t before =
+        obs::EventLog::instance().totalEmitted();
+    runStuckCounterScenario(true);
+    bool sawQuarantine = false, sawRetrain = false, sawPromote = false;
+    for (const obs::Event &event :
+         obs::EventLog::instance().snapshot()) {
+        if (event.seq < before || event.source != "machine0")
+            continue;
+        sawQuarantine |= event.kind == obs::EventKind::Quarantine;
+        sawRetrain |= event.kind == obs::EventKind::Retrain;
+        sawPromote |= event.kind == obs::EventKind::Promote;
+    }
+    EXPECT_TRUE(sawQuarantine);
+    EXPECT_TRUE(sawRetrain);
+    EXPECT_TRUE(sawPromote);
+}
+
+/**
+ * A candidate that loses its canary must NOT be promoted: the
+ * incumbent stays deployed, the machine rolls back, and — because the
+ * rollback acknowledges rather than resets the drift verdict — the
+ * still-drifting residual stream re-triggers remediation after the
+ * cooldown.
+ */
+TEST(Autopilot, LosingCanaryRollsBackAndPersistentDriftRefires)
+{
+    serve::FleetServer server;
+    serve::MachineEntry &faulted =
+        server.addMachine("machine0", makeTestModel(17));
+    monitor::FleetMonitor fleetMonitor(fastMonitorConfig());
+    fleetMonitor.attach(server);
+
+    autopilot::AutopilotConfig config = inlineAutopilotConfig();
+    config.retrainMaxAttempts = 1;
+    autopilot::AutopilotController pilot(server, fleetMonitor, config);
+    // Sabotaged retrain: the candidate is far worse than even the
+    // drifted incumbent, so every canary must lose.
+    pilot.setRetrainHook([](const std::string &, const FeatureSet &fs,
+                            const Matrix &, const std::vector<double> &) {
+        return makeTestModel(17, 120.0);
+    });
+    pilot.start();
+
+    DriftStorm storm(DriftStormConfig{});
+    Rng rng(31);
+    for (int t = 0; t < kTotalTicks; ++t) {
+        const double lo = t < kShiftTick ? 20.0 : 80.0;
+        const double u0 = rng.uniform(lo, lo + 20.0);
+        const double u1 = rng.uniform(lo, lo + 20.0);
+        server.submitTo(faulted,
+                        storm.apply(0, static_cast<std::size_t>(t),
+                                    catalogRow(u0, u1)),
+                        truePowerW(u0, u1) + rng.normal(0.0, 0.05));
+        drainAll(server);
+        pilot.tick();
+    }
+
+    const autopilot::AutopilotStats stats = pilot.stats();
+    EXPECT_EQ(stats.promotions, 0u);
+    EXPECT_GE(stats.rollbacks, 2u); // Rolled back, re-drifted, again.
+    EXPECT_GE(stats.quarantines, 2u);
+    const autopilot::MachineRemediation machine0 =
+        statusOf(pilot.status(), "machine0");
+    EXPECT_GE(machine0.rollbacks, 2u);
+    // The losing verdict is recorded for operators.
+    EXPECT_GT(machine0.lastCandidateRmseW,
+              machine0.lastIncumbentRmseW);
+    pilot.stop();
+}
+
+/**
+ * Failed fits retry with exponential backoff (2, then 4 ticks) and a
+ * third failure ends in RolledBack — never a wedged Quarantined
+ * machine — after which cooldown returns the machine to Serving.
+ */
+TEST(Autopilot, RetrainFailuresBackOffThenRollBack)
+{
+    serve::FleetServer server;
+    serve::MachineEntry &entry =
+        server.addMachine("machine0", makeTestModel(17));
+    monitor::QualityMonitorConfig monitorConfig = fastMonitorConfig();
+    monitorConfig.warmupSamples = 50;
+    monitor::FleetMonitor fleetMonitor(monitorConfig);
+    fleetMonitor.attach(server);
+
+    autopilot::AutopilotConfig config = inlineAutopilotConfig();
+    config.retrainMinSamples = 8;
+    config.retrainMaxAttempts = 3;
+    config.retrainBackoffTicks = 2;
+    config.cooldownTicks = 5;
+    autopilot::AutopilotController pilot(server, fleetMonitor, config);
+    pilot.setRetrainHook([](const std::string &, const FeatureSet &,
+                            const Matrix &,
+                            const std::vector<double> &)
+                             -> MachinePowerModel {
+        raise("injected retrain failure");
+    });
+    pilot.start();
+
+    // Warm up clean, then hold a +25 W metered offset so the drift
+    // latches. The offset ends with the rollback (a transient fault),
+    // so remediation runs exactly one three-attempt cycle and the
+    // machine settles back to Serving after its cooldown.
+    Rng rng(7);
+    std::vector<std::size_t> attemptTicks;
+    std::uint64_t attemptsSeen = 0;
+    bool sawRolledBack = false;
+    for (int t = 0; t < 300; ++t) {
+        const double u0 = rng.uniform(0.0, 100.0);
+        const double u1 = rng.uniform(0.0, 100.0);
+        const double offset =
+            t >= 60 && !sawRolledBack ? 25.0 : 0.0;
+        server.submitTo(entry, catalogRow(u0, u1),
+                        truePowerW(u0, u1) + offset +
+                            rng.normal(0.0, 0.05));
+        drainAll(server);
+        pilot.tick();
+        const autopilot::AutopilotStats stats = pilot.stats();
+        if (stats.retrainsStarted > attemptsSeen) {
+            attemptsSeen = stats.retrainsStarted;
+            attemptTicks.push_back(pilot.currentTick());
+        }
+        const auto state =
+            statusOf(pilot.status(), "machine0").state;
+        sawRolledBack |=
+            state == autopilot::RemediationState::RolledBack;
+        if (sawRolledBack &&
+            state == autopilot::RemediationState::Serving)
+            break;
+    }
+
+    EXPECT_EQ(statusOf(pilot.status(), "machine0").state,
+              autopilot::RemediationState::Serving);
+
+    const autopilot::AutopilotStats stats = pilot.stats();
+    EXPECT_EQ(stats.retrainsStarted, 3u);
+    EXPECT_EQ(stats.retrainFailures, 3u);
+    EXPECT_GE(stats.rollbacks, 1u);
+    EXPECT_EQ(stats.promotions, 0u);
+    EXPECT_TRUE(sawRolledBack);
+
+    // Attempt spacing follows the exponential backoff exactly:
+    // attempt 2 starts 2 ticks after attempt 1 fails, attempt 3
+    // starts 4 ticks after attempt 2 fails (fits run inline, so an
+    // attempt fails the tick it starts).
+    ASSERT_EQ(attemptTicks.size(), 3u);
+    EXPECT_EQ(attemptTicks[1] - attemptTicks[0], 2u);
+    EXPECT_EQ(attemptTicks[2] - attemptTicks[1], 4u);
+    pilot.stop();
+}
+
+/**
+ * A fleet-wide drift storm (every machine's counters freeze) must
+ * remediate every machine while never running more than
+ * maxConcurrentRetrains fits at once — measured from inside the
+ * retrain hook itself, with the fits running on the background
+ * worker pool.
+ */
+TEST(Autopilot, DriftStormKeepsConcurrentRetrainsBounded)
+{
+    constexpr std::size_t kMachines = 5;
+    serve::FleetServer server;
+    std::vector<serve::MachineEntry *> entries;
+    for (std::size_t m = 0; m < kMachines; ++m) {
+        entries.push_back(&server.addMachine(
+            "machine" + std::to_string(m), makeTestModel(17)));
+    }
+    monitor::FleetMonitor fleetMonitor(fastMonitorConfig());
+    fleetMonitor.attach(server);
+
+    autopilot::AutopilotConfig config;
+    config.backgroundRetrain = true;
+    config.maxConcurrentRetrains = 2;
+    config.referenceWindowSamples = 128;
+    config.retrainMinSamples = 30;
+    config.canaryMinSamples = 10;
+    config.cooldownTicks = 1000; // Stay Promoted: no second round.
+    autopilot::AutopilotController pilot(server, fleetMonitor,
+                                         config);
+
+    std::atomic<int> executing{0};
+    std::atomic<int> maxExecuting{0};
+    pilot.setRetrainHook([&](const std::string &,
+                             const FeatureSet &features,
+                             const Matrix &x,
+                             const std::vector<double> &y) {
+        const int now = executing.fetch_add(1) + 1;
+        int seen = maxExecuting.load();
+        while (now > seen &&
+               !maxExecuting.compare_exchange_weak(seen, now)) {
+        }
+        // Hold the slot long enough that a storm would overlap if the
+        // pool were unbounded.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        auto model = std::make_unique<LinearModel>();
+        model->fit(x, y);
+        executing.fetch_sub(1);
+        return MachinePowerModel::fromParts(features,
+                                            std::move(model));
+    });
+    pilot.start();
+
+    DriftStormConfig stormConfig;
+    stormConfig.machines = kMachines;
+    DriftStorm storm(stormConfig);
+
+    Rng rng(31);
+    std::size_t settled = 0;
+    for (int t = 0; t < 2000 && settled < kMachines; ++t) {
+        const double lo = t < kShiftTick ? 20.0 : 80.0;
+        for (std::size_t m = 0; m < kMachines; ++m) {
+            const double u0 = rng.uniform(lo, lo + 20.0);
+            const double u1 = rng.uniform(lo, lo + 20.0);
+            server.submitTo(
+                *entries[m],
+                storm.apply(m, static_cast<std::size_t>(t),
+                            catalogRow(u0, u1)),
+                truePowerW(u0, u1) + rng.normal(0.0, 0.05));
+        }
+        drainAll(server);
+        pilot.tick();
+        // Give the background pool a slice of wall time per tick.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        settled = 0;
+        for (const auto &machine : pilot.status()) {
+            if (machine.promotions + machine.rollbacks > 0)
+                ++settled;
+        }
+    }
+
+    EXPECT_EQ(settled, kMachines);
+    const autopilot::AutopilotStats stats = pilot.stats();
+    EXPECT_EQ(stats.quarantines, kMachines);
+    EXPECT_EQ(stats.promotions + stats.rollbacks, kMachines);
+    // The invariant under test: the storm never fanned out past the
+    // configured retrain concurrency.
+    EXPECT_LE(maxExecuting.load(), 2);
+    EXPECT_GE(maxExecuting.load(), 1);
+    pilot.stop();
+}
+
+/**
+ * While quarantined, the machine's contribution to the cluster sum
+ * is the substitute's prediction, not the drifted model's — and the
+ * snapshot says so. Retraining is configured out of reach so the
+ * machine stays quarantined for the assertion window.
+ */
+TEST(Autopilot, QuarantineServesTheSubstituteInFleetSnapshots)
+{
+    serve::FleetServer server;
+    serve::MachineEntry &entry =
+        server.addMachine("machine0", makeTestModel(17));
+    monitor::QualityMonitorConfig monitorConfig = fastMonitorConfig();
+    monitorConfig.warmupSamples = 50;
+    monitor::FleetMonitor fleetMonitor(monitorConfig);
+    fleetMonitor.attach(server);
+
+    autopilot::AutopilotConfig config = inlineAutopilotConfig();
+    config.retrainMinSamples = 100000; // Never leaves Quarantined.
+    autopilot::AutopilotController pilot(server, fleetMonitor, config);
+    const MachinePowerModel substitute = makeTestModel(99);
+    pilot.setSubstituteModel(substitute);
+    pilot.start();
+
+    Rng rng(7);
+    double lastU0 = 0.0, lastU1 = 0.0;
+    for (int t = 0; t < 150; ++t) {
+        lastU0 = rng.uniform(0.0, 100.0);
+        lastU1 = rng.uniform(0.0, 100.0);
+        const double offset = t >= 60 ? 25.0 : 0.0;
+        server.submitTo(entry, catalogRow(lastU0, lastU1),
+                        truePowerW(lastU0, lastU1) + offset +
+                            rng.normal(0.0, 0.05));
+        drainAll(server);
+        pilot.tick();
+    }
+
+    ASSERT_EQ(statusOf(pilot.status(), "machine0").state,
+              autopilot::RemediationState::Quarantined);
+    const serve::FleetSnapshot snap = server.snapshot();
+    ASSERT_EQ(snap.machines.size(), 1u);
+    EXPECT_TRUE(snap.machines[0].quarantined);
+    EXPECT_EQ(snap.quarantined, 1u);
+    // Served watts come from the substitute's view of the last row...
+    EXPECT_NEAR(snap.machines[0].watts,
+                substitute.predictFromCatalogRow(
+                    catalogRow(lastU0, lastU1)),
+                1e-9);
+    // ...while the raw (drifted-incumbent) estimate is still visible
+    // and different, and the fleet sum uses the served value.
+    EXPECT_NE(snap.machines[0].watts, snap.machines[0].modelW);
+    EXPECT_NEAR(snap.substitutedW, snap.machines[0].watts, 1e-9);
+    EXPECT_NEAR(snap.clusterW, snap.machines[0].watts, 1e-9);
+    pilot.stop();
+}
+
+} // namespace
+} // namespace chaos

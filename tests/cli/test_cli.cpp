@@ -231,6 +231,72 @@ TEST(Cli, MonitorWithoutReplayOrModelFails)
     EXPECT_EQ(run({"monitor", "--replay", "x.csv"}).code, 2);
 }
 
+/**
+ * The self-healing replay end to end through the CLI: a clean replay
+ * reports zero remediations, and the same trace with an injected
+ * stuck-counter fault drives machine0 through quarantine, retrain,
+ * and a canary-gated promotion.
+ */
+TEST(Cli, AutopilotReplayHealsInjectedStuckCounterFault)
+{
+    const std::string model_path =
+        ::testing::TempDir() + "cli_autopilot_model_" +
+        std::to_string(::getpid()) + ".txt";
+    const CliResult trained =
+        run({"train", tinyDatasetPath(), "--out", model_path,
+             "--type", "linear"});
+    ASSERT_EQ(trained.code, 0) << trained.err;
+
+    const std::vector<std::string> common = {
+        "autopilot",     "--replay",  tinyDatasetPath(),
+        "--model",       model_path,  "--warmup",
+        "40",            "--window",  "30",
+        "--min-retrain-samples", "32", "--canary-samples",
+        "16",            "--cooldown", "30"};
+
+    CliResult clean = run(common);
+    ASSERT_EQ(clean.code, 0) << clean.err;
+    EXPECT_NE(clean.out.find("autopilot summary: quarantines=0 "
+                             "retrains=0 promotions=0 rollbacks=0 "
+                             "failures=0"),
+              std::string::npos)
+        << clean.out;
+    EXPECT_NE(clean.out.find("drift events: 0"), std::string::npos);
+
+    std::vector<std::string> faulted = common;
+    for (const char *arg :
+         {"--inject-stuck", "machine0", "--inject-at", "60"})
+        faulted.push_back(arg);
+    CliResult healed = run(faulted);
+    ASSERT_EQ(healed.code, 0) << healed.err;
+    // At least one full quarantine -> retrain -> promote cycle ran
+    // (a long trace may legitimately remediate more than once as new
+    // workload phases re-drift the frozen counters).
+    EXPECT_NE(healed.out.find("autopilot summary:"),
+              std::string::npos);
+    EXPECT_EQ(healed.out.find("quarantines=0"), std::string::npos)
+        << healed.out;
+    EXPECT_EQ(healed.out.find("promotions=0"), std::string::npos)
+        << healed.out;
+    EXPECT_NE(healed.out.find("rollbacks=0"), std::string::npos)
+        << healed.out;
+    // The remediated machine finished the replay serving again.
+    EXPECT_NE(healed.out.find("| machine0 | serving"),
+              std::string::npos)
+        << healed.out;
+
+    std::remove(model_path.c_str());
+}
+
+TEST(Cli, AutopilotWithoutReplayOrModelFails)
+{
+    EXPECT_EQ(run({"autopilot"}).code, 2);
+    EXPECT_EQ(run({"autopilot", "--replay", "x.csv", "--substitute",
+                   "bogus"})
+                  .code,
+              2);
+}
+
 TEST(Cli, ReportSummarizesWorkloads)
 {
     const CliResult result = run({"report", tinyDatasetPath()});

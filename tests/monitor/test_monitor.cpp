@@ -6,10 +6,12 @@
  * telemetry export is well-formed JSONL, and the chaos.monitor.*
  * metrics preserve the deterministic-snapshot contract.
  */
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -206,6 +208,73 @@ TEST(FleetMonitor, HotSwapResetsTheQualityVerdict)
     EXPECT_EQ(snap.machines[0].referenceSamples, 0u);
     entry.withEstimator([](OnlinePowerEstimator &e) {
         EXPECT_EQ(e.modelQuality(), ModelQuality::Unknown);
+    });
+}
+
+/**
+ * Hot-swap under live load with the monitor attached: a producer
+ * streams samples through the background drainer while the main
+ * thread repeatedly swaps models and reads quality snapshots. Run
+ * under TSan this proves the swap path (deploy + tracker reset +
+ * verdict write-back) cannot tear a ModelQuality transition; the
+ * inline assertions pin every observed verdict to a valid state and
+ * the final quiesced tracker to a coherent post-swap restart.
+ */
+TEST(FleetMonitor, HotSwapUnderLoadKeepsQualityTransitionsAtomic)
+{
+    serve::FleetServer server;
+    serve::MachineEntry &entry =
+        server.addMachine("machine0", makeTestModel(17));
+    monitor::QualityMonitorConfig config;
+    config.warmupSamples = 20;
+    config.windowSamples = 16;
+    monitor::FleetMonitor fleetMonitor(config);
+    fleetMonitor.attach(server);
+    server.start();
+
+    std::atomic<bool> done{false};
+    std::thread producer([&] {
+        Rng rng(41);
+        while (!done.load(std::memory_order_relaxed)) {
+            const double u0 = rng.uniform(0.0, 100.0);
+            const double u1 = rng.uniform(0.0, 100.0);
+            server.submitTo(entry, catalogRow(u0, u1),
+                            truePowerW(u0, u1) +
+                                rng.normal(0.0, 0.05));
+        }
+    });
+
+    for (int swap = 0; swap < 50; ++swap) {
+        server.swapModel("machine0",
+                         makeTestModel(17, 25.0 + (swap % 3) * 5.0));
+        for (int reads = 0; reads < 20; ++reads) {
+            const monitor::QualitySnapshot snap =
+                fleetMonitor.snapshot();
+            ASSERT_EQ(snap.machines.size(), 1u);
+            const ModelQuality quality = snap.machines[0].quality;
+            EXPECT_TRUE(quality == ModelQuality::Unknown ||
+                        quality == ModelQuality::Ok ||
+                        quality == ModelQuality::Drifting)
+                << static_cast<int>(quality);
+        }
+    }
+    done.store(true);
+    producer.join();
+    server.stop();
+
+    // Quiesced: the last swap restarted the tracker, and whatever
+    // samples landed since form a coherent (reference count, verdict)
+    // pair — warmup incomplete reads Unknown, complete reads a real
+    // verdict.
+    const monitor::QualitySnapshot snap = fleetMonitor.snapshot();
+    const auto &machine = snap.machines[0];
+    if (machine.referenceSamples < config.warmupSamples) {
+        EXPECT_EQ(machine.quality, ModelQuality::Unknown);
+    } else {
+        EXPECT_NE(machine.quality, ModelQuality::Unknown);
+    }
+    entry.withEstimator([&](OnlinePowerEstimator &e) {
+        EXPECT_EQ(e.modelQuality(), machine.quality);
     });
 }
 

@@ -116,6 +116,49 @@ TEST(RollingQuality, DetectsUpwardMeanShiftWithinBoundedSamples)
     EXPECT_TRUE(rolling.drifted());
 }
 
+/**
+ * acknowledge() clears the latched verdict but keeps the frozen
+ * baseline: a drift that persists after acknowledgement refires
+ * within a bounded number of samples, while a stream that went back
+ * to baseline stays quiet. (reset() would instead forget everything
+ * and restart the warmup — that path is for new models.)
+ */
+TEST(RollingQuality, AcknowledgeReArmsDetectionWithoutForgetting)
+{
+    QualityMonitorConfig config;
+    config.warmupSamples = 200;
+    RollingQuality rolling(config);
+
+    Rng rng(17);
+    for (int i = 0; i < 400; ++i)
+        rolling.addResidual(rng.normal(0.0, 1.0));
+    bool fired = false;
+    for (int i = 0; i < 100 && !fired; ++i)
+        fired = rolling.addResidual(rng.normal(3.0, 1.0));
+    ASSERT_TRUE(fired);
+
+    rolling.acknowledge();
+    EXPECT_FALSE(rolling.drifted());
+    EXPECT_EQ(rolling.quality(), ModelQuality::Ok);
+    EXPECT_TRUE(rolling.warmedUp()); // Baseline survives.
+
+    // Persisting shift: refires fast against the retained baseline.
+    bool refired = false;
+    int refiredAt = -1;
+    for (int i = 0; i < 100 && !refired; ++i) {
+        refired = rolling.addResidual(rng.normal(3.0, 1.0));
+        refiredAt = i;
+    }
+    EXPECT_TRUE(refired);
+    EXPECT_LE(refiredAt, 60);
+
+    // Acknowledge again, return to baseline: stays quiet.
+    rolling.acknowledge();
+    for (int i = 0; i < 500; ++i)
+        EXPECT_FALSE(rolling.addResidual(rng.normal(0.0, 1.0)));
+    EXPECT_EQ(rolling.quality(), ModelQuality::Ok);
+}
+
 TEST(RollingQuality, DetectsDownwardMeanShiftToo)
 {
     QualityMonitorConfig config;

@@ -5,17 +5,25 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "serve/sample_queue.hpp"
 
 namespace chaos::serve {
 namespace {
 
-/** Sample tagged with an identity in its first row slot. */
+/**
+ * Sample tagged with an identity in its first row slot and an opaque
+ * per-id entry pointer (never dereferenced by the queue), so drop
+ * attribution can be asserted from push()'s return value.
+ */
 QueuedSample
 tagged(double id)
 {
     QueuedSample sample;
     sample.catalogRow = {id};
+    sample.entry = reinterpret_cast<MachineEntry *>(
+        0x1000 + static_cast<std::uintptr_t>(id) * 0x10);
     return sample;
 }
 
@@ -29,7 +37,7 @@ TEST(BoundedSampleQueue, FifoOrderWithinCapacity)
 {
     BoundedSampleQueue queue(8);
     for (int i = 0; i < 5; ++i)
-        EXPECT_EQ(queue.push(tagged(i)), 0u);
+        EXPECT_EQ(queue.push(tagged(i)), nullptr);
     EXPECT_EQ(queue.size(), 5u);
 
     std::vector<QueuedSample> out;
@@ -43,10 +51,16 @@ TEST(BoundedSampleQueue, FifoOrderWithinCapacity)
 TEST(BoundedSampleQueue, DropsOldestWhenFull)
 {
     BoundedSampleQueue queue(3);
-    std::size_t dropped = 0;
-    for (int i = 0; i < 5; ++i)
-        dropped += queue.push(tagged(i));
-    EXPECT_EQ(dropped, 2u);
+    std::vector<MachineEntry *> evicted;
+    for (int i = 0; i < 5; ++i) {
+        if (MachineEntry *entry = queue.push(tagged(i)))
+            evicted.push_back(entry);
+    }
+    // Samples 0 and 1 were evicted, and each drop is attributed to
+    // the evicted sample's own entry.
+    ASSERT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(evicted[0], tagged(0).entry);
+    EXPECT_EQ(evicted[1], tagged(1).entry);
     EXPECT_EQ(queue.size(), 3u);
 
     // The three newest samples survive, oldest-first.
@@ -78,8 +92,8 @@ TEST(BoundedSampleQueue, ZeroCapacityClampsToOne)
 {
     BoundedSampleQueue queue(0);
     EXPECT_EQ(queue.capacity(), 1u);
-    EXPECT_EQ(queue.push(tagged(1)), 0u);
-    EXPECT_EQ(queue.push(tagged(2)), 1u);
+    EXPECT_EQ(queue.push(tagged(1)), nullptr);
+    EXPECT_EQ(queue.push(tagged(2)), tagged(1).entry);
     std::vector<QueuedSample> out;
     queue.popBatch(out, 10);
     ASSERT_EQ(out.size(), 1u);

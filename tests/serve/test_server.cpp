@@ -146,6 +146,40 @@ TEST(FleetServer, DropOldestEngagesAndIsCounted)
     EXPECT_EQ(snap.samplesProcessed, 4u);
 }
 
+/**
+ * Backpressure loss is attributed to the machine whose sample was
+ * evicted, and the per-machine counts surface in fleet snapshots —
+ * so "who lost telemetry" is answerable, not just "how much".
+ */
+TEST(FleetServer, DropCountsAreAttributedPerMachine)
+{
+    FleetServerConfig config;
+    config.numShards = 1;
+    config.queueCapacity = 4;
+    FleetServer server(config);
+    MachineEntry &first = server.addMachine("m0", makeTestModel(3));
+    MachineEntry &second = server.addMachine("m1", makeTestModel(3));
+
+    // No drainer: 3 m0 samples then 7 m1 samples through a 4-deep
+    // queue evict m0's three and m1's first three, oldest first.
+    for (int i = 0; i < 3; ++i)
+        server.submitTo(first, catalogRow(i, i));
+    for (int i = 0; i < 7; ++i)
+        server.submitTo(second, catalogRow(i, i));
+    EXPECT_EQ(server.dropped(), 6u);
+    EXPECT_EQ(first.droppedSamples(), 3u);
+    EXPECT_EQ(second.droppedSamples(), 3u);
+
+    while (server.drainOnce() > 0) {
+    }
+    const FleetSnapshot snap = server.snapshot();
+    ASSERT_EQ(snap.machines.size(), 2u);
+    for (const MachineSnapshot &machine : snap.machines) {
+        EXPECT_EQ(machine.dropped, 3u) << machine.id;
+    }
+    EXPECT_EQ(snap.samplesDropped, 6u);
+}
+
 TEST(FleetServer, SubmitToUnknownMachineRaises)
 {
     FleetServer server;
