@@ -3,41 +3,58 @@
  * Streaming serving-path throughput benchmark.
  *
  * Measures the fleet server (src/serve) on a 5-machine Core2 fleet
- * with a deployed linear model, in two phases:
+ * with a deployed linear model, in five phases:
  *
  *  - blast: a single producer submits recorded catalog rows as fast
  *    as possible while the drainer evaluates them through the thread
  *    pool at 1, 2, 4, and 8 threads; reports sustained samples/sec
- *    and the p50/p99 per-pass drain latency;
+ *    and the p50/p99 per-pass drain latency. This is the end-to-end
+ *    number: it includes the producer's submission cost and the
+ *    queue handoff;
+ *  - batched drain: the queues are preloaded with the full workload
+ *    and only the drain loop is timed, so the number isolates the
+ *    evaluation path itself — compiled-plan estimateBatch over
+ *    reused scratch, no producer contention. This is the path the
+ *    batched-throughput floor gates;
  *  - replay: the trace replayer streams the same fleet at a paced
  *    speed multiplier (a 1 Hz-per-machine trace accelerated, still
  *    far below saturation) and asserts that not a single sample was
  *    dropped;
  *  - monitor overhead: the blast is repeated with metered reference
  *    readings on every sample, with and without a FleetMonitor
- *    attached (interleaved, best-of-N each), and the monitored
- *    throughput must stay within 1% of the unmonitored one, or the
- *    absolute cost under 20 ns/sample (the resolution floor of a
- *    short run on a noisy host) — the model-quality layer's hot-path
- *    budget;
+ *    attached;
  *  - autopilot overhead: the monitored blast is repeated with an
  *    armed AutopilotController (reference windows enabled on every
  *    machine, drift listener installed, ticked periodically from the
- *    producer) against a monitor-only baseline, under the same
- *    1%-or-20 ns steady-state budget: self-healing must be free
- *    while nothing drifts.
+ *    producer) against a monitor-only baseline.
+ *
+ * Overhead methodology (both overhead phases): off and on run
+ * back-to-back inside each rep so each pair shares the host's load;
+ * the first (warmup) pair is discarded — it pays page faults, pool
+ * spin-up, and allocator warmup for both sides; the reported
+ * overhead is the *median* of the per-rep ns/sample differences.
+ * Selecting the best pair instead (as this benchmark once did)
+ * systematically reports the most favorable scheduler accident —
+ * including impossible negative overheads — because the minimum of
+ * noisy differences is biased low. The median raw value may still
+ * come out slightly negative on a noisy host (that is what the noise
+ * bound quantifies); the headline overhead clamps it at zero, and
+ * both values are written to the JSON.
  *
  * Writes BENCH_serve.json into the working directory and exits
- * nonzero if the throughput floor (100k samples/sec at 8 threads;
- * 10k in CHAOS_BENCH_FAST=1 mode), the zero-drop replay assertion,
- * or the monitor overhead budget fails, so tier-1 can run it as a
- * smoke test.
+ * nonzero if the scalar throughput floor (1M samples/sec), the
+ * batched-path floor (5M samples/sec at 4 threads), the p99 drain
+ * latency budget (1.5 ms at every thread count of the batched
+ * phase; blast-phase p99 is reported but ungated, since with
+ * producer and drainer sharing a core it measures OS preemption,
+ * not drain work), the zero-drop replay assertion, or an overhead
+ * budget fails, so tier-1 can run it as a smoke test.
  */
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <limits>
 #include <string>
 #include <vector>
 
@@ -66,6 +83,18 @@ percentile(std::vector<double> values, double p)
         values.size() - 1,
         static_cast<size_t>(p * static_cast<double>(values.size())));
     return values[rank];
+}
+
+/** Median of a sample. */
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
 }
 
 struct BlastResult
@@ -99,11 +128,61 @@ blast(const MachinePowerModel &model,
     const auto start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < total; ++i) {
         server.submitTo(*entries[i % entries.size()],
-                        std::vector<double>(rows[i % rows.size()]));
+                        rows[i % rows.size()]);
     }
     server.waitIdle();
     const auto stop = std::chrono::steady_clock::now();
     server.stop();
+
+    BlastResult result;
+    result.threads = threads;
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    result.submitted = server.submitted();
+    result.processed = server.processed();
+    result.dropped = server.dropped();
+    result.samplesPerSec =
+        static_cast<double>(result.processed) / seconds;
+    const std::vector<double> latencies = server.drainLatenciesMs();
+    result.p50DrainMs = percentile(latencies, 0.50);
+    result.p99DrainMs = percentile(latencies, 0.99);
+    return result;
+}
+
+/**
+ * Preload the queues with @p total samples, then time nothing but
+ * the drain loop: the batched evaluation path in isolation (compiled
+ * plans, reused scratch, no producer on the other side of the
+ * queues). Every preloaded sample must be processed — the queues are
+ * sized to hold the whole workload, so a single drop means the
+ * harness is broken.
+ */
+BlastResult
+drainBlast(const MachinePowerModel &model,
+           const std::vector<std::vector<double>> &rows,
+           size_t threads, size_t total)
+{
+    setGlobalThreadCount(threads);
+    serve::FleetServerConfig config;
+    config.recordDrainLatencies = true;
+    // Hold the entire preload: no shard may overflow, or drop-oldest
+    // would silently shrink the measured workload.
+    config.queueCapacity = total;
+    serve::FleetServer server(config);
+    std::vector<serve::MachineEntry *> entries;
+    for (size_t m = 0; m < kFleetSize; ++m) {
+        entries.push_back(&server.addMachine(
+            "machine" + std::to_string(m), model));
+    }
+    for (size_t i = 0; i < total; ++i) {
+        server.submitTo(*entries[i % entries.size()],
+                        rows[i % rows.size()]);
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    while (server.drainOnce() > 0) {
+    }
+    const auto stop = std::chrono::steady_clock::now();
 
     BlastResult result;
     result.threads = threads;
@@ -148,8 +227,8 @@ monitoredBlast(const MachinePowerModel &model,
     const auto start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < total; ++i) {
         const size_t r = i % rows.size();
-        server.submitTo(*entries[i % entries.size()],
-                        std::vector<double>(rows[r]), meteredW[r]);
+        server.submitTo(*entries[i % entries.size()], rows[r],
+                        meteredW[r]);
     }
     server.waitIdle();
     const auto stop = std::chrono::steady_clock::now();
@@ -192,8 +271,8 @@ autopilotBlast(const MachinePowerModel &model,
     const auto start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < total; ++i) {
         const size_t r = i % rows.size();
-        server.submitTo(*entries[i % entries.size()],
-                        std::vector<double>(rows[r]), meteredW[r]);
+        server.submitTo(*entries[i % entries.size()], rows[r],
+                        meteredW[r]);
         if (autopilotOn && i % 1000 == 999)
             pilot.tick();
     }
@@ -206,6 +285,77 @@ autopilotBlast(const MachinePowerModel &model,
     const double seconds =
         std::chrono::duration<double>(stop - start).count();
     return static_cast<double>(server.processed()) / seconds;
+}
+
+/** Result of one paired-overhead measurement (see file comment). */
+struct OverheadResult
+{
+    double offSps = 0.0;       ///< Median baseline samples/sec.
+    double onSps = 0.0;        ///< Median treated samples/sec.
+    double rawNsPerSample = 0.0; ///< Median of per-pair differences.
+    double nsPerSample = 0.0;  ///< Headline: raw clamped at >= 0.
+    double rawPct = 0.0;       ///< From the median sps values.
+    double pct = 0.0;          ///< Headline: raw clamped at >= 0.
+    double noiseNs = 0.0;      ///< MAD of the per-pair differences.
+};
+
+/**
+ * Run @p reps measured off/on pairs of @p run (after one discarded
+ * warmup pair) and reduce them with the median-of-differences
+ * estimator described in the file comment.
+ */
+template <typename RunFn>
+OverheadResult
+measureOverhead(const char *label, RunFn run, int reps)
+{
+    run(false);
+    run(true); // Warmup pair: discarded (see file comment).
+
+    std::vector<double> offRuns, onRuns, diffsNs;
+    for (int rep = 0; rep < reps; ++rep) {
+        const double off = run(false);
+        const double on = run(true);
+        std::printf("  %s rep %d: off %.0f/s, on %.0f/s\n", label,
+                    rep + 1, off, on);
+        offRuns.push_back(off);
+        onRuns.push_back(on);
+        if (off > 0.0 && on > 0.0)
+            diffsNs.push_back(1e9 / on - 1e9 / off);
+    }
+
+    OverheadResult result;
+    result.offSps = median(offRuns);
+    result.onSps = median(onRuns);
+    result.rawNsPerSample = median(diffsNs);
+    result.nsPerSample = std::max(result.rawNsPerSample, 0.0);
+    result.rawPct = result.offSps > 0.0
+                        ? (result.offSps - result.onSps) /
+                              result.offSps * 100.0
+                        : 0.0;
+    result.pct = std::max(result.rawPct, 0.0);
+    std::vector<double> deviations;
+    for (double d : diffsNs)
+        deviations.push_back(std::fabs(d - result.rawNsPerSample));
+    result.noiseNs = median(deviations);
+    return result;
+}
+
+/** JSON fragment shared by both overhead sections. */
+std::string
+overheadJson(const OverheadResult &r, size_t samples, int reps)
+{
+    return "{\"samples\": " + std::to_string(samples) +
+           ", \"reps\": " + std::to_string(reps) +
+           ", \"off_samples_per_sec\": " + formatDouble(r.offSps, 0) +
+           ", \"on_samples_per_sec\": " + formatDouble(r.onSps, 0) +
+           ", \"overhead_pct\": " + formatDouble(r.pct, 4) +
+           ", \"raw_overhead_pct\": " + formatDouble(r.rawPct, 4) +
+           ", \"overhead_ns_per_sample\": " +
+           formatDouble(r.nsPerSample, 2) +
+           ", \"raw_overhead_ns_per_sample\": " +
+           formatDouble(r.rawNsPerSample, 2) +
+           ", \"noise_ns_per_sample\": " +
+           formatDouble(r.noiseNs, 2) + "}";
 }
 
 } // namespace
@@ -239,7 +389,7 @@ main()
     for (size_t r = 0; r < pool; ++r)
         rows.push_back(data.features().row(r));
 
-    // --- Blast phase: sustained throughput per thread count. ---
+    // --- Blast phase: sustained end-to-end throughput. ---
     const size_t total = fast ? 50'000 : 400'000;
     std::vector<BlastResult> results;
     std::printf("%8s %14s %10s %10s %12s %12s\n", "threads",
@@ -248,6 +398,22 @@ main()
     for (size_t threads : {1, 2, 4, 8}) {
         const BlastResult r = blast(model, rows, threads, total);
         results.push_back(r);
+        std::printf("%8zu %14.0f %10llu %10llu %9.3f ms %9.3f ms\n",
+                    r.threads, r.samplesPerSec,
+                    static_cast<unsigned long long>(r.processed),
+                    static_cast<unsigned long long>(r.dropped),
+                    r.p50DrainMs, r.p99DrainMs);
+    }
+
+    // --- Batched drain phase: the evaluation path in isolation. ---
+    std::vector<BlastResult> batchedResults;
+    std::printf("\nbatched drain (queues preloaded, drain loop only):\n");
+    std::printf("%8s %14s %10s %10s %12s %12s\n", "threads",
+                "samples/sec", "processed", "dropped", "p50 drain",
+                "p99 drain");
+    for (size_t threads : {1, 2, 4, 8}) {
+        const BlastResult r = drainBlast(model, rows, threads, total);
+        batchedResults.push_back(r);
         std::printf("%8zu %14.0f %10llu %10llu %9.3f ms %9.3f ms\n",
                     r.threads, r.samplesPerSec,
                     static_cast<unsigned long long>(r.processed),
@@ -282,108 +448,112 @@ main()
     meteredPool.reserve(pool);
     for (size_t r = 0; r < pool; ++r)
         meteredPool.push_back(data.powerW()[r]);
-    setGlobalThreadCount(8);
-    const size_t monitorTotal = fast ? 50'000 : 200'000;
-    const int monitorReps = 5;
-    // Gate on the best *pair*, not independent best-of-N per side:
-    // off and on run back-to-back inside each rep, so the per-rep
-    // delta is the clean signal, while per-side bests let one side
-    // catch a scheduler window the other never saw and report that
-    // asymmetry as overhead. A real per-sample cost shows up in
-    // every pair.
-    double offSps = 0.0, onSps = 0.0;
-    double monBestPairNs = std::numeric_limits<double>::infinity();
-    for (int rep = 0; rep < monitorReps; ++rep) {
-        const double off = monitoredBlast(model, rows, meteredPool,
-                                          false, monitorTotal);
-        const double on = monitoredBlast(model, rows, meteredPool,
-                                         true, monitorTotal);
-        std::printf("  monitor rep %d: off %.0f/s, on %.0f/s\n",
-                    rep + 1, off, on);
-        const double pairNs = (off > 0.0 && on > 0.0)
-                                  ? (1e9 / on - 1e9 / off)
-                                  : 0.0;
-        if (pairNs < monBestPairNs) {
-            monBestPairNs = pairNs;
-            offSps = off;
-            onSps = on;
-        }
-    }
+    // 4 threads (the headline config) and runs long enough that each
+    // timed side spans many OS timeslices: on a small host the
+    // scheduler's ~3 ms slices are the dominant noise term, and a
+    // ~100 ms run gives the median pair little to average over.
+    setGlobalThreadCount(4);
+    const size_t monitorTotal = fast ? 50'000 : 600'000;
+    const int monitorReps = 7;
+    const OverheadResult monitorOverhead = measureOverhead(
+        "monitor",
+        [&](bool on) {
+            return monitoredBlast(model, rows, meteredPool, on,
+                                  monitorTotal);
+        },
+        monitorReps);
     setGlobalThreadCount(1);
-    const double monitorOverheadPct =
-        offSps > 0.0 ? (offSps - onSps) / offSps * 100.0 : 0.0;
     // Absolute per-sample cost: the honest unit for the hot-path
     // budget. Short fast-mode runs on a loaded host carry several
     // percent of scheduler noise, so the relative gate alone would
     // flap; 20 ns/sample is < 1% of any realistic per-sample serving
-    // cost (row validation + prediction alone is ~600 ns here).
-    const double monitorOverheadNs =
-        (offSps > 0.0 && onSps > 0.0)
-            ? (1e9 / onSps - 1e9 / offSps)
-            : 0.0;
+    // cost.
     const double overheadNsBudget = 20.0;
-    std::printf("\nmonitor overhead (best pair of %d, metered refs): "
-                "off %.0f/s, on %.0f/s (%+.3f%%, %+.1f ns/sample), "
-                "budget 1%% or %.0f ns/sample\n",
-                monitorReps, offSps, onSps, monitorOverheadPct,
-                monitorOverheadNs, overheadNsBudget);
+    std::printf("\nmonitor overhead (median of %d pairs, metered "
+                "refs): off %.0f/s, on %.0f/s (%+.3f%% raw, %+.1f "
+                "ns/sample raw, noise %.1f ns), budget 1%% or %.0f "
+                "ns/sample + noise\n",
+                monitorReps, monitorOverhead.offSps,
+                monitorOverhead.onSps, monitorOverhead.rawPct,
+                monitorOverhead.rawNsPerSample,
+                monitorOverhead.noiseNs, overheadNsBudget);
 
     // --- Autopilot overhead: armed-and-idle vs monitor-only. ---
     // Longer runs and more reps than the monitor phase: the budget
     // compares two already-monitored configurations, so the signal
     // is a few ns/sample and a 30 ms fast-mode run would be pure
-    // scheduler noise. Each rep runs off and on back-to-back under
-    // near-identical host load, so the per-rep delta is the clean
-    // signal; independent best-of-N per side lets one side catch a
-    // scheduler window the other never saw and reports that
-    // asymmetry as overhead, so the gate uses the best *pair* — a
-    // real per-sample cost shows up in every pair.
-    setGlobalThreadCount(8);
-    const size_t autopilotTotal = fast ? 150'000 : 400'000;
+    // scheduler noise.
+    setGlobalThreadCount(4);
+    const size_t autopilotTotal = fast ? 150'000 : 600'000;
     const int autopilotReps = 7;
-    double apOffSps = 0.0, apOnSps = 0.0;
-    double bestPairNs = std::numeric_limits<double>::infinity();
-    for (int rep = 0; rep < autopilotReps; ++rep) {
-        const double off = autopilotBlast(model, rows, meteredPool,
-                                          false, autopilotTotal);
-        const double on = autopilotBlast(model, rows, meteredPool,
-                                         true, autopilotTotal);
-        std::printf("  autopilot rep %d: off %.0f/s, on %.0f/s\n",
-                    rep + 1, off, on);
-        const double pairNs = (off > 0.0 && on > 0.0)
-                                  ? (1e9 / on - 1e9 / off)
-                                  : 0.0;
-        if (pairNs < bestPairNs) {
-            bestPairNs = pairNs;
-            apOffSps = off;
-            apOnSps = on;
-        }
-    }
+    const OverheadResult autopilotOverhead = measureOverhead(
+        "autopilot",
+        [&](bool on) {
+            return autopilotBlast(model, rows, meteredPool, on,
+                                  autopilotTotal);
+        },
+        autopilotReps);
     setGlobalThreadCount(1);
-    const double autopilotOverheadPct =
-        apOffSps > 0.0 ? (apOffSps - apOnSps) / apOffSps * 100.0
-                       : 0.0;
-    const double autopilotOverheadNs =
-        (apOffSps > 0.0 && apOnSps > 0.0)
-            ? (1e9 / apOnSps - 1e9 / apOffSps)
-            : 0.0;
-    std::printf("\nautopilot overhead (best pair of %d, armed idle): "
-                "off %.0f/s, on %.0f/s (%+.3f%%, %+.1f ns/sample), "
-                "budget 1%% or %.0f ns/sample\n",
-                autopilotReps, apOffSps, apOnSps,
-                autopilotOverheadPct, autopilotOverheadNs,
-                overheadNsBudget);
+    std::printf("\nautopilot overhead (median of %d pairs, armed "
+                "idle): off %.0f/s, on %.0f/s (%+.3f%% raw, %+.1f "
+                "ns/sample raw, noise %.1f ns), budget 1%% or %.0f "
+                "ns/sample + noise\n",
+                autopilotReps, autopilotOverhead.offSps,
+                autopilotOverhead.onSps, autopilotOverhead.rawPct,
+                autopilotOverhead.rawNsPerSample,
+                autopilotOverhead.noiseNs, overheadNsBudget);
 
     // --- Assertions. ---
-    const double floorSps = fast ? 10'000.0 : 100'000.0;
-    const BlastResult &eightThreads = results.back();
+    // The scalar floor gates the end-to-end producer+drain path; the
+    // batched floor gates the isolated drain path at 4 threads. Both
+    // apply in fast mode too: per-sample speed does not depend on
+    // how many samples the run pushes.
+    const double floorSps = 1'000'000.0;
+    const double batchedFloorSps = 5'000'000.0;
+    const double p99BudgetMs = 1.5;
+    double bestBlastSps = 0.0;
+    for (const BlastResult &r : results)
+        bestBlastSps = std::max(bestBlastSps, r.samplesPerSec);
+    const BlastResult *batchedAt4 = nullptr;
+    for (const BlastResult &r : batchedResults) {
+        if (r.threads == 4)
+            batchedAt4 = &r;
+    }
     bool ok = true;
-    if (eightThreads.samplesPerSec < floorSps) {
-        std::printf("FAIL: %.0f samples/sec at %zu threads is below "
-                    "the %.0f floor\n",
-                    eightThreads.samplesPerSec, eightThreads.threads,
-                    floorSps);
+    if (bestBlastSps < floorSps) {
+        std::printf("FAIL: best blast throughput %.0f samples/sec "
+                    "is below the %.0f scalar floor\n",
+                    bestBlastSps, floorSps);
         ok = false;
+    }
+    if (batchedAt4 == nullptr ||
+        batchedAt4->samplesPerSec < batchedFloorSps) {
+        std::printf("FAIL: batched drain throughput %.0f "
+                    "samples/sec at 4 threads is below the %.0f "
+                    "batched floor\n",
+                    batchedAt4 ? batchedAt4->samplesPerSec : 0.0,
+                    batchedFloorSps);
+        ok = false;
+    }
+    // The p99 budget gates the *batched drain* phase only: there the
+    // drainer owns the core, so pass latency reflects the scheduler's
+    // work (bounded batch x per-sample cost). Blast-phase p99 is
+    // reported but ungated — with producers and drainer sharing one
+    // core, a drain pass can span an OS timeslice (~3 ms) while the
+    // producer runs, which measures preemption, not drain work.
+    for (const BlastResult &r : batchedResults) {
+        if (r.p99DrainMs > p99BudgetMs) {
+            std::printf("FAIL: batched p99 drain %.3f ms at %zu "
+                        "threads exceeds the %.1f ms budget\n",
+                        r.p99DrainMs, r.threads, p99BudgetMs);
+            ok = false;
+        }
+        if (r.dropped != 0) {
+            std::printf("FAIL: batched drain dropped %llu samples "
+                        "(preload overflowed a shard)\n",
+                        static_cast<unsigned long long>(r.dropped));
+            ok = false;
+        }
     }
     if (replayServer.dropped() != 0) {
         std::printf("FAIL: paced replay dropped %llu samples\n",
@@ -400,38 +570,72 @@ main()
                         replayStats.submitted));
         ok = false;
     }
-    if (onSps < 0.99 * offSps &&
-        monitorOverheadNs > overheadNsBudget) {
+    // The absolute-cost gate allows one noise bound (the MAD of the
+    // per-pair differences) on top of the budget: a median within
+    // noise of the budget is not evidence of a regression, and on a
+    // loaded host the MAD widens exactly when a hard cutoff would be
+    // meaningless. A real regression shows a median clear of both.
+    if (monitorOverhead.onSps <
+            0.99 * monitorOverhead.offSps &&
+        monitorOverhead.nsPerSample >
+            overheadNsBudget + monitorOverhead.noiseNs) {
         std::printf("FAIL: monitored throughput %.0f/s is more than "
                     "1%% below unmonitored %.0f/s and the absolute "
-                    "cost %.1f ns/sample exceeds %.0f ns\n",
-                    onSps, offSps, monitorOverheadNs,
-                    overheadNsBudget);
+                    "cost %.1f ns/sample exceeds %.0f ns + %.1f ns "
+                    "noise\n",
+                    monitorOverhead.onSps, monitorOverhead.offSps,
+                    monitorOverhead.nsPerSample, overheadNsBudget,
+                    monitorOverhead.noiseNs);
         ok = false;
     }
-    if (onSps < floorSps) {
+    if (monitorOverhead.onSps < floorSps) {
         std::printf("FAIL: monitored throughput %.0f/s is below the "
                     "%.0f floor\n",
-                    onSps, floorSps);
+                    monitorOverhead.onSps, floorSps);
         ok = false;
     }
-    if (apOnSps < 0.99 * apOffSps &&
-        autopilotOverheadNs > overheadNsBudget) {
+    if (autopilotOverhead.onSps <
+            0.99 * autopilotOverhead.offSps &&
+        autopilotOverhead.nsPerSample >
+            overheadNsBudget + autopilotOverhead.noiseNs) {
         std::printf("FAIL: autopilot-armed throughput %.0f/s is more "
                     "than 1%% below monitor-only %.0f/s and the "
-                    "absolute cost %.1f ns/sample exceeds %.0f ns\n",
-                    apOnSps, apOffSps, autopilotOverheadNs,
-                    overheadNsBudget);
+                    "absolute cost %.1f ns/sample exceeds %.0f ns + "
+                    "%.1f ns noise\n",
+                    autopilotOverhead.onSps, autopilotOverhead.offSps,
+                    autopilotOverhead.nsPerSample, overheadNsBudget,
+                    autopilotOverhead.noiseNs);
         ok = false;
     }
-    if (apOnSps < floorSps) {
+    if (autopilotOverhead.onSps < floorSps) {
         std::printf("FAIL: autopilot-armed throughput %.0f/s is "
                     "below the %.0f floor\n",
-                    apOnSps, floorSps);
+                    autopilotOverhead.onSps, floorSps);
         ok = false;
     }
 
     // --- BENCH_serve.json. ---
+    const auto throughputArray =
+        [](const std::vector<BlastResult> &list) {
+            std::string json;
+            for (size_t i = 0; i < list.size(); ++i) {
+                const BlastResult &r = list[i];
+                json += "    {\"threads\": " +
+                        std::to_string(r.threads) +
+                        ", \"samples_per_sec\": " +
+                        formatDouble(r.samplesPerSec, 0) +
+                        ", \"processed\": " +
+                        std::to_string(r.processed) +
+                        ", \"dropped\": " +
+                        std::to_string(r.dropped) +
+                        ", \"p50_drain_ms\": " +
+                        formatDouble(r.p50DrainMs, 4) +
+                        ", \"p99_drain_ms\": " +
+                        formatDouble(r.p99DrainMs, 4) + "}";
+                json += (i + 1 < list.size()) ? ",\n" : "\n";
+            }
+            return json;
+        };
     std::string json = "{\n";
     json += "  \"bench\": \"serve_throughput\",\n";
     json += "  \"fast_mode\": " +
@@ -439,21 +643,10 @@ main()
     json += "  \"fleet_size\": " + std::to_string(kFleetSize) + ",\n";
     json += "  \"samples_per_config\": " + std::to_string(total) +
             ",\n";
-    json += "  \"throughput\": [\n";
-    for (size_t i = 0; i < results.size(); ++i) {
-        const BlastResult &r = results[i];
-        json += "    {\"threads\": " + std::to_string(r.threads) +
-                ", \"samples_per_sec\": " +
-                formatDouble(r.samplesPerSec, 0) +
-                ", \"processed\": " + std::to_string(r.processed) +
-                ", \"dropped\": " + std::to_string(r.dropped) +
-                ", \"p50_drain_ms\": " +
-                formatDouble(r.p50DrainMs, 4) +
-                ", \"p99_drain_ms\": " +
-                formatDouble(r.p99DrainMs, 4) + "}";
-        json += (i + 1 < results.size()) ? ",\n" : "\n";
-    }
-    json += "  ],\n";
+    json += "  \"throughput\": [\n" + throughputArray(results) +
+            "  ],\n";
+    json += "  \"batched_throughput\": [\n" +
+            throughputArray(batchedResults) + "  ],\n";
     json += "  \"replay\": {\"speed\": " +
             formatDouble(replayConfig.speed, 0) +
             ", \"ticks\": " + std::to_string(replayStats.ticks) +
@@ -463,27 +656,19 @@ main()
             std::to_string(replayServer.processed()) +
             ", \"dropped\": " +
             std::to_string(replayServer.dropped()) + "},\n";
-    json += "  \"monitor_overhead\": {\"samples\": " +
-            std::to_string(monitorTotal) +
-            ", \"reps\": " + std::to_string(monitorReps) +
-            ", \"off_samples_per_sec\": " + formatDouble(offSps, 0) +
-            ", \"on_samples_per_sec\": " + formatDouble(onSps, 0) +
-            ", \"overhead_pct\": " +
-            formatDouble(monitorOverheadPct, 4) +
-            ", \"overhead_ns_per_sample\": " +
-            formatDouble(monitorOverheadNs, 2) + "},\n";
-    json += "  \"autopilot_overhead\": {\"samples\": " +
-            std::to_string(autopilotTotal) +
-            ", \"reps\": " + std::to_string(autopilotReps) +
-            ", \"off_samples_per_sec\": " +
-            formatDouble(apOffSps, 0) +
-            ", \"on_samples_per_sec\": " + formatDouble(apOnSps, 0) +
-            ", \"overhead_pct\": " +
-            formatDouble(autopilotOverheadPct, 4) +
-            ", \"overhead_ns_per_sample\": " +
-            formatDouble(autopilotOverheadNs, 2) + "},\n";
+    json += "  \"monitor_overhead\": " +
+            overheadJson(monitorOverhead, monitorTotal, monitorReps) +
+            ",\n";
+    json += "  \"autopilot_overhead\": " +
+            overheadJson(autopilotOverhead, autopilotTotal,
+                         autopilotReps) +
+            ",\n";
     json += "  \"throughput_floor_sps\": " +
             formatDouble(floorSps, 0) + ",\n";
+    json += "  \"batched_throughput_floor_sps\": " +
+            formatDouble(batchedFloorSps, 0) + ",\n";
+    json += "  \"p99_drain_budget_ms\": " +
+            formatDouble(p99BudgetMs, 1) + ",\n";
     json += "  \"pass\": " + std::string(ok ? "true" : "false") +
             "\n}\n";
     std::ofstream out("BENCH_serve.json");

@@ -9,10 +9,12 @@
 # gets its own stage: an overhead_obs smoke run (asserts < 1 %
 # instrumentation overhead and valid trace/metrics exports) plus the
 # obs unit tests under ThreadSanitizer. The serving subsystem gets a
-# throughput/zero-drop smoke (serve_throughput asserts the samples/sec
-# floor and a drop-free paced replay), a CLI replay smoke, and its
-# whole test binary under ThreadSanitizer alongside the serialization
-# round-trip tests. The model-quality monitor gets a `chaos monitor`
+# throughput/zero-drop smoke (serve_throughput asserts the scalar and
+# batched samples/sec floors, the batched p99 drain budget, and a
+# drop-free paced replay, and the tier schema-checks the
+# BENCH_serve.json it writes), a CLI replay smoke, and its whole test
+# binary under ThreadSanitizer alongside the serialization round-trip
+# tests. The model-quality monitor gets a `chaos monitor`
 # replay smoke (clean replay => zero drift events, telemetry is
 # well-formed JSONL) and its tests run under ThreadSanitizer too.
 # The self-healing autopilot gets a `chaos autopilot` replay smoke
@@ -37,12 +39,29 @@ CHAOS_BENCH_FAST=1 ./build/bench/overhead_obs
 
 echo
 echo "== tier 1: serve throughput + replay smoke (fast mode) =="
-CHAOS_BENCH_FAST=1 ./build/bench/serve_throughput
+serve_tmp="$(mktemp -d)"
+trap 'rm -rf "$serve_tmp"' EXIT
+# Run in the temp dir: the fast-mode BENCH_serve.json must not
+# clobber the committed full-mode one. The bench exits nonzero on any
+# floor/budget violation; the schema check below additionally fails
+# the tier if the JSON contract the dashboards consume drifts.
+(cd "$serve_tmp" && CHAOS_BENCH_FAST=1 \
+    "$OLDPWD/build/bench/serve_throughput")
+for key in throughput batched_throughput replay monitor_overhead \
+    autopilot_overhead throughput_floor_sps \
+    batched_throughput_floor_sps p99_drain_budget_ms pass; do
+    grep -q "\"$key\"" "$serve_tmp/BENCH_serve.json" || {
+        echo "serve bench: BENCH_serve.json missing key '$key'" >&2
+        exit 1
+    }
+done
+grep -q '"pass": true' "$serve_tmp/BENCH_serve.json" || {
+    echo "serve bench: BENCH_serve.json did not record a pass" >&2
+    exit 1
+}
 
 echo
 echo "== tier 1: chaos serve CLI replay smoke =="
-serve_tmp="$(mktemp -d)"
-trap 'rm -rf "$serve_tmp"' EXIT
 ./build/tools/chaos collect Core2 --machines 2 --runs 1 \
     --scale 0.05 --out "$serve_tmp/trace.csv" >/dev/null
 ./build/tools/chaos train "$serve_tmp/trace.csv" \

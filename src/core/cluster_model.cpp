@@ -58,6 +58,15 @@ MachinePowerModel::predictFromFeatureRow(
 }
 
 void
+MachinePowerModel::predictBatchFromFeatureRows(const double *rows,
+                                               size_t n, size_t stride,
+                                               double *out) const
+{
+    panicIf(!fitted, "MachinePowerModel used before fit");
+    fitted->predictBatch(rows, n, stride, out);
+}
+
+void
 ClusterPowerModel::setClassModel(MachineClass mc, MachinePowerModel model)
 {
     classModels.insert_or_assign(mc, std::move(model));

@@ -52,6 +52,20 @@ class MachinePowerModel
     /** Predict watts from a row already in feature-set order. */
     double predictFromFeatureRow(const std::vector<double> &row) const;
 
+    /**
+     * Batch-predict watts for @p n feature-ordered rows laid out
+     * row-major with @p stride doubles between row starts. Routes
+     * through PowerModel::predictBatch, so fitted models evaluate
+     * their compiled struct-of-arrays plan (one pass over contiguous
+     * memory) instead of dispatching per row; results are bit-wise
+     * identical to predictFromFeatureRow on each row.
+     */
+    void predictBatchFromFeatureRows(const double *rows, size_t n,
+                                     size_t stride, double *out) const;
+
+    /** Number of counters the model consumes (the row width). */
+    size_t numFeatures() const { return catalogIdx.size(); }
+
     /** The feature set this model consumes. */
     const FeatureSet &featureSet() const { return features; }
 

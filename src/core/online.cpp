@@ -114,13 +114,13 @@ OnlinePowerEstimator::rememberTrusted(double watts)
     }
 }
 
-double
-OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
+bool
+OnlinePowerEstimator::prepareSample(const double *row,
+                                    std::size_t rowSize,
+                                    double *projected,
+                                    LocalTallies &local)
 {
     const auto &indices = model.catalogIndices();
-    std::vector<double> projected(indices.size(), 0.0);
-
-    auto &metrics = OnlineMetrics::get();
     auto &events = obs::EventLog::instance();
     const std::string &source =
         config.sourceLabel.empty() ? kDefaultSource : config.sourceLabel;
@@ -131,8 +131,8 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
     std::uint64_t imputedThisSample = 0;
     for (size_t i = 0; i < indices.size(); ++i) {
         const size_t idx = indices[i];
-        const double raw = idx < catalogRow.size()
-                               ? catalogRow[idx]
+        const double raw = idx < rowSize
+                               ? row[idx]
                                : std::numeric_limits<double>::quiet_NaN();
         FeatureState &fs = featureStates[i];
         const bool valid = std::isfinite(raw) && raw >= -1e-9 &&
@@ -145,16 +145,16 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
             projected[i] = value;
             anyValid = true;
             ++tallies.validInputs;
-            metrics.validInputs.add();
+            ++local.valid;
             continue;
         }
         ++tallies.rejectedInputs;
-        metrics.rejectedInputs.add();
+        ++local.rejected;
         fs.ageSeconds += 1.0;
         if (fs.seen) {
             projected[i] = fs.lastGood;
             ++tallies.imputedInputs;
-            metrics.imputedInputs.add();
+            ++local.imputed;
             ++imputedThisSample;
             anyImputed = true;
             if (fs.ageSeconds > config.stalenessBudgetSeconds)
@@ -189,28 +189,38 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
         healthState = MachineHealth::Healthy;
 
     if (healthState != previous) {
-        metrics.healthTransitions.add();
+        ++local.transitions;
         events.emit(obs::EventKind::HealthTransition, source,
                     machineHealthName(previous) + " -> " +
                         machineHealthName(healthState));
     }
+    return healthState == MachineHealth::Lost;
+}
+
+double
+OnlinePowerEstimator::finishSample(double modelWatts, bool lost,
+                                   LocalTallies &local)
+{
+    auto &events = obs::EventLog::instance();
+    const std::string &source =
+        config.sourceLabel.empty() ? kDefaultSource : config.sourceLabel;
 
     double watts;
     bool trusted = false;
-    if (healthState == MachineHealth::Lost) {
+    if (lost) {
         watts = substitutePowerW();
         ++tallies.substitutedEstimates;
-        metrics.substitutedEstimates.add();
+        ++local.substituted;
         events.emit(obs::EventKind::Substitution, source,
                     "machine Lost: estimate substituted");
     } else {
-        watts = model.predictFromFeatureRow(projected);
+        watts = modelWatts;
         if (std::isfinite(watts)) {
             trusted = true;
         } else {
             watts = substitutePowerW();
             ++tallies.substitutedEstimates;
-            metrics.substitutedEstimates.add();
+            ++local.substituted;
             events.emit(obs::EventKind::Substitution, source,
                         "non-finite model output: estimate substituted");
         }
@@ -221,7 +231,7 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
             std::clamp(watts, config.idlePowerW, config.maxPowerW);
         if (clamped != watts) {
             ++tallies.clampedEstimates;
-            metrics.clampedEstimates.add();
+            ++local.clamped;
             events.emit(obs::EventKind::Clamp, source,
                         clamped >= watts
                             ? "estimate clamped up to idle power"
@@ -237,6 +247,84 @@ OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
     lastEstimate = watts;
     ++count;
     return watts;
+}
+
+void
+OnlinePowerEstimator::flushTallies(const LocalTallies &local)
+{
+    auto &metrics = OnlineMetrics::get();
+    if (local.valid > 0)
+        metrics.validInputs.add(local.valid);
+    if (local.rejected > 0)
+        metrics.rejectedInputs.add(local.rejected);
+    if (local.imputed > 0)
+        metrics.imputedInputs.add(local.imputed);
+    if (local.substituted > 0)
+        metrics.substitutedEstimates.add(local.substituted);
+    if (local.clamped > 0)
+        metrics.clampedEstimates.add(local.clamped);
+    if (local.transitions > 0)
+        metrics.healthTransitions.add(local.transitions);
+}
+
+double
+OnlinePowerEstimator::estimate(const std::vector<double> &catalogRow)
+{
+    LocalTallies local;
+    rowScratch.resize(model.catalogIndices().size());
+    const bool lost = prepareSample(catalogRow.data(), catalogRow.size(),
+                                    rowScratch.data(), local);
+    // The serial path deliberately stays on the scalar virtual
+    // predict(): it is the bit-identity oracle the compiled batch
+    // plans are verified against.
+    double modelWatts = std::numeric_limits<double>::quiet_NaN();
+    if (!lost)
+        modelWatts = model.predictFromFeatureRow(rowScratch);
+    const double watts = finishSample(modelWatts, lost, local);
+    flushTallies(local);
+    return watts;
+}
+
+void
+OnlinePowerEstimator::estimateBatch(const SampleView *samples,
+                                    std::size_t n, double *wattsOut)
+{
+    if (n == 0)
+        return;
+    const size_t width = model.catalogIndices().size();
+    LocalTallies local;
+
+    // Phase A: serial validation/imputation/health in arrival order
+    // (the health state machine is sequential), packing projected
+    // rows into the reused row-major scratch matrix.
+    batchRows.resize(n * width);
+    batchLost.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        batchLost[i] = prepareSample(samples[i].values, samples[i].size,
+                                     batchRows.data() + i * width,
+                                     local)
+                           ? 1
+                           : 0;
+    }
+
+    // Phase B: one model pass over the packed rows (the compiled
+    // struct-of-arrays plan). Lost samples are evaluated too — their
+    // rows hold valid last-known-good projections — but phase C
+    // discards those outputs, matching the serial path, which never
+    // consults the model once the machine is Lost.
+    model.predictBatchFromFeatureRows(batchRows.data(), n, width,
+                                      wattsOut);
+
+    // Phase C: serial substitution/clamp/statistics in arrival order
+    // (the trusted-estimate window is sequential).
+    for (std::size_t i = 0; i < n; ++i) {
+        const double watts =
+            finishSample(wattsOut[i], batchLost[i] != 0, local);
+        wattsOut[i] = watts;
+        if (std::isfinite(samples[i].meteredW))
+            residualStats.add(samples[i].meteredW - watts);
+    }
+    flushTallies(local);
 }
 
 void

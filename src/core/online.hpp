@@ -21,13 +21,29 @@
 #ifndef CHAOS_CORE_ONLINE_HPP
 #define CHAOS_CORE_ONLINE_HPP
 
+#include <cstdint>
 #include <deque>
+#include <limits>
 
 #include "core/cluster_model.hpp"
 #include "sim/machine_spec.hpp"
 #include "stats/descriptive.hpp"
 
 namespace chaos {
+
+/**
+ * Borrowed view of one machine-second inside a drain batch: the
+ * catalog-ordered counters are read in place (typically straight from
+ * the queue slot's vector), so batching adds no per-sample copy. The
+ * pointed-to storage must outlive the estimateBatch call.
+ */
+struct SampleView
+{
+    const double *values = nullptr; ///< Catalog-ordered counters.
+    std::size_t size = 0;           ///< Counters present in the row.
+    /** Metered reference power; NaN when the sample carries none. */
+    double meteredW = std::numeric_limits<double>::quiet_NaN();
+};
 
 /** Telemetry health of one estimated machine, worst to best. */
 enum class MachineHealth
@@ -154,6 +170,26 @@ class OnlinePowerEstimator
                                  double meteredW);
 
     /**
+     * Estimate a whole drain batch in one call. Sample for sample and
+     * bit for bit equivalent to calling estimate() (or, for samples
+     * with a finite meteredW, estimateWithReference()) serially in
+     * order — health transitions, tallies, residual statistics, and
+     * every returned watt match the serial path exactly. The speed
+     * comes from the middle of the pipeline: validation/imputation
+     * packs projected rows into a reused row-major scratch matrix,
+     * the model evaluates all of them in a single predictBatch pass
+     * (compiled struct-of-arrays plan, no per-row virtual dispatch),
+     * and the registry metrics are flushed once per batch instead of
+     * once per feature.
+     *
+     * @param samples  n sample views (storage must stay valid).
+     * @param n        Batch size.
+     * @param wattsOut n estimates, in arrival order.
+     */
+    void estimateBatch(const SampleView *samples, std::size_t n,
+                       double *wattsOut);
+
+    /**
      * Replace the deployed model in place (hot-swap). Health state,
      * tallies, and residual/estimate statistics carry over; the
      * last-known-good imputation state survives for every counter the
@@ -209,6 +245,48 @@ class OnlinePowerEstimator
         bool seen = false;        ///< Any valid value yet?
     };
 
+    /**
+     * Per-call mirror of the global chaos.online.* registry counters.
+     * The hot path accumulates into these plain integers and flushes
+     * once per estimate()/estimateBatch() call, so a batched drain
+     * performs one atomic add per counter per batch rather than one
+     * per feature per sample.
+     */
+    struct LocalTallies
+    {
+        std::uint64_t valid = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t imputed = 0;
+        std::uint64_t substituted = 0;
+        std::uint64_t clamped = 0;
+        std::uint64_t transitions = 0;
+    };
+
+    /**
+     * Front half of one sample: validate/impute the inputs, advance
+     * the health state machine, and write the projected feature row
+     * (model input order) to @p projected. Serial, arrival-order
+     * state; must be called exactly once per sample, in order.
+     *
+     * @return True when the machine is Lost for this sample (the
+     *         model output must be discarded and substituted).
+     */
+    bool prepareSample(const double *row, std::size_t rowSize,
+                       double *projected, LocalTallies &local);
+
+    /**
+     * Back half of one sample: substitution, envelope clamp, trusted
+     * window, and estimate statistics. @p modelWatts is ignored when
+     * @p lost. Serial, arrival-order state.
+     *
+     * @return The final estimate in watts.
+     */
+    double finishSample(double modelWatts, bool lost,
+                        LocalTallies &local);
+
+    /** One atomic add per nonzero local tally. */
+    static void flushTallies(const LocalTallies &local);
+
     /** Stand-in power while the machine is Lost. */
     double substitutePowerW() const;
 
@@ -219,6 +297,15 @@ class OnlinePowerEstimator
     OnlineEstimatorConfig config;
     std::vector<FeatureState> featureStates;
     std::vector<double> plausibleBounds;
+
+    /** Projected-row scratch for the scalar estimate() path (reused
+     *  across calls; estimate() used to build this vector per sample,
+     *  which dominated the allocator profile under load). */
+    std::vector<double> rowScratch;
+    /** Packed row-major projected rows for estimateBatch (reused). */
+    std::vector<double> batchRows;
+    /** Per-sample Lost flags for estimateBatch (reused). */
+    std::vector<unsigned char> batchLost;
 
     MachineHealth healthState = MachineHealth::Healthy;
     ModelQuality quality = ModelQuality::Unknown;

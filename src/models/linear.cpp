@@ -63,6 +63,21 @@ LinearModel::fit(const Matrix &x, const std::vector<double> &y)
     }
     const Matrix design = withIntercept(z);
     coef = leastSquares(design, y).coefficients;
+    rebuildPlan();
+}
+
+void
+LinearModel::rebuildPlan()
+{
+    plan = CompiledPredictor::compile(*this);
+}
+
+void
+LinearModel::predictBatch(const double *rows, size_t n, size_t stride,
+                          double *out) const
+{
+    panicIf(!plan.valid(), "LinearModel::predictBatch before fit");
+    plan.predictBatch(rows, n, stride, out);
 }
 
 double
@@ -137,6 +152,7 @@ LinearModel::load(std::istream &in)
     raiseIf(model.coef.size() != model.mu.size() + 1 ||
                 model.mu.size() != model.sigma.size(),
             "model file: inconsistent linear model");
+    model.rebuildPlan();
     return model;
 }
 

@@ -8,6 +8,7 @@
 
 #include <iosfwd>
 
+#include "models/compiled.hpp"
 #include "models/model.hpp"
 
 namespace chaos {
@@ -20,6 +21,9 @@ class LinearModel : public PowerModel
 
     void fit(const Matrix &x, const std::vector<double> &y) override;
     double predict(const std::vector<double> &row) const override;
+    size_t inputWidth() const override { return mu.size(); }
+    void predictBatch(const double *rows, size_t n, size_t stride,
+                      double *out) const override;
     std::string describe() const override;
     size_t numParameters() const override;
     ModelType type() const override { return ModelType::Linear; }
@@ -30,6 +34,15 @@ class LinearModel : public PowerModel
     /** Per-feature coefficients a1..an (post-fit). */
     std::vector<double> featureCoefficients() const;
 
+    /** Standardized-scale coefficients [a0, a1..an] (for lowering). */
+    const std::vector<double> &rawCoefficients() const { return coef; }
+
+    /** Standardization means, one per feature (for lowering). */
+    const std::vector<double> &means() const { return mu; }
+
+    /** Standardization scales, one per feature (for lowering). */
+    const std::vector<double> &scales() const { return sigma; }
+
     /** Write fitted state as text (see models/serialize.hpp). */
     void save(std::ostream &out) const;
 
@@ -37,9 +50,13 @@ class LinearModel : public PowerModel
     static LinearModel load(std::istream &in);
 
   private:
+    /** Rebuild the compiled plan after fit()/load(). */
+    void rebuildPlan();
+
     std::vector<double> coef;   ///< [intercept, a1, ..., an].
     std::vector<double> mu;     ///< Column means (standardization).
     std::vector<double> sigma;  ///< Column scales (standardization).
+    CompiledPredictor plan;     ///< Flat batch-evaluation plan.
 };
 
 } // namespace chaos

@@ -812,6 +812,21 @@ MarsModel::fit(const Matrix &x, const std::vector<double> &y)
             break;
         basis.erase(basis.begin() + static_cast<long>(worst));
     }
+    rebuildPlan();
+}
+
+void
+MarsModel::rebuildPlan()
+{
+    plan = CompiledPredictor::compile(*this);
+}
+
+void
+MarsModel::predictBatch(const double *rows, size_t n, size_t stride,
+                        double *out) const
+{
+    panicIf(!plan.valid(), "MarsModel::predictBatch before fit");
+    plan.predictBatch(rows, n, stride, out);
 }
 
 double
@@ -915,6 +930,15 @@ MarsModel::load(std::istream &in)
     model.zmax = serialize_detail::readVector(in, "zmax");
     raiseIf(model.coef.size() != model.basis.size(),
             "model file: inconsistent MARS model");
+    // Hinges index the standardized row; an out-of-range feature in a
+    // damaged file would read (or, compiled, write) out of bounds.
+    for (const BasisTerm &term : model.basis) {
+        for (const Hinge &hinge : term.hinges) {
+            raiseIf(hinge.feature >= model.mu.size(),
+                    "model file: MARS hinge feature out of range");
+        }
+    }
+    model.rebuildPlan();
     return model;
 }
 

@@ -13,6 +13,7 @@
 
 #include <iosfwd>
 
+#include "models/compiled.hpp"
 #include "models/model.hpp"
 
 namespace chaos {
@@ -94,6 +95,9 @@ class MarsModel : public PowerModel
 
     void fit(const Matrix &x, const std::vector<double> &y) override;
     double predict(const std::vector<double> &row) const override;
+    size_t inputWidth() const override { return mu.size(); }
+    void predictBatch(const double *rows, size_t n, size_t stride,
+                      double *out) const override;
     std::string describe() const override;
     size_t numParameters() const override;
     ModelType type() const override
@@ -108,6 +112,18 @@ class MarsModel : public PowerModel
     /** Fitted coefficients, aligned with terms(). */
     const std::vector<double> &coefficients() const { return coef; }
 
+    /** Standardization means, one per feature (for lowering). */
+    const std::vector<double> &means() const { return mu; }
+
+    /** Standardization scales, one per feature (for lowering). */
+    const std::vector<double> &scales() const { return sigma; }
+
+    /** Training-box lower clamp per standardized feature. */
+    const std::vector<double> &clampMin() const { return zmin; }
+
+    /** Training-box upper clamp per standardized feature. */
+    const std::vector<double> &clampMax() const { return zmax; }
+
     /** Write fitted state as text (see models/serialize.hpp). */
     void save(std::ostream &out) const;
 
@@ -115,9 +131,13 @@ class MarsModel : public PowerModel
     static MarsModel load(std::istream &in);
 
   private:
+    /** Rebuild the compiled plan after fit()/load(). */
+    void rebuildPlan();
+
     MarsConfig cfg;
     std::vector<BasisTerm> basis;
     std::vector<double> coef;
+    CompiledPredictor plan; ///< Flat batch-evaluation plan.
     // Internal standardization: knots live on the z-score scale so
     // byte-magnitude counters and percentage counters coexist.
     std::vector<double> mu;

@@ -28,13 +28,30 @@ modelTypeName(ModelType type)
     panic("unknown model type");
 }
 
+void
+PowerModel::predictBatch(const double *rows, size_t n, size_t stride,
+                         double *out) const
+{
+    const size_t width = inputWidth();
+    panicIf(n > 0 && stride < width,
+            "predictBatch: stride narrower than the model");
+    std::vector<double> row(width);
+    for (size_t r = 0; r < n; ++r) {
+        const double *src = rows + r * stride;
+        row.assign(src, src + width);
+        out[r] = predict(row);
+    }
+}
+
 std::vector<double>
 PowerModel::predictAll(const Matrix &x) const
 {
-    std::vector<double> out;
-    out.reserve(x.rows());
-    for (size_t r = 0; r < x.rows(); ++r)
-        out.push_back(predict(x.row(r)));
+    std::vector<double> out(x.rows());
+    if (x.rows() > 0) {
+        panicIf(x.cols() != inputWidth(),
+                "predictAll: matrix width mismatch");
+        predictBatch(x.rowPtr(0), x.rows(), x.cols(), out.data());
+    }
     return out;
 }
 

@@ -51,7 +51,26 @@ class PowerModel
     /** Predict power for one feature row (post-fit only). */
     virtual double predict(const std::vector<double> &row) const = 0;
 
-    /** Predict power for every row of @p x. */
+    /** Feature-row width the model consumes (0 before fit). */
+    virtual size_t inputWidth() const = 0;
+
+    /**
+     * Predict power for @p n rows laid out with @p stride doubles
+     * between consecutive row starts (stride >= inputWidth()),
+     * writing one watt value per row into @p out.
+     *
+     * The base implementation is the serial scalar fallback — it
+     * materializes each row and calls predict(), and doubles as the
+     * bit-identical regression oracle for the compiled overrides.
+     * Concrete models override it with a CompiledPredictor plan
+     * (models/compiled.hpp) that evaluates the batch as tight loops
+     * over flat coefficient/basis arrays; compiled and scalar
+     * outputs match to the last ulp on every model type.
+     */
+    virtual void predictBatch(const double *rows, size_t n,
+                              size_t stride, double *out) const;
+
+    /** Predict power for every row of @p x (via predictBatch). */
     std::vector<double> predictAll(const Matrix &x) const;
 
     /** Human-readable structure dump. */

@@ -51,6 +51,21 @@ SwitchingModel::fit(const Matrix &x, const std::vector<double> &y)
             hasOwnModel[s] = true;
         }
     }
+    rebuildPlan();
+}
+
+void
+SwitchingModel::rebuildPlan()
+{
+    plan = CompiledPredictor::compile(*this);
+}
+
+void
+SwitchingModel::predictBatch(const double *rows, size_t n,
+                             size_t stride, double *out) const
+{
+    panicIf(!plan.valid(), "SwitchingModel::predictBatch before fit");
+    plan.predictBatch(rows, n, stride, out);
 }
 
 size_t
@@ -155,6 +170,17 @@ SwitchingModel::load(std::istream &in)
     }
     serialize_detail::expectToken(in, "fallback");
     model.fallback = LinearModel::load(in);
+    raiseIf(model.cfg.frequencyFeature >= model.fallback.inputWidth(),
+            "model file: switching frequency feature out of range");
+    // Per-state models must agree with the fallback on row width, or
+    // the compiled guard would read rows past the caller's buffer.
+    for (size_t s = 0; s < model.states.size(); ++s) {
+        raiseIf(model.hasOwnModel[s] &&
+                    model.perState[s].inputWidth() !=
+                        model.fallback.inputWidth(),
+                "model file: switching state width mismatch");
+    }
+    model.rebuildPlan();
     return model;
 }
 

@@ -12,6 +12,7 @@
 #include "models/linear.hpp"
 #include <iosfwd>
 
+#include "models/compiled.hpp"
 #include "models/model.hpp"
 
 namespace chaos {
@@ -46,12 +47,33 @@ class SwitchingModel : public PowerModel
 
     void fit(const Matrix &x, const std::vector<double> &y) override;
     double predict(const std::vector<double> &row) const override;
+    size_t inputWidth() const override { return fallback.inputWidth(); }
+    void predictBatch(const double *rows, size_t n, size_t stride,
+                      double *out) const override;
     std::string describe() const override;
     size_t numParameters() const override;
     ModelType type() const override { return ModelType::Switching; }
 
     /** Number of distinct frequency states discovered in training. */
     size_t numStates() const { return states.size(); }
+
+    /** The indicator/state-handling knobs (for lowering). */
+    const SwitchingConfig &configuration() const { return cfg; }
+
+    /** State center frequencies (for lowering). */
+    const std::vector<double> &stateFrequencies() const
+    {
+        return states;
+    }
+
+    /** True when state @p s earned its own regression. */
+    bool stateHasOwnModel(size_t s) const { return hasOwnModel[s]; }
+
+    /** State @p s's own linear model (only when stateHasOwnModel). */
+    const LinearModel &stateModel(size_t s) const { return perState[s]; }
+
+    /** The global fallback linear model. */
+    const LinearModel &fallbackModel() const { return fallback; }
 
     /** Write fitted state as text (see models/serialize.hpp). */
     void save(std::ostream &out) const;
@@ -63,11 +85,15 @@ class SwitchingModel : public PowerModel
     /** Index of the state whose frequency is nearest to @p freq. */
     size_t nearestState(double freq) const;
 
+    /** Rebuild the compiled plan after fit()/load(). */
+    void rebuildPlan();
+
     SwitchingConfig cfg;
     std::vector<double> states;         ///< State center frequencies.
     std::vector<LinearModel> perState;  ///< Model per state.
     std::vector<bool> hasOwnModel;      ///< False -> fallback used.
     LinearModel fallback;               ///< Global model.
+    CompiledPredictor plan;             ///< Flat batch plan.
 };
 
 } // namespace chaos

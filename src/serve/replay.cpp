@@ -83,9 +83,7 @@ TraceReplayer::replayInto(FleetServer &server,
             const double metered = config.feedMeteredReference
                                        ? trace.meteredW[t]
                                        : kNan;
-            server.submitTo(*entries[m],
-                            std::vector<double>(trace.rows[t]),
-                            metered);
+            server.submitTo(*entries[m], trace.rows[t], metered);
             ++stats.submitted;
         }
         ++stats.ticks;

@@ -9,15 +9,24 @@
  * sacrificed are the *stalest* ones — exactly the ones whose estimate
  * would be least useful by the time it was produced — and every drop
  * is counted so backpressure is observable, never silent.
+ *
+ * Row buffers are owned by the queue and recycled, never freed on the
+ * hot path: push() copies counter values into the slot's existing
+ * vector (which keeps its capacity across reuses), and popBatch()
+ * *swaps* slot buffers with the consumer's recycled batch buffers
+ * rather than moving ownership out. After warmup, steady-state
+ * ingestion and draining perform zero heap allocation — the malloc/
+ * free-per-sample churn that used to dominate the drain path (one
+ * free per evaluated row) is gone entirely.
  */
 #ifndef CHAOS_SERVE_SAMPLE_QUEUE_HPP
 #define CHAOS_SERVE_SAMPLE_QUEUE_HPP
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace chaos::serve {
@@ -29,7 +38,7 @@ struct QueuedSample
 {
     /** Registry entry of the machine this sample belongs to. */
     MachineEntry *entry = nullptr;
-    /** Catalog-ordered counter vector. */
+    /** Catalog-ordered counter vector (recycled buffer, see file). */
     std::vector<double> catalogRow;
     /** Metered reference power; NaN when the machine has no meter. */
     double meteredW = std::numeric_limits<double>::quiet_NaN();
@@ -37,20 +46,25 @@ struct QueuedSample
 
 /**
  * Mutex-protected bounded FIFO of QueuedSamples (MPSC: any number of
- * producers, one draining consumer). All operations are O(1) apart
- * from popBatch, which is linear in the batch it returns.
+ * producers, one draining consumer). Storage is a preallocated ring
+ * of capacity slots whose row buffers are recycled (values copied in,
+ * buffers swapped out), so steady-state pushing and popping never
+ * touch the allocator. All operations are O(1) apart from popBatch,
+ * which is linear in the batch it returns.
  */
 class BoundedSampleQueue
 {
   public:
     /** @param capacity Maximum retained samples; at least 1. */
     explicit BoundedSampleQueue(std::size_t capacity)
-        : cap(capacity == 0 ? 1 : capacity)
+        : slots(capacity == 0 ? 1 : capacity)
     {}
 
     /**
-     * Enqueue one sample. When the queue is full the *oldest* sample
-     * is discarded to make room (drop-oldest policy).
+     * Enqueue one sample by value: the counter row is *copied* into
+     * the slot's recycled buffer (no allocation once the slot has
+     * seen a row at least as wide). When the queue is full the
+     * *oldest* sample is discarded to make room (drop-oldest policy).
      *
      * @return The registry entry of the machine whose sample was
      *         dropped by this push, or nullptr when nothing was
@@ -59,30 +73,50 @@ class BoundedSampleQueue
      *         can attribute backpressure loss per machine.
      */
     MachineEntry *
-    push(QueuedSample &&sample)
+    push(MachineEntry *entry, const double *row, std::size_t rowSize,
+         double meteredW)
     {
         std::lock_guard<std::mutex> lock(mu);
         MachineEntry *droppedFrom = nullptr;
-        if (items.size() >= cap) {
-            droppedFrom = items.front().entry;
-            items.pop_front();
+        if (count == slots.size()) {
+            droppedFrom = slots[head].entry;
+            head = next(head);
+            --count;
         }
-        items.push_back(std::move(sample));
+        // assign() reuses the evicted/stale occupant's capacity; the
+        // producer keeps (and can reuse) its own row storage.
+        QueuedSample &slot = slots[(head + count) % slots.size()];
+        slot.entry = entry;
+        slot.catalogRow.assign(row, row + rowSize);
+        slot.meteredW = meteredW;
+        ++count;
         return droppedFrom;
     }
 
     /**
-     * Move up to @p maxItems samples into @p out (appended), oldest
-     * first. @return The number of samples transferred.
+     * Transfer up to @p maxItems samples into @p out, oldest first.
+     * Row buffers are *swapped*, not moved: each out element's
+     * previous buffer goes back into the ring for reuse, so a caller
+     * draining with the same scratch array reaches a steady state
+     * where no allocation happens at all. Elements of @p out past the
+     * returned count are untouched.
+     *
+     * @param out At least @p maxItems default-constructed or recycled
+     *        QueuedSamples.
+     * @return The number of samples transferred.
      */
     std::size_t
-    popBatch(std::vector<QueuedSample> &out, std::size_t maxItems)
+    popBatch(QueuedSample *out, std::size_t maxItems)
     {
         std::lock_guard<std::mutex> lock(mu);
         std::size_t moved = 0;
-        while (moved < maxItems && !items.empty()) {
-            out.push_back(std::move(items.front()));
-            items.pop_front();
+        while (moved < maxItems && count > 0) {
+            QueuedSample &slot = slots[head];
+            out[moved].entry = slot.entry;
+            out[moved].meteredW = slot.meteredW;
+            std::swap(out[moved].catalogRow, slot.catalogRow);
+            head = next(head);
+            --count;
             ++moved;
         }
         return moved;
@@ -93,19 +127,27 @@ class BoundedSampleQueue
     size() const
     {
         std::lock_guard<std::mutex> lock(mu);
-        return items.size();
+        return count;
     }
 
     /** @return True when nothing is queued. */
     bool empty() const { return size() == 0; }
 
     /** @return The configured capacity. */
-    std::size_t capacity() const { return cap; }
+    std::size_t capacity() const { return slots.size(); }
 
   private:
+    /** The ring position after @p pos. */
+    std::size_t
+    next(std::size_t pos) const
+    {
+        return pos + 1 == slots.size() ? 0 : pos + 1;
+    }
+
     mutable std::mutex mu;
-    std::deque<QueuedSample> items;
-    std::size_t cap;
+    std::vector<QueuedSample> slots; ///< Preallocated ring storage.
+    std::size_t head = 0;            ///< Oldest queued sample.
+    std::size_t count = 0;           ///< Samples currently queued.
 };
 
 } // namespace chaos::serve

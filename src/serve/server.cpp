@@ -32,6 +32,8 @@ struct ServeMetrics
     obs::Counter &snapshots;
     obs::Counter &saturations;
     obs::Gauge &queueDepth;
+    obs::Histogram &batchSize;
+    obs::Histogram &drainLatencyMs;
 
     static ServeMetrics &
     get()
@@ -50,6 +52,16 @@ struct ServeMetrics
                              obs::Stability::Scheduling),
             registry.gauge("chaos.serve.queue_depth",
                            obs::Stability::Scheduling),
+            registry.histogram(
+                "chaos.serve.batch_size",
+                {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048,
+                 4096},
+                obs::Stability::Scheduling),
+            registry.histogram(
+                "chaos.serve.drain_latency_ms",
+                {0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0,
+                 16.0, 50.0},
+                obs::Stability::Scheduling),
         };
         return m;
     }
@@ -150,32 +162,33 @@ FleetServer::machineIds() const
 
 void
 FleetServer::submit(const std::string &machineId,
-                    std::vector<double> catalogRow, double meteredW)
+                    const double *catalogRow, std::size_t rowSize,
+                    double meteredW)
 {
     MachineEntry *entry = registry.find(machineId);
     raiseIf(entry == nullptr,
             "serve: unknown machine id '" + machineId + "'");
-    enqueue(*entry, std::move(catalogRow), meteredW);
+    enqueue(*entry, catalogRow, rowSize, meteredW);
 }
 
 void
-FleetServer::submitTo(MachineEntry &entry,
-                      std::vector<double> catalogRow, double meteredW)
+FleetServer::submitTo(MachineEntry &entry, const double *catalogRow,
+                      std::size_t rowSize, double meteredW)
 {
-    enqueue(entry, std::move(catalogRow), meteredW);
+    enqueue(entry, catalogRow, rowSize, meteredW);
 }
 
 void
-FleetServer::enqueue(MachineEntry &entry,
-                     std::vector<double> catalogRow, double meteredW)
+FleetServer::enqueue(MachineEntry &entry, const double *catalogRow,
+                     std::size_t rowSize, double meteredW)
 {
     QueueShard &shard = *queueShards[registry.shardOf(entry.id())];
     // Count the submission before the push: waitIdle() can then rely
     // on submitted >= (queued + processed + dropped) at all times.
     submittedCount.fetch_add(1);
     ServeMetrics::get().submitted.add();
-    MachineEntry *droppedFrom = shard.queue.push(
-        QueuedSample{&entry, std::move(catalogRow), meteredW});
+    MachineEntry *droppedFrom =
+        shard.queue.push(&entry, catalogRow, rowSize, meteredW);
     if (droppedFrom != nullptr) {
         droppedFrom->noteDrop();
         droppedCount.fetch_add(1);
@@ -193,61 +206,92 @@ FleetServer::enqueue(MachineEntry &entry,
 }
 
 std::size_t
-FleetServer::drainShard(QueueShard &shard,
-                        std::vector<QueuedSample> &batch)
+FleetServer::drainShard(QueueShard &shard, std::size_t budget)
 {
-    batch.clear();
-    shard.queue.popBatch(batch, cfg.maxBatch);
-    if (batch.empty()) {
+    DrainScratch &ds = scratch;
+    // The batch array is sized once and its row buffers circulate
+    // with the shard queues' slots (popBatch swaps buffers), so a
+    // steady-state pass never touches the allocator.
+    if (ds.batch.size() < budget)
+        ds.batch.resize(budget);
+    const std::size_t n = shard.queue.popBatch(ds.batch.data(), budget);
+    if (n == 0) {
         shard.saturated.store(false);
         return 0;
     }
 
-    // Group the batch by machine, preserving first-appearance order;
-    // machines evaluate in parallel, each machine's samples serially
-    // in arrival order (the estimator is stateful).
-    std::vector<std::pair<MachineEntry *, std::vector<std::size_t>>>
-        groups;
-    std::unordered_map<MachineEntry *, std::size_t> groupIndex;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const auto [it, inserted] =
-            groupIndex.try_emplace(batch[i].entry, groups.size());
+    // Group the batch by machine with a counting sort: assign group
+    // ids in first-appearance order, size the per-group slices, then
+    // scatter sample indices (and their in-place views of the queued
+    // counter rows) into contiguous slices of ds.order/ds.views.
+    // Machines evaluate in parallel over disjoint slices; each
+    // machine's samples stay serial and in arrival order (the
+    // estimator is stateful).
+    ds.groupEntries.clear();
+    ds.groupIndex.clear();
+    ds.sampleGroup.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto [it, inserted] = ds.groupIndex.try_emplace(
+            ds.batch[i].entry, ds.groupEntries.size());
         if (inserted)
-            groups.emplace_back(batch[i].entry,
-                                std::vector<std::size_t>{});
-        groups[it->second].second.push_back(i);
+            ds.groupEntries.push_back(ds.batch[i].entry);
+        ds.sampleGroup[i] = it->second;
+    }
+    const std::size_t numGroups = ds.groupEntries.size();
+    ds.groupOffset.assign(numGroups + 1, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        ++ds.groupOffset[ds.sampleGroup[i] + 1];
+    for (std::size_t g = 0; g < numGroups; ++g)
+        ds.groupOffset[g + 1] += ds.groupOffset[g];
+    ds.cursor.assign(ds.groupOffset.begin(),
+                     ds.groupOffset.end() - 1);
+    ds.order.resize(n);
+    ds.views.resize(n);
+    ds.watts.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t pos = ds.cursor[ds.sampleGroup[i]]++;
+        const QueuedSample &sample = ds.batch[i];
+        ds.order[pos] = i;
+        ds.views[pos] = SampleView{sample.catalogRow.data(),
+                                   sample.catalogRow.size(),
+                                   sample.meteredW};
     }
 
     {
         obs::Span span("serve.predict");
         SampleObserver *observer =
             observerPtr.load(std::memory_order_acquire);
-        parallelFor(groups.size(), [&](std::size_t g) {
-            auto &[entry, indices] = groups[g];
+        parallelFor(numGroups, [&](std::size_t g) {
+            MachineEntry *entry = ds.groupEntries[g];
+            const std::size_t start = ds.groupOffset[g];
+            const std::size_t count = ds.groupOffset[g + 1] - start;
             entry->withEstimator(
                 [&](OnlinePowerEstimator &estimator) {
+                    // The whole group evaluates in one batched call:
+                    // one compiled-plan pass over the packed rows,
+                    // bit-identical to the serial scalar path.
+                    estimator.estimateBatch(ds.views.data() + start,
+                                            count,
+                                            ds.watts.data() + start);
                     // One flag read per group: the quarantine /
-                    // shadow / reference-window hook costs nothing
-                    // while the autopilot has nothing engaged.
+                    // shadow / reference-window hook and the monitor
+                    // observer cost nothing when disengaged; when
+                    // active they consume the batch output.
                     const bool aux = entry->auxActiveLocked();
-                    for (std::size_t i : indices) {
-                        QueuedSample &sample = batch[i];
-                        double watts;
-                        if (std::isfinite(sample.meteredW)) {
-                            watts = estimator.estimateWithReference(
-                                sample.catalogRow, sample.meteredW);
-                        } else {
-                            watts = estimator.estimate(
-                                sample.catalogRow);
-                        }
+                    if (!aux && observer == nullptr)
+                        return;
+                    for (std::size_t k = start; k < start + count;
+                         ++k) {
+                        const QueuedSample &sample =
+                            ds.batch[ds.order[k]];
                         if (aux) {
                             entry->recordSampleLocked(
-                                sample.catalogRow, watts,
+                                sample.catalogRow, ds.watts[k],
                                 sample.meteredW);
                         }
                         if (observer != nullptr) {
                             observer->onSample(*entry, estimator,
-                                               watts,
+                                               ds.watts[k],
                                                sample.meteredW);
                         }
                     }
@@ -257,35 +301,51 @@ FleetServer::drainShard(QueueShard &shard,
 
     if (shard.queue.empty())
         shard.saturated.store(false);
-    processedCount.fetch_add(batch.size());
-    ServeMetrics::get().processed.add(batch.size());
-    return batch.size();
+    processedCount.fetch_add(n);
+    ServeMetrics::get().processed.add(n);
+    return n;
 }
 
 std::size_t
 FleetServer::drainOnce()
 {
+    std::lock_guard<std::mutex> drainLock(drainMu);
     obs::Span span("serve.drain");
     const auto start = std::chrono::steady_clock::now();
 
+    // Latency-oriented scheduling: one pass drains at most
+    // cfg.maxBatch samples in total, visiting shards round-robin
+    // from a rotating cursor. The pass latency is bounded by the
+    // batch budget; a backlogged shard hands the cursor to its
+    // neighbour, so no shard is starved.
     std::size_t total = 0;
-    std::vector<QueuedSample> batch;
-    batch.reserve(cfg.maxBatch);
+    const std::size_t numShards = queueShards.size();
     std::size_t depth = 0;
-    for (auto &shard : queueShards) {
-        total += drainShard(*shard, batch);
-        depth += shard->queue.size();
+    for (std::size_t k = 0; k < numShards && total < cfg.maxBatch;
+         ++k) {
+        const std::size_t s = (drainCursor + k) % numShards;
+        total += drainShard(*queueShards[s], cfg.maxBatch - total);
+        if (total >= cfg.maxBatch) {
+            // Budget exhausted at shard s: resume at the next shard
+            // so a backlogged shard cannot starve the others.
+            drainCursor = (s + 1) % numShards;
+        }
     }
+    for (const auto &shard : queueShards)
+        depth += shard->queue.size();
     ServeMetrics::get().queueDepth.set(
         static_cast<std::int64_t>(depth));
 
     if (total > 0) {
         ServeMetrics::get().batches.add();
+        ServeMetrics::get().batchSize.observe(
+            static_cast<double>(total));
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+        ServeMetrics::get().drainLatencyMs.observe(ms);
         if (cfg.recordDrainLatencies) {
-            const auto stop = std::chrono::steady_clock::now();
-            const double ms =
-                std::chrono::duration<double, std::milli>(stop - start)
-                    .count();
             std::lock_guard<std::mutex> lock(latencyMu);
             drainMs.push_back(ms);
         }

@@ -6,13 +6,18 @@
  *
  * Architecture (one FleetServer):
  *
- *   producers ──submit()──> per-shard BoundedSampleQueue (MPSC,
- *                           drop-oldest, chaos.serve.* drop metrics)
- *   drainer thread ──drain pass──> batch per shard, grouped by
+ *   producers ──submit()──> per-shard BoundedSampleQueue (MPSC ring,
+ *                           recycled row buffers, drop-oldest,
+ *                           chaos.serve.* drop metrics)
+ *   drainer thread ──drain pass──> up to maxBatch samples total,
+ *                           shards visited round-robin from a
+ *                           rotating cursor, batch grouped by
  *                           machine, machines evaluated in parallel
- *                           through the util/parallel thread pool
- *                           (each machine's samples stay serial and
- *                           in arrival order)
+ *                           through the util/parallel thread pool —
+ *                           each machine's group in one batched
+ *                           estimateBatch call (compiled plans, no
+ *                           per-row virtual dispatch), serial and in
+ *                           arrival order within the machine
  *   snapshots ──────> periodic fleet-power snapshots: per-machine
  *                           watts, cluster sum, health mix — as JSON
  *
@@ -32,8 +37,10 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/registry.hpp"
@@ -48,7 +55,13 @@ struct FleetServerConfig
     std::size_t numShards = 4;
     /** Per-shard queue capacity (drop-oldest beyond it). */
     std::size_t queueCapacity = 8192;
-    /** Maximum samples drained from one shard per pass. */
+    /**
+     * Maximum samples drained per pass *across all shards*. Bounding
+     * the whole pass (rather than each shard) keeps drain latency
+     * proportional to the budget instead of budget x shard count;
+     * shards are visited round-robin from a rotating start so a
+     * saturated shard cannot starve the others.
+     */
     std::size_t maxBatch = 1024;
     /**
      * Emit a fleet snapshot every N processed samples (0 disables
@@ -181,18 +194,44 @@ class FleetServer
      * shard queue is full the oldest queued sample is dropped and
      * counted. Raises RecoverableError on an unknown machine id.
      *
+     * The counter values are copied into the shard queue's recycled
+     * slot buffer — the caller keeps ownership of @p catalogRow and
+     * may reuse it for the next sample, so a steady-state producer
+     * needs no per-sample allocation either.
+     *
      * @param meteredW Optional reference reading; finite values feed
      *        the machine's residual statistics.
      */
-    void submit(const std::string &machineId,
-                std::vector<double> catalogRow,
+    void submit(const std::string &machineId, const double *catalogRow,
+                std::size_t rowSize,
                 double meteredW =
                     std::numeric_limits<double>::quiet_NaN());
 
+    /** Convenience overload taking the row as a vector. */
+    void submit(const std::string &machineId,
+                const std::vector<double> &catalogRow,
+                double meteredW =
+                    std::numeric_limits<double>::quiet_NaN())
+    {
+        submit(machineId, catalogRow.data(), catalogRow.size(),
+               meteredW);
+    }
+
     /** submit() without the registry lookup (entry from machine()). */
-    void submitTo(MachineEntry &entry, std::vector<double> catalogRow,
+    void submitTo(MachineEntry &entry, const double *catalogRow,
+                  std::size_t rowSize,
                   double meteredW =
                       std::numeric_limits<double>::quiet_NaN());
+
+    /** Convenience overload taking the row as a vector. */
+    void submitTo(MachineEntry &entry,
+                  const std::vector<double> &catalogRow,
+                  double meteredW =
+                      std::numeric_limits<double>::quiet_NaN())
+    {
+        submitTo(entry, catalogRow.data(), catalogRow.size(),
+                 meteredW);
+    }
 
     /** Start the drainer thread (panics if already running). */
     void start();
@@ -254,17 +293,45 @@ class FleetServer
         std::atomic<bool> saturated{false};
     };
 
+    /**
+     * Reused per-pass drain scratch (guarded by drainMu): the popped
+     * batch, the counting-sort grouping of it by machine, the sample
+     * views handed to estimateBatch, and the per-sample watts. The
+     * batch array's row buffers circulate with the shard queues'
+     * slot buffers (popBatch swaps, never frees), so a steady-state
+     * drain pass performs zero heap allocation end to end.
+     */
+    struct DrainScratch
+    {
+        std::vector<QueuedSample> batch;
+        std::vector<MachineEntry *> groupEntries; ///< Group -> entry.
+        std::vector<std::size_t> sampleGroup;     ///< Batch i -> group.
+        std::vector<std::size_t> groupOffset;     ///< Group slices.
+        std::vector<std::size_t> cursor;          ///< Scatter cursors.
+        std::vector<std::size_t> order;   ///< Batch indices, grouped.
+        std::vector<SampleView> views;    ///< Aligned with order.
+        std::vector<double> watts;        ///< Aligned with order.
+        std::unordered_map<MachineEntry *, std::size_t> groupIndex;
+    };
+
     void drainerLoop();
-    std::size_t drainShard(QueueShard &shard,
-                           std::vector<QueuedSample> &batch);
-    void enqueue(MachineEntry &entry, std::vector<double> catalogRow,
-                 double meteredW);
+    std::size_t drainShard(QueueShard &shard, std::size_t budget);
+    void enqueue(MachineEntry &entry, const double *catalogRow,
+                 std::size_t rowSize, double meteredW);
     FleetSnapshot buildSnapshot() const;
     void emitPeriodicSnapshot();
 
     FleetServerConfig cfg;
     mutable EstimatorRegistry registry;
     std::vector<std::unique_ptr<QueueShard>> queueShards;
+
+    /** Serializes drain passes (MPSC: one consumer at a time) and
+     *  guards the reused scratch. Uncontended when only the drainer
+     *  thread drains. */
+    std::mutex drainMu;
+    DrainScratch scratch;
+    /** Shard the next pass starts at (round-robin fairness). */
+    std::size_t drainCursor = 0;
 
     std::thread drainer;
     std::atomic<bool> runningFlag{false};

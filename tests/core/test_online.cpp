@@ -170,6 +170,78 @@ TEST(OnlineEstimator, ResidualStatsAccumulateOnlyForFiniteMeter)
     EXPECT_TRUE(std::isfinite(estimator.residuals().mean()));
 }
 
+TEST(OnlineEstimator, EstimateBatchMatchesScalarBitwise)
+{
+    // The batched path must be sample-for-sample, bit-for-bit the
+    // serial path — through every hardening branch, not just the
+    // happy one. The script mixes clean rows, NaN counters (imputed),
+    // implausible values (rejected), all-NaN stretches long enough to
+    // go Lost, recovery, short rows, and intermittent metered
+    // references; the batch estimator consumes it in ragged chunks.
+    const auto &campaign = core2Campaign();
+    OnlinePowerEstimator scalar(core2Model(), core2Config());
+    OnlinePowerEstimator batched(core2Model(), core2Config());
+
+    std::vector<std::vector<double>> rows;
+    std::vector<double> metered;
+    for (size_t t = 0; t < 200; ++t) {
+        std::vector<double> row = cleanRow(t % 40);
+        if (t % 7 == 3)
+            row[t % row.size()] = kNan;          // provider restart
+        if (t % 11 == 5)
+            row[(t + 1) % row.size()] = 1e18;    // corrupted counter
+        if (t >= 60 && t < 75)
+            row.assign(row.size(), kNan);        // telemetry loss
+        if (t % 13 == 8)
+            row.resize(row.size() / 2);          // short row
+        rows.push_back(std::move(row));
+        metered.push_back(t % 3 == 0 ? campaign.data.powerW()[t % 40]
+                                     : kNan);
+    }
+
+    std::vector<double> scalarWatts;
+    for (size_t t = 0; t < rows.size(); ++t)
+        scalarWatts.push_back(
+            scalar.estimateWithReference(rows[t], metered[t]));
+
+    // Ragged chunk sizes, including 1 and a chunk spanning the whole
+    // Lost episode.
+    const size_t chunks[] = {1, 3, 17, 9, 1, 40, 64, 25, 40};
+    size_t at = 0;
+    for (size_t chunk : chunks) {
+        const size_t n = std::min(chunk, rows.size() - at);
+        std::vector<SampleView> views(n);
+        std::vector<double> watts(n);
+        for (size_t i = 0; i < n; ++i)
+            views[i] = SampleView{rows[at + i].data(),
+                                  rows[at + i].size(),
+                                  metered[at + i]};
+        batched.estimateBatch(views.data(), n, watts.data());
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(watts[i], scalarWatts[at + i])
+                << "sample " << at + i;
+        at += n;
+    }
+    ASSERT_EQ(at, rows.size());
+
+    // All derived serial state agrees exactly, not approximately.
+    EXPECT_EQ(batched.health(), scalar.health());
+    EXPECT_EQ(batched.samples(), scalar.samples());
+    EXPECT_EQ(batched.lastEstimateW(), scalar.lastEstimateW());
+    EXPECT_EQ(batched.meanEstimateW(), scalar.meanEstimateW());
+    EXPECT_EQ(batched.residuals().count(), scalar.residuals().count());
+    EXPECT_EQ(batched.residuals().mean(), scalar.residuals().mean());
+    EXPECT_EQ(batched.residuals().stddev(),
+              scalar.residuals().stddev());
+    const OnlineHealthCounters &a = batched.healthCounters();
+    const OnlineHealthCounters &b = scalar.healthCounters();
+    EXPECT_EQ(a.validInputs, b.validInputs);
+    EXPECT_EQ(a.rejectedInputs, b.rejectedInputs);
+    EXPECT_EQ(a.imputedInputs, b.imputedInputs);
+    EXPECT_EQ(a.substitutedEstimates, b.substitutedEstimates);
+    EXPECT_EQ(a.clampedEstimates, b.clampedEstimates);
+}
+
 TEST(OnlineEstimator, HealthNamesAreDistinct)
 {
     EXPECT_EQ(machineHealthName(MachineHealth::Healthy), "Healthy");

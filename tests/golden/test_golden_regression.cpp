@@ -121,6 +121,29 @@ computeGoldenValues()
         values.emplace_back("fit.mars.terms",
                             static_cast<double>(
                                 mars.coefficients().size()));
+        // Pin the *batch* entry point explicitly: an order-weighted
+        // checksum of predictBatch over the training matrix, per
+        // technique. The eval.* keys above already route through
+        // predictAll -> predictBatch, but this key fails even if
+        // evaluation later stops using the batch path.
+        LinearModel linear;
+        linear.fit(subset.features(), subset.powerW());
+        for (const PowerModel *model :
+             {static_cast<const PowerModel *>(&linear),
+              static_cast<const PowerModel *>(&mars)}) {
+            const Matrix &rows = subset.features();
+            std::vector<double> flat(rows.rows() * rows.cols());
+            for (size_t r = 0; r < rows.rows(); ++r)
+                for (size_t c = 0; c < rows.cols(); ++c)
+                    flat[r * rows.cols() + c] = rows(r, c);
+            std::vector<double> watts(rows.rows());
+            model->predictBatch(flat.data(), rows.rows(),
+                                rows.cols(), watts.data());
+            values.emplace_back(
+                std::string("predict_batch.") +
+                    modelTypeName(model->type()) + ".checksum",
+                coefficientChecksum(watts));
+        }
     }
     return values;
 }

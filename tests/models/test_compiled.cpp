@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Property-based equivalence tests for the compiled batch predict
+ * path: for every model technique, across randomized training
+ * problems, batch sizes, and row strides, predictBatch (the lowered
+ * SoA evaluation plan) must reproduce the scalar predict() result
+ * *bitwise* — the compiled plan is a re-layout of the same
+ * arithmetic, never a reassociation of it. The scalar path is the
+ * regression oracle: any last-ulp divergence is a lowering bug.
+ */
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/factory.hpp"
+#include "models/serialize.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+/**
+ * Randomized power-like training problem (same family as the
+ * serialization round-trip suite): seed-dependent row/feature
+ * counts, a frequency-style column with discrete levels, and a
+ * nonlinear noisy target, so every seed exercises a different
+ * fitted-model shape — different knots, different switching states.
+ */
+void
+randomProblem(Matrix &x, std::vector<double> &y, size_t &freqColumn,
+              uint64_t seed)
+{
+    Rng rng(seed);
+    const size_t n = 120 + rng.uniformInt(200);
+    const size_t features = 2 + rng.uniformInt(4);
+    freqColumn = rng.uniformInt(features);
+    const double levels[] = {800.0, 1600.0, 2260.0};
+
+    x = Matrix(n, features);
+    y.assign(n, 0.0);
+    std::vector<double> weights(features);
+    for (double &w : weights)
+        w = rng.uniform(-0.1, 0.3);
+    for (size_t i = 0; i < n; ++i) {
+        double watts = 20.0 + rng.normal(0.0, 0.3);
+        for (size_t f = 0; f < features; ++f) {
+            x(i, f) = f == freqColumn
+                          ? levels[rng.uniformInt(3)]
+                          : rng.uniform(0.0, 100.0);
+            watts += weights[f] * x(i, f) / (f == freqColumn ? 20 : 1)
+                     + 1e-4 * x(i, f) * x(i, f) * (f % 2);
+        }
+        y[i] = watts;
+    }
+}
+
+/** A fitted model of @p type on the seed's random problem. */
+std::unique_ptr<PowerModel>
+fittedModel(ModelType type, uint64_t seed, Matrix &x,
+            std::vector<double> &y)
+{
+    size_t freqColumn = 0;
+    randomProblem(x, y, freqColumn, seed);
+    ModelOptions options;
+    options.frequencyFeature = static_cast<int>(freqColumn);
+    auto model = makeModel(type, options);
+    model->fit(x, y);
+    return model;
+}
+
+/**
+ * Pack @p rows probe rows of width @p width at @p stride doubles
+ * between row starts, poisoning the padding lanes so a plan that
+ * reads past a row's width cannot go unnoticed.
+ */
+std::vector<double>
+packRows(const std::vector<std::vector<double>> &rows, size_t width,
+         size_t stride)
+{
+    std::vector<double> packed(rows.size() * stride, -1e300);
+    for (size_t i = 0; i < rows.size(); ++i)
+        std::memcpy(packed.data() + i * stride, rows[i].data(),
+                    width * sizeof(double));
+    return packed;
+}
+
+class CompiledBatchEquivalence
+    : public ::testing::TestWithParam<ModelType>
+{
+};
+
+TEST_P(CompiledBatchEquivalence, RandomBatchesMatchScalarBitwise)
+{
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        Matrix x;
+        std::vector<double> y;
+        const auto model = fittedModel(GetParam(), seed * 7919, x, y);
+        const size_t width = model->inputWidth();
+
+        Rng rng(seed * 104729);
+        // Random batch sizes, including the degenerate ones the
+        // drain scheduler produces (empty pass, single straggler).
+        for (size_t batch : {size_t(0), size_t(1),
+                             1 + rng.uniformInt(7),
+                             8 + rng.uniformInt(64),
+                             64 + rng.uniformInt(512)}) {
+            // Probe mix: training rows (in-envelope) and uniform
+            // random points (outside it), so hinge zero-clamps and
+            // switching-state selection both get exercised.
+            std::vector<std::vector<double>> probes;
+            for (size_t i = 0; i < batch; ++i) {
+                std::vector<double> row(width);
+                if (i % 2 == 0) {
+                    for (size_t f = 0; f < width; ++f)
+                        row[f] = x(rng.uniformInt(x.rows()), f);
+                } else {
+                    for (size_t f = 0; f < width; ++f)
+                        row[f] = rng.uniform(-50.0, 150.0);
+                }
+                probes.push_back(std::move(row));
+            }
+            // Random stride >= width: contiguous and padded layouts
+            // must be indistinguishable to the plan.
+            const size_t stride = width + rng.uniformInt(5);
+            const std::vector<double> packed =
+                packRows(probes, width, stride);
+
+            std::vector<double> got(batch, -1.0);
+            model->predictBatch(packed.data(), batch, stride,
+                                got.data());
+            for (size_t i = 0; i < batch; ++i) {
+                EXPECT_EQ(got[i], model->predict(probes[i]))
+                    << modelTypeName(GetParam()) << " seed " << seed
+                    << " batch " << batch << " stride " << stride
+                    << " row " << i;
+            }
+        }
+    }
+}
+
+TEST_P(CompiledBatchEquivalence, ReloadedModelBatchesMatchBitwise)
+{
+    // load() rebuilds the compiled plan eagerly; the reloaded plan
+    // must be the same function as the original's, through the batch
+    // entry point, bit for bit.
+    for (uint64_t seed = 2; seed <= 6; ++seed) {
+        Matrix x;
+        std::vector<double> y;
+        const auto model = fittedModel(GetParam(), seed * 6007, x, y);
+        std::stringstream buffer;
+        saveModel(buffer, *model);
+        const auto loaded = loadModel(buffer);
+        const size_t width = model->inputWidth();
+        ASSERT_EQ(loaded->inputWidth(), width);
+
+        Rng rng(seed);
+        const size_t batch = 33 + rng.uniformInt(100);
+        std::vector<std::vector<double>> probes;
+        for (size_t i = 0; i < batch; ++i) {
+            std::vector<double> row(width);
+            for (size_t f = 0; f < width; ++f)
+                row[f] = rng.uniform(-50.0, 150.0);
+            probes.push_back(std::move(row));
+        }
+        const std::vector<double> packed =
+            packRows(probes, width, width);
+        std::vector<double> want(batch), got(batch);
+        model->predictBatch(packed.data(), batch, width,
+                            want.data());
+        loaded->predictBatch(packed.data(), batch, width,
+                             got.data());
+        for (size_t i = 0; i < batch; ++i) {
+            EXPECT_EQ(got[i], want[i])
+                << modelTypeName(GetParam()) << " seed " << seed
+                << " row " << i;
+        }
+    }
+}
+
+TEST_P(CompiledBatchEquivalence, PredictAllRoutesThroughBatchPath)
+{
+    // predictAll is the Matrix-facing face of the same plan: one
+    // batched evaluation of every training row must equal the
+    // scalar loop.
+    Matrix x;
+    std::vector<double> y;
+    const auto model = fittedModel(GetParam(), 424243, x, y);
+    const std::vector<double> all = model->predictAll(x);
+    ASSERT_EQ(all.size(), x.rows());
+    for (size_t r = 0; r < x.rows(); ++r)
+        EXPECT_EQ(all[r], model->predict(x.row(r))) << "row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, CompiledBatchEquivalence,
+    ::testing::ValuesIn(allModelTypes()),
+    [](const ::testing::TestParamInfo<ModelType> &info) {
+        return modelTypeName(info.param) == "piecewise-linear"
+                   ? std::string("piecewise")
+                   : modelTypeName(info.param);
+    });
+
+} // namespace
+} // namespace chaos

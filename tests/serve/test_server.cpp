@@ -109,6 +109,65 @@ TEST(FleetServer, ThreadedDrainProcessesEverySample)
     }
 }
 
+TEST(FleetServer, ConcurrentDrainersNeverAliasScratch)
+{
+    // Multiple threads calling drainOnce() concurrently with live
+    // producers: drainMu must serialize the passes so the shared
+    // drain scratch (batch, grouping, views, watts) and the
+    // estimators' member scratch (batchRows, rowScratch) are never
+    // aliased by two passes at once. Run under TSan (tier-1's
+    // CHAOS_SANITIZE=thread stage) this is the aliasing proof; in a
+    // plain build it still checks exact sample accounting.
+    setGlobalThreadCount(2);
+    FleetServer server;
+    std::vector<MachineEntry *> entries;
+    for (int m = 0; m < 3; ++m) {
+        entries.push_back(&server.addMachine(
+            "m" + std::to_string(m), makeTestModel(5)));
+    }
+
+    const size_t perProducer = 3000;
+    std::atomic<bool> producing{true};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p) {
+        producers.emplace_back([&, p] {
+            for (size_t i = 0; i < perProducer; ++i) {
+                server.submitTo(*entries[(p + i) % 3],
+                                catalogRow(i % 100, p * 10.0));
+            }
+        });
+    }
+    std::vector<std::thread> drainers;
+    for (int d = 0; d < 3; ++d) {
+        drainers.emplace_back([&] {
+            while (producing.load()) {
+                if (server.drainOnce() == 0)
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (auto &producer : producers)
+        producer.join();
+    producing.store(false);
+    for (auto &drainer : drainers)
+        drainer.join();
+    while (server.drainOnce() > 0) {
+    }
+    setGlobalThreadCount(1);
+
+    EXPECT_EQ(server.submitted(), 2 * perProducer);
+    EXPECT_EQ(server.processed() + server.dropped(),
+              server.submitted());
+    EXPECT_EQ(server.dropped(), 0u);
+    uint64_t perMachine = 0;
+    for (int m = 0; m < 3; ++m) {
+        entries[m]->withEstimator([&](OnlinePowerEstimator &e) {
+            perMachine += e.samples();
+        });
+    }
+    EXPECT_EQ(perMachine, 2 * perProducer);
+}
+
 TEST(FleetServer, DropOldestEngagesAndIsCounted)
 {
     obs::EventLog::instance().clear();
