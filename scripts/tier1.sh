@@ -20,7 +20,14 @@
 # The self-healing autopilot gets a `chaos autopilot` replay smoke
 # (an injected stuck-counter fault must be quarantined, retrained,
 # and canary-promoted within the replay; a clean replay must report
-# zero remediations) and its tests run under ThreadSanitizer.
+# zero remediations) and its tests run under ThreadSanitizer. The
+# hierarchical roll-up layer gets a rollup_scale smoke (asserts the
+# per-machine update/aggregate/memory budgets, bitwise thread-count
+# determinism, and the metered-density recall invariants, and the
+# tier schema-checks its BENCH_rollup.json), a `chaos fleetview`
+# smoke over a 100-machine synthetic topology (tables render, the
+# JSONL roll-up export is one well-formed object per line), and the
+# roll-up tests under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,7 +56,8 @@ trap 'rm -rf "$serve_tmp"' EXIT
     "$OLDPWD/build/bench/serve_throughput")
 for key in throughput batched_throughput replay monitor_overhead \
     autopilot_overhead throughput_floor_sps \
-    batched_throughput_floor_sps p99_drain_budget_ms pass; do
+    batched_throughput_floor_sps p99_drain_budget_ms \
+    blast_p99_drain_ms pass; do
     grep -q "\"$key\"" "$serve_tmp/BENCH_serve.json" || {
         echo "serve bench: BENCH_serve.json missing key '$key'" >&2
         exit 1
@@ -57,6 +65,56 @@ for key in throughput batched_throughput replay monitor_overhead \
 done
 grep -q '"pass": true' "$serve_tmp/BENCH_serve.json" || {
     echo "serve bench: BENCH_serve.json did not record a pass" >&2
+    exit 1
+}
+
+echo
+echo "== tier 1: roll-up aggregation smoke (fast mode) =="
+# Same pattern as serve_throughput: the bench gates its own budgets
+# (per-machine update/aggregate cost, bytes/machine, thread-count
+# determinism, density-sweep recall) and exits nonzero on violation;
+# the schema check keeps the dashboard contract stable.
+(cd "$serve_tmp" && CHAOS_BENCH_FAST=1 \
+    "$OLDPWD/build/bench/rollup_scale")
+for key in scale update_budget_us_per_machine \
+    aggregate_budget_us_per_machine memory_budget_bytes_per_machine \
+    deterministic density_sweep pass; do
+    grep -q "\"$key\"" "$serve_tmp/BENCH_rollup.json" || {
+        echo "rollup bench: BENCH_rollup.json missing key '$key'" >&2
+        exit 1
+    }
+done
+grep -q '"pass": true' "$serve_tmp/BENCH_rollup.json" || {
+    echo "rollup bench: BENCH_rollup.json did not record a pass" >&2
+    exit 1
+}
+
+echo
+echo "== tier 1: chaos fleetview roll-up smoke =="
+# 100 synthetic machines through the roll-up tree: the dashboard must
+# render the drill-down tables and every exported roll-up line must
+# be one JSON object.
+./build/tools/chaos fleetview --synthetic 100 --ticks 10 \
+    --rollup-out "$serve_tmp/rollup.jsonl" \
+    | tee "$serve_tmp/fleetview.out"
+grep -q 'fleetview (root): 100 machines' "$serve_tmp/fleetview.out" || {
+    echo "fleetview smoke: root summary missing" >&2
+    exit 1
+}
+grep -q 'Drift rate' "$serve_tmp/fleetview.out" || {
+    echo "fleetview smoke: drill-down table missing" >&2
+    exit 1
+}
+[ -s "$serve_tmp/rollup.jsonl" ] || {
+    echo "fleetview smoke: no roll-up export written" >&2
+    exit 1
+}
+if grep -qv '^{.*}$' "$serve_tmp/rollup.jsonl"; then
+    echo "fleetview smoke: roll-up line is not a JSON object" >&2
+    exit 1
+fi
+grep -q '"drift_rate"' "$serve_tmp/rollup.jsonl" || {
+    echo "fleetview smoke: roll-up export missing drift rates" >&2
     exit 1
 }
 
@@ -147,7 +205,8 @@ echo
 echo "== tier 1: parallel tests under TSan =="
 cmake -B build-tsan -S . -DCHAOS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_util test_core \
-    test_obs test_serve test_models test_monitor test_autopilot
+    test_obs test_serve test_models test_monitor test_autopilot \
+    test_rollup
 CHAOS_THREADS=8 ./build-tsan/tests/test_util \
     --gtest_filter='ParallelTest.*:Logging.Concurrent*'
 CHAOS_BENCH_FAST=1 CHAOS_THREADS=8 ./build-tsan/tests/test_core \
@@ -159,6 +218,7 @@ echo "== tier 1: serve + serialization round-trip tests under TSan =="
 CHAOS_THREADS=8 ./build-tsan/tests/test_serve
 CHAOS_THREADS=8 ./build-tsan/tests/test_monitor
 CHAOS_THREADS=8 ./build-tsan/tests/test_autopilot
+CHAOS_THREADS=8 ./build-tsan/tests/test_rollup
 CHAOS_THREADS=8 ./build-tsan/tests/test_models \
     --gtest_filter='*SerializePropertyRoundTrip*'
 

@@ -18,6 +18,10 @@
 #include "core/model_store.hpp"
 #include "monitor/exporter.hpp"
 #include "monitor/fleet_monitor.hpp"
+#include "obs/json.hpp"
+#include "rollup/feed.hpp"
+#include "rollup/synthetic.hpp"
+#include "sim/fleet_topology.hpp"
 #include "oscounters/counter_catalog.hpp"
 #include "oscounters/etw_session.hpp"
 #include "serve/fleet_store.hpp"
@@ -47,6 +51,10 @@ struct ParsedArgs
         return it != flags.end() ? it->second : fallback;
     }
 };
+
+// Defined with the dispatch plumbing below.
+void writeTextFile(const std::string &path,
+                   const std::string &content);
 
 /** Split args into positionals and --key value flags. */
 std::optional<ParsedArgs>
@@ -138,6 +146,13 @@ cmdHelp(std::ostream &out)
            "[--inject-stagger N]\n"
         << "      [--telemetry-out F.jsonl] [--telemetry-every N] "
            "[--dashboard-every N]\n"
+        << "  fleetview                          hierarchical "
+           "quality roll-up dashboard\n"
+        << "      (--synthetic N | --telemetry F.jsonl | --replay "
+           "data.csv (--model M | --fleet F))\n"
+        << "      [--ticks N] [--seed S] [--worst N] [--path "
+           "dc0/row1] [--rollup-out F.jsonl]\n"
+        << "      [--group-size N] [--platform P]\n"
         << "  report <data.csv>                  markdown dataset "
            "summary\n"
         << "\nglobal flags (any subcommand):\n"
@@ -659,6 +674,286 @@ cmdMonitor(const ParsedArgs &args, std::ostream &out,
     return 0;
 }
 
+/** "12.3%" for finite ratios, "n/a" otherwise (empty sketches). */
+std::string
+formatRatioCell(double ratio)
+{
+    return std::isfinite(ratio) ? formatPercent(ratio, 1) : "n/a";
+}
+
+/** "3.21" for finite watts, "n/a" otherwise. */
+std::string
+formatWattsCell(double watts, int decimals)
+{
+    return std::isfinite(watts) ? formatDouble(watts, decimals)
+                                : "n/a";
+}
+
+/** Render one roll-up node: children, platforms, worst machines. */
+void
+renderFleetview(const rollup::NodeSummary &node, std::ostream &out)
+{
+    const rollup::RollupStats &s = node.stats;
+    out << "fleetview "
+        << (node.path.empty() ? std::string("(root)") : node.path)
+        << ": " << s.machines << " machines (" << s.metered
+        << " metered), " << formatDouble(s.watts, 1) << " W, drifting "
+        << s.qualityDrifting << " (" << formatPercent(s.driftRate(), 1)
+        << " of metered), quarantined " << s.quarantined << "\n";
+
+    if (!node.children.empty()) {
+        TextTable groups({"Group", "Machines", "Metered", "Watts",
+                          "Healthy", "Drifting", "Drift rate",
+                          "DRE p50", "DRE p99", "rMSE p99 (W)"});
+        for (const rollup::NodeSummary &child : node.children) {
+            const rollup::RollupStats &c = child.stats;
+            groups.addRow(
+                {child.name, std::to_string(c.machines),
+                 std::to_string(c.metered), formatDouble(c.watts, 1),
+                 std::to_string(c.healthy),
+                 std::to_string(c.qualityDrifting),
+                 formatRatioCell(c.driftRate()),
+                 formatRatioCell(c.dre.quantile(0.5)),
+                 formatRatioCell(c.dre.quantile(0.99)),
+                 formatWattsCell(c.rmseW.quantile(0.99), 2)});
+        }
+        out << groups.render();
+    }
+
+    if (!s.platforms.empty()) {
+        TextTable platforms({"Platform", "Machines", "Metered",
+                             "Drifting", "Drift rate", "Watts"});
+        for (const auto &[name, p] : s.platforms) {
+            platforms.addRow({name, std::to_string(p.machines),
+                              std::to_string(p.metered),
+                              std::to_string(p.drifting),
+                              formatRatioCell(p.driftRate()),
+                              formatDouble(p.watts, 1)});
+        }
+        out << platforms.render();
+    }
+
+    if (!s.worst.empty()) {
+        TextTable worst({"Worst machine", "Group", "DRE", "rMSE (W)",
+                         "Drifted"});
+        for (const rollup::MachineRank &r : s.worst) {
+            worst.addRow({r.id, r.path,
+                          formatRatioCell(r.rollingDre),
+                          formatWattsCell(r.windowRmseW, 2),
+                          r.drifted ? "yes" : "no"});
+        }
+        out << worst.render();
+    }
+}
+
+/** Pre-order JSONL dump of a summary tree (one node per line). */
+void
+appendRollupLines(const rollup::NodeSummary &node, std::string &out)
+{
+    out += node.toJson();
+    out += "\n";
+    for (const rollup::NodeSummary &child : node.children)
+        appendRollupLines(child, out);
+}
+
+/**
+ * Place sorted machine ids into synthetic "fleet<K>" groups of
+ * @p groupSize. Telemetry and replay streams carry no topology, so
+ * the fleetview groups them deterministically by id order; real
+ * deployments would feed real placement metadata instead.
+ */
+template <typename Feed>
+void
+placeSequentially(Feed &feed, const std::vector<std::string> &ids,
+                  std::size_t groupSize, const std::string &platform)
+{
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        feed.place(ids[i],
+                   "fleet" + std::to_string(i / groupSize),
+                   platform);
+    }
+}
+
+/**
+ * The datacenter-scale observability dashboard: aggregate per-machine
+ * quality into the hierarchical roll-up tree and render any level of
+ * it. Three feeds — a synthetic topology (scale demos), an offline
+ * telemetry JSONL replay (post-hoc analysis of a monitor/autopilot
+ * run), and a live lockstep trace replay through a real FleetServer +
+ * FleetMonitor — all land in the same RollupTree, so the rendering
+ * and the JSONL roll-up export are identical across them.
+ */
+int
+cmdFleetview(const ParsedArgs &args, std::ostream &out,
+             std::ostream &err)
+{
+    const std::string syntheticCount = args.flagOr("synthetic", "");
+    const std::string telemetryPath = args.flagOr("telemetry", "");
+    const std::string replayPath = args.flagOr("replay", "");
+    const int modes = (syntheticCount.empty() ? 0 : 1) +
+                      (telemetryPath.empty() ? 0 : 1) +
+                      (replayPath.empty() ? 0 : 1);
+    if (modes != 1) {
+        err << "usage: chaos fleetview (--synthetic N | --telemetry "
+               "F.jsonl | --replay data.csv (--model M | --fleet F))\n"
+               "    [--ticks N] [--seed S] [--worst N] [--path "
+               "dc0/row1] [--rollup-out F.jsonl]\n"
+               "    [--group-size N] [--platform P]\n";
+        return 2;
+    }
+
+    rollup::RollupConfig rollupConfig;
+    rollupConfig.worstN = static_cast<std::size_t>(
+        std::stoul(args.flagOr("worst", "5")));
+    rollup::RollupTree tree(rollupConfig);
+
+    const std::size_t groupSize = static_cast<std::size_t>(
+        std::stoul(args.flagOr("group-size", "8")));
+    const std::string platform = args.flagOr("platform", "");
+
+    if (!syntheticCount.empty()) {
+        FleetTopologyConfig topoConfig;
+        topoConfig.machines = static_cast<std::size_t>(
+            std::stoul(syntheticCount));
+        topoConfig.seed = std::stoull(args.flagOr("seed", "42"));
+        const FleetTopology topology(topoConfig);
+        rollup::SyntheticRollupFeed feed(tree, topology);
+        const std::uint64_t ticks =
+            std::stoull(args.flagOr("ticks", "30"));
+        for (std::uint64_t t = 0; t < ticks; ++t)
+            feed.tick(t);
+        out << "synthetic fleet: " << topology.size()
+            << " machines, " << ticks << " ticks, ground-truth "
+            << "drifting " << topology.driftTruthTotal() << "\n";
+    } else if (!telemetryPath.empty()) {
+        // Pass 1: discover machine ids so grouping covers everyone.
+        std::vector<std::string> ids;
+        {
+            std::set<std::string> seen;
+            std::ifstream in(telemetryPath);
+            raiseIf(!in.is_open(),
+                    "cannot open telemetry: " + telemetryPath);
+            std::string line;
+            while (std::getline(in, line)) {
+                if (line.empty())
+                    continue;
+                obs::JsonValue record;
+                if (!obs::jsonParse(line, record))
+                    continue; // Replay will report the bad line.
+                const obs::JsonValue *payload = record.find("fleet");
+                if (!payload)
+                    payload = record.find("quality");
+                if (!payload || !payload->isObject())
+                    continue;
+                const obs::JsonValue *machines =
+                    payload->find("machines");
+                if (!machines || !machines->isArray())
+                    continue;
+                for (const obs::JsonValue &m : machines->items()) {
+                    const std::string id = m.stringOr("id", "");
+                    if (!id.empty())
+                        seen.insert(id);
+                }
+            }
+            ids.assign(seen.begin(), seen.end());
+        }
+        rollup::JsonlRollupFeed feed(tree);
+        placeSequentially(feed, ids, groupSize,
+                          platform.empty() ? "unknown" : platform);
+        const rollup::JsonlReplayStats stats =
+            feed.replayFile(telemetryPath);
+        out << "telemetry replay: " << stats.lines << " lines, "
+            << stats.fleetRecords << " fleet + "
+            << stats.qualityRecords << " quality records ("
+            << stats.skipped << " skipped), last tick "
+            << stats.lastTick << "\n";
+    } else {
+        const std::string modelPath = args.flagOr("model", "");
+        const std::string fleetPath = args.flagOr("fleet", "");
+        if (modelPath.empty() == fleetPath.empty()) {
+            err << "error: fleetview --replay needs exactly one of "
+                   "--model or --fleet\n";
+            return 2;
+        }
+        const Dataset data = loadDataset(replayPath);
+        serve::TraceReplayer replayer(data);
+        serve::FleetServer server;
+
+        OnlineEstimatorConfig estimatorConfig;
+        if (!platform.empty()) {
+            estimatorConfig = OnlineEstimatorConfig::forSpec(
+                machineSpecFor(machineClassFromName(platform)));
+        }
+        if (!modelPath.empty()) {
+            const MachinePowerModel model =
+                loadMachineModelFile(modelPath);
+            for (const std::string &id : replayer.machineIds())
+                server.addMachine(id, model, estimatorConfig);
+        } else {
+            for (serve::FleetMachine &machine :
+                 serve::loadFleetModels(fleetPath)) {
+                server.addMachine(machine.id,
+                                  std::move(machine.model),
+                                  estimatorConfig);
+            }
+        }
+
+        monitor::QualityMonitorConfig qualityConfig;
+        qualityConfig.windowSamples = static_cast<size_t>(
+            std::stoul(args.flagOr("window", "60")));
+        qualityConfig.warmupSamples = static_cast<size_t>(
+            std::stoul(args.flagOr("warmup", "600")));
+        monitor::FleetMonitor fleetMonitor(qualityConfig);
+        fleetMonitor.attach(server);
+
+        rollup::LiveRollupFeed feed(tree);
+        placeSequentially(feed, server.machineIds(), groupSize,
+                          platform.empty() ? "unknown" : platform);
+
+        serve::ReplayConfig replayConfig;
+        replayConfig.speed = std::stod(args.flagOr("speed", "0"));
+        const std::uint64_t observeEvery =
+            std::stoull(args.flagOr("ticks", "10"));
+        replayConfig.onTick = [&](size_t tick) {
+            // Synchronous lockstep, like cmdMonitor: drain this
+            // tick's samples, then join the snapshots into the tree.
+            while (server.processed() + server.dropped() <
+                   server.submitted())
+                server.drainOnce();
+            const bool lastTick = tick + 1 == replayer.numTicks();
+            if (observeEvery != 0 &&
+                (tick % observeEvery == 0 || lastTick)) {
+                feed.observe(server.snapshot(),
+                             fleetMonitor.snapshot());
+            }
+        };
+        const serve::ReplayStats stats =
+            replayer.replayInto(server, replayConfig);
+        out << "live replay: " << stats.ticks << " ticks x "
+            << server.numMachines() << " machines, "
+            << feed.observed() << " roll-up joins\n";
+    }
+
+    const rollup::NodeSummary summary = tree.aggregate();
+    const std::string drillPath = args.flagOr("path", "");
+    const rollup::NodeSummary *node = summary.find(drillPath);
+    if (!node) {
+        err << "error: no roll-up group '" << drillPath << "'\n";
+        return 2;
+    }
+    renderFleetview(*node, out);
+
+    const std::string rollupOut = args.flagOr("rollup-out", "");
+    if (!rollupOut.empty()) {
+        std::string lines;
+        appendRollupLines(summary, lines);
+        writeTextFile(rollupOut, lines);
+        out << "wrote " << tree.numNodes() << " roll-up nodes to "
+            << rollupOut << "\n";
+    }
+    return 0;
+}
+
 /**
  * Rebuild @p data with the listed machines' counter vectors passed
  * through a stuck-counter DriftStorm from @p onsetTick on (metered
@@ -1013,6 +1308,8 @@ dispatch(const std::string &command, const ParsedArgs &parsed,
         return cmdMonitor(parsed, out, err);
     if (command == "autopilot")
         return cmdAutopilot(parsed, out, err);
+    if (command == "fleetview")
+        return cmdFleetview(parsed, out, err);
     if (command == "report")
         return cmdReport(parsed, out, err);
 

@@ -1,6 +1,7 @@
 #include "obs/events.hpp"
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -54,6 +55,10 @@ void
 EventLog::emit(EventKind kind, std::string source, std::string detail,
                std::uint64_t count)
 {
+    // Looked up outside mu_ so the registry mutex (taken once, on
+    // first registration) never nests inside the log lock.
+    static Counter &droppedCounter = Registry::instance().counter(
+        "chaos.obs.events_dropped");
     std::lock_guard<std::mutex> lock(mu_);
     Event event;
     event.seq = nextSeq_++;
@@ -67,6 +72,8 @@ EventLog::emit(EventKind kind, std::string source, std::string detail,
     } else {
         ring_[head_] = std::move(event);
         head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+        droppedCounter.add();
     }
 }
 
@@ -86,6 +93,13 @@ EventLog::totalEmitted() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return nextSeq_;
+}
+
+std::uint64_t
+EventLog::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
 }
 
 void

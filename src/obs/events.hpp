@@ -78,6 +78,15 @@ class EventLog
     /** @return Events emitted over the log's lifetime (incl. overwritten). */
     std::uint64_t totalEmitted() const;
 
+    /**
+     * @return Events lost to ring overflow (overwritten before a
+     *         snapshot could retain them). Every overwrite also bumps
+     *         the process-wide chaos.obs.events_dropped counter, so
+     *         dashboards see silent loss instead of a clean-looking
+     *         truncated log.
+     */
+    std::uint64_t dropped() const;
+
     /** @return Ring capacity. */
     std::size_t capacity() const { return capacity_; }
 
@@ -93,6 +102,7 @@ class EventLog
     std::size_t capacity_;
     std::size_t head_ = 0;     // Next write position.
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace chaos::obs

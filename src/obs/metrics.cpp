@@ -71,6 +71,34 @@ Histogram::observe(double v)
     }
 }
 
+bool
+Histogram::merge(const Histogram &other)
+{
+    if (bounds_ != other.bounds_)
+        return false;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        const std::uint64_t n =
+            other.counts_[i].load(std::memory_order_relaxed);
+        if (n)
+            counts_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    // Reuse the CAS min/max loops: merge is just two more
+    // commutative observations.
+    const double lo = other.minSeen_.load(std::memory_order_relaxed);
+    double seen = minSeen_.load(std::memory_order_relaxed);
+    while (lo < seen &&
+           !minSeen_.compare_exchange_weak(seen, lo,
+                                           std::memory_order_relaxed)) {
+    }
+    const double hi = other.maxSeen_.load(std::memory_order_relaxed);
+    seen = maxSeen_.load(std::memory_order_relaxed);
+    while (hi > seen &&
+           !maxSeen_.compare_exchange_weak(seen, hi,
+                                           std::memory_order_relaxed)) {
+    }
+    return true;
+}
+
 std::vector<std::uint64_t>
 Histogram::bucketCounts() const
 {

@@ -145,6 +145,17 @@ class Histogram
     double maxValue() const;
 
     /**
+     * Fold @p other's observations into this histogram: per-bucket
+     * count addition plus the commutative min/max, so merging is
+     * associative and order-independent. Both histograms must have
+     * been built with identical bounds.
+     *
+     * @return False (leaving this histogram untouched) when the
+     *         bounds differ.
+     */
+    bool merge(const Histogram &other);
+
+    /**
      * Approximate @p q-quantile (q in [0, 1]) from the bucket counts:
      * the target rank's bucket is found, the value is interpolated
      * linearly inside it, and the result is clamped to the observed

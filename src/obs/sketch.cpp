@@ -1,0 +1,162 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace chaos::obs {
+
+namespace {
+
+/** Magnitudes at or below this collapse into the zero bucket. */
+constexpr double kMinIndexable = 1e-12;
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+QuantileSketch::QuantileSketch(double relativeAccuracy)
+    : alpha_(std::clamp(relativeAccuracy, 1e-4, 0.5)),
+      gamma_((1.0 + alpha_) / (1.0 - alpha_)),
+      logGamma_(std::log(gamma_)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{}
+
+std::int32_t
+QuantileSketch::bucketIndex(double magnitude) const
+{
+    // Bucket i covers (gamma^(i-1), gamma^i]; ceil keeps the upper
+    // edge inclusive so the index is stable for exact powers.
+    return static_cast<std::int32_t>(
+        std::ceil(std::log(magnitude) / logGamma_));
+}
+
+double
+QuantileSketch::bucketValue(std::int32_t index) const
+{
+    // Midpoint (harmonic) estimate: within alpha of every value the
+    // bucket can hold.
+    return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void
+QuantileSketch::add(double v, std::uint64_t count)
+{
+    if (count == 0 || !std::isfinite(v))
+        return;
+    if (v > kMinIndexable)
+        positive_[bucketIndex(v)] += count;
+    else if (v < -kMinIndexable)
+        negative_[bucketIndex(-v)] += count;
+    else
+        zero_ += count;
+    total_ += count;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+bool
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    if (alpha_ != other.alpha_)
+        return false;
+    for (const auto &[index, count] : other.positive_)
+        positive_[index] += count;
+    for (const auto &[index, count] : other.negative_)
+        negative_[index] += count;
+    zero_ += other.zero_;
+    total_ += other.total_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    return true;
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (total_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    q = std::clamp(q, 0.0, 1.0);
+    // 1-based rank of the wanted observation in ascending order.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               q * static_cast<double>(total_) + 0.5));
+
+    std::uint64_t cumulative = 0;
+    // Ascending order: most-negative magnitudes first.
+    for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+        cumulative += it->second;
+        if (cumulative >= rank)
+            return std::clamp(-bucketValue(it->first), min_, max_);
+    }
+    cumulative += zero_;
+    if (cumulative >= rank)
+        return std::clamp(0.0, min_, max_);
+    for (const auto &[index, count] : positive_) {
+        cumulative += count;
+        if (cumulative >= rank)
+            return std::clamp(bucketValue(index), min_, max_);
+    }
+    return max_;
+}
+
+std::size_t
+QuantileSketch::memoryBytes() const
+{
+    // std::map node: payload + two colored child pointers + parent.
+    constexpr std::size_t kNodeBytes =
+        sizeof(std::pair<std::int32_t, std::uint64_t>) +
+        4 * sizeof(void *);
+    return sizeof(*this) +
+           (positive_.size() + negative_.size()) * kNodeBytes;
+}
+
+void
+QuantileSketch::clear()
+{
+    total_ = 0;
+    zero_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    positive_.clear();
+    negative_.clear();
+}
+
+std::string
+QuantileSketch::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"accuracy\": " << formatDouble(alpha_)
+        << ", \"count\": " << total_;
+    if (total_ > 0) {
+        out << ", \"min\": " << formatDouble(min_)
+            << ", \"max\": " << formatDouble(max_);
+    }
+    out << ", \"zero\": " << zero_ << ", \"negative\": [";
+    bool first = true;
+    for (const auto &[index, count] : negative_) {
+        out << (first ? "" : ", ") << "[" << index << ", " << count
+            << "]";
+        first = false;
+    }
+    out << "], \"positive\": [";
+    first = true;
+    for (const auto &[index, count] : positive_) {
+        out << (first ? "" : ", ") << "[" << index << ", " << count
+            << "]";
+        first = false;
+    }
+    out << "]}";
+    return out.str();
+}
+
+} // namespace chaos::obs

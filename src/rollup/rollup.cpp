@@ -1,0 +1,384 @@
+#include "rollup/rollup.hpp"
+
+#include "obs/json.hpp"
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace chaos::rollup {
+
+namespace {
+
+/// Shortest round-trip double formatting; non-finite becomes null so
+/// the output stays valid JSON.
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/// Ranking order: worst (largest) DRE first, machine id as the
+/// deterministic tie-break.
+bool
+rankBefore(const MachineRank &a, const MachineRank &b)
+{
+    if (a.rollingDre != b.rollingDre)
+        return a.rollingDre > b.rollingDre;
+    return a.id < b.id;
+}
+
+/// Insert into a bounded ranking kept sorted by rankBefore.
+void
+rankInsert(std::vector<MachineRank> &worst, MachineRank rank,
+           std::size_t worstN)
+{
+    if (worstN == 0)
+        return;
+    auto it = std::lower_bound(worst.begin(), worst.end(), rank,
+                               rankBefore);
+    if (worst.size() >= worstN) {
+        if (it == worst.end())
+            return; // Not bad enough to displace anyone.
+        worst.pop_back();
+        it = std::lower_bound(worst.begin(), worst.end(), rank,
+                              rankBefore);
+    }
+    worst.insert(it, std::move(rank));
+}
+
+void
+sketchJson(std::ostringstream &out, const obs::QuantileSketch &sketch)
+{
+    out << "{\"count\": " << sketch.count();
+    if (!sketch.empty()) {
+        out << ", \"p50\": " << jsonNum(sketch.quantile(0.5))
+            << ", \"p90\": " << jsonNum(sketch.quantile(0.9))
+            << ", \"p99\": " << jsonNum(sketch.quantile(0.99))
+            << ", \"max\": " << jsonNum(sketch.maxValue());
+    }
+    out << "}";
+}
+
+} // namespace
+
+void
+PlatformStats::merge(const PlatformStats &other)
+{
+    machines += other.machines;
+    metered += other.metered;
+    drifting += other.drifting;
+    watts += other.watts;
+}
+
+void
+RollupStats::addMachine(const MachineObservation &m,
+                        const std::string &path, std::size_t worstN)
+{
+    ++machines;
+    watts += m.watts;
+    samples += m.samples;
+    referenceSamples += m.referenceSamples;
+    dropped += m.dropped;
+
+    switch (m.health) {
+      case MachineHealth::Healthy: ++healthy; break;
+      case MachineHealth::Degraded: ++degraded; break;
+      case MachineHealth::Stale: ++stale; break;
+      case MachineHealth::Lost: ++lost; break;
+    }
+    switch (m.quality) {
+      case ModelQuality::Unknown: ++qualityUnknown; break;
+      case ModelQuality::Ok: ++qualityOk; break;
+      case ModelQuality::Drifting: ++qualityDrifting; break;
+    }
+    if (m.quarantined) {
+        ++quarantined;
+        substitutedW += m.watts;
+    }
+
+    const bool isMetered = m.referenceSamples > 0;
+    if (isMetered) {
+        ++metered;
+        rmseW.add(m.windowRmseW);
+    }
+    if (std::isfinite(m.rollingDre)) {
+        dre.add(m.rollingDre);
+        rankInsert(worst,
+                   MachineRank{m.id, path, m.rollingDre, m.windowRmseW,
+                               m.drifted},
+                   worstN);
+    }
+
+    PlatformStats &p = platforms[m.platform];
+    ++p.machines;
+    p.watts += m.watts;
+    if (isMetered)
+        ++p.metered;
+    if (m.quality == ModelQuality::Drifting)
+        ++p.drifting;
+}
+
+void
+RollupStats::merge(const RollupStats &other, std::size_t worstN)
+{
+    machines += other.machines;
+    metered += other.metered;
+    watts += other.watts;
+    substitutedW += other.substitutedW;
+    samples += other.samples;
+    referenceSamples += other.referenceSamples;
+    dropped += other.dropped;
+    healthy += other.healthy;
+    degraded += other.degraded;
+    stale += other.stale;
+    lost += other.lost;
+    qualityUnknown += other.qualityUnknown;
+    qualityOk += other.qualityOk;
+    qualityDrifting += other.qualityDrifting;
+    quarantined += other.quarantined;
+
+    dre.merge(other.dre);
+    rmseW.merge(other.rmseW);
+
+    for (const auto &[name, stats] : other.platforms)
+        platforms[name].merge(stats);
+
+    // Merge two rankings already sorted by rankBefore, keep the
+    // worst worstN. Linear, like a tournament round.
+    std::vector<MachineRank> merged;
+    merged.reserve(std::min(worst.size() + other.worst.size(), worstN));
+    std::size_t i = 0, j = 0;
+    while (merged.size() < worstN &&
+           (i < worst.size() || j < other.worst.size())) {
+        if (j >= other.worst.size() ||
+            (i < worst.size() && rankBefore(worst[i], other.worst[j])))
+            merged.push_back(worst[i++]);
+        else
+            merged.push_back(other.worst[j++]);
+    }
+    worst = std::move(merged);
+}
+
+const NodeSummary *
+NodeSummary::find(const std::string &relPath) const
+{
+    const NodeSummary *node = this;
+    std::size_t start = 0;
+    while (start < relPath.size()) {
+        std::size_t end = relPath.find('/', start);
+        if (end == std::string::npos)
+            end = relPath.size();
+        const std::string segment = relPath.substr(start, end - start);
+        start = end + 1;
+        if (segment.empty())
+            continue;
+        const NodeSummary *next = nullptr;
+        for (const NodeSummary &child : node->children) {
+            if (child.name == segment) {
+                next = &child;
+                break;
+            }
+        }
+        if (!next)
+            return nullptr;
+        node = next;
+    }
+    return node;
+}
+
+std::string
+NodeSummary::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"path\": \"" << obs::jsonEscape(path) << "\", \"name\": \""
+        << obs::jsonEscape(name) << "\", \"depth\": " << depth
+        << ", \"machines\": " << stats.machines
+        << ", \"metered\": " << stats.metered
+        << ", \"watts\": " << jsonNum(stats.watts)
+        << ", \"substituted_w\": " << jsonNum(stats.substitutedW)
+        << ", \"samples\": " << stats.samples
+        << ", \"reference_samples\": " << stats.referenceSamples
+        << ", \"dropped\": " << stats.dropped
+        << ", \"health\": {\"healthy\": " << stats.healthy
+        << ", \"degraded\": " << stats.degraded
+        << ", \"stale\": " << stats.stale
+        << ", \"lost\": " << stats.lost << "}"
+        << ", \"quality\": {\"unknown\": " << stats.qualityUnknown
+        << ", \"ok\": " << stats.qualityOk
+        << ", \"drifting\": " << stats.qualityDrifting << "}"
+        << ", \"quarantined\": " << stats.quarantined
+        << ", \"drift_rate\": " << jsonNum(stats.driftRate())
+        << ", \"dre\": ";
+    sketchJson(out, stats.dre);
+    out << ", \"rmse_w\": ";
+    sketchJson(out, stats.rmseW);
+    out << ", \"platforms\": {";
+    bool first = true;
+    for (const auto &[platform, p] : stats.platforms) {
+        out << (first ? "" : ", ") << "\"" << obs::jsonEscape(platform)
+            << "\": {\"machines\": " << p.machines
+            << ", \"metered\": " << p.metered
+            << ", \"drifting\": " << p.drifting
+            << ", \"drift_rate\": " << jsonNum(p.driftRate())
+            << ", \"watts\": " << jsonNum(p.watts) << "}";
+        first = false;
+    }
+    out << "}, \"worst\": [";
+    for (std::size_t i = 0; i < stats.worst.size(); ++i) {
+        const MachineRank &r = stats.worst[i];
+        out << (i ? ", " : "") << "{\"id\": \"" << obs::jsonEscape(r.id)
+            << "\", \"path\": \"" << obs::jsonEscape(r.path)
+            << "\", \"dre\": " << jsonNum(r.rollingDre)
+            << ", \"rmse_w\": " << jsonNum(r.windowRmseW)
+            << ", \"drifted\": " << (r.drifted ? "true" : "false")
+            << "}";
+    }
+    out << "], \"children\": [";
+    for (std::size_t i = 0; i < children.size(); ++i)
+        out << (i ? ", " : "") << "\""
+            << obs::jsonEscape(children[i].name) << "\"";
+    out << "]}";
+    return out.str();
+}
+
+AggregationNode &
+AggregationNode::child(const std::string &name)
+{
+    auto it = children_.find(name);
+    if (it == children_.end())
+        it = children_
+                 .emplace(name, std::make_unique<AggregationNode>(name))
+                 .first;
+    return *it->second;
+}
+
+void
+AggregationNode::upsertMachine(const MachineObservation &m)
+{
+    machines_[m.id] = m;
+}
+
+std::size_t
+AggregationNode::numNodes() const
+{
+    std::size_t n = 1;
+    for (const auto &[name, child] : children_)
+        n += child->numNodes();
+    return n;
+}
+
+std::size_t
+AggregationNode::numMachines() const
+{
+    std::size_t n = machines_.size();
+    for (const auto &[name, child] : children_)
+        n += child->numMachines();
+    return n;
+}
+
+std::size_t
+AggregationNode::memoryBytes() const
+{
+    // Approximate: node + map entry overhead (red-black node: three
+    // pointers + color, rounded to four words) + string heap.
+    constexpr std::size_t kMapNode = 4 * sizeof(void *);
+    std::size_t bytes = sizeof(*this) + name_.capacity();
+    for (const auto &[id, m] : machines_) {
+        bytes += kMapNode + sizeof(id) + id.capacity() + sizeof(m) +
+                 m.id.capacity() + m.platform.capacity();
+    }
+    for (const auto &[name, child] : children_) {
+        bytes += kMapNode + sizeof(name) + name.capacity() +
+                 sizeof(std::unique_ptr<AggregationNode>) +
+                 child->memoryBytes();
+    }
+    return bytes;
+}
+
+NodeSummary
+AggregationNode::aggregate(const RollupConfig &config,
+                           const std::string &path,
+                           std::size_t depth) const
+{
+    NodeSummary out;
+    out.name = name_;
+    out.path = path;
+    out.depth = depth;
+    out.stats = RollupStats(config.sketchAccuracy);
+    for (const auto &[id, m] : machines_)
+        out.stats.addMachine(m, path, config.worstN);
+    out.children.reserve(children_.size());
+    for (const auto &[name, child] : children_) {
+        const std::string childPath =
+            path.empty() ? name : path + "/" + name;
+        out.children.push_back(
+            child->aggregate(config, childPath, depth + 1));
+        out.stats.merge(out.children.back().stats, config.worstN);
+    }
+    return out;
+}
+
+RollupTree::RollupTree(RollupConfig config) : cfg_(config)
+{
+    // Degenerate knobs would silently drop data; clamp instead.
+    if (cfg_.sketchAccuracy <= 0.0)
+        cfg_.sketchAccuracy = 0.01;
+}
+
+void
+RollupTree::update(const std::string &groupPath,
+                   const MachineObservation &m)
+{
+    AggregationNode *node = &root_;
+    std::size_t start = 0;
+    while (start < groupPath.size()) {
+        std::size_t end = groupPath.find('/', start);
+        if (end == std::string::npos)
+            end = groupPath.size();
+        const std::string segment =
+            groupPath.substr(start, end - start);
+        start = end + 1;
+        if (!segment.empty())
+            node = &node->child(segment);
+    }
+    node->upsertMachine(m);
+}
+
+NodeSummary
+RollupTree::aggregate() const
+{
+    // Fan out over the root's children (the deepest groups dominate
+    // the work) and merge in sorted-name order — the exact order the
+    // serial loop in AggregationNode::aggregate would use, so the
+    // result is bit-identical for any CHAOS_THREADS.
+    std::vector<const AggregationNode *> children;
+    children.reserve(root_.children_.size());
+    for (const auto &[name, child] : root_.children_)
+        children.push_back(child.get());
+
+    std::vector<NodeSummary> summaries = parallelMap<NodeSummary>(
+        children.size(), [&](std::size_t i) {
+            return children[i]->aggregate(cfg_, children[i]->name(), 1);
+        });
+
+    NodeSummary out;
+    out.name = root_.name_;
+    out.path = "";
+    out.depth = 0;
+    out.stats = RollupStats(cfg_.sketchAccuracy);
+    for (const auto &[id, m] : root_.machines_)
+        out.stats.addMachine(m, "", cfg_.worstN);
+    out.children = std::move(summaries);
+    for (const NodeSummary &child : out.children)
+        out.stats.merge(child.stats, cfg_.worstN);
+    return out;
+}
+
+} // namespace chaos::rollup

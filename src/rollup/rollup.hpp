@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Hierarchical quality roll-up: the paper's Eq. 5 composed one level
+ * further, from machines to a whole datacenter.
+ *
+ * The serving and monitoring layers produce per-machine truth —
+ * watts, health, model quality, rolling rMSE/DRE — for one fleet.
+ * Answering "which rack is drifting?" or "what is the p99 DRE across
+ * the row?" at 10k–100k machines must not require replaying every
+ * machine's telemetry: this layer arranges machines under recursively
+ * nestable AggregationNodes (machine → fleet → rack → row →
+ * datacenter — any depth works, the levels are just path segments)
+ * and rolls per-machine observations up the tree as mergeable
+ * aggregates:
+ *
+ *  - fleet-weighted DRE and rMSE *distributions* (one point per
+ *    machine) carried by obs::QuantileSketch, so any node can report
+ *    p50/p90/p99 and two sibling summaries merge in O(buckets);
+ *  - health / model-quality mixes, watt and substituted-watt sums,
+ *    sample/drop accounting — commutative integer and ordered double
+ *    sums;
+ *  - per-platform machine counts and drift rates (the paper's
+ *    pooling result extended to fleet scale: how many metered
+ *    references per class the roll-up verdict rests on);
+ *  - a bounded worst-N machine ranking by rolling DRE, merged like a
+ *    tournament so every level can name its worst offenders without
+ *    carrying full machine lists.
+ *
+ * Determinism: children and machines are kept in sorted maps, merges
+ * happen in that fixed order, and every aggregate is either integer,
+ * commutative (min/max), sketch (integer bucket counts), or a double
+ * sum taken in traversal order — so aggregate() serializes to
+ * bit-identical JSON for any CHAOS_THREADS and any feed order that
+ * ends in the same per-machine state. The top-level fan-out runs
+ * through util/parallel with an index-ordered merge, the same pattern
+ * the training pipeline uses.
+ *
+ * Threading: updates and aggregation are externally synchronized (the
+ * feeds in feed.hpp serialize them); aggregate() is const and takes
+ * no locks.
+ */
+#ifndef CHAOS_ROLLUP_ROLLUP_HPP
+#define CHAOS_ROLLUP_ROLLUP_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online.hpp"
+#include "obs/sketch.hpp"
+
+namespace chaos::rollup {
+
+/** One machine's latest state, as fed to the tree. */
+struct MachineObservation
+{
+    std::string id;
+    /** Machine-class name ("Core2"); "unknown" when unmapped. */
+    std::string platform = "unknown";
+    double watts = 0.0;            ///< Contribution to the cluster sum.
+    double windowRmseW = 0.0;      ///< Rolling window rMSE, watts.
+    /** Rolling DRE (Eq. 6); NaN without references or envelope. */
+    double rollingDre = std::numeric_limits<double>::quiet_NaN();
+    double biasW = 0.0;            ///< Rolling mean residual, watts.
+    std::uint64_t samples = 0;     ///< Estimates produced.
+    std::uint64_t referenceSamples = 0; ///< Metered refs consumed.
+    std::uint64_t dropped = 0;     ///< Backpressure losses.
+    MachineHealth health = MachineHealth::Healthy;
+    ModelQuality quality = ModelQuality::Unknown;
+    bool quarantined = false;      ///< Serving a substitute model.
+    bool drifted = false;          ///< Drift detector latched.
+};
+
+/** Roll-up knobs, fixed for the life of a tree. */
+struct RollupConfig
+{
+    /** Worst machines ranked at every node. */
+    std::size_t worstN = 10;
+    /** Relative-error bound of the DRE/rMSE sketches. */
+    double sketchAccuracy = 0.01;
+};
+
+/** One entry of a node's worst-machines ranking. */
+struct MachineRank
+{
+    std::string id;
+    std::string path;      ///< Group path the machine lives under.
+    double rollingDre = 0.0;
+    double windowRmseW = 0.0;
+    bool drifted = false;
+};
+
+/** Per-platform slice of a subtree (pooling view). */
+struct PlatformStats
+{
+    std::uint64_t machines = 0;
+    std::uint64_t metered = 0;  ///< Machines with >= 1 reference sample.
+    std::uint64_t drifting = 0;
+    double watts = 0.0;
+
+    /**
+     * Fraction of this platform's *metered* machines flagged
+     * Drifting — only machines with references can earn a verdict,
+     * so the denominator is the pooled evidence base, not the
+     * machine count (0 when no machine is metered).
+     */
+    double driftRate() const
+    {
+        return metered ? static_cast<double>(drifting) /
+                             static_cast<double>(metered)
+                       : 0.0;
+    }
+
+    void merge(const PlatformStats &other);
+};
+
+/** Mergeable aggregate of one subtree (see file comment). */
+struct RollupStats
+{
+    explicit RollupStats(double sketchAccuracy = 0.01)
+        : dre(sketchAccuracy), rmseW(sketchAccuracy)
+    {}
+
+    std::uint64_t machines = 0;
+    std::uint64_t metered = 0;
+    double watts = 0.0;
+    double substitutedW = 0.0;  ///< Watts served by substitutes.
+    std::uint64_t samples = 0;
+    std::uint64_t referenceSamples = 0;
+    std::uint64_t dropped = 0;
+
+    std::uint64_t healthy = 0;  ///< Health mix.
+    std::uint64_t degraded = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t lost = 0;
+
+    std::uint64_t qualityUnknown = 0;  ///< Model-quality mix.
+    std::uint64_t qualityOk = 0;
+    std::uint64_t qualityDrifting = 0;
+    std::uint64_t quarantined = 0;
+
+    /** Fleet-weighted rolling-DRE distribution (finite DREs only). */
+    obs::QuantileSketch dre;
+    /** Rolling-rMSE distribution over metered machines. */
+    obs::QuantileSketch rmseW;
+
+    /** Per-platform slices, keyed by platform name (sorted). */
+    std::map<std::string, PlatformStats> platforms;
+
+    /** Worst machines by rolling DRE, descending, bounded. */
+    std::vector<MachineRank> worst;
+
+    /** Fold one machine in. @p path labels the ranking entries. */
+    void addMachine(const MachineObservation &m,
+                    const std::string &path, std::size_t worstN);
+
+    /** Fold a sibling/child aggregate in (associative). */
+    void merge(const RollupStats &other, std::size_t worstN);
+
+    /** Drifting fraction of metered machines across the subtree. */
+    double driftRate() const
+    {
+        return metered ? static_cast<double>(qualityDrifting) /
+                             static_cast<double>(metered)
+                       : 0.0;
+    }
+};
+
+/** Aggregated view of one node, with its children. */
+struct NodeSummary
+{
+    std::string name;   ///< Last path segment ("" for the root).
+    std::string path;   ///< Full group path ("" for the root).
+    std::size_t depth = 0;
+    RollupStats stats;
+    std::vector<NodeSummary> children;  ///< Sorted by name.
+
+    /**
+     * Descend along @p relPath ("row1/rack2"; "" names this node).
+     * @return nullptr when a segment does not exist.
+     */
+    const NodeSummary *find(const std::string &relPath) const;
+
+    /**
+     * This node as one single-line JSON object (children are listed
+     * by name only — emit each child's own line for a full dump).
+     * Deterministic: equal aggregates serialize to equal bytes.
+     */
+    std::string toJson() const;
+};
+
+/** One interior node: child groups plus directly attached machines. */
+class AggregationNode
+{
+  public:
+    explicit AggregationNode(std::string name) : name_(std::move(name))
+    {}
+
+    const std::string &name() const { return name_; }
+
+    /** Find-or-create the child group @p name. */
+    AggregationNode &child(const std::string &name);
+
+    /** Insert or replace machine @p m (keyed by m.id) at this node. */
+    void upsertMachine(const MachineObservation &m);
+
+    /** Nodes in this subtree, including this one. */
+    std::size_t numNodes() const;
+
+    /** Machines attached anywhere in this subtree. */
+    std::size_t numMachines() const;
+
+    /** Approximate heap footprint of the subtree, bytes. */
+    std::size_t memoryBytes() const;
+
+    /**
+     * Roll this subtree up (serial). @p path is this node's full
+     * group path; @p depth its distance from the root.
+     */
+    NodeSummary aggregate(const RollupConfig &config,
+                          const std::string &path,
+                          std::size_t depth) const;
+
+  private:
+    friend class RollupTree;
+
+    std::string name_;
+    std::map<std::string, std::unique_ptr<AggregationNode>> children_;
+    std::map<std::string, MachineObservation> machines_;
+};
+
+/** The roll-up tree: path-addressed updates, one-call aggregation. */
+class RollupTree
+{
+  public:
+    explicit RollupTree(RollupConfig config = {});
+
+    /**
+     * Insert or replace one machine's observation under group
+     * @p groupPath ("dc0/row1/rack2/fleet0"; "" attaches to the
+     * root). Segments are created on first use — the tree *is* the
+     * topology. The machine is keyed by m.id within the group.
+     */
+    void update(const std::string &groupPath,
+                const MachineObservation &m);
+
+    /**
+     * One full aggregation pass. The root's children are aggregated
+     * through util/parallel (one task per child, results merged in
+     * sorted-name order), so wall time scales down with
+     * CHAOS_THREADS while the result stays bit-identical.
+     */
+    NodeSummary aggregate() const;
+
+    /** Machines currently in the tree. */
+    std::size_t numMachines() const { return root_.numMachines(); }
+
+    /** Aggregation nodes currently in the tree (incl. the root). */
+    std::size_t numNodes() const { return root_.numNodes(); }
+
+    /** Approximate heap footprint of the tree, bytes. */
+    std::size_t memoryBytes() const { return root_.memoryBytes(); }
+
+    /** The configuration the tree was built with. */
+    const RollupConfig &config() const { return cfg_; }
+
+  private:
+    RollupConfig cfg_;
+    AggregationNode root_{""};
+};
+
+} // namespace chaos::rollup
+
+#endif // CHAOS_ROLLUP_ROLLUP_HPP

@@ -1,0 +1,36 @@
+#include "rollup/synthetic.hpp"
+
+namespace chaos::rollup {
+
+MachineObservation
+toObservation(const SyntheticMachine &machine,
+              const SyntheticObservation &state)
+{
+    MachineObservation m;
+    m.id = machine.id;
+    m.platform = machineClassName(machine.machineClass);
+    m.watts = state.watts;
+    m.windowRmseW = state.windowRmseW;
+    m.rollingDre = state.rollingDre;
+    m.biasW = state.biasW;
+    m.samples = state.samples;
+    m.referenceSamples = state.referenceSamples;
+    m.dropped = state.dropped;
+    m.health = state.health;
+    m.quality = state.quality;
+    m.quarantined = state.quarantined;
+    m.drifted = state.drifted;
+    return m;
+}
+
+void
+SyntheticRollupFeed::tick(std::uint64_t tick)
+{
+    const auto &machines = topology_.machines();
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        tree_.update(machines[i].groupPath,
+                     toObservation(machines[i], topology_.observe(i, tick)));
+    }
+}
+
+} // namespace chaos::rollup

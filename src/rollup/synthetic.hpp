@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The third feed: synthetic topologies from sim/fleet_topology pushed
+ * into a RollupTree. Bridges the sim layer's ground-truth machines to
+ * roll-up observations so benchmarks, the fleetview CLI, and tests
+ * can exercise 10k–100k-machine aggregation without a serving loop.
+ */
+#ifndef CHAOS_ROLLUP_SYNTHETIC_HPP
+#define CHAOS_ROLLUP_SYNTHETIC_HPP
+
+#include <cstdint>
+
+#include "rollup/rollup.hpp"
+#include "sim/fleet_topology.hpp"
+
+namespace chaos::rollup {
+
+/** Map one synthesized state onto a roll-up observation. */
+MachineObservation toObservation(const SyntheticMachine &machine,
+                                 const SyntheticObservation &state);
+
+/** Pushes FleetTopology ticks into a RollupTree. */
+class SyntheticRollupFeed
+{
+  public:
+    /** Both references must outlive the feed. */
+    SyntheticRollupFeed(RollupTree &tree,
+                        const FleetTopology &topology)
+        : tree_(tree), topology_(topology)
+    {}
+
+    /**
+     * Upsert every machine's state at @p tick. Placement comes from
+     * the topology itself (each machine knows its group path).
+     */
+    void tick(std::uint64_t tick);
+
+  private:
+    RollupTree &tree_;
+    const FleetTopology &topology_;
+};
+
+} // namespace chaos::rollup
+
+#endif // CHAOS_ROLLUP_SYNTHETIC_HPP

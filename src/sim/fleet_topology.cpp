@@ -1,0 +1,159 @@
+#include "sim/fleet_topology.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace chaos {
+
+namespace {
+
+/** Group path for machine @p index under the configured arities. */
+std::string
+groupPathFor(const FleetTopologyConfig &cfg, std::size_t index)
+{
+    const std::size_t fleet = index / cfg.machinesPerFleet;
+    const std::size_t rack = fleet / cfg.fleetsPerRack;
+    const std::size_t row = rack / cfg.racksPerRow;
+    const std::size_t dc = row / cfg.rowsPerDatacenter;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "dc%zu/row%zu/rack%zu/fleet%zu",
+                  dc, row % cfg.rowsPerDatacenter,
+                  rack % cfg.racksPerRow, fleet % cfg.fleetsPerRack);
+    return buf;
+}
+
+} // namespace
+
+FleetTopology::FleetTopology(FleetTopologyConfig config)
+    : cfg_(std::move(config))
+{
+    if (cfg_.machinesPerFleet == 0)
+        cfg_.machinesPerFleet = 1;
+    if (cfg_.fleetsPerRack == 0)
+        cfg_.fleetsPerRack = 1;
+    if (cfg_.racksPerRow == 0)
+        cfg_.racksPerRow = 1;
+    if (cfg_.rowsPerDatacenter == 0)
+        cfg_.rowsPerDatacenter = 1;
+    if (cfg_.platforms.empty())
+        cfg_.platforms = allMachineClasses();
+
+    machines_.reserve(cfg_.machines);
+    dynamicRangeW_.reserve(cfg_.machines);
+    Rng rng(cfg_.seed);
+    for (std::size_t i = 0; i < cfg_.machines; ++i) {
+        const std::size_t fleet = i / cfg_.machinesPerFleet;
+        SyntheticMachine m;
+        char id[32];
+        std::snprintf(id, sizeof(id), "m%07zu", i);
+        m.id = id;
+        m.groupPath = groupPathFor(cfg_, i);
+        m.machineClass = cfg_.platforms[fleet % cfg_.platforms.size()];
+
+        const MachineSpec spec = machineSpecFor(m.machineClass);
+        const double range = spec.dynamicRangeW();
+        // Operating point and pre-drift accuracy: a steady utilization
+        // draw and a window rMSE a few percent of the dynamic range,
+        // the regime Table III reports for healthy models.
+        m.baseWatts =
+            spec.idlePowerW + rng.uniform(0.2, 0.8) * range;
+        m.baseRmseW = rng.uniform(0.01, 0.05) * range;
+        m.metered = rng.bernoulli(cfg_.meteredFraction);
+        m.driftTruth = rng.bernoulli(cfg_.driftFraction);
+        // Drift onsets spread over early ticks so short replays still
+        // see ramps begin, long ones see them all latched.
+        m.driftStartTick =
+            cfg_.warmupTicks + 1 + rng.uniformInt(20);
+
+        machines_.push_back(std::move(m));
+        dynamicRangeW_.push_back(range);
+    }
+}
+
+SyntheticObservation
+FleetTopology::observe(std::size_t index, std::uint64_t tick) const
+{
+    const SyntheticMachine &m = machines_[index];
+    const double range = dynamicRangeW_[index];
+
+    // Private stream per (machine, tick): observations need no shared
+    // generator state, so any subset may be synthesized in any order
+    // (or concurrently) with identical results.
+    Rng rng = Rng(cfg_.seed)
+                  .fork(0x0b5e7ULL + static_cast<std::uint64_t>(index))
+                  .fork(tick);
+
+    SyntheticObservation out;
+    out.watts = m.baseWatts + rng.normal(0.0, 0.02 * range);
+    out.samples = (tick + 1) * 60; // One machine-second per second.
+
+    // Health mix: rare, uncorrelated degradations.
+    const double h = rng.uniform();
+    if (h < 0.0005)
+        out.health = MachineHealth::Lost;
+    else if (h < 0.002)
+        out.health = MachineHealth::Stale;
+    else if (h < 0.012)
+        out.health = MachineHealth::Degraded;
+    out.dropped = out.health == MachineHealth::Degraded
+                      ? rng.uniformInt(50)
+                      : 0;
+
+    if (!m.metered) {
+        // No references: no residuals, no DRE, verdict stays Unknown.
+        out.rollingDre = std::numeric_limits<double>::quiet_NaN();
+        return out;
+    }
+
+    out.referenceSamples = (tick + 1) * 4; // Sparse metering cadence.
+    out.windowRmseW = m.baseRmseW * rng.uniform(0.9, 1.1);
+
+    const bool drifting = m.driftTruth && tick >= m.driftStartTick;
+    if (drifting) {
+        // Residual error ramps to roughly 3x the healthy level over
+        // ten ticks after onset — comfortably past the detector's
+        // threshold, like a real calibration break.
+        const double ramp = std::min(
+            1.0, static_cast<double>(tick - m.driftStartTick + 1) /
+                     10.0);
+        out.windowRmseW *= 1.0 + 2.0 * ramp;
+        out.drifted = ramp >= 0.3; // Detection lag: a few ticks.
+        out.biasW = 0.5 * out.windowRmseW;
+    }
+    out.rollingDre = range > 0.0 ? out.windowRmseW / range : 0.0;
+
+    if (tick < cfg_.warmupTicks)
+        out.quality = ModelQuality::Unknown;
+    else if (out.drifted)
+        out.quality = ModelQuality::Drifting;
+    else
+        out.quality = ModelQuality::Ok;
+    // The autopilot quarantines a slice of confirmed drifters.
+    out.quarantined = out.drifted && index % 4 == 0;
+    return out;
+}
+
+std::map<std::string, std::size_t>
+FleetTopology::driftTruthByPlatform() const
+{
+    std::map<std::string, std::size_t> out;
+    for (const SyntheticMachine &m : machines_) {
+        if (m.driftTruth)
+            ++out[machineClassName(m.machineClass)];
+    }
+    return out;
+}
+
+std::size_t
+FleetTopology::driftTruthTotal() const
+{
+    std::size_t n = 0;
+    for (const SyntheticMachine &m : machines_) {
+        if (m.driftTruth)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace chaos

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Synthetic datacenter topology generator for the roll-up layer.
+ *
+ * Builds a machine → fleet → rack → row → datacenter hierarchy of
+ * configurable arity over the paper's Table I platform classes
+ * (fleets are platform-homogeneous, like real procurement waves) and
+ * synthesizes per-machine quality observations — watts, rolling
+ * rMSE/DRE, health, drift verdicts — as a pure deterministic function
+ * of (seed, machine, tick). No serving loop, no estimators: this is
+ * the scale rig for exercising hierarchical aggregation at 10k–100k
+ * machines, where running real FleetServers would measure the wrong
+ * thing.
+ *
+ * Ground truth is explicit: each machine knows whether it is metered
+ * (carries reference readings) and whether its model truly drifts
+ * (and from which tick). Only metered machines can *detect* their
+ * drift, so sweeping meteredFraction against the roll-up's reported
+ * drift rates reproduces the paper's pooling trade-off at fleet
+ * scale: fewer metered references per class, weaker verdicts.
+ *
+ * Determinism: construction consumes one Rng stream in machine-index
+ * order; observations fork a fresh stream per (machine, tick).
+ * Identical configs produce identical fleets and identical
+ * observation sequences on every platform and thread count.
+ */
+#ifndef CHAOS_SIM_FLEET_TOPOLOGY_HPP
+#define CHAOS_SIM_FLEET_TOPOLOGY_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/online.hpp"
+#include "sim/machine_spec.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+
+/** Shape and statistics of the synthetic fleet. */
+struct FleetTopologyConfig
+{
+    /** Total machines; the tree is filled fleet by fleet. */
+    std::size_t machines = 1000;
+    std::size_t machinesPerFleet = 40;
+    std::size_t fleetsPerRack = 4;
+    std::size_t racksPerRow = 8;
+    std::size_t rowsPerDatacenter = 4;
+    std::uint64_t seed = 42;
+    /** Platform classes, assigned round-robin per fleet; empty means
+     *  the paper's six Table I classes. */
+    std::vector<MachineClass> platforms;
+    /** Fraction of machines with metered references. */
+    double meteredFraction = 0.25;
+    /** Fraction of machines whose model truly drifts. */
+    double driftFraction = 0.05;
+    /** Ticks before a metered machine's verdict leaves Unknown. */
+    std::uint64_t warmupTicks = 3;
+};
+
+/** One generated machine with its ground truth. */
+struct SyntheticMachine
+{
+    std::string id;          ///< "m0000042", unique fleet-wide.
+    std::string groupPath;   ///< "dc0/row1/rack2/fleet3".
+    MachineClass machineClass = MachineClass::Atom;
+    bool metered = false;    ///< Receives reference readings.
+    bool driftTruth = false; ///< Model truly drifts (ground truth).
+    std::uint64_t driftStartTick = 0; ///< First drifting tick.
+    double baseWatts = 0.0;  ///< Operating point, watts.
+    double baseRmseW = 0.0;  ///< Pre-drift rolling rMSE, watts.
+};
+
+/** One machine's synthesized state at a tick. */
+struct SyntheticObservation
+{
+    double watts = 0.0;
+    double windowRmseW = 0.0;
+    /** NaN for unmetered machines (no references, no DRE). */
+    double rollingDre = 0.0;
+    double biasW = 0.0;
+    std::uint64_t samples = 0;
+    std::uint64_t referenceSamples = 0;
+    std::uint64_t dropped = 0;
+    MachineHealth health = MachineHealth::Healthy;
+    ModelQuality quality = ModelQuality::Unknown;
+    bool quarantined = false;
+    bool drifted = false;
+};
+
+/** The generated topology (see file comment). */
+class FleetTopology
+{
+  public:
+    explicit FleetTopology(FleetTopologyConfig config = {});
+
+    std::size_t size() const { return machines_.size(); }
+
+    const FleetTopologyConfig &config() const { return cfg_; }
+
+    /** All machines, in id order. */
+    const std::vector<SyntheticMachine> &machines() const
+    {
+        return machines_;
+    }
+
+    /**
+     * Machine @p index's state at @p tick — a pure function of
+     * (config.seed, index, tick), safe to call concurrently.
+     */
+    SyntheticObservation observe(std::size_t index,
+                                 std::uint64_t tick) const;
+
+    /**
+     * Ground-truth drifting machines per platform-class name; the
+     * oracle for verdict-quality sweeps.
+     */
+    std::map<std::string, std::size_t> driftTruthByPlatform() const;
+
+    /** Ground-truth drifting machines, fleet-wide. */
+    std::size_t driftTruthTotal() const;
+
+  private:
+    FleetTopologyConfig cfg_;
+    std::vector<SyntheticMachine> machines_;
+    /** Dynamic range per machine, aligned with machines_. */
+    std::vector<double> dynamicRangeW_;
+};
+
+} // namespace chaos
+
+#endif // CHAOS_SIM_FLEET_TOPOLOGY_HPP

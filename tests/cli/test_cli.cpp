@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "cli/cli.hpp"
+#include "obs/json.hpp"
 
 namespace chaos {
 namespace {
@@ -295,6 +296,139 @@ TEST(Cli, AutopilotWithoutReplayOrModelFails)
                    "bogus"})
                   .code,
               2);
+}
+
+TEST(Cli, FleetviewSyntheticRendersTablesAndRollupExport)
+{
+    const std::string rollup_path =
+        ::testing::TempDir() + "cli_fleetview_rollup_" +
+        std::to_string(::getpid()) + ".jsonl";
+
+    const CliResult result =
+        run({"fleetview", "--synthetic", "200", "--ticks", "20",
+             "--seed", "7", "--worst", "3", "--rollup-out",
+             rollup_path});
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("synthetic fleet: 200 machines"),
+              std::string::npos);
+    EXPECT_NE(result.out.find("fleetview (root):"),
+              std::string::npos);
+    // Drill-down, platform, and worst-N tables all rendered.
+    EXPECT_NE(result.out.find("Drift rate"), std::string::npos);
+    EXPECT_NE(result.out.find("Platform"), std::string::npos);
+    EXPECT_NE(result.out.find("Worst machine"), std::string::npos);
+    EXPECT_NE(result.out.find("DRE p99"), std::string::npos);
+
+    // Every exported roll-up line is well-formed JSON; the count
+    // matches what the CLI reported.
+    std::ifstream rollup(rollup_path);
+    ASSERT_TRUE(rollup.good());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(rollup, line)) {
+        ++lines;
+        EXPECT_TRUE(obs::jsonWellFormed(line)) << "line " << lines;
+    }
+    EXPECT_GT(lines, 1u);  // Root plus at least one group.
+    EXPECT_NE(result.out.find("wrote " + std::to_string(lines) +
+                              " roll-up nodes"),
+              std::string::npos)
+        << result.out;
+    std::remove(rollup_path.c_str());
+}
+
+TEST(Cli, FleetviewDrillsDownToANamedGroup)
+{
+    const CliResult root =
+        run({"fleetview", "--synthetic", "100", "--ticks", "10"});
+    ASSERT_EQ(root.code, 0) << root.err;
+
+    const CliResult drilled =
+        run({"fleetview", "--synthetic", "100", "--ticks", "10",
+             "--path", "dc0/row0"});
+    ASSERT_EQ(drilled.code, 0) << drilled.err;
+    EXPECT_NE(drilled.out.find("fleetview dc0/row0:"),
+              std::string::npos)
+        << drilled.out;
+
+    const CliResult missing =
+        run({"fleetview", "--synthetic", "100", "--ticks", "10",
+             "--path", "dc9/nope"});
+    EXPECT_EQ(missing.code, 2);
+    EXPECT_NE(missing.err.find("no roll-up group"),
+              std::string::npos);
+}
+
+TEST(Cli, FleetviewLiveReplayAggregatesTheFleet)
+{
+    const std::string model_path =
+        ::testing::TempDir() + "cli_fleetview_model_" +
+        std::to_string(::getpid()) + ".txt";
+    const CliResult trained =
+        run({"train", tinyDatasetPath(), "--out", model_path,
+             "--type", "linear"});
+    ASSERT_EQ(trained.code, 0) << trained.err;
+
+    const CliResult viewed =
+        run({"fleetview", "--replay", tinyDatasetPath(), "--model",
+             model_path, "--platform", "Core2", "--group-size", "1",
+             "--ticks", "5"});
+    ASSERT_EQ(viewed.code, 0) << viewed.err;
+    EXPECT_NE(viewed.out.find("live replay:"), std::string::npos);
+    EXPECT_NE(viewed.out.find("fleetview (root):"),
+              std::string::npos);
+    // group-size 1 puts each machine in its own fleet<K> group.
+    EXPECT_NE(viewed.out.find("fleet0"), std::string::npos);
+    EXPECT_NE(viewed.out.find("fleet1"), std::string::npos);
+    EXPECT_NE(viewed.out.find("Core2"), std::string::npos);
+    std::remove(model_path.c_str());
+}
+
+TEST(Cli, FleetviewTelemetryReplayRendersTheSameDashboard)
+{
+    const std::string model_path =
+        ::testing::TempDir() + "cli_fleetview_tel_model_" +
+        std::to_string(::getpid()) + ".txt";
+    const std::string telemetry_path =
+        ::testing::TempDir() + "cli_fleetview_tel_" +
+        std::to_string(::getpid()) + ".jsonl";
+
+    const CliResult trained =
+        run({"train", tinyDatasetPath(), "--out", model_path,
+             "--type", "linear"});
+    ASSERT_EQ(trained.code, 0) << trained.err;
+    const CliResult monitored =
+        run({"monitor", "--replay", tinyDatasetPath(), "--model",
+             model_path, "--platform", "Core2", "--telemetry-out",
+             telemetry_path});
+    ASSERT_EQ(monitored.code, 0) << monitored.err;
+
+    // The offline JSONL path lands in the same tree and renders the
+    // same dashboard as the live feed.
+    const CliResult viewed =
+        run({"fleetview", "--telemetry", telemetry_path,
+             "--group-size", "1", "--platform", "Core2"});
+    ASSERT_EQ(viewed.code, 0) << viewed.err;
+    EXPECT_NE(viewed.out.find("telemetry replay:"),
+              std::string::npos);
+    EXPECT_NE(viewed.out.find("fleetview (root):"),
+              std::string::npos);
+    EXPECT_NE(viewed.out.find("Worst machine"), std::string::npos);
+    EXPECT_NE(viewed.out.find("Core2"), std::string::npos);
+
+    std::remove(model_path.c_str());
+    std::remove(telemetry_path.c_str());
+}
+
+TEST(Cli, FleetviewUsageErrors)
+{
+    // No mode, two modes, and --replay without a model all fail.
+    EXPECT_EQ(run({"fleetview"}).code, 2);
+    EXPECT_EQ(run({"fleetview", "--synthetic", "10", "--telemetry",
+                   "x.jsonl"})
+                  .code,
+              2);
+    EXPECT_EQ(run({"fleetview", "--replay", "x.csv"}).code, 2);
 }
 
 TEST(Cli, ReportSummarizesWorkloads)

@@ -27,6 +27,7 @@
 #include "serve/server.hpp"
 #include "util/parallel.hpp"
 #include "util/random.hpp"
+#include "util/result.hpp"
 
 namespace chaos {
 namespace {
@@ -325,6 +326,21 @@ TEST(FleetMonitor, TelemetryExportIsWellFormedJsonlPerLine)
     EXPECT_TRUE(sawQuality);
     EXPECT_TRUE(sawMetrics);
     std::remove(path.c_str());
+}
+
+TEST(FleetMonitor, TelemetryExporterRaisesOnUnwritablePath)
+{
+    // The exporter sits above chaos_util, so the bool error of the
+    // underlying JsonlWriter surfaces as a catchable RecoverableError
+    // at construction, not a crash or a silent no-op sink.
+    EXPECT_THROW(
+        monitor::TelemetryExporter("/nonexistent-dir/x/t.jsonl"),
+        RecoverableError);
+    try {
+        monitor::TelemetryExporter bad("/nonexistent-dir/x/t.jsonl");
+    } catch (const RecoverableError &e) {
+        EXPECT_NE(e.message().find("telemetry"), std::string::npos);
+    }
 }
 
 /**

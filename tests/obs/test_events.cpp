@@ -4,11 +4,14 @@
  * ring-buffer overwrite semantics, and the JSON dump.
  */
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "obs/events.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace chaos {
 namespace {
@@ -105,6 +108,70 @@ TEST(EventLog, EventsCarryWallClockTimestamps)
     EXPECT_TRUE(obs::jsonWellFormed(json));
     EXPECT_NE(json.find("\"ts_ms\": "), std::string::npos);
     EXPECT_NE(json.find("model_drift"), std::string::npos);
+}
+
+TEST(EventLog, OverflowIsCountedNotSilent)
+{
+    auto &counter = obs::Registry::instance().counter(
+        "chaos.obs.events_dropped");
+    const std::uint64_t before = counter.value();
+
+    obs::EventLog log(4);
+    EXPECT_EQ(log.dropped(), 0u);
+    for (int i = 0; i < 10; ++i) {
+        log.emit(obs::EventKind::Backpressure, "shard0",
+                 "queue full " + std::to_string(i));
+    }
+    // 10 emitted into a 4-slot ring: 6 overwritten before any
+    // snapshot could retain them.
+    EXPECT_EQ(log.dropped(), 6u);
+    EXPECT_EQ(log.totalEmitted(), 10u);
+    EXPECT_EQ(log.snapshot().size(), 4u);
+    // Every overwrite bumps the process-wide counter too, so a
+    // dashboard scraping the registry sees the loss.
+    EXPECT_EQ(counter.value() - before, 6u);
+}
+
+TEST(EventLog, ClearDoesNotCountAsDrop)
+{
+    obs::EventLog log(8);
+    log.emit(obs::EventKind::Clamp, "m0", "a");
+    log.emit(obs::EventKind::Clamp, "m0", "b");
+    log.clear();
+    // Explicitly discarded, not silently overwritten.
+    EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, ConcurrentEmittersAccountForEveryDrop)
+{
+    // N threads flood a small ring; whatever the interleaving, the
+    // books must balance exactly: emitted = retained + dropped.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 500;
+    obs::EventLog log(16);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&log, t]() {
+            for (int i = 0; i < kPerThread; ++i) {
+                log.emit(obs::EventKind::Imputation,
+                         "m" + std::to_string(t), "flood");
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(kThreads) * kPerThread;
+    EXPECT_EQ(log.totalEmitted(), total);
+    EXPECT_EQ(log.snapshot().size(), 16u);
+    EXPECT_EQ(log.dropped(), total - 16u);
+
+    // Sequence numbers stay unique and in order in the snapshot.
+    const auto events = log.snapshot();
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LT(events[i - 1].seq, events[i].seq);
 }
 
 } // namespace

@@ -71,6 +71,32 @@ TEST(Jsonl, RejectsMalformedAndMultiLineRecords)
     EXPECT_EQ(second.linesWritten(), 0u);
 }
 
+TEST(Jsonl, ErrorIsStickyAndLaterWritesAreNoOps)
+{
+    TempPath path("chaos_test_jsonl_sticky.jsonl");
+    obs::JsonlWriter writer(path.str());
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(writer.writeLine("{\"good\": 1}"));
+    EXPECT_FALSE(writer.writeLine("{\"bad\": "));  // Trips the error.
+    ASSERT_FALSE(writer.ok());
+    const std::string firstError = writer.error();
+    EXPECT_FALSE(firstError.empty());
+
+    // A perfectly valid record after the failure is refused: the
+    // writer never silently resumes mid-stream, so a half-written
+    // file is detectable by its error() rather than by a gap.
+    EXPECT_FALSE(writer.writeLine("{\"good\": 2}"));
+    EXPECT_EQ(writer.error(), firstError);  // Original cause kept.
+    EXPECT_EQ(writer.linesWritten(), 1u);
+    writer.flush();
+
+    // Only the pre-failure line reached the file; no partial record.
+    const auto lines = readLines(path.str());
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "{\"good\": 1}");
+    EXPECT_TRUE(obs::jsonWellFormed(lines[0]));
+}
+
 TEST(Jsonl, ReportsUnopenablePath)
 {
     obs::JsonlWriter writer("/nonexistent-dir/x/y/z.jsonl");

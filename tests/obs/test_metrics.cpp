@@ -170,6 +170,83 @@ TEST(Metrics, HistogramMinMaxSurviveConcurrentObservers)
     EXPECT_DOUBLE_EQ(h.maxValue(), 2047.0);
 }
 
+TEST(Metrics, HistogramMergeAddsCountsAndExtremes)
+{
+    obs::Histogram a({1.0, 10.0});
+    obs::Histogram b({1.0, 10.0});
+    a.observe(0.5);
+    a.observe(5.0);
+    b.observe(5.0);
+    b.observe(100.0);
+
+    ASSERT_TRUE(a.merge(b));
+    const auto counts = a.bucketCounts();
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.minValue(), 0.5);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 100.0);
+}
+
+TEST(Metrics, HistogramMergeIsOrderIndependent)
+{
+    const std::vector<double> bounds{2.0, 8.0, 32.0};
+    obs::Histogram a(bounds), b(bounds), c(bounds);
+    for (int i = 0; i < 30; ++i)
+        a.observe(static_cast<double>(i));
+    for (int i = 0; i < 10; ++i)
+        b.observe(static_cast<double>(i) * 0.3);
+    c.observe(1000.0);
+
+    obs::Histogram left(bounds);  // (A + B) + C
+    ASSERT_TRUE(left.merge(a));
+    ASSERT_TRUE(left.merge(b));
+    ASSERT_TRUE(left.merge(c));
+    obs::Histogram right(bounds);  // C + B + A
+    ASSERT_TRUE(right.merge(c));
+    ASSERT_TRUE(right.merge(b));
+    ASSERT_TRUE(right.merge(a));
+
+    EXPECT_EQ(left.bucketCounts(), right.bucketCounts());
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_DOUBLE_EQ(left.minValue(), right.minValue());
+    EXPECT_DOUBLE_EQ(left.maxValue(), right.maxValue());
+}
+
+TEST(Metrics, HistogramMergeRejectsMismatchedBounds)
+{
+    obs::Histogram a({1.0, 2.0});
+    obs::Histogram b({1.0, 3.0});
+    obs::Histogram c({1.0});
+    a.observe(0.5);
+    b.observe(0.5);
+    c.observe(0.5);
+    EXPECT_FALSE(a.merge(b));
+    EXPECT_FALSE(a.merge(c));
+    // The refused merge leaves the target untouched.
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.bucketCounts(),
+              std::vector<std::uint64_t>({1u, 0u, 0u}));
+}
+
+TEST(Metrics, HistogramMergingAnEmptyHistogramIsIdentity)
+{
+    obs::Histogram a({1.0, 2.0});
+    obs::Histogram empty({1.0, 2.0});
+    a.observe(1.5);
+    ASSERT_TRUE(a.merge(empty));
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.minValue(), 1.5);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 1.5);
+    // Empty absorbing non-empty adopts its extremes.
+    ASSERT_TRUE(empty.merge(a));
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.minValue(), 1.5);
+    EXPECT_DOUBLE_EQ(empty.maxValue(), 1.5);
+}
+
 /**
  * The determinism contract: for identical work, the Stable snapshot
  * is bit-identical no matter how many threads executed it. This is

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the mergeable quantile sketch: the relative-accuracy
+ * contract against a rank-based oracle, merge-order invariance (the
+ * property the roll-up tree is built on), signed/zero bucketing, and
+ * the deterministic JSON snapshot. Also covers the jsonParse DOM the
+ * roll-up replay path uses to read telemetry back.
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/sketch.hpp"
+#include "util/random.hpp"
+
+namespace chaos {
+namespace {
+
+/**
+ * The oracle mirrors the sketch's rank semantics exactly: the wanted
+ * observation is the one at 1-based rank max(1, round(q * n)) in
+ * ascending order. The sketch must report a value within alpha
+ * relative error of that observation.
+ */
+double
+exactQuantile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               q * static_cast<double>(values.size()) + 0.5));
+    return values[rank - 1];
+}
+
+void
+expectWithinAlpha(const obs::QuantileSketch &sketch,
+                  const std::vector<double> &values, double q)
+{
+    const double exact = exactQuantile(values, q);
+    const double estimate = sketch.quantile(q);
+    EXPECT_LE(std::abs(estimate - exact),
+              sketch.relativeAccuracy() * std::abs(exact) + 1e-12)
+        << "q=" << q << " exact=" << exact
+        << " estimate=" << estimate;
+}
+
+TEST(QuantileSketch, EmptySketchReportsNaN)
+{
+    obs::QuantileSketch sketch;
+    EXPECT_TRUE(sketch.empty());
+    EXPECT_EQ(sketch.count(), 0u);
+    EXPECT_EQ(sketch.numBuckets(), 0u);
+    EXPECT_TRUE(std::isnan(sketch.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(sketch.quantile(0.0)));
+    EXPECT_TRUE(std::isnan(sketch.quantile(1.0)));
+}
+
+TEST(QuantileSketch, SingleValueCollapsesEveryQuantile)
+{
+    obs::QuantileSketch sketch(0.01);
+    sketch.add(42.5);
+    EXPECT_EQ(sketch.count(), 1u);
+    // Clamping to the exact observed [min, max] makes the single-value
+    // case exact, not just within alpha.
+    EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 42.5);
+    EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 42.5);
+    EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 42.5);
+    EXPECT_DOUBLE_EQ(sketch.minValue(), 42.5);
+    EXPECT_DOUBLE_EQ(sketch.maxValue(), 42.5);
+}
+
+TEST(QuantileSketch, IgnoresNonFiniteAndZeroCount)
+{
+    obs::QuantileSketch sketch;
+    sketch.add(std::numeric_limits<double>::quiet_NaN());
+    sketch.add(std::numeric_limits<double>::infinity());
+    sketch.add(-std::numeric_limits<double>::infinity());
+    sketch.add(1.0, 0);
+    EXPECT_TRUE(sketch.empty());
+}
+
+TEST(QuantileSketch, MeetsRelativeAccuracyAgainstOracle)
+{
+    // Values spanning five orders of magnitude — the regime a fixed-
+    // bucket histogram cannot cover — drawn deterministically.
+    Rng rng(2012);
+    std::vector<double> values;
+    obs::QuantileSketch sketch(0.01);
+    for (int i = 0; i < 5000; ++i) {
+        const double v =
+            std::pow(10.0, rng.uniform(-2.0, 3.0));
+        values.push_back(v);
+        sketch.add(v);
+    }
+    EXPECT_EQ(sketch.count(), values.size());
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999})
+        expectWithinAlpha(sketch, values, q);
+}
+
+TEST(QuantileSketch, HandlesNegativeAndZeroValues)
+{
+    // Signed quantities (bias, residuals) use the mirrored grid plus
+    // the zero bucket.
+    obs::QuantileSketch sketch(0.01);
+    std::vector<double> values;
+    for (int i = -50; i <= 50; ++i) {
+        const double v = static_cast<double>(i) * 0.5;
+        values.push_back(v);
+        sketch.add(v);
+    }
+    EXPECT_DOUBLE_EQ(sketch.minValue(), -25.0);
+    EXPECT_DOUBLE_EQ(sketch.maxValue(), 25.0);
+    for (double q : {0.05, 0.25, 0.5, 0.75, 0.95})
+        expectWithinAlpha(sketch, values, q);
+    // The exact-zero observation lands in the dedicated zero bucket.
+    obs::QuantileSketch zeros;
+    zeros.add(0.0, 3);
+    EXPECT_EQ(zeros.count(), 3u);
+    EXPECT_DOUBLE_EQ(zeros.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, MergeEqualsFeedingTheUnion)
+{
+    Rng rng(7);
+    obs::QuantileSketch a(0.02), b(0.02), whole(0.02);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(0.1, 400.0);
+        (i % 2 ? a : b).add(v);
+        whole.add(v);
+    }
+    ASSERT_TRUE(a.merge(b));
+    EXPECT_EQ(a.count(), whole.count());
+    // Same buckets, same counts: snapshots are byte-identical.
+    EXPECT_EQ(a.toJson(), whole.toJson());
+}
+
+TEST(QuantileSketch, MergeIsOrderInvariant)
+{
+    // A + (B + C) vs (A + B) + C vs reversed: the roll-up tree merges
+    // in whatever shape the topology dictates, so the result must be
+    // bit-identical for every association and order.
+    Rng rng(99);
+    const auto fill = [&rng](obs::QuantileSketch &s, int n) {
+        for (int i = 0; i < n; ++i)
+            s.add(rng.uniform(-50.0, 150.0));
+    };
+    obs::QuantileSketch a(0.01), b(0.01), c(0.01);
+    fill(a, 300);
+    fill(b, 200);
+    fill(c, 500);
+
+    obs::QuantileSketch left(a);  // (A + B) + C
+    ASSERT_TRUE(left.merge(b));
+    ASSERT_TRUE(left.merge(c));
+
+    obs::QuantileSketch bc(b);  // A + (B + C)
+    ASSERT_TRUE(bc.merge(c));
+    obs::QuantileSketch right(a);
+    ASSERT_TRUE(right.merge(bc));
+
+    obs::QuantileSketch reversed(c);  // C + B + A
+    ASSERT_TRUE(reversed.merge(b));
+    ASSERT_TRUE(reversed.merge(a));
+
+    EXPECT_EQ(left.toJson(), right.toJson());
+    EXPECT_EQ(left.toJson(), reversed.toJson());
+}
+
+TEST(QuantileSketch, MergeRejectsAccuracyMismatch)
+{
+    obs::QuantileSketch fine(0.01), coarse(0.05);
+    fine.add(1.0);
+    coarse.add(2.0);
+    const std::string before = fine.toJson();
+    EXPECT_FALSE(fine.merge(coarse));
+    // A refused merge leaves the target untouched.
+    EXPECT_EQ(fine.toJson(), before);
+    EXPECT_EQ(fine.count(), 1u);
+}
+
+TEST(QuantileSketch, MergingAnEmptySketchIsIdentity)
+{
+    obs::QuantileSketch sketch(0.01), empty(0.01);
+    sketch.add(3.0);
+    sketch.add(-1.5);
+    const std::string before = sketch.toJson();
+    ASSERT_TRUE(sketch.merge(empty));
+    EXPECT_EQ(sketch.toJson(), before);
+    // And the other direction: empty absorbs everything.
+    ASSERT_TRUE(empty.merge(sketch));
+    EXPECT_EQ(empty.toJson(), before);
+}
+
+TEST(QuantileSketch, JsonSnapshotIsWellFormedAndDeterministic)
+{
+    obs::QuantileSketch a(0.01), b(0.01);
+    for (double v : {0.5, -2.0, 0.0, 17.5, 17.5, 1e6})
+        a.add(v);
+    // Same state reached in a different insertion order.
+    for (double v : {1e6, 17.5, 0.0, -2.0, 17.5, 0.5})
+        b.add(v);
+    EXPECT_TRUE(obs::jsonWellFormed(a.toJson()));
+    EXPECT_EQ(a.toJson(), b.toJson());
+    obs::QuantileSketch empty;
+    EXPECT_TRUE(obs::jsonWellFormed(empty.toJson()));
+}
+
+TEST(QuantileSketch, ClearKeepsAccuracy)
+{
+    obs::QuantileSketch sketch(0.03);
+    sketch.add(5.0, 10);
+    sketch.clear();
+    EXPECT_TRUE(sketch.empty());
+    EXPECT_DOUBLE_EQ(sketch.relativeAccuracy(), 0.03);
+    obs::QuantileSketch other(0.03);
+    other.add(1.0);
+    EXPECT_TRUE(sketch.merge(other));
+    EXPECT_EQ(sketch.count(), 1u);
+}
+
+TEST(JsonParse, ParsesScalarsObjectsAndArrays)
+{
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::jsonParse(
+        "{\"a\": 1.5, \"b\": [1, 2, 3], \"c\": \"x\\ny\", "
+        "\"d\": null, \"e\": true}",
+        v));
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.numberOr("a", 0.0), 1.5);
+    const obs::JsonValue *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(b->isArray());
+    ASSERT_EQ(b->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(b->items()[2].asNumber(), 3.0);
+    EXPECT_EQ(v.stringOr("c", ""), "x\ny");
+    const obs::JsonValue *d = v.find("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_TRUE(d->isNull());
+    EXPECT_TRUE(v.boolOr("e", false));
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, FallbacksCoverAbsentAndMistypedMembers)
+{
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::jsonParse("{\"s\": \"str\", \"n\": 2}", v));
+    // Mistyped: "s" is a string, so numberOr falls back — this is how
+    // the replay path treats a JSON null rolling_dre as NaN.
+    EXPECT_DOUBLE_EQ(v.numberOr("s", -1.0), -1.0);
+    EXPECT_EQ(v.stringOr("n", "fb"), "fb");
+    EXPECT_TRUE(std::isnan(v.numberOr("missing",
+        std::numeric_limits<double>::quiet_NaN())));
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    obs::JsonValue v;
+    EXPECT_FALSE(obs::jsonParse("{\"a\": }", v));
+    EXPECT_FALSE(obs::jsonParse("", v));
+    EXPECT_FALSE(obs::jsonParse("{} trailing", v));
+    EXPECT_FALSE(obs::jsonParse("[1, 2", v));
+}
+
+} // namespace
+} // namespace chaos

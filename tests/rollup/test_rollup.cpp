@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests for the hierarchical roll-up layer: mergeable aggregate
+ * semantics (associativity, worst-N tournament), path-addressed tree
+ * updates, the bitwise thread-count determinism contract on
+ * aggregate(), and all three feeds (live snapshot join, JSONL replay,
+ * synthetic topology).
+ */
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "monitor/fleet_monitor.hpp"
+#include "obs/json.hpp"
+#include "rollup/feed.hpp"
+#include "rollup/rollup.hpp"
+#include "rollup/synthetic.hpp"
+#include "serve/server.hpp"
+#include "sim/fleet_topology.hpp"
+#include "util/parallel.hpp"
+#include "util/result.hpp"
+
+namespace chaos {
+namespace {
+
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {}
+    ~TempPath() { std::remove(path_.c_str()); }
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+rollup::MachineObservation
+makeObservation(const std::string &id, double watts, double dre,
+                const std::string &platform = "Core2")
+{
+    rollup::MachineObservation m;
+    m.id = id;
+    m.platform = platform;
+    m.watts = watts;
+    m.rollingDre = dre;
+    m.windowRmseW = dre * 100.0;
+    m.samples = 60;
+    m.referenceSamples = std::isnan(dre) ? 0 : 4;
+    m.quality = std::isnan(dre) ? ModelQuality::Unknown
+                                : ModelQuality::Ok;
+    return m;
+}
+
+TEST(RollupStats, AddMachineAccumulatesMixesAndSketches)
+{
+    rollup::RollupStats stats;
+    auto healthy = makeObservation("m0", 100.0, 0.02);
+    auto drifting = makeObservation("m1", 150.0, 0.10);
+    drifting.quality = ModelQuality::Drifting;
+    drifting.drifted = true;
+    drifting.health = MachineHealth::Degraded;
+    drifting.dropped = 7;
+    auto unmetered = makeObservation(
+        "m2", 50.0, std::numeric_limits<double>::quiet_NaN());
+
+    stats.addMachine(healthy, "fleet0", 5);
+    stats.addMachine(drifting, "fleet0", 5);
+    stats.addMachine(unmetered, "fleet0", 5);
+
+    EXPECT_EQ(stats.machines, 3u);
+    EXPECT_EQ(stats.metered, 2u);  // NaN-DRE machine has no refs.
+    EXPECT_DOUBLE_EQ(stats.watts, 300.0);
+    EXPECT_EQ(stats.healthy, 2u);
+    EXPECT_EQ(stats.degraded, 1u);
+    EXPECT_EQ(stats.qualityOk, 1u);
+    EXPECT_EQ(stats.qualityDrifting, 1u);
+    EXPECT_EQ(stats.qualityUnknown, 1u);
+    EXPECT_EQ(stats.dropped, 7u);
+    // Only finite DREs enter the distribution: 2 points, not 3.
+    EXPECT_EQ(stats.dre.count(), 2u);
+    EXPECT_DOUBLE_EQ(stats.driftRate(), 0.5);  // 1 of 2 metered.
+    // Worst ranking is DRE-descending and labels the path.
+    ASSERT_EQ(stats.worst.size(), 2u);
+    EXPECT_EQ(stats.worst[0].id, "m1");
+    EXPECT_EQ(stats.worst[0].path, "fleet0");
+    EXPECT_TRUE(stats.worst[0].drifted);
+}
+
+TEST(RollupStats, MergeIsAssociativeAndOrderInvariant)
+{
+    const auto build = [](int base, int n) {
+        rollup::RollupStats s;
+        for (int i = 0; i < n; ++i) {
+            s.addMachine(
+                makeObservation("m" + std::to_string(base + i),
+                                50.0 + i, 0.01 * (1 + (base + i) % 9)),
+                "g" + std::to_string(base / 100), 4);
+        }
+        return s;
+    };
+    const rollup::RollupStats a = build(0, 7);
+    const rollup::RollupStats b = build(100, 5);
+    const rollup::RollupStats c = build(200, 9);
+
+    rollup::RollupStats left = a;  // (A + B) + C
+    left.merge(b, 4);
+    left.merge(c, 4);
+    rollup::RollupStats bc = b;  // A + (B + C)
+    bc.merge(c, 4);
+    rollup::RollupStats right = a;
+    right.merge(bc, 4);
+    rollup::RollupStats reversed = c;  // C + B + A
+    reversed.merge(b, 4);
+    reversed.merge(a, 4);
+
+    EXPECT_EQ(left.machines, 21u);
+    EXPECT_EQ(left.machines, right.machines);
+    EXPECT_DOUBLE_EQ(left.watts, right.watts);
+    EXPECT_DOUBLE_EQ(left.watts, reversed.watts);
+    EXPECT_EQ(left.dre.toJson(), right.dre.toJson());
+    EXPECT_EQ(left.dre.toJson(), reversed.dre.toJson());
+    ASSERT_EQ(left.worst.size(), 4u);
+    for (std::size_t i = 0; i < left.worst.size(); ++i) {
+        EXPECT_EQ(left.worst[i].id, right.worst[i].id);
+        EXPECT_EQ(left.worst[i].id, reversed.worst[i].id);
+    }
+}
+
+TEST(RollupStats, WorstRankingBoundedSortedAndTieBrokenById)
+{
+    rollup::RollupStats stats;
+    // Two ties on DRE: the lexically smaller id must win its slot so
+    // the ranking is deterministic.
+    stats.addMachine(makeObservation("m3", 10.0, 0.05), "g", 3);
+    stats.addMachine(makeObservation("m1", 10.0, 0.05), "g", 3);
+    stats.addMachine(makeObservation("m2", 10.0, 0.90), "g", 3);
+    stats.addMachine(makeObservation("m4", 10.0, 0.01), "g", 3);
+    stats.addMachine(makeObservation("m0", 10.0, 0.02), "g", 3);
+
+    ASSERT_EQ(stats.worst.size(), 3u);  // Bounded at worstN.
+    EXPECT_EQ(stats.worst[0].id, "m2");
+    EXPECT_EQ(stats.worst[1].id, "m1");  // Tie: id ascending.
+    EXPECT_EQ(stats.worst[2].id, "m3");
+}
+
+TEST(RollupTree, PathsCreateTopologyAndUpsertReplaces)
+{
+    rollup::RollupTree tree;
+    tree.update("dc0/row0/rack0", makeObservation("m0", 100.0, 0.02));
+    tree.update("dc0/row0/rack1", makeObservation("m1", 50.0, 0.04));
+    tree.update("dc0/row1/rack0", makeObservation("m2", 25.0, 0.08));
+    // Replace m0: same id, same group — count stays 3.
+    tree.update("dc0/row0/rack0", makeObservation("m0", 200.0, 0.03));
+
+    EXPECT_EQ(tree.numMachines(), 3u);
+    // root + dc0 + row0 + row1 + rack0 + rack1 + rack0.
+    EXPECT_EQ(tree.numNodes(), 7u);
+
+    const rollup::NodeSummary summary = tree.aggregate();
+    EXPECT_DOUBLE_EQ(summary.stats.watts, 275.0);
+    EXPECT_EQ(summary.stats.machines, 3u);
+
+    const rollup::NodeSummary *row0 = summary.find("dc0/row0");
+    ASSERT_NE(row0, nullptr);
+    EXPECT_EQ(row0->stats.machines, 2u);
+    EXPECT_DOUBLE_EQ(row0->stats.watts, 250.0);
+    EXPECT_EQ(row0->path, "dc0/row0");
+    EXPECT_EQ(row0->depth, 2u);
+    ASSERT_EQ(row0->children.size(), 2u);
+    EXPECT_EQ(row0->children[0].name, "rack0");  // Sorted.
+    EXPECT_EQ(row0->children[1].name, "rack1");
+
+    EXPECT_EQ(summary.find("dc0/nope"), nullptr);
+    EXPECT_EQ(summary.find(""), &summary);  // "" names the node.
+    EXPECT_TRUE(obs::jsonWellFormed(summary.toJson()));
+}
+
+TEST(RollupTree, RootAttachedMachinesWork)
+{
+    rollup::RollupTree tree;
+    tree.update("", makeObservation("solo", 42.0, 0.01));
+    EXPECT_EQ(tree.numMachines(), 1u);
+    const auto summary = tree.aggregate();
+    EXPECT_DOUBLE_EQ(summary.stats.watts, 42.0);
+    ASSERT_EQ(summary.stats.worst.size(), 1u);
+    EXPECT_EQ(summary.stats.worst[0].id, "solo");
+}
+
+/**
+ * The acceptance criterion in miniature: one full aggregation pass
+ * serializes to bit-identical JSON whether the top-level fan-out ran
+ * on 1 thread or 8, and whatever order the updates arrived in.
+ */
+TEST(RollupTree, AggregateJsonBitIdenticalAcrossThreadCounts)
+{
+    FleetTopologyConfig config;
+    config.machines = 600;
+    config.seed = 11;
+    const FleetTopology topology(config);
+
+    const auto dump = [](const rollup::NodeSummary &node,
+                         const auto &self) -> std::string {
+        std::string out = node.toJson();
+        out += '\n';
+        for (const auto &child : node.children)
+            out += self(child, self);
+        return out;
+    };
+
+    const auto build = [&topology, &dump](size_t threads,
+                                          bool reverse) {
+        setGlobalThreadCount(threads);
+        rollup::RollupTree tree;
+        rollup::SyntheticRollupFeed feed(tree, topology);
+        feed.tick(5);
+        feed.tick(9);  // Later tick wins per machine.
+        if (reverse) {
+            // Re-feed tick 9 again: upserts are idempotent, so the
+            // final state is unchanged.
+            feed.tick(9);
+        }
+        const auto summary = tree.aggregate();
+        return dump(summary, dump);
+    };
+
+    const std::string serial = build(1, false);
+    const std::string threaded = build(8, true);
+    setGlobalThreadCount(1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, threaded);
+}
+
+TEST(LiveRollupFeed, JoinsFleetAndQualitySnapshotsById)
+{
+    rollup::RollupTree tree;
+    rollup::LiveRollupFeed feed(tree);
+    feed.place("m0", "dc0/row0/rack0/fleet0", "Core2");
+    feed.place("m1", "dc0/row0/rack0/fleet1", "Xeon");
+    // m2 has no placement: it must land under "unplaced".
+
+    serve::FleetSnapshot fleet;
+    for (int i = 0; i < 3; ++i) {
+        serve::MachineSnapshot m;
+        m.id = "m" + std::to_string(i);
+        m.watts = 100.0 + i;
+        m.samples = 60;
+        m.residualSamples = (i == 1) ? 4 : 0;
+        m.health = (i == 2) ? MachineHealth::Degraded
+                            : MachineHealth::Healthy;
+        m.quality = (i == 1) ? ModelQuality::Ok
+                             : ModelQuality::Unknown;
+        m.quarantined = (i == 2);
+        m.dropped = i;
+        fleet.machines.push_back(m);
+    }
+
+    monitor::QualitySnapshot quality;
+    monitor::MachineQualityReport r;  // Only m1 has a verdict.
+    r.id = "m1";
+    r.quality = ModelQuality::Ok;
+    r.windowRmseW = 1.25;
+    r.rollingDre = 0.033;
+    r.biasW = -0.4;
+    r.referenceSamples = 4;
+    quality.machines.push_back(r);
+
+    feed.observe(fleet, quality);
+    EXPECT_EQ(feed.observed(), 1u);
+    EXPECT_EQ(tree.numMachines(), 3u);
+
+    const auto summary = feed.aggregate();
+    EXPECT_DOUBLE_EQ(summary.stats.watts, 303.0);
+    EXPECT_EQ(summary.stats.quarantined, 1u);
+    // Only m1 brought a finite DRE through the join.
+    EXPECT_EQ(summary.stats.dre.count(), 1u);
+    EXPECT_DOUBLE_EQ(summary.stats.dre.quantile(0.5), 0.033);
+
+    const auto *fleet1 =
+        summary.find("dc0/row0/rack0/fleet1");
+    ASSERT_NE(fleet1, nullptr);
+    ASSERT_EQ(fleet1->stats.platforms.count("Xeon"), 1u);
+    EXPECT_EQ(fleet1->stats.platforms.at("Xeon").metered, 1u);
+
+    const auto *unplaced = summary.find(rollup::kUnplacedGroup);
+    ASSERT_NE(unplaced, nullptr);
+    EXPECT_EQ(unplaced->stats.machines, 1u);
+    ASSERT_EQ(unplaced->stats.platforms.count("unknown"), 1u);
+}
+
+TEST(JsonlRollupFeed, ReplaysFleetAndQualityRecordsLaterWins)
+{
+    TempPath path("chaos_test_rollup_replay.jsonl");
+    {
+        std::ofstream out(path.str());
+        // Interleaved stream: fleet and quality halves of the same
+        // machines, a metrics record to skip, and a later tick that
+        // must win.
+        out << "{\"type\": \"fleet\", \"tick\": 1, \"ts_ms\": 5, "
+               "\"fleet\": {\"machines\": ["
+               "{\"id\": \"m0\", \"watts\": 90.0, \"samples\": 60, "
+               "\"residual_samples\": 4, \"health\": \"Healthy\", "
+               "\"quality\": \"Ok\", \"quarantined\": false, "
+               "\"dropped\": 0},"
+               "{\"id\": \"m1\", \"watts\": 55.0, \"samples\": 60, "
+               "\"residual_samples\": 0, \"health\": \"Degraded\", "
+               "\"quality\": \"Unknown\", \"quarantined\": false, "
+               "\"dropped\": 2}]}}\n";
+        out << "{\"type\": \"metrics\", \"tick\": 1, \"ts_ms\": 5, "
+               "\"metrics\": {}}\n";
+        out << "{\"type\": \"quality\", \"tick\": 1, \"ts_ms\": 6, "
+               "\"quality\": {\"machines\": ["
+               "{\"id\": \"m0\", \"quality\": \"Ok\", "
+               "\"reference_samples\": 4, \"window_rmse_w\": 2.0, "
+               "\"rolling_dre\": 0.05, \"bias_w\": 0.1, "
+               "\"drifted\": false},"
+               "{\"id\": \"m1\", \"quality\": \"Unknown\", "
+               "\"reference_samples\": 0, \"window_rmse_w\": 0.0, "
+               "\"rolling_dre\": null, \"bias_w\": 0.0, "
+               "\"drifted\": false}]}}\n";
+        out << "{\"type\": \"fleet\", \"tick\": 2, \"ts_ms\": 7, "
+               "\"fleet\": {\"machines\": ["
+               "{\"id\": \"m0\", \"watts\": 110.0, \"samples\": 120, "
+               "\"residual_samples\": 8, \"health\": \"Healthy\", "
+               "\"quality\": \"Drifting\", \"quarantined\": true, "
+               "\"dropped\": 0}]}}\n";
+    }
+
+    rollup::RollupTree tree;
+    rollup::JsonlRollupFeed feed(tree);
+    feed.place("m0", "dc0/fleet0", "Core2");
+    feed.place("m1", "dc0/fleet1", "Atom");
+
+    const rollup::JsonlReplayStats stats =
+        feed.replayFile(path.str());
+    EXPECT_EQ(stats.lines, 4u);
+    EXPECT_EQ(stats.fleetRecords, 2u);
+    EXPECT_EQ(stats.qualityRecords, 1u);
+    EXPECT_EQ(stats.skipped, 1u);
+    EXPECT_EQ(stats.lastTick, 2u);
+
+    const auto summary = tree.aggregate();
+    EXPECT_EQ(summary.stats.machines, 2u);
+    // m0's tick-2 record won: 110 W, quarantined, Drifting — while
+    // the quality half (DRE 0.05) from tick 1 is retained.
+    EXPECT_DOUBLE_EQ(summary.stats.watts, 165.0);
+    EXPECT_EQ(summary.stats.quarantined, 1u);
+    EXPECT_EQ(summary.stats.qualityDrifting, 1u);
+    EXPECT_EQ(summary.stats.dre.count(), 1u);
+    EXPECT_DOUBLE_EQ(summary.stats.dre.quantile(0.5), 0.05);
+    // m1's null rolling_dre parsed to NaN: no DRE point, no refs.
+    const auto *fleet1 = summary.find("dc0/fleet1");
+    ASSERT_NE(fleet1, nullptr);
+    EXPECT_EQ(fleet1->stats.metered, 0u);
+}
+
+TEST(JsonlRollupFeed, RaisesOnMissingFileAndMalformedLine)
+{
+    rollup::RollupTree tree;
+    rollup::JsonlRollupFeed feed(tree);
+    EXPECT_THROW(feed.replayFile("/nonexistent/telemetry.jsonl"),
+                 RecoverableError);
+
+    TempPath path("chaos_test_rollup_malformed.jsonl");
+    {
+        std::ofstream out(path.str());
+        out << "{\"type\": \"fleet\", \"tick\": 1, \"fleet\": "
+               "{\"machines\": []}}\n";
+        out << "{\"type\": \"fleet\", truncated\n";
+    }
+    EXPECT_THROW(feed.replayFile(path.str()), RecoverableError);
+}
+
+TEST(SyntheticRollupFeed, PushesTopologyWithGroundTruthPlatforms)
+{
+    FleetTopologyConfig config;
+    config.machines = 200;
+    config.meteredFraction = 1.0;  // Every machine earns a verdict.
+    config.driftFraction = 0.2;
+    config.seed = 3;
+    const FleetTopology topology(config);
+
+    rollup::RollupTree tree;
+    rollup::SyntheticRollupFeed feed(tree, topology);
+    const std::uint64_t late = 60;  // Well past every drift start.
+    feed.tick(late);
+
+    EXPECT_EQ(tree.numMachines(), 200u);
+    const auto summary = tree.aggregate();
+    EXPECT_EQ(summary.stats.machines, 200u);
+    EXPECT_EQ(summary.stats.metered, 200u);
+    EXPECT_GT(summary.stats.watts, 0.0);
+
+    // With full metering and a late tick, detected drift equals the
+    // generator's ground truth — the pooled-verdict oracle.
+    std::uint64_t platformDrifting = 0;
+    for (const auto &[name, slice] : summary.stats.platforms)
+        platformDrifting += slice.drifting;
+    EXPECT_EQ(platformDrifting, summary.stats.qualityDrifting);
+    EXPECT_EQ(summary.stats.qualityDrifting,
+              topology.driftTruthTotal());
+}
+
+} // namespace
+} // namespace chaos

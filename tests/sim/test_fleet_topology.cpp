@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the synthetic datacenter topology: deterministic pure
+ * observations, group-path shape, ground-truth accounting, and the
+ * metered/unmetered verdict split.
+ */
+#include <cmath>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet_topology.hpp"
+#include "sim/machine_spec.hpp"
+
+namespace chaos {
+namespace {
+
+TEST(FleetTopology, BuildsRequestedShapeWithUniqueIds)
+{
+    FleetTopologyConfig config;
+    config.machines = 100;
+    config.machinesPerFleet = 10;
+    config.fleetsPerRack = 2;
+    config.racksPerRow = 2;
+    config.rowsPerDatacenter = 2;
+    const FleetTopology topology(config);
+
+    ASSERT_EQ(topology.size(), 100u);
+    std::set<std::string> ids;
+    for (const SyntheticMachine &m : topology.machines())
+        ids.insert(m.id);
+    EXPECT_EQ(ids.size(), 100u);
+
+    // Machine 0 sits in the first fleet; machine 99 in fleet 9 =
+    // dc1/row0/rack0/fleet1 under 10/2/2/2 arities.
+    EXPECT_EQ(topology.machines()[0].groupPath,
+              "dc0/row0/rack0/fleet0");
+    EXPECT_EQ(topology.machines()[99].groupPath,
+              "dc1/row0/rack0/fleet1");
+    // Fleets are platform-homogeneous: one class per fleet.
+    const auto &machines = topology.machines();
+    for (std::size_t i = 1; i < 10; ++i)
+        EXPECT_EQ(machines[i].machineClass, machines[0].machineClass);
+}
+
+TEST(FleetTopology, ZeroAritiesAreClampedNotFatal)
+{
+    FleetTopologyConfig config;
+    config.machines = 5;
+    config.machinesPerFleet = 0;
+    config.fleetsPerRack = 0;
+    config.racksPerRow = 0;
+    config.rowsPerDatacenter = 0;
+    const FleetTopology topology(config);
+    EXPECT_EQ(topology.size(), 5u);
+    EXPECT_EQ(topology.config().machinesPerFleet, 1u);
+}
+
+TEST(FleetTopology, IdenticalConfigsProduceIdenticalFleets)
+{
+    FleetTopologyConfig config;
+    config.machines = 50;
+    config.seed = 77;
+    const FleetTopology a(config);
+    const FleetTopology b(config);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.machines()[i].id, b.machines()[i].id);
+        EXPECT_EQ(a.machines()[i].metered, b.machines()[i].metered);
+        EXPECT_EQ(a.machines()[i].driftTruth,
+                  b.machines()[i].driftTruth);
+        EXPECT_DOUBLE_EQ(a.machines()[i].baseWatts,
+                         b.machines()[i].baseWatts);
+    }
+}
+
+TEST(FleetTopology, ObserveIsAPureFunctionOfMachineAndTick)
+{
+    FleetTopologyConfig config;
+    config.machines = 40;
+    config.seed = 5;
+    const FleetTopology topology(config);
+
+    // Same (index, tick) twice — and out of order — gives identical
+    // state: observations share no generator, so any subset can be
+    // synthesized in any order or concurrently.
+    const SyntheticObservation late = topology.observe(7, 30);
+    const SyntheticObservation early = topology.observe(7, 2);
+    const SyntheticObservation lateAgain = topology.observe(7, 30);
+    EXPECT_DOUBLE_EQ(late.watts, lateAgain.watts);
+    EXPECT_DOUBLE_EQ(late.windowRmseW, lateAgain.windowRmseW);
+    EXPECT_EQ(late.health, lateAgain.health);
+    EXPECT_EQ(late.samples, lateAgain.samples);
+    EXPECT_EQ(early.samples, 3u * 60u);
+    EXPECT_EQ(late.samples, 31u * 60u);
+}
+
+TEST(FleetTopology, UnmeteredMachinesNeverEarnAVerdict)
+{
+    FleetTopologyConfig config;
+    config.machines = 120;
+    config.meteredFraction = 0.5;
+    config.seed = 9;
+    const FleetTopology topology(config);
+
+    bool sawUnmetered = false, sawMetered = false;
+    for (std::size_t i = 0; i < topology.size(); ++i) {
+        const SyntheticObservation obs = topology.observe(i, 50);
+        if (topology.machines()[i].metered) {
+            sawMetered = true;
+            EXPECT_TRUE(std::isfinite(obs.rollingDre));
+            EXPECT_GT(obs.referenceSamples, 0u);
+            EXPECT_NE(obs.quality, ModelQuality::Unknown);
+        } else {
+            sawUnmetered = true;
+            EXPECT_TRUE(std::isnan(obs.rollingDre));
+            EXPECT_EQ(obs.referenceSamples, 0u);
+            EXPECT_EQ(obs.quality, ModelQuality::Unknown);
+            EXPECT_FALSE(obs.drifted);
+        }
+    }
+    EXPECT_TRUE(sawMetered);
+    EXPECT_TRUE(sawUnmetered);
+}
+
+TEST(FleetTopology, DriftRampsAfterOnsetAndGroundTruthAdds)
+{
+    FleetTopologyConfig config;
+    config.machines = 300;
+    config.meteredFraction = 1.0;
+    config.driftFraction = 0.3;
+    config.seed = 21;
+    const FleetTopology topology(config);
+
+    std::size_t byPlatform = 0;
+    for (const auto &[name, n] : topology.driftTruthByPlatform())
+        byPlatform += n;
+    EXPECT_EQ(byPlatform, topology.driftTruthTotal());
+    ASSERT_GT(topology.driftTruthTotal(), 0u);
+
+    // Pick a ground-truth drifter and compare before/after its onset.
+    for (std::size_t i = 0; i < topology.size(); ++i) {
+        const SyntheticMachine &m = topology.machines()[i];
+        if (!m.driftTruth)
+            continue;
+        const auto before =
+            topology.observe(i, m.driftStartTick - 1);
+        const auto latched =
+            topology.observe(i, m.driftStartTick + 20);
+        EXPECT_FALSE(before.drifted);
+        EXPECT_TRUE(latched.drifted);
+        EXPECT_EQ(latched.quality, ModelQuality::Drifting);
+        // Fully ramped error is ~3x the healthy window rMSE.
+        EXPECT_GT(latched.windowRmseW, 2.0 * m.baseRmseW);
+        break;
+    }
+
+    // Warmup: even a metered machine reports Unknown at tick 0.
+    const auto warm = topology.observe(0, 0);
+    EXPECT_EQ(warm.quality, ModelQuality::Unknown);
+}
+
+} // namespace
+} // namespace chaos
