@@ -27,7 +27,12 @@
 # tier schema-checks its BENCH_rollup.json), a `chaos fleetview`
 # smoke over a 100-machine synthetic topology (tables render, the
 # JSONL roll-up export is one well-formed object per line), and the
-# roll-up tests under ThreadSanitizer.
+# roll-up tests under ThreadSanitizer. The network ingest layer gets
+# a net_ingest smoke (loopback wire-path connection sweep with exact
+# accounting, merged into BENCH_serve.json and schema-checked), a
+# `chaos serve --listen` + `chaos loadgen` loopback smoke with
+# accounting checked on both ends, the wire-protocol fuzz suite under
+# ASan+UBSan, and its whole test binary under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +70,27 @@ for key in throughput batched_throughput replay monitor_overhead \
 done
 grep -q '"pass": true' "$serve_tmp/BENCH_serve.json" || {
     echo "serve bench: BENCH_serve.json did not record a pass" >&2
+    exit 1
+}
+
+echo
+echo "== tier 1: network ingest smoke (fast mode) =="
+# Runs in the same temp dir after serve_throughput: net_ingest
+# text-merges its section into the BENCH_serve.json already there.
+# The bench gates exact sent/accepted/processed accounting, zero
+# rejects at provisioned capacity, and the aggregate throughput
+# floor; the schema check keeps the merged contract stable.
+(cd "$serve_tmp" && CHAOS_BENCH_FAST=1 \
+    "$OLDPWD/build/bench/net_ingest")
+for key in net_ingest connections_sweep sent_per_sec \
+    p50_latency_ms p99_latency_ms ingest_floor_sps; do
+    grep -q "\"$key\"" "$serve_tmp/BENCH_serve.json" || {
+        echo "net bench: BENCH_serve.json missing key '$key'" >&2
+        exit 1
+    }
+done
+grep -q '"ingest_pass": true' "$serve_tmp/BENCH_serve.json" || {
+    echo "net bench: BENCH_serve.json did not record a pass" >&2
     exit 1
 }
 
@@ -129,6 +155,56 @@ echo "== tier 1: chaos serve CLI replay smoke =="
     --snapshot-every 200 --snapshots-out "$serve_tmp/snaps.json"
 grep -q '"cluster_w"' "$serve_tmp/snaps.json" || {
     echo "serve smoke: no fleet snapshots written" >&2
+    exit 1
+}
+
+echo
+echo "== tier 1: chaos serve --listen + loadgen loopback smoke =="
+# End-to-end wire path through the CLI: a listening fleet server on
+# an ephemeral port, a loadgen run against it, and exact accounting
+# on both sides. The server exits on its own once the sample budget
+# is processed (idle window as a backstop).
+rm -f "$serve_tmp/port"
+./build/tools/chaos serve --listen 0 --machines 4 \
+    --port-file "$serve_tmp/port" \
+    --ingest-max-samples 2000 --ingest-idle-ms 10000 \
+    --stats-out "$serve_tmp/ingest_stats.json" \
+    > "$serve_tmp/listen.out" 2>&1 &
+listen_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$serve_tmp/port" ] && break
+    sleep 0.1
+done
+[ -s "$serve_tmp/port" ] || {
+    echo "ingest smoke: server never published its port" >&2
+    kill "$listen_pid" 2>/dev/null || true
+    exit 1
+}
+./build/tools/chaos loadgen \
+    --target "127.0.0.1:$(cat "$serve_tmp/port")" \
+    --connections 4 --samples 500 --machines 4 --window 256 \
+    --report-json "$serve_tmp/loadgen.json" \
+    | tee "$serve_tmp/loadgen.out"
+wait "$listen_pid" || {
+    echo "ingest smoke: serve --listen exited nonzero" >&2
+    exit 1
+}
+grep -q 'loadgen: 2000 sent = 2000 accepted + 0 rejected' \
+    "$serve_tmp/loadgen.out" || {
+    echo "ingest smoke: loadgen accounting mismatch" >&2
+    exit 1
+}
+grep -q '2000 samples accepted' "$serve_tmp/listen.out" || {
+    echo "ingest smoke: server-side accounting mismatch" >&2
+    cat "$serve_tmp/listen.out" >&2
+    exit 1
+}
+grep -q '"samples_accepted": 2000' "$serve_tmp/ingest_stats.json" || {
+    echo "ingest smoke: stats JSON missing accepted count" >&2
+    exit 1
+}
+grep -q '"connections_dropped": 0' "$serve_tmp/ingest_stats.json" || {
+    echo "ingest smoke: clean load dropped connections" >&2
     exit 1
 }
 
@@ -198,15 +274,22 @@ grep -q 'autopilot summary: quarantines=0 retrains=0 promotions=0 rollbacks=0 fa
 echo
 echo "== tier 1: fault-injection tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCHAOS_SANITIZE=ON >/dev/null
-cmake --build build-asan -j"$(nproc)" --target test_faults
+cmake --build build-asan -j"$(nproc)" --target test_faults test_net
 ./build-asan/tests/test_faults
+
+echo
+echo "== tier 1: wire-protocol fuzz + ingest tests under ASan+UBSan =="
+# The protocol suite mutates >10k frames and feeds garbage streams;
+# under ASan any over-read in the framing state machine is fatal
+# instead of silent.
+./build-asan/tests/test_net
 
 echo
 echo "== tier 1: parallel tests under TSan =="
 cmake -B build-tsan -S . -DCHAOS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_util test_core \
     test_obs test_serve test_models test_monitor test_autopilot \
-    test_rollup
+    test_rollup test_net
 CHAOS_THREADS=8 ./build-tsan/tests/test_util \
     --gtest_filter='ParallelTest.*:Logging.Concurrent*'
 CHAOS_BENCH_FAST=1 CHAOS_THREADS=8 ./build-tsan/tests/test_core \
@@ -219,6 +302,10 @@ CHAOS_THREADS=8 ./build-tsan/tests/test_serve
 CHAOS_THREADS=8 ./build-tsan/tests/test_monitor
 CHAOS_THREADS=8 ./build-tsan/tests/test_autopilot
 CHAOS_THREADS=8 ./build-tsan/tests/test_rollup
+# The ingest server's poll thread, the loadgen worker threads, and
+# the fleet drainers all run concurrently here: the socket layer's
+# stats handoff must be race-free.
+CHAOS_THREADS=8 ./build-tsan/tests/test_net
 CHAOS_THREADS=8 ./build-tsan/tests/test_models \
     --gtest_filter='*SerializePropertyRoundTrip*'
 

@@ -1,12 +1,14 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
 #include <optional>
+#include <thread>
 
 #include "autopilot/autopilot.hpp"
 #include "core/chaos.hpp"
@@ -15,8 +17,14 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
+#include "util/random.hpp"
 #include "core/model_store.hpp"
+#include "linalg/matrix.hpp"
+#include "models/linear.hpp"
 #include "monitor/exporter.hpp"
+#include "net/ingest_server.hpp"
+#include "net/loadgen.hpp"
+#include "net/socket.hpp"
 #include "monitor/fleet_monitor.hpp"
 #include "obs/json.hpp"
 #include "rollup/feed.hpp"
@@ -124,13 +132,25 @@ cmdHelp(std::ostream &out)
            "[--platform P]\n"
         << "      [--shards N] [--queue-capacity N] "
            "[--snapshot-every N] [--snapshots-out F]\n"
+        << "  serve --listen PORT                accept wire-protocol "
+           "samples over TCP (0 = ephemeral)\n"
+        << "      [--machines N] [--model M.txt | --fleet F] "
+           "[--platform P] [--port-file F]\n"
+        << "      [--ingest-max-samples N] [--ingest-idle-ms MS] "
+           "[--credit-batch N] [--stats-out F]\n"
+        << "  loadgen --target host:port         drive an ingest "
+           "server with concurrent connections\n"
+        << "      [--connections N] [--samples N] [--machines N] "
+           "[--rate R] [--jsonl 1]\n"
+        << "      [--window N] [--workers N] [--metered-every N] "
+           "[--report-json F]\n"
         << "  monitor --replay <data.csv>        replay with online "
            "model-quality monitoring\n"
         << "      (--model M.txt | --fleet manifest.txt) "
            "[--platform P] [--speed X]\n"
         << "      [--window N] [--warmup N] [--drift-lambda L] "
            "[--drift-delta D]\n"
-        << "      [--telemetry-out F.jsonl] [--telemetry-every N] "
+        << "      [--telemetry-out F.jsonl|tcp://h:p] [--telemetry-every N] "
            "[--dashboard-every N]\n"
         << "  autopilot --replay <data.csv>      replay with "
            "self-healing remediation\n"
@@ -144,7 +164,7 @@ cmdHelp(std::ostream &out)
            "[--reference-window N] [--min-retrain-samples N]\n"
         << "      [--inject-stuck \"id;id\"] [--inject-at T] "
            "[--inject-stagger N]\n"
-        << "      [--telemetry-out F.jsonl] [--telemetry-every N] "
+        << "      [--telemetry-out F.jsonl|tcp://h:p] [--telemetry-every N] "
            "[--dashboard-every N]\n"
         << "  fleetview                          hierarchical "
            "quality roll-up dashboard\n"
@@ -432,6 +452,270 @@ cmdPredict(const ParsedArgs &args, std::ostream &out,
 }
 
 /**
+ * Surface the serving path's silent loss at summary time: drop-oldest
+ * keeps the fleet live under overload, but an operator reading only
+ * the final table would never know which machines paid for it.
+ */
+void
+warnDroppedMachines(const serve::FleetSnapshot &snapshot,
+                    std::ostream &err)
+{
+    for (const serve::MachineSnapshot &machine : snapshot.machines) {
+        if (machine.dropped == 0)
+            continue;
+        err << "warning: machine '" << machine.id << "' dropped "
+            << machine.dropped
+            << " queued samples under backpressure (drop-oldest); "
+               "raise --queue-capacity or --shards, or feed it over "
+               "the network ingest path for explicit NACKs\n";
+    }
+}
+
+/**
+ * Fit the same cheap two-counter linear model the serving tests use
+ * (~ baseW + 0.1*u0 + 0.08*u1 W over the processor-time counters), so
+ * listen mode can register machines without shipping a dataset.
+ */
+MachinePowerModel
+syntheticServeModel(uint64_t seed, double baseW)
+{
+    Rng rng(seed);
+    const size_t n = 200;
+    Matrix x(n, 2);
+    std::vector<double> y(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 100.0);
+        x(i, 1) = rng.uniform(0.0, 100.0);
+        y[i] = baseW + 0.1 * x(i, 0) + 0.08 * x(i, 1) +
+               rng.normal(0.0, 0.05);
+    }
+    auto model = std::make_shared<LinearModel>();
+    model->fit(x, y);
+    return MachinePowerModel::fromParts(
+        FeatureSet{"serve-listen",
+                   {"Processor(0)\\% Processor Time",
+                    "Processor(1)\\% Processor Time"}},
+        std::move(model));
+}
+
+/**
+ * `chaos serve --listen`: run the fleet server as a real network
+ * server — a ChaosIngestServer accepting wire-protocol connections
+ * (binary or JSONL) and feeding the shard queues, until a sample
+ * budget or an idle window ends the run. `chaos loadgen` is the
+ * matching client.
+ */
+int
+cmdServeListen(const ParsedArgs &args, std::ostream &out,
+               std::ostream &err)
+{
+    serve::FleetServerConfig config;
+    config.numShards = static_cast<size_t>(
+        std::stoul(args.flagOr("shards", "4")));
+    config.queueCapacity = static_cast<size_t>(
+        std::stoul(args.flagOr("queue-capacity", "8192")));
+    config.snapshotEverySamples = static_cast<size_t>(
+        std::stoul(args.flagOr("snapshot-every", "0")));
+    serve::FleetServer server(config);
+
+    OnlineEstimatorConfig estimatorConfig;
+    const std::string platform = args.flagOr("platform", "");
+    if (!platform.empty()) {
+        estimatorConfig = OnlineEstimatorConfig::forSpec(
+            machineSpecFor(machineClassFromName(platform)));
+    }
+
+    const std::string modelPath = args.flagOr("model", "");
+    const std::string fleetPath = args.flagOr("fleet", "");
+    const size_t machines = static_cast<size_t>(
+        std::stoul(args.flagOr("machines", "8")));
+    if (!fleetPath.empty()) {
+        for (serve::FleetMachine &machine :
+             serve::loadFleetModels(fleetPath)) {
+            server.addMachine(machine.id, std::move(machine.model),
+                              estimatorConfig);
+        }
+    } else {
+        const MachinePowerModel model =
+            modelPath.empty() ? syntheticServeModel(7, 25.0)
+                              : loadMachineModelFile(modelPath);
+        for (size_t i = 0; i < machines; ++i)
+            server.addMachine("machine" + std::to_string(i), model,
+                              estimatorConfig);
+    }
+
+    net::IngestServerConfig ingestConfig;
+    ingestConfig.port = static_cast<uint16_t>(
+        std::stoul(args.flagOr("listen", "0")));
+    ingestConfig.creditBatch = static_cast<size_t>(
+        std::stoul(args.flagOr("credit-batch", "0")));
+    net::ChaosIngestServer ingest(server, ingestConfig);
+
+    server.start();
+    ingest.start();
+    out << "listening on " << ingest.config().bindAddress << ":"
+        << ingest.port() << " (" << server.numMachines()
+        << " machines, " << config.numShards << " shards)"
+        << std::endl;
+
+    // Scripts poll this file instead of parsing stdout (the port is
+    // ephemeral when --listen 0).
+    const std::string portFile = args.flagOr("port-file", "");
+    if (!portFile.empty()) {
+        std::ofstream file(portFile);
+        raiseIf(!file, "cannot write " + portFile);
+        file << ingest.port() << "\n";
+        file.flush();
+        raiseIf(!file.good(), "failed writing " + portFile);
+    }
+
+    // Run until the sample budget is met or ingest goes idle (both
+    // optional; with neither, serve until the process is killed).
+    const uint64_t maxSamples = std::stoull(
+        args.flagOr("ingest-max-samples", "0"));
+    const uint64_t idleMs =
+        std::stoull(args.flagOr("ingest-idle-ms", "0"));
+    auto lastChange = std::chrono::steady_clock::now();
+    uint64_t lastSeen = 0;
+    while (true) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const uint64_t processed = server.processed();
+        const auto now = std::chrono::steady_clock::now();
+        if (processed != lastSeen) {
+            lastSeen = processed;
+            lastChange = now;
+        }
+        if (maxSamples > 0 && processed >= maxSamples)
+            break;
+        if (idleMs > 0 &&
+            now - lastChange >= std::chrono::milliseconds(idleMs))
+            break;
+    }
+    ingest.stop();
+    server.stop();
+
+    const net::IngestStats stats = ingest.stats();
+    out << "ingest: " << stats.connectionsAccepted << " connections ("
+        << stats.connectionsDropped << " dropped), "
+        << stats.samplesAccepted << " samples accepted, "
+        << stats.rejectedBackpressure << " rejected (backpressure), "
+        << stats.rejectedUnknown << " rejected (unknown machine), "
+        << stats.badFrames << " bad frames\n";
+
+    const serve::FleetSnapshot snapshot = server.snapshot();
+    out << "cluster power: " << formatDouble(snapshot.clusterW, 1)
+        << " W over " << snapshot.samplesProcessed
+        << " processed samples\n";
+    warnDroppedMachines(snapshot, err);
+
+    const std::string statsOut = args.flagOr("stats-out", "");
+    if (!statsOut.empty()) {
+        std::ofstream file(statsOut);
+        raiseIf(!file, "cannot write " + statsOut);
+        file << "{\"ingest\": " << stats.toJson()
+             << ", \"fleet\": " << snapshot.toJson() << "}\n";
+        file.flush();
+        raiseIf(!file.good(), "failed writing " + statsOut);
+        out << "wrote ingest stats to " << statsOut << "\n";
+    }
+    return 0;
+}
+
+/**
+ * Drive an ingest server with paced concurrent connections — the
+ * client half of `chaos serve --listen`, for smoke tests and load
+ * experiments. Machine ids default to the machine0..machineN-1 names
+ * listen mode registers.
+ */
+int
+cmdLoadgen(const ParsedArgs &args, std::ostream &out,
+           std::ostream &err)
+{
+    std::string target = args.flagOr("target", "");
+    if (target.empty()) {
+        err << "usage: chaos loadgen --target host:port "
+               "[--connections N] [--samples N]\n"
+               "    [--machines N | --machine-ids \"a;b\"] [--rate "
+               "R/conn/sec] [--row-size N]\n"
+               "    [--window N] [--workers N] [--jsonl 1] "
+               "[--metered-every N] [--seed S]\n"
+               "    [--report-json F]\n";
+        return 2;
+    }
+    if (net::isSocketTarget(target))
+        target = target.substr(6);
+
+    net::LoadGenConfig config;
+    const auto [host, port] = net::parseHostPort(target);
+    config.host = host;
+    config.port = port;
+    config.connections = static_cast<size_t>(
+        std::stoul(args.flagOr("connections", "8")));
+    config.workers = static_cast<size_t>(
+        std::stoul(args.flagOr("workers", "0")));
+    config.samplesPerConnection = static_cast<size_t>(
+        std::stoul(args.flagOr("samples", "1000")));
+    config.ratePerConnection = std::stod(args.flagOr("rate", "0"));
+    config.rowSize = static_cast<size_t>(std::stoul(args.flagOr(
+        "row-size",
+        std::to_string(CounterCatalog::instance().size()))));
+    config.window = static_cast<size_t>(
+        std::stoul(args.flagOr("window", "1024")));
+    config.jsonl = args.flagOr("jsonl", "0") == "1" ||
+                   args.flagOr("jsonl", "0") == "true";
+    config.meteredEvery = static_cast<size_t>(
+        std::stoul(args.flagOr("metered-every", "0")));
+    config.seed = std::stoull(args.flagOr("seed", "42"));
+
+    const std::string idList = args.flagOr("machine-ids", "");
+    if (!idList.empty()) {
+        for (const std::string &id : split(idList, ';'))
+            if (!id.empty())
+                config.machineIds.push_back(id);
+    } else {
+        const size_t machines = static_cast<size_t>(
+            std::stoul(args.flagOr("machines", "8")));
+        for (size_t i = 0; i < machines; ++i)
+            config.machineIds.push_back("machine" +
+                                        std::to_string(i));
+    }
+
+    net::LoadGenerator generator(config);
+    const net::LoadGenReport report = generator.run();
+
+    out << "loadgen: " << report.sent << " sent = "
+        << report.accepted << " accepted + " << report.rejected
+        << " rejected over " << config.connections
+        << " connections in "
+        << formatDouble(report.elapsedSec, 2) << " s ("
+        << formatDouble(report.sentPerSec, 0) << " samples/sec)\n";
+    out << "  ack latency: p50 "
+        << formatDouble(report.p50LatencyMs, 2) << " ms, p99 "
+        << formatDouble(report.p99LatencyMs, 2) << " ms, max "
+        << formatDouble(report.maxLatencyMs, 2) << " ms\n";
+    if (report.backpressureNacks > 0 || report.unknownNacks > 0) {
+        out << "  nacks: " << report.backpressureNacks
+            << " backpressure, " << report.unknownNacks
+            << " unknown machine\n";
+    }
+    if (report.connectionsFailed > 0) {
+        err << "error: " << report.connectionsFailed
+            << " connections failed: " << report.firstError << "\n";
+    }
+
+    const std::string reportJson = args.flagOr("report-json", "");
+    if (!reportJson.empty()) {
+        std::ofstream file(reportJson);
+        raiseIf(!file, "cannot write " + reportJson);
+        file << report.toJson() << "\n";
+        file.flush();
+        raiseIf(!file.good(), "failed writing " + reportJson);
+        out << "wrote report to " << reportJson << "\n";
+    }
+    return report.connectionsFailed == 0 ? 0 : 1;
+}
+
+/**
  * Replay a recorded counter trace through the streaming fleet server
  * (paper Eq. 5 as a service): every machine in the trace gets an
  * online estimator, samples are enqueued tick by tick at the chosen
@@ -441,6 +725,8 @@ cmdPredict(const ParsedArgs &args, std::ostream &out,
 int
 cmdServe(const ParsedArgs &args, std::ostream &out, std::ostream &err)
 {
+    if (args.flags.count("listen") != 0)
+        return cmdServeListen(args, out, err);
     const std::string replayPath = args.flagOr("replay", "");
     const std::string modelPath = args.flagOr("model", "");
     const std::string fleetPath = args.flagOr("fleet", "");
@@ -512,6 +798,7 @@ cmdServe(const ParsedArgs &args, std::ostream &out, std::ostream &err)
                       std::to_string(machine.samples)});
     }
     out << table.render();
+    warnDroppedMachines(final_snapshot, err);
 
     const std::string snapshotsOut = args.flagOr("snapshots-out", "");
     if (!snapshotsOut.empty()) {
@@ -556,7 +843,7 @@ cmdMonitor(const ParsedArgs &args, std::ostream &out,
                "    [--platform P] [--speed X] [--window N] "
                "[--warmup N]\n"
                "    [--drift-lambda L] [--drift-delta D]\n"
-               "    [--telemetry-out F.jsonl] [--telemetry-every N] "
+               "    [--telemetry-out F.jsonl|tcp://h:p] [--telemetry-every N] "
                "[--dashboard-every N]\n";
         return 2;
     }
@@ -599,8 +886,15 @@ cmdMonitor(const ParsedArgs &args, std::ostream &out,
 
     std::optional<monitor::TelemetryExporter> telemetry;
     const std::string telemetryOut = args.flagOr("telemetry-out", "");
-    if (!telemetryOut.empty())
-        telemetry.emplace(telemetryOut);
+    if (!telemetryOut.empty()) {
+        // "tcp://host:port" streams records to a live collector over
+        // a socket; anything else is a JSONL file path.
+        if (net::isSocketTarget(telemetryOut))
+            telemetry.emplace(net::connectLineSink(telemetryOut),
+                              telemetryOut);
+        else
+            telemetry.emplace(telemetryOut);
+    }
     const size_t telemetryEvery = static_cast<size_t>(
         std::stoul(args.flagOr("telemetry-every", "10")));
     const size_t dashboardEvery = static_cast<size_t>(
@@ -1027,7 +1321,7 @@ cmdAutopilot(const ParsedArgs &args, std::ostream &out,
                "    [--reference-window N] [--min-retrain-samples N]\n"
                "    [--inject-stuck \"machine0;machine1\"] "
                "[--inject-at T] [--inject-stagger N]\n"
-               "    [--telemetry-out F.jsonl] [--telemetry-every N] "
+               "    [--telemetry-out F.jsonl|tcp://h:p] [--telemetry-every N] "
                "[--dashboard-every N]\n";
         return 2;
     }
@@ -1128,8 +1422,15 @@ cmdAutopilot(const ParsedArgs &args, std::ostream &out,
 
     std::optional<monitor::TelemetryExporter> telemetry;
     const std::string telemetryOut = args.flagOr("telemetry-out", "");
-    if (!telemetryOut.empty())
-        telemetry.emplace(telemetryOut);
+    if (!telemetryOut.empty()) {
+        // "tcp://host:port" streams records to a live collector over
+        // a socket; anything else is a JSONL file path.
+        if (net::isSocketTarget(telemetryOut))
+            telemetry.emplace(net::connectLineSink(telemetryOut),
+                              telemetryOut);
+        else
+            telemetry.emplace(telemetryOut);
+    }
     const size_t telemetryEvery = static_cast<size_t>(
         std::stoul(args.flagOr("telemetry-every", "10")));
     const size_t dashboardEvery = static_cast<size_t>(
@@ -1304,6 +1605,8 @@ dispatch(const std::string &command, const ParsedArgs &parsed,
         return cmdPredict(parsed, out, err);
     if (command == "serve")
         return cmdServe(parsed, out, err);
+    if (command == "loadgen")
+        return cmdLoadgen(parsed, out, err);
     if (command == "monitor")
         return cmdMonitor(parsed, out, err);
     if (command == "autopilot")

@@ -37,6 +37,13 @@ TelemetryExporter::TelemetryExporter(const std::string &path)
     raiseIf(!writer_.ok(), "telemetry: " + writer_.error());
 }
 
+TelemetryExporter::TelemetryExporter(
+    std::unique_ptr<std::ostream> sink, const std::string &label)
+    : writer_(std::move(sink), label)
+{
+    raiseIf(!writer_.ok(), "telemetry: " + writer_.error());
+}
+
 void
 TelemetryExporter::writeFleet(const serve::FleetSnapshot &snapshot,
                               std::uint64_t tick)

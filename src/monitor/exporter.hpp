@@ -40,6 +40,15 @@ class TelemetryExporter
      */
     explicit TelemetryExporter(const std::string &path);
 
+    /**
+     * Stream records to @p sink instead of a file — e.g. a socket
+     * stream from net::connectLineSink, so a downstream collector can
+     * consume the telemetry live over TCP. @p label names the sink in
+     * errors and path(). Raises RecoverableError on a null/bad sink.
+     */
+    TelemetryExporter(std::unique_ptr<std::ostream> sink,
+                      const std::string &label);
+
     /** Append one fleet power snapshot record. */
     void writeFleet(const serve::FleetSnapshot &snapshot,
                     std::uint64_t tick);

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * IngestClient: one connection's worth of the client side of the
+ * chaos wire protocol (net/protocol.hpp) — framing, the credit
+ * window, and ack accounting — shared by the loadgen harness, the
+ * tests, and the `chaos loadgen` CLI.
+ *
+ * Flow control: the client keeps at most `window` samples in flight
+ * (sent but not yet covered by a Credit frame's cumulative totals).
+ * When the window is full, send() pumps acks — blocking on the socket
+ * if necessary — before writing the next sample, so a slow or
+ * backpressuring server throttles the producer instead of growing an
+ * unbounded buffer. Rejected samples (Nack / rejected counts) also
+ * return window credit: accounting never wedges on an overloaded
+ * server.
+ *
+ * Latency: every sample's send time is remembered until a Credit
+ * frame covers it; the credit-ack round trip is the frame latency the
+ * bench gates on (p50/p99 over a bounded ring).
+ */
+#ifndef CHAOS_NET_CLIENT_HPP
+#define CHAOS_NET_CLIENT_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace chaos::net {
+
+/** Client-side knobs. */
+struct IngestClientConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Max samples in flight before send() blocks pumping acks. */
+    std::size_t window = 1024;
+    /** Speak JSONL instead of binary frames. */
+    bool jsonl = false;
+    /** Credit-RTT ring capacity (latency percentiles). */
+    std::size_t maxLatencySamples = 8192;
+    /** Give up pumping acks after this long with no progress, ms. */
+    int ackTimeoutMs = 10000;
+    /**
+     * Coalesce encoded frames into one write() once this many bytes
+     * are buffered. Buffered frames are always flushed before the
+     * client blocks waiting for acks (the server cannot ack what it
+     * has not received), so correctness never depends on the
+     * threshold — only the syscall rate does. 0 writes every frame
+     * immediately (lowest latency, one syscall per sample).
+     */
+    std::size_t coalesceBytes = 56 * 1024;
+};
+
+/** One protocol connection (see file comment). Not thread-safe. */
+class IngestClient
+{
+  public:
+    explicit IngestClient(IngestClientConfig config);
+    ~IngestClient();
+
+    IngestClient(const IngestClient &) = delete;
+    IngestClient &operator=(const IngestClient &) = delete;
+
+    /** Connect to host:port. Raises RecoverableError on failure. */
+    void connect();
+
+    /**
+     * Send one sample, blocking on the credit window when full.
+     * Raises RecoverableError when the server closed the connection
+     * or the window could not be replenished within ackTimeoutMs.
+     */
+    void send(std::uint64_t tick, const std::string &machineId,
+              const double *row, std::size_t rowSize,
+              double meteredW =
+                  std::numeric_limits<double>::quiet_NaN());
+
+    /**
+     * Consume any acks the server has sent. @p blocking waits up to
+     * ackTimeoutMs for at least one frame. @return Frames consumed.
+     * Raises RecoverableError on a protocol error from the server.
+     */
+    std::size_t pump(bool blocking);
+
+    /**
+     * Block until every sent sample is covered by an ack (or the
+     * server closes). @return True when fully drained.
+     */
+    bool drain();
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    bool connected() const { return sock.valid(); }
+
+    std::uint64_t sent() const { return sentCount; }
+    /** Samples the server accepted into its queues (from acks). */
+    std::uint64_t accepted() const { return acceptedTotal; }
+    /** Samples the server rejected (backpressure/unknown/bad). */
+    std::uint64_t rejected() const { return rejectedTotal; }
+    /** Nack frames received, by reason (indexed by NackReason). */
+    std::uint64_t nacks(NackReason reason) const;
+    /** True if the server ever sent a backpressure Nack. */
+    bool sawBackpressure() const
+    {
+        return nacks(NackReason::Backpressure) > 0;
+    }
+
+    /** Credit-ack round trips observed so far, milliseconds. */
+    std::vector<double> latenciesMs() const;
+
+  private:
+    std::uint64_t inFlight() const
+    {
+        return sentCount - (acceptedTotal + rejectedTotal);
+    }
+    void handleAck(const Frame &frame);
+    void writeAll(const std::uint8_t *data, std::size_t size);
+    /** Write out any coalesced frames still sitting in outBuf. */
+    void flushSendBuffer();
+
+    IngestClientConfig cfg;
+    OwnedFd sock;
+    FrameReader reader;
+    Frame frame;                      ///< Reused decode target.
+    std::vector<std::uint8_t> outBuf; ///< Coalesced unsent frames.
+    std::vector<std::uint8_t> inBuf;  ///< Reused read chunk.
+
+    std::uint64_t sentCount = 0;
+    std::uint64_t acceptedTotal = 0;
+    std::uint64_t rejectedTotal = 0;
+    std::uint64_t nackCounts[4] = {0, 0, 0, 0};
+
+    /** Send times of in-flight samples, oldest first. */
+    std::deque<std::chrono::steady_clock::time_point> sendTimes;
+    std::vector<double> latencyRing;
+    std::size_t latencyCount = 0;
+};
+
+} // namespace chaos::net
+
+#endif // CHAOS_NET_CLIENT_HPP

@@ -1,0 +1,213 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/result.hpp"
+#include "util/string_utils.hpp"
+
+namespace chaos::net {
+
+namespace {
+
+std::string
+errnoMessage(const std::string &what)
+{
+    return what + ": " + std::strerror(errno);
+}
+
+/** Resolve "localhost" / dotted-quad @p host into @p addr. */
+void
+fillAddress(const std::string &host, std::uint16_t port,
+            sockaddr_in &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string resolved =
+        host.empty() || host == "localhost" ? "127.0.0.1" : host;
+    raiseIf(inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1,
+            "net: cannot parse address '" + host + "'");
+}
+
+/**
+ * std::streambuf over a connected socket fd. Buffers up to 8 KiB and
+ * flushes with write(); short writes are retried, a peer reset marks
+ * the stream failed (the JsonlWriter above records a sticky error).
+ */
+class FdStreamBuf : public std::streambuf
+{
+  public:
+    explicit FdStreamBuf(OwnedFd fd) : fd_(std::move(fd))
+    {
+        setp(buf_, buf_ + sizeof(buf_));
+    }
+
+    ~FdStreamBuf() override { sync(); }
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (flushBuffer() != 0)
+            return traits_type::eof();
+        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+            *pptr() = traits_type::to_char_type(ch);
+            pbump(1);
+        }
+        return traits_type::not_eof(ch);
+    }
+
+    int
+    sync() override
+    {
+        return flushBuffer();
+    }
+
+  private:
+    int
+    flushBuffer()
+    {
+        const char *p = pbase();
+        std::ptrdiff_t left = pptr() - pbase();
+        while (left > 0) {
+            const ssize_t n = ::write(fd_.fd(), p,
+                                      static_cast<std::size_t>(left));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return -1;
+            }
+            p += n;
+            left -= n;
+        }
+        setp(buf_, buf_ + sizeof(buf_));
+        return 0;
+    }
+
+    OwnedFd fd_;
+    char buf_[8192];
+};
+
+/** ostream owning its FdStreamBuf. */
+class FdOStream : public std::ostream
+{
+  public:
+    explicit FdOStream(OwnedFd fd)
+        : std::ostream(nullptr), buf_(std::move(fd))
+    {
+        rdbuf(&buf_);
+    }
+
+  private:
+    FdStreamBuf buf_;
+};
+
+} // namespace
+
+void
+OwnedFd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::pair<OwnedFd, std::uint16_t>
+listenTcp(const std::string &bindAddress, std::uint16_t port,
+          int backlog)
+{
+    OwnedFd sock(::socket(AF_INET, SOCK_STREAM, 0));
+    raiseIf(!sock.valid(), errnoMessage("net: socket"));
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr;
+    fillAddress(bindAddress, port, addr);
+    raiseIf(::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0,
+            errnoMessage("net: bind " + bindAddress + ":" +
+                         std::to_string(port)));
+    raiseIf(::listen(sock.fd(), backlog) != 0,
+            errnoMessage("net: listen"));
+    socklen_t len = sizeof(addr);
+    raiseIf(::getsockname(sock.fd(),
+                          reinterpret_cast<sockaddr *>(&addr),
+                          &len) != 0,
+            errnoMessage("net: getsockname"));
+    setNonBlocking(sock.fd());
+    return {std::move(sock), ntohs(addr.sin_port)};
+}
+
+OwnedFd
+connectTcp(const std::string &host, std::uint16_t port)
+{
+    OwnedFd sock(::socket(AF_INET, SOCK_STREAM, 0));
+    raiseIf(!sock.valid(), errnoMessage("net: socket"));
+    sockaddr_in addr;
+    fillAddress(host, port, addr);
+    int rc;
+    do {
+        rc = ::connect(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    raiseIf(rc != 0, errnoMessage("net: connect " + host + ":" +
+                                  std::to_string(port)));
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+    return sock;
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    raiseIf(flags < 0 ||
+                ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0,
+            errnoMessage("net: fcntl O_NONBLOCK"));
+}
+
+std::pair<std::string, std::uint16_t>
+parseHostPort(const std::string &target)
+{
+    const std::size_t colon = target.rfind(':');
+    raiseIf(colon == std::string::npos || colon + 1 >= target.size(),
+            "net: expected host:port, got '" + target + "'");
+    const std::string host = target.substr(0, colon);
+    int port = 0;
+    for (std::size_t i = colon + 1; i < target.size(); ++i) {
+        const char c = target[i];
+        raiseIf(c < '0' || c > '9',
+                "net: bad port in '" + target + "'");
+        port = port * 10 + (c - '0');
+        raiseIf(port > 65535, "net: port out of range in '" + target +
+                                  "'");
+    }
+    return {host, static_cast<std::uint16_t>(port)};
+}
+
+bool
+isSocketTarget(const std::string &path)
+{
+    return startsWith(path, "tcp://");
+}
+
+std::unique_ptr<std::ostream>
+connectLineSink(const std::string &target)
+{
+    std::string hostPort = target;
+    if (isSocketTarget(hostPort))
+        hostPort = hostPort.substr(6);
+    const auto [host, port] = parseHostPort(hostPort);
+    return std::make_unique<FdOStream>(connectTcp(host, port));
+}
+
+} // namespace chaos::net

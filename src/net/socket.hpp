@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers shared by the ingest server, the client, and
+ * the telemetry socket sink: an RAII file descriptor, loopback-
+ * friendly listen/connect wrappers, and a socket-backed std::ostream
+ * for line-oriented sinks. Everything raises RecoverableError with
+ * errno context on failure — a refused connection is user-facing
+ * state, not a bug.
+ */
+#ifndef CHAOS_NET_SOCKET_HPP
+#define CHAOS_NET_SOCKET_HPP
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace chaos::net {
+
+/** Owning file descriptor: closes on destruction, move-only. */
+class OwnedFd
+{
+  public:
+    OwnedFd() = default;
+    explicit OwnedFd(int fd) : fd_(fd) {}
+    ~OwnedFd() { reset(); }
+
+    OwnedFd(OwnedFd &&other) noexcept : fd_(other.release()) {}
+    OwnedFd &
+    operator=(OwnedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    OwnedFd(const OwnedFd &) = delete;
+    OwnedFd &operator=(const OwnedFd &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        return std::exchange(fd_, -1);
+    }
+
+    /** Close now (idempotent). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Create a listening TCP socket on @p bindAddress:@p port (port 0
+ * picks an ephemeral port). @return the socket and the actually bound
+ * port. SO_REUSEADDR is set; the socket is nonblocking.
+ */
+std::pair<OwnedFd, std::uint16_t>
+listenTcp(const std::string &bindAddress, std::uint16_t port,
+          int backlog = 128);
+
+/**
+ * Connect to @p host:@p port (IPv4 dotted quad or "localhost").
+ * Blocking connect; the returned socket is left in blocking mode with
+ * TCP_NODELAY set (the protocol batches its own writes).
+ */
+OwnedFd connectTcp(const std::string &host, std::uint16_t port);
+
+/** Put @p fd in nonblocking mode (raises on failure). */
+void setNonBlocking(int fd);
+
+/**
+ * Parse "host:port" (raises on a malformed string or port range).
+ */
+std::pair<std::string, std::uint16_t>
+parseHostPort(const std::string &target);
+
+/**
+ * Connect a socket-backed std::ostream suitable for line-oriented
+ * sinks (obs::JsonlWriter / monitor::TelemetryExporter): every write
+ * goes to the connected peer; a broken connection puts the stream in
+ * a failed state instead of raising mid-write. @p target is
+ * "host:port" or "tcp://host:port".
+ */
+std::unique_ptr<std::ostream> connectLineSink(const std::string &target);
+
+/** True when @p path names a socket sink ("tcp://host:port"). */
+bool isSocketTarget(const std::string &path);
+
+} // namespace chaos::net
+
+#endif // CHAOS_NET_SOCKET_HPP

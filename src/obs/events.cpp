@@ -25,6 +25,7 @@ eventKindName(EventKind kind)
       case EventKind::Retrain: return "retrain";
       case EventKind::Promote: return "promote";
       case EventKind::Rollback: return "rollback";
+      case EventKind::ConnectionDrop: return "connection_drop";
     }
     return "unknown";
 }

@@ -36,6 +36,7 @@ enum class EventKind {
     Retrain,          ///< Autopilot launched a background retrain attempt.
     Promote,          ///< Canary won its rolling comparison; model swapped in.
     Rollback,         ///< Canary lost/timed out; incumbent kept, drift acked.
+    ConnectionDrop,   ///< An ingest connection was closed on protocol error.
 };
 
 /** @return Stable lowercase name for @p kind (e.g. "health_transition"). */

@@ -11,6 +11,14 @@ JsonlWriter::JsonlWriter(const std::string &path)
         error_ = "jsonl: cannot open " + path_ + " for writing";
 }
 
+JsonlWriter::JsonlWriter(std::unique_ptr<std::ostream> sink,
+                         const std::string &label)
+    : path_(label), sink_(std::move(sink))
+{
+    if (sink_ == nullptr || !sink_->good())
+        error_ = "jsonl: sink " + path_ + " is not writable";
+}
+
 bool
 JsonlWriter::writeLine(const std::string &jsonValue)
 {
@@ -25,8 +33,8 @@ JsonlWriter::writeLine(const std::string &jsonValue)
                  jsonValue.substr(0, 120);
         return false;
     }
-    out_ << jsonValue << '\n';
-    if (!out_.good()) {
+    stream() << jsonValue << '\n';
+    if (!stream().good()) {
         error_ = "jsonl: write to " + path_ + " failed";
         return false;
     }
@@ -37,7 +45,9 @@ JsonlWriter::writeLine(const std::string &jsonValue)
 void
 JsonlWriter::flush()
 {
-    if (out_.is_open())
+    if (sink_ != nullptr)
+        sink_->flush();
+    else if (out_.is_open())
         out_.flush();
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <fstream>
+#include <memory>
 #include <string>
 
 namespace chaos::obs {
@@ -28,6 +29,16 @@ class JsonlWriter
   public:
     /** Open (truncate) @p path; check ok() before writing. */
     explicit JsonlWriter(const std::string &path);
+
+    /**
+     * Write records to @p sink instead of a file — the hook the
+     * network telemetry sink (src/net) plugs a socket-backed stream
+     * into. @p label stands in for the path in error messages and
+     * path(). A null or failed sink puts the writer in its error
+     * state rather than crashing later.
+     */
+    JsonlWriter(std::unique_ptr<std::ostream> sink,
+                const std::string &label);
 
     /** @return False once opening, validation, or a write failed. */
     bool ok() const { return error_.empty(); }
@@ -54,8 +65,12 @@ class JsonlWriter
     void flush();
 
   private:
+    /** The active destination: the owned sink, or the opened file. */
+    std::ostream &stream() { return sink_ ? *sink_ : out_; }
+
     std::string path_;
     std::ofstream out_;
+    std::unique_ptr<std::ostream> sink_; ///< Non-file destination.
     std::string error_;
     std::size_t lines_ = 0;
 };

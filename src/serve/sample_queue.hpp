@@ -94,6 +94,30 @@ class BoundedSampleQueue
     }
 
     /**
+     * Enqueue one sample only if the queue has room: the reject-newest
+     * counterpart of push() for ingest boundaries that signal
+     * backpressure to the producer (NACK) instead of sacrificing the
+     * oldest queued sample. Nothing is enqueued on refusal, so the
+     * caller still owns the sample and can retry, shed, or report it.
+     *
+     * @return True when the sample was enqueued.
+     */
+    bool
+    tryPush(MachineEntry *entry, const double *row, std::size_t rowSize,
+            double meteredW)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (count == slots.size())
+            return false;
+        QueuedSample &slot = slots[(head + count) % slots.size()];
+        slot.entry = entry;
+        slot.catalogRow.assign(row, row + rowSize);
+        slot.meteredW = meteredW;
+        ++count;
+        return true;
+    }
+
+    /**
      * Transfer up to @p maxItems samples into @p out, oldest first.
      * Row buffers are *swapped*, not moved: each out element's
      * previous buffer goes back into the ring for reuse, so a caller

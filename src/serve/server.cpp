@@ -178,6 +178,23 @@ FleetServer::submitTo(MachineEntry &entry, const double *catalogRow,
     enqueue(entry, catalogRow, rowSize, meteredW);
 }
 
+bool
+FleetServer::offer(MachineEntry &entry, const double *catalogRow,
+                   std::size_t rowSize, double meteredW)
+{
+    QueueShard &shard = *queueShards[registry.shardOf(entry.id())];
+    // Count before the push so waitIdle's submitted >= queued +
+    // processed + dropped invariant holds at every instant; undo on
+    // refusal (the transient overcount only makes waitIdle wait).
+    submittedCount.fetch_add(1);
+    if (!shard.queue.tryPush(&entry, catalogRow, rowSize, meteredW)) {
+        submittedCount.fetch_sub(1);
+        return false;
+    }
+    ServeMetrics::get().submitted.add();
+    return true;
+}
+
 void
 FleetServer::enqueue(MachineEntry &entry, const double *catalogRow,
                      std::size_t rowSize, double meteredW)

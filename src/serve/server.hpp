@@ -217,6 +217,22 @@ class FleetServer
                meteredW);
     }
 
+    /**
+     * Enqueue one sample only if the machine's shard queue has room:
+     * the reject-newest counterpart of submitTo() for ingest
+     * boundaries (src/net) that signal backpressure to the producer
+     * explicitly instead of silently sacrificing the oldest queued
+     * sample. A refused sample never enters the server's accounting:
+     * submitted/processed/dropped cover accepted samples only, and
+     * the caller owns the refusal (NACK, retry, shed).
+     *
+     * @return True when the sample was enqueued.
+     */
+    bool offer(MachineEntry &entry, const double *catalogRow,
+               std::size_t rowSize,
+               double meteredW =
+                   std::numeric_limits<double>::quiet_NaN());
+
     /** submit() without the registry lookup (entry from machine()). */
     void submitTo(MachineEntry &entry, const double *catalogRow,
                   std::size_t rowSize,

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Protocol-grade tests for the wire format (net/protocol.hpp): bitwise
+ * round trips, arbitrary fragmentation, and an adversarial corpus —
+ * truncations, oversized lengths, garbage streams, and >=10k mutated
+ * frames, none of which may crash the decoder or yield an accepted
+ * sample that differs from what was sent.
+ */
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.hpp"
+#include "util/random.hpp"
+#include "util/result.hpp"
+
+namespace chaos::net {
+namespace {
+
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+SampleFrame
+makeSample(Rng &rng, std::size_t rowLen)
+{
+    SampleFrame sample;
+    sample.tick = rng.nextU64();
+    sample.machineId =
+        "machine" + std::to_string(rng.uniformInt(10000));
+    sample.hasMetered = rng.uniformInt(2) == 0;
+    sample.meteredW = sample.hasMetered
+                          ? rng.uniform(-500.0, 500.0)
+                          : std::numeric_limits<double>::quiet_NaN();
+    sample.row.resize(rowLen);
+    for (double &v : sample.row)
+        v = rng.uniform(-1e6, 1e6);
+    return sample;
+}
+
+TEST(Protocol, Crc32KnownAnswer)
+{
+    // The IEEE 802.3 check value for "123456789".
+    const char *text = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t *>(text), 9),
+              0xCBF43926u);
+}
+
+TEST(Protocol, SampleRoundTripIsBitwise)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        SampleFrame sample = makeSample(rng, rng.uniformInt(64));
+        // Exercise non-finite row values too: NaN payloads must
+        // survive bit-for-bit, not collapse through text formatting.
+        if (!sample.row.empty()) {
+            sample.row[0] = std::numeric_limits<double>::quiet_NaN();
+            if (sample.row.size() > 1)
+                sample.row[1] =
+                    -std::numeric_limits<double>::infinity();
+        }
+
+        std::vector<std::uint8_t> wire;
+        const std::size_t n = encodeSample(sample, wire);
+        EXPECT_EQ(n, wire.size());
+
+        Frame decoded;
+        const DecodeResult res =
+            decodeFrame(wire.data(), wire.size(), decoded);
+        ASSERT_EQ(res.status, DecodeStatus::Ok) << res.error;
+        EXPECT_EQ(res.consumed, wire.size());
+        ASSERT_EQ(decoded.type, FrameType::Sample);
+        EXPECT_EQ(decoded.sample.tick, sample.tick);
+        EXPECT_EQ(decoded.sample.machineId, sample.machineId);
+        EXPECT_EQ(decoded.sample.hasMetered, sample.hasMetered);
+        EXPECT_EQ(bits(decoded.sample.meteredW),
+                  bits(sample.meteredW));
+        ASSERT_EQ(decoded.sample.row.size(), sample.row.size());
+        for (std::size_t i = 0; i < sample.row.size(); ++i)
+            EXPECT_EQ(bits(decoded.sample.row[i]),
+                      bits(sample.row[i]))
+                << "row[" << i << "]";
+    }
+}
+
+TEST(Protocol, CreditAndNackRoundTrip)
+{
+    CreditFrame credit;
+    credit.acceptedTotal = 0xdeadbeefcafe1234ull;
+    credit.rejectedTotal = 17;
+    credit.granted = 4096;
+    std::vector<std::uint8_t> wire;
+    encodeCredit(credit, wire);
+
+    Frame decoded;
+    DecodeResult res = decodeFrame(wire.data(), wire.size(), decoded);
+    ASSERT_EQ(res.status, DecodeStatus::Ok) << res.error;
+    ASSERT_EQ(decoded.type, FrameType::Credit);
+    EXPECT_EQ(decoded.credit.acceptedTotal, credit.acceptedTotal);
+    EXPECT_EQ(decoded.credit.rejectedTotal, credit.rejectedTotal);
+    EXPECT_EQ(decoded.credit.granted, credit.granted);
+
+    NackFrame nack;
+    nack.rejectedTotal = 99;
+    nack.reason = NackReason::UnknownMachine;
+    wire.clear();
+    encodeNack(nack, wire);
+    res = decodeFrame(wire.data(), wire.size(), decoded);
+    ASSERT_EQ(res.status, DecodeStatus::Ok) << res.error;
+    ASSERT_EQ(decoded.type, FrameType::Nack);
+    EXPECT_EQ(decoded.nack.rejectedTotal, nack.rejectedTotal);
+    EXPECT_EQ(decoded.nack.reason, nack.reason);
+}
+
+TEST(Protocol, EveryTruncationNeedsMore)
+{
+    Rng rng(11);
+    const SampleFrame sample = makeSample(rng, 24);
+    std::vector<std::uint8_t> wire;
+    encodeSample(sample, wire);
+
+    Frame out;
+    for (std::size_t prefix = 0; prefix < wire.size(); ++prefix) {
+        const DecodeResult res =
+            decodeFrame(wire.data(), prefix, out);
+        EXPECT_EQ(res.status, DecodeStatus::NeedMore)
+            << "prefix " << prefix << " of " << wire.size();
+    }
+}
+
+TEST(Protocol, SingleByteFragmentationDecodesAll)
+{
+    Rng rng(13);
+    std::vector<std::uint8_t> wire;
+    std::vector<SampleFrame> sent;
+    for (int i = 0; i < 20; ++i) {
+        sent.push_back(makeSample(rng, rng.uniformInt(32)));
+        encodeSample(sent.back(), wire);
+    }
+
+    FrameReader reader;
+    Frame frame;
+    std::size_t decoded = 0;
+    for (std::uint8_t byte : wire) {
+        reader.append(&byte, 1);
+        while (reader.next(frame) == DecodeStatus::Ok) {
+            ASSERT_LT(decoded, sent.size());
+            EXPECT_EQ(frame.sample.tick, sent[decoded].tick);
+            EXPECT_EQ(frame.sample.machineId,
+                      sent[decoded].machineId);
+            ++decoded;
+        }
+        ASSERT_TRUE(reader.error().empty()) << reader.error();
+    }
+    EXPECT_EQ(decoded, sent.size());
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(Protocol, InterleavedRandomChunksDecodeAll)
+{
+    Rng rng(17);
+    std::vector<std::uint8_t> wire;
+    std::size_t frames = 0;
+    for (int i = 0; i < 50; ++i, ++frames)
+        encodeSample(makeSample(rng, rng.uniformInt(48)), wire);
+
+    FrameReader reader;
+    Frame frame;
+    std::size_t decoded = 0;
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        const std::size_t chunk = std::min<std::size_t>(
+            1 + rng.uniformInt(97), wire.size() - off);
+        reader.append(wire.data() + off, chunk);
+        off += chunk;
+        while (reader.next(frame) == DecodeStatus::Ok)
+            ++decoded;
+        ASSERT_TRUE(reader.error().empty()) << reader.error();
+    }
+    EXPECT_EQ(decoded, frames);
+}
+
+TEST(Protocol, FuzzMutatedFramesNeverAccepted)
+{
+    Rng rng(23);
+    std::vector<std::uint8_t> wire;
+    Frame out;
+    int mutations = 0;
+    while (mutations < 12000) {
+        wire.clear();
+        switch (rng.uniformInt(3)) {
+        case 0:
+            encodeSample(makeSample(rng, rng.uniformInt(32)), wire);
+            break;
+        case 1: {
+            CreditFrame credit;
+            credit.acceptedTotal = rng.nextU64();
+            credit.rejectedTotal = rng.nextU64();
+            credit.granted =
+                static_cast<std::uint32_t>(rng.nextU64());
+            encodeCredit(credit, wire);
+            break;
+        }
+        default: {
+            NackFrame nack;
+            nack.rejectedTotal = rng.nextU64();
+            nack.reason = NackReason::Backpressure;
+            encodeNack(nack, wire);
+            break;
+        }
+        }
+
+        for (int m = 0; m < 8; ++m, ++mutations) {
+            std::vector<std::uint8_t> corrupt = wire;
+            const std::size_t pos = rng.uniformInt(corrupt.size());
+            const std::uint8_t delta = static_cast<std::uint8_t>(
+                1 + rng.uniformInt(255));
+            corrupt[pos] = static_cast<std::uint8_t>(
+                corrupt[pos] ^ delta);
+            const DecodeResult res =
+                decodeFrame(corrupt.data(), corrupt.size(), out);
+            // A mutated frame may look like a prefix of a longer one
+            // (length-field mutations) but must NEVER decode as Ok:
+            // the checksum catches every content mutation.
+            EXPECT_NE(res.status, DecodeStatus::Ok)
+                << "mutation at byte " << pos << " xor "
+                << static_cast<int>(delta) << " was accepted";
+        }
+    }
+}
+
+TEST(Protocol, GarbageStreamsErrorImmediately)
+{
+    Rng rng(29);
+    Frame out;
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::vector<std::uint8_t> junk(1 + rng.uniformInt(256));
+        for (auto &b : junk)
+            b = static_cast<std::uint8_t>(rng.uniformInt(256));
+        // Ensure it cannot be a valid stream start.
+        if (junk[0] == 'C' || junk[0] == '{')
+            junk[0] = 0xEE;
+        FrameReader reader;
+        reader.append(junk.data(), junk.size());
+        EXPECT_EQ(reader.next(out), DecodeStatus::Error);
+        EXPECT_FALSE(reader.error().empty());
+        // Sticky: appending valid bytes afterwards cannot recover.
+        std::vector<std::uint8_t> valid;
+        encodeCredit(CreditFrame{}, valid);
+        reader.append(valid.data(), valid.size());
+        EXPECT_EQ(reader.next(out), DecodeStatus::Error);
+    }
+}
+
+TEST(Protocol, OversizedLengthPrefixIsError)
+{
+    std::vector<std::uint8_t> wire;
+    encodeCredit(CreditFrame{}, wire);
+    // Patch the little-endian payload length (bytes 4..8) beyond the
+    // cap; the decoder must refuse before buffering a "frame" that
+    // large, whatever the checksum says.
+    const std::uint32_t huge = kMaxPayloadLen + 1;
+    std::memcpy(wire.data() + 4, &huge, sizeof(huge));
+    Frame out;
+    const DecodeResult res =
+        decodeFrame(wire.data(), wire.size(), out);
+    EXPECT_EQ(res.status, DecodeStatus::Error);
+}
+
+TEST(Protocol, OverlongMachineIdAndRowAreRejected)
+{
+    Rng rng(31);
+    SampleFrame sample = makeSample(rng, 4);
+    sample.machineId.assign(kMaxMachineIdLen + 1, 'x');
+    std::vector<std::uint8_t> wire;
+    EXPECT_THROW(encodeSample(sample, wire), RecoverableError);
+
+    sample = makeSample(rng, 4);
+    sample.row.assign(kMaxRowLen + 1, 0.0);
+    wire.clear();
+    EXPECT_THROW(encodeSample(sample, wire), RecoverableError);
+}
+
+TEST(Protocol, DecodeFrameOrRaiseContract)
+{
+    Rng rng(37);
+    std::vector<std::uint8_t> wire;
+    encodeSample(makeSample(rng, 8), wire);
+
+    Frame out;
+    std::size_t consumed = 0;
+    // Prefix: false, no throw.
+    EXPECT_FALSE(
+        decodeFrameOrRaise(wire.data(), wire.size() - 1, out,
+                           consumed));
+    // Whole frame: true.
+    EXPECT_TRUE(decodeFrameOrRaise(wire.data(), wire.size(), out,
+                                   consumed));
+    EXPECT_EQ(consumed, wire.size());
+    // Corrupt frame: raises the library's recoverable error.
+    wire[wire.size() / 2] ^= 0x5a;
+    EXPECT_THROW(
+        decodeFrameOrRaise(wire.data(), wire.size(), out, consumed),
+        RecoverableError);
+}
+
+TEST(Protocol, JsonlRoundTrip)
+{
+    Rng rng(41);
+    SampleFrame sample = makeSample(rng, 6);
+    // JSONL carries tick as a JSON number (53-bit integer
+    // precision); binary framing is the exact-u64 path.
+    sample.tick %= 1ull << 53;
+    sample.hasMetered = true;
+    sample.meteredW = 123.25;
+
+    Frame frame;
+    frame.type = FrameType::Sample;
+    frame.sample = sample;
+    const std::string line = encodeJsonl(frame);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+
+    Frame decoded;
+    const DecodeResult res = decodeJsonlLine(
+        line.substr(0, line.size() - 1), decoded);
+    ASSERT_EQ(res.status, DecodeStatus::Ok) << res.error;
+    ASSERT_EQ(decoded.type, FrameType::Sample);
+    EXPECT_EQ(decoded.sample.tick, sample.tick);
+    EXPECT_EQ(decoded.sample.machineId, sample.machineId);
+    ASSERT_EQ(decoded.sample.row.size(), sample.row.size());
+    for (std::size_t i = 0; i < sample.row.size(); ++i)
+        EXPECT_DOUBLE_EQ(decoded.sample.row[i], sample.row[i]);
+
+    // NaN row values travel as JSON null and come back NaN.
+    sample.row[0] = std::numeric_limits<double>::quiet_NaN();
+    frame.sample = sample;
+    const std::string nanLine = encodeJsonl(frame);
+    const DecodeResult nanRes = decodeJsonlLine(
+        nanLine.substr(0, nanLine.size() - 1), decoded);
+    ASSERT_EQ(nanRes.status, DecodeStatus::Ok) << nanRes.error;
+    EXPECT_TRUE(std::isnan(decoded.sample.row[0]));
+}
+
+TEST(Protocol, MalformedJsonlLinesError)
+{
+    Frame out;
+    for (const char *bad :
+         {"{", "{}", "{\"type\": \"wat\"}", "not json at all",
+          "{\"type\": \"sample\"}",
+          "{\"type\": \"sample\", \"machine\": 3, \"tick\": 0, "
+          "\"row\": []}"}) {
+        const DecodeResult res = decodeJsonlLine(bad, out);
+        EXPECT_EQ(res.status, DecodeStatus::Error) << bad;
+    }
+}
+
+TEST(Protocol, JsonlReaderModeAndUnterminatedLineCap)
+{
+    // A stream starting with '{' commits the reader to JSONL.
+    FrameReader reader;
+    Frame frame;
+    frame.type = FrameType::Credit;
+    const std::string line = encodeJsonl(frame);
+    Frame out;
+    reader.append(
+        reinterpret_cast<const std::uint8_t *>(line.data()),
+        line.size());
+    EXPECT_EQ(reader.next(out), DecodeStatus::Ok);
+    EXPECT_TRUE(reader.jsonlMode());
+    EXPECT_EQ(out.type, FrameType::Credit);
+
+    // An endless unterminated line must hit the size cap, not grow
+    // the buffer forever.
+    FrameReader hog;
+    std::vector<std::uint8_t> junk(kMaxPayloadLen + 2, 'a');
+    junk[0] = '{';
+    hog.append(junk.data(), junk.size());
+    EXPECT_EQ(hog.next(out), DecodeStatus::Error);
+}
+
+} // namespace
+} // namespace chaos::net
