@@ -26,7 +26,11 @@
  *  - autopilot overhead: the monitored blast is repeated with an
  *    armed AutopilotController (reference windows enabled on every
  *    machine, drift listener installed, ticked periodically from the
- *    producer) against a monitor-only baseline.
+ *    producer) against a monitor-only baseline;
+ *  - stage-tracing overhead: the batched drain is repeated with
+ *    sample stage tracing (ingest stamps + chaos.serve.stage.*
+ *    histograms) toggled off and on, gating the tracing cost on the
+ *    multi-million-samples/sec path it rides.
  *
  * Overhead methodology (both overhead phases): off and on run
  * back-to-back inside each rep so each pair shares the host's load;
@@ -63,6 +67,7 @@
 #include "monitor/fleet_monitor.hpp"
 #include "serve/replay.hpp"
 #include "serve/server.hpp"
+#include "serve/stage_metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/string_utils.hpp"
 
@@ -503,6 +508,34 @@ main()
                 autopilotOverhead.rawNsPerSample,
                 autopilotOverhead.noiseNs, overheadNsBudget);
 
+    // --- Stage-tracing overhead: batched drain off/on. ---
+    // The batched drain is the fastest path stage tracing rides
+    // (millions of samples/sec, so tens of ns/sample of tracing work
+    // would show immediately). Off-side runs drain unstamped samples;
+    // on-side runs pay the submit stamp (outside the timed drain),
+    // the per-sample guard + two histogram observes, and the
+    // per-batch clock reads.
+    const size_t stageTotal = fast ? 150'000 : 400'000;
+    const int stageReps = 7;
+    const OverheadResult stageOverhead = measureOverhead(
+        "stage-tracing",
+        [&](bool on) {
+            serve::setStageTracingEnabled(on);
+            const BlastResult r =
+                drainBlast(model, rows, 4, stageTotal);
+            serve::setStageTracingEnabled(true);
+            setGlobalThreadCount(1);
+            return r.samplesPerSec;
+        },
+        stageReps);
+    std::printf("\nstage-tracing overhead (median of %d pairs, "
+                "batched drain): off %.0f/s, on %.0f/s (%+.3f%% raw, "
+                "%+.1f ns/sample raw, noise %.1f ns), budget 1%% or "
+                "%.0f ns/sample + noise\n",
+                stageReps, stageOverhead.offSps, stageOverhead.onSps,
+                stageOverhead.rawPct, stageOverhead.rawNsPerSample,
+                stageOverhead.noiseNs, overheadNsBudget);
+
     // --- Assertions. ---
     // The scalar floor gates the end-to-end producer+drain path; the
     // batched floor gates the isolated drain path at 4 threads. Both
@@ -613,6 +646,31 @@ main()
                     autopilotOverhead.onSps, floorSps);
         ok = false;
     }
+    // Stage tracing rides the hottest path in the process; the same
+    // dual gate (relative AND absolute-beyond-noise) applies.
+    if (stageOverhead.onSps < 0.99 * stageOverhead.offSps &&
+        stageOverhead.nsPerSample >
+            overheadNsBudget + stageOverhead.noiseNs) {
+        std::printf("FAIL: traced batched drain %.0f/s is more than "
+                    "1%% below untraced %.0f/s and the absolute cost "
+                    "%.1f ns/sample exceeds %.0f ns + %.1f ns "
+                    "noise\n",
+                    stageOverhead.onSps, stageOverhead.offSps,
+                    stageOverhead.nsPerSample, overheadNsBudget,
+                    stageOverhead.noiseNs);
+        ok = false;
+    }
+    // The blast phases all ran with tracing on (the default), so the
+    // stage histograms must hold a real end-to-end distribution by
+    // now — an empty or zero p99 means the stamps stopped flowing.
+    const double e2eP99Us =
+        serve::StageMetrics::get().e2eUs.percentile(0.99);
+    if (!(e2eP99Us > 0.0)) {
+        std::printf("FAIL: end-to-end stage latency p99 is %.3f us "
+                    "(stage stamps are not reaching the drain)\n",
+                    e2eP99Us);
+        ok = false;
+    }
 
     // --- BENCH_serve.json. ---
     const auto throughputArray =
@@ -662,6 +720,14 @@ main()
     json += "  \"autopilot_overhead\": " +
             overheadJson(autopilotOverhead, autopilotTotal,
                          autopilotReps) +
+            ",\n";
+    json += "  \"stage_overhead\": " +
+            overheadJson(stageOverhead, stageTotal, stageReps) +
+            ",\n";
+    // Cumulative stage distributions across every traced phase of
+    // this run: the committed artifact that proves end-to-end stamps
+    // flow (tier-1 checks e2e p99 here is nonzero).
+    json += "  \"stage_latency\": " + serve::stageLatencyJson() +
             ",\n";
     json += "  \"throughput_floor_sps\": " +
             formatDouble(floorSps, 0) + ",\n";

@@ -32,7 +32,15 @@
 # accounting, merged into BENCH_serve.json and schema-checked), a
 # `chaos serve --listen` + `chaos loadgen` loopback smoke with
 # accounting checked on both ends, the wire-protocol fuzz suite under
-# ASan+UBSan, and its whole test binary under ThreadSanitizer.
+# ASan+UBSan, and its whole test binary under ThreadSanitizer. The
+# latency-tracing / flight-recorder layer gets its stage_latency and
+# stage_overhead sections schema-checked in BENCH_serve.json (the
+# bench itself gates the tracing overhead on the batched drain path),
+# a live-introspection smoke (`chaos top --json` against a listening
+# server must return a validated snapshot) chained into a faulted
+# replay that must leave exactly one parseable flight bundle holding
+# the model-drift trigger and preceding spans, and the flight
+# recorder's trigger-storm tests under ASan+UBSan and TSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,9 +68,9 @@ trap 'rm -rf "$serve_tmp"' EXIT
 (cd "$serve_tmp" && CHAOS_BENCH_FAST=1 \
     "$OLDPWD/build/bench/serve_throughput")
 for key in throughput batched_throughput replay monitor_overhead \
-    autopilot_overhead throughput_floor_sps \
-    batched_throughput_floor_sps p99_drain_budget_ms \
-    blast_p99_drain_ms pass; do
+    autopilot_overhead stage_overhead stage_latency e2e_us \
+    throughput_floor_sps batched_throughput_floor_sps \
+    p99_drain_budget_ms blast_p99_drain_ms pass; do
     grep -q "\"$key\"" "$serve_tmp/BENCH_serve.json" || {
         echo "serve bench: BENCH_serve.json missing key '$key'" >&2
         exit 1
@@ -209,6 +217,76 @@ grep -q '"connections_dropped": 0' "$serve_tmp/ingest_stats.json" || {
 }
 
 echo
+echo "== tier 1: chaos top + flight recorder smoke =="
+# A monitored listening server with the flight recorder armed: first
+# `chaos top --json` must return a validated live snapshot, then a
+# faulted replay (stuck counters on machine0) must trip the drift
+# monitor and leave exactly one diagnostic bundle — every line one
+# JSON object, holding the model_drift trigger and preceding spans.
+rm -f "$serve_tmp/port"
+trace_rows=$(( $(wc -l < "$serve_tmp/trace.csv") - 1 ))
+./build/tools/chaos serve --listen 0 \
+    --port-file "$serve_tmp/port" \
+    --model "$serve_tmp/model.txt" --platform Core2 --machines 2 \
+    --monitor 1 --warmup 60 --window 30 \
+    --flight-dir "$serve_tmp/flight" \
+    --ingest-max-samples "$trace_rows" --ingest-idle-ms 10000 \
+    > "$serve_tmp/flight_listen.out" 2>&1 &
+listen_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$serve_tmp/port" ] && break
+    sleep 0.1
+done
+[ -s "$serve_tmp/port" ] || {
+    echo "top smoke: server never published its port" >&2
+    kill "$listen_pid" 2>/dev/null || true
+    exit 1
+}
+./build/tools/chaos top --json 1 \
+    --target "127.0.0.1:$(cat "$serve_tmp/port")" \
+    > "$serve_tmp/top.json"
+for key in chaos_top fleet ingest stage_latency flight; do
+    grep -q "\"$key\"" "$serve_tmp/top.json" || {
+        echo "top smoke: snapshot missing key '$key'" >&2
+        kill "$listen_pid" 2>/dev/null || true
+        exit 1
+    }
+done
+./build/tools/chaos loadgen \
+    --target "127.0.0.1:$(cat "$serve_tmp/port")" \
+    --replay "$serve_tmp/trace.csv" \
+    --inject-stuck machine0 --inject-at 80 \
+    | tee "$serve_tmp/flight_loadgen.out"
+wait "$listen_pid" || {
+    echo "top smoke: serve --listen exited nonzero" >&2
+    exit 1
+}
+grep -q 'monitor: [1-9][0-9]* drift events' \
+    "$serve_tmp/flight_listen.out" || {
+    echo "flight smoke: injected fault raised no drift events" >&2
+    cat "$serve_tmp/flight_listen.out" >&2
+    exit 1
+}
+bundles=$(ls "$serve_tmp/flight"/flight-*.jsonl 2>/dev/null | wc -l)
+[ "$bundles" -eq 1 ] || {
+    echo "flight smoke: expected exactly 1 bundle, found $bundles" >&2
+    exit 1
+}
+bundle=$(ls "$serve_tmp/flight"/flight-*.jsonl)
+if grep -qv '^{.*}$' "$bundle"; then
+    echo "flight smoke: bundle line is not a JSON object" >&2
+    exit 1
+fi
+grep -q '"kind": "model_drift"' "$bundle" || {
+    echo "flight smoke: bundle is missing the drift trigger" >&2
+    exit 1
+}
+grep -q '"dur_ns"' "$bundle" || {
+    echo "flight smoke: bundle holds no preceding spans" >&2
+    exit 1
+}
+
+echo
 echo "== tier 1: chaos monitor replay smoke =="
 ./build/tools/chaos monitor --replay "$serve_tmp/trace.csv" \
     --model "$serve_tmp/model.txt" --platform Core2 \
@@ -274,8 +352,15 @@ grep -q 'autopilot summary: quarantines=0 retrains=0 promotions=0 rollbacks=0 fa
 echo
 echo "== tier 1: fault-injection tests under ASan+UBSan =="
 cmake -B build-asan -S . -DCHAOS_SANITIZE=ON >/dev/null
-cmake --build build-asan -j"$(nproc)" --target test_faults test_net
+cmake --build build-asan -j"$(nproc)" --target test_faults test_net \
+    test_flight
 ./build-asan/tests/test_faults
+
+echo
+echo "== tier 1: flight-recorder trigger storm under ASan+UBSan =="
+# 100 concurrent triggers against live span/event/delta emitters must
+# produce exactly one rate-limited bundle with no memory errors.
+./build-asan/tests/test_flight
 
 echo
 echo "== tier 1: wire-protocol fuzz + ingest tests under ASan+UBSan =="
@@ -289,12 +374,16 @@ echo "== tier 1: parallel tests under TSan =="
 cmake -B build-tsan -S . -DCHAOS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$(nproc)" --target test_util test_core \
     test_obs test_serve test_models test_monitor test_autopilot \
-    test_rollup test_net
+    test_rollup test_net test_flight
 CHAOS_THREADS=8 ./build-tsan/tests/test_util \
     --gtest_filter='ParallelTest.*:Logging.Concurrent*'
 CHAOS_BENCH_FAST=1 CHAOS_THREADS=8 ./build-tsan/tests/test_core \
     --gtest_filter='ParallelDeterminism.*'
 CHAOS_THREADS=8 ./build-tsan/tests/test_obs
+# The flight recorder's freeze-and-dump path races four trigger
+# threads against four span/delta emitters here: the ring insert,
+# rate limiter, and bundle dump must be data-race-free.
+CHAOS_THREADS=8 ./build-tsan/tests/test_flight
 
 echo
 echo "== tier 1: serve + serialization round-trip tests under TSan =="

@@ -26,6 +26,7 @@
 #include "net/loadgen.hpp"
 #include "net/socket.hpp"
 #include "monitor/fleet_monitor.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "rollup/feed.hpp"
 #include "rollup/synthetic.hpp"
@@ -63,6 +64,13 @@ struct ParsedArgs
 // Defined with the dispatch plumbing below.
 void writeTextFile(const std::string &path,
                    const std::string &content);
+
+// Defined with the autopilot plumbing below.
+Dataset injectStuckCounters(const Dataset &data,
+                            const std::vector<std::string> &targets,
+                            std::size_t onsetTick,
+                            std::size_t staggerTicks,
+                            std::uint64_t seed);
 
 /** Split args into positionals and --key value flags. */
 std::optional<ParsedArgs>
@@ -138,12 +146,22 @@ cmdHelp(std::ostream &out)
            "[--platform P] [--port-file F]\n"
         << "      [--ingest-max-samples N] [--ingest-idle-ms MS] "
            "[--credit-batch N] [--stats-out F]\n"
+        << "      [--monitor 1 [--window N] [--warmup N] "
+           "[--drift-lambda L] [--drift-delta D]]\n"
+        << "      [--flight-dir DIR [--flight-window-ms MS] "
+           "[--flight-rate-limit-ms MS]]\n"
         << "  loadgen --target host:port         drive an ingest "
            "server with concurrent connections\n"
         << "      [--connections N] [--samples N] [--machines N] "
            "[--rate R] [--jsonl 1]\n"
         << "      [--window N] [--workers N] [--metered-every N] "
            "[--report-json F]\n"
+        << "      [--replay data.csv [--inject-stuck \"id;id\"] "
+           "[--inject-at T] [--inject-stagger N]]\n"
+        << "  top --target host:port             live dashboard over "
+           "a serving `chaos serve --listen`\n"
+        << "      [--json 1] [--interval-ms MS] [--count N] "
+           "[--timeout-ms MS]\n"
         << "  monitor --replay <data.csv>        replay with online "
            "model-quality monitoring\n"
         << "      (--model M.txt | --fleet manifest.txt) "
@@ -551,6 +569,41 @@ cmdServeListen(const ParsedArgs &args, std::ostream &out,
         std::stoul(args.flagOr("credit-batch", "0")));
     net::ChaosIngestServer ingest(server, ingestConfig);
 
+    // Optional online quality monitoring: drift verdicts over the
+    // metered references the wire samples carry — the trigger the
+    // flight recorder below freezes on.
+    std::optional<monitor::FleetMonitor> fleetMonitor;
+    if (args.flagOr("monitor", "0") == "1" ||
+        args.flagOr("monitor", "0") == "true") {
+        monitor::QualityMonitorConfig qualityConfig;
+        qualityConfig.windowSamples = static_cast<size_t>(
+            std::stoul(args.flagOr("window", "60")));
+        qualityConfig.warmupSamples = static_cast<size_t>(
+            std::stoul(args.flagOr("warmup", "600")));
+        qualityConfig.driftLambda =
+            std::stod(args.flagOr("drift-lambda", "60"));
+        qualityConfig.driftDelta =
+            std::stod(args.flagOr("drift-delta", "0.5"));
+        fleetMonitor.emplace(qualityConfig);
+        fleetMonitor->attach(server);
+    }
+
+    // Optional flight recorder: keep rings of recent spans / events /
+    // metric deltas and dump a diagnostic bundle when an anomaly
+    // (ModelDrift, Backpressure, ConnectionDrop, Rollback) fires.
+    const std::string flightDir = args.flagOr("flight-dir", "");
+    if (!flightDir.empty()) {
+        obs::FlightConfig flightConfig;
+        flightConfig.outDir = flightDir;
+        flightConfig.windowMs = std::stoull(
+            args.flagOr("flight-window-ms", "10000"));
+        flightConfig.rateLimitMs = std::stoull(
+            args.flagOr("flight-rate-limit-ms", "30000"));
+        auto &flight = obs::FlightRecorder::instance();
+        flight.configure(flightConfig);
+        flight.setEnabled(true);
+    }
+
     server.start();
     ingest.start();
     out << "listening on " << ingest.config().bindAddress << ":"
@@ -608,6 +661,20 @@ cmdServeListen(const ParsedArgs &args, std::ostream &out,
         << " processed samples\n";
     warnDroppedMachines(snapshot, err);
 
+    if (fleetMonitor) {
+        out << "monitor: " << fleetMonitor->driftEvents()
+            << " drift events\n";
+    }
+    if (!flightDir.empty()) {
+        auto &flight = obs::FlightRecorder::instance();
+        flight.setEnabled(false);
+        out << "flight: " << flight.bundlesWritten()
+            << " bundles written";
+        if (!flight.lastBundlePath().empty())
+            out << ", last " << flight.lastBundlePath();
+        out << "\n";
+    }
+
     const std::string statsOut = args.flagOr("stats-out", "");
     if (!statsOut.empty()) {
         std::ofstream file(statsOut);
@@ -621,11 +688,17 @@ cmdServeListen(const ParsedArgs &args, std::ostream &out,
     return 0;
 }
 
+// Defined with the introspection plumbing below.
+int loadgenReplay(const ParsedArgs &args, const std::string &target,
+                  std::ostream &out, std::ostream &err);
+
 /**
  * Drive an ingest server with paced concurrent connections — the
  * client half of `chaos serve --listen`, for smoke tests and load
  * experiments. Machine ids default to the machine0..machineN-1 names
- * listen mode registers.
+ * listen mode registers. --replay switches to trace mode: send a
+ * recorded (optionally fault-injected) dataset instead of synthetic
+ * rows.
  */
 int
 cmdLoadgen(const ParsedArgs &args, std::ostream &out,
@@ -639,11 +712,15 @@ cmdLoadgen(const ParsedArgs &args, std::ostream &out,
                "R/conn/sec] [--row-size N]\n"
                "    [--window N] [--workers N] [--jsonl 1] "
                "[--metered-every N] [--seed S]\n"
-               "    [--report-json F]\n";
+               "    [--report-json F]\n"
+               "    [--replay data.csv [--inject-stuck \"id;id\"] "
+               "[--inject-at T] [--inject-stagger N]]\n";
         return 2;
     }
     if (net::isSocketTarget(target))
         target = target.substr(6);
+    if (!args.flagOr("replay", "").empty())
+        return loadgenReplay(args, target, out, err);
 
     net::LoadGenConfig config;
     const auto [host, port] = net::parseHostPort(target);
@@ -713,6 +790,211 @@ cmdLoadgen(const ParsedArgs &args, std::ostream &out,
         out << "wrote report to " << reportJson << "\n";
     }
     return report.connectionsFailed == 0 ? 0 : 1;
+}
+
+/** @return @p root[section][key] as a number (0 when absent). */
+double
+topNumber(const obs::JsonValue &root, const char *section,
+          const char *key)
+{
+    const obs::JsonValue *sec = root.find(section);
+    if (sec == nullptr || !sec->isObject())
+        return 0.0;
+    const obs::JsonValue *value = sec->find(key);
+    return value != nullptr && value->isNumber() ? value->asNumber()
+                                                 : 0.0;
+}
+
+/** Render one parsed introspection snapshot as a text dashboard. */
+void
+renderTop(const obs::JsonValue &snap, const std::string &target,
+          std::ostream &out)
+{
+    out << "chaos top — " << target << " (ts "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "fleet", "ts_ms"))
+        << " ms)\n\n";
+
+    out << "fleet:  "
+        << formatDouble(topNumber(snap, "fleet", "cluster_w"), 1)
+        << " W cluster, "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "fleet", "processed"))
+        << " processed, "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "fleet", "dropped"))
+        << " dropped, drifting "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "fleet", "drifting"))
+        << ", quarantined "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "fleet", "quarantined"))
+        << "\n";
+    out << "ingest: "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "ingest", "connections_open"))
+        << " connections open, "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "ingest", "samples_accepted"))
+        << " accepted, "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "ingest", "rejected_backpressure"))
+        << " backpressured, "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "ingest", "bad_frames"))
+        << " bad frames\n";
+    out << "flight: "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "flight", "bundles_written"))
+        << " bundles, "
+        << static_cast<std::uint64_t>(
+               topNumber(snap, "flight", "triggers_seen"))
+        << " triggers\n\n";
+
+    const obs::JsonValue *stages = snap.find("stage_latency");
+    TextTable table({"Stage", "p50 (us)", "p99 (us)", "Samples"});
+    if (stages != nullptr && stages->isObject()) {
+        for (const auto &[name, stage] : stages->members()) {
+            if (!stage.isObject())
+                continue;
+            const obs::JsonValue *p50 = stage.find("p50");
+            const obs::JsonValue *p99 = stage.find("p99");
+            const obs::JsonValue *count = stage.find("count");
+            table.addRow(
+                {name,
+                 formatDouble(
+                     p50 != nullptr ? p50->asNumber() : 0.0, 2),
+                 formatDouble(
+                     p99 != nullptr ? p99->asNumber() : 0.0, 2),
+                 std::to_string(static_cast<std::uint64_t>(
+                     count != nullptr ? count->asNumber() : 0.0))});
+        }
+    }
+    out << table.render();
+}
+
+/**
+ * `chaos top`: live introspection of a running `chaos serve
+ * --listen` — poll the server's Introspect frame and render fleet
+ * power, ingest accounting, per-stage latency percentiles, and the
+ * flight-recorder state. --json 1 prints the raw snapshot JSON once
+ * (the scriptable mode tier-1 validates); the default refreshes a
+ * dashboard every --interval-ms until --count polls were shown.
+ */
+int
+cmdTop(const ParsedArgs &args, std::ostream &out, std::ostream &err)
+{
+    std::string target = args.flagOr("target", "");
+    if (target.empty() && args.positional.size() > 1)
+        target = args.positional[1];
+    if (target.empty()) {
+        err << "usage: chaos top --target host:port [--json 1]\n"
+               "    [--interval-ms MS] [--count N] [--timeout-ms MS]\n";
+        return 2;
+    }
+    if (net::isSocketTarget(target))
+        target = target.substr(6);
+    const auto [host, port] = net::parseHostPort(target);
+
+    const bool jsonMode = args.flagOr("json", "0") == "1" ||
+                          args.flagOr("json", "0") == "true";
+    const int timeoutMs =
+        std::stoi(args.flagOr("timeout-ms", "5000"));
+    const int intervalMs =
+        std::stoi(args.flagOr("interval-ms", "1000"));
+    // --json is one-shot unless --count says otherwise; the
+    // dashboard refreshes until interrupted by default.
+    const std::uint64_t count = std::stoull(
+        args.flagOr("count", jsonMode ? "1" : "0"));
+
+    for (std::uint64_t poll = 0; count == 0 || poll < count; ++poll) {
+        if (poll > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(intervalMs));
+        }
+        const std::string json =
+            net::fetchSnapshot(host, port, poll + 1, timeoutMs);
+        if (jsonMode) {
+            out << json << "\n";
+            continue;
+        }
+        obs::JsonValue snap;
+        raiseIf(!obs::jsonParse(json, snap),
+                "top: server sent malformed snapshot JSON");
+        if (poll > 0)
+            out << "\x1b[2J\x1b[H"; // Clear + home between refreshes.
+        renderTop(snap, target, out);
+        out.flush();
+    }
+    return 0;
+}
+
+/**
+ * `chaos loadgen --replay`: send a recorded trace (optionally fault-
+ * injected with stuck counters, same flags as `chaos autopilot`)
+ * through the wire protocol to a live ingest server, one connection,
+ * metered references attached. This is how tier-1 provokes a real
+ * ModelDrift — and therefore a flight-recorder bundle — on a
+ * network-fed server from a clean recording.
+ */
+int
+loadgenReplay(const ParsedArgs &args, const std::string &target,
+              std::ostream &out, std::ostream &err)
+{
+    (void)err;
+    Dataset data = loadDataset(args.flagOr("replay", ""));
+
+    const std::string injectIds = args.flagOr("inject-stuck", "");
+    if (!injectIds.empty()) {
+        std::vector<std::string> targets;
+        for (const std::string &part : split(injectIds, ';')) {
+            const std::string id = trim(part);
+            if (!id.empty())
+                targets.push_back(id);
+        }
+        data = injectStuckCounters(
+            data, targets,
+            std::stoul(args.flagOr("inject-at", "0")),
+            std::stoul(args.flagOr("inject-stagger", "0")),
+            std::stoull(args.flagOr("seed", "2012")));
+    }
+
+    net::IngestClientConfig config;
+    const auto [host, port] = net::parseHostPort(target);
+    config.host = host;
+    config.port = port;
+    config.window = static_cast<size_t>(
+        std::stoul(args.flagOr("window", "1024")));
+    config.jsonl = args.flagOr("jsonl", "0") == "1" ||
+                   args.flagOr("jsonl", "0") == "true";
+    net::IngestClient client(config);
+    client.connect();
+
+    // Metered references ride every Nth sample (default: every one —
+    // the monitor's drift detector needs them).
+    const size_t meteredEvery = static_cast<size_t>(
+        std::stoul(args.flagOr("metered-every", "1")));
+    std::map<int, std::uint64_t> tickOf;
+    for (size_t r = 0; r < data.numRows(); ++r) {
+        const int machine = data.machineIds()[r];
+        const std::uint64_t tick = tickOf[machine]++;
+        const std::vector<double> row = data.features().row(r);
+        const double metered =
+            meteredEvery != 0 && tick % meteredEvery == 0
+                ? data.powerW()[r]
+                : std::numeric_limits<double>::quiet_NaN();
+        client.send(tick, "machine" + std::to_string(machine),
+                    row.data(), row.size(), metered);
+    }
+    const bool drained = client.drain();
+    client.close();
+
+    out << "replayed " << client.sent() << " samples over the wire: "
+        << client.accepted() << " accepted, " << client.rejected()
+        << " rejected"
+        << (drained ? "" : " (server closed before full drain)")
+        << "\n";
+    return drained ? 0 : 1;
 }
 
 /**
@@ -1607,6 +1889,8 @@ dispatch(const std::string &command, const ParsedArgs &parsed,
         return cmdServe(parsed, out, err);
     if (command == "loadgen")
         return cmdLoadgen(parsed, out, err);
+    if (command == "top")
+        return cmdTop(parsed, out, err);
     if (command == "monitor")
         return cmdMonitor(parsed, out, err);
     if (command == "autopilot")

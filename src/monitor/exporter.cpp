@@ -63,9 +63,19 @@ TelemetryExporter::writeQuality(const QualitySnapshot &snapshot,
 void
 TelemetryExporter::writeMetrics(std::uint64_t tick)
 {
-    writeRecord("metrics", tick, obs::wallClockMs(), "metrics",
-                oneLine(obs::Registry::instance().snapshotJson(
-                    /*includeScheduling=*/true)));
+    // events_dropped rides every metrics record so a collector that
+    // only tails telemetry can see event-ring overflow — lost events
+    // mean a diagnostic bundle may be missing context.
+    std::ostringstream line;
+    line << "{\"type\": \"metrics\", \"tick\": " << tick
+         << ", \"ts_ms\": " << obs::wallClockMs()
+         << ", \"events_dropped\": "
+         << obs::EventLog::instance().dropped() << ", \"metrics\": "
+         << oneLine(obs::Registry::instance().snapshotJson(
+                /*includeScheduling=*/true))
+         << "}";
+    raiseIf(!writer_.writeLine(line.str()),
+            "telemetry: " + writer_.error());
 }
 
 void

@@ -11,7 +11,12 @@
  *
  *   {"type": "fleet",   "tick": 12, "ts_ms": ..., "fleet": {...}}
  *   {"type": "quality", "tick": 12, "ts_ms": ..., "quality": {...}}
- *   {"type": "metrics", "tick": 12, "ts_ms": ..., "metrics": {...}}
+ *   {"type": "metrics", "tick": 12, "ts_ms": ...,
+ *    "events_dropped": 0, "metrics": {...}}
+ *
+ * Metrics records also carry the EventLog's dropped count, so a
+ * collector tailing only this stream can tell when the event ring
+ * overflowed (and flight-recorder bundles may be missing context).
  *
  * Each line is validated with the shared obs JSON checker before it is
  * written; I/O or validation failures raise RecoverableError (this
@@ -59,7 +64,8 @@ class TelemetryExporter
 
     /**
      * Append the current metrics-registry snapshot (Stable and
-     * Scheduling sections) as one record.
+     * Scheduling sections) as one record, with the EventLog's
+     * dropped count alongside it.
      */
     void writeMetrics(std::uint64_t tick);
 

@@ -1,5 +1,6 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -199,6 +200,77 @@ IngestClient::writeAll(const std::uint8_t *data, std::size_t size)
             raise(msg);
         }
         off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+fetchSnapshot(const std::string &host, std::uint16_t port,
+              std::uint64_t seq, int timeoutMs)
+{
+    OwnedFd sock = connectTcp(host, port);
+
+    IntrospectFrame request;
+    request.seq = seq;
+    std::vector<std::uint8_t> encoded;
+    encodeIntrospect(request, encoded);
+    std::size_t off = 0;
+    while (off < encoded.size()) {
+        const ssize_t n = ::write(sock.fd(), encoded.data() + off,
+                                  encoded.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            raise(std::string("net: introspect write: ") +
+                  std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+
+    FrameReader reader;
+    Frame frame;
+    std::uint8_t chunk[16 * 1024];
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    while (true) {
+        DecodeStatus status;
+        while ((status = reader.next(frame)) == DecodeStatus::Ok) {
+            if (frame.type == FrameType::Snapshot &&
+                frame.snapshot.seq == seq)
+                return frame.snapshot.json;
+            // Credit/Nack chatter for other traffic on this
+            // connection (there is none, but a server is allowed to
+            // send them): keep waiting for the snapshot.
+        }
+        raiseIf(status == DecodeStatus::Error,
+                "net: introspect: " + reader.error());
+
+        const auto now = std::chrono::steady_clock::now();
+        raiseIf(now >= deadline,
+                "net: introspect timed out waiting for snapshot");
+        pollfd pfd{sock.fd(), POLLIN, 0};
+        const int remainMs = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count());
+        const int ready = ::poll(&pfd, 1, std::max(remainMs, 1));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            raise(std::string("net: introspect poll: ") +
+                  std::strerror(errno));
+        }
+        if (ready == 0)
+            continue; // Deadline check above raises next round.
+        const ssize_t n = ::read(sock.fd(), chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            raise(std::string("net: introspect read: ") +
+                  std::strerror(errno));
+        }
+        raiseIf(n == 0,
+                "net: server closed before sending the snapshot");
+        reader.append(chunk, static_cast<std::size_t>(n));
     }
 }
 

@@ -142,6 +142,19 @@ class IngestClient
     std::size_t latencyCount = 0;
 };
 
+/**
+ * One-shot introspection poll: connect to host:port, send one binary
+ * Introspect frame with @p seq, and block until the matching Snapshot
+ * reply arrives (ignoring any Credit/Nack chatter in between).
+ * @return The snapshot's JSON payload (already validated by the
+ *         protocol decoder). Raises RecoverableError on connection
+ *         failure, protocol error, a server close, or @p timeoutMs
+ *         elapsing first. This is what `chaos top` polls.
+ */
+std::string fetchSnapshot(const std::string &host, std::uint16_t port,
+                          std::uint64_t seq = 1,
+                          int timeoutMs = 5000);
+
 } // namespace chaos::net
 
 #endif // CHAOS_NET_CLIENT_HPP

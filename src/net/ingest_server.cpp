@@ -12,8 +12,11 @@
 #include <netinet/tcp.h>
 
 #include "obs/events.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/stage_metrics.hpp"
 #include "util/result.hpp"
 
 namespace chaos::net {
@@ -33,6 +36,7 @@ struct NetMetrics
     obs::Counter &nacks;
     obs::Counter &credits;
     obs::Counter &backpressure;
+    obs::Counter &introspects;
     obs::Counter &bytesIn;
     obs::Counter &bytesOut;
 
@@ -60,6 +64,8 @@ struct NetMetrics
             registry.counter("chaos.net.credits",
                              obs::Stability::Scheduling),
             registry.counter("chaos.net.backpressure",
+                             obs::Stability::Scheduling),
+            registry.counter("chaos.net.introspects",
                              obs::Stability::Scheduling),
             registry.counter("chaos.net.bytes_in",
                              obs::Stability::Scheduling),
@@ -335,17 +341,32 @@ ChaosIngestServer::handleReadable(Connection &conn)
 bool
 ChaosIngestServer::processFrames(Connection &conn)
 {
-    while (conn.reader.next(conn.frame) == DecodeStatus::Ok) {
+    while (true) {
+        // The decode stamp doubles as the sample's ingest timestamp:
+        // queue wait and e2e latency are measured from the moment the
+        // wire bytes became a frame, not from some later requeue.
+        const bool stageOn = serve::stageTracingEnabled();
+        const std::uint64_t t0 = stageOn ? obs::traceNowNs() : 0;
+        if (conn.reader.next(conn.frame) != DecodeStatus::Ok)
+            break;
+        const std::uint64_t t1 = stageOn ? obs::traceNowNs() : 0;
+        if (stageOn)
+            serve::StageMetrics::get().decodeUs.observe(
+                static_cast<double>(t1 - t0) / 1000.0);
         conn.framesIn.fetch_add(1);
         NetMetrics::get().frames.add();
         if (conn.reader.jsonlMode())
             conn.sawJsonl.store(true);
         switch (conn.frame.type) {
         case FrameType::Sample:
-            handleSample(conn);
+            handleSample(conn, t1);
+            break;
+        case FrameType::Introspect:
+            queueSnapshot(conn, conn.frame.introspect.seq);
             break;
         case FrameType::Credit:
         case FrameType::Nack:
+        case FrameType::Snapshot:
             // Server-to-client frames; ignore if echoed back.
             break;
         }
@@ -370,7 +391,8 @@ ChaosIngestServer::processFrames(Connection &conn)
 }
 
 void
-ChaosIngestServer::handleSample(Connection &conn)
+ChaosIngestServer::handleSample(Connection &conn,
+                                std::uint64_t ingestNs)
 {
     const SampleFrame &sample = conn.frame.sample;
     NetMetrics::get().samples.add();
@@ -399,7 +421,7 @@ ChaosIngestServer::handleSample(Connection &conn)
             ? sample.meteredW
             : std::numeric_limits<double>::quiet_NaN();
     if (fleet.offer(*entry, sample.row.data(), sample.row.size(),
-                    meteredW)) {
+                    meteredW, ingestNs)) {
         ++conn.acceptedTotal;
         ++conn.sinceCredit;
         conn.samplesAccepted.fetch_add(1);
@@ -476,6 +498,58 @@ ChaosIngestServer::queueNack(Connection &conn, NackReason reason)
 }
 
 void
+ChaosIngestServer::queueSnapshot(Connection &conn, std::uint64_t seq)
+{
+    introspects.fetch_add(1);
+    NetMetrics::get().introspects.add();
+
+    Frame frame;
+    frame.type = FrameType::Snapshot;
+    frame.snapshot.seq = seq;
+    frame.snapshot.json = buildIntrospectJson();
+    if (conn.reader.jsonlMode()) {
+        const std::string line = encodeJsonl(frame);
+        queueBytes(conn,
+                   reinterpret_cast<const std::uint8_t *>(line.data()),
+                   line.size());
+    } else {
+        std::vector<std::uint8_t> buf;
+        encodeSnapshot(frame.snapshot, buf);
+        queueBytes(conn, buf.data(), buf.size());
+    }
+}
+
+std::string
+ChaosIngestServer::buildIntrospectJson() const
+{
+    const auto assemble = [this](bool detail) {
+        serve::FleetSnapshot fleetSnap = fleet.snapshot();
+        IngestStats ingest = stats();
+        if (!detail) {
+            fleetSnap.machines.clear();
+            ingest.connections.clear();
+        }
+        std::ostringstream json;
+        json << "{\"type\": \"chaos_top\", \"ts_ms\": "
+             << fleetSnap.tsMs
+             << ", \"detail\": " << (detail ? "true" : "false")
+             << ", \"fleet\": " << fleetSnap.toJson()
+             << ", \"ingest\": " << ingest.toJson()
+             << ", \"stage_latency\": " << serve::stageLatencyJson()
+             << ", \"flight\": "
+             << obs::FlightRecorder::instance().snapshotJson() << "}";
+        return json.str();
+    };
+    // Per-machine and per-connection detail scales with fleet size;
+    // fall back to the headline-only form rather than exceed the
+    // frame payload cap (encodeSnapshot would refuse it).
+    std::string json = assemble(true);
+    if (json.size() + 64 > kMaxPayloadLen)
+        json = assemble(false);
+    return json;
+}
+
+void
 ChaosIngestServer::queueBytes(Connection &conn,
                               const std::uint8_t *data,
                               std::size_t size)
@@ -549,6 +623,7 @@ ChaosIngestServer::stats() const
     out.connectionsRefused = refusedConns.load();
     out.nacksSent = nacks.load();
     out.creditsSent = credits.load();
+    out.introspectsServed = introspects.load();
 
     std::vector<std::shared_ptr<Connection>> conns;
     {
@@ -601,6 +676,7 @@ IngestStats::toJson() const
          << ", \"bad_frames\": " << badFrames
          << ", \"nacks_sent\": " << nacksSent
          << ", \"credits_sent\": " << creditsSent
+         << ", \"introspects_served\": " << introspectsServed
          << ", \"connections\": [";
     for (std::size_t i = 0; i < connections.size(); ++i) {
         const ConnectionStats &cs = connections[i];

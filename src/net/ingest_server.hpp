@@ -117,6 +117,7 @@ struct IngestStats
     std::uint64_t badFrames = 0;
     std::uint64_t nacksSent = 0;
     std::uint64_t creditsSent = 0;
+    std::uint64_t introspectsServed = 0; ///< Snapshot replies sent.
     /** Per-connection attribution, accept order. */
     std::vector<ConnectionStats> connections;
 
@@ -169,7 +170,18 @@ class ChaosIngestServer
     /** @return false when the connection was closed. */
     bool handleReadable(Connection &conn);
     bool processFrames(Connection &conn);
-    void handleSample(Connection &conn);
+    /** @param ingestNs Decode-time stamp (0 when tracing is off). */
+    void handleSample(Connection &conn, std::uint64_t ingestNs);
+    /** Build and queue the Snapshot reply to an Introspect request. */
+    void queueSnapshot(Connection &conn, std::uint64_t seq);
+    /**
+     * Assemble the introspection snapshot JSON: fleet state, ingest
+     * stats, stage-latency percentiles, and the flight-recorder
+     * summary. Falls back to a headline-only form (no per-machine or
+     * per-connection detail) when the full one would overflow the
+     * frame payload cap.
+     */
+    std::string buildIntrospectJson() const;
     void queueCredit(Connection &conn);
     void queueNack(Connection &conn, NackReason reason);
     void queueBytes(Connection &conn, const std::uint8_t *data,
@@ -202,6 +214,7 @@ class ChaosIngestServer
     std::atomic<std::uint64_t> refusedConns{0};
     std::atomic<std::uint64_t> nacks{0};
     std::atomic<std::uint64_t> credits{0};
+    std::atomic<std::uint64_t> introspects{0};
 };
 
 } // namespace chaos::net

@@ -316,6 +316,33 @@ encodeNack(const NackFrame &frame, std::vector<std::uint8_t> &out)
     return sealFrame(out, headerAt);
 }
 
+std::size_t
+encodeIntrospect(const IntrospectFrame &frame,
+                 std::vector<std::uint8_t> &out)
+{
+    const std::size_t headerAt = openFrame(out, FrameType::Introspect);
+    putU64(out, frame.seq);
+    return sealFrame(out, headerAt);
+}
+
+std::size_t
+encodeSnapshot(const SnapshotFrame &frame,
+               std::vector<std::uint8_t> &out)
+{
+    // Snapshots are server-built, but the same validation that guards
+    // the telemetry JSONL stream guards the wire: a malformed payload
+    // is a caller bug surfaced here, not a corrupt frame surfaced at
+    // the peer.
+    raiseIf(!obs::jsonWellFormed(frame.json),
+            "encodeSnapshot: payload is not well-formed JSON");
+    raiseIf(frame.json.size() + 8 > kMaxPayloadLen,
+            "encodeSnapshot: payload exceeds the frame size cap");
+    const std::size_t headerAt = openFrame(out, FrameType::Snapshot);
+    putU64(out, frame.seq);
+    out.insert(out.end(), frame.json.begin(), frame.json.end());
+    return sealFrame(out, headerAt);
+}
+
 std::string
 encodeJsonl(const Frame &frame)
 {
@@ -350,6 +377,17 @@ encodeJsonl(const Frame &frame)
                std::to_string(frame.nack.rejectedTotal) +
                ", \"reason\": \"" +
                nackReasonName(frame.nack.reason) + "\"}";
+        break;
+      case FrameType::Introspect:
+        line = "{\"type\": \"introspect\", \"seq\": " +
+               std::to_string(frame.introspect.seq) + "}";
+        break;
+      case FrameType::Snapshot:
+        // The payload object travels as an escaped string so the line
+        // stays one flat JSON object whatever the snapshot contains.
+        line = "{\"type\": \"snapshot\", \"seq\": " +
+               std::to_string(frame.snapshot.seq) + ", \"json\": \"" +
+               obs::jsonEscape(frame.snapshot.json) + "\"}";
         break;
     }
     line += '\n';
@@ -435,6 +473,25 @@ decodeFrame(const std::uint8_t *data, std::size_t size, Frame &out)
         out.nack.reason = static_cast<NackReason>(reason);
         break;
       }
+      case FrameType::Introspect:
+        out.type = FrameType::Introspect;
+        out.introspect.seq = pr.u64();
+        if (pr.bad || pr.left != 0)
+            return decodeError("introspect: bad payload size");
+        break;
+      case FrameType::Snapshot: {
+        out.type = FrameType::Snapshot;
+        out.snapshot.seq = pr.u64();
+        if (pr.bad)
+            return decodeError("snapshot: truncated payload");
+        out.snapshot.json.assign(
+            reinterpret_cast<const char *>(pr.p), pr.left);
+        pr.p += pr.left;
+        pr.left = 0;
+        if (!obs::jsonWellFormed(out.snapshot.json))
+            return decodeError("snapshot: payload is not JSON");
+        break;
+      }
       default:
         return decodeError("unknown frame type " +
                            std::to_string(type));
@@ -506,6 +563,17 @@ decodeJsonlLine(const std::string &line, Frame &out)
         else
             return decodeError("jsonl nack: unknown reason '" +
                                reason + "'");
+    } else if (type == "introspect") {
+        out.type = FrameType::Introspect;
+        out.introspect.seq =
+            static_cast<std::uint64_t>(v.numberOr("seq", 0));
+    } else if (type == "snapshot") {
+        out.type = FrameType::Snapshot;
+        out.snapshot.seq =
+            static_cast<std::uint64_t>(v.numberOr("seq", 0));
+        out.snapshot.json = v.stringOr("json", "");
+        if (!obs::jsonWellFormed(out.snapshot.json))
+            return decodeError("jsonl snapshot: payload is not JSON");
     } else {
         return decodeError("jsonl: unknown frame type '" + type +
                            "'");

@@ -51,6 +51,13 @@
  *    sample — with the cumulative rejected count. Rejected samples
  *    still consume and return credit (they were disposed of), so the
  *    client's window accounting never wedges.
+ *  - Introspect (client -> server): ask the server for a live
+ *    observability snapshot; carries a client-chosen sequence number
+ *    echoed in the reply so a poller can match request to response.
+ *  - Snapshot (server -> client): the reply — one validated JSON
+ *    object (fleet state, stage-latency percentiles, flight-recorder
+ *    summary, ingest stats) as the payload. This is what `chaos top`
+ *    renders.
  *
  * Encode/decode are pure functions over byte buffers — no sockets in
  * this translation unit — so the framing state machine is testable
@@ -86,9 +93,11 @@ inline constexpr std::size_t kMaxMachineIdLen = 256;
 
 /** Wire frame types (byte 3 of the header). */
 enum class FrameType : std::uint8_t {
-    Sample = 1, ///< client -> server: one machine-second of telemetry.
-    Credit = 2, ///< server -> client: window replenishment + ack totals.
-    Nack = 3,   ///< server -> client: a sample was rejected.
+    Sample = 1,     ///< client -> server: one machine-second of telemetry.
+    Credit = 2,     ///< server -> client: window replenishment + ack totals.
+    Nack = 3,       ///< server -> client: a sample was rejected.
+    Introspect = 4, ///< client -> server: request a live snapshot.
+    Snapshot = 5,   ///< server -> client: the snapshot reply (JSON).
 };
 
 /** Why a sample was rejected (Nack payload). */
@@ -126,6 +135,20 @@ struct NackFrame
     NackReason reason = NackReason::Backpressure;
 };
 
+/** Request for a live observability snapshot. */
+struct IntrospectFrame
+{
+    std::uint64_t seq = 0; ///< Client token, echoed in the Snapshot.
+};
+
+/** The snapshot reply: one validated single-line JSON object. */
+struct SnapshotFrame
+{
+    std::uint64_t seq = 0; ///< Echo of the request's token.
+    std::string json;      ///< Well-formed JSON object (checked on
+                           ///< both encode and decode).
+};
+
 /** A decoded frame: @c type selects which member is meaningful. */
 struct Frame
 {
@@ -133,6 +156,8 @@ struct Frame
     SampleFrame sample;
     CreditFrame credit;
     NackFrame nack;
+    IntrospectFrame introspect;
+    SnapshotFrame snapshot;
 };
 
 /** CRC-32 (IEEE 802.3 polynomial) of @p data; seedable for chaining. */
@@ -152,6 +177,17 @@ std::size_t encodeCredit(const CreditFrame &frame,
 /** Append one binary Nack frame. */
 std::size_t encodeNack(const NackFrame &frame,
                        std::vector<std::uint8_t> &out);
+
+/** Append one binary Introspect frame. */
+std::size_t encodeIntrospect(const IntrospectFrame &frame,
+                             std::vector<std::uint8_t> &out);
+
+/**
+ * Append one binary Snapshot frame. Raises RecoverableError when the
+ * JSON payload is not well-formed or would overflow the payload cap.
+ */
+std::size_t encodeSnapshot(const SnapshotFrame &frame,
+                           std::vector<std::uint8_t> &out);
 
 /** @return @p frame as one JSONL line (single line, '\n'-terminated). */
 std::string encodeJsonl(const Frame &frame);

@@ -1,5 +1,6 @@
 #include "obs/events.hpp"
 
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
@@ -60,22 +61,29 @@ EventLog::emit(EventKind kind, std::string source, std::string detail,
     // first registration) never nests inside the log lock.
     static Counter &droppedCounter = Registry::instance().counter(
         "chaos.obs.events_dropped");
-    std::lock_guard<std::mutex> lock(mu_);
     Event event;
-    event.seq = nextSeq_++;
     event.tsMs = wallClockMs();
     event.kind = kind;
     event.source = std::move(source);
     event.detail = std::move(detail);
     event.count = count;
-    if (ring_.size() < capacity_) {
-        ring_.push_back(std::move(event));
-    } else {
-        ring_[head_] = std::move(event);
-        head_ = (head_ + 1) % capacity_;
-        ++dropped_;
-        droppedCounter.add();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        event.seq = nextSeq_++;
+        if (ring_.size() < capacity_) {
+            ring_.push_back(event);
+        } else {
+            ring_[head_] = event;
+            head_ = (head_ + 1) % capacity_;
+            ++dropped_;
+            droppedCounter.add();
+        }
     }
+    // Feed the flight recorder outside mu_ (it takes its own lock and
+    // may dump a bundle); only the process-wide log is a black-box
+    // source — test-local logs stay silent.
+    if (this == &instance())
+        FlightRecorder::instance().onEvent(event);
 }
 
 std::vector<Event>

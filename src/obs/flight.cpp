@@ -1,0 +1,318 @@
+#include "obs/flight.hpp"
+
+#include "obs/json.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace chaos::obs {
+
+namespace {
+
+/// Format a double with enough digits to round-trip exactly.
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+const char *
+flightItemKindName(FlightItemKind kind)
+{
+    switch (kind) {
+      case FlightItemKind::Span: return "span";
+      case FlightItemKind::Event: return "event";
+      case FlightItemKind::MetricDelta: return "metric_delta";
+    }
+    return "unknown";
+}
+
+bool
+flightTrigger(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::ModelDrift:
+      case EventKind::Backpressure:
+      case EventKind::ConnectionDrop:
+      case EventKind::Rollback:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FlightRecorder::FlightRecorder(FlightConfig config)
+    : config_(std::move(config))
+{
+    if (config_.ringCapacity == 0)
+        config_.ringCapacity = 1;
+}
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::configure(const FlightConfig &config)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    config_ = config;
+    if (config_.ringCapacity == 0)
+        config_.ringCapacity = 1;
+    // Shrink-in-place keeps the newest records if the rings got smaller.
+    for (auto &[name, ring] : rings_) {
+        if (ring.items.size() <= config_.ringCapacity)
+            continue;
+        std::vector<FlightItem> keep;
+        keep.reserve(config_.ringCapacity);
+        const std::size_t n = ring.items.size();
+        for (std::size_t i = n - config_.ringCapacity; i < n; ++i)
+            keep.push_back(
+                std::move(ring.items[(ring.head + i) % n]));
+        ring.items = std::move(keep);
+        ring.head = 0;
+    }
+}
+
+void
+FlightRecorder::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::insertLocked(const char *subsystem, FlightItem &&item)
+{
+    item.seq = nextSeq_++;
+    Ring &ring = rings_[subsystem];
+    if (ring.items.size() < config_.ringCapacity) {
+        ring.items.push_back(std::move(item));
+    } else {
+        ring.items[ring.head] = std::move(item);
+        ring.head = (ring.head + 1) % ring.items.size();
+    }
+}
+
+void
+FlightRecorder::recordSpan(const char *subsystem, const char *name,
+                           std::uint64_t durNs)
+{
+    if (!enabled())
+        return;
+    FlightItem item;
+    item.tsMs = wallClockMs();
+    item.kind = FlightItemKind::Span;
+    item.name = name;
+    item.value = static_cast<double>(durNs);
+    std::lock_guard<std::mutex> lock(mu_);
+    insertLocked(subsystem, std::move(item));
+}
+
+void
+FlightRecorder::recordMetricDelta(const char *subsystem, const char *name,
+                                  double delta)
+{
+    if (!enabled())
+        return;
+    FlightItem item;
+    item.tsMs = wallClockMs();
+    item.kind = FlightItemKind::MetricDelta;
+    item.name = name;
+    item.value = delta;
+    std::lock_guard<std::mutex> lock(mu_);
+    insertLocked(subsystem, std::move(item));
+}
+
+void
+FlightRecorder::onEvent(const Event &event)
+{
+    if (!enabled())
+        return;
+    FlightItem item;
+    item.tsMs = event.tsMs;
+    item.kind = FlightItemKind::Event;
+    item.name = eventKindName(event.kind);
+    item.source = event.source;
+    item.detail = event.detail;
+    item.value = static_cast<double>(event.count);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    insertLocked("events", std::move(item));
+
+    if (!flightTrigger(event.kind))
+        return;
+    ++triggers_;
+    if (config_.outDir.empty() || bundles_ >= config_.maxBundles) {
+        ++suppressed_;
+        return;
+    }
+    const std::uint64_t now = traceNowNs();
+    if (bundles_ > 0 &&
+        now - lastBundleNs_ < config_.rateLimitMs * 1000000ull) {
+        ++suppressed_;
+        return;
+    }
+    const std::string path = dumpBundleLocked(event);
+    if (path.empty()) {
+        ++suppressed_;
+        return;
+    }
+    ++bundles_;
+    lastBundleNs_ = now;
+    lastBundlePath_ = path;
+}
+
+std::string
+FlightRecorder::dumpBundleLocked(const Event &cause)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(config_.outDir, ec);
+
+    // Collect everything inside the context window, oldest first
+    // across all rings (records are globally sequenced).
+    struct Entry {
+        const std::string *subsystem;
+        const FlightItem *item;
+    };
+    std::vector<Entry> window;
+    for (const auto &[subsystem, ring] : rings_) {
+        for (const FlightItem &item : ring.items) {
+            if (item.tsMs + config_.windowMs >= cause.tsMs)
+                window.push_back({&subsystem, &item});
+        }
+    }
+    std::sort(window.begin(), window.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.item->seq < b.item->seq;
+              });
+
+    std::ostringstream name;
+    name << config_.outDir << "/flight-" << bundles_ << "-"
+         << eventKindName(cause.kind) << ".jsonl";
+    JsonlWriter writer(name.str());
+    if (!writer.ok())
+        return "";
+
+    std::ostringstream header;
+    header << "{\"type\": \"flight_bundle\", \"seq\": " << bundles_
+           << ", \"ts_ms\": " << wallClockMs()
+           << ", \"window_ms\": " << config_.windowMs
+           << ", \"items\": " << window.size()
+           << ", \"trigger\": {\"seq\": " << cause.seq
+           << ", \"ts_ms\": " << cause.tsMs
+           << ", \"kind\": \"" << eventKindName(cause.kind) << "\""
+           << ", \"source\": \"" << jsonEscape(cause.source) << "\""
+           << ", \"detail\": \"" << jsonEscape(cause.detail) << "\""
+           << ", \"count\": " << cause.count << "}}";
+    if (!writer.writeLine(header.str()))
+        return "";
+
+    for (const Entry &entry : window) {
+        const FlightItem *item = entry.item;
+        std::ostringstream line;
+        line << "{\"type\": \"" << flightItemKindName(item->kind) << "\""
+             << ", \"seq\": " << item->seq
+             << ", \"ts_ms\": " << item->tsMs
+             << ", \"subsystem\": \"" << jsonEscape(*entry.subsystem)
+             << "\", \"name\": \"" << jsonEscape(item->name) << "\"";
+        switch (item->kind) {
+          case FlightItemKind::Span:
+            line << ", \"dur_ns\": " << formatDouble(item->value);
+            break;
+          case FlightItemKind::Event:
+            line << ", \"source\": \"" << jsonEscape(item->source)
+                 << "\", \"detail\": \"" << jsonEscape(item->detail)
+                 << "\", \"count\": " << formatDouble(item->value);
+            break;
+          case FlightItemKind::MetricDelta:
+            line << ", \"delta\": " << formatDouble(item->value);
+            break;
+        }
+        line << "}";
+        if (!writer.writeLine(line.str()))
+            return "";
+    }
+    writer.flush();
+    return writer.ok() ? name.str() : "";
+}
+
+std::string
+FlightRecorder::lastBundlePath() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lastBundlePath_;
+}
+
+std::uint64_t
+FlightRecorder::bundlesWritten() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bundles_;
+}
+
+std::uint64_t
+FlightRecorder::triggersSeen() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return triggers_;
+}
+
+std::uint64_t
+FlightRecorder::triggersSuppressed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return suppressed_;
+}
+
+std::string
+FlightRecorder::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream out;
+    out << "{\"enabled\": " << (enabled() ? "true" : "false")
+        << ", \"bundles_written\": " << bundles_
+        << ", \"triggers_seen\": " << triggers_
+        << ", \"triggers_suppressed\": " << suppressed_
+        << ", \"window_ms\": " << config_.windowMs
+        << ", \"rate_limit_ms\": " << config_.rateLimitMs
+        << ", \"last_bundle\": \"" << jsonEscape(lastBundlePath_) << "\""
+        << ", \"rings\": {";
+    bool first = true;
+    for (const auto &[subsystem, ring] : rings_) {
+        std::uint64_t newest = 0;
+        for (const FlightItem &item : ring.items)
+            newest = std::max(newest, item.seq);
+        out << (first ? "" : ", ") << "\"" << jsonEscape(subsystem)
+            << "\": {\"items\": " << ring.items.size()
+            << ", \"newest_seq\": " << newest << "}";
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+void
+FlightRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.clear();
+    nextSeq_ = 0;
+    bundles_ = 0;
+    triggers_ = 0;
+    suppressed_ = 0;
+    lastBundleNs_ = 0;
+    lastBundlePath_.clear();
+}
+
+} // namespace chaos::obs

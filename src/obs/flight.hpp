@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Anomaly-triggered flight recorder: a black box for the serving path.
+ *
+ * Subsystems continuously feed lightweight records — completed spans,
+ * health events, and metric deltas — into fixed-size per-subsystem
+ * rings. The rings are cheap enough to leave on in production and are
+ * never exported on the happy path; they exist so that when something
+ * goes wrong the recent past is still available.
+ *
+ * When a trigger event fires (ModelDrift, Backpressure,
+ * ConnectionDrop, Rollback — see flightTrigger()), the recorder
+ * freezes the rings and dumps a JSONL diagnostic bundle holding the
+ * trigger plus the last windowMs of context, oldest record first.
+ * Dumps are rate-limited (rateLimitMs between bundles, maxBundles per
+ * process) so an event storm — e.g. a drift detector firing on every
+ * tick — produces one bundle, not thousands. Every bundle line is
+ * validated by JsonlWriter before it reaches disk.
+ *
+ * The global instance() is fed automatically by EventLog::instance()
+ * and is disabled until setEnabled(true)/configure() — a disabled
+ * recorder costs one relaxed atomic load per record call.
+ */
+#ifndef CHAOS_OBS_FLIGHT_HPP
+#define CHAOS_OBS_FLIGHT_HPP
+
+#include "obs/events.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chaos::obs {
+
+/** What one flight-ring record describes. */
+enum class FlightItemKind {
+    Span,        ///< A completed timed section (value = duration ns).
+    Event,       ///< A health/event-log entry (value = aggregated count).
+    MetricDelta, ///< Change of a counter/gauge since last record.
+};
+
+/** @return Stable lowercase name for @p kind (e.g. "span"). */
+const char *flightItemKindName(FlightItemKind kind);
+
+/** @return True when @p kind freezes and dumps the flight rings. */
+bool flightTrigger(EventKind kind);
+
+/** One record in a subsystem's flight ring. */
+struct FlightItem {
+    std::uint64_t seq = 0;  ///< Global record index across all rings.
+    std::uint64_t tsMs = 0; ///< Wall-clock record time, ms since epoch.
+    FlightItemKind kind = FlightItemKind::Span;
+    std::string name;   ///< Span name, event kind name, or metric name.
+    std::string source; ///< Emitting entity ("" for spans/deltas).
+    std::string detail; ///< Event detail ("" otherwise).
+    double value = 0.0; ///< Duration ns / event count / metric delta.
+};
+
+/** Tuning for FlightRecorder (defaults are production-safe). */
+struct FlightConfig {
+    std::size_t ringCapacity = 256;    ///< Records kept per subsystem.
+    std::uint64_t windowMs = 10000;    ///< Context window dumped on trigger.
+    std::uint64_t rateLimitMs = 30000; ///< Min wall-ms between bundles.
+    std::size_t maxBundles = 16;       ///< Lifetime bundle cap per process.
+    std::string outDir;                ///< Bundle directory ("" = no dumps).
+};
+
+/** Thread-safe black-box recorder (see file comment). */
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(FlightConfig config = {});
+
+    /** @return The process-wide recorder (fed by EventLog::instance()). */
+    static FlightRecorder &instance();
+
+    /** Replace the configuration; retained records and counters stay. */
+    void configure(const FlightConfig &config);
+
+    /** Arm or disarm recording + triggering (disabled by default). */
+    void setEnabled(bool enabled);
+
+    /** @return True when the recorder is armed. */
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /** Record a completed span of @p durNs under @p subsystem's ring. */
+    void recordSpan(const char *subsystem, const char *name,
+                    std::uint64_t durNs);
+
+    /** Record a metric change of @p delta under @p subsystem's ring. */
+    void recordMetricDelta(const char *subsystem, const char *name,
+                           double delta);
+
+    /**
+     * Record @p event in the "events" ring; when its kind is a
+     * trigger (flightTrigger) and the rate limiter allows, freeze the
+     * rings and dump a bundle.
+     */
+    void onEvent(const Event &event);
+
+    /** @return Path of the most recent bundle ("" before the first). */
+    std::string lastBundlePath() const;
+
+    /** @return Bundles successfully written. */
+    std::uint64_t bundlesWritten() const;
+
+    /** @return Trigger events seen while enabled. */
+    std::uint64_t triggersSeen() const;
+
+    /** @return Triggers swallowed by the rate limiter / bundle cap. */
+    std::uint64_t triggersSuppressed() const;
+
+    /** @return Single-line JSON summary (rings, counters, last bundle). */
+    std::string snapshotJson() const;
+
+    /** Drop retained records and reset counters + rate limiter (tests). */
+    void clear();
+
+  private:
+    struct Ring {
+        std::vector<FlightItem> items;
+        std::size_t head = 0; ///< Next overwrite position once full.
+    };
+
+    void insertLocked(const char *subsystem, FlightItem &&item);
+    /** @return Bundle path, or "" when the dump failed. Holds mu_. */
+    std::string dumpBundleLocked(const Event &cause);
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
+    FlightConfig config_;
+    std::map<std::string, Ring> rings_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t bundles_ = 0;
+    std::uint64_t triggers_ = 0;
+    std::uint64_t suppressed_ = 0;
+    std::uint64_t lastBundleNs_ = 0; ///< Monotonic ns of the last dump.
+    std::string lastBundlePath_;
+};
+
+} // namespace chaos::obs
+
+#endif // CHAOS_OBS_FLIGHT_HPP

@@ -71,6 +71,45 @@ Histogram::observe(double v)
     }
 }
 
+void
+Histogram::observeBulk(const double *values, std::size_t n,
+                       double offset)
+{
+    if (n == 0 || !metricsEnabled())
+        return;
+    constexpr std::size_t kMaxLocalBuckets = 64;
+    if (bounds_.size() + 1 > kMaxLocalBuckets) {
+        for (std::size_t i = 0; i < n; ++i)
+            observe(values[i] + offset);
+        return;
+    }
+    std::uint64_t local[kMaxLocalBuckets] = {};
+    double lo = values[0] + offset;
+    double hi = values[0] + offset;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = values[i] + offset;
+        auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+        ++local[static_cast<std::size_t>(it - bounds_.begin())];
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+        if (local[b])
+            counts_[b].fetch_add(local[b],
+                                 std::memory_order_relaxed);
+    }
+    double seen = minSeen_.load(std::memory_order_relaxed);
+    while (lo < seen &&
+           !minSeen_.compare_exchange_weak(seen, lo,
+                                           std::memory_order_relaxed)) {
+    }
+    seen = maxSeen_.load(std::memory_order_relaxed);
+    while (hi > seen &&
+           !maxSeen_.compare_exchange_weak(seen, hi,
+                                           std::memory_order_relaxed)) {
+    }
+}
+
 bool
 Histogram::merge(const Histogram &other)
 {
@@ -154,14 +193,21 @@ Histogram::percentile(double q) const
         cumulative += counts[i];
         if (cumulative < rank)
             continue;
-        if (i == bounds_.size()) // Overflow bucket: only max is known.
-            return hi;
-        const double upper = bounds_[i];
-        const double lower = i == 0 ? lo : bounds_[i - 1];
+        // Interpolate inside the bucket, but over the part of it the
+        // observations can actually occupy: the first occupied bucket
+        // starts at the observed min, the last one (and the unbounded
+        // overflow bucket) ends at the observed max. Raw bucket edges
+        // here skew boundary quantiles toward values never observed —
+        // p99/p100 of a distribution confined to one bucket used to
+        // land on the bucket edge before the clamp pulled them back.
+        const double lowerRaw = i == 0 ? lo : bounds_[i - 1];
+        const double upperRaw = i == bounds_.size() ? hi : bounds_[i];
+        const double lower = std::max(lowerRaw, lo);
+        const double upper = std::max(std::min(upperRaw, hi), lower);
         const double within =
             static_cast<double>(rank - before) /
             static_cast<double>(counts[i]);
-        return std::clamp(lower + within * (upper - lower), lo, hi);
+        return lower + within * (upper - lower);
     }
     return hi;
 }

@@ -126,6 +126,17 @@ class Histogram
     /** Record one observation (no-op while metrics are disabled). */
     void observe(double v);
 
+    /**
+     * Record @p n observations (each @p values[i] + @p offset) in one
+     * pass: buckets accumulate in a local array and flush with one
+     * atomic add per touched bucket, so a batch from a hot loop costs
+     * O(buckets) shared-cache-line traffic instead of O(n) contended
+     * increments. The offset lets a caller reuse one scratch array
+     * for two histograms that differ by a per-batch constant.
+     */
+    void observeBulk(const double *values, std::size_t n,
+                     double offset = 0.0);
+
     /** @return The inclusive upper bounds the histogram was built with. */
     const std::vector<double> &bounds() const { return bounds_; }
 

@@ -42,6 +42,14 @@ struct QueuedSample
     std::vector<double> catalogRow;
     /** Metered reference power; NaN when the machine has no meter. */
     double meteredW = std::numeric_limits<double>::quiet_NaN();
+    /**
+     * Monotonic stamp (obs::traceNowNs) taken where the sample entered
+     * the pipeline — at wire decode for network ingest, at submit for
+     * in-process producers. 0 when stage tracing is disabled. Rides
+     * the recycled slot like the row buffer, so stamping adds no
+     * allocation to the hot path.
+     */
+    std::uint64_t ingestNs = 0;
 };
 
 /**
@@ -74,7 +82,7 @@ class BoundedSampleQueue
      */
     MachineEntry *
     push(MachineEntry *entry, const double *row, std::size_t rowSize,
-         double meteredW)
+         double meteredW, std::uint64_t ingestNs = 0)
     {
         std::lock_guard<std::mutex> lock(mu);
         MachineEntry *droppedFrom = nullptr;
@@ -89,6 +97,7 @@ class BoundedSampleQueue
         slot.entry = entry;
         slot.catalogRow.assign(row, row + rowSize);
         slot.meteredW = meteredW;
+        slot.ingestNs = ingestNs;
         ++count;
         return droppedFrom;
     }
@@ -104,7 +113,7 @@ class BoundedSampleQueue
      */
     bool
     tryPush(MachineEntry *entry, const double *row, std::size_t rowSize,
-            double meteredW)
+            double meteredW, std::uint64_t ingestNs = 0)
     {
         std::lock_guard<std::mutex> lock(mu);
         if (count == slots.size())
@@ -113,6 +122,7 @@ class BoundedSampleQueue
         slot.entry = entry;
         slot.catalogRow.assign(row, row + rowSize);
         slot.meteredW = meteredW;
+        slot.ingestNs = ingestNs;
         ++count;
         return true;
     }
@@ -138,6 +148,7 @@ class BoundedSampleQueue
             QueuedSample &slot = slots[head];
             out[moved].entry = slot.entry;
             out[moved].meteredW = slot.meteredW;
+            out[moved].ingestNs = slot.ingestNs;
             std::swap(out[moved].catalogRow, slot.catalogRow);
             head = next(head);
             --count;

@@ -7,9 +7,11 @@
 #include <unordered_map>
 
 #include "obs/events.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/stage_metrics.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/result.hpp"
@@ -180,14 +182,18 @@ FleetServer::submitTo(MachineEntry &entry, const double *catalogRow,
 
 bool
 FleetServer::offer(MachineEntry &entry, const double *catalogRow,
-                   std::size_t rowSize, double meteredW)
+                   std::size_t rowSize, double meteredW,
+                   std::uint64_t ingestNs)
 {
     QueueShard &shard = *queueShards[registry.shardOf(entry.id())];
+    if (ingestNs == 0)
+        ingestNs = stageStampNs();
     // Count before the push so waitIdle's submitted >= queued +
     // processed + dropped invariant holds at every instant; undo on
     // refusal (the transient overcount only makes waitIdle wait).
     submittedCount.fetch_add(1);
-    if (!shard.queue.tryPush(&entry, catalogRow, rowSize, meteredW)) {
+    if (!shard.queue.tryPush(&entry, catalogRow, rowSize, meteredW,
+                             ingestNs)) {
         submittedCount.fetch_sub(1);
         return false;
     }
@@ -204,8 +210,8 @@ FleetServer::enqueue(MachineEntry &entry, const double *catalogRow,
     // on submitted >= (queued + processed + dropped) at all times.
     submittedCount.fetch_add(1);
     ServeMetrics::get().submitted.add();
-    MachineEntry *droppedFrom =
-        shard.queue.push(&entry, catalogRow, rowSize, meteredW);
+    MachineEntry *droppedFrom = shard.queue.push(
+        &entry, catalogRow, rowSize, meteredW, stageStampNs());
     if (droppedFrom != nullptr) {
         droppedFrom->noteDrop();
         droppedCount.fetch_add(1);
@@ -231,11 +237,20 @@ FleetServer::drainShard(QueueShard &shard, std::size_t budget)
     // steady-state pass never touches the allocator.
     if (ds.batch.size() < budget)
         ds.batch.resize(budget);
+    // Stage clocks are read per batch, not per sample: the dequeue
+    // time below stands in for every sample's pickup, and the pass
+    // end for every sample's completion.
+    const bool stageOn = stageTracingEnabled();
+    const std::uint64_t popNs = stageOn ? obs::traceNowNs() : 0;
     const std::size_t n = shard.queue.popBatch(ds.batch.data(), budget);
     if (n == 0) {
         shard.saturated.store(false);
         return 0;
     }
+    // Queue wait is measured against the post-pop clock so samples
+    // stamped while the pop was in flight still count (popNs alone
+    // would race with concurrent producers and skip them).
+    const std::uint64_t popDoneNs = stageOn ? obs::traceNowNs() : 0;
 
     // Group the batch by machine with a counting sort: assign group
     // ids in first-appearance order, size the per-group slices, then
@@ -274,6 +289,8 @@ FleetServer::drainShard(QueueShard &shard, std::size_t budget)
                                    sample.meteredW};
     }
 
+    const std::uint64_t predictStartNs =
+        stageOn ? obs::traceNowNs() : 0;
     {
         obs::Span span("serve.predict");
         SampleObserver *observer =
@@ -320,6 +337,37 @@ FleetServer::drainShard(QueueShard &shard, std::size_t budget)
         shard.saturated.store(false);
     processedCount.fetch_add(n);
     ServeMetrics::get().processed.add(n);
+
+    if (stageOn) {
+        StageMetrics &stage = StageMetrics::get();
+        const std::uint64_t endNs = obs::traceNowNs();
+        stage.drainBatchUs.observe(
+            static_cast<double>(endNs - popNs) / 1000.0);
+        stage.predictUs.observe(
+            static_cast<double>(endNs - predictStartNs) / 1000.0);
+        // Per-sample waits accumulate in shard-local scratch and
+        // flush with one bulk observe per histogram: per-sample
+        // contended atomic adds were the bulk of the tracing
+        // overhead on the batched drain path. e2e reuses the same
+        // array — it differs from queue wait only by the per-batch
+        // constant endNs - popDoneNs.
+        ds.waitUs.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t ingestNs = ds.batch[i].ingestNs;
+            // Samples stamped while tracing was off (or with a
+            // foreign clock) carry 0 / a future stamp; skip them
+            // rather than record a wrapped difference.
+            if (ingestNs == 0 || ingestNs > popDoneNs)
+                continue;
+            ds.waitUs.push_back(
+                static_cast<double>(popDoneNs - ingestNs) / 1000.0);
+        }
+        stage.queueWaitUs.observeBulk(ds.waitUs.data(),
+                                      ds.waitUs.size());
+        stage.e2eUs.observeBulk(
+            ds.waitUs.data(), ds.waitUs.size(),
+            static_cast<double>(endNs - popDoneNs) / 1000.0);
+    }
     return n;
 }
 
@@ -365,6 +413,21 @@ FleetServer::drainOnce()
         if (cfg.recordDrainLatencies) {
             std::lock_guard<std::mutex> lock(latencyMu);
             drainMs.push_back(ms);
+        }
+        // Black-box feed: one span per pass, and a processed-count
+        // delta every 64th pass so bundles show recent throughput.
+        // One relaxed load when the recorder is disarmed.
+        auto &flight = obs::FlightRecorder::instance();
+        if (flight.enabled()) {
+            flight.recordSpan("serve", "serve.drain",
+                              static_cast<std::uint64_t>(ms * 1e6));
+            if (++flightPasses % 64 == 0) {
+                const std::uint64_t now = processedCount.load();
+                flight.recordMetricDelta(
+                    "serve", "chaos.serve.processed",
+                    static_cast<double>(now - flightLastProcessed));
+                flightLastProcessed = now;
+            }
         }
         if (cfg.snapshotEverySamples > 0) {
             sinceSnapshot += total;

@@ -227,11 +227,16 @@ class FleetServer
      * the caller owns the refusal (NACK, retry, shed).
      *
      * @return True when the sample was enqueued.
+     *
+     * @param ingestNs Monotonic stage-tracing stamp taken where the
+     *        sample entered the process (e.g. at wire decode); 0 lets
+     *        the server stamp at enqueue time instead.
      */
     bool offer(MachineEntry &entry, const double *catalogRow,
                std::size_t rowSize,
                double meteredW =
-                   std::numeric_limits<double>::quiet_NaN());
+                   std::numeric_limits<double>::quiet_NaN(),
+               std::uint64_t ingestNs = 0);
 
     /** submit() without the registry lookup (entry from machine()). */
     void submitTo(MachineEntry &entry, const double *catalogRow,
@@ -327,6 +332,7 @@ class FleetServer
         std::vector<std::size_t> order;   ///< Batch indices, grouped.
         std::vector<SampleView> views;    ///< Aligned with order.
         std::vector<double> watts;        ///< Aligned with order.
+        std::vector<double> waitUs;       ///< Stage-tracing scratch.
         std::unordered_map<MachineEntry *, std::size_t> groupIndex;
     };
 
@@ -362,6 +368,12 @@ class FleetServer
     /** Processed samples since the last periodic snapshot (drainer
      *  thread only). */
     std::uint64_t sinceSnapshot = 0;
+
+    /** Flight-recorder feed state (guarded by drainMu): drain passes
+     *  since the last metric-delta record, and the processed count at
+     *  that record. */
+    std::uint64_t flightPasses = 0;
+    std::uint64_t flightLastProcessed = 0;
 
     mutable std::mutex snapMu;
     std::vector<FleetSnapshot> periodicSnapshots;

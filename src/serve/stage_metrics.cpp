@@ -1,0 +1,111 @@
+#include "serve/stage_metrics.hpp"
+
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace chaos::serve {
+
+namespace {
+
+std::atomic<bool> stageTracingOn{true};
+
+/// Shared bucket layout: 250 ns up to 250 ms in roughly 1-2.5-5
+/// steps. Queue wait and e2e can reach the upper decades under
+/// saturation; decode and predict live in the bottom ones.
+const std::vector<double> &
+stageBoundsUs()
+{
+    static const std::vector<double> bounds = {
+        0.25,   0.5,    1.0,    2.5,    5.0,     10.0,    25.0,
+        50.0,   100.0,  250.0,  500.0,  1000.0,  2500.0,  5000.0,
+        10000.0, 25000.0, 50000.0, 100000.0, 250000.0,
+    };
+    return bounds;
+}
+
+obs::Histogram &
+stageHistogram(const char *stage)
+{
+    return obs::Registry::instance().histogram(
+        std::string("chaos.serve.stage.") + stage, stageBoundsUs(),
+        obs::Stability::Scheduling);
+}
+
+double
+percentileOrZero(const obs::Histogram &h, double q)
+{
+    const double v = h.percentile(q);
+    return std::isnan(v) ? 0.0 : v;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+setStageTracingEnabled(bool enabled)
+{
+    stageTracingOn.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+stageTracingEnabled()
+{
+    return stageTracingOn.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+stageStampNs()
+{
+    return stageTracingEnabled() ? obs::traceNowNs() : 0;
+}
+
+StageMetrics &
+StageMetrics::get()
+{
+    static StageMetrics metrics = {
+        stageHistogram("decode_us"),     stageHistogram("queue_wait_us"),
+        stageHistogram("drain_batch_us"), stageHistogram("predict_us"),
+        stageHistogram("e2e_us"),
+    };
+    return metrics;
+}
+
+std::string
+stageLatencyJson()
+{
+    StageMetrics &m = StageMetrics::get();
+    struct Row {
+        const char *name;
+        const obs::Histogram *h;
+    };
+    const Row rows[] = {
+        {"decode_us", &m.decodeUs},       {"queue_wait_us", &m.queueWaitUs},
+        {"drain_batch_us", &m.drainBatchUs}, {"predict_us", &m.predictUs},
+        {"e2e_us", &m.e2eUs},
+    };
+    std::ostringstream out;
+    out << "{";
+    bool first = true;
+    for (const Row &row : rows) {
+        out << (first ? "" : ", ") << "\"" << row.name << "\": {"
+            << "\"p50\": " << formatDouble(percentileOrZero(*row.h, 0.5))
+            << ", \"p99\": " << formatDouble(percentileOrZero(*row.h, 0.99))
+            << ", \"count\": " << row.h->count() << "}";
+        first = false;
+    }
+    out << "}";
+    return out.str();
+}
+
+} // namespace chaos::serve

@@ -459,5 +459,15 @@ TEST(Cli, UsageErrorsForMissingArguments)
     EXPECT_EQ(run({"predict", "model.txt"}).code, 2);
 }
 
+TEST(Cli, TopUsageErrors)
+{
+    // No target, and a target without a port, are usage errors
+    // (exit 2) — never an attempted connection.
+    EXPECT_EQ(run({"top"}).code, 2);
+    EXPECT_EQ(run({"top", "--target", "localhost"}).code, 2);
+    const CliResult help = run({"help"});
+    EXPECT_NE(help.out.find("top --target"), std::string::npos);
+}
+
 } // namespace
 } // namespace chaos

@@ -318,8 +318,14 @@ TEST(FleetMonitor, TelemetryExportIsWellFormedJsonlPerLine)
             line.find("\"type\": \"fleet\"") != std::string::npos;
         sawQuality |=
             line.find("\"type\": \"quality\"") != std::string::npos;
-        sawMetrics |=
-            line.find("\"type\": \"metrics\"") != std::string::npos;
+        if (line.find("\"type\": \"metrics\"") != std::string::npos) {
+            sawMetrics = true;
+            // Every metrics record carries the event-ring drop count
+            // so collectors can spot lost flight-recorder context.
+            EXPECT_NE(line.find("\"events_dropped\": "),
+                      std::string::npos)
+                << line;
+        }
     }
     EXPECT_EQ(lines, 60u);
     EXPECT_TRUE(sawFleet);

@@ -439,6 +439,61 @@ TEST(Ingest, StatsJsonIsWellFormed)
     ASSERT_TRUE(obs::jsonParse(ingest.stats().toJson(), parsed));
 }
 
+TEST(Ingest, IntrospectServesValidatedTopSnapshot)
+{
+    auto fleet = makeFleet(2);
+    ChaosIngestServer ingest(*fleet);
+    ingest.start();
+    fleet->start();
+
+    // Push a few samples first so the snapshot reflects live traffic.
+    IngestClientConfig cfg;
+    cfg.port = ingest.port();
+    IngestClient client(cfg);
+    client.connect();
+    const std::vector<double> row = catalogRow(1.0, 2.0);
+    for (std::uint64_t tick = 0; tick < 8; ++tick)
+        client.send(tick, "machine0", row.data(), row.size());
+    ASSERT_TRUE(client.drain());
+    fleet->waitIdle();
+
+    const std::string json =
+        fetchSnapshot("127.0.0.1", ingest.port(), /*seq=*/42);
+    obs::JsonValue snap;
+    ASSERT_TRUE(obs::jsonParse(json, snap)) << json;
+    ASSERT_TRUE(snap.isObject());
+    const obs::JsonValue *type = snap.find("type");
+    ASSERT_NE(type, nullptr);
+    EXPECT_EQ(type->asString(), "chaos_top");
+    for (const char *key :
+         {"ts_ms", "fleet", "ingest", "stage_latency", "flight"})
+        EXPECT_NE(snap.find(key), nullptr) << key;
+
+    // The fleet section must carry the traffic we just pushed.
+    const obs::JsonValue *fleetJson = snap.find("fleet");
+    ASSERT_NE(fleetJson, nullptr);
+    const obs::JsonValue *processed = fleetJson->find("processed");
+    ASSERT_NE(processed, nullptr);
+    EXPECT_EQ(processed->asNumber(), 8.0);
+
+    // A second poll works on a fresh connection, and the server
+    // counts both.
+    const std::string again =
+        fetchSnapshot("127.0.0.1", ingest.port(), /*seq=*/43);
+    ASSERT_TRUE(obs::jsonParse(again, snap));
+
+    ingest.stop();
+    fleet->stop();
+    EXPECT_EQ(ingest.stats().introspectsServed, 2u);
+
+    obs::JsonValue statsJson;
+    ASSERT_TRUE(obs::jsonParse(ingest.stats().toJson(), statsJson));
+    const obs::JsonValue *served =
+        statsJson.find("introspects_served");
+    ASSERT_NE(served, nullptr);
+    EXPECT_EQ(served->asNumber(), 2.0);
+}
+
 TEST(Ingest, StopWhileClientsConnectedIsClean)
 {
     auto fleet = makeFleet(1);

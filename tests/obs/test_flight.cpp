@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the anomaly-triggered flight recorder: trigger taxonomy,
+ * ring overwrite, bundle dump contents and JSON validity, rate
+ * limiting under a trigger storm (with concurrent emitters — run
+ * under TSan in CI), window filtering, and the EventLog hook into the
+ * process-wide instance.
+ */
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/events.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+
+namespace chaos {
+namespace {
+
+/** Parse a whole bundle file into validated per-line JSON DOMs. */
+std::vector<obs::JsonValue>
+readBundle(const std::string &path)
+{
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << "cannot open " << path;
+    std::vector<obs::JsonValue> lines;
+    std::string line;
+    while (std::getline(file, line)) {
+        obs::JsonValue value;
+        EXPECT_TRUE(obs::jsonParse(line, value))
+            << "malformed bundle line: " << line;
+        lines.push_back(std::move(value));
+    }
+    return lines;
+}
+
+obs::Event
+driftEvent(std::uint64_t seq, const std::string &source)
+{
+    obs::Event event;
+    event.seq = seq;
+    event.tsMs = obs::wallClockMs();
+    event.kind = obs::EventKind::ModelDrift;
+    event.source = source;
+    event.detail = "rolling DRE over threshold";
+    return event;
+}
+
+TEST(FlightTrigger, OnlyAnomalyKindsTrigger)
+{
+    EXPECT_TRUE(obs::flightTrigger(obs::EventKind::ModelDrift));
+    EXPECT_TRUE(obs::flightTrigger(obs::EventKind::Backpressure));
+    EXPECT_TRUE(obs::flightTrigger(obs::EventKind::ConnectionDrop));
+    EXPECT_TRUE(obs::flightTrigger(obs::EventKind::Rollback));
+
+    EXPECT_FALSE(obs::flightTrigger(obs::EventKind::HealthTransition));
+    EXPECT_FALSE(obs::flightTrigger(obs::EventKind::Imputation));
+    EXPECT_FALSE(obs::flightTrigger(obs::EventKind::Clamp));
+    EXPECT_FALSE(obs::flightTrigger(obs::EventKind::Quarantine));
+    EXPECT_FALSE(obs::flightTrigger(obs::EventKind::Retrain));
+    EXPECT_FALSE(obs::flightTrigger(obs::EventKind::Promote));
+}
+
+TEST(FlightRecorder, DisabledRecorderIgnoresEverything)
+{
+    obs::FlightConfig config;
+    config.outDir = ::testing::TempDir() + "flight-disabled";
+    obs::FlightRecorder recorder(config);
+
+    recorder.recordSpan("serve", "serve.drain", 1000);
+    recorder.recordMetricDelta("serve", "chaos.serve.processed", 64);
+    recorder.onEvent(driftEvent(0, "machine0"));
+
+    EXPECT_EQ(recorder.triggersSeen(), 0u);
+    EXPECT_EQ(recorder.bundlesWritten(), 0u);
+    EXPECT_EQ(recorder.lastBundlePath(), "");
+
+    obs::JsonValue snap;
+    ASSERT_TRUE(obs::jsonParse(recorder.snapshotJson(), snap));
+    const obs::JsonValue *rings = snap.find("rings");
+    ASSERT_NE(rings, nullptr);
+    EXPECT_TRUE(rings->members().empty());
+}
+
+TEST(FlightRecorder, RingKeepsNewestRecordsPerSubsystem)
+{
+    obs::FlightConfig config;
+    config.ringCapacity = 4;
+    obs::FlightRecorder recorder(config);
+    recorder.setEnabled(true);
+
+    for (int i = 0; i < 10; ++i)
+        recorder.recordSpan("serve", "serve.drain", 100 + i);
+    recorder.recordSpan("net", "net.poll", 7);
+
+    obs::JsonValue snap;
+    ASSERT_TRUE(obs::jsonParse(recorder.snapshotJson(), snap));
+    const obs::JsonValue *rings = snap.find("rings");
+    ASSERT_NE(rings, nullptr);
+    const obs::JsonValue *serve = rings->find("serve");
+    ASSERT_NE(serve, nullptr);
+    // Capacity 4 retained; the newest global sequence is the net
+    // record (seq 10), and serve's newest is 9.
+    EXPECT_EQ(serve->find("items")->asNumber(), 4.0);
+    EXPECT_EQ(serve->find("newest_seq")->asNumber(), 9.0);
+    const obs::JsonValue *net = rings->find("net");
+    ASSERT_NE(net, nullptr);
+    EXPECT_EQ(net->find("items")->asNumber(), 1.0);
+    EXPECT_EQ(net->find("newest_seq")->asNumber(), 10.0);
+}
+
+TEST(FlightRecorder, BundleHoldsTriggerAndPrecedingContext)
+{
+    obs::FlightConfig config;
+    config.outDir = ::testing::TempDir() + "flight-bundle";
+    obs::FlightRecorder recorder(config);
+    recorder.setEnabled(true);
+
+    recorder.recordSpan("serve", "serve.drain", 120000);
+    recorder.recordSpan("serve", "serve.drain", 98000);
+    recorder.recordMetricDelta("serve", "chaos.serve.processed", 512);
+    recorder.onEvent(driftEvent(7, "machine3"));
+
+    EXPECT_EQ(recorder.triggersSeen(), 1u);
+    ASSERT_EQ(recorder.bundlesWritten(), 1u);
+    const std::string path = recorder.lastBundlePath();
+    ASSERT_NE(path, "");
+    EXPECT_NE(path.find("model_drift"), std::string::npos);
+
+    const std::vector<obs::JsonValue> lines = readBundle(path);
+    // Header + 2 spans + 1 delta + the trigger event itself.
+    ASSERT_EQ(lines.size(), 5u);
+
+    const obs::JsonValue &header = lines[0];
+    EXPECT_EQ(header.find("type")->asString(), "flight_bundle");
+    EXPECT_EQ(header.find("items")->asNumber(), 4.0);
+    const obs::JsonValue *trigger = header.find("trigger");
+    ASSERT_NE(trigger, nullptr);
+    EXPECT_EQ(trigger->find("kind")->asString(), "model_drift");
+    EXPECT_EQ(trigger->find("source")->asString(), "machine3");
+
+    // Context records are oldest first with monotonically increasing
+    // sequence numbers, spans precede the trigger event, and every
+    // record names its subsystem.
+    std::size_t spans = 0;
+    double lastSeq = -1.0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const obs::JsonValue &record = lines[i];
+        const double seq = record.find("seq")->asNumber();
+        EXPECT_GT(seq, lastSeq);
+        lastSeq = seq;
+        ASSERT_NE(record.find("subsystem"), nullptr);
+        if (record.find("type")->asString() == "span") {
+            ++spans;
+            EXPECT_NE(record.find("dur_ns"), nullptr);
+        }
+    }
+    EXPECT_GE(spans, 1u);
+    EXPECT_EQ(lines.back().find("type")->asString(), "event");
+    EXPECT_EQ(lines.back().find("name")->asString(), "model_drift");
+}
+
+TEST(FlightRecorder, StormOfTriggersWritesExactlyOneBundle)
+{
+    obs::FlightConfig config;
+    config.outDir = ::testing::TempDir() + "flight-storm";
+    config.rateLimitMs = 60000; // Far longer than the test runs.
+    obs::FlightRecorder recorder(config);
+    recorder.setEnabled(true);
+
+    recorder.recordSpan("serve", "serve.drain", 1000);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        recorder.onEvent(driftEvent(i, "machine0"));
+
+    EXPECT_EQ(recorder.triggersSeen(), 100u);
+    EXPECT_EQ(recorder.bundlesWritten(), 1u);
+    EXPECT_EQ(recorder.triggersSuppressed(), 99u);
+}
+
+TEST(FlightRecorder, ConcurrentStormAndEmittersStaySane)
+{
+    obs::FlightConfig config;
+    config.outDir = ::testing::TempDir() + "flight-concurrent";
+    config.rateLimitMs = 60000;
+    obs::FlightRecorder recorder(config);
+    recorder.setEnabled(true);
+
+    // 4 trigger threads x 25 drift events (one tick's storm) racing
+    // 4 span/delta emitters — the TSan configuration in CI runs this
+    // with real concurrency.
+    constexpr int kTriggerThreads = 4;
+    constexpr int kTriggersEach = 25;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kTriggerThreads; ++t) {
+        threads.emplace_back([&recorder, &go, t] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < kTriggersEach; ++i) {
+                recorder.onEvent(driftEvent(
+                    static_cast<std::uint64_t>(t * kTriggersEach + i),
+                    "machine" + std::to_string(t)));
+            }
+        });
+        threads.emplace_back([&recorder, &go] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < 200; ++i) {
+                recorder.recordSpan("serve", "serve.drain", 5000);
+                recorder.recordMetricDelta("serve",
+                                           "chaos.serve.processed",
+                                           64.0);
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(recorder.triggersSeen(), 100u);
+    EXPECT_EQ(recorder.bundlesWritten(), 1u);
+    EXPECT_EQ(recorder.triggersSuppressed(), 99u);
+    // The one bundle that was written is fully valid JSONL.
+    readBundle(recorder.lastBundlePath());
+}
+
+TEST(FlightRecorder, NoOutDirSuppressesDumpsButCountsTriggers)
+{
+    obs::FlightRecorder recorder; // Default config: outDir "".
+    recorder.setEnabled(true);
+    recorder.onEvent(driftEvent(0, "machine0"));
+    EXPECT_EQ(recorder.triggersSeen(), 1u);
+    EXPECT_EQ(recorder.triggersSuppressed(), 1u);
+    EXPECT_EQ(recorder.bundlesWritten(), 0u);
+}
+
+TEST(FlightRecorder, BundleCapStopsFurtherDumps)
+{
+    obs::FlightConfig config;
+    config.outDir = ::testing::TempDir() + "flight-cap";
+    config.rateLimitMs = 0; // Rate limiting off; only the cap binds.
+    config.maxBundles = 2;
+    obs::FlightRecorder recorder(config);
+    recorder.setEnabled(true);
+
+    for (std::uint64_t i = 0; i < 5; ++i)
+        recorder.onEvent(driftEvent(i, "machine0"));
+    EXPECT_EQ(recorder.bundlesWritten(), 2u);
+    EXPECT_EQ(recorder.triggersSuppressed(), 3u);
+}
+
+TEST(FlightRecorder, WindowFiltersStaleRecords)
+{
+    obs::FlightConfig config;
+    config.outDir = ::testing::TempDir() + "flight-window";
+    config.windowMs = 0; // Only records stamped at/after the trigger.
+    obs::FlightRecorder recorder(config);
+    recorder.setEnabled(true);
+
+    recorder.recordSpan("serve", "serve.drain", 1000);
+    // A trigger from the future: the span (stamped now) falls outside
+    // the zero-width window, the trigger event itself stays inside.
+    obs::Event event = driftEvent(0, "machine0");
+    event.tsMs += 60000;
+    recorder.onEvent(event);
+
+    ASSERT_EQ(recorder.bundlesWritten(), 1u);
+    const std::vector<obs::JsonValue> lines =
+        readBundle(recorder.lastBundlePath());
+    ASSERT_EQ(lines.size(), 2u); // Header + the trigger event only.
+    EXPECT_EQ(lines[0].find("items")->asNumber(), 1.0);
+    EXPECT_EQ(lines[1].find("type")->asString(), "event");
+}
+
+TEST(FlightRecorder, ClearResetsStateAndRateLimiter)
+{
+    obs::FlightConfig config;
+    config.outDir = ::testing::TempDir() + "flight-clear";
+    obs::FlightRecorder recorder(config);
+    recorder.setEnabled(true);
+
+    recorder.recordSpan("serve", "serve.drain", 1000);
+    recorder.onEvent(driftEvent(0, "machine0"));
+    ASSERT_EQ(recorder.bundlesWritten(), 1u);
+
+    recorder.clear();
+    EXPECT_EQ(recorder.bundlesWritten(), 0u);
+    EXPECT_EQ(recorder.triggersSeen(), 0u);
+    EXPECT_EQ(recorder.lastBundlePath(), "");
+
+    // A post-clear trigger dumps again immediately (the rate limiter
+    // was reset too).
+    recorder.onEvent(driftEvent(1, "machine1"));
+    EXPECT_EQ(recorder.bundlesWritten(), 1u);
+}
+
+TEST(FlightRecorder, ProcessEventLogFeedsGlobalInstance)
+{
+    obs::FlightRecorder &recorder = obs::FlightRecorder::instance();
+    obs::FlightConfig config;
+    config.outDir = ::testing::TempDir() + "flight-global";
+    recorder.clear();
+    recorder.configure(config);
+    recorder.setEnabled(true);
+
+    obs::EventLog::instance().emit(obs::EventKind::ModelDrift,
+                                   "machine9",
+                                   "drift via the process log");
+    recorder.setEnabled(false);
+
+    EXPECT_EQ(recorder.triggersSeen(), 1u);
+    ASSERT_EQ(recorder.bundlesWritten(), 1u);
+    const std::vector<obs::JsonValue> lines =
+        readBundle(recorder.lastBundlePath());
+    const obs::JsonValue *trigger = lines[0].find("trigger");
+    ASSERT_NE(trigger, nullptr);
+    EXPECT_EQ(trigger->find("kind")->asString(), "model_drift");
+    EXPECT_EQ(trigger->find("source")->asString(), "machine9");
+    recorder.clear();
+}
+
+} // namespace
+} // namespace chaos

@@ -144,10 +144,60 @@ TEST(Metrics, OverflowBucketPercentileReportsObservedMax)
     h.observe(0.5);
     h.observe(100.0);
     h.observe(250.0);
-    // Ranks 2 and 3 land in the unbounded overflow bucket, where the
-    // only honest point estimate is the observed maximum.
+    // Ranks 2 and 3 land in the unbounded overflow bucket, which is
+    // bounded below by the last finite edge and above by the observed
+    // maximum; the top rank is exactly that maximum.
     EXPECT_DOUBLE_EQ(h.percentile(0.99), 250.0);
-    EXPECT_DOUBLE_EQ(h.percentile(0.6), 250.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 250.0);
+    // Rank 2 interpolates halfway across [1.0, 250.0] instead of
+    // flat-lining at the maximum.
+    EXPECT_DOUBLE_EQ(h.percentile(0.6), 125.5);
+}
+
+TEST(Metrics, SingleBucketPercentilesInterpolateWithinObservedRange)
+{
+    // Everything lands in one bucket whose upper edge (10) is far
+    // above the observed range [3, 8]. The interpolation interval must
+    // be the observed range, not the bucket: p99/p100 used to hit the
+    // bucket edge and get clamped while mid quantiles skewed high.
+    auto &h = obs::Registry::instance().histogram(
+        "test.metrics.hist_one_bucket", {10.0});
+    h.reset();
+    for (int i = 0; i < 99; ++i)
+        h.observe(3.0);
+    h.observe(8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0 + 0.01 * 5.0);
+    EXPECT_LE(h.percentile(0.5), 5.5);
+    EXPECT_GE(h.percentile(0.5), 3.0);
+}
+
+TEST(Metrics, LastFiniteBucketPercentileClipsToObservedMax)
+{
+    // All mass in the last finite bucket [10, 20] but observations
+    // only span [12, 18]: boundary quantiles must stay inside the
+    // observed range rather than report the raw bucket edges.
+    auto &h = obs::Registry::instance().histogram(
+        "test.metrics.hist_last_bucket", {10.0, 20.0});
+    h.reset();
+    for (int i = 0; i < 50; ++i) {
+        h.observe(12.0);
+        h.observe(18.0);
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 18.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.9), 12.0 + 0.9 * 6.0);
+    EXPECT_GE(h.percentile(0.01), 12.0);
+}
+
+TEST(Metrics, ConstantObservationsCollapseEveryPercentile)
+{
+    auto &h = obs::Registry::instance().histogram(
+        "test.metrics.hist_const", {0.05, 0.5, 5.0});
+    h.reset();
+    for (int i = 0; i < 1000; ++i)
+        h.observe(0.3);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(q), 0.3) << "q=" << q;
 }
 
 TEST(Metrics, HistogramMinMaxSurviveConcurrentObservers)
@@ -168,6 +218,39 @@ TEST(Metrics, HistogramMinMaxSurviveConcurrentObservers)
     EXPECT_EQ(h.count(), 4096u);
     EXPECT_DOUBLE_EQ(h.minValue(), -2048.0);
     EXPECT_DOUBLE_EQ(h.maxValue(), 2047.0);
+}
+
+TEST(Metrics, HistogramBulkObserveMatchesScalarObserve)
+{
+    const std::vector<double> bounds{1.0, 2.0, 4.0};
+    obs::Histogram scalar(bounds);
+    obs::Histogram bulk(bounds);
+    const std::vector<double> values{0.5, 1.0, 1.5, 2.0,
+                                     3.0, 9.0, 0.1, 4.0};
+    for (double v : values)
+        scalar.observe(v);
+    bulk.observeBulk(values.data(), values.size());
+
+    EXPECT_EQ(bulk.bucketCounts(), scalar.bucketCounts());
+    EXPECT_EQ(bulk.count(), scalar.count());
+    EXPECT_DOUBLE_EQ(bulk.minValue(), scalar.minValue());
+    EXPECT_DOUBLE_EQ(bulk.maxValue(), scalar.maxValue());
+
+    // The offset form shifts every value, including min/max and the
+    // bucket each lands in — the serve drain uses it to derive the
+    // e2e histogram from the queue-wait scratch.
+    obs::Histogram shifted(bounds);
+    shifted.observeBulk(values.data(), values.size(), 1.0);
+    obs::Histogram expected(bounds);
+    for (double v : values)
+        expected.observe(v + 1.0);
+    EXPECT_EQ(shifted.bucketCounts(), expected.bucketCounts());
+    EXPECT_DOUBLE_EQ(shifted.minValue(), expected.minValue());
+    EXPECT_DOUBLE_EQ(shifted.maxValue(), expected.maxValue());
+
+    // Empty batches are a no-op.
+    shifted.observeBulk(values.data(), 0);
+    EXPECT_EQ(shifted.count(), values.size());
 }
 
 TEST(Metrics, HistogramMergeAddsCountsAndExtremes)

@@ -151,5 +151,39 @@ TEST(BoundedSampleQueue, RecyclesBuffersSteadyState)
     (void)pool;
 }
 
+TEST(BoundedSampleQueue, IngestTimestampsRideEverySlot)
+{
+    // The stage-latency pipeline depends on the ingest stamp
+    // surviving the queue: both push flavors store it, popBatch hands
+    // it back in FIFO order, and recycled slots never leak a stale
+    // stamp into an unstamped sample.
+    BoundedSampleQueue queue(4);
+    const double row[1] = {0.0};
+    for (std::uint64_t i = 0; i < 3; ++i)
+        queue.push(entryOf(0), row, 1, 0.0, 1000 + i);
+    ASSERT_TRUE(queue.tryPush(entryOf(0), row, 1, 0.0, 2000));
+
+    std::vector<QueuedSample> batch(4);
+    ASSERT_EQ(queue.popBatch(batch.data(), 4), 4u);
+    EXPECT_EQ(batch[0].ingestNs, 1000u);
+    EXPECT_EQ(batch[1].ingestNs, 1001u);
+    EXPECT_EQ(batch[2].ingestNs, 1002u);
+    EXPECT_EQ(batch[3].ingestNs, 2000u);
+
+    // An unstamped push (the in-process replay path) reuses the slot
+    // that just held 1000 — it must read back as 0, not 1000.
+    queue.push(entryOf(0), row, 1, 0.0);
+    ASSERT_EQ(queue.popBatch(batch.data(), 4), 1u);
+    EXPECT_EQ(batch[0].ingestNs, 0u);
+
+    // Drop-oldest keeps the stamps aligned with the surviving
+    // samples.
+    for (std::uint64_t i = 0; i < 6; ++i)
+        queue.push(entryOf(0), row, 1, 0.0, 100 + i);
+    ASSERT_EQ(queue.popBatch(batch.data(), 4), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(batch[i].ingestNs, 102 + i);
+}
+
 } // namespace
 } // namespace chaos::serve

@@ -14,8 +14,10 @@
 #include "serve_support.hpp"
 
 #include "obs/events.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/server.hpp"
+#include "serve/stage_metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace chaos::serve {
@@ -345,6 +347,60 @@ TEST(FleetServer, StopFlushesPendingSamples)
     EXPECT_FALSE(server.running());
     EXPECT_EQ(server.processed() + server.dropped(),
               server.submitted());
+}
+
+TEST(FleetServer, StageHistogramsTrackDrainedSamples)
+{
+    // Stage histograms are process-global, so assert on deltas.
+    StageMetrics &stages = StageMetrics::get();
+    const std::uint64_t wait0 = stages.queueWaitUs.count();
+    const std::uint64_t e2e0 = stages.e2eUs.count();
+    const std::uint64_t batch0 = stages.drainBatchUs.count();
+    const std::uint64_t predict0 = stages.predictUs.count();
+
+    setStageTracingEnabled(true);
+    FleetServerConfig config;
+    config.numShards = 1;
+    FleetServer server(config);
+    MachineEntry &entry = server.addMachine("m0", makeTestModel(5));
+    for (int t = 0; t < 32; ++t)
+        server.submitTo(entry, catalogRow(t * 1.0, 50.0), 25.0);
+    while (server.drainOnce() > 0) {
+    }
+
+    // Every drained sample lands one queue-wait and one end-to-end
+    // observation; batch/predict count once per drain pass.
+    EXPECT_EQ(stages.queueWaitUs.count() - wait0, 32u);
+    EXPECT_EQ(stages.e2eUs.count() - e2e0, 32u);
+    EXPECT_GT(stages.drainBatchUs.count(), batch0);
+    EXPECT_GT(stages.predictUs.count(), predict0);
+
+    // The JSON surface always parses and exposes the five stages.
+    obs::JsonValue latency;
+    ASSERT_TRUE(obs::jsonParse(stageLatencyJson(), latency));
+    for (const char *key : {"decode_us", "queue_wait_us",
+                            "drain_batch_us", "predict_us", "e2e_us"}) {
+        const obs::JsonValue *stage = latency.find(key);
+        ASSERT_NE(stage, nullptr) << key;
+        for (const char *field : {"p50", "p99", "count"})
+            EXPECT_NE(stage->find(field), nullptr) << field;
+    }
+
+    // With tracing off, samples are unstamped and drained without
+    // touching any stage histogram.
+    setStageTracingEnabled(false);
+    const std::uint64_t waitOff = stages.queueWaitUs.count();
+    const std::uint64_t e2eOff = stages.e2eUs.count();
+    const std::uint64_t batchOff = stages.drainBatchUs.count();
+    for (int t = 0; t < 16; ++t)
+        server.submitTo(entry, catalogRow(t * 1.0, 50.0), 25.0);
+    while (server.drainOnce() > 0) {
+    }
+    setStageTracingEnabled(true);
+    EXPECT_EQ(stages.queueWaitUs.count(), waitOff);
+    EXPECT_EQ(stages.e2eUs.count(), e2eOff);
+    EXPECT_EQ(stages.drainBatchUs.count(), batchOff);
+    EXPECT_EQ(server.processed(), 48u);
 }
 
 } // namespace
